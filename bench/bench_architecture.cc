@@ -1,0 +1,61 @@
+// Experiment F1 (paper Figure 1): end-to-end pass through every shaded
+// architecture component — import (Interface Manager + Relational Storage
+// Manager), query (Query Processor with positional addressing), edit
+// (two-way sync), pan (Window Manager + Positional Index), recalculation
+// (Compute Engine + Interface Storage Manager).
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace dataspread::bench {
+namespace {
+
+void BM_Architecture_FullInteractionLoop(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  DataSpreadOptions opts;
+  opts.auto_pump = false;
+  opts.binding_window = 64;
+  DataSpread ds(opts);
+  LoadWideTable(&ds.db(), "t", rows);
+  Sheet* sheet = ds.AddSheet("S").ValueOrDie();
+  (void)ds.ImportTable("S", "A1", "t");                       // Fig 2b
+  (void)ds.SetCellAt(sheet, 0, 5,
+                     "=DBSQL(\"SELECT AVG(amount) FROM t\")");  // Fig 2a
+  (void)ds.SetCellAt(sheet, 1, 5, "=F1*2");                     // formula
+  ds.Pump();
+  double v = 0;
+  int64_t pan = 0;
+  for (auto _ : state) {
+    // One interactive beat: edit a bound cell, pan the pane, read results.
+    (void)ds.SetCellAt(sheet, 2, 2, std::to_string(++v));      // sync front->back
+    (void)ds.ScrollTo("S", (pan = (pan + 97) % static_cast<int64_t>(rows)), 0);
+    ds.Pump();
+    benchmark::DoNotOptimize(ds.GetValueAt(sheet, 1, 5));
+  }
+  state.SetLabel(std::to_string(rows) + " backing rows");
+}
+BENCHMARK(BM_Architecture_FullInteractionLoop)
+    ->Arg(1000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_Architecture_ColdStartToFirstPane(benchmark::State& state) {
+  // From empty engine to a visible, queryable pane over `rows` tuples.
+  size_t rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    DataSpreadOptions opts;
+    opts.auto_pump = false;
+    opts.binding_window = 64;
+    DataSpread ds(opts);
+    LoadWideTable(&ds.db(), "t", rows);
+    (void)ds.AddSheet("S");
+    (void)ds.ImportTable("S", "A1", "t");
+    ds.Pump();
+    benchmark::DoNotOptimize(
+        ds.GetValue("S", "A2").ValueOr(Value::Null()));
+  }
+  state.SetLabel(std::to_string(rows) + " rows to first pane");
+}
+BENCHMARK(BM_Architecture_ColdStartToFirstPane)
+    ->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dataspread::bench

@@ -1,0 +1,100 @@
+// Experiment C4 (paper §3 Compute Engine): "improves the interface's
+// interactivity by prioritizing the computation for visible cells."
+// Series: time until the visible pane is consistent, visible-first
+// (RecalcWindow then background) vs FIFO (single full RecalcDirty), under a
+// growing backlog of off-screen dirty formulas.
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace dataspread::bench {
+namespace {
+
+struct Backlog {
+  explicit Backlog(int64_t total_rows) {
+    DataSpreadOptions opts;
+    opts.auto_pump = false;
+    ds = std::make_unique<DataSpread>(opts);
+    sheet = ds->AddSheet("S").ValueOrDie();
+    for (int64_t r = 0; r < total_rows; ++r) {
+      (void)sheet->SetValue(r, 0, Value::Int(r));
+      (void)sheet->SetFormula(r, 1,
+                              "=A" + std::to_string(r + 1) + "*2+SUM(A" +
+                                  std::to_string(r + 1) + ":A" +
+                                  std::to_string(r + 1) + ")");
+    }
+  }
+  void DirtyEverything() {
+    for (int64_t r = 0; r < static_cast<int64_t>(ds->engine().formula_count());
+         ++r) {
+      ds->engine().MarkDirty(sheet, r, 1);
+    }
+  }
+  std::unique_ptr<DataSpread> ds;
+  Sheet* sheet;
+};
+
+constexpr int64_t kVisibleRows = 50;
+
+void BM_ComputePriority_VisibleFirst(benchmark::State& state) {
+  Backlog b(state.range(0));
+  (void)b.ds->RecalcNow();
+  for (auto _ : state) {
+    state.PauseTiming();
+    b.DirtyEverything();
+    state.ResumeTiming();
+    // Time-to-visible-consistent: only the pane needs to be recomputed.
+    (void)b.ds->engine().RecalcWindow(b.sheet, 0, 0, kVisibleRows - 1, 2);
+    state.PauseTiming();
+    (void)b.ds->engine().RecalcDirty();  // background completion, untimed
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " dirty formulas, pane=" +
+                 std::to_string(kVisibleRows));
+}
+BENCHMARK(BM_ComputePriority_VisibleFirst)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_ComputePriority_FifoBaseline(benchmark::State& state) {
+  Backlog b(state.range(0));
+  (void)b.ds->RecalcNow();
+  for (auto _ : state) {
+    state.PauseTiming();
+    b.DirtyEverything();
+    state.ResumeTiming();
+    // FIFO baseline: the pane is consistent only after everything ran.
+    (void)b.ds->engine().RecalcDirty();
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " dirty formulas, pane=" +
+                 std::to_string(kVisibleRows));
+}
+BENCHMARK(BM_ComputePriority_FifoBaseline)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+// Scheduler mechanics: a visible task never waits behind background tasks.
+void BM_ComputePriority_SchedulerBands(benchmark::State& state) {
+  Scheduler scheduler;
+  int64_t background = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    int done = 0;
+    for (int64_t i = 0; i < background; ++i) {
+      scheduler.Enqueue(Priority::kBackground, [&done] { ++done; });
+    }
+    bool visible_ran = false;
+    scheduler.Enqueue(Priority::kVisible,
+                      [&visible_ran] { visible_ran = true; });
+    state.ResumeTiming();
+    // Time until the *visible* task completes.
+    scheduler.RunOne();
+    state.PauseTiming();
+    benchmark::DoNotOptimize(visible_ran);
+    scheduler.RunUntilIdle();
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::to_string(background) + " queued background tasks");
+}
+BENCHMARK(BM_ComputePriority_SchedulerBands)->Arg(10000);
+
+}  // namespace
+}  // namespace dataspread::bench

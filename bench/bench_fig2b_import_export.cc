@@ -1,0 +1,64 @@
+// Experiment F2b (paper Figure 2b): create-table-from-range (export with
+// schema inference) and DBTABLE import. Series: latency vs range height.
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace dataspread::bench {
+namespace {
+
+void BM_Fig2b_CreateTableFromRange(benchmark::State& state) {
+  int64_t rows = state.range(0);
+  DataSpreadOptions opts;
+  opts.auto_pump = false;
+  DataSpread ds(opts);
+  Sheet* sheet = ds.AddSheet("S").ValueOrDie();
+  FillSheetTable(sheet, 0, 0, rows, 4, /*header=*/true);
+  std::string range = "A1:D" + std::to_string(rows + 1);
+  int generation = 0;
+  for (auto _ : state) {
+    std::string name = "export_" + std::to_string(generation++);
+    auto table = ds.CreateTableFromRange("S", range, name, "id");
+    benchmark::DoNotOptimize(table);
+    state.PauseTiming();
+    (void)ds.db().catalog().DropTable(name);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel(std::to_string(rows) + " rows exported");
+}
+BENCHMARK(BM_Fig2b_CreateTableFromRange)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig2b_DbtableImport(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  DataSpreadOptions opts;
+  opts.auto_pump = false;
+  opts.binding_window = 64;  // pane-sized materialization
+  DataSpread ds(opts);
+  LoadWideTable(&ds.db(), "t", rows);
+  Sheet* sheet = ds.AddSheet("S").ValueOrDie();
+  for (auto _ : state) {
+    auto binding = ds.ImportTable("S", "A1", "t");
+    benchmark::DoNotOptimize(binding);
+    state.PauseTiming();
+    (void)ds.interface_manager().Unbind(binding.value()->id());
+    (void)ds.SetCellAt(sheet, 0, 0, "");
+    ds.Pump();
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::to_string(rows) +
+                 " table rows (window of 64 materialized)");
+}
+BENCHMARK(BM_Fig2b_DbtableImport)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dataspread::bench

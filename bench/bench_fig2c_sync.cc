@@ -1,0 +1,84 @@
+// Experiment F2c (paper Figure 2c): two-way synchronization latency.
+// Series: (i) front-end edit -> keyed UPDATE -> refreshed region + dependent
+// DBSQL; (ii) back-end UPDATE -> sheet refresh. Swept over bound table size.
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace dataspread::bench {
+namespace {
+
+struct SyncFixture {
+  explicit SyncFixture(size_t rows) {
+    DataSpreadOptions opts;
+    opts.auto_pump = false;
+    opts.binding_window = 64;
+    ds = std::make_unique<DataSpread>(opts);
+    LoadWideTable(&ds->db(), "t", rows);
+    sheet = ds->AddSheet("S").ValueOrDie();
+    (void)ds->ImportTable("S", "A1", "t");
+    // A dependent aggregate over the bound amount column (Figure 2c's DBSQL
+    // region that must update "immediately").
+    (void)ds->SetCellAt(sheet, 0, 5, "=DBSQL(\"SELECT SUM(amount) FROM t\")");
+    ds->Pump();
+  }
+  std::unique_ptr<DataSpread> ds;
+  Sheet* sheet = nullptr;
+};
+
+void BM_Fig2c_FrontEndEditPropagation(benchmark::State& state) {
+  SyncFixture fx(static_cast<size_t>(state.range(0)));
+  double amount = 1.0;
+  for (auto _ : state) {
+    amount += 1.0;
+    // Edit a bound cell (row 2 = table position 1, amount column).
+    (void)fx.ds->SetCellAt(fx.sheet, 2, 2, std::to_string(amount));
+    fx.ds->Pump();
+    benchmark::DoNotOptimize(fx.ds->GetValueAt(fx.sheet, 0, 5));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " bound rows");
+}
+BENCHMARK(BM_Fig2c_FrontEndEditPropagation)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig2c_BackEndUpdatePropagation(benchmark::State& state) {
+  SyncFixture fx(static_cast<size_t>(state.range(0)));
+  double amount = 1.0;
+  for (auto _ : state) {
+    amount += 1.0;
+    (void)fx.ds->Sql("UPDATE t SET amount = " + std::to_string(amount) +
+                     " WHERE id = 3");
+    fx.ds->Pump();
+    benchmark::DoNotOptimize(fx.ds->GetValueAt(fx.sheet, 4, 2));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " bound rows");
+}
+BENCHMARK(BM_Fig2c_BackEndUpdatePropagation)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig2c_BackEndInsertBurst(benchmark::State& state) {
+  // Many inserts coalescing into one binding refresh per pump.
+  SyncFixture fx(static_cast<size_t>(state.range(0)));
+  int64_t next_id = 10000000;
+  for (auto _ : state) {
+    for (int i = 0; i < 10; ++i) {
+      (void)fx.ds->Sql("INSERT INTO t VALUES (" + std::to_string(next_id++) +
+                       ", 'x', 1.0)");
+    }
+    fx.ds->Pump();
+  }
+  state.SetLabel(std::to_string(state.range(0)) +
+                 " bound rows, 10 inserts/iter");
+}
+BENCHMARK(BM_Fig2c_BackEndInsertBurst)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dataspread::bench

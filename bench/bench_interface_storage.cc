@@ -1,0 +1,101 @@
+// Experiment C6 (paper §3 Interface Storage Manager): cells "grouped by
+// proximity ... indexed by a two-dimensional indexing method" to "enable
+// efficient retrieval for a given range". Series: pane-sized range reads and
+// writes on sparse sheets, tiled grid index vs a flat ordered-map baseline.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <random>
+
+#include "sheet/sheet.h"
+
+namespace dataspread {
+namespace {
+
+constexpr int64_t kSpread = 100000;  // cells scattered over 100k x 100 area
+
+Sheet MakeSparseSheet(size_t cells) {
+  Sheet sheet("S", 64, 64);
+  std::mt19937 rng(11);
+  for (size_t i = 0; i < cells; ++i) {
+    (void)sheet.SetValue(static_cast<int64_t>(rng() % kSpread),
+                         static_cast<int64_t>(rng() % 100),
+                         Value::Int(static_cast<int64_t>(i)));
+  }
+  return sheet;
+}
+
+void BM_InterfaceStorage_PaneReadTiled(benchmark::State& state) {
+  Sheet sheet = MakeSparseSheet(static_cast<size_t>(state.range(0)));
+  std::mt19937 rng(13);
+  for (auto _ : state) {
+    int64_t top = static_cast<int64_t>(rng() % kSpread);
+    int64_t sum = 0;
+    sheet.VisitRange(top, 0, top + 49, 9,
+                     [&](int64_t, int64_t, const Cell& cell) {
+                       if (cell.value.type() == DataType::kInt) {
+                         sum += cell.value.int_value();
+                       }
+                     });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " cells, 50x10 pane");
+}
+BENCHMARK(BM_InterfaceStorage_PaneReadTiled)
+    ->Arg(10000)->Arg(100000)->Arg(500000);
+
+// Baseline: one flat ordered map over (row, col) — range read must scan the
+// row span with lower_bound per row or the whole map.
+void BM_InterfaceStorage_PaneReadFlatMap(benchmark::State& state) {
+  std::map<std::pair<int64_t, int64_t>, Value> cells;
+  std::mt19937 rng(11);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    cells[{static_cast<int64_t>(rng() % kSpread),
+           static_cast<int64_t>(rng() % 100)}] = Value::Int(i);
+  }
+  std::mt19937 probe(13);
+  for (auto _ : state) {
+    int64_t top = static_cast<int64_t>(probe() % kSpread);
+    int64_t sum = 0;
+    auto it = cells.lower_bound({top, 0});
+    auto end = cells.lower_bound({top + 50, 0});
+    for (; it != end; ++it) {
+      if (it->first.second < 10 && it->second.type() == DataType::kInt) {
+        sum += it->second.int_value();
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " cells, 50x10 pane");
+}
+BENCHMARK(BM_InterfaceStorage_PaneReadFlatMap)
+    ->Arg(10000)->Arg(100000)->Arg(500000);
+
+void BM_InterfaceStorage_PointWrites(benchmark::State& state) {
+  Sheet sheet("S", 64, 64);
+  std::mt19937 rng(17);
+  int64_t i = 0;
+  for (auto _ : state) {
+    (void)sheet.SetValue(static_cast<int64_t>(rng() % kSpread),
+                         static_cast<int64_t>(rng() % 100), Value::Int(++i));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterfaceStorage_PointWrites);
+
+void BM_InterfaceStorage_RowInsertHugeSheet(benchmark::State& state) {
+  // The positional-axis payoff: middle insertion with a million rows.
+  Sheet sheet("S", state.range(0), 8);
+  for (int64_t r = 0; r < state.range(0); r += 997) {
+    (void)sheet.SetValue(r, 3, Value::Int(r));
+  }
+  for (auto _ : state) {
+    (void)sheet.InsertRows(state.range(0) / 2, 1);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "-row sheet");
+}
+BENCHMARK(BM_InterfaceStorage_RowInsertHugeSheet)
+    ->Arg(1000)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+}  // namespace dataspread

@@ -1,0 +1,102 @@
+// Experiment C3 (paper §3): "We introduce a new type of index, positional,
+// which makes interface-oriented operations, e.g., ordered presentation,
+// efficient." Series: get-by-position / insert-at / erase-at / window fetch,
+// counted B+-tree vs the shifting-array baseline, vs element count.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "index/offset_array.h"
+#include "index/positional_index.h"
+
+namespace dataspread {
+namespace {
+
+template <typename Index>
+Index MakeFilled(size_t n) {
+  std::vector<uint64_t> payloads(n);
+  for (size_t i = 0; i < n; ++i) payloads[i] = i;
+  Index idx;
+  idx.Build(payloads);
+  return idx;
+}
+
+template <typename Index>
+void RunRandomGet(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Index idx = MakeFilled<Index>(n);
+  std::mt19937 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Get(rng() % n));
+  }
+  state.SetLabel(std::to_string(n) + " elements");
+}
+
+template <typename Index>
+void RunRandomInsertErase(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Index idx = MakeFilled<Index>(n);
+  std::mt19937 rng(7);
+  for (auto _ : state) {
+    size_t pos = rng() % (idx.size() + 1);
+    (void)idx.InsertAt(pos, pos);
+    (void)idx.EraseAt(rng() % idx.size());
+  }
+  state.SetLabel(std::to_string(n) + " elements");
+}
+
+template <typename Index>
+void RunWindowFetch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Index idx = MakeFilled<Index>(n);
+  std::mt19937 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.GetRange(rng() % n, 50));
+  }
+  state.SetLabel(std::to_string(n) + " elements, 50-row window");
+}
+
+void BM_Positional_Get_Tree(benchmark::State& s) {
+  RunRandomGet<PositionalIndex>(s);
+}
+void BM_Positional_Get_Array(benchmark::State& s) {
+  RunRandomGet<OffsetArray>(s);
+}
+void BM_Positional_InsertErase_Tree(benchmark::State& s) {
+  RunRandomInsertErase<PositionalIndex>(s);
+}
+void BM_Positional_InsertErase_Array(benchmark::State& s) {
+  RunRandomInsertErase<OffsetArray>(s);
+}
+void BM_Positional_Window_Tree(benchmark::State& s) {
+  RunWindowFetch<PositionalIndex>(s);
+}
+void BM_Positional_Window_Array(benchmark::State& s) {
+  RunWindowFetch<OffsetArray>(s);
+}
+
+BENCHMARK(BM_Positional_Get_Tree)->Arg(1000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Positional_Get_Array)->Arg(1000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Positional_InsertErase_Tree)
+    ->Arg(1000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Positional_InsertErase_Array)
+    ->Arg(1000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Positional_Window_Tree)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Positional_Window_Array)->Arg(100000)->Arg(1000000);
+
+// Bulk build cost (table load path).
+void BM_Positional_BulkBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> payloads(n);
+  for (size_t i = 0; i < n; ++i) payloads[i] = i;
+  for (auto _ : state) {
+    PositionalIndex idx;
+    idx.Build(payloads);
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Positional_BulkBuild)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dataspread

@@ -1,0 +1,124 @@
+// Experiment C2 (paper §3 Relational Storage Manager): "data is structured
+// along a collection of attribute groups, thereby radically reducing the disk
+// blocks that need an update during a schema change." Series: ALTER TABLE
+// ADD/DROP COLUMN latency and dirty-block counts per storage model vs rows;
+// plus the single-tuple-update yardstick the paper compares against.
+#include <benchmark/benchmark.h>
+
+#include "storage/table_storage.h"
+#include "workloads.h"
+
+namespace dataspread::bench {
+namespace {
+
+std::unique_ptr<TableStorage> MakeLoaded(StorageModel model, size_t rows) {
+  auto s = CreateStorage(model, 4);
+  s->accountant().set_enabled(false);
+  for (size_t i = 0; i < rows; ++i) {
+    (void)s->AppendRow({Value::Int(static_cast<int64_t>(i)), Value::Int(1),
+                        Value::Int(2), Value::Int(3)});
+  }
+  return s;
+}
+
+void RunAddColumn(benchmark::State& state, StorageModel model) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  auto s = MakeLoaded(model, rows);
+  for (auto _ : state) {
+    (void)s->AddColumn(Value::Int(0));
+    state.PauseTiming();
+    (void)s->DropColumn(s->num_columns() - 1);
+    state.ResumeTiming();
+  }
+  // Blocks dirtied by one ADD COLUMN (measured outside the timing loop).
+  s->accountant().set_enabled(true);
+  s->accountant().BeginEpoch();
+  (void)s->AddColumn(Value::Int(0));
+  state.counters["dirty_blocks"] =
+      static_cast<double>(s->accountant().EpochPagesWritten());
+  state.SetLabel(std::string(StorageModelName(model)) + ", " +
+                 std::to_string(rows) + " rows");
+}
+
+void BM_SchemaChange_AddColumn_Row(benchmark::State& state) {
+  RunAddColumn(state, StorageModel::kRow);
+}
+void BM_SchemaChange_AddColumn_Column(benchmark::State& state) {
+  RunAddColumn(state, StorageModel::kColumn);
+}
+void BM_SchemaChange_AddColumn_Hybrid(benchmark::State& state) {
+  RunAddColumn(state, StorageModel::kHybrid);
+}
+void BM_SchemaChange_AddColumn_Rcv(benchmark::State& state) {
+  RunAddColumn(state, StorageModel::kRcv);
+}
+BENCHMARK(BM_SchemaChange_AddColumn_Row)
+    ->Arg(1000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SchemaChange_AddColumn_Column)
+    ->Arg(1000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SchemaChange_AddColumn_Hybrid)
+    ->Arg(1000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SchemaChange_AddColumn_Rcv)
+    ->Arg(1000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+// Drop of a previously added column: pure metadata for hybrid.
+void RunDropAddedColumn(benchmark::State& state, StorageModel model) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  auto s = MakeLoaded(model, rows);
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)s->AddColumn(Value::Int(0));
+    state.ResumeTiming();
+    (void)s->DropColumn(s->num_columns() - 1);
+  }
+  state.SetLabel(std::string(StorageModelName(model)) + ", " +
+                 std::to_string(rows) + " rows");
+}
+void BM_SchemaChange_DropAddedColumn_Row(benchmark::State& state) {
+  RunDropAddedColumn(state, StorageModel::kRow);
+}
+void BM_SchemaChange_DropAddedColumn_Hybrid(benchmark::State& state) {
+  RunDropAddedColumn(state, StorageModel::kHybrid);
+}
+BENCHMARK(BM_SchemaChange_DropAddedColumn_Row)
+    ->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SchemaChange_DropAddedColumn_Hybrid)
+    ->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// The paper's yardstick: "the database should be able to handle this schema
+// change with an efficiency similar to tuple updates."
+void BM_SchemaChange_SingleTupleUpdateYardstick(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  auto s = MakeLoaded(StorageModel::kHybrid, rows);
+  size_t r = 0;
+  for (auto _ : state) {
+    (void)s->Set(r % rows, 1, Value::Int(static_cast<int64_t>(r)));
+    ++r;
+  }
+  state.SetLabel("hybrid, " + std::to_string(rows) + " rows");
+}
+BENCHMARK(BM_SchemaChange_SingleTupleUpdateYardstick)
+    ->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+// End-to-end: ALTER TABLE through the SQL layer on the hybrid engine.
+void BM_SchemaChange_SqlAlterTable(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  DataSpreadOptions opts;
+  opts.auto_pump = false;
+  DataSpread ds(opts);
+  LoadWideTable(&ds.db(), "t", rows);
+  int gen = 0;
+  for (auto _ : state) {
+    std::string col = "extra" + std::to_string(gen++);
+    (void)ds.Sql("ALTER TABLE t ADD COLUMN " + col + " INT DEFAULT 0");
+    state.PauseTiming();
+    (void)ds.Sql("ALTER TABLE t DROP COLUMN " + col);
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::to_string(rows) + " rows (hybrid via SQL)");
+}
+BENCHMARK(BM_SchemaChange_SqlAlterTable)
+    ->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dataspread::bench

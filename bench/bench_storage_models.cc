@@ -1,0 +1,111 @@
+// Experiment A1 (design ablation, DESIGN.md §4): ROM vs COM vs RCV vs hybrid
+// attribute groups across the access patterns the unified system needs —
+// full scans (queries), point tuple reads (pane fill), point updates (sync),
+// row appends (imports), and sparse data.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "storage/table_storage.h"
+
+namespace dataspread {
+namespace {
+
+constexpr size_t kCols = 8;
+
+std::unique_ptr<TableStorage> MakeLoaded(StorageModel model, size_t rows) {
+  auto s = CreateStorage(model, kCols);
+  s->accountant().set_enabled(false);
+  Row r(kCols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t c = 0; c < kCols; ++c) {
+      r[c] = Value::Int(static_cast<int64_t>(i * kCols + c));
+    }
+    (void)s->AppendRow(r);
+  }
+  return s;
+}
+
+void RunScan(benchmark::State& state, StorageModel model) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  auto s = MakeLoaded(model, rows);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      Row r = s->GetRow(i).ValueOrDie();
+      sum += r[0].int_value();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+  state.SetLabel(StorageModelName(model));
+}
+
+void RunPointUpdate(benchmark::State& state, StorageModel model) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  auto s = MakeLoaded(model, rows);
+  std::mt19937 rng(3);
+  for (auto _ : state) {
+    (void)s->Set(rng() % rows, rng() % kCols, Value::Int(1));
+  }
+  state.SetLabel(StorageModelName(model));
+}
+
+void RunAppend(benchmark::State& state, StorageModel model) {
+  auto s = CreateStorage(model, kCols);
+  s->accountant().set_enabled(false);
+  Row r(kCols, Value::Int(7));
+  for (auto _ : state) {
+    (void)s->AppendRow(r);
+  }
+  state.SetLabel(StorageModelName(model));
+}
+
+void RunSparseColumnScan(benchmark::State& state, StorageModel model) {
+  // 90% NULL data: RCV's home turf.
+  size_t rows = static_cast<size_t>(state.range(0));
+  auto s = CreateStorage(model, kCols);
+  s->accountant().set_enabled(false);
+  std::mt19937 rng(5);
+  Row r(kCols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t c = 0; c < kCols; ++c) {
+      r[c] = (rng() % 10 == 0) ? Value::Int(1) : Value::Null();
+    }
+    (void)s->AppendRow(r);
+  }
+  for (auto _ : state) {
+    int64_t non_null = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      if (!s->Get(i, 2).ValueOrDie().is_null()) ++non_null;
+    }
+    benchmark::DoNotOptimize(non_null);
+  }
+  state.SetLabel(StorageModelName(model));
+}
+
+#define DS_STORAGE_BENCH(runner, name)                                  \
+  void BM_Storage_##name##_Row(benchmark::State& s) {                   \
+    runner(s, StorageModel::kRow);                                      \
+  }                                                                     \
+  void BM_Storage_##name##_Column(benchmark::State& s) {                \
+    runner(s, StorageModel::kColumn);                                   \
+  }                                                                     \
+  void BM_Storage_##name##_Rcv(benchmark::State& s) {                   \
+    runner(s, StorageModel::kRcv);                                      \
+  }                                                                     \
+  void BM_Storage_##name##_Hybrid(benchmark::State& s) {                \
+    runner(s, StorageModel::kHybrid);                                   \
+  }                                                                     \
+  BENCHMARK(BM_Storage_##name##_Row)->Arg(100000);                      \
+  BENCHMARK(BM_Storage_##name##_Column)->Arg(100000);                   \
+  BENCHMARK(BM_Storage_##name##_Rcv)->Arg(100000);                      \
+  BENCHMARK(BM_Storage_##name##_Hybrid)->Arg(100000)
+
+DS_STORAGE_BENCH(RunScan, FullScan);
+DS_STORAGE_BENCH(RunPointUpdate, PointUpdate);
+DS_STORAGE_BENCH(RunAppend, Append);
+DS_STORAGE_BENCH(RunSparseColumnScan, SparseColumnScan);
+
+}  // namespace
+}  // namespace dataspread

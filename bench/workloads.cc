@@ -1,0 +1,111 @@
+#include "workloads.h"
+
+#include <random>
+
+namespace dataspread::bench {
+
+namespace {
+const char* kTitleWords[] = {"Blue", "Night", "Iron", "Last", "Silent",
+                             "Golden", "Lost", "Wild", "Broken", "Red"};
+const char* kNameWords[] = {"Adams", "Brooks", "Chen", "Diaz", "Evans",
+                            "Fischer", "Garcia", "Hoffman", "Ito", "Jones"};
+}  // namespace
+
+void LoadMovieWorkload(Database* db, size_t movies, uint32_t seed) {
+  std::mt19937 rng(seed);
+  auto movies_table =
+      db->CreateTable("movies",
+                      Schema({ColumnDef{"movieid", DataType::kInt, true},
+                              ColumnDef{"title", DataType::kText, false},
+                              ColumnDef{"year", DataType::kInt, false}}))
+          .ValueOrDie();
+  size_t actors = movies / 2 + 1;
+  auto actors_table =
+      db->CreateTable("actors",
+                      Schema({ColumnDef{"actorid", DataType::kInt, true},
+                              ColumnDef{"name", DataType::kText, false}}))
+          .ValueOrDie();
+  auto links_table =
+      db->CreateTable("movies2actors",
+                      Schema({ColumnDef{"movieid", DataType::kInt, false},
+                              ColumnDef{"actorid", DataType::kInt, false}}))
+          .ValueOrDie();
+  for (size_t i = 0; i < movies; ++i) {
+    std::string title = std::string(kTitleWords[rng() % 10]) + " " +
+                        kTitleWords[rng() % 10] + " " + std::to_string(i);
+    (void)movies_table->AppendRow(
+        {Value::Int(static_cast<int64_t>(i)), Value::Text(title),
+         Value::Int(static_cast<int64_t>(1950 + rng() % 75))});
+  }
+  for (size_t i = 0; i < actors; ++i) {
+    std::string name = std::string(kNameWords[rng() % 10]) + " " +
+                       std::to_string(i);
+    (void)actors_table->AppendRow(
+        {Value::Int(static_cast<int64_t>(i)), Value::Text(name)});
+  }
+  for (size_t i = 0; i < movies; ++i) {
+    size_t cast = 1 + rng() % 4;
+    for (size_t j = 0; j < cast; ++j) {
+      (void)links_table->AppendRow(
+          {Value::Int(static_cast<int64_t>(i)),
+           Value::Int(static_cast<int64_t>(rng() % actors))});
+    }
+  }
+}
+
+void LoadWideTable(Database* db, const std::string& table_name, size_t rows,
+                   uint32_t seed) {
+  std::mt19937 rng(seed);
+  auto table =
+      db->CreateTable(table_name,
+                      Schema({ColumnDef{"id", DataType::kInt, true},
+                              ColumnDef{"v", DataType::kText, false},
+                              ColumnDef{"amount", DataType::kReal, false}}))
+          .ValueOrDie();
+  for (size_t i = 0; i < rows; ++i) {
+    (void)table->AppendRow(
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::Text("row" + std::to_string(i)),
+         Value::Real(static_cast<double>(rng() % 10000) / 100.0)});
+  }
+}
+
+void FillSheetTable(Sheet* sheet, int64_t top, int64_t left, int64_t rows,
+                    int64_t cols, bool header, uint32_t seed) {
+  std::mt19937 rng(seed);
+  int64_t r0 = top;
+  if (header) {
+    (void)sheet->SetValue(top, left, Value::Text("id"));
+    if (cols > 1) (void)sheet->SetValue(top, left + 1, Value::Text("name"));
+    for (int64_t c = 2; c < cols; ++c) {
+      (void)sheet->SetValue(top, left + c,
+                            Value::Text("v" + std::to_string(c - 1)));
+    }
+    r0 += 1;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    (void)sheet->SetValue(r0 + r, left, Value::Int(r));
+    if (cols > 1) {
+      (void)sheet->SetValue(r0 + r, left + 1,
+                            Value::Text("n" + std::to_string(r)));
+    }
+    for (int64_t c = 2; c < cols; ++c) {
+      (void)sheet->SetValue(r0 + r, left + c,
+                            Value::Int(static_cast<int64_t>(rng() % 1000)));
+    }
+  }
+}
+
+void BuildFormulaChain(DataSpread* ds, Sheet* sheet, int64_t length) {
+  for (int64_t i = 0; i < length; ++i) {
+    (void)sheet->SetValue(i, 0, Value::Int(1));
+  }
+  (void)sheet->SetFormula(0, 1, "=A1");
+  for (int64_t i = 1; i < length; ++i) {
+    (void)sheet->SetFormula(
+        i, 1, "=B" + std::to_string(i) + "+A" + std::to_string(i + 1));
+  }
+  (void)ds->RecalcNow();
+}
+
+}  // namespace dataspread::bench

@@ -1,0 +1,32 @@
+#ifndef DATASPREAD_BENCH_WORKLOADS_H_
+#define DATASPREAD_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/dataspread.h"
+
+namespace dataspread::bench {
+
+/// Deterministic synthetic stand-in for the demo's IMDB-style data
+/// (MOVIES, MOVIES2ACTORS, ACTORS — see DESIGN.md §2 substitution table).
+/// `movies` rows, `actors` ≈ movies/2, and ~3 cast links per movie.
+void LoadMovieWorkload(Database* db, size_t movies, uint32_t seed = 42);
+
+/// Populates `table_name` with `rows` of (id INT PRIMARY KEY, v TEXT,
+/// amount REAL) through the catalog (fast path for large tables).
+void LoadWideTable(Database* db, const std::string& table_name, size_t rows,
+                   uint32_t seed = 7);
+
+/// Fills a sheet rectangle with typed data: col 0 ids, col 1 text, others
+/// numeric. With `header`, row `top` gets column names id/name/v1/v2/...
+void FillSheetTable(Sheet* sheet, int64_t top, int64_t left, int64_t rows,
+                    int64_t cols, bool header, uint32_t seed = 3);
+
+/// Builds a chain of formulas B[i] = B[i-1] + A[i] of the given length
+/// starting at (0, 1); column A holds literals.
+void BuildFormulaChain(DataSpread* ds, Sheet* sheet, int64_t length);
+
+}  // namespace dataspread::bench
+
+#endif  // DATASPREAD_BENCH_WORKLOADS_H_

@@ -1,0 +1,78 @@
+// Quickstart: the DataSpread public API in one tour — cells, formulas,
+// SQL back-end, DBSQL/DBTABLE hybrid constructs, and two-way sync.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/dataspread.h"
+
+using dataspread::DataSpread;
+using dataspread::Sheet;
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    auto _s = (expr);                                             \
+    if (!_s.ok()) {                                               \
+      std::printf("FAILED: %s\n", _s.ToString().c_str());         \
+      return 1;                                                   \
+    }                                                             \
+  } while (false)
+
+int main() {
+  DataSpread ds;
+  Sheet* sheet = ds.AddSheet("Sheet1").ValueOrDie();
+  (void)sheet;
+
+  std::printf("== 1. Spreadsheet basics =====================================\n");
+  CHECK_OK(ds.SetCell("Sheet1", "A1", "price"));
+  CHECK_OK(ds.SetCell("Sheet1", "A2", "19.5"));
+  CHECK_OK(ds.SetCell("Sheet1", "A3", "22"));
+  CHECK_OK(ds.SetCell("Sheet1", "A4", "=SUM(A2:A3)"));
+  std::printf("A4 = SUM(A2:A3) -> %s\n",
+              ds.GetDisplay("Sheet1", "A4").ValueOrDie().c_str());
+
+  std::printf("\n== 2. The relational back-end ================================\n");
+  CHECK_OK(ds.Sql("CREATE TABLE products (sku INT PRIMARY KEY, name TEXT, "
+                  "price REAL)").status());
+  CHECK_OK(ds.Sql("INSERT INTO products VALUES (1, 'nail', 0.1), "
+                  "(2, 'hammer', 19.5), (3, 'saw', 35.0)").status());
+  auto rs = ds.Sql("SELECT name, price FROM products WHERE price > 1 "
+                   "ORDER BY price DESC").ValueOrDie();
+  std::printf("%s", rs.ToString().c_str());
+
+  std::printf("\n== 3. DBSQL: SQL whose result lives in the sheet ============\n");
+  CHECK_OK(ds.SetCell("Sheet1", "C1",
+                      "=DBSQL(\"SELECT name, price FROM products "
+                      "WHERE price >= RANGEVALUE(A2) ORDER BY price\")"));
+  std::printf("C1:D2 spill:\n%s",
+              ds.Show("Sheet1", "C1:D2").ValueOrDie().c_str());
+
+  std::printf("\n== 4. DBTABLE: a live two-way bound region ==================\n");
+  CHECK_OK(ds.ImportTable("Sheet1", "F1", "products").status());
+  std::printf("bound region F1:H4:\n%s",
+              ds.Show("Sheet1", "F1:H4").ValueOrDie().c_str());
+
+  std::printf("\n== 5. Two-way sync ==========================================\n");
+  // Front-end edit -> keyed UPDATE in the database.
+  CHECK_OK(ds.SetCell("Sheet1", "H2", "0.25"));  // nail's price
+  auto price = ds.Sql("SELECT price FROM products WHERE sku = 1").ValueOrDie();
+  std::printf("front-end edit H2=0.25 -> DB says nail costs %s\n",
+              price.rows[0][0].ToDisplayString().c_str());
+  // Back-end update -> sheet refresh + dependent DBSQL re-run.
+  CHECK_OK(ds.Sql("UPDATE products SET price = 99 WHERE sku = 3").status());
+  std::printf("back-end UPDATE saw=99 -> bound cell H4 shows %s\n",
+              ds.GetDisplay("Sheet1", "H4").ValueOrDie().c_str());
+
+  std::printf("\n== 6. Export a range as a table =============================\n");
+  CHECK_OK(ds.SetCell("Sheet1", "J1", "city"));
+  CHECK_OK(ds.SetCell("Sheet1", "K1", "pop"));
+  CHECK_OK(ds.SetCell("Sheet1", "J2", "oslo"));
+  CHECK_OK(ds.SetCell("Sheet1", "K2", "700000"));
+  CHECK_OK(ds.CreateTableFromRange("Sheet1", "J1:K2", "cities", "city")
+               .status());
+  std::printf("%s", ds.Sql("SELECT * FROM cities").ValueOrDie()
+                        .ToString().c_str());
+
+  std::printf("\nquickstart: all steps succeeded\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+Result<Table*> Catalog::CreateTable(std::string name, Schema schema,
+                                    StorageModel model) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  DS_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                      Table::Create(std::move(name), std::move(schema), model));
+  Table* raw = table.get();
+  tables_.emplace(key, std::move(table));
+  creation_order_.push_back(key);
+  return raw;
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + std::string(name) + "' does not exist");
+  }
+  tables_.erase(it);
+  creation_order_.erase(
+      std::remove(creation_order_.begin(), creation_order_.end(), key),
+      creation_order_.end());
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + std::string(name) + "' does not exist");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(std::string_view name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(creation_order_.size());
+  for (const std::string& key : creation_order_) {
+    auto it = tables_.find(key);
+    if (it != tables_.end()) out.push_back(it->second->name());
+  }
+  return out;
+}
+
+}  // namespace dataspread

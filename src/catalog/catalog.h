@@ -1,0 +1,41 @@
+#ifndef DATASPREAD_CATALOG_CATALOG_H_
+#define DATASPREAD_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+
+namespace dataspread {
+
+/// Named-table directory of the embedded database. Table names are
+/// case-insensitive (stored with their original spelling).
+class Catalog {
+ public:
+  /// Creates a table; fails with AlreadyExists on a name collision.
+  Result<Table*> CreateTable(std::string name, Schema schema,
+                             StorageModel model = StorageModel::kHybrid);
+
+  /// Removes a table.
+  Status DropTable(std::string_view name);
+
+  /// Case-insensitive lookup.
+  Result<Table*> GetTable(std::string_view name) const;
+  bool HasTable(std::string_view name) const;
+
+  /// All table names in creation order.
+  std::vector<std::string> TableNames() const;
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // lower(name)
+  std::vector<std::string> creation_order_;                         // lower(name)
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CATALOG_CATALOG_H_

@@ -1,0 +1,91 @@
+#include "catalog/schema.h"
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+Status Schema::Validate() const {
+  size_t pk_count = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name.empty()) {
+      return Status::InvalidArgument("column " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    if (columns_[i].primary_key) ++pk_count;
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      if (EqualsIgnoreCase(columns_[i].name, columns_[j].name)) {
+        return Status::InvalidArgument("duplicate column name '" +
+                                       columns_[i].name + "'");
+      }
+    }
+  }
+  if (pk_count > 1) {
+    return Status::InvalidArgument("at most one PRIMARY KEY column is supported");
+  }
+  return Status::OK();
+}
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Schema::primary_key_index() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::AddColumn(ColumnDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("column name may not be empty");
+  }
+  if (FindColumn(def.name)) {
+    return Status::AlreadyExists("column '" + def.name + "' already exists");
+  }
+  if (def.primary_key && primary_key_index()) {
+    return Status::InvalidArgument("table already has a PRIMARY KEY column");
+  }
+  columns_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Schema::RemoveColumn(size_t index) {
+  if (index >= columns_.size()) {
+    return Status::OutOfRange("column index " + std::to_string(index));
+  }
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(index));
+  return Status::OK();
+}
+
+Status Schema::RenameColumn(size_t index, std::string new_name) {
+  if (index >= columns_.size()) {
+    return Status::OutOfRange("column index " + std::to_string(index));
+  }
+  if (new_name.empty()) {
+    return Status::InvalidArgument("column name may not be empty");
+  }
+  auto existing = FindColumn(new_name);
+  if (existing && *existing != index) {
+    return Status::AlreadyExists("column '" + new_name + "' already exists");
+  }
+  columns_[index].name = std::move(new_name);
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+    if (columns_[i].primary_key) out += " PRIMARY KEY";
+  }
+  return out;
+}
+
+}  // namespace dataspread

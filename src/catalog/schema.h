@@ -1,0 +1,57 @@
+#ifndef DATASPREAD_CATALOG_SCHEMA_H_
+#define DATASPREAD_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace dataspread {
+
+/// One attribute of a relational table.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kText;
+  bool primary_key = false;
+};
+
+/// Ordered attribute list of a table. Column names are case-insensitive and
+/// unique. At most one column may be the primary key (single-attribute keys,
+/// as in the paper's key↔position mapping).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  /// Validates name uniqueness and the single-PK constraint.
+  Status Validate() const;
+
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Case-insensitive lookup; nullopt when absent.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Index of the primary-key column, if any.
+  std::optional<size_t> primary_key_index() const;
+
+  /// Appends a column; fails on duplicate name or second PK.
+  Status AddColumn(ColumnDef def);
+  /// Removes the column at `index`.
+  Status RemoveColumn(size_t index);
+  /// Renames a column; fails if `new_name` collides.
+  Status RenameColumn(size_t index, std::string new_name);
+
+  /// "name TYPE [PRIMARY KEY], ..." — for error messages and docs.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CATALOG_SCHEMA_H_

@@ -1,0 +1,302 @@
+#include "catalog/table.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+Result<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
+                                             StorageModel model) {
+  DS_RETURN_IF_ERROR(schema.Validate());
+  if (name.empty()) {
+    return Status::InvalidArgument("table name may not be empty");
+  }
+  auto storage = CreateStorage(model, schema.num_columns());
+  return std::unique_ptr<Table>(
+      new Table(std::move(name), std::move(schema), std::move(storage)));
+}
+
+Table::Table(std::string name, Schema schema,
+             std::unique_ptr<TableStorage> storage)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      storage_(std::move(storage)) {}
+
+Result<Row> Table::GetRowAt(size_t pos) const {
+  DS_ASSIGN_OR_RETURN(uint64_t rid, order_.Get(pos));
+  return storage_->GetRow(SlotOf(rid));
+}
+
+Result<Value> Table::GetAt(size_t pos, size_t col) const {
+  DS_ASSIGN_OR_RETURN(uint64_t rid, order_.Get(pos));
+  return storage_->Get(SlotOf(rid), col);
+}
+
+Result<Value> Table::CoerceForColumn(Value v, size_t col) const {
+  if (v.is_error()) {
+    return Status::TypeError("error value " + v.error_code() +
+                             " cannot be stored in table " + name_);
+  }
+  return v.CastTo(schema_.column(col).type);
+}
+
+Status Table::ValidateRow(const Row& row) const {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(row.size()) + " does not match " +
+        name_ + "(" + std::to_string(schema_.num_columns()) + " columns)");
+  }
+  return Status::OK();
+}
+
+Status Table::UpdateAt(size_t pos, size_t col, Value v) {
+  if (col >= schema_.num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(col));
+  }
+  DS_ASSIGN_OR_RETURN(uint64_t rid, order_.Get(pos));
+  DS_ASSIGN_OR_RETURN(Value coerced, CoerceForColumn(std::move(v), col));
+  auto pk = schema_.primary_key_index();
+  if (pk && *pk == col) {
+    if (coerced.is_null()) {
+      return Status::ConstraintViolation("PRIMARY KEY of " + name_ +
+                                         " may not be NULL");
+    }
+    auto it = pk_to_rid_.find(coerced);
+    if (it != pk_to_rid_.end() && it->second != rid) {
+      return Status::ConstraintViolation("duplicate PRIMARY KEY " +
+                                         coerced.ToSqlLiteral() + " in " + name_);
+    }
+    DS_ASSIGN_OR_RETURN(Value old_key, storage_->Get(SlotOf(rid), col));
+    pk_to_rid_.erase(old_key);
+    pk_to_rid_[coerced] = rid;
+  }
+  DS_RETURN_IF_ERROR(storage_->Set(SlotOf(rid), col, std::move(coerced)));
+  Notify(TableChange{TableChange::Kind::kUpdate, pos, col});
+  return Status::OK();
+}
+
+Status Table::InsertRowAt(size_t pos, Row row) {
+  DS_RETURN_IF_ERROR(ValidateRow(row));
+  for (size_t c = 0; c < row.size(); ++c) {
+    DS_ASSIGN_OR_RETURN(row[c], CoerceForColumn(std::move(row[c]), c));
+  }
+  auto pk = schema_.primary_key_index();
+  if (pk) {
+    if (row[*pk].is_null()) {
+      return Status::ConstraintViolation("PRIMARY KEY of " + name_ +
+                                         " may not be NULL");
+    }
+    if (pk_to_rid_.count(row[*pk]) > 0) {
+      return Status::ConstraintViolation("duplicate PRIMARY KEY " +
+                                         row[*pk].ToSqlLiteral() + " in " + name_);
+    }
+  }
+  DS_ASSIGN_OR_RETURN(size_t slot, storage_->AppendRow(row));
+  uint64_t rid = next_rid_++;
+  if (rid_to_slot_.size() <= rid) rid_to_slot_.resize(rid + 1);
+  rid_to_slot_[rid] = slot;
+  if (slot_to_rid_.size() <= slot) slot_to_rid_.resize(slot + 1);
+  slot_to_rid_[slot] = rid;
+  DS_RETURN_IF_ERROR(order_.InsertAt(pos, rid));
+  if (pk) pk_to_rid_[row[*pk]] = rid;
+  Notify(TableChange{TableChange::Kind::kInsert, pos, 0});
+  return Status::OK();
+}
+
+Status Table::AppendRow(Row row) {
+  return InsertRowAt(order_.size(), std::move(row));
+}
+
+Status Table::DeleteRowAt(size_t pos) {
+  DS_ASSIGN_OR_RETURN(uint64_t rid, order_.Get(pos));
+  size_t slot = SlotOf(rid);
+  auto pk = schema_.primary_key_index();
+  if (pk) {
+    DS_ASSIGN_OR_RETURN(Value key, storage_->Get(slot, *pk));
+    pk_to_rid_.erase(key);
+  }
+  DS_ASSIGN_OR_RETURN(size_t moved_slot, storage_->DeleteRow(slot));
+  // The storage layer moved the tuple from `moved_slot` into `slot`; repoint
+  // its row id.
+  if (moved_slot != slot) {
+    uint64_t moved_rid = slot_to_rid_[moved_slot];
+    rid_to_slot_[moved_rid] = slot;
+    slot_to_rid_[slot] = moved_rid;
+  }
+  slot_to_rid_.pop_back();
+  (void)order_.EraseAt(pos);
+  Notify(TableChange{TableChange::Kind::kDelete, pos, 0});
+  return Status::OK();
+}
+
+std::vector<Row> Table::GetWindow(size_t start, size_t count) const {
+  std::vector<Row> out;
+  order_.Visit(start, count, [&](size_t, uint64_t rid) {
+    auto row = storage_->GetRow(SlotOf(rid));
+    if (row.ok()) out.push_back(std::move(row).value());
+  });
+  return out;
+}
+
+void Table::Scan(const std::function<bool(size_t, const Row&)>& fn) const {
+  bool stopped = false;
+  order_.Visit(0, order_.size(), [&](size_t pos, uint64_t rid) {
+    if (stopped) return;
+    auto row = storage_->GetRow(SlotOf(rid));
+    if (row.ok() && !fn(pos, row.value())) stopped = true;
+  });
+}
+
+Result<size_t> Table::FindByKey(const Value& key) const {
+  auto pk = schema_.primary_key_index();
+  if (!pk) {
+    return Status::InvalidArgument("table " + name_ + " has no PRIMARY KEY");
+  }
+  auto it = pk_to_rid_.find(key);
+  if (it == pk_to_rid_.end()) {
+    return Status::NotFound("no row with key " + key.ToSqlLiteral() + " in " +
+                            name_);
+  }
+  // Recover the display position by scanning the order index (positions are
+  // not tracked per-row because middle inserts would shift all of them).
+  uint64_t target = it->second;
+  size_t found = order_.size();
+  order_.Visit(0, order_.size(), [&](size_t pos, uint64_t rid) {
+    if (rid == target && found == order_.size()) found = pos;
+  });
+  if (found == order_.size()) {
+    return Status::Internal("pk index points at a row missing from the order");
+  }
+  return found;
+}
+
+Result<Row> Table::GetRowByKey(const Value& key) const {
+  auto pk = schema_.primary_key_index();
+  if (!pk) {
+    return Status::InvalidArgument("table " + name_ + " has no PRIMARY KEY");
+  }
+  auto it = pk_to_rid_.find(key);
+  if (it == pk_to_rid_.end()) {
+    return Status::NotFound("no row with key " + key.ToSqlLiteral() + " in " +
+                            name_);
+  }
+  return storage_->GetRow(SlotOf(it->second));
+}
+
+Status Table::UpdateByKey(const Value& key, size_t col, Value v) {
+  auto pk = schema_.primary_key_index();
+  if (!pk) {
+    return Status::InvalidArgument("table " + name_ + " has no PRIMARY KEY");
+  }
+  if (col >= schema_.num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(col));
+  }
+  auto it = pk_to_rid_.find(key);
+  if (it == pk_to_rid_.end()) {
+    return Status::NotFound("no row with key " + key.ToSqlLiteral() + " in " +
+                            name_);
+  }
+  uint64_t rid = it->second;
+  DS_ASSIGN_OR_RETURN(Value coerced, CoerceForColumn(std::move(v), col));
+  if (col == *pk) {
+    if (coerced.is_null()) {
+      return Status::ConstraintViolation("PRIMARY KEY of " + name_ +
+                                         " may not be NULL");
+    }
+    auto clash = pk_to_rid_.find(coerced);
+    if (clash != pk_to_rid_.end() && clash->second != rid) {
+      return Status::ConstraintViolation("duplicate PRIMARY KEY " +
+                                         coerced.ToSqlLiteral() + " in " + name_);
+    }
+    pk_to_rid_.erase(key);
+    pk_to_rid_[coerced] = rid;
+  }
+  DS_RETURN_IF_ERROR(storage_->Set(SlotOf(rid), col, std::move(coerced)));
+  Notify(TableChange{TableChange::Kind::kBulk, 0, col});
+  return Status::OK();
+}
+
+Status Table::AddColumn(ColumnDef def, const Value& default_value) {
+  if (def.primary_key && num_rows() > 0) {
+    return Status::InvalidArgument(
+        "cannot add a PRIMARY KEY column to non-empty table " + name_);
+  }
+  DS_RETURN_IF_ERROR(schema_.AddColumn(def));
+  Value coerced = default_value;
+  if (!default_value.is_null()) {
+    auto r = default_value.CastTo(def.type);
+    if (!r.ok()) {
+      (void)schema_.RemoveColumn(schema_.num_columns() - 1);
+      return r.status();
+    }
+    coerced = std::move(r).value();
+  }
+  Status s = storage_->AddColumn(coerced);
+  if (!s.ok()) {
+    (void)schema_.RemoveColumn(schema_.num_columns() - 1);
+    return s;
+  }
+  Notify(TableChange{TableChange::Kind::kSchema, 0, schema_.num_columns() - 1});
+  return Status::OK();
+}
+
+Status Table::DropColumn(std::string_view column_name) {
+  auto idx = schema_.FindColumn(column_name);
+  if (!idx) {
+    return Status::NotFound("column '" + std::string(column_name) +
+                            "' does not exist in " + name_);
+  }
+  bool was_pk = schema_.column(*idx).primary_key;
+  DS_RETURN_IF_ERROR(storage_->DropColumn(*idx));
+  DS_RETURN_IF_ERROR(schema_.RemoveColumn(*idx));
+  if (was_pk) pk_to_rid_.clear();
+  Notify(TableChange{TableChange::Kind::kSchema, 0, *idx});
+  return Status::OK();
+}
+
+Status Table::RenameColumn(std::string_view from, std::string_view to) {
+  auto idx = schema_.FindColumn(from);
+  if (!idx) {
+    return Status::NotFound("column '" + std::string(from) +
+                            "' does not exist in " + name_);
+  }
+  DS_RETURN_IF_ERROR(schema_.RenameColumn(*idx, std::string(to)));
+  Notify(TableChange{TableChange::Kind::kSchema, 0, *idx});
+  return Status::OK();
+}
+
+int Table::AddListener(Listener listener) {
+  int token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void Table::RemoveListener(int token) {
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == token) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void Table::Notify(const TableChange& change) {
+  version_ += 1;
+  for (const auto& [token, fn] : listeners_) {
+    (void)token;
+    fn(*this, change);
+  }
+}
+
+void Table::RebuildPkIndex() {
+  pk_to_rid_.clear();
+  auto pk = schema_.primary_key_index();
+  if (!pk) return;
+  order_.Visit(0, order_.size(), [&](size_t, uint64_t rid) {
+    auto v = storage_->Get(SlotOf(rid), *pk);
+    if (v.ok()) pk_to_rid_[v.value()] = rid;
+  });
+}
+
+}  // namespace dataspread

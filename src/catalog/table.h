@@ -1,0 +1,133 @@
+#ifndef DATASPREAD_CATALOG_TABLE_H_
+#define DATASPREAD_CATALOG_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "index/positional_index.h"
+#include "storage/table_storage.h"
+#include "types/value.h"
+
+namespace dataspread {
+
+/// A change event emitted after every table mutation. The Interface Manager
+/// subscribes to these to keep bound sheet regions in sync (paper §3,
+/// "two-way synchronization").
+struct TableChange {
+  enum class Kind {
+    kInsert,   ///< one row inserted at `position`
+    kDelete,   ///< one row removed from `position`
+    kUpdate,   ///< cell (`position`, `column`) changed
+    kSchema,   ///< columns added/dropped/renamed
+    kBulk,     ///< many rows changed at once (bulk load / SQL DML)
+  };
+  Kind kind;
+  size_t position = 0;
+  size_t column = 0;
+};
+
+/// A relational table that is *interface-aware*: besides schema + storage it
+/// maintains
+///   - a display order over rows through a PositionalIndex (the N-th row of
+///     the table as presented on a sheet is O(log n) away),
+///   - an optional primary-key hash index (the key↔position machinery),
+///   - a monotonically increasing version and change listeners.
+///
+/// Rows are identified internally by stable row ids; the positional index
+/// stores row ids in display order, and an id→slot table absorbs the storage
+/// layer's swap-on-delete renumbering.
+class Table {
+ public:
+  /// Creates an empty table. `model` selects the physical layout; the paper's
+  /// design is StorageModel::kHybrid.
+  static Result<std::unique_ptr<Table>> Create(
+      std::string name, Schema schema,
+      StorageModel model = StorageModel::kHybrid);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return order_.size(); }
+  uint64_t version() const { return version_; }
+  TableStorage& storage() { return *storage_; }
+
+  // ---- Ordered (display-position) access ------------------------------------
+
+  /// Whole tuple at display position `pos`.
+  Result<Row> GetRowAt(size_t pos) const;
+  /// One attribute at display position `pos`.
+  Result<Value> GetAt(size_t pos, size_t col) const;
+  /// Updates one attribute; enforces column type and PK uniqueness.
+  Status UpdateAt(size_t pos, size_t col, Value v);
+  /// Inserts a tuple so it displays at `pos` (0..num_rows()).
+  Status InsertRowAt(size_t pos, Row row);
+  /// Appends a tuple at the end of the display order.
+  Status AppendRow(Row row);
+  /// Deletes the tuple at display position `pos`.
+  Status DeleteRowAt(size_t pos);
+
+  /// The pane read path: tuples at positions [start, start+count) clipped to
+  /// the table size. O(log n + count·cols).
+  std::vector<Row> GetWindow(size_t start, size_t count) const;
+
+  /// Visits all tuples in display order; `fn` returns false to stop early.
+  void Scan(const std::function<bool(size_t pos, const Row&)>& fn) const;
+
+  // ---- Primary key ----------------------------------------------------------
+
+  /// Display position of the row whose PK equals `key`, if the table has a PK.
+  /// O(n): position recovery scans the order index; prefer the key-direct
+  /// accessors below on hot paths.
+  Result<size_t> FindByKey(const Value& key) const;
+
+  /// Whole tuple with PK equal to `key`; O(1) expected (hash index).
+  Result<Row> GetRowByKey(const Value& key) const;
+
+  /// Updates one attribute of the row with PK `key` without resolving its
+  /// display position — the key↔tuple half of the paper's key↔location
+  /// mapping. Emits a kBulk change (the position is not computed).
+  Status UpdateByKey(const Value& key, size_t col, Value v);
+
+  // ---- Schema changes (the paper's "as efficient as tuple updates") ---------
+
+  Status AddColumn(ColumnDef def, const Value& default_value);
+  Status DropColumn(std::string_view column_name);
+  Status RenameColumn(std::string_view from, std::string_view to);
+
+  // ---- Change notification ---------------------------------------------------
+
+  using Listener = std::function<void(const Table&, const TableChange&)>;
+  /// Registers a listener; returns a token for RemoveListener.
+  int AddListener(Listener listener);
+  void RemoveListener(int token);
+
+ private:
+  Table(std::string name, Schema schema, std::unique_ptr<TableStorage> storage);
+
+  Status ValidateRow(const Row& row) const;
+  Result<Value> CoerceForColumn(Value v, size_t col) const;
+  size_t SlotOf(uint64_t rid) const { return rid_to_slot_[rid]; }
+  void Notify(const TableChange& change);
+  /// Rebuilds pk index; used after schema changes that affect the PK column.
+  void RebuildPkIndex();
+
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<TableStorage> storage_;
+  PositionalIndex order_;                 // display position -> row id
+  std::vector<size_t> rid_to_slot_;       // row id -> storage slot
+  std::vector<uint64_t> slot_to_rid_;     // storage slot -> row id
+  std::unordered_map<Value, uint64_t, ValueHash> pk_to_rid_;
+  uint64_t next_rid_ = 0;
+  uint64_t version_ = 0;
+  int next_listener_token_ = 1;
+  std::vector<std::pair<int, Listener>> listeners_;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CATALOG_TABLE_H_

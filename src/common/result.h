@@ -1,0 +1,76 @@
+#ifndef DATASPREAD_COMMON_RESULT_H_
+#define DATASPREAD_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dataspread {
+
+/// Either a value of type T or a non-OK Status explaining why the value could
+/// not be produced. Analogous to arrow::Result / absl::StatusOr.
+///
+/// Typical use:
+/// \code
+///   Result<int> r = ParsePort(text);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;` inside a Result<int> function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // A Result constructed from a Status must carry an error; an OK status
+      // without a value violates the invariant.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value, aborting the process if this Result holds an error.
+  /// Reserved for tests and unrecoverable startup paths.
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_ = Status::OK();
+  std::optional<T> value_;
+};
+
+#define DS_RESULT_CONCAT_INNER_(a, b) a##b
+#define DS_RESULT_CONCAT_(a, b) DS_RESULT_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its Status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define DS_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  auto DS_RESULT_CONCAT_(_ds_result_, __LINE__) = (rexpr);               \
+  if (!DS_RESULT_CONCAT_(_ds_result_, __LINE__).ok())                    \
+    return DS_RESULT_CONCAT_(_ds_result_, __LINE__).status();            \
+  lhs = std::move(DS_RESULT_CONCAT_(_ds_result_, __LINE__)).value()
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_COMMON_RESULT_H_

@@ -1,0 +1,110 @@
+#include "common/str_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dataspread {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view TrimView(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view s) { return std::string(TrimView(s)); }
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view s) {
+  s = TrimView(s);
+  if (s.empty()) return std::nullopt;
+  int64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  // std::from_chars accepts a leading '-' but not '+'; normalize.
+  if (s[0] == '+') ++first;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  s = TrimView(s);
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);  // strtod needs NUL termination.
+  const char* begin = buf.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end != begin + buf.size()) return std::nullopt;
+  if (std::isnan(value)) return std::nullopt;
+  return value;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "Inf" : "-Inf";
+  // Integral values within int64 range display without a fraction.
+  if (v == std::floor(v) && std::fabs(v) < 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // %.17g always round-trips; prefer the shortest of %.15g/%.16g that does.
+  for (int precision : {15, 16, 17}) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = std::strtod(buf, nullptr);
+    if (back == v) return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace dataspread

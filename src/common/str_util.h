@@ -1,0 +1,43 @@
+#ifndef DATASPREAD_COMMON_STR_UTIL_H_
+#define DATASPREAD_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dataspread {
+
+/// ASCII lower-cased copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-cased copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// `s` with leading and trailing ASCII whitespace removed.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strict whole-string integer parse (optional sign, decimal digits only).
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Strict whole-string floating-point parse.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Shortest decimal text that round-trips `v`; integral doubles print without
+/// a trailing ".0" (spreadsheet display convention).
+std::string FormatDouble(double v);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_COMMON_STR_UTIL_H_

@@ -1,0 +1,164 @@
+#ifndef DATASPREAD_CORE_DATASPREAD_H_
+#define DATASPREAD_CORE_DATASPREAD_H_
+
+#include <memory>
+#include <string>
+
+#include "core/interface_manager.h"
+#include "core/scheduler.h"
+#include "core/window_manager.h"
+#include "db/database.h"
+#include "formula/engine.h"
+#include "sheet/workbook.h"
+
+namespace dataspread {
+
+/// Construction-time options for a DataSpread instance.
+struct DataSpreadOptions {
+  /// Run the Compute Engine on a background thread (asynchronous mode). In
+  /// the default synchronous mode, tasks run when Pump() drains the queue.
+  bool background_compute = false;
+  /// Drain the scheduler automatically after every user-level operation
+  /// (ignored in background mode, where the worker drains continuously).
+  bool auto_pump = true;
+  /// Default number of table rows a binding materializes into the sheet.
+  size_t binding_window = 256;
+  /// Pane dimensions used by ScrollTo.
+  int64_t viewport_rows = 50;
+  int64_t viewport_cols = 10;
+  /// Rows fetched beyond the pane on each side when sliding a binding window.
+  int64_t prefetch_margin = 32;
+};
+
+/// The DataSpread system facade: a spreadsheet front-end holistically unified
+/// with an embedded relational back-end (the paper's headline artifact).
+///
+/// \code
+///   DataSpread ds;
+///   Sheet* s = ds.AddSheet("Sheet1").ValueOrDie();
+///   ds.SetCell("Sheet1", "A1", "movieid");
+///   ds.SetCell("Sheet1", "A2", "42");
+///   ds.Sql("CREATE TABLE actors (actorid INT PRIMARY KEY, name TEXT)");
+///   ds.SetCell("Sheet1", "C1",
+///              "=DBSQL(\"SELECT name FROM actors "
+///              "WHERE actorid = RANGEVALUE(A2)\")");
+///   ds.Pump();  // compute engine drains; C1 (and the spill) now hold results
+/// \endcode
+class DataSpread {
+ public:
+  explicit DataSpread(DataSpreadOptions options = {});
+  ~DataSpread();
+
+  DataSpread(const DataSpread&) = delete;
+  DataSpread& operator=(const DataSpread&) = delete;
+
+  // ---- Component access ----
+  Workbook& workbook() { return workbook_; }
+  Database& db() { return db_; }
+  formula::FormulaEngine& engine() { return *engine_; }
+  Scheduler& scheduler() { return scheduler_; }
+  InterfaceManager& interface_manager() { return *interface_manager_; }
+  WindowManager& window_manager() { return *window_manager_; }
+  const DataSpreadOptions& options() const { return options_; }
+
+  // ---- Sheets ----
+  Result<Sheet*> AddSheet(const std::string& name);
+  Result<Sheet*> GetSheet(const std::string& name) const {
+    return workbook_.GetSheet(name);
+  }
+
+  // ---- The unified cell entry point (what typing into a cell does) ----
+
+  /// Sets a cell from raw user input: "=..." is a formula (including the
+  /// DBSQL/DBTABLE hybrid constructs); anything else is dynamically typed.
+  /// Edits inside a bound region are translated into database mutations
+  /// (two-way sync, front-end half).
+  Status SetCell(const std::string& sheet, const std::string& a1,
+                 const std::string& input);
+  Status SetCellAt(Sheet* sheet, int64_t row, int64_t col,
+                   const std::string& input);
+
+  /// Computed/displayed value of a cell.
+  Result<Value> GetValue(const std::string& sheet, const std::string& a1) const;
+  Value GetValueAt(Sheet* sheet, int64_t row, int64_t col) const {
+    return sheet->GetValue(row, col);
+  }
+  /// Display text of a cell ("" for empty).
+  Result<std::string> GetDisplay(const std::string& sheet,
+                                 const std::string& a1) const;
+
+  // ---- Direct back-end access ----
+
+  /// Executes SQL against the embedded database. Sheet references must be
+  /// sheet-qualified (RANGEVALUE(Sheet1!A1)) since there is no anchor cell.
+  Result<ResultSet> Sql(std::string_view sql);
+
+  // ---- Paper features ----
+
+  /// Figure 2b: exports a range as a relational table with inferred schema.
+  Result<Table*> CreateTableFromRange(const std::string& sheet,
+                                      const std::string& range_a1,
+                                      const std::string& table_name,
+                                      const std::string& key_column = "",
+                                      HeaderMode mode = HeaderMode::kAuto);
+
+  /// Figure 2b: imports a table by writing `=DBTABLE("name")` at the anchor.
+  Result<TableBinding*> ImportTable(const std::string& sheet,
+                                    const std::string& anchor_a1,
+                                    const std::string& table_name,
+                                    size_t window = 0);
+
+  // ---- CSV ingestion / export (the intro's "or a CSV file" path) ----
+
+  /// Writes parsed CSV as plain values with (anchor) as the top-left cell.
+  Status ImportCsv(const std::string& sheet, const std::string& anchor_a1,
+                   std::string_view csv_text);
+  /// Creates a relational table directly from CSV text (schema inference as
+  /// in CreateTableFromRange).
+  Result<Table*> ImportCsvAsTable(std::string_view csv_text,
+                                  const std::string& table_name,
+                                  const std::string& key_column = "",
+                                  HeaderMode mode = HeaderMode::kAuto);
+  /// Renders a sheet range as CSV text.
+  Result<std::string> ExportCsv(const std::string& sheet,
+                                const std::string& range_a1) const;
+
+  // ---- Structural sheet operations ----
+  Status InsertRows(const std::string& sheet, int64_t before, int64_t count);
+  Status DeleteRows(const std::string& sheet, int64_t first, int64_t count);
+  Status InsertCols(const std::string& sheet, int64_t before, int64_t count);
+  Status DeleteCols(const std::string& sheet, int64_t first, int64_t count);
+
+  // ---- Pane ----
+
+  /// Moves the visible pane; bindings page in the uncovered rows and visible
+  /// recalculation runs first.
+  Status ScrollTo(const std::string& sheet, int64_t top_row, int64_t left_col);
+
+  // ---- Compute ----
+
+  /// Drains the compute engine (synchronous mode) or waits for it to go idle
+  /// (background mode), iterating until no dirty cells remain.
+  void Pump();
+  /// Immediate, scheduler-bypassing full recalculation.
+  Status RecalcNow();
+
+  /// Renders a rectangular range as tab-separated text (for examples/tests).
+  Result<std::string> Show(const std::string& sheet,
+                           const std::string& range_a1) const;
+
+ private:
+  void ScheduleRecalc();
+
+  DataSpreadOptions options_;
+  Workbook workbook_;
+  Database db_;
+  Scheduler scheduler_;
+  std::unique_ptr<formula::FormulaEngine> engine_;
+  std::unique_ptr<InterfaceManager> interface_manager_;
+  std::unique_ptr<WindowManager> window_manager_;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CORE_DATASPREAD_H_

@@ -1,0 +1,124 @@
+#include "core/schema_infer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+namespace {
+
+/// Sanitizes a header cell into a column name; returns "" when unusable.
+std::string SanitizeName(const Value& v) {
+  if (v.type() != DataType::kText) return "";
+  std::string name = Trim(v.text_value());
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+  }
+  if (name.empty()) return "";
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) name = "c_" + name;
+  return name;
+}
+
+}  // namespace
+
+Result<InferredTable> InferTableFromRows(std::vector<Row> grid,
+                                         HeaderMode mode) {
+  if (grid.empty()) {
+    return Status::InvalidArgument("empty input");
+  }
+  // Right-pad ragged rows (CSV ingestion) to a rectangle.
+  size_t cols = 0;
+  for (const Row& r : grid) cols = std::max(cols, r.size());
+  if (cols == 0) {
+    return Status::InvalidArgument("input has no columns");
+  }
+  for (Row& r : grid) r.resize(cols, Value::Null());
+  for (const Row& r : grid) {
+    for (const Value& v : r) {
+      if (v.is_error()) {
+        return Status::TypeError("error value " + v.error_code() +
+                                 " cannot be exported to a table");
+      }
+    }
+  }
+
+  // Decide the header: every first-row cell must be non-empty text.
+  bool has_header = false;
+  if (mode == HeaderMode::kHeader) {
+    has_header = true;
+  } else if (mode == HeaderMode::kAuto && grid.size() >= 2) {
+    has_header = true;
+    for (const Value& v : grid[0]) {
+      if (v.type() != DataType::kText || Trim(v.text_value()).empty()) {
+        has_header = false;
+        break;
+      }
+    }
+  }
+
+  // Column names (uniquified, lower-case comparison).
+  std::vector<std::string> names;
+  std::unordered_set<std::string> used;
+  for (size_t c = 0; c < cols; ++c) {
+    std::string name;
+    if (has_header) name = SanitizeName(grid[0][c]);
+    if (name.empty()) name = "c" + std::to_string(c + 1);
+    std::string base = name;
+    int suffix = 2;
+    while (!used.insert(ToLower(name)).second) {
+      name = base + "_" + std::to_string(suffix++);
+    }
+    names.push_back(std::move(name));
+  }
+
+  // Infer column types over the data rows.
+  size_t first_data = has_header ? 1 : 0;
+  std::vector<DataType> types(cols, DataType::kNull);
+  for (size_t r = first_data; r < grid.size(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      types[c] = UnifyForInference(types[c], grid[r][c].type());
+    }
+  }
+
+  InferredTable out;
+  out.has_header = has_header;
+  for (size_t c = 0; c < cols; ++c) {
+    DataType t = types[c];
+    if (t == DataType::kNull) t = DataType::kText;  // all-empty column
+    DS_RETURN_IF_ERROR(out.schema.AddColumn(
+        ColumnDef{names[c], t, /*primary_key=*/false}));
+  }
+  out.rows.assign(std::make_move_iterator(grid.begin() +
+                                          static_cast<ptrdiff_t>(first_data)),
+                  std::make_move_iterator(grid.end()));
+  return out;
+}
+
+Result<InferredTable> InferTableFromRange(const Sheet& sheet,
+                                          const RangeRef& range,
+                                          HeaderMode mode) {
+  int64_t rows = range.num_rows();
+  int64_t cols = range.num_cols();
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("empty range");
+  }
+  std::vector<Row> grid(static_cast<size_t>(rows),
+                        Row(static_cast<size_t>(cols), Value::Null()));
+  Status error_cell = Status::OK();
+  sheet.VisitRange(range.start.row, range.start.col, range.end.row,
+                   range.end.col, [&](int64_t r, int64_t c, const Cell& cell) {
+                     if (cell.value.is_error() && error_cell.ok()) {
+                       error_cell = Status::TypeError(
+                           "cell " + FormatCell(r, c) + " holds error value " +
+                           cell.value.error_code());
+                     }
+                     grid[static_cast<size_t>(r - range.start.row)]
+                         [static_cast<size_t>(c - range.start.col)] = cell.value;
+                   });
+  DS_RETURN_IF_ERROR(error_cell);
+  return InferTableFromRows(std::move(grid), mode);
+}
+
+}  // namespace dataspread

@@ -1,0 +1,47 @@
+#ifndef DATASPREAD_CORE_SCHEMA_INFER_H_
+#define DATASPREAD_CORE_SCHEMA_INFER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "sheet/address.h"
+#include "sheet/sheet.h"
+#include "types/value.h"
+
+namespace dataspread {
+
+/// Header-row handling for range→table inference.
+enum class HeaderMode {
+  kAuto,      ///< header iff every first-row cell is non-empty text
+  kHeader,    ///< first row is the header
+  kNoHeader,  ///< all rows are data; columns named c1, c2, ...
+};
+
+/// Result of inferring a relation from a sheet range (paper Figure 2b: "The
+/// schema of this table is automatically inferred using the column heading
+/// and the data").
+struct InferredTable {
+  bool has_header = false;
+  Schema schema;
+  std::vector<Row> rows;  ///< data tuples (header excluded)
+};
+
+/// Infers attribute names and types from the cells of `range`.
+///
+/// Types generalize across rows per column (INT ∪ REAL → REAL, any mixture
+/// with TEXT → TEXT, all-NULL → TEXT); duplicate/empty header names are
+/// uniquified. Error values (#DIV/0! etc.) in the range abort the export.
+Result<InferredTable> InferTableFromRange(const Sheet& sheet,
+                                          const RangeRef& range,
+                                          HeaderMode mode = HeaderMode::kAuto);
+
+/// Same inference over an already-materialized grid (rows must be rectangular
+/// after right-padding with NULLs). Used by the CSV ingestion path.
+Result<InferredTable> InferTableFromRows(std::vector<Row> grid,
+                                         HeaderMode mode = HeaderMode::kAuto);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CORE_SCHEMA_INFER_H_

@@ -1,0 +1,65 @@
+#ifndef DATASPREAD_CORE_WINDOW_MANAGER_H_
+#define DATASPREAD_CORE_WINDOW_MANAGER_H_
+
+#include <cstdint>
+
+#include "core/interface_manager.h"
+#include "core/scheduler.h"
+#include "formula/engine.h"
+
+namespace dataspread {
+
+/// The user's current pane (paper §1: "the portion of the spreadsheet that
+/// the user is currently looking at; there is no such notion in databases").
+struct Viewport {
+  Sheet* sheet = nullptr;
+  int64_t top = 0;
+  int64_t left = 0;
+  int64_t rows = 50;
+  int64_t cols = 10;
+
+  bool Intersects(const Sheet* s, int64_t r0, int64_t c0, int64_t r1,
+                  int64_t c1) const {
+    if (s != sheet) return false;
+    return r1 >= top && r0 < top + rows && c1 >= left && c0 < left + cols;
+  }
+};
+
+/// Keeps the current window "up-to-date and in-sync with the underlying
+/// relational database" (paper §1): as the user pans,
+///  - bindings intersecting the pane slide their materialized window (with a
+///    prefetch margin) by fetching rows from the database through the
+///    positional index,
+///  - recalculation of visible cells is scheduled ahead of background work.
+class WindowManager {
+ public:
+  WindowManager(InterfaceManager* interface_manager,
+                formula::FormulaEngine* engine, Scheduler* scheduler,
+                int64_t prefetch_margin = 32);
+
+  /// Moves the pane; schedules binding window slides and a visible-first
+  /// recalculation.
+  void SetViewport(const Viewport& viewport);
+
+  const Viewport& viewport() const { return viewport_; }
+
+  bool IsVisible(const Sheet* sheet, int64_t r0, int64_t c0, int64_t r1,
+                 int64_t c1) const {
+    return viewport_.sheet == nullptr ||
+           viewport_.Intersects(sheet, r0, c0, r1, c1);
+  }
+
+  uint64_t window_moves() const { return window_moves_; }
+
+ private:
+  InterfaceManager* interface_manager_;
+  formula::FormulaEngine* engine_;
+  Scheduler* scheduler_;
+  int64_t prefetch_margin_;
+  Viewport viewport_;
+  uint64_t window_moves_ = 0;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CORE_WINDOW_MANAGER_H_

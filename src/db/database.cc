@@ -1,0 +1,391 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+#include "exec/binder.h"
+#include "exec/expr_eval.h"
+#include "exec/planner.h"
+#include "sql/parser.h"
+
+namespace dataspread {
+
+namespace {
+
+/// Name-resolution scope over a single table (for DML binding).
+Scope TableScope(const Table& table) {
+  Scope scope;
+  for (const ColumnDef& c : table.schema().columns()) {
+    scope.columns.push_back(Scope::Column{table.name(), c.name, true});
+  }
+  return scope;
+}
+
+/// Evaluates a bound expression with no input row (literals, RANGEVALUE
+/// snapshots, scalar functions thereof).
+Result<Value> EvalConstant(const sql::Expr& e) { return EvalScalar(e, nullptr); }
+
+}  // namespace
+
+Result<ResultSet> Database::Execute(std::string_view sql,
+                                    ExternalResolver* resolver) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  DS_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  statements_executed_ += 1;
+  return Dispatch(stmt, resolver);
+}
+
+Result<ResultSet> Database::Dispatch(sql::Statement& stmt,
+                                     ExternalResolver* resolver) {
+  if (auto* s = std::get_if<sql::SelectStmt>(&stmt)) {
+    return RunSelect(s, catalog_, resolver);
+  }
+  if (auto* s = std::get_if<sql::InsertStmt>(&stmt)) {
+    return ExecuteInsert(*s, resolver);
+  }
+  if (auto* s = std::get_if<sql::UpdateStmt>(&stmt)) {
+    return ExecuteUpdate(*s, resolver);
+  }
+  if (auto* s = std::get_if<sql::DeleteStmt>(&stmt)) {
+    return ExecuteDelete(*s, resolver);
+  }
+  if (auto* s = std::get_if<sql::CreateTableStmt>(&stmt)) {
+    return ExecuteCreate(*s);
+  }
+  if (auto* s = std::get_if<sql::DropTableStmt>(&stmt)) {
+    return ExecuteDrop(*s);
+  }
+  if (auto* s = std::get_if<sql::AlterTableStmt>(&stmt)) {
+    return ExecuteAlter(*s, resolver);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<ResultSet> Database::ExecuteInsert(sql::InsertStmt& stmt,
+                                          ExternalResolver* resolver) {
+  DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  // Column mapping: named list or full schema order.
+  std::vector<size_t> target_cols;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) target_cols.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      auto idx = schema.FindColumn(name);
+      if (!idx) {
+        return Status::NotFound("column '" + name + "' does not exist in " +
+                                stmt.table);
+      }
+      target_cols.push_back(*idx);
+    }
+  }
+
+  // Phase 1: evaluate every incoming tuple before mutating anything.
+  std::vector<Row> incoming;
+  if (stmt.select != nullptr) {
+    DS_ASSIGN_OR_RETURN(ResultSet sub,
+                        RunSelect(stmt.select.get(), catalog_, resolver));
+    incoming = std::move(sub.rows);
+  } else {
+    Scope empty;
+    for (std::vector<sql::ExprPtr>& value_row : stmt.values) {
+      Row row;
+      row.reserve(value_row.size());
+      for (sql::ExprPtr& e : value_row) {
+        DS_RETURN_IF_ERROR(BindExpr(e.get(), empty, resolver,
+                                    /*allow_aggregates=*/false));
+        DS_ASSIGN_OR_RETURN(Value v, EvalConstant(*e));
+        row.push_back(std::move(v));
+      }
+      incoming.push_back(std::move(row));
+    }
+  }
+  for (const Row& row : incoming) {
+    if (row.size() != target_cols.size()) {
+      return Status::InvalidArgument(
+          "INSERT supplies " + std::to_string(row.size()) + " values for " +
+          std::to_string(target_cols.size()) + " columns");
+    }
+  }
+
+  // Phase 2: append; on a constraint violation roll back the prefix so the
+  // statement is atomic.
+  size_t applied = 0;
+  Status failure = Status::OK();
+  for (const Row& row : incoming) {
+    Row full(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < target_cols.size(); ++i) full[target_cols[i]] = row[i];
+    Status s = table->AppendRow(std::move(full));
+    if (!s.ok()) {
+      failure = s;
+      break;
+    }
+    ++applied;
+  }
+  if (!failure.ok()) {
+    for (size_t i = 0; i < applied; ++i) {
+      (void)table->DeleteRowAt(table->num_rows() - 1);
+    }
+    return failure;
+  }
+  ResultSet rs;
+  rs.affected_rows = applied;
+  return rs;
+}
+
+Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
+                                          ExternalResolver* resolver) {
+  DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  Scope scope = TableScope(*table);
+  std::vector<size_t> target_cols;
+  for (auto& [name, expr] : stmt.assignments) {
+    auto idx = table->schema().FindColumn(name);
+    if (!idx) {
+      return Status::NotFound("column '" + name + "' does not exist in " +
+                              stmt.table);
+    }
+    target_cols.push_back(*idx);
+    DS_RETURN_IF_ERROR(BindExpr(expr.get(), scope, resolver,
+                                /*allow_aggregates=*/false));
+  }
+  if (stmt.where != nullptr) {
+    DS_RETURN_IF_ERROR(BindExpr(stmt.where.get(), scope, resolver,
+                                /*allow_aggregates=*/false));
+  }
+
+  // Key-direct fast path: `WHERE <pk> = <literal>` skips the table scan —
+  // the interface-aware point update driving Figure 2c edits.
+  auto pk = table->schema().primary_key_index();
+  if (pk && stmt.where != nullptr &&
+      stmt.where->kind == sql::ExprKind::kBinary && stmt.where->op == "=") {
+    const sql::Expr* lhs = stmt.where->args[0].get();
+    const sql::Expr* rhs = stmt.where->args[1].get();
+    if (rhs->kind == sql::ExprKind::kColumnRef) std::swap(lhs, rhs);
+    if (lhs->kind == sql::ExprKind::kColumnRef &&
+        lhs->bound_column == static_cast<int>(*pk) &&
+        rhs->kind == sql::ExprKind::kLiteral) {
+      auto row = table->GetRowByKey(rhs->literal);
+      ResultSet rs;
+      if (!row.ok()) {
+        if (row.status().code() == StatusCode::kNotFound) {
+          rs.affected_rows = 0;
+          return rs;
+        }
+        return row.status();
+      }
+      // Evaluate all assignments against the fetched row, then apply with
+      // rollback on a mid-statement failure.
+      std::vector<Value> new_values, old_values;
+      Value key = rhs->literal;
+      for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+        DS_ASSIGN_OR_RETURN(Value v,
+                            EvalScalar(*stmt.assignments[i].second,
+                                       &row.value()));
+        new_values.push_back(std::move(v));
+        old_values.push_back(row.value()[target_cols[i]]);
+      }
+      for (size_t i = 0; i < new_values.size(); ++i) {
+        Status s = table->UpdateByKey(key, target_cols[i], new_values[i]);
+        if (target_cols[i] == *pk && s.ok()) key = new_values[i];
+        if (!s.ok()) {
+          for (size_t j = i; j-- > 0;) {
+            (void)table->UpdateByKey(key, target_cols[j], old_values[j]);
+            if (target_cols[j] == *pk) key = old_values[j];
+          }
+          return s;
+        }
+      }
+      rs.affected_rows = 1;
+      return rs;
+    }
+  }
+
+  // Phase 1: evaluate all updates against the pre-statement state.
+  struct PendingUpdate {
+    size_t pos;
+    size_t col;
+    Value value;
+    Value old_value;
+  };
+  std::vector<PendingUpdate> pending;
+  Status scan_status = Status::OK();
+  table->Scan([&](size_t pos, const Row& row) {
+    if (stmt.where != nullptr) {
+      auto pass = EvalPredicate(*stmt.where, &row);
+      if (!pass.ok()) {
+        scan_status = pass.status();
+        return false;
+      }
+      if (!pass.value()) return true;
+    }
+    for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+      auto v = EvalScalar(*stmt.assignments[i].second, &row);
+      if (!v.ok()) {
+        scan_status = v.status();
+        return false;
+      }
+      pending.push_back(PendingUpdate{pos, target_cols[i],
+                                      std::move(v).value(),
+                                      row[target_cols[i]]});
+    }
+    return true;
+  });
+  DS_RETURN_IF_ERROR(scan_status);
+
+  // Phase 2: apply with rollback on failure.
+  size_t applied = 0;
+  Status failure = Status::OK();
+  for (const PendingUpdate& u : pending) {
+    Status s = table->UpdateAt(u.pos, u.col, u.value);
+    if (!s.ok()) {
+      failure = s;
+      break;
+    }
+    ++applied;
+  }
+  if (!failure.ok()) {
+    for (size_t i = applied; i-- > 0;) {
+      (void)table->UpdateAt(pending[i].pos, pending[i].col, pending[i].old_value);
+    }
+    return failure;
+  }
+  ResultSet rs;
+  size_t assignments = stmt.assignments.empty() ? 1 : stmt.assignments.size();
+  rs.affected_rows = pending.size() / assignments;
+  return rs;
+}
+
+Result<ResultSet> Database::ExecuteDelete(sql::DeleteStmt& stmt,
+                                          ExternalResolver* resolver) {
+  DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  Scope scope = TableScope(*table);
+  if (stmt.where != nullptr) {
+    DS_RETURN_IF_ERROR(BindExpr(stmt.where.get(), scope, resolver,
+                                /*allow_aggregates=*/false));
+  }
+  std::vector<size_t> positions;
+  Status scan_status = Status::OK();
+  table->Scan([&](size_t pos, const Row& row) {
+    if (stmt.where != nullptr) {
+      auto pass = EvalPredicate(*stmt.where, &row);
+      if (!pass.ok()) {
+        scan_status = pass.status();
+        return false;
+      }
+      if (!pass.value()) return true;
+    }
+    positions.push_back(pos);
+    return true;
+  });
+  DS_RETURN_IF_ERROR(scan_status);
+  // Delete from the highest position down so earlier positions stay valid.
+  for (size_t i = positions.size(); i-- > 0;) {
+    DS_RETURN_IF_ERROR(table->DeleteRowAt(positions[i]));
+  }
+  ResultSet rs;
+  rs.affected_rows = positions.size();
+  return rs;
+}
+
+Result<ResultSet> Database::ExecuteCreate(sql::CreateTableStmt& stmt) {
+  if (stmt.if_not_exists && catalog_.HasTable(stmt.table)) {
+    ResultSet rs;
+    rs.message = "table " + stmt.table + " already exists";
+    return rs;
+  }
+  Schema schema;
+  for (const sql::ColumnSpec& spec : stmt.columns) {
+    DS_RETURN_IF_ERROR(
+        schema.AddColumn(ColumnDef{spec.name, spec.type, spec.primary_key}));
+  }
+  DS_ASSIGN_OR_RETURN(Table * table,
+                      catalog_.CreateTable(stmt.table, std::move(schema)));
+  AttachForwarding(table);
+  ResultSet rs;
+  rs.message = "created table " + table->name();
+  return rs;
+}
+
+Result<ResultSet> Database::ExecuteDrop(sql::DropTableStmt& stmt) {
+  if (stmt.if_exists && !catalog_.HasTable(stmt.table)) {
+    ResultSet rs;
+    rs.message = "table " + stmt.table + " does not exist";
+    return rs;
+  }
+  DS_RETURN_IF_ERROR(catalog_.DropTable(stmt.table));
+  ResultSet rs;
+  rs.message = "dropped table " + stmt.table;
+  return rs;
+}
+
+Result<ResultSet> Database::ExecuteAlter(sql::AlterTableStmt& stmt,
+                                         ExternalResolver* resolver) {
+  DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  ResultSet rs;
+  switch (stmt.action) {
+    case sql::AlterTableStmt::Action::kAddColumn: {
+      Value default_value = Value::Null();
+      if (stmt.default_value != nullptr) {
+        Scope empty;
+        DS_RETURN_IF_ERROR(BindExpr(stmt.default_value.get(), empty, resolver,
+                                    /*allow_aggregates=*/false));
+        DS_ASSIGN_OR_RETURN(default_value, EvalConstant(*stmt.default_value));
+      }
+      DS_RETURN_IF_ERROR(table->AddColumn(
+          ColumnDef{stmt.new_column.name, stmt.new_column.type,
+                    stmt.new_column.primary_key},
+          default_value));
+      rs.message = "added column " + stmt.new_column.name;
+      return rs;
+    }
+    case sql::AlterTableStmt::Action::kDropColumn:
+      DS_RETURN_IF_ERROR(table->DropColumn(stmt.column_name));
+      rs.message = "dropped column " + stmt.column_name;
+      return rs;
+    case sql::AlterTableStmt::Action::kRenameColumn:
+      DS_RETURN_IF_ERROR(table->RenameColumn(stmt.column_name, stmt.new_name));
+      rs.message = "renamed column " + stmt.column_name + " to " + stmt.new_name;
+      return rs;
+  }
+  return Status::Internal("unhandled ALTER action");
+}
+
+int Database::AddChangeListener(ChangeListener listener) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  int token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void Database::RemoveChangeListener(int token) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == token) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+Result<Table*> Database::CreateTable(std::string name, Schema schema,
+                                     StorageModel model) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  DS_ASSIGN_OR_RETURN(Table * table, catalog_.CreateTable(std::move(name),
+                                                          std::move(schema),
+                                                          model));
+  AttachForwarding(table);
+  return table;
+}
+
+void Database::AttachForwarding(Table* table) {
+  table->AddListener([this](const Table& t, const TableChange& change) {
+    // Listener vector may be mutated by callbacks; iterate over a copy.
+    auto snapshot = listeners_;
+    for (const auto& [token, fn] : snapshot) {
+      (void)token;
+      fn(t.name(), change);
+    }
+  });
+}
+
+}  // namespace dataspread

@@ -1,0 +1,75 @@
+#ifndef DATASPREAD_DB_DATABASE_H_
+#define DATASPREAD_DB_DATABASE_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/resolver.h"
+#include "exec/result_set.h"
+#include "sql/ast.h"
+
+namespace dataspread {
+
+/// The embedded relational engine standing in for the paper's PostgreSQL
+/// back-end (see DESIGN.md §2). One statement at a time; statement-level
+/// atomicity for constraint violations (the transaction manager is future
+/// work, exactly as in the paper §3).
+///
+/// Thread-compatibility: Execute() is serialized by an internal recursive
+/// mutex so the compute engine's background worker can run queries while the
+/// interactive thread issues DML.
+class Database {
+ public:
+  Database() = default;
+
+  Catalog& catalog() { return catalog_; }
+
+  /// Parses and executes one SQL statement. `resolver` supplies the
+  /// spreadsheet context for RANGEVALUE/RANGETABLE (null = plain SQL only).
+  Result<ResultSet> Execute(std::string_view sql,
+                            ExternalResolver* resolver = nullptr);
+
+  /// Registered callbacks fire after every mutation of any table
+  /// (the back-end half of the paper's two-way sync).
+  using ChangeListener =
+      std::function<void(const std::string& table_name, const TableChange&)>;
+  int AddChangeListener(ChangeListener listener);
+  void RemoveChangeListener(int token);
+
+  /// Creates a table directly (bypassing SQL); used by import paths.
+  Result<Table*> CreateTable(std::string name, Schema schema,
+                             StorageModel model = StorageModel::kHybrid);
+
+  uint64_t statements_executed() const { return statements_executed_; }
+
+ private:
+  Result<ResultSet> Dispatch(sql::Statement& stmt, ExternalResolver* resolver);
+  Result<ResultSet> ExecuteInsert(sql::InsertStmt& stmt,
+                                  ExternalResolver* resolver);
+  Result<ResultSet> ExecuteUpdate(sql::UpdateStmt& stmt,
+                                  ExternalResolver* resolver);
+  Result<ResultSet> ExecuteDelete(sql::DeleteStmt& stmt,
+                                  ExternalResolver* resolver);
+  Result<ResultSet> ExecuteCreate(sql::CreateTableStmt& stmt);
+  Result<ResultSet> ExecuteDrop(sql::DropTableStmt& stmt);
+  Result<ResultSet> ExecuteAlter(sql::AlterTableStmt& stmt,
+                                 ExternalResolver* resolver);
+
+  /// Wires a table's change events to the database-level listeners.
+  void AttachForwarding(Table* table);
+
+  Catalog catalog_;
+  std::recursive_mutex mutex_;
+  int next_listener_token_ = 1;
+  std::vector<std::pair<int, ChangeListener>> listeners_;
+  uint64_t statements_executed_ = 0;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_DB_DATABASE_H_

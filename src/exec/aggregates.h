@@ -1,0 +1,42 @@
+#ifndef DATASPREAD_EXEC_AGGREGATES_H_
+#define DATASPREAD_EXEC_AGGREGATES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace dataspread {
+
+/// Finds every aggregate call site in `e` (depth-first), assigns each a dense
+/// `aggregate_index`, and appends the node pointers to `calls`. Call sites
+/// that already carry an index (shared subtrees) keep it.
+void CollectAggregates(sql::Expr* e, std::vector<sql::Expr*>* calls);
+
+/// Running state of one aggregate call over one group.
+class AggState {
+ public:
+  /// `call` must outlive the state (it lives in the statement AST).
+  explicit AggState(const sql::Expr* call) : call_(call) {}
+
+  /// Folds one input row into the state.
+  Status Update(const Row& input);
+
+  /// Final value: COUNT → INT; SUM → INT/REAL (NULL on empty); AVG → REAL
+  /// (NULL on empty); MIN/MAX → input type (NULL on empty).
+  Value Finalize() const;
+
+ private:
+  const sql::Expr* call_;
+  int64_t count_ = 0;        // non-null inputs (or all rows for COUNT(*))
+  bool is_real_ = false;
+  int64_t sum_int_ = 0;
+  double sum_real_ = 0.0;
+  bool has_extreme_ = false;
+  Value extreme_;            // running MIN or MAX
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_EXEC_AGGREGATES_H_

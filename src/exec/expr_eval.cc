@@ -1,0 +1,317 @@
+#include "exec/expr_eval.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+
+/// Numeric addition/subtraction/multiplication preserving INT when both sides
+/// are INT (with wrap-around like typical engines), REAL otherwise.
+Result<Value> Arith(const std::string& op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (op == "||") {
+    // String concatenation coerces displayable operands.
+    return Value::Text(a.ToDisplayString() + b.ToDisplayString());
+  }
+  if (a.type() == DataType::kInt && b.type() == DataType::kInt) {
+    int64_t x = a.int_value();
+    int64_t y = b.int_value();
+    if (op == "+") return Value::Int(x + y);
+    if (op == "-") return Value::Int(x - y);
+    if (op == "*") return Value::Int(x * y);
+    if (op == "%") {
+      if (y == 0) return Status::InvalidArgument("division by zero");
+      return Value::Int(x % y);
+    }
+    if (op == "/") {
+      if (y == 0) return Status::InvalidArgument("division by zero");
+      if (x % y == 0) return Value::Int(x / y);
+      return Value::Real(static_cast<double>(x) / static_cast<double>(y));
+    }
+  }
+  DS_ASSIGN_OR_RETURN(double x, a.AsReal());
+  DS_ASSIGN_OR_RETURN(double y, b.AsReal());
+  if (op == "+") return Value::Real(x + y);
+  if (op == "-") return Value::Real(x - y);
+  if (op == "*") return Value::Real(x * y);
+  if (op == "/") {
+    if (y == 0.0) return Status::InvalidArgument("division by zero");
+    return Value::Real(x / y);
+  }
+  if (op == "%") {
+    if (y == 0.0) return Status::InvalidArgument("division by zero");
+    return Value::Real(std::fmod(x, y));
+  }
+  return Status::Internal("unknown arithmetic operator " + op);
+}
+
+Result<Value> Compare(const std::string& op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  // Numeric-vs-text comparisons are type errors rather than silent falsity.
+  bool numeric_mix = (a.is_numeric() && b.type() == DataType::kText) ||
+                     (b.is_numeric() && a.type() == DataType::kText);
+  if (numeric_mix) {
+    return Status::TypeError("cannot compare " +
+                             std::string(DataTypeName(a.type())) + " with " +
+                             DataTypeName(b.type()));
+  }
+  int c = Value::Compare(a, b);
+  if (op == "=") return Value::Bool(c == 0);
+  if (op == "<>") return Value::Bool(c != 0);
+  if (op == "<") return Value::Bool(c < 0);
+  if (op == "<=") return Value::Bool(c <= 0);
+  if (op == ">") return Value::Bool(c > 0);
+  if (op == ">=") return Value::Bool(c >= 0);
+  return Status::Internal("unknown comparison operator " + op);
+}
+
+Result<Value> EvalFunction(const Expr& e, const Row* input,
+                           const std::vector<Value>* agg_values);
+
+}  // namespace
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> EvalScalar(const sql::Expr& e, const Row* input,
+                         const std::vector<Value>* agg_values) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef: {
+      if (input == nullptr || e.bound_column < 0 ||
+          static_cast<size_t>(e.bound_column) >= input->size()) {
+        return Status::Internal("unbound column reference " + e.ToString());
+      }
+      return (*input)[static_cast<size_t>(e.bound_column)];
+    }
+    case ExprKind::kRangeValue:
+      return Status::Internal("RANGEVALUE survived binding: " + e.ToString());
+    case ExprKind::kUnary: {
+      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
+      if (e.op == "NOT") {
+        if (a.is_null()) return Value::Null();
+        DS_ASSIGN_OR_RETURN(bool b, a.AsBool());
+        return Value::Bool(!b);
+      }
+      if (e.op == "-") {
+        if (a.is_null()) return Value::Null();
+        if (a.type() == DataType::kInt) return Value::Int(-a.int_value());
+        DS_ASSIGN_OR_RETURN(double d, a.AsReal());
+        return Value::Real(-d);
+      }
+      return Status::Internal("unknown unary operator " + e.op);
+    }
+    case ExprKind::kBinary: {
+      // Three-valued AND/OR must not evaluate eagerly into errors when the
+      // other side decides the result, so handle them with short-circuiting.
+      if (e.op == "AND" || e.op == "OR") {
+        DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
+        bool is_and = e.op == "AND";
+        if (!a.is_null()) {
+          DS_ASSIGN_OR_RETURN(bool av, a.AsBool());
+          if (is_and && !av) return Value::Bool(false);
+          if (!is_and && av) return Value::Bool(true);
+        }
+        DS_ASSIGN_OR_RETURN(Value b, EvalScalar(*e.args[1], input, agg_values));
+        if (!b.is_null()) {
+          DS_ASSIGN_OR_RETURN(bool bv, b.AsBool());
+          if (is_and && !bv) return Value::Bool(false);
+          if (!is_and && bv) return Value::Bool(true);
+        }
+        if (a.is_null() || b.is_null()) return Value::Null();
+        return Value::Bool(is_and);
+      }
+      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
+      DS_ASSIGN_OR_RETURN(Value b, EvalScalar(*e.args[1], input, agg_values));
+      if (e.op == "+" || e.op == "-" || e.op == "*" || e.op == "/" ||
+          e.op == "%" || e.op == "||") {
+        return Arith(e.op, a, b);
+      }
+      if (e.op == "LIKE") {
+        if (a.is_null() || b.is_null()) return Value::Null();
+        if (a.type() != DataType::kText || b.type() != DataType::kText) {
+          return Status::TypeError("LIKE expects TEXT operands");
+        }
+        return Value::Bool(LikeMatch(a.text_value(), b.text_value()));
+      }
+      return Compare(e.op, a, b);
+    }
+    case ExprKind::kIsNull: {
+      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
+      return Value::Bool(e.negated ? !a.is_null() : a.is_null());
+    }
+    case ExprKind::kInList: {
+      DS_ASSIGN_OR_RETURN(Value needle, EvalScalar(*e.args[0], input, agg_values));
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        DS_ASSIGN_OR_RETURN(Value item, EvalScalar(*e.args[i], input, agg_values));
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (item == needle) return Value::Bool(!e.negated);
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(e.negated);
+    }
+    case ExprKind::kCase: {
+      size_t i = 0;
+      for (; i + 1 < e.args.size(); i += 2) {
+        DS_ASSIGN_OR_RETURN(Value cond, EvalScalar(*e.args[i], input, agg_values));
+        if (!cond.is_null()) {
+          DS_ASSIGN_OR_RETURN(bool b, cond.AsBool());
+          if (b) return EvalScalar(*e.args[i + 1], input, agg_values);
+        }
+      }
+      if (i < e.args.size()) return EvalScalar(*e.args[i], input, agg_values);
+      return Value::Null();
+    }
+    case ExprKind::kFunction: {
+      if (sql::IsAggregateFunction(e.op)) {
+        if (agg_values == nullptr || e.aggregate_index < 0 ||
+            static_cast<size_t>(e.aggregate_index) >= agg_values->size()) {
+          return Status::Internal("aggregate " + e.op +
+                                  " evaluated outside GROUP BY context");
+        }
+        return (*agg_values)[static_cast<size_t>(e.aggregate_index)];
+      }
+      return EvalFunction(e, input, agg_values);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+namespace {
+
+Result<Value> EvalFunction(const Expr& e, const Row* input,
+                           const std::vector<Value>* agg_values) {
+  std::vector<Value> args;
+  args.reserve(e.args.size());
+  for (const sql::ExprPtr& a : e.args) {
+    DS_ASSIGN_OR_RETURN(Value v, EvalScalar(*a, input, agg_values));
+    args.push_back(std::move(v));
+  }
+  auto arity = [&](size_t lo, size_t hi) -> Status {
+    if (args.size() < lo || args.size() > hi) {
+      return Status::InvalidArgument(e.op + " expects " + std::to_string(lo) +
+                                     (hi > lo ? ".." + std::to_string(hi) : "") +
+                                     " arguments");
+    }
+    return Status::OK();
+  };
+  if (e.op == "ABS") {
+    DS_RETURN_IF_ERROR(arity(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    if (args[0].type() == DataType::kInt) {
+      int64_t v = args[0].int_value();
+      return Value::Int(v < 0 ? -v : v);
+    }
+    DS_ASSIGN_OR_RETURN(double d, args[0].AsReal());
+    return Value::Real(std::fabs(d));
+  }
+  if (e.op == "ROUND") {
+    DS_RETURN_IF_ERROR(arity(1, 2));
+    if (args[0].is_null()) return Value::Null();
+    DS_ASSIGN_OR_RETURN(double d, args[0].AsReal());
+    int64_t digits = 0;
+    if (args.size() == 2 && !args[1].is_null()) {
+      DS_ASSIGN_OR_RETURN(digits, args[1].AsInt());
+    }
+    double scale = std::pow(10.0, static_cast<double>(digits));
+    return Value::Real(std::round(d * scale) / scale);
+  }
+  if (e.op == "FLOOR" || e.op == "CEIL") {
+    DS_RETURN_IF_ERROR(arity(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    DS_ASSIGN_OR_RETURN(double d, args[0].AsReal());
+    double r = e.op == "FLOOR" ? std::floor(d) : std::ceil(d);
+    return Value::Int(static_cast<int64_t>(r));
+  }
+  if (e.op == "LOWER" || e.op == "UPPER") {
+    DS_RETURN_IF_ERROR(arity(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    std::string s = args[0].ToDisplayString();
+    return Value::Text(e.op == "LOWER" ? ToLower(s) : ToUpper(s));
+  }
+  if (e.op == "LENGTH") {
+    DS_RETURN_IF_ERROR(arity(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::Int(static_cast<int64_t>(args[0].ToDisplayString().size()));
+  }
+  if (e.op == "SUBSTR") {
+    DS_RETURN_IF_ERROR(arity(2, 3));
+    if (args[0].is_null()) return Value::Null();
+    std::string s = args[0].ToDisplayString();
+    DS_ASSIGN_OR_RETURN(int64_t start, args[1].AsInt());  // 1-based
+    int64_t len = static_cast<int64_t>(s.size());
+    if (args.size() == 3 && !args[2].is_null()) {
+      DS_ASSIGN_OR_RETURN(len, args[2].AsInt());
+    }
+    if (start < 1) start = 1;
+    if (static_cast<size_t>(start) > s.size() || len <= 0) return Value::Text("");
+    return Value::Text(s.substr(static_cast<size_t>(start - 1),
+                                static_cast<size_t>(len)));
+  }
+  if (e.op == "TRIM") {
+    DS_RETURN_IF_ERROR(arity(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::Text(Trim(args[0].ToDisplayString()));
+  }
+  if (e.op == "COALESCE") {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (e.op == "NULLIF") {
+    DS_RETURN_IF_ERROR(arity(2, 2));
+    if (!args[0].is_null() && !args[1].is_null() && args[0] == args[1]) {
+      return Value::Null();
+    }
+    return args[0];
+  }
+  if (e.op == "CONCAT") {
+    std::string out;
+    for (const Value& v : args) out += v.ToDisplayString();
+    return Value::Text(std::move(out));
+  }
+  return Status::NotFound("unknown function " + e.op);
+}
+
+}  // namespace
+
+Result<bool> EvalPredicate(const sql::Expr& e, const Row* input,
+                           const std::vector<Value>* agg_values) {
+  DS_ASSIGN_OR_RETURN(Value v, EvalScalar(e, input, agg_values));
+  if (v.is_null()) return false;
+  return v.AsBool();
+}
+
+}  // namespace dataspread

@@ -1,0 +1,33 @@
+#ifndef DATASPREAD_EXEC_EXPR_EVAL_H_
+#define DATASPREAD_EXEC_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace dataspread {
+
+/// Evaluates a *bound* expression over one input row.
+///
+/// `agg_values`, when non-null, supplies the finalized value for each
+/// aggregate call site (indexed by Expr::aggregate_index); this is how
+/// post-aggregation expressions like `AVG(g) + 1` are computed.
+///
+/// SQL NULL semantics: arithmetic and comparisons propagate NULL; AND/OR use
+/// three-valued logic (represented by a NULL Value).
+Result<Value> EvalScalar(const sql::Expr& e, const Row* input,
+                         const std::vector<Value>* agg_values = nullptr);
+
+/// WHERE/HAVING acceptance: true iff the expression evaluates to TRUE
+/// (NULL and FALSE both reject).
+Result<bool> EvalPredicate(const sql::Expr& e, const Row* input,
+                           const std::vector<Value>* agg_values = nullptr);
+
+/// SQL LIKE with `%` (any run) and `_` (any single character).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_EXEC_EXPR_EVAL_H_

@@ -1,0 +1,386 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "exec/expr_eval.h"
+
+namespace dataspread {
+
+// ---------------------------------------------------------------------------
+// TableScanOp
+// ---------------------------------------------------------------------------
+
+TableScanOp::TableScanOp(const Table* table, size_t start, size_t count)
+    : table_(table), start_(start), remaining_(count) {}
+
+Status TableScanOp::Open() {
+  next_pos_ = start_;
+  batch_.clear();
+  batch_index_ = 0;
+  return Status::OK();
+}
+
+Result<bool> TableScanOp::Next(Row* out) {
+  if (batch_index_ >= batch_.size()) {
+    if (remaining_ == 0 || next_pos_ >= table_->num_rows()) return false;
+    size_t want = std::min(kBatch, remaining_);
+    batch_ = table_->GetWindow(next_pos_, want);
+    if (batch_.empty()) return false;
+    next_pos_ += batch_.size();
+    remaining_ -= batch_.size();
+    batch_index_ = 0;
+  }
+  *out = std::move(batch_[batch_index_++]);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FilterOp / ProjectOp
+// ---------------------------------------------------------------------------
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    DS_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    DS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, out));
+    if (pass) return true;
+  }
+}
+
+Result<bool> ProjectOp::Next(Row* out) {
+  Row input;
+  DS_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
+  if (!more) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const sql::Expr* e : exprs_) {
+    DS_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, &input));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// NestedLoopJoinOp
+// ---------------------------------------------------------------------------
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   const sql::Expr* on, bool left_outer,
+                                   size_t right_width)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      on_(on),
+      left_outer_(left_outer),
+      right_width_(right_width) {}
+
+Status NestedLoopJoinOp::Open() {
+  DS_RETURN_IF_ERROR(left_->Open());
+  DS_RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  Row r;
+  while (true) {
+    auto more = right_->Next(&r);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    right_rows_.push_back(r);
+  }
+  have_left_ = false;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOp::Next(Row* out) {
+  while (true) {
+    if (!have_left_) {
+      DS_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+      if (!more) return false;
+      have_left_ = true;
+      left_matched_ = false;
+      right_index_ = 0;
+    }
+    while (right_index_ < right_rows_.size()) {
+      const Row& r = right_rows_[right_index_++];
+      Row combined = left_row_;
+      combined.insert(combined.end(), r.begin(), r.end());
+      if (on_ != nullptr) {
+        DS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*on_, &combined));
+        if (!pass) continue;
+      }
+      left_matched_ = true;
+      *out = std::move(combined);
+      return true;
+    }
+    // Right side exhausted for this left row.
+    have_left_ = false;
+    if (left_outer_ && !left_matched_) {
+      *out = left_row_;
+      out->resize(out->size() + right_width_, Value::Null());
+      return true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinOp
+// ---------------------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<int> left_keys, std::vector<int> right_keys,
+                       bool left_outer, size_t right_width)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      left_outer_(left_outer),
+      right_width_(right_width) {}
+
+Status HashJoinOp::Open() {
+  DS_RETURN_IF_ERROR(left_->Open());
+  DS_RETURN_IF_ERROR(right_->Open());
+  build_.clear();
+  Row r;
+  while (true) {
+    auto more = right_->Next(&r);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    Row key;
+    key.reserve(right_keys_.size());
+    bool has_null = false;
+    for (int k : right_keys_) {
+      // Right-side key offsets are relative to the right input row.
+      const Value& v = r[static_cast<size_t>(k)];
+      if (v.is_null()) has_null = true;
+      key.push_back(v);
+    }
+    if (has_null) continue;  // NULL keys never match
+    build_[std::move(key)].push_back(r);
+  }
+  have_left_ = false;
+  matches_ = nullptr;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (!have_left_) {
+      DS_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+      if (!more) return false;
+      have_left_ = true;
+      left_matched_ = false;
+      match_index_ = 0;
+      Row key;
+      key.reserve(left_keys_.size());
+      bool has_null = false;
+      for (int k : left_keys_) {
+        const Value& v = left_row_[static_cast<size_t>(k)];
+        if (v.is_null()) has_null = true;
+        key.push_back(v);
+      }
+      if (has_null) {
+        matches_ = nullptr;
+      } else {
+        auto it = build_.find(key);
+        matches_ = it == build_.end() ? nullptr : &it->second;
+      }
+    }
+    if (matches_ != nullptr && match_index_ < matches_->size()) {
+      const Row& r = (*matches_)[match_index_++];
+      *out = left_row_;
+      out->insert(out->end(), r.begin(), r.end());
+      left_matched_ = true;
+      return true;
+    }
+    have_left_ = false;
+    if (left_outer_ && !left_matched_) {
+      *out = left_row_;
+      out->resize(out->size() + right_width_, Value::Null());
+      return true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HashAggregateOp
+// ---------------------------------------------------------------------------
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<const sql::Expr*> group_exprs,
+                                 std::vector<sql::Expr*> agg_calls,
+                                 std::vector<const sql::Expr*> output_exprs,
+                                 const sql::Expr* having)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      agg_calls_(std::move(agg_calls)),
+      output_exprs_(std::move(output_exprs)),
+      having_(having) {}
+
+Status HashAggregateOp::Open() {
+  DS_RETURN_IF_ERROR(child_->Open());
+  results_.clear();
+  index_ = 0;
+
+  struct Group {
+    Row first_row;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<Row, Group, RowHash, RowEq> groups;
+  std::vector<Row> group_order;  // deterministic output: first-seen order
+
+  Row input;
+  while (true) {
+    auto more = child_->Next(&input);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    Row key;
+    key.reserve(group_exprs_.size());
+    for (const sql::Expr* g : group_exprs_) {
+      auto v = EvalScalar(*g, &input);
+      if (!v.ok()) return v.status();
+      key.push_back(std::move(v).value());
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Group g;
+      g.first_row = input;
+      g.states.reserve(agg_calls_.size());
+      for (sql::Expr* call : agg_calls_) g.states.emplace_back(call);
+      it = groups.emplace(key, std::move(g)).first;
+      group_order.push_back(key);
+    }
+    for (AggState& s : it->second.states) {
+      DS_RETURN_IF_ERROR(s.Update(input));
+    }
+  }
+
+  // Global aggregate over empty input still yields one group.
+  if (groups.empty() && group_exprs_.empty()) {
+    Group g;
+    for (sql::Expr* call : agg_calls_) g.states.emplace_back(call);
+    groups.emplace(Row{}, std::move(g));
+    group_order.push_back(Row{});
+  }
+
+  for (const Row& key : group_order) {
+    Group& g = groups.at(key);
+    std::vector<Value> agg_values;
+    agg_values.reserve(g.states.size());
+    for (const AggState& s : g.states) agg_values.push_back(s.Finalize());
+    const Row* first = g.first_row.empty() ? nullptr : &g.first_row;
+    if (having_ != nullptr) {
+      auto pass = EvalPredicate(*having_, first, &agg_values);
+      if (!pass.ok()) return pass.status();
+      if (!pass.value()) continue;
+    }
+    Row out;
+    out.reserve(output_exprs_.size());
+    for (const sql::Expr* e : output_exprs_) {
+      auto v = EvalScalar(*e, first, &agg_values);
+      if (!v.ok()) return v.status();
+      out.push_back(std::move(v).value());
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(Row* out) {
+  if (index_ >= results_.size()) return false;
+  *out = std::move(results_[index_++]);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SortOp
+// ---------------------------------------------------------------------------
+
+Status SortOp::Open() {
+  DS_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  index_ = 0;
+  Row r;
+  while (true) {
+    auto more = child_->Next(&r);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    rows_.push_back(std::move(r));
+  }
+  // Precompute key tuples, then sort indices for stability and cheap swaps.
+  std::vector<Row> keys(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    keys[i].reserve(keys_.size());
+    for (const Key& k : keys_) {
+      auto v = EvalScalar(*k.expr, &rows_[i]);
+      if (!v.ok()) return v.status();
+      keys[i].push_back(std::move(v).value());
+    }
+  }
+  std::vector<size_t> order(rows_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      int c = Value::Compare(keys[a][k], keys[b][k]);
+      if (c != 0) return keys_[k].descending ? c > 0 : c < 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (size_t i : order) sorted.push_back(std::move(rows_[i]));
+  rows_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (index_ >= rows_.size()) return false;
+  *out = std::move(rows_[index_++]);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LimitOp / DistinctOp
+// ---------------------------------------------------------------------------
+
+Status LimitOp::Open() {
+  emitted_ = 0;
+  DS_RETURN_IF_ERROR(child_->Open());
+  Row scratch;
+  for (int64_t i = 0; i < offset_; ++i) {
+    auto more = child_->Next(&scratch);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+  }
+  return Status::OK();
+}
+
+Result<bool> LimitOp::Next(Row* out) {
+  if (limit_ >= 0 && emitted_ >= limit_) return false;
+  DS_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  ++emitted_;
+  return true;
+}
+
+Result<bool> DistinctOp::Next(Row* out) {
+  while (true) {
+    DS_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    auto [it, inserted] = seen_.emplace(*out, true);
+    (void)it;
+    if (inserted) return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Row>> Materialize(Operator* op) {
+  DS_RETURN_IF_ERROR(op->Open());
+  std::vector<Row> out;
+  Row r;
+  while (true) {
+    DS_ASSIGN_OR_RETURN(bool more, op->Next(&r));
+    if (!more) break;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace dataspread

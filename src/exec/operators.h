@@ -1,0 +1,212 @@
+#ifndef DATASPREAD_EXEC_OPERATORS_H_
+#define DATASPREAD_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "exec/aggregates.h"
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace dataspread {
+
+/// Volcano-style pull operator. Open() prepares state; Next() produces one
+/// output row at a time (returns false at end of stream).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  virtual Result<bool> Next(Row* out) = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Ordered scan over a catalog table (display order), fetching tuples in
+/// batches through the positional index. `start`/`count` implement the
+/// interface-aware LIMIT/OFFSET pushdown: a pane fetch reads exactly the
+/// window's tuples (paper §2.2 "Window").
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(const Table* table, size_t start, size_t count);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  static constexpr size_t kBatch = 512;
+  const Table* table_;
+  size_t start_, remaining_, next_pos_ = 0;
+  std::vector<Row> batch_;
+  size_t batch_index_ = 0;
+};
+
+/// Scan over materialized rows (RANGETABLE contents, join build sides, ...).
+class RowsScanOp : public Operator {
+ public:
+  explicit RowsScanOp(std::shared_ptr<std::vector<Row>> rows)
+      : rows_(std::move(rows)) {}
+  Status Open() override {
+    index_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* out) override {
+    if (index_ >= rows_->size()) return false;
+    *out = (*rows_)[index_++];
+    return true;
+  }
+
+ private:
+  std::shared_ptr<std::vector<Row>> rows_;
+  size_t index_ = 0;
+};
+
+/// Emits input rows for which the (bound) predicate is TRUE.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, const sql::Expr* predicate)
+      : child_(std::move(child)), predicate_(predicate) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  const sql::Expr* predicate_;
+};
+
+/// Evaluates one (bound) expression per output column.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<const sql::Expr*> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<const sql::Expr*> exprs_;
+};
+
+/// Nested-loop join; supports CROSS (no condition), INNER, and LEFT OUTER.
+/// The right input is materialized at Open().
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, const sql::Expr* on,
+                   bool left_outer, size_t right_width);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr left_, right_;
+  const sql::Expr* on_;  // may be null (cross join)
+  bool left_outer_;
+  size_t right_width_;
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool have_left_ = false;
+  bool left_matched_ = false;
+  size_t right_index_ = 0;
+};
+
+/// Equi hash join on column offsets; builds a hash table over the right
+/// input. INNER or LEFT OUTER.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<int> left_keys,
+             std::vector<int> right_keys, bool left_outer, size_t right_width);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr left_, right_;
+  std::vector<int> left_keys_, right_keys_;
+  bool left_outer_;
+  size_t right_width_;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build_;
+  Row left_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_index_ = 0;
+  bool have_left_ = false;
+  bool left_matched_ = false;
+};
+
+/// Blocking hash aggregation. Groups by `group_exprs`; for each group the
+/// output row is `output_exprs` evaluated with aggregate call sites replaced
+/// by their finalized values and non-aggregate parts evaluated on the group's
+/// first input row. `having` (optional) filters groups. With no group
+/// expressions, produces exactly one (possibly empty-input) global group.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<const sql::Expr*> group_exprs,
+                  std::vector<sql::Expr*> agg_calls,
+                  std::vector<const sql::Expr*> output_exprs,
+                  const sql::Expr* having);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<const sql::Expr*> group_exprs_;
+  std::vector<sql::Expr*> agg_calls_;
+  std::vector<const sql::Expr*> output_exprs_;
+  const sql::Expr* having_;
+  std::vector<Row> results_;
+  size_t index_ = 0;
+};
+
+/// Blocking sort. Keys are expressions over the child's rows.
+class SortOp : public Operator {
+ public:
+  struct Key {
+    const sql::Expr* expr;
+    bool descending;
+  };
+  SortOp(OperatorPtr child, std::vector<Key> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<Key> keys_;
+  std::vector<Row> rows_;
+  size_t index_ = 0;
+};
+
+/// OFFSET/LIMIT.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;   // -1 = unlimited
+  int64_t offset_;
+  int64_t emitted_ = 0;
+};
+
+/// Row-level DISTINCT.
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+  Status Open() override {
+    seen_.clear();
+    return child_->Open();
+  }
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::unordered_map<Row, bool, RowHash, RowEq> seen_;
+};
+
+/// Drains an operator tree into a vector.
+Result<std::vector<Row>> Materialize(Operator* op);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_EXEC_OPERATORS_H_

@@ -1,0 +1,47 @@
+#ifndef DATASPREAD_EXEC_PLANNER_H_
+#define DATASPREAD_EXEC_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/operators.h"
+#include "exec/resolver.h"
+#include "exec/result_set.h"
+#include "sql/ast.h"
+
+namespace dataspread {
+
+/// An executable SELECT: the operator tree plus output metadata. Operators
+/// reference expression nodes owned either by the statement AST (which must
+/// outlive execution) or by `owned_exprs` (expressions the planner
+/// synthesized, e.g. star expansions).
+struct PlannedQuery {
+  OperatorPtr root;
+  std::vector<std::string> columns;
+  std::vector<sql::ExprPtr> owned_exprs;
+};
+
+/// Plans a SELECT. Binds expressions in place (mutating `stmt`).
+///
+/// Planner decisions:
+///  - equi-join conditions on column references become hash joins; everything
+///    else runs as (left-outer) nested loops;
+///  - NATURAL JOIN hash-joins on the shared column names and hides the
+///    right-hand duplicates from `SELECT *`;
+///  - a bare `SELECT ... FROM t LIMIT n OFFSET k` (no predicates or ordering)
+///    pushes the window straight into the positional-index scan — the
+///    interface-aware pane fetch of paper §2.2 ("the burden of supplying or
+///    refreshing the current window is placed on the relational database").
+Result<PlannedQuery> PlanSelect(sql::SelectStmt* stmt, Catalog& catalog,
+                                ExternalResolver* resolver);
+
+/// Plans, executes, and materializes a SELECT into a ResultSet.
+Result<ResultSet> RunSelect(sql::SelectStmt* stmt, Catalog& catalog,
+                            ExternalResolver* resolver);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_EXEC_PLANNER_H_

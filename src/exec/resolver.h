@@ -1,0 +1,37 @@
+#ifndef DATASPREAD_EXEC_RESOLVER_H_
+#define DATASPREAD_EXEC_RESOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace dataspread {
+
+/// Materialized contents of a sheet range used as a relation
+/// (`RANGETABLE(A1:D100)`).
+struct RangeTableData {
+  std::vector<std::string> columns;  ///< attribute names (inferred or headers)
+  std::vector<Row> rows;
+};
+
+/// Bridges the query processor to the interface layer: resolves the paper's
+/// positional-addressing constructs against the spreadsheet. The embedded
+/// database itself knows nothing about sheets; the Interface Manager passes an
+/// implementation whose reference frame is the cell containing the query
+/// (relative addressing, Figure 2a).
+class ExternalResolver {
+ public:
+  virtual ~ExternalResolver() = default;
+
+  /// Scalar value of the cell named by `ref` (e.g. "B1", "Sheet2!C4").
+  virtual Result<Value> ResolveRangeValue(const std::string& ref) = 0;
+
+  /// Relation view of the range named by `ref` (e.g. "A1:D100").
+  virtual Result<RangeTableData> ResolveRangeTable(const std::string& ref) = 0;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_EXEC_RESOLVER_H_

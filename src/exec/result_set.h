@@ -1,0 +1,31 @@
+#ifndef DATASPREAD_EXEC_RESULT_SET_H_
+#define DATASPREAD_EXEC_RESULT_SET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace dataspread {
+
+/// Outcome of executing one SQL statement.
+///
+/// SELECT fills `columns` + `rows`; DML fills `affected_rows`; DDL fills
+/// `message` ("created table t", ...).
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  size_t affected_rows = 0;
+  std::string message;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Tab-separated rendering with a header line; for examples and debugging.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_EXEC_RESULT_SET_H_

@@ -1,0 +1,144 @@
+#include "formula/formula_ast.h"
+
+namespace dataspread::formula {
+
+namespace {
+
+/// Binding strength of a binary operator (higher binds tighter).
+int OpPrecedence(const std::string& op) {
+  if (op == "^") return 5;
+  if (op == "*" || op == "/") return 4;
+  if (op == "+" || op == "-") return 3;
+  if (op == "&") return 2;
+  return 1;  // comparisons
+}
+
+/// Renders a binary/unary operand with the minimal parentheses that
+/// re-parse to the same tree.
+std::string RenderOperand(const FExpr& child, int parent_prec, bool is_right,
+                          bool parent_right_assoc) {
+  std::string text = child.ToText();
+  if (child.kind != FKind::kBinary) return text;
+  int child_prec = OpPrecedence(child.op);
+  bool needs_parens =
+      child_prec < parent_prec ||
+      (child_prec == parent_prec && is_right != parent_right_assoc);
+  return needs_parens ? "(" + text + ")" : text;
+}
+
+}  // namespace
+
+FExprPtr FExpr::Clone() const {
+  auto out = std::make_unique<FExpr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->cell = cell;
+  out->range = range;
+  out->op = op;
+  out->args.reserve(args.size());
+  for (const FExprPtr& a : args) out->args.push_back(a ? a->Clone() : nullptr);
+  return out;
+}
+
+std::string FExpr::ToText() const {
+  switch (kind) {
+    case FKind::kLiteral:
+      if (literal.type() == DataType::kText) {
+        std::string out = "\"";
+        for (char c : literal.text_value()) {
+          if (c == '"') out += "\"\"";
+          else out += c;
+        }
+        return out + "\"";
+      }
+      return literal.ToDisplayString();
+    case FKind::kCellRef:
+      return FormatCellRef(cell);
+    case FKind::kRange: {
+      std::string out;
+      if (!range.sheet.empty()) out = range.sheet + "!";
+      CellRef s = range.start, e = range.end;
+      out += (s.abs_col ? "$" : "") + ColumnName(s.col) +
+             (s.abs_row ? "$" : "") + std::to_string(s.row + 1);
+      out += ":";
+      out += (e.abs_col ? "$" : "") + ColumnName(e.col) +
+             (e.abs_row ? "$" : "") + std::to_string(e.row + 1);
+      return out;
+    }
+    case FKind::kUnary:
+      // Unary minus binds tighter than any binary operator, so binary
+      // children always need parentheses to re-parse identically.
+      if (args[0]->kind == FKind::kBinary) {
+        return op + "(" + args[0]->ToText() + ")";
+      }
+      return op + args[0]->ToText();
+    case FKind::kBinary: {
+      int prec = OpPrecedence(op);
+      bool right_assoc = op == "^";
+      return RenderOperand(*args[0], prec, /*is_right=*/false, right_assoc) +
+             op +
+             RenderOperand(*args[1], prec, /*is_right=*/true, right_assoc);
+    }
+    case FKind::kFunction: {
+      std::string out = op + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += args[i]->ToText();
+      }
+      return out + ")";
+    }
+    case FKind::kRefError:
+      return "#REF!";
+  }
+  return "?";
+}
+
+FExprPtr MakeFLiteral(Value v) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = FKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+FExprPtr MakeFCell(CellRef ref) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = FKind::kCellRef;
+  e->cell = ref;
+  return e;
+}
+
+FExprPtr MakeFRange(RangeRef range) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = FKind::kRange;
+  e->range = range;
+  return e;
+}
+
+FExprPtr MakeFUnary(std::string op, FExprPtr arg) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = FKind::kUnary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(arg));
+  return e;
+}
+
+FExprPtr MakeFBinary(std::string op, FExprPtr lhs, FExprPtr rhs) {
+  auto e = std::make_unique<FExpr>();
+  e->kind = FKind::kBinary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+FExprPtr MakeFRefError() {
+  auto e = std::make_unique<FExpr>();
+  e->kind = FKind::kRefError;
+  return e;
+}
+
+bool IsHybridFormula(const FExpr& e) {
+  return e.kind == FKind::kFunction && (e.op == "DBSQL" || e.op == "DBTABLE");
+}
+
+}  // namespace dataspread::formula

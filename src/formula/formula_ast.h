@@ -1,0 +1,55 @@
+#ifndef DATASPREAD_FORMULA_FORMULA_AST_H_
+#define DATASPREAD_FORMULA_FORMULA_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sheet/address.h"
+#include "types/value.h"
+
+namespace dataspread::formula {
+
+struct FExpr;
+using FExprPtr = std::unique_ptr<FExpr>;
+
+enum class FKind {
+  kLiteral,   ///< number / string / boolean
+  kCellRef,   ///< A1, $B$2, Sheet2!C3
+  kRange,     ///< A1:D100 (only valid as a function argument)
+  kUnary,     ///< "-"
+  kBinary,    ///< + - * / ^ & = <> < <= > >=
+  kFunction,  ///< NAME(args...) — includes DBSQL / DBTABLE
+  kRefError,  ///< a reference destroyed by a structural edit (#REF!)
+};
+
+/// One node of a spreadsheet formula (value-at-a-time computation, §2.2).
+struct FExpr {
+  FKind kind;
+  Value literal;        // kLiteral
+  CellRef cell;         // kCellRef
+  RangeRef range;       // kRange
+  std::string op;       // operator text or upper-cased function name
+  std::vector<FExprPtr> args;
+
+  FExprPtr Clone() const;
+  /// Canonical text (without the leading '='); used to rewrite stored formula
+  /// text after reference adjustment.
+  std::string ToText() const;
+};
+
+FExprPtr MakeFLiteral(Value v);
+FExprPtr MakeFCell(CellRef ref);
+FExprPtr MakeFRange(RangeRef range);
+FExprPtr MakeFUnary(std::string op, FExprPtr arg);
+FExprPtr MakeFBinary(std::string op, FExprPtr lhs, FExprPtr rhs);
+FExprPtr MakeFRefError();
+
+/// True when the formula's root call is one of the paper's hybrid constructs
+/// (DBSQL / DBTABLE) that the Interface Manager executes instead of the
+/// formula engine.
+bool IsHybridFormula(const FExpr& e);
+
+}  // namespace dataspread::formula
+
+#endif  // DATASPREAD_FORMULA_FORMULA_AST_H_

@@ -1,0 +1,147 @@
+#include "formula/formula_lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace dataspread::formula {
+
+Result<std::vector<FToken>> TokenizeFormula(std::string_view body) {
+  std::vector<FToken> tokens;
+  size_t i = 0;
+  const size_t n = body.size();
+  while (i < n) {
+    char c = body[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(body[i + 1])))) {
+      size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(body[i]))) ++i;
+      if (i < n && body[i] == '.') {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(body[i]))) ++i;
+      }
+      if (i < n && (body[i] == 'e' || body[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (body[exp] == '+' || body[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(body[exp]))) {
+          is_real = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(body[i]))) ++i;
+        }
+      }
+      std::string text(body.substr(start, i - start));
+      FToken t;
+      t.kind = FTokenKind::kNumber;
+      t.text = text;
+      if (!is_real) {
+        if (auto v = ParseInt64(text)) {
+          t.number_is_int = true;
+          t.int_value = *v;
+          t.number = static_cast<double>(*v);
+          tokens.push_back(std::move(t));
+          continue;
+        }
+      }
+      auto d = ParseDouble(text);
+      if (!d) return Status::ParseError("bad number '" + text + "'");
+      t.number = *d;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      std::string contents;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (body[i] == '"') {
+          if (i + 1 < n && body[i + 1] == '"') {
+            contents += '"';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        contents += body[i++];
+      }
+      if (!closed) return Status::ParseError("unterminated string in formula");
+      FToken t;
+      t.kind = FTokenKind::kString;
+      t.text = std::move(contents);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      // 'single quoted' strings accepted as well (SQL text inside DBSQL).
+      std::string contents;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (body[i] == '\'') {
+          if (i + 1 < n && body[i + 1] == '\'') {
+            contents += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        contents += body[i++];
+      }
+      if (!closed) return Status::ParseError("unterminated string in formula");
+      FToken t;
+      t.kind = FTokenKind::kString;
+      t.text = std::move(contents);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(body[i])) ||
+                       body[i] == '_' || body[i] == '$')) {
+        ++i;
+      }
+      FToken t;
+      t.kind = FTokenKind::kIdent;
+      t.text = std::string(body.substr(start, i - start));
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    auto push_symbol = [&](std::string text) {
+      FToken t;
+      t.kind = FTokenKind::kSymbol;
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+    };
+    if (i + 1 < n) {
+      std::string two{c, body[i + 1]};
+      if (two == "<=" || two == ">=" || two == "<>") {
+        push_symbol(two);
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string_view("+-*/^&=<>(),:!%").find(c) != std::string_view::npos) {
+      push_symbol(std::string(1, c));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in formula");
+  }
+  FToken end;
+  end.kind = FTokenKind::kEnd;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dataspread::formula

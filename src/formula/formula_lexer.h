@@ -1,0 +1,33 @@
+#ifndef DATASPREAD_FORMULA_FORMULA_LEXER_H_
+#define DATASPREAD_FORMULA_FORMULA_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dataspread::formula {
+
+enum class FTokenKind {
+  kNumber,
+  kString,   ///< "double quoted" with "" escaping
+  kIdent,    ///< names, function names, and cell-reference candidates
+  kSymbol,   ///< + - * / ^ & = <> <= >= < > ( ) , : ! %
+  kEnd,
+};
+
+struct FToken {
+  FTokenKind kind = FTokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  bool number_is_int = false;
+  int64_t int_value = 0;
+};
+
+/// Tokenizes the body of a formula (text after the leading '=').
+/// `$` is folded into identifier tokens so "$A$1" arrives as one token.
+Result<std::vector<FToken>> TokenizeFormula(std::string_view body);
+
+}  // namespace dataspread::formula
+
+#endif  // DATASPREAD_FORMULA_FORMULA_LEXER_H_

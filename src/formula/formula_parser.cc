@@ -1,0 +1,195 @@
+#include "formula/formula_parser.h"
+
+#include "common/str_util.h"
+#include "formula/formula_lexer.h"
+
+namespace dataspread::formula {
+
+namespace {
+
+class FParser {
+ public:
+  explicit FParser(std::vector<FToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FExprPtr> Parse() {
+    DS_ASSIGN_OR_RETURN(FExprPtr e, ParseComparison());
+    if (Peek().kind != FTokenKind::kEnd) {
+      return Status::ParseError("unexpected '" + Peek().text + "' in formula");
+    }
+    return e;
+  }
+
+ private:
+  const FToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const FToken& Advance() { return tokens_[pos_++]; }
+  bool MatchSymbol(std::string_view sym) {
+    if (Peek().kind == FTokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Status::ParseError("expected '" + std::string(sym) +
+                              "' in formula before '" + Peek().text + "'");
+  }
+
+  Result<FExprPtr> ParseComparison() {
+    DS_ASSIGN_OR_RETURN(FExprPtr lhs, ParseConcat());
+    while (Peek().kind == FTokenKind::kSymbol &&
+           (Peek().text == "=" || Peek().text == "<>" || Peek().text == "<" ||
+            Peek().text == "<=" || Peek().text == ">" || Peek().text == ">=")) {
+      std::string op = Advance().text;
+      DS_ASSIGN_OR_RETURN(FExprPtr rhs, ParseConcat());
+      lhs = MakeFBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FExprPtr> ParseConcat() {
+    DS_ASSIGN_OR_RETURN(FExprPtr lhs, ParseAdditive());
+    while (MatchSymbol("&")) {
+      DS_ASSIGN_OR_RETURN(FExprPtr rhs, ParseAdditive());
+      lhs = MakeFBinary("&", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FExprPtr> ParseAdditive() {
+    DS_ASSIGN_OR_RETURN(FExprPtr lhs, ParseMultiplicative());
+    while (Peek().kind == FTokenKind::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      std::string op = Advance().text;
+      DS_ASSIGN_OR_RETURN(FExprPtr rhs, ParseMultiplicative());
+      lhs = MakeFBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FExprPtr> ParseMultiplicative() {
+    DS_ASSIGN_OR_RETURN(FExprPtr lhs, ParsePower());
+    while (Peek().kind == FTokenKind::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/")) {
+      std::string op = Advance().text;
+      DS_ASSIGN_OR_RETURN(FExprPtr rhs, ParsePower());
+      lhs = MakeFBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FExprPtr> ParsePower() {
+    DS_ASSIGN_OR_RETURN(FExprPtr base, ParseUnary());
+    if (MatchSymbol("^")) {
+      DS_ASSIGN_OR_RETURN(FExprPtr exp, ParsePower());  // right-associative
+      return MakeFBinary("^", std::move(base), std::move(exp));
+    }
+    return base;
+  }
+
+  Result<FExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      DS_ASSIGN_OR_RETURN(FExprPtr arg, ParseUnary());
+      return MakeFUnary("-", std::move(arg));
+    }
+    if (MatchSymbol("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<FExprPtr> ParsePrimary() {
+    const FToken& t = Peek();
+    if (t.kind == FTokenKind::kNumber) {
+      Advance();
+      return MakeFLiteral(t.number_is_int ? Value::Int(t.int_value)
+                                          : Value::Real(t.number));
+    }
+    if (t.kind == FTokenKind::kString) {
+      Advance();
+      return MakeFLiteral(Value::Text(t.text));
+    }
+    if (t.kind == FTokenKind::kSymbol && t.text == "(") {
+      Advance();
+      DS_ASSIGN_OR_RETURN(FExprPtr inner, ParseComparison());
+      DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.kind == FTokenKind::kIdent) return ParseIdent();
+    return Status::ParseError("expected a value before '" + t.text +
+                              "' in formula");
+  }
+
+  Result<FExprPtr> ParseIdent() {
+    std::string first = Advance().text;
+    if (EqualsIgnoreCase(first, "TRUE")) return MakeFLiteral(Value::Bool(true));
+    if (EqualsIgnoreCase(first, "FALSE")) {
+      return MakeFLiteral(Value::Bool(false));
+    }
+    // Function call.
+    if (Peek().kind == FTokenKind::kSymbol && Peek().text == "(") {
+      Advance();  // (
+      auto e = std::make_unique<FExpr>();
+      e->kind = FKind::kFunction;
+      e->op = ToUpper(first);
+      if (!MatchSymbol(")")) {
+        do {
+          DS_ASSIGN_OR_RETURN(FExprPtr arg, ParseComparison());
+          e->args.push_back(std::move(arg));
+        } while (MatchSymbol(","));
+        DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+      return FExprPtr(std::move(e));
+    }
+    // Sheet-qualified reference: Name!A1 or Name!A1:B2.
+    std::string sheet;
+    std::string cell_text = first;
+    if (Peek().kind == FTokenKind::kSymbol && Peek().text == "!") {
+      Advance();  // !
+      if (Peek().kind != FTokenKind::kIdent) {
+        return Status::ParseError("expected a cell after '" + first + "!'");
+      }
+      sheet = first;
+      cell_text = Advance().text;
+    }
+    DS_ASSIGN_OR_RETURN(CellRef start, ParseCellRef(cell_text));
+    start.sheet = sheet;
+    // Range?
+    if (Peek().kind == FTokenKind::kSymbol && Peek().text == ":") {
+      Advance();  // :
+      if (Peek().kind != FTokenKind::kIdent) {
+        return Status::ParseError("expected a cell after ':'");
+      }
+      DS_ASSIGN_OR_RETURN(CellRef end, ParseCellRef(Advance().text));
+      RangeRef range;
+      range.sheet = sheet;
+      range.start = start;
+      range.end = end;
+      if (range.start.row > range.end.row) {
+        std::swap(range.start.row, range.end.row);
+      }
+      if (range.start.col > range.end.col) {
+        std::swap(range.start.col, range.end.col);
+      }
+      return MakeFRange(range);
+    }
+    return MakeFCell(start);
+  }
+
+  std::vector<FToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FExprPtr> ParseFormula(std::string_view text) {
+  if (text.empty() || text[0] != '=') {
+    return Status::ParseError("formula must start with '='");
+  }
+  DS_ASSIGN_OR_RETURN(std::vector<FToken> tokens, TokenizeFormula(text.substr(1)));
+  FParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace dataspread::formula

@@ -1,0 +1,19 @@
+#ifndef DATASPREAD_FORMULA_FORMULA_PARSER_H_
+#define DATASPREAD_FORMULA_FORMULA_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "formula/formula_ast.h"
+
+namespace dataspread::formula {
+
+/// Parses a formula. `text` must start with '='. Grammar (loosest to
+/// tightest): comparisons; `&` concatenation; `+ -`; `* /`; `^` (right-
+/// associative); unary `-`; primaries (literals, TRUE/FALSE, cell refs,
+/// ranges, function calls incl. DBSQL/DBTABLE).
+Result<FExprPtr> ParseFormula(std::string_view text);
+
+}  // namespace dataspread::formula
+
+#endif  // DATASPREAD_FORMULA_FORMULA_PARSER_H_

@@ -1,0 +1,414 @@
+#include "formula/functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace dataspread::formula {
+
+namespace {
+
+Value ValueError() { return Value::Error("#VALUE!"); }
+Value NaError() { return Value::Error("#N/A"); }
+
+/// Applies `fn` to every non-empty value of the argument (range elements or
+/// the scalar itself). Stops and returns an error value if one is seen.
+template <typename Fn>
+Value ForEachValue(const FArg& arg, Fn&& fn) {
+  if (arg.is_range) {
+    for (const Value& v : arg.grid) {
+      if (v.is_error()) return v;
+      if (v.is_null()) continue;
+      fn(v, /*from_range=*/true);
+    }
+    return Value::Null();
+  }
+  if (arg.scalar.is_error()) return arg.scalar;
+  if (!arg.scalar.is_null()) fn(arg.scalar, /*from_range=*/false);
+  return Value::Null();
+}
+
+/// Numeric fold over all args. Range text/bool cells are skipped (Excel SUM
+/// semantics); direct scalar args are coerced and error on failure.
+struct NumericFold {
+  double total = 0;
+  int64_t count = 0;
+  double min = 0, max = 0;
+  std::vector<double> values;  // for MEDIAN
+  Value error;                 // first error encountered
+
+  void Add(double d) {
+    if (count == 0) {
+      min = max = d;
+    } else {
+      min = std::min(min, d);
+      max = std::max(max, d);
+    }
+    total += d;
+    count += 1;
+    values.push_back(d);
+  }
+};
+
+NumericFold FoldNumbers(std::vector<FArg>& args) {
+  NumericFold fold;
+  for (const FArg& arg : args) {
+    Value err = ForEachValue(arg, [&](const Value& v, bool from_range) {
+      if (!fold.error.is_null()) return;
+      if (from_range) {
+        // Range cells participate only when numeric.
+        if (v.is_numeric()) {
+          auto d = v.AsReal();
+          if (d.ok()) fold.Add(d.value());
+        }
+        return;
+      }
+      Value n = CoerceToNumber(v);
+      if (n.is_error()) {
+        fold.error = n;
+        return;
+      }
+      auto d = n.AsReal();
+      if (d.ok()) fold.Add(d.value());
+    });
+    if (err.is_error() && fold.error.is_null()) fold.error = err;
+  }
+  return fold;
+}
+
+Value BoolFold(std::vector<FArg>& args, bool is_and) {
+  bool acc = is_and;
+  bool saw_any = false;
+  Value error;
+  for (const FArg& arg : args) {
+    Value err = ForEachValue(arg, [&](const Value& v, bool from_range) {
+      if (error.is_error()) return;
+      if (from_range && v.type() == DataType::kText) return;  // ignored
+      Value b = CoerceToBool(v);
+      if (b.is_error()) {
+        error = b;
+        return;
+      }
+      saw_any = true;
+      if (is_and) {
+        acc = acc && b.bool_value();
+      } else {
+        acc = acc || b.bool_value();
+      }
+    });
+    if (err.is_error() && !error.is_error()) error = err;
+  }
+  if (error.is_error()) return error;
+  if (!saw_any) return ValueError();
+  return Value::Bool(acc);
+}
+
+/// Excel-style criteria: ">90", "<=5", "<>x", "=y", or a bare value meaning
+/// equality.
+struct Criteria {
+  std::string op;  // "=", "<>", "<", "<=", ">", ">="
+  Value operand;
+};
+
+Criteria ParseCriteria(const Value& v) {
+  Criteria c;
+  c.op = "=";
+  if (v.type() != DataType::kText) {
+    c.operand = v;
+    return c;
+  }
+  std::string_view s = v.text_value();
+  for (std::string_view op : {"<>", "<=", ">=", "<", ">", "="}) {
+    if (s.substr(0, op.size()) == op) {
+      c.op = std::string(op);
+      c.operand = Value::FromUserInput(s.substr(op.size()));
+      return c;
+    }
+  }
+  c.operand = v;
+  return c;
+}
+
+bool MatchCriteria(const Criteria& c, const Value& v) {
+  if (v.is_error()) return false;
+  if (c.operand.is_null()) return v.is_null() && c.op == "=";
+  if (v.is_null()) return false;
+  // Numeric comparisons require both numeric; text compares as text.
+  int cmp;
+  if (c.operand.is_numeric() || c.operand.type() == DataType::kBool) {
+    if (!v.is_numeric() && v.type() != DataType::kBool) return false;
+    cmp = Value::Compare(v, c.operand);
+  } else {
+    if (v.type() != DataType::kText) return false;
+    cmp = Value::Compare(v, c.operand);
+  }
+  if (c.op == "=") return cmp == 0;
+  if (c.op == "<>") return cmp != 0;
+  if (c.op == "<") return cmp < 0;
+  if (c.op == "<=") return cmp <= 0;
+  if (c.op == ">") return cmp > 0;
+  if (c.op == ">=") return cmp >= 0;
+  return false;
+}
+
+}  // namespace
+
+Value CoerceToNumber(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return Value::Real(0.0);
+    case DataType::kBool:
+      return Value::Real(v.bool_value() ? 1.0 : 0.0);
+    case DataType::kInt:
+    case DataType::kReal:
+      return v;
+    case DataType::kText: {
+      Value parsed = Value::FromUserInput(v.text_value());
+      if (parsed.is_numeric()) return parsed;
+      return ValueError();
+    }
+    case DataType::kError:
+      return v;
+  }
+  return ValueError();
+}
+
+Value CoerceToBool(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return Value::Bool(false);
+    case DataType::kBool:
+      return v;
+    case DataType::kInt:
+      return Value::Bool(v.int_value() != 0);
+    case DataType::kReal:
+      return Value::Bool(v.real_value() != 0.0);
+    case DataType::kText:
+      if (EqualsIgnoreCase(v.text_value(), "true")) return Value::Bool(true);
+      if (EqualsIgnoreCase(v.text_value(), "false")) return Value::Bool(false);
+      return ValueError();
+    case DataType::kError:
+      return v;
+  }
+  return ValueError();
+}
+
+bool IsBuiltinFunction(const std::string& name) {
+  static const auto* kNames = new std::unordered_set<std::string>{
+      "SUM",    "AVERAGE", "COUNT",  "COUNTA", "MIN",    "MAX",
+      "MEDIAN", "IF",      "AND",    "OR",     "NOT",    "ABS",
+      "ROUND",  "SQRT",    "MOD",    "INT",    "POWER",  "CONCAT",
+      "CONCATENATE", "LEN", "UPPER", "LOWER",  "TRIM",   "IFERROR",
+      "ISBLANK", "VLOOKUP", "SUMIF", "COUNTIF",
+  };
+  return kNames->count(name) > 0;
+}
+
+Value CallBuiltin(const std::string& name, std::vector<FArg>& args) {
+  auto arity_error = [&]() { return ValueError(); };
+
+  if (name == "SUM" || name == "AVERAGE" || name == "MIN" || name == "MAX" ||
+      name == "COUNT" || name == "MEDIAN") {
+    NumericFold fold = FoldNumbers(args);
+    if (fold.error.is_error()) return fold.error;
+    if (name == "SUM") return Value::Real(fold.total);
+    if (name == "COUNT") return Value::Int(fold.count);
+    if (fold.count == 0) {
+      return name == "AVERAGE" ? Value::Error("#DIV/0!") : Value::Real(0.0);
+    }
+    if (name == "AVERAGE") {
+      return Value::Real(fold.total / static_cast<double>(fold.count));
+    }
+    if (name == "MIN") return Value::Real(fold.min);
+    if (name == "MAX") return Value::Real(fold.max);
+    // MEDIAN
+    std::sort(fold.values.begin(), fold.values.end());
+    size_t n = fold.values.size();
+    double med = (n % 2 == 1)
+                     ? fold.values[n / 2]
+                     : (fold.values[n / 2 - 1] + fold.values[n / 2]) / 2.0;
+    return Value::Real(med);
+  }
+
+  if (name == "COUNTA") {
+    int64_t count = 0;
+    for (const FArg& arg : args) {
+      Value err = ForEachValue(arg, [&](const Value&, bool) { ++count; });
+      if (err.is_error()) return err;
+    }
+    return Value::Int(count);
+  }
+
+  if (name == "IF") {
+    if (args.size() < 2 || args.size() > 3 || args[0].is_range) {
+      return arity_error();
+    }
+    Value cond = CoerceToBool(args[0].scalar);
+    if (cond.is_error()) return cond;
+    if (cond.bool_value()) return args[1].is_range ? ValueError() : args[1].scalar;
+    if (args.size() == 3) {
+      return args[2].is_range ? ValueError() : args[2].scalar;
+    }
+    return Value::Bool(false);
+  }
+
+  if (name == "AND") return BoolFold(args, /*is_and=*/true);
+  if (name == "OR") return BoolFold(args, /*is_and=*/false);
+
+  if (name == "NOT") {
+    if (args.size() != 1 || args[0].is_range) return arity_error();
+    Value b = CoerceToBool(args[0].scalar);
+    if (b.is_error()) return b;
+    return Value::Bool(!b.bool_value());
+  }
+
+  if (name == "ABS" || name == "SQRT" || name == "INT") {
+    if (args.size() != 1 || args[0].is_range) return arity_error();
+    Value n = CoerceToNumber(args[0].scalar);
+    if (n.is_error()) return n;
+    double d = n.AsReal().ValueOr(0.0);
+    if (name == "ABS") return Value::Real(std::fabs(d));
+    if (name == "SQRT") {
+      if (d < 0) return Value::Error("#NUM!");
+      return Value::Real(std::sqrt(d));
+    }
+    return Value::Int(static_cast<int64_t>(std::floor(d)));
+  }
+
+  if (name == "ROUND") {
+    if (args.empty() || args.size() > 2 || args[0].is_range) {
+      return arity_error();
+    }
+    Value n = CoerceToNumber(args[0].scalar);
+    if (n.is_error()) return n;
+    double digits = 0;
+    if (args.size() == 2) {
+      Value d = CoerceToNumber(args[1].scalar);
+      if (d.is_error()) return d;
+      digits = d.AsReal().ValueOr(0.0);
+    }
+    double scale = std::pow(10.0, digits);
+    return Value::Real(std::round(n.AsReal().ValueOr(0.0) * scale) / scale);
+  }
+
+  if (name == "MOD" || name == "POWER") {
+    if (args.size() != 2 || args[0].is_range || args[1].is_range) {
+      return arity_error();
+    }
+    Value a = CoerceToNumber(args[0].scalar);
+    Value b = CoerceToNumber(args[1].scalar);
+    if (a.is_error()) return a;
+    if (b.is_error()) return b;
+    double x = a.AsReal().ValueOr(0.0);
+    double y = b.AsReal().ValueOr(0.0);
+    if (name == "MOD") {
+      if (y == 0) return Value::Error("#DIV/0!");
+      double m = std::fmod(x, y);
+      if (m != 0 && ((m < 0) != (y < 0))) m += y;  // Excel sign convention
+      return Value::Real(m);
+    }
+    return Value::Real(std::pow(x, y));
+  }
+
+  if (name == "CONCAT" || name == "CONCATENATE") {
+    std::string out;
+    for (const FArg& arg : args) {
+      Value err = ForEachValue(arg, [&](const Value& v, bool) {
+        out += v.ToDisplayString();
+      });
+      if (err.is_error()) return err;
+    }
+    return Value::Text(std::move(out));
+  }
+
+  if (name == "LEN" || name == "UPPER" || name == "LOWER" || name == "TRIM") {
+    if (args.size() != 1 || args[0].is_range) return arity_error();
+    const Value& v = args[0].scalar;
+    if (v.is_error()) return v;
+    std::string s = v.ToDisplayString();
+    if (name == "LEN") return Value::Int(static_cast<int64_t>(s.size()));
+    if (name == "UPPER") return Value::Text(ToUpper(s));
+    if (name == "LOWER") return Value::Text(ToLower(s));
+    return Value::Text(Trim(s));
+  }
+
+  if (name == "IFERROR") {
+    if (args.size() != 2 || args[0].is_range || args[1].is_range) {
+      return arity_error();
+    }
+    return args[0].scalar.is_error() ? args[1].scalar : args[0].scalar;
+  }
+
+  if (name == "ISBLANK") {
+    if (args.size() != 1 || args[0].is_range) return arity_error();
+    return Value::Bool(args[0].scalar.is_null());
+  }
+
+  if (name == "VLOOKUP") {
+    if (args.size() < 3 || args.size() > 4 || args[0].is_range ||
+        !args[1].is_range || args[2].is_range) {
+      return arity_error();
+    }
+    const Value& key = args[0].scalar;
+    if (key.is_error()) return key;
+    Value idx_v = CoerceToNumber(args[2].scalar);
+    if (idx_v.is_error()) return idx_v;
+    int64_t col = idx_v.AsInt().ValueOr(0);
+    if (col < 1 || col > args[1].cols) return arity_error();
+    bool approximate = false;
+    if (args.size() == 4 && !args[3].is_range) {
+      Value ap = CoerceToBool(args[3].scalar);
+      if (!ap.is_error()) approximate = ap.bool_value();
+    }
+    const FArg& table = args[1];
+    int64_t best_row = -1;
+    for (int64_t r = 0; r < table.rows; ++r) {
+      const Value& candidate = table.grid[static_cast<size_t>(r * table.cols)];
+      if (candidate.is_error()) continue;
+      if (!approximate) {
+        if (!candidate.is_null() && candidate == key) {
+          best_row = r;
+          break;
+        }
+      } else {
+        if (!candidate.is_null() && Value::Compare(candidate, key) <= 0) {
+          best_row = r;  // last row with value <= key (assumes sorted input)
+        }
+      }
+    }
+    if (best_row < 0) return NaError();
+    return table.grid[static_cast<size_t>(best_row * table.cols + (col - 1))];
+  }
+
+  if (name == "SUMIF" || name == "COUNTIF") {
+    if (args.size() < 2 || !args[0].is_range || args[1].is_range) {
+      return arity_error();
+    }
+    Criteria crit = ParseCriteria(args[1].scalar);
+    const FArg& test = args[0];
+    const FArg* sum_range = nullptr;
+    if (name == "SUMIF" && args.size() == 3) {
+      if (!args[2].is_range) return arity_error();
+      sum_range = &args[2];
+    }
+    double total = 0;
+    int64_t count = 0;
+    for (size_t i = 0; i < test.grid.size(); ++i) {
+      if (!MatchCriteria(crit, test.grid[i])) continue;
+      ++count;
+      const Value* addend = &test.grid[i];
+      if (sum_range != nullptr) {
+        if (i >= sum_range->grid.size()) continue;
+        addend = &sum_range->grid[i];
+      }
+      if (addend->is_numeric()) total += addend->AsReal().ValueOr(0.0);
+    }
+    return name == "COUNTIF" ? Value::Int(count) : Value::Real(total);
+  }
+
+  return Value::Error("#NAME?");
+}
+
+}  // namespace dataspread::formula

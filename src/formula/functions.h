@@ -1,0 +1,48 @@
+#ifndef DATASPREAD_FORMULA_FUNCTIONS_H_
+#define DATASPREAD_FORMULA_FUNCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace dataspread::formula {
+
+/// A materialized formula-function argument: either a scalar or a
+/// rectangular block of cell values (row-major; empty cells are NULL).
+struct FArg {
+  bool is_range = false;
+  Value scalar;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<Value> grid;
+
+  static FArg Scalar(Value v) {
+    FArg a;
+    a.scalar = std::move(v);
+    return a;
+  }
+};
+
+/// Spreadsheet numeric coercion: NULL→0, BOOL→0/1, numbers pass, numeric text
+/// parses, anything else yields a #VALUE! error value.
+Value CoerceToNumber(const Value& v);
+
+/// Spreadsheet truthiness; non-boolean non-numeric yields #VALUE!.
+Value CoerceToBool(const Value& v);
+
+/// True if `name` (upper-case) is in the built-in library (DBSQL/DBTABLE are
+/// *not* — the Interface Manager owns those).
+bool IsBuiltinFunction(const std::string& name);
+
+/// Invokes a built-in. Errors are returned as error *values* (#VALUE!,
+/// #DIV/0!, #N/A, #NAME?), matching value-at-a-time spreadsheet semantics.
+///
+/// Library: SUM AVERAGE COUNT COUNTA MIN MAX MEDIAN IF AND OR NOT ABS ROUND
+/// SQRT MOD INT POWER CONCAT CONCATENATE LEN UPPER LOWER TRIM IFERROR ISBLANK
+/// VLOOKUP SUMIF COUNTIF.
+Value CallBuiltin(const std::string& name, std::vector<FArg>& args);
+
+}  // namespace dataspread::formula
+
+#endif  // DATASPREAD_FORMULA_FUNCTIONS_H_

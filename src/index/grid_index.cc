@@ -1,0 +1,38 @@
+#include "index/grid_index.h"
+
+namespace dataspread {
+
+void GridIndex::VisitRect(
+    int64_t row0, int64_t col0, int64_t row1, int64_t col1,
+    const std::function<void(int64_t, int64_t, uint32_t)>& fn) const {
+  if (row1 < row0 || col1 < col0) return;
+  int64_t tr0 = TileOf(row0), tr1 = TileOf(row1);
+  int64_t tc0 = TileOf(col0), tc1 = TileOf(col1);
+  uint64_t rect_tiles = static_cast<uint64_t>(tr1 - tr0 + 1) *
+                        static_cast<uint64_t>(tc1 - tc0 + 1);
+  if (rect_tiles <= tiles_.size()) {
+    // Probe candidate tiles directly.
+    for (int64_t tr = tr0; tr <= tr1; ++tr) {
+      for (int64_t tc = tc0; tc <= tc1; ++tc) {
+        uint32_t slot = Find(tr, tc);
+        if (slot != kNoSlot) fn(tr, tc, slot);
+      }
+    }
+    return;
+  }
+  // Sparse directory: filter all registered tiles.
+  for (const auto& [key, slot] : tiles_) {
+    int64_t tr = UnpackRow(key);
+    int64_t tc = UnpackCol(key);
+    if (tr >= tr0 && tr <= tr1 && tc >= tc0 && tc <= tc1) fn(tr, tc, slot);
+  }
+}
+
+void GridIndex::VisitAll(
+    const std::function<void(int64_t, int64_t, uint32_t)>& fn) const {
+  for (const auto& [key, slot] : tiles_) {
+    fn(UnpackRow(key), UnpackCol(key), slot);
+  }
+}
+
+}  // namespace dataspread

@@ -1,0 +1,82 @@
+#ifndef DATASPREAD_INDEX_GRID_INDEX_H_
+#define DATASPREAD_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "common/result.h"
+
+namespace dataspread {
+
+/// Two-dimensional index over proximity-grouped cell blocks (the Interface
+/// Storage Manager's "blocks ... indexed by a two-dimensional indexing
+/// method", §3).
+///
+/// The sheet groups cells into 32×32 *tiles*; this directory maps tile
+/// coordinates to opaque tile slots and answers rectangle queries. For small
+/// query rectangles it probes the O(#tiles-in-rect) candidate tiles; for large
+/// rectangles it scans the directory — whichever is cheaper.
+class GridIndex {
+ public:
+  static constexpr int kTileBits = 5;
+  static constexpr int64_t kTileSize = 1 << kTileBits;  // 32
+  static constexpr uint32_t kNoSlot = std::numeric_limits<uint32_t>::max();
+
+  /// Tile coordinate of a cell coordinate.
+  static int64_t TileOf(int64_t cell) { return cell >> kTileBits; }
+  /// Offset of a cell within its tile.
+  static int64_t OffsetOf(int64_t cell) { return cell & (kTileSize - 1); }
+
+  size_t size() const { return tiles_.size(); }
+
+  /// Slot of tile (tile_row, tile_col), or kNoSlot.
+  uint32_t Find(int64_t tile_row, int64_t tile_col) const {
+    auto it = tiles_.find(Pack(tile_row, tile_col));
+    return it == tiles_.end() ? kNoSlot : it->second;
+  }
+
+  /// Registers `slot` for the tile; fails if already present.
+  Status Insert(int64_t tile_row, int64_t tile_col, uint32_t slot) {
+    auto [it, inserted] = tiles_.emplace(Pack(tile_row, tile_col), slot);
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("tile (" + std::to_string(tile_row) + "," +
+                                   std::to_string(tile_col) + ")");
+    }
+    return Status::OK();
+  }
+
+  /// Removes the tile entry; returns whether it existed.
+  bool Erase(int64_t tile_row, int64_t tile_col) {
+    return tiles_.erase(Pack(tile_row, tile_col)) > 0;
+  }
+
+  /// Visits every registered tile whose 32×32 cell block intersects the cell
+  /// rectangle [row0,row1] × [col0,col1] (inclusive).
+  void VisitRect(int64_t row0, int64_t col0, int64_t row1, int64_t col1,
+                 const std::function<void(int64_t, int64_t, uint32_t)>& fn) const;
+
+  /// Visits every registered tile.
+  void VisitAll(
+      const std::function<void(int64_t, int64_t, uint32_t)>& fn) const;
+
+  void Clear() { tiles_.clear(); }
+
+ private:
+  static uint64_t Pack(int64_t tr, int64_t tc) {
+    // Sheet coordinates are non-negative; tiles fit comfortably in 32 bits.
+    return (static_cast<uint64_t>(tr) << 32) | static_cast<uint32_t>(tc);
+  }
+  static int64_t UnpackRow(uint64_t key) { return static_cast<int64_t>(key >> 32); }
+  static int64_t UnpackCol(uint64_t key) {
+    return static_cast<int64_t>(static_cast<uint32_t>(key));
+  }
+
+  std::unordered_map<uint64_t, uint32_t> tiles_;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_INDEX_GRID_INDEX_H_

@@ -1,0 +1,23 @@
+#include "index/offset_array.h"
+
+#include <algorithm>
+
+namespace dataspread {
+
+void OffsetArray::Visit(size_t begin, size_t count,
+                        const std::function<void(size_t, uint64_t)>& fn) const {
+  if (begin >= data_.size()) return;
+  size_t end = std::min(data_.size(), begin + count);
+  for (size_t i = begin; i < end; ++i) fn(i, data_[i]);
+}
+
+std::vector<uint64_t> OffsetArray::GetRange(size_t begin, size_t count) const {
+  std::vector<uint64_t> out;
+  if (begin >= data_.size()) return out;
+  size_t end = std::min(data_.size(), begin + count);
+  out.assign(data_.begin() + static_cast<ptrdiff_t>(begin),
+             data_.begin() + static_cast<ptrdiff_t>(end));
+  return out;
+}
+
+}  // namespace dataspread

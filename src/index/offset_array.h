@@ -1,0 +1,69 @@
+#ifndef DATASPREAD_INDEX_OFFSET_ARRAY_H_
+#define DATASPREAD_INDEX_OFFSET_ARRAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dataspread {
+
+/// Ablation baseline for the positional index: a flat array where insert and
+/// erase shift every later element (O(n)), the way a naive spreadsheet keeps
+/// rows. Gets are O(1). Same API surface as PositionalIndex so benchmarks and
+/// property tests can be written once against both.
+class OffsetArray {
+ public:
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  Result<uint64_t> Get(size_t pos) const {
+    if (pos >= data_.size()) {
+      return Status::OutOfRange("position " + std::to_string(pos));
+    }
+    return data_[pos];
+  }
+
+  Status Set(size_t pos, uint64_t payload) {
+    if (pos >= data_.size()) {
+      return Status::OutOfRange("position " + std::to_string(pos));
+    }
+    data_[pos] = payload;
+    return Status::OK();
+  }
+
+  Status InsertAt(size_t pos, uint64_t payload) {
+    if (pos > data_.size()) {
+      return Status::OutOfRange("insert position " + std::to_string(pos));
+    }
+    data_.insert(data_.begin() + static_cast<ptrdiff_t>(pos), payload);
+    return Status::OK();
+  }
+
+  void PushBack(uint64_t payload) { data_.push_back(payload); }
+
+  Result<uint64_t> EraseAt(size_t pos) {
+    if (pos >= data_.size()) {
+      return Status::OutOfRange("position " + std::to_string(pos));
+    }
+    uint64_t v = data_[pos];
+    data_.erase(data_.begin() + static_cast<ptrdiff_t>(pos));
+    return v;
+  }
+
+  void Visit(size_t begin, size_t count,
+             const std::function<void(size_t, uint64_t)>& fn) const;
+
+  std::vector<uint64_t> GetRange(size_t begin, size_t count) const;
+
+  void Build(const std::vector<uint64_t>& payloads) { data_ = payloads; }
+  void Clear() { data_.clear(); }
+
+ private:
+  std::vector<uint64_t> data_;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_INDEX_OFFSET_ARRAY_H_

@@ -1,0 +1,120 @@
+#include "io/csv.h"
+
+namespace dataspread {
+
+Result<std::vector<Row>> ParseCsv(std::string_view text, char delimiter) {
+  std::vector<Row> rows;
+  Row current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto end_field = [&]() {
+    // Quoted fields stay text verbatim; unquoted fields are dynamically typed.
+    if (field_was_quoted) {
+      current.push_back(Value::Text(field));
+    } else {
+      current.push_back(Value::FromUserInput(field));
+    }
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(current));
+    current = Row{};
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      if (i + 1 < n && text[i + 1] == '\n') ++i;
+      end_row();
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      end_row();
+      ++i;
+      continue;
+    }
+    field += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  // Final row without a trailing newline.
+  if (!field.empty() || field_was_quoted || !current.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string WriteCsv(const std::vector<Row>& rows, char delimiter) {
+  std::string out;
+  for (const Row& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += delimiter;
+      std::string text = row[c].ToDisplayString();
+      // Text that would re-parse as a number/bool/empty is quoted so the
+      // dynamic typing of a round trip is faithful.
+      bool ambiguous_text =
+          row[c].type() == DataType::kText &&
+          Value::FromUserInput(text).type() != DataType::kText;
+      if (NeedsQuoting(text, delimiter) || ambiguous_text) {
+        out += '"';
+        for (char ch : text) {
+          if (ch == '"') out += "\"\"";
+          else out += ch;
+        }
+        out += '"';
+      } else {
+        out += text;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dataspread

@@ -1,0 +1,29 @@
+#ifndef DATASPREAD_IO_CSV_H_
+#define DATASPREAD_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace dataspread {
+
+/// RFC-4180-style CSV codec. The paper's introduction motivates ingesting
+/// data that external software "outputs ... into a relational database or a
+/// CSV file"; this module is that ingestion path.
+///
+/// Parsing rules: fields separated by `delimiter`; fields may be quoted with
+/// `"` (embedded quotes doubled, newlines allowed inside quotes); both \n and
+/// \r\n row terminators; a trailing newline does not produce an empty row.
+/// Cells are dynamically typed through Value::FromUserInput.
+Result<std::vector<Row>> ParseCsv(std::string_view text, char delimiter = ',');
+
+/// Renders rows as CSV. Fields containing the delimiter, quotes, or newlines
+/// are quoted; NULLs render as empty fields.
+std::string WriteCsv(const std::vector<Row>& rows, char delimiter = ',');
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_IO_CSV_H_

@@ -1,0 +1,142 @@
+#include "sheet/address.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+std::string ColumnName(int64_t col) {
+  std::string out;
+  int64_t n = col;
+  while (n >= 0) {
+    out.insert(out.begin(), static_cast<char>('A' + n % 26));
+    n = n / 26 - 1;
+  }
+  return out;
+}
+
+Result<int64_t> ColumnIndex(std::string_view letters) {
+  if (letters.empty()) {
+    return Status::ParseError("empty column name");
+  }
+  int64_t col = 0;
+  for (char c : letters) {
+    char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (u < 'A' || u > 'Z') {
+      return Status::ParseError("bad column letters '" + std::string(letters) +
+                                "'");
+    }
+    col = col * 26 + (u - 'A' + 1);
+    if (col > (int64_t{1} << 31)) {
+      return Status::ParseError("column out of range");
+    }
+  }
+  return col - 1;
+}
+
+namespace {
+
+/// Parses the "A1" part (no sheet prefix) starting at text[0].
+Result<CellRef> ParseLocalCell(std::string_view text) {
+  CellRef ref;
+  size_t i = 0;
+  if (i < text.size() && text[i] == '$') {
+    ref.abs_col = true;
+    ++i;
+  }
+  size_t col_start = i;
+  while (i < text.size() &&
+         std::isalpha(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i == col_start) {
+    return Status::ParseError("expected column letters in '" +
+                              std::string(text) + "'");
+  }
+  DS_ASSIGN_OR_RETURN(ref.col, ColumnIndex(text.substr(col_start, i - col_start)));
+  if (i < text.size() && text[i] == '$') {
+    ref.abs_row = true;
+    ++i;
+  }
+  size_t row_start = i;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i == row_start || i != text.size()) {
+    return Status::ParseError("bad cell reference '" + std::string(text) + "'");
+  }
+  auto row = ParseInt64(text.substr(row_start, i - row_start));
+  if (!row || *row < 1) {
+    return Status::ParseError("bad row number in '" + std::string(text) + "'");
+  }
+  ref.row = *row - 1;  // 1-based on the surface, 0-based inside
+  return ref;
+}
+
+}  // namespace
+
+Result<CellRef> ParseCellRef(std::string_view text) {
+  text = TrimView(text);
+  size_t bang = text.find('!');
+  std::string sheet;
+  if (bang != std::string_view::npos) {
+    sheet = std::string(text.substr(0, bang));
+    if (sheet.empty()) {
+      return Status::ParseError("empty sheet name in '" + std::string(text) +
+                                "'");
+    }
+    text = text.substr(bang + 1);
+  }
+  DS_ASSIGN_OR_RETURN(CellRef ref, ParseLocalCell(text));
+  ref.sheet = std::move(sheet);
+  return ref;
+}
+
+Result<RangeRef> ParseRangeRef(std::string_view text) {
+  text = TrimView(text);
+  size_t bang = text.find('!');
+  std::string sheet;
+  if (bang != std::string_view::npos) {
+    sheet = std::string(text.substr(0, bang));
+    text = text.substr(bang + 1);
+  }
+  RangeRef range;
+  size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    DS_ASSIGN_OR_RETURN(range.start, ParseLocalCell(text));
+    range.end = range.start;
+  } else {
+    DS_ASSIGN_OR_RETURN(range.start, ParseLocalCell(text.substr(0, colon)));
+    DS_ASSIGN_OR_RETURN(range.end, ParseLocalCell(text.substr(colon + 1)));
+  }
+  if (range.start.row > range.end.row) std::swap(range.start.row, range.end.row);
+  if (range.start.col > range.end.col) std::swap(range.start.col, range.end.col);
+  range.sheet = std::move(sheet);
+  return range;
+}
+
+std::string FormatCell(int64_t row, int64_t col) {
+  return ColumnName(col) + std::to_string(row + 1);
+}
+
+std::string FormatCellRef(const CellRef& ref) {
+  std::string out;
+  if (!ref.sheet.empty()) out = ref.sheet + "!";
+  if (ref.abs_col) out += "$";
+  out += ColumnName(ref.col);
+  if (ref.abs_row) out += "$";
+  out += std::to_string(ref.row + 1);
+  return out;
+}
+
+std::string FormatRangeRef(const RangeRef& ref) {
+  std::string out;
+  if (!ref.sheet.empty()) out = ref.sheet + "!";
+  out += FormatCell(ref.start.row, ref.start.col);
+  out += ":";
+  out += FormatCell(ref.end.row, ref.end.col);
+  return out;
+}
+
+}  // namespace dataspread

@@ -1,0 +1,66 @@
+#ifndef DATASPREAD_SHEET_ADDRESS_H_
+#define DATASPREAD_SHEET_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace dataspread {
+
+/// A parsed A1-style cell reference. Coordinates are 0-based internally
+/// ("A1" → row 0, col 0). `abs_row`/`abs_col` carry the `$` anchors used by
+/// relative reference adjustment (copy/paste, row/col insertion).
+struct CellRef {
+  int64_t row = 0;
+  int64_t col = 0;
+  bool abs_row = false;
+  bool abs_col = false;
+  std::string sheet;  // empty = the referencing cell's own sheet
+
+  bool operator==(const CellRef& o) const {
+    return row == o.row && col == o.col && abs_row == o.abs_row &&
+           abs_col == o.abs_col && sheet == o.sheet;
+  }
+};
+
+/// A parsed rectangular range "A1:D100" (inclusive corners, normalized so
+/// start ≤ end on both axes).
+struct RangeRef {
+  CellRef start;
+  CellRef end;
+  std::string sheet;  // empty = local; both corners share the sheet
+
+  int64_t num_rows() const { return end.row - start.row + 1; }
+  int64_t num_cols() const { return end.col - start.col + 1; }
+  bool Contains(int64_t row, int64_t col) const {
+    return row >= start.row && row <= end.row && col >= start.col &&
+           col <= end.col;
+  }
+};
+
+/// 0-based column index → spreadsheet letters (0→"A", 25→"Z", 26→"AA").
+std::string ColumnName(int64_t col);
+
+/// Spreadsheet letters → 0-based column index ("A"→0, "AA"→26).
+Result<int64_t> ColumnIndex(std::string_view letters);
+
+/// Parses "A1", "$B$2", "Sheet2!C3".
+Result<CellRef> ParseCellRef(std::string_view text);
+
+/// Parses "A1:D100", "Sheet2!A1:D100", or a single cell (1×1 range).
+Result<RangeRef> ParseRangeRef(std::string_view text);
+
+/// "A1"-style text for a 0-based coordinate pair.
+std::string FormatCell(int64_t row, int64_t col);
+
+/// Renders a CellRef including `$` anchors and sheet prefix.
+std::string FormatCellRef(const CellRef& ref);
+
+/// Renders a RangeRef ("A1:D100" or "Sheet2!A1:D100").
+std::string FormatRangeRef(const RangeRef& ref);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_SHEET_ADDRESS_H_

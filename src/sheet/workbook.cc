@@ -1,0 +1,42 @@
+#include "sheet/workbook.h"
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+Result<Sheet*> Workbook::AddSheet(std::string name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("sheet name may not be empty");
+  }
+  if (HasSheet(name)) {
+    return Status::AlreadyExists("sheet '" + name + "' already exists");
+  }
+  sheets_.push_back(std::make_unique<Sheet>(std::move(name)));
+  return sheets_.back().get();
+}
+
+Result<Sheet*> Workbook::GetSheet(std::string_view name) const {
+  for (const auto& sheet : sheets_) {
+    if (EqualsIgnoreCase(sheet->name(), name)) return sheet.get();
+  }
+  return Status::NotFound("sheet '" + std::string(name) + "' does not exist");
+}
+
+bool Workbook::HasSheet(std::string_view name) const {
+  for (const auto& sheet : sheets_) {
+    if (EqualsIgnoreCase(sheet->name(), name)) return true;
+  }
+  return false;
+}
+
+Status Workbook::RemoveSheet(std::string_view name) {
+  for (auto it = sheets_.begin(); it != sheets_.end(); ++it) {
+    if (EqualsIgnoreCase((*it)->name(), name)) {
+      sheets_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("sheet '" + std::string(name) + "' does not exist");
+}
+
+}  // namespace dataspread

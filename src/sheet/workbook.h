@@ -1,0 +1,37 @@
+#ifndef DATASPREAD_SHEET_WORKBOOK_H_
+#define DATASPREAD_SHEET_WORKBOOK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sheet/sheet.h"
+
+namespace dataspread {
+
+/// An ordered collection of named sheets (names case-insensitive).
+class Workbook {
+ public:
+  Workbook() = default;
+
+  /// Creates a sheet; fails with AlreadyExists on a name collision.
+  Result<Sheet*> AddSheet(std::string name);
+
+  /// Case-insensitive lookup.
+  Result<Sheet*> GetSheet(std::string_view name) const;
+  bool HasSheet(std::string_view name) const;
+
+  Status RemoveSheet(std::string_view name);
+
+  /// Sheets in creation order.
+  const std::vector<std::unique_ptr<Sheet>>& sheets() const { return sheets_; }
+  size_t size() const { return sheets_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Sheet>> sheets_;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_SHEET_WORKBOOK_H_

@@ -1,0 +1,125 @@
+#include "sql/ast.h"
+
+#include "common/str_util.h"
+
+namespace dataspread::sql {
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->qualifier = qualifier;
+  out->column_name = column_name;
+  out->op = op;
+  out->negated = negated;
+  out->star = star;
+  out->ref_text = ref_text;
+  out->args.reserve(args.size());
+  for (const ExprPtr& a : args) {
+    out->args.push_back(a ? a->Clone() : nullptr);
+  }
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column_name : qualifier + "." + column_name;
+    case ExprKind::kUnary:
+      return "(" + op + " " + args[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + op + " " + args[1]->ToString() +
+             ")";
+    case ExprKind::kFunction: {
+      std::string out = op + "(";
+      if (star) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+    case ExprKind::kIsNull:
+      return "(" + args[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL") +
+             ")";
+    case ExprKind::kInList: {
+      std::string out = "(" + args[0]->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + "))";
+    }
+    case ExprKind::kRangeValue:
+      return "RANGEVALUE(" + ref_text + ")";
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t i = 0;
+      for (; i + 1 < args.size(); i += 2) {
+        out += " WHEN " + args[i]->ToString() + " THEN " + args[i + 1]->ToString();
+      }
+      if (i < args.size()) out += " ELSE " + args[i]->ToString();
+      return out + " END";
+    }
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column_name = std::move(column);
+  return e;
+}
+
+ExprPtr MakeUnary(std::string op, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+bool IsAggregateFunction(std::string_view name) {
+  return name == "COUNT" || name == "SUM" || name == "AVG" || name == "MIN" ||
+         name == "MAX";
+}
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kFunction && IsAggregateFunction(e.op)) return true;
+  for (const ExprPtr& a : e.args) {
+    if (a && ContainsAggregate(*a)) return true;
+  }
+  return false;
+}
+
+std::string TableRef::EffectiveName() const {
+  if (!alias.empty()) return alias;
+  if (kind == Kind::kNamed) return name;
+  return range_text;
+}
+
+}  // namespace dataspread::sql

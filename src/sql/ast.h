@@ -1,0 +1,171 @@
+#ifndef DATASPREAD_SQL_AST_H_
+#define DATASPREAD_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace dataspread::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,     ///< `literal`
+  kColumnRef,   ///< `qualifier`.`column_name` (qualifier may be empty)
+  kUnary,       ///< op in {"-", "NOT"}; one arg
+  kBinary,      ///< op in {OR AND = <> < <= > >= + - * / % || LIKE}; two args
+  kFunction,    ///< op = upper-cased name; args; `star` for COUNT(*)
+  kIsNull,      ///< one arg; `negated` for IS NOT NULL
+  kInList,      ///< args[0] IN (args[1..]); `negated` for NOT IN
+  kRangeValue,  ///< RANGEVALUE(ref_text): scalar cell reference (paper §2.2)
+  kCase,        ///< CASE WHEN a THEN b [WHEN..]* [ELSE e] END; args alternate
+};
+
+/// One SQL expression node. A single struct (rather than a class hierarchy)
+/// keeps the binder/evaluator switch-based and the ownership obvious.
+struct Expr {
+  ExprKind kind;
+  Value literal;                  // kLiteral
+  std::string qualifier;          // kColumnRef: table alias, may be empty
+  std::string column_name;        // kColumnRef
+  std::string op;                 // operator text or upper-case function name
+  std::vector<ExprPtr> args;
+  bool negated = false;           // IS NOT NULL / NOT IN
+  bool star = false;              // COUNT(*)
+  std::string ref_text;           // kRangeValue: e.g. "A1" or "Sheet2!B3"
+
+  // ---- Binder annotations (filled by exec/binder) ----
+  int bound_column = -1;          // kColumnRef: offset into the input row
+  int aggregate_index = -1;       // kFunction aggregates: slot in agg buffer
+
+  /// Deep copy (parse trees are cached by the shared-computation layer).
+  ExprPtr Clone() const;
+  /// Diagnostic rendering, approximately re-parsable.
+  std::string ToString() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeUnary(std::string op, ExprPtr arg);
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs);
+
+/// True if `name` (upper-case) is an aggregate function.
+bool IsAggregateFunction(std::string_view name);
+
+/// True if the expression tree contains an aggregate function call.
+bool ContainsAggregate(const Expr& e);
+
+// ---------------------------------------------------------------------------
+// Table references and SELECT structure
+// ---------------------------------------------------------------------------
+
+enum class JoinType { kCross, kInner, kLeft, kNatural };
+
+struct TableRef {
+  enum class Kind { kNamed, kRangeTable };
+  Kind kind = Kind::kNamed;
+  std::string name;        // kNamed: table name
+  std::string range_text;  // kRangeTable: e.g. "A1:D100" or "Sheet2!A1:D100"
+  std::string alias;       // optional
+  /// Display name used for qualified column resolution.
+  std::string EffectiveName() const;
+};
+
+struct SelectStmt;
+
+struct JoinClause {
+  JoinType type = JoinType::kCross;
+  TableRef table;
+  ExprPtr on;  // null for CROSS / NATURAL
+};
+
+struct SelectItem {
+  ExprPtr expr;          // null when star
+  std::string alias;
+  bool star = false;
+  std::string star_qualifier;  // "t.*"
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::optional<TableRef> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+};
+
+// ---------------------------------------------------------------------------
+// DML / DDL
+// ---------------------------------------------------------------------------
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;          // empty = schema order
+  std::vector<std::vector<ExprPtr>> values;  // VALUES rows
+  std::unique_ptr<SelectStmt> select;        // INSERT ... SELECT
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct ColumnSpec {
+  std::string name;
+  dataspread::DataType type = dataspread::DataType::kText;
+  bool primary_key = false;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnSpec> columns;
+  bool if_not_exists = false;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+};
+
+struct AlterTableStmt {
+  enum class Action { kAddColumn, kDropColumn, kRenameColumn };
+  std::string table;
+  Action action = Action::kAddColumn;
+  ColumnSpec new_column;    // kAddColumn
+  ExprPtr default_value;    // kAddColumn, optional
+  std::string column_name;  // kDropColumn / kRenameColumn (old name)
+  std::string new_name;     // kRenameColumn
+};
+
+using Statement = std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
+                               CreateTableStmt, DropTableStmt, AlterTableStmt>;
+
+}  // namespace dataspread::sql
+
+#endif  // DATASPREAD_SQL_AST_H_

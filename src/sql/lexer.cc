@@ -1,0 +1,149 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace dataspread::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(sql.substr(start, i - start));
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (sql[exp] == '+' || sql[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(sql[exp]))) {
+          is_real = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      std::string text(sql.substr(start, i - start));
+      Token t;
+      t.offset = start;
+      t.text = text;
+      if (is_real) {
+        auto d = ParseDouble(text);
+        if (!d) return Status::ParseError("bad numeric literal '" + text + "'");
+        t.kind = TokenKind::kReal;
+        t.real_value = *d;
+      } else {
+        auto v = ParseInt64(text);
+        if (!v) {
+          // Integer overflow: fall back to REAL.
+          auto d = ParseDouble(text);
+          if (!d) return Status::ParseError("bad numeric literal '" + text + "'");
+          t.kind = TokenKind::kReal;
+          t.real_value = *d;
+        } else {
+          t.kind = TokenKind::kInt;
+          t.int_value = *v;
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      std::string contents;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            contents += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        contents += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(contents);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Symbols, longest match first.
+    auto make_symbol = [&](std::string text) {
+      Token t;
+      t.kind = TokenKind::kSymbol;
+      t.text = std::move(text);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+    };
+    if (i + 1 < n) {
+      std::string two{c, sql[i + 1]};
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+          two == "||") {
+        make_symbol(two);
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string_view("(),.;*=<>+-/%:!").find(c) != std::string_view::npos) {
+      make_symbol(std::string(1, c));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(start));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dataspread::sql

@@ -1,0 +1,37 @@
+#ifndef DATASPREAD_SQL_LEXER_H_
+#define DATASPREAD_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dataspread::sql {
+
+/// Lexical token categories of the SQL dialect.
+enum class TokenKind {
+  kIdent,    ///< bare identifier or keyword (case-insensitive)
+  kString,   ///< 'single quoted' with '' escaping
+  kInt,      ///< integer literal
+  kReal,     ///< floating-point literal
+  kSymbol,   ///< punctuation / operator, text holds the exact lexeme
+  kEnd,      ///< end of input sentinel
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier spelling, string contents, or symbol
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t offset = 0;    // byte offset in the statement, for error messages
+};
+
+/// Tokenizes a SQL statement. Symbols recognized:
+///   ( ) , . ; * = <> != < <= > >= + - / % || : !
+/// Comments: `-- to end of line`.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace dataspread::sql
+
+#endif  // DATASPREAD_SQL_LEXER_H_

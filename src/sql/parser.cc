@@ -1,0 +1,651 @@
+#include "sql/parser.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace dataspread::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& ReservedWords() {
+  static const auto* kWords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "GROUP",   "BY",      "HAVING", "ORDER",
+      "LIMIT",  "OFFSET", "JOIN",   "INNER",   "LEFT",    "OUTER",  "NATURAL",
+      "CROSS",  "ON",     "AS",     "AND",     "OR",      "NOT",    "IN",
+      "IS",     "NULL",   "LIKE",   "BETWEEN", "CASE",    "WHEN",   "THEN",
+      "ELSE",   "END",    "DISTINCT", "VALUES", "INSERT", "INTO",   "UPDATE",
+      "SET",    "DELETE", "CREATE", "TABLE",   "DROP",    "ALTER",  "ADD",
+      "COLUMN", "RENAME", "TO",     "PRIMARY", "KEY",     "DEFAULT", "IF",
+      "EXISTS", "TRUE",   "FALSE",  "ASC",     "DESC",    "UNION",
+  };
+  return *kWords;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Result<Statement> out = ParseStatementInner();
+    if (!out.ok()) return out;
+    (void)MatchSymbol(";");
+    if (!AtEnd()) {
+      return Status::ParseError("unexpected trailing input at '" +
+                                Peek().text + "'");
+    }
+    return out;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool IsKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Status::ParseError("expected " + std::string(kw) + " before '" +
+                              Peek().text + "'");
+  }
+  bool MatchSymbol(std::string_view sym) {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kSymbol && t.text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Status::ParseError("expected '" + std::string(sym) + "' before '" +
+                              Peek().text + "'");
+  }
+  Result<std::string> ExpectIdent(std::string_view what) {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdent) {
+      return Status::ParseError("expected " + std::string(what) + " before '" +
+                                t.text + "'");
+    }
+    ++pos_;
+    return t.text;
+  }
+  bool IsReserved(const Token& t) const {
+    return t.kind == TokenKind::kIdent &&
+           ReservedWords().count(ToUpper(t.text)) > 0;
+  }
+
+  // ---- statements ----
+  Result<Statement> ParseStatementInner() {
+    if (IsKeyword("SELECT")) {
+      DS_ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
+      return Statement(std::move(s));
+    }
+    if (IsKeyword("INSERT")) return ParseInsert();
+    if (IsKeyword("UPDATE")) return ParseUpdate();
+    if (IsKeyword("DELETE")) return ParseDelete();
+    if (IsKeyword("CREATE")) return ParseCreateTable();
+    if (IsKeyword("DROP")) return ParseDropTable();
+    if (IsKeyword("ALTER")) return ParseAlterTable();
+    return Status::ParseError("expected a SQL statement, got '" + Peek().text +
+                              "'");
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    DS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStmt stmt;
+    stmt.distinct = MatchKeyword("DISTINCT");
+    // select list
+    while (true) {
+      SelectItem item;
+      if (MatchSymbol("*")) {
+        item.star = true;
+      } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek()) &&
+                 Peek(1).kind == TokenKind::kSymbol && Peek(1).text == "." &&
+                 Peek(2).kind == TokenKind::kSymbol && Peek(2).text == "*") {
+        item.star = true;
+        item.star_qualifier = Advance().text;
+        Advance();  // .
+        Advance();  // *
+      } else {
+        DS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("AS")) {
+          DS_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+        } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek())) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+    // FROM
+    if (MatchKeyword("FROM")) {
+      DS_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+      stmt.from = std::move(first);
+      while (true) {
+        if (MatchSymbol(",")) {
+          JoinClause j;
+          j.type = JoinType::kCross;
+          DS_ASSIGN_OR_RETURN(j.table, ParseTableRef());
+          stmt.joins.push_back(std::move(j));
+          continue;
+        }
+        JoinType type;
+        if (MatchKeyword("NATURAL")) {
+          DS_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+          type = JoinType::kNatural;
+        } else if (MatchKeyword("CROSS")) {
+          DS_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+          type = JoinType::kCross;
+        } else if (MatchKeyword("LEFT")) {
+          (void)MatchKeyword("OUTER");
+          DS_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+          type = JoinType::kLeft;
+        } else if (MatchKeyword("INNER")) {
+          DS_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+          type = JoinType::kInner;
+        } else if (MatchKeyword("JOIN")) {
+          type = JoinType::kInner;
+        } else {
+          break;
+        }
+        JoinClause j;
+        j.type = type;
+        DS_ASSIGN_OR_RETURN(j.table, ParseTableRef());
+        if (type == JoinType::kInner || type == JoinType::kLeft) {
+          DS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+          DS_ASSIGN_OR_RETURN(j.on, ParseExpr());
+        }
+        stmt.joins.push_back(std::move(j));
+      }
+    }
+    if (MatchKeyword("WHERE")) {
+      DS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (MatchKeyword("GROUP")) {
+      DS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        DS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("HAVING")) {
+      DS_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (MatchKeyword("ORDER")) {
+      DS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        DS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          (void)MatchKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("LIMIT")) {
+      DS_ASSIGN_OR_RETURN(stmt.limit, ParseIntConstant("LIMIT"));
+      if (MatchKeyword("OFFSET")) {
+        DS_ASSIGN_OR_RETURN(stmt.offset, ParseIntConstant("OFFSET"));
+      }
+    } else if (MatchKeyword("OFFSET")) {
+      DS_ASSIGN_OR_RETURN(stmt.offset, ParseIntConstant("OFFSET"));
+    }
+    return stmt;
+  }
+
+  Result<int64_t> ParseIntConstant(std::string_view what) {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kInt) {
+      return Status::ParseError(std::string(what) +
+                                " expects an integer constant");
+    }
+    ++pos_;
+    return t.int_value;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (IsKeyword("RANGETABLE")) {
+      Advance();
+      DS_RETURN_IF_ERROR(ExpectSymbol("("));
+      DS_ASSIGN_OR_RETURN(ref.range_text, ParseCellRefText(/*allow_range=*/true));
+      DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ref.kind = TableRef::Kind::kRangeTable;
+    } else {
+      DS_ASSIGN_OR_RETURN(ref.name, ExpectIdent("table name"));
+      ref.kind = TableRef::Kind::kNamed;
+    }
+    if (MatchKeyword("AS")) {
+      DS_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("alias"));
+    } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek())) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  /// Reads a cell or range reference: `A1`, `A1:D100`, `Sheet2!B3`,
+  /// `Sheet2!A1:D100`, or any of those as a quoted string.
+  Result<std::string> ParseCellRefText(bool allow_range) {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kString) {
+      ++pos_;
+      return t.text;
+    }
+    DS_ASSIGN_OR_RETURN(std::string first, ExpectIdent("cell reference"));
+    std::string out = first;
+    if (MatchSymbol("!")) {
+      DS_ASSIGN_OR_RETURN(std::string cell, ExpectIdent("cell reference"));
+      out += "!" + cell;
+    }
+    if (allow_range && MatchSymbol(":")) {
+      DS_ASSIGN_OR_RETURN(std::string end, ExpectIdent("range end"));
+      out += ":" + end;
+    }
+    return out;
+  }
+
+  Result<Statement> ParseInsert() {
+    Advance();  // INSERT
+    DS_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    DS_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (MatchSymbol("(")) {
+      do {
+        DS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    if (MatchKeyword("VALUES")) {
+      do {
+        DS_RETURN_IF_ERROR(ExpectSymbol("("));
+        std::vector<ExprPtr> row;
+        do {
+          DS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+        } while (MatchSymbol(","));
+        DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+        stmt.values.push_back(std::move(row));
+      } while (MatchSymbol(","));
+    } else if (IsKeyword("SELECT")) {
+      DS_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
+      stmt.select = std::make_unique<SelectStmt>(std::move(sel));
+    } else {
+      return Status::ParseError("INSERT expects VALUES or SELECT");
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseUpdate() {
+    Advance();  // UPDATE
+    UpdateStmt stmt;
+    DS_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    DS_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      DS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      DS_RETURN_IF_ERROR(ExpectSymbol("="));
+      DS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(e));
+    } while (MatchSymbol(","));
+    if (MatchKeyword("WHERE")) {
+      DS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    Advance();  // DELETE
+    DS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    DS_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (MatchKeyword("WHERE")) {
+      DS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<ColumnSpec> ParseColumnSpec() {
+    ColumnSpec spec;
+    DS_ASSIGN_OR_RETURN(spec.name, ExpectIdent("column name"));
+    DS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent("type name"));
+    auto type = DataTypeFromName(type_name);
+    if (!type) {
+      return Status::ParseError("unknown type '" + type_name + "'");
+    }
+    spec.type = *type;
+    if (MatchKeyword("PRIMARY")) {
+      DS_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+      spec.primary_key = true;
+    }
+    return spec;
+  }
+
+  Result<Statement> ParseCreateTable() {
+    Advance();  // CREATE
+    DS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    CreateTableStmt stmt;
+    if (MatchKeyword("IF")) {
+      DS_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+      DS_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt.if_not_exists = true;
+    }
+    DS_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    DS_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      DS_ASSIGN_OR_RETURN(ColumnSpec spec, ParseColumnSpec());
+      stmt.columns.push_back(std::move(spec));
+    } while (MatchSymbol(","));
+    DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDropTable() {
+    Advance();  // DROP
+    DS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    DropTableStmt stmt;
+    if (MatchKeyword("IF")) {
+      DS_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt.if_exists = true;
+    }
+    DS_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseAlterTable() {
+    Advance();  // ALTER
+    DS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    AlterTableStmt stmt;
+    DS_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (MatchKeyword("ADD")) {
+      (void)MatchKeyword("COLUMN");
+      stmt.action = AlterTableStmt::Action::kAddColumn;
+      DS_ASSIGN_OR_RETURN(stmt.new_column, ParseColumnSpec());
+      if (MatchKeyword("DEFAULT")) {
+        DS_ASSIGN_OR_RETURN(stmt.default_value, ParseExpr());
+      }
+    } else if (MatchKeyword("DROP")) {
+      (void)MatchKeyword("COLUMN");
+      stmt.action = AlterTableStmt::Action::kDropColumn;
+      DS_ASSIGN_OR_RETURN(stmt.column_name, ExpectIdent("column name"));
+    } else if (MatchKeyword("RENAME")) {
+      (void)MatchKeyword("COLUMN");
+      stmt.action = AlterTableStmt::Action::kRenameColumn;
+      DS_ASSIGN_OR_RETURN(stmt.column_name, ExpectIdent("column name"));
+      DS_RETURN_IF_ERROR(ExpectKeyword("TO"));
+      DS_ASSIGN_OR_RETURN(stmt.new_name, ExpectIdent("new column name"));
+    } else {
+      return Status::ParseError("ALTER TABLE expects ADD, DROP, or RENAME");
+    }
+    return Statement(std::move(stmt));
+  }
+
+  // ---- expressions (precedence climbing) ----
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      DS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      DS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      DS_ASSIGN_OR_RETURN(ExprPtr arg, ParseNot());
+      return MakeUnary("NOT", std::move(arg));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL
+    if (MatchKeyword("IS")) {
+      bool negated = MatchKeyword("NOT");
+      DS_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->negated = negated;
+      e->args.push_back(std::move(lhs));
+      return ExprPtr(std::move(e));
+    }
+    // [NOT] IN / [NOT] LIKE / [NOT] BETWEEN
+    bool negated = false;
+    if (IsKeyword("NOT") &&
+        (IsKeyword("IN", 1) || IsKeyword("LIKE", 1) || IsKeyword("BETWEEN", 1))) {
+      Advance();
+      negated = true;
+    }
+    if (MatchKeyword("IN")) {
+      DS_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->args.push_back(std::move(lhs));
+      do {
+        DS_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        e->args.push_back(std::move(item));
+      } while (MatchSymbol(","));
+      DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return ExprPtr(std::move(e));
+    }
+    if (MatchKeyword("LIKE")) {
+      DS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      ExprPtr like = MakeBinary("LIKE", std::move(lhs), std::move(rhs));
+      if (negated) return MakeUnary("NOT", std::move(like));
+      return like;
+    }
+    if (MatchKeyword("BETWEEN")) {
+      DS_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      DS_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      DS_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      // Desugar: lhs BETWEEN lo AND hi  ==>  lhs >= lo AND lhs <= hi
+      ExprPtr lhs2 = lhs->Clone();
+      ExprPtr range = MakeBinary(
+          "AND", MakeBinary(">=", std::move(lhs), std::move(lo)),
+          MakeBinary("<=", std::move(lhs2), std::move(hi)));
+      if (negated) return MakeUnary("NOT", std::move(range));
+      return range;
+    }
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kSymbol &&
+        (t.text == "=" || t.text == "<>" || t.text == "!=" || t.text == "<" ||
+         t.text == "<=" || t.text == ">" || t.text == ">=")) {
+      std::string op = t.text == "!=" ? "<>" : t.text;
+      Advance();
+      DS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    DS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      const Token& t = Peek();
+      if (t.kind == TokenKind::kSymbol &&
+          (t.text == "+" || t.text == "-" || t.text == "||")) {
+        std::string op = t.text;
+        Advance();
+        DS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+        continue;
+      }
+      return lhs;
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    DS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      const Token& t = Peek();
+      if (t.kind == TokenKind::kSymbol &&
+          (t.text == "*" || t.text == "/" || t.text == "%")) {
+        std::string op = t.text;
+        Advance();
+        DS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+        continue;
+      }
+      return lhs;
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      DS_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnary());
+      return MakeUnary("-", std::move(arg));
+    }
+    if (MatchSymbol("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt:
+        Advance();
+        return MakeLiteral(Value::Int(t.int_value));
+      case TokenKind::kReal:
+        Advance();
+        return MakeLiteral(Value::Real(t.real_value));
+      case TokenKind::kString:
+        Advance();
+        return MakeLiteral(Value::Text(t.text));
+      case TokenKind::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          DS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        break;
+      case TokenKind::kIdent:
+        return ParseIdentExpr();
+      case TokenKind::kEnd:
+        break;
+    }
+    return Status::ParseError("expected an expression before '" + t.text + "'");
+  }
+
+  Result<ExprPtr> ParseIdentExpr() {
+    if (MatchKeyword("NULL")) return MakeLiteral(Value::Null());
+    if (MatchKeyword("TRUE")) return MakeLiteral(Value::Bool(true));
+    if (MatchKeyword("FALSE")) return MakeLiteral(Value::Bool(false));
+    if (IsKeyword("CASE")) return ParseCase();
+    // Remaining reserved words cannot start an expression ("SELECT FROM t").
+    if (IsReserved(Peek()) && !IsKeyword("RANGEVALUE") &&
+        !IsKeyword("RANGETABLE")) {
+      return Status::ParseError("expected an expression before '" +
+                                Peek().text + "'");
+    }
+    if (IsKeyword("RANGEVALUE")) {
+      Advance();
+      DS_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kRangeValue;
+      DS_ASSIGN_OR_RETURN(e->ref_text, ParseCellRefText(/*allow_range=*/false));
+      DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return ExprPtr(std::move(e));
+    }
+    if (IsKeyword("RANGETABLE")) {
+      return Status::ParseError(
+          "RANGETABLE is only valid as a FROM source, not as an expression");
+    }
+    std::string first = Advance().text;
+    // Function call?
+    if (MatchSymbol("(")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kFunction;
+      e->op = ToUpper(first);
+      if (MatchSymbol("*")) {
+        e->star = true;
+        DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return ExprPtr(std::move(e));
+      }
+      if (!MatchSymbol(")")) {
+        // DISTINCT inside aggregates is not supported; surface a clear error.
+        if (IsKeyword("DISTINCT")) {
+          return Status::Unimplemented("DISTINCT inside aggregate functions");
+        }
+        do {
+          DS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          e->args.push_back(std::move(arg));
+        } while (MatchSymbol(","));
+        DS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+      return ExprPtr(std::move(e));
+    }
+    // Qualified column: t.c
+    if (MatchSymbol(".")) {
+      DS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      return MakeColumnRef(first, std::move(col));
+    }
+    return MakeColumnRef("", std::move(first));
+  }
+
+  Result<ExprPtr> ParseCase() {
+    Advance();  // CASE
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCase;
+    if (!IsKeyword("WHEN")) {
+      return Status::Unimplemented("simple CASE <expr> WHEN form; use "
+                                   "CASE WHEN <cond> THEN ... END");
+    }
+    while (MatchKeyword("WHEN")) {
+      DS_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      DS_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      DS_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      e->args.push_back(std::move(cond));
+      e->args.push_back(std::move(then));
+    }
+    if (MatchKeyword("ELSE")) {
+      DS_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+      e->args.push_back(std::move(els));
+    }
+    DS_RETURN_IF_ERROR(ExpectKeyword("END"));
+    return ExprPtr(std::move(e));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view sql) {
+  DS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace dataspread::sql

@@ -1,0 +1,31 @@
+#ifndef DATASPREAD_SQL_PARSER_H_
+#define DATASPREAD_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace dataspread::sql {
+
+/// Parses one SQL statement (optionally `;`-terminated).
+///
+/// Supported grammar (see README "SQL dialect"):
+///   SELECT [DISTINCT] items FROM table_ref join* [WHERE e] [GROUP BY e,..]
+///     [HAVING e] [ORDER BY e [ASC|DESC],..] [LIMIT n [OFFSET m]]
+///   INSERT INTO t [(cols)] VALUES (..),(..) | INSERT INTO t [(cols)] SELECT ..
+///   UPDATE t SET c=e,.. [WHERE e]
+///   DELETE FROM t [WHERE e]
+///   CREATE TABLE [IF NOT EXISTS] t (c TYPE [PRIMARY KEY],..)
+///   DROP TABLE [IF EXISTS] t
+///   ALTER TABLE t ADD [COLUMN] c TYPE [DEFAULT e] | DROP [COLUMN] c
+///     | RENAME [COLUMN] c TO c2
+///
+/// DataSpread extensions (paper §2.2 "Novel Spreadsheet Constructs"):
+///   RANGEVALUE(A1) / RANGEVALUE(Sheet2!B3) as a scalar expression, and
+///   RANGETABLE(A1:D100) / RANGETABLE(Sheet2!A1:D100) as a FROM source.
+Result<Statement> Parse(std::string_view sql);
+
+}  // namespace dataspread::sql
+
+#endif  // DATASPREAD_SQL_PARSER_H_

@@ -1,0 +1,43 @@
+#ifndef DATASPREAD_STORAGE_COLUMN_STORE_H_
+#define DATASPREAD_STORAGE_COLUMN_STORE_H_
+
+#include <vector>
+
+#include "storage/table_storage.h"
+
+namespace dataspread {
+
+/// COM: decomposed column store — one file per attribute.
+///
+/// Schema changes touch only the affected attribute's file, but whole-tuple
+/// reads fan out to one page per attribute. The hybrid store interpolates
+/// between this and RowStore via attribute groups.
+class ColumnStore : public TableStorage {
+ public:
+  ColumnStore(size_t num_columns, PageAccountant* accountant);
+
+  StorageModel model() const override { return StorageModel::kColumn; }
+  size_t num_rows() const override { return num_rows_; }
+  size_t num_columns() const override { return columns_.size(); }
+
+  Result<Value> Get(size_t row, size_t col) const override;
+  Status Set(size_t row, size_t col, Value v) override;
+  Result<Row> GetRow(size_t row) const override;
+  Result<size_t> AppendRow(const Row& row) override;
+  Result<size_t> DeleteRow(size_t row) override;
+  Status AddColumn(const Value& default_value) override;
+  Status DropColumn(size_t col) override;
+
+ private:
+  struct Column {
+    std::vector<Value> values;
+    uint64_t file;
+  };
+
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_STORAGE_COLUMN_STORE_H_

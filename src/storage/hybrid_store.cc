@@ -1,0 +1,183 @@
+#include "storage/hybrid_store.h"
+
+#include <utility>
+
+namespace dataspread {
+
+namespace {
+Status CheckStorable(const Value& v) {
+  if (v.is_error()) {
+    return Status::TypeError("error value " + v.error_code() +
+                             " cannot enter relational storage");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+HybridStore::HybridStore(size_t num_columns, PageAccountant* accountant)
+    : TableStorage(accountant) {
+  if (num_columns > 0) {
+    Group g;
+    g.width = num_columns;
+    g.file = accountant_->NewFile();
+    groups_.push_back(std::move(g));
+    col_map_.reserve(num_columns);
+    for (size_t i = 0; i < num_columns; ++i) {
+      col_map_.push_back(ColumnLoc{0, i});
+    }
+  }
+}
+
+Result<Value> HybridStore::Get(size_t row, size_t col) const {
+  DS_RETURN_IF_ERROR(CheckCell(row, col));
+  const ColumnLoc& loc = col_map_[col];
+  const Group& g = groups_[loc.group];
+  accountant_->Touch(g.file, Entry(g, row, loc.offset));
+  return g.values[row * g.width + loc.offset];
+}
+
+Status HybridStore::Set(size_t row, size_t col, Value v) {
+  DS_RETURN_IF_ERROR(CheckCell(row, col));
+  DS_RETURN_IF_ERROR(CheckStorable(v));
+  const ColumnLoc& loc = col_map_[col];
+  Group& g = groups_[loc.group];
+  accountant_->Dirty(g.file, Entry(g, row, loc.offset));
+  g.values[row * g.width + loc.offset] = std::move(v);
+  return Status::OK();
+}
+
+Result<Row> HybridStore::GetRow(size_t row) const {
+  if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
+  Row out;
+  out.reserve(col_map_.size());
+  for (const ColumnLoc& loc : col_map_) {
+    const Group& g = groups_[loc.group];
+    accountant_->Touch(g.file, Entry(g, row, loc.offset));
+    out.push_back(g.values[row * g.width + loc.offset]);
+  }
+  return out;
+}
+
+Result<size_t> HybridStore::AppendRow(const Row& row) {
+  if (row.size() != col_map_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != " +
+        std::to_string(col_map_.size()));
+  }
+  for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
+  size_t slot = num_rows_;
+  // Grow each group by one row, then scatter the tuple through col_map_.
+  for (Group& g : groups_) {
+    g.values.resize(g.values.size() + g.width);
+    for (size_t o = 0; o < g.width; ++o) {
+      accountant_->Dirty(g.file, Entry(g, slot, o));
+    }
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    const ColumnLoc& loc = col_map_[c];
+    Group& g = groups_[loc.group];
+    g.values[slot * g.width + loc.offset] = row[c];
+  }
+  num_rows_ += 1;
+  return slot;
+}
+
+Result<size_t> HybridStore::DeleteRow(size_t row) {
+  if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
+  size_t last = num_rows_ - 1;
+  for (Group& g : groups_) {
+    if (row != last) {
+      for (size_t o = 0; o < g.width; ++o) {
+        g.values[row * g.width + o] = std::move(g.values[last * g.width + o]);
+        accountant_->Dirty(g.file, Entry(g, row, o));
+      }
+    }
+    for (size_t o = 0; o < g.width; ++o) {
+      accountant_->Dirty(g.file, Entry(g, last, o));
+    }
+    g.values.resize(g.values.size() - g.width);
+  }
+  num_rows_ -= 1;
+  return last;
+}
+
+Status HybridStore::AddColumn(const Value& default_value) {
+  DS_RETURN_IF_ERROR(CheckStorable(default_value));
+  // Fresh single-attribute group: the schema change writes only this group's
+  // pages; every pre-existing page is left untouched.
+  Group g;
+  g.width = 1;
+  g.file = accountant_->NewFile();
+  g.values.assign(num_rows_, default_value);
+  for (size_t r = 0; r < num_rows_; ++r) accountant_->Dirty(g.file, r);
+  groups_.push_back(std::move(g));
+  col_map_.push_back(ColumnLoc{groups_.size() - 1, 0});
+  return Status::OK();
+}
+
+void HybridStore::CompactGroupWithoutOffset(size_t group_index, size_t offset) {
+  Group& g = groups_[group_index];
+  size_t new_width = g.width - 1;
+  std::vector<Value> compacted;
+  compacted.reserve(num_rows_ * new_width);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t o = 0; o < g.width; ++o) {
+      if (o == offset) continue;
+      compacted.push_back(std::move(g.values[r * g.width + o]));
+    }
+    for (size_t o = 0; o < new_width; ++o) {
+      accountant_->Dirty(g.file, r * new_width + o);
+    }
+  }
+  g.values = std::move(compacted);
+  g.width = new_width;
+}
+
+Status HybridStore::DropColumn(size_t col) {
+  if (col >= col_map_.size()) {
+    return Status::OutOfRange("column " + std::to_string(col));
+  }
+  ColumnLoc loc = col_map_[col];
+  Group& g = groups_[loc.group];
+  if (g.width == 1) {
+    // The whole group disappears: pure metadata operation, zero page writes.
+    groups_.erase(groups_.begin() + static_cast<ptrdiff_t>(loc.group));
+    for (ColumnLoc& l : col_map_) {
+      if (l.group > loc.group) l.group -= 1;
+    }
+  } else {
+    // Rewrite only this group's pages; all other groups untouched.
+    CompactGroupWithoutOffset(loc.group, loc.offset);
+    for (ColumnLoc& l : col_map_) {
+      if (l.group == loc.group && l.offset > loc.offset) l.offset -= 1;
+    }
+  }
+  col_map_.erase(col_map_.begin() + static_cast<ptrdiff_t>(col));
+  return Status::OK();
+}
+
+Status HybridStore::Reorganize() {
+  if (groups_.size() <= 1) return Status::OK();
+  Group merged;
+  merged.width = col_map_.size();
+  merged.file = accountant_->NewFile();
+  merged.values.reserve(num_rows_ * merged.width);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (const ColumnLoc& loc : col_map_) {
+      Group& g = groups_[loc.group];
+      accountant_->Touch(g.file, Entry(g, r, loc.offset));
+      merged.values.push_back(std::move(g.values[r * g.width + loc.offset]));
+    }
+    for (size_t o = 0; o < merged.width; ++o) {
+      accountant_->Dirty(merged.file, r * merged.width + o);
+    }
+  }
+  groups_.clear();
+  groups_.push_back(std::move(merged));
+  for (size_t c = 0; c < col_map_.size(); ++c) {
+    col_map_[c] = ColumnLoc{0, c};
+  }
+  return Status::OK();
+}
+
+}  // namespace dataspread

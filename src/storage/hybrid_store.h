@@ -1,0 +1,70 @@
+#ifndef DATASPREAD_STORAGE_HYBRID_STORE_H_
+#define DATASPREAD_STORAGE_HYBRID_STORE_H_
+
+#include <vector>
+
+#include "storage/table_storage.h"
+
+namespace dataspread {
+
+/// The paper's Relational Storage Manager: a hybrid of row- and column-store
+/// organized as **attribute groups** (§3).
+///
+/// Tuples are decomposed along groups of attributes; within a group the layout
+/// is row-major (row-store locality), across groups it is decomposed
+/// (column-store independence). The initial schema forms one group; every
+/// ALTER TABLE ADD COLUMN allocates a *fresh single-attribute group*, so a
+/// schema change writes only the new group's pages — "radically reducing the
+/// disk blocks that need an update during a schema change".
+///
+/// Reorganize() merges all groups back into one for scan locality after a
+/// burst of schema changes (an offline maintenance step; listed as a design
+/// extension in DESIGN.md).
+class HybridStore : public TableStorage {
+ public:
+  HybridStore(size_t num_columns, PageAccountant* accountant);
+
+  StorageModel model() const override { return StorageModel::kHybrid; }
+  size_t num_rows() const override { return num_rows_; }
+  size_t num_columns() const override { return col_map_.size(); }
+
+  Result<Value> Get(size_t row, size_t col) const override;
+  Status Set(size_t row, size_t col, Value v) override;
+  Result<Row> GetRow(size_t row) const override;
+  Result<size_t> AppendRow(const Row& row) override;
+  Result<size_t> DeleteRow(size_t row) override;
+  Status AddColumn(const Value& default_value) override;
+  Status DropColumn(size_t col) override;
+
+  /// Number of attribute groups currently backing the table.
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Merges every attribute group into a single row-major group, restoring
+  /// whole-tuple page locality. Rewrites the table (dirty ≈ all pages).
+  Status Reorganize();
+
+ private:
+  struct Group {
+    size_t width = 0;               // attributes in this group
+    std::vector<Value> values;      // row-major: row * width + offset
+    uint64_t file = 0;
+  };
+  struct ColumnLoc {
+    size_t group;
+    size_t offset;
+  };
+
+  uint64_t Entry(const Group& g, size_t row, size_t offset) const {
+    return row * g.width + offset;
+  }
+  /// Removes `offset` from group `g`, compacting in place (group rewrite).
+  void CompactGroupWithoutOffset(size_t group_index, size_t offset);
+
+  size_t num_rows_ = 0;
+  std::vector<Group> groups_;
+  std::vector<ColumnLoc> col_map_;  // logical column -> (group, offset)
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_STORAGE_HYBRID_STORE_H_

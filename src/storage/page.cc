@@ -1,0 +1,4 @@
+#include "storage/page.h"
+
+// PageAccountant is header-only; this translation unit anchors the library.
+namespace dataspread {}

@@ -1,0 +1,127 @@
+#include "storage/rcv_store.h"
+
+namespace dataspread {
+
+namespace {
+Status CheckStorable(const Value& v) {
+  if (v.is_error()) {
+    return Status::TypeError("error value " + v.error_code() +
+                             " cannot enter relational storage");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+RcvStore::RcvStore(size_t num_columns, PageAccountant* accountant)
+    : TableStorage(accountant) {
+  col_ids_.reserve(num_columns);
+  for (size_t i = 0; i < num_columns; ++i) {
+    col_ids_.push_back(InternalColumn{next_internal_id_++, accountant_->NewFile()});
+  }
+}
+
+Result<Value> RcvStore::Get(size_t row, size_t col) const {
+  DS_RETURN_IF_ERROR(CheckCell(row, col));
+  const InternalColumn& ic = col_ids_[col];
+  accountant_->Touch(ic.file, row);
+  auto it = triples_.find(Key{ic.id, row});
+  if (it == triples_.end()) return Value::Null();
+  return it->second;
+}
+
+Status RcvStore::Set(size_t row, size_t col, Value v) {
+  DS_RETURN_IF_ERROR(CheckCell(row, col));
+  DS_RETURN_IF_ERROR(CheckStorable(v));
+  const InternalColumn& ic = col_ids_[col];
+  accountant_->Dirty(ic.file, row);
+  if (v.is_null()) {
+    triples_.erase(Key{ic.id, row});
+  } else {
+    triples_[Key{ic.id, row}] = std::move(v);
+  }
+  return Status::OK();
+}
+
+Result<Row> RcvStore::GetRow(size_t row) const {
+  if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
+  Row out;
+  out.reserve(col_ids_.size());
+  for (const InternalColumn& ic : col_ids_) {
+    accountant_->Touch(ic.file, row);
+    auto it = triples_.find(Key{ic.id, row});
+    out.push_back(it == triples_.end() ? Value::Null() : it->second);
+  }
+  return out;
+}
+
+Result<size_t> RcvStore::AppendRow(const Row& row) {
+  if (row.size() != col_ids_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != " +
+        std::to_string(col_ids_.size()));
+  }
+  for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
+  size_t slot = num_rows_;
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c].is_null()) continue;  // NULLs are unmaterialized.
+    const InternalColumn& ic = col_ids_[c];
+    accountant_->Dirty(ic.file, slot);
+    triples_[Key{ic.id, slot}] = row[c];
+  }
+  num_rows_ += 1;
+  return slot;
+}
+
+Result<size_t> RcvStore::DeleteRow(size_t row) {
+  if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
+  size_t last = num_rows_ - 1;
+  for (const InternalColumn& ic : col_ids_) {
+    auto last_it = triples_.find(Key{ic.id, last});
+    if (row != last) {
+      accountant_->Dirty(ic.file, row);
+      if (last_it != triples_.end()) {
+        triples_[Key{ic.id, row}] = std::move(last_it->second);
+      } else {
+        triples_.erase(Key{ic.id, row});
+      }
+    }
+    if (last_it != triples_.end()) {
+      accountant_->Dirty(ic.file, last);
+      triples_.erase(Key{ic.id, last});
+    }
+  }
+  num_rows_ -= 1;
+  return last;
+}
+
+Status RcvStore::AddColumn(const Value& default_value) {
+  DS_RETURN_IF_ERROR(CheckStorable(default_value));
+  InternalColumn ic{next_internal_id_++, accountant_->NewFile()};
+  if (!default_value.is_null()) {
+    // A non-NULL default must materialize a triple per row; only NULL-default
+    // schema changes are free in RCV.
+    for (size_t r = 0; r < num_rows_; ++r) {
+      accountant_->Dirty(ic.file, r);
+      triples_[Key{ic.id, r}] = default_value;
+    }
+  }
+  col_ids_.push_back(ic);
+  return Status::OK();
+}
+
+Status RcvStore::DropColumn(size_t col) {
+  if (col >= col_ids_.size()) {
+    return Status::OutOfRange("column " + std::to_string(col));
+  }
+  const InternalColumn ic = col_ids_[col];
+  // Triples are clustered by column, so the erase touches only this column's
+  // contiguous key range; surviving columns keep their internal ids.
+  auto begin = triples_.lower_bound(Key{ic.id, 0});
+  auto end = triples_.lower_bound(Key{ic.id + 1, 0});
+  for (auto it = begin; it != end; ++it) accountant_->Dirty(ic.file, it->first.second);
+  triples_.erase(begin, end);
+  col_ids_.erase(col_ids_.begin() + static_cast<ptrdiff_t>(col));
+  return Status::OK();
+}
+
+}  // namespace dataspread

@@ -1,0 +1,53 @@
+#ifndef DATASPREAD_STORAGE_RCV_STORE_H_
+#define DATASPREAD_STORAGE_RCV_STORE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "storage/table_storage.h"
+
+namespace dataspread {
+
+/// RCV: row-column-value triple store, clustered by (column, row).
+///
+/// The schema-less baseline: only non-NULL cells are materialized, so it
+/// excels on sparse data and NULL-default schema changes, and degrades on
+/// dense scans. Logical column ids are mapped through an indirection table so
+/// DropColumn never renumbers surviving triples.
+class RcvStore : public TableStorage {
+ public:
+  RcvStore(size_t num_columns, PageAccountant* accountant);
+
+  StorageModel model() const override { return StorageModel::kRcv; }
+  size_t num_rows() const override { return num_rows_; }
+  size_t num_columns() const override { return col_ids_.size(); }
+
+  Result<Value> Get(size_t row, size_t col) const override;
+  Status Set(size_t row, size_t col, Value v) override;
+  Result<Row> GetRow(size_t row) const override;
+  Result<size_t> AppendRow(const Row& row) override;
+  Result<size_t> DeleteRow(size_t row) override;
+  Status AddColumn(const Value& default_value) override;
+  Status DropColumn(size_t col) override;
+
+  /// Number of materialized (non-NULL) triples; exposed for sparsity tests.
+  size_t num_triples() const { return triples_.size(); }
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;  // (internal column id, row)
+
+  struct InternalColumn {
+    uint64_t id;
+    uint64_t file;
+  };
+
+  size_t num_rows_ = 0;
+  uint64_t next_internal_id_ = 0;
+  std::vector<InternalColumn> col_ids_;  // logical col -> internal identity
+  std::map<Key, Value> triples_;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_STORAGE_RCV_STORE_H_

@@ -1,0 +1,98 @@
+#include "storage/row_store.h"
+
+namespace dataspread {
+
+namespace {
+Status CheckStorable(const Value& v) {
+  if (v.is_error()) {
+    return Status::TypeError("error value " + v.error_code() +
+                             " cannot enter relational storage");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+RowStore::RowStore(size_t num_columns, PageAccountant* accountant)
+    : TableStorage(accountant), num_columns_(num_columns) {
+  file_ = accountant_->NewFile();
+}
+
+Result<Value> RowStore::Get(size_t row, size_t col) const {
+  DS_RETURN_IF_ERROR(CheckCell(row, col));
+  accountant_->Touch(file_, Entry(row, col));
+  return rows_[row][col];
+}
+
+Status RowStore::Set(size_t row, size_t col, Value v) {
+  DS_RETURN_IF_ERROR(CheckCell(row, col));
+  DS_RETURN_IF_ERROR(CheckStorable(v));
+  accountant_->Dirty(file_, Entry(row, col));
+  rows_[row][col] = std::move(v);
+  return Status::OK();
+}
+
+Result<Row> RowStore::GetRow(size_t row) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row));
+  }
+  // A whole tuple is contiguous: touch its first and last slot's pages.
+  if (num_columns_ > 0) {
+    accountant_->Touch(file_, Entry(row, 0));
+    accountant_->Touch(file_, Entry(row, num_columns_ - 1));
+  }
+  return rows_[row];
+}
+
+Result<size_t> RowStore::AppendRow(const Row& row) {
+  if (row.size() != num_columns_) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != " +
+        std::to_string(num_columns_));
+  }
+  for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
+  size_t slot = rows_.size();
+  rows_.push_back(row);
+  for (size_t c = 0; c < num_columns_; ++c) accountant_->Dirty(file_, Entry(slot, c));
+  return slot;
+}
+
+Result<size_t> RowStore::DeleteRow(size_t row) {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row));
+  }
+  size_t last = rows_.size() - 1;
+  if (row != last) {
+    rows_[row] = std::move(rows_[last]);
+    for (size_t c = 0; c < num_columns_; ++c) {
+      accountant_->Dirty(file_, Entry(row, c));
+    }
+  }
+  for (size_t c = 0; c < num_columns_; ++c) accountant_->Dirty(file_, Entry(last, c));
+  rows_.pop_back();
+  return last;
+}
+
+Status RowStore::AddColumn(const Value& default_value) {
+  DS_RETURN_IF_ERROR(CheckStorable(default_value));
+  // The tuple stride grows, so every tuple is rewritten in the new layout.
+  num_columns_ += 1;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    rows_[r].push_back(default_value);
+    for (size_t c = 0; c < num_columns_; ++c) accountant_->Dirty(file_, Entry(r, c));
+  }
+  return Status::OK();
+}
+
+Status RowStore::DropColumn(size_t col) {
+  if (col >= num_columns_) {
+    return Status::OutOfRange("column " + std::to_string(col));
+  }
+  num_columns_ -= 1;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    rows_[r].erase(rows_[r].begin() + static_cast<ptrdiff_t>(col));
+    for (size_t c = 0; c < num_columns_; ++c) accountant_->Dirty(file_, Entry(r, c));
+  }
+  return Status::OK();
+}
+
+}  // namespace dataspread

@@ -1,0 +1,49 @@
+#include "storage/table_storage.h"
+
+#include "storage/column_store.h"
+#include "storage/hybrid_store.h"
+#include "storage/rcv_store.h"
+#include "storage/row_store.h"
+
+namespace dataspread {
+
+const char* StorageModelName(StorageModel model) {
+  switch (model) {
+    case StorageModel::kRow:
+      return "row";
+    case StorageModel::kColumn:
+      return "column";
+    case StorageModel::kRcv:
+      return "rcv";
+    case StorageModel::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+TableStorage::TableStorage(PageAccountant* accountant) {
+  if (accountant == nullptr) {
+    owned_accountant_ = std::make_unique<PageAccountant>();
+    accountant_ = owned_accountant_.get();
+  } else {
+    accountant_ = accountant;
+  }
+}
+
+std::unique_ptr<TableStorage> CreateStorage(StorageModel model,
+                                            size_t num_columns,
+                                            PageAccountant* accountant) {
+  switch (model) {
+    case StorageModel::kRow:
+      return std::make_unique<RowStore>(num_columns, accountant);
+    case StorageModel::kColumn:
+      return std::make_unique<ColumnStore>(num_columns, accountant);
+    case StorageModel::kRcv:
+      return std::make_unique<RcvStore>(num_columns, accountant);
+    case StorageModel::kHybrid:
+      return std::make_unique<HybridStore>(num_columns, accountant);
+  }
+  return nullptr;
+}
+
+}  // namespace dataspread

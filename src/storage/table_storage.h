@@ -1,0 +1,94 @@
+#ifndef DATASPREAD_STORAGE_TABLE_STORAGE_H_
+#define DATASPREAD_STORAGE_TABLE_STORAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "types/value.h"
+
+namespace dataspread {
+
+/// Physical layout of a table. The paper's Relational Storage Manager is the
+/// hybrid attribute-group layout; the others are baselines for the storage
+/// ablation (DESIGN.md experiment A1) and the schema-change experiment (C2).
+enum class StorageModel {
+  kRow,     ///< ROM: one heap of whole tuples ("today's database" baseline).
+  kColumn,  ///< COM: one file per attribute.
+  kRcv,     ///< Row-Column-Value triples, column-major (schema-less baseline).
+  kHybrid,  ///< Attribute groups (the paper's design).
+};
+
+const char* StorageModelName(StorageModel model);
+
+/// Storage-model-agnostic interface over a table's physical data.
+///
+/// Rows are addressed by dense *slots* in [0, num_rows()). Slots are storage
+/// order, not display order: the catalog layer maintains display order with a
+/// positional index on top. DeleteRow uses swap-with-last, so exactly one
+/// surviving slot (the previous last one) is renumbered per delete; the caller
+/// is told which.
+///
+/// Cell type discipline is enforced by the catalog (schema) layer; storage
+/// accepts any Value except errors.
+class TableStorage {
+ public:
+  virtual ~TableStorage() = default;
+
+  virtual StorageModel model() const = 0;
+  virtual size_t num_rows() const = 0;
+  virtual size_t num_columns() const = 0;
+
+  /// Reads one cell. Fails with OutOfRange for bad coordinates.
+  virtual Result<Value> Get(size_t row, size_t col) const = 0;
+  /// Writes one cell.
+  virtual Status Set(size_t row, size_t col, Value v) = 0;
+  /// Reads a whole tuple.
+  virtual Result<Row> GetRow(size_t row) const = 0;
+
+  /// Appends a tuple; `row.size()` must equal num_columns(). Returns the slot.
+  virtual Result<size_t> AppendRow(const Row& row) = 0;
+  /// Removes slot `row` by moving the last slot into it. Returns the slot that
+  /// was moved (== previous last slot), or `row` itself when it was last.
+  virtual Result<size_t> DeleteRow(size_t row) = 0;
+
+  /// Schema change: appends a column filled with `default_value`.
+  /// For the hybrid model this allocates a fresh attribute group and leaves
+  /// existing pages untouched — the paper's headline storage property.
+  virtual Status AddColumn(const Value& default_value) = 0;
+  /// Schema change: drops column `col`; higher columns shift down by one.
+  virtual Status DropColumn(size_t col) = 0;
+
+  /// Block-level accounting for this table's files.
+  PageAccountant& accountant() { return *accountant_; }
+  const PageAccountant& accountant() const { return *accountant_; }
+
+ protected:
+  explicit TableStorage(PageAccountant* accountant);
+
+  Status CheckCell(size_t row, size_t col) const {
+    if (row >= num_rows()) {
+      return Status::OutOfRange("row " + std::to_string(row) + " >= " +
+                                std::to_string(num_rows()));
+    }
+    if (col >= num_columns()) {
+      return Status::OutOfRange("column " + std::to_string(col) + " >= " +
+                                std::to_string(num_columns()));
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<PageAccountant> owned_accountant_;
+  PageAccountant* accountant_;
+};
+
+/// Creates an empty table with `num_columns` attributes in the given layout.
+/// If `accountant` is null the storage owns a private one.
+std::unique_ptr<TableStorage> CreateStorage(StorageModel model,
+                                            size_t num_columns,
+                                            PageAccountant* accountant = nullptr);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_STORAGE_TABLE_STORAGE_H_

@@ -1,0 +1,55 @@
+#include "types/data_type.h"
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOLEAN";
+    case DataType::kInt:
+      return "INTEGER";
+    case DataType::kReal:
+      return "REAL";
+    case DataType::kText:
+      return "TEXT";
+    case DataType::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::optional<DataType> DataTypeFromName(std::string_view name) {
+  std::string up = ToUpper(name);
+  if (up == "INT" || up == "INTEGER" || up == "BIGINT" || up == "SMALLINT") {
+    return DataType::kInt;
+  }
+  if (up == "REAL" || up == "DOUBLE" || up == "FLOAT" || up == "NUMERIC" ||
+      up == "DECIMAL") {
+    return DataType::kReal;
+  }
+  if (up == "TEXT" || up == "VARCHAR" || up == "CHAR" || up == "STRING") {
+    return DataType::kText;
+  }
+  if (up == "BOOL" || up == "BOOLEAN") {
+    return DataType::kBool;
+  }
+  return std::nullopt;
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt || type == DataType::kReal;
+}
+
+DataType UnifyForInference(DataType a, DataType b) {
+  if (a == DataType::kNull) return b;
+  if (b == DataType::kNull) return a;
+  if (a == b) return a;
+  if (IsNumeric(a) && IsNumeric(b)) return DataType::kReal;
+  return DataType::kText;
+}
+
+}  // namespace dataspread

@@ -1,0 +1,44 @@
+#ifndef DATASPREAD_TYPES_DATA_TYPE_H_
+#define DATASPREAD_TYPES_DATA_TYPE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dataspread {
+
+/// Dynamic type of a cell / attribute value.
+///
+/// The paper (§2.2 "Data typing") requires spreadsheet-style dynamic typing on
+/// the interface with automatic type assignment inside the database; this enum
+/// is shared by both sides. `kError` models spreadsheet error values such as
+/// `#DIV/0!`; error values never enter relational storage.
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt,
+  kReal,
+  kText,
+  kError,
+};
+
+/// SQL-facing name: "NULL", "BOOLEAN", "INTEGER", "REAL", "TEXT", "ERROR".
+const char* DataTypeName(DataType type);
+
+/// Parses a SQL type name (INT/INTEGER/BIGINT, REAL/DOUBLE/FLOAT, TEXT/
+/// VARCHAR/STRING, BOOL/BOOLEAN). Case-insensitive. Returns nullopt for
+/// unknown names.
+std::optional<DataType> DataTypeFromName(std::string_view name);
+
+/// True for kInt and kReal.
+bool IsNumeric(DataType type);
+
+/// Least-general type able to hold values of both inputs. Used by schema
+/// inference when a column mixes types observed across rows:
+///   Null is the identity; Int ∪ Real = Real; Bool ∪ Bool = Bool;
+///   any other mixture widens to Text.
+DataType UnifyForInference(DataType a, DataType b);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_TYPES_DATA_TYPE_H_

@@ -1,0 +1,268 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+
+#include "common/str_util.h"
+
+namespace dataspread {
+
+Value Value::FromUserInput(std::string_view text) {
+  std::string_view trimmed = TrimView(text);
+  if (trimmed.empty()) return Value::Null();
+  if (EqualsIgnoreCase(trimmed, "true")) return Value::Bool(true);
+  if (EqualsIgnoreCase(trimmed, "false")) return Value::Bool(false);
+  if (auto i = ParseInt64(trimmed)) return Value::Int(*i);
+  if (auto d = ParseDouble(trimmed)) return Value::Real(*d);
+  return Value::Text(std::string(text));
+}
+
+DataType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt;
+    case 3:
+      return DataType::kReal;
+    case 4:
+      return DataType::kText;
+    case 5:
+      return DataType::kError;
+  }
+  return DataType::kNull;
+}
+
+Result<double> Value::AsReal() const {
+  switch (type()) {
+    case DataType::kInt:
+      return static_cast<double>(int_value());
+    case DataType::kReal:
+      return real_value();
+    case DataType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    default:
+      return Status::TypeError("cannot interpret " + ToDisplayString() +
+                               " (" + DataTypeName(type()) + ") as a number");
+  }
+}
+
+Result<int64_t> Value::AsInt() const {
+  switch (type()) {
+    case DataType::kInt:
+      return int_value();
+    case DataType::kBool:
+      return static_cast<int64_t>(bool_value() ? 1 : 0);
+    case DataType::kReal: {
+      double d = real_value();
+      if (d == std::floor(d) && std::fabs(d) < 9.2e18) {
+        return static_cast<int64_t>(d);
+      }
+      return Status::TypeError("REAL value " + FormatDouble(d) +
+                               " is not an integer");
+    }
+    default:
+      return Status::TypeError("cannot interpret " + ToDisplayString() +
+                               " (" + DataTypeName(type()) + ") as an integer");
+  }
+}
+
+Result<bool> Value::AsBool() const {
+  switch (type()) {
+    case DataType::kBool:
+      return bool_value();
+    case DataType::kInt:
+      return int_value() != 0;
+    case DataType::kReal:
+      return real_value() != 0.0;
+    default:
+      return Status::TypeError("cannot interpret " + ToDisplayString() +
+                               " (" + DataTypeName(type()) + ") as a boolean");
+  }
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "";
+    case DataType::kBool:
+      return bool_value() ? "TRUE" : "FALSE";
+    case DataType::kInt:
+      return std::to_string(int_value());
+    case DataType::kReal:
+      return FormatDouble(real_value());
+    case DataType::kText:
+      return text_value();
+    case DataType::kError:
+      return error_code();
+  }
+  return "";
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kText: {
+      std::string out = "'";
+      for (char c : text_value()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case DataType::kError:
+      return "ERROR(" + error_code() + ")";
+    default:
+      return ToDisplayString();
+  }
+}
+
+namespace {
+
+// Rank in the cross-type total order. INT and REAL share a rank so they
+// compare numerically against each other.
+int TypeRank(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt:
+    case DataType::kReal:
+      return 2;
+    case DataType::kText:
+      return 3;
+    case DataType::kError:
+      return 4;
+  }
+  return 5;
+}
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& a, const Value& b) {
+  int ra = TypeRank(a.type());
+  int rb = TypeRank(b.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a.type()) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return Cmp(a.bool_value(), b.bool_value());
+    case DataType::kInt:
+      if (b.type() == DataType::kInt) return Cmp(a.int_value(), b.int_value());
+      return Cmp(static_cast<double>(a.int_value()), b.real_value());
+    case DataType::kReal:
+      if (b.type() == DataType::kReal) return Cmp(a.real_value(), b.real_value());
+      return Cmp(a.real_value(), static_cast<double>(b.int_value()));
+    case DataType::kText:
+      return Cmp(a.text_value(), b.text_value());
+    case DataType::kError:
+      return Cmp(a.error_code(), b.error_code());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kBool:
+      return bool_value() ? 0x517cc1b727220a95ULL : 0x2545f4914f6cdd1dULL;
+    case DataType::kInt: {
+      // Hash INT through double when representable so that 1 and 1.0 agree.
+      double d = static_cast<double>(int_value());
+      if (static_cast<int64_t>(d) == int_value()) {
+        return std::hash<double>{}(d);
+      }
+      return std::hash<int64_t>{}(int_value());
+    }
+    case DataType::kReal:
+      return std::hash<double>{}(real_value());
+    case DataType::kText:
+      return std::hash<std::string>{}(text_value());
+    case DataType::kError:
+      return std::hash<std::string>{}(error_code()) ^ 0xe7037ed1a0b428dbULL;
+  }
+  return 0;
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null();
+  if (is_error()) {
+    return Status::TypeError("error value " + error_code() + " cannot be cast");
+  }
+  if (type() == target) return *this;
+  switch (target) {
+    case DataType::kInt: {
+      if (type() == DataType::kText) {
+        if (auto i = ParseInt64(text_value())) return Value::Int(*i);
+        return Status::TypeError("cannot cast '" + text_value() + "' to INTEGER");
+      }
+      DS_ASSIGN_OR_RETURN(int64_t i, AsInt());
+      return Value::Int(i);
+    }
+    case DataType::kReal: {
+      if (type() == DataType::kText) {
+        if (auto d = ParseDouble(text_value())) return Value::Real(*d);
+        return Status::TypeError("cannot cast '" + text_value() + "' to REAL");
+      }
+      DS_ASSIGN_OR_RETURN(double d, AsReal());
+      return Value::Real(d);
+    }
+    case DataType::kBool: {
+      if (type() == DataType::kText) {
+        if (EqualsIgnoreCase(text_value(), "true")) return Value::Bool(true);
+        if (EqualsIgnoreCase(text_value(), "false")) return Value::Bool(false);
+        return Status::TypeError("cannot cast '" + text_value() + "' to BOOLEAN");
+      }
+      DS_ASSIGN_OR_RETURN(bool b, AsBool());
+      return Value::Bool(b);
+    }
+    case DataType::kText:
+      return Value::Text(ToDisplayString());
+    case DataType::kNull:
+    case DataType::kError:
+      return Status::TypeError(std::string("cannot cast to ") +
+                               DataTypeName(target));
+  }
+  return Status::Internal("unreachable cast target");
+}
+
+void PrintTo(const Value& v, std::ostream* os) {
+  if (v.is_null()) {
+    *os << "NULL";
+    return;
+  }
+  *os << DataTypeName(v.type()) << "(" << v.ToSqlLiteral() << ")";
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x811c9dc5;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace dataspread

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "sheet/address.h"
+
+namespace dataspread {
+namespace {
+
+TEST(AddressTest, ColumnNames) {
+  EXPECT_EQ(ColumnName(0), "A");
+  EXPECT_EQ(ColumnName(25), "Z");
+  EXPECT_EQ(ColumnName(26), "AA");
+  EXPECT_EQ(ColumnName(27), "AB");
+  EXPECT_EQ(ColumnName(51), "AZ");
+  EXPECT_EQ(ColumnName(52), "BA");
+  EXPECT_EQ(ColumnName(701), "ZZ");
+  EXPECT_EQ(ColumnName(702), "AAA");
+}
+
+TEST(AddressTest, ColumnIndex) {
+  EXPECT_EQ(ColumnIndex("A").value(), 0);
+  EXPECT_EQ(ColumnIndex("z").value(), 25);
+  EXPECT_EQ(ColumnIndex("AA").value(), 26);
+  EXPECT_EQ(ColumnIndex("AAA").value(), 702);
+  EXPECT_FALSE(ColumnIndex("").ok());
+  EXPECT_FALSE(ColumnIndex("A1").ok());
+}
+
+TEST(AddressTest, ColumnRoundTrip) {
+  for (int64_t c = 0; c < 20000; c += 7) {
+    EXPECT_EQ(ColumnIndex(ColumnName(c)).value(), c) << c;
+  }
+}
+
+TEST(AddressTest, ParseSimpleCell) {
+  CellRef ref = ParseCellRef("B3").value();
+  EXPECT_EQ(ref.row, 2);
+  EXPECT_EQ(ref.col, 1);
+  EXPECT_FALSE(ref.abs_row);
+  EXPECT_FALSE(ref.abs_col);
+  EXPECT_TRUE(ref.sheet.empty());
+}
+
+TEST(AddressTest, ParseAbsoluteAnchors) {
+  CellRef ref = ParseCellRef("$A$1").value();
+  EXPECT_TRUE(ref.abs_row);
+  EXPECT_TRUE(ref.abs_col);
+  EXPECT_EQ(ref.row, 0);
+  EXPECT_EQ(ref.col, 0);
+  CellRef mixed = ParseCellRef("A$2").value();
+  EXPECT_TRUE(mixed.abs_row);
+  EXPECT_FALSE(mixed.abs_col);
+}
+
+TEST(AddressTest, ParseSheetQualified) {
+  CellRef ref = ParseCellRef("Sheet2!C4").value();
+  EXPECT_EQ(ref.sheet, "Sheet2");
+  EXPECT_EQ(ref.row, 3);
+  EXPECT_EQ(ref.col, 2);
+}
+
+TEST(AddressTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseCellRef("").ok());
+  EXPECT_FALSE(ParseCellRef("123").ok());
+  EXPECT_FALSE(ParseCellRef("A0").ok());
+  EXPECT_FALSE(ParseCellRef("A-1").ok());
+  EXPECT_FALSE(ParseCellRef("!A1").ok());
+  EXPECT_FALSE(ParseCellRef("A1B").ok());
+}
+
+TEST(AddressTest, ParseRange) {
+  RangeRef r = ParseRangeRef("A1:D100").value();
+  EXPECT_EQ(r.start.row, 0);
+  EXPECT_EQ(r.start.col, 0);
+  EXPECT_EQ(r.end.row, 99);
+  EXPECT_EQ(r.end.col, 3);
+  EXPECT_EQ(r.num_rows(), 100);
+  EXPECT_EQ(r.num_cols(), 4);
+  EXPECT_TRUE(r.Contains(50, 2));
+  EXPECT_FALSE(r.Contains(100, 2));
+}
+
+TEST(AddressTest, ParseRangeNormalizesCorners) {
+  RangeRef r = ParseRangeRef("D100:A1").value();
+  EXPECT_EQ(r.start.row, 0);
+  EXPECT_EQ(r.end.row, 99);
+  EXPECT_EQ(r.start.col, 0);
+  EXPECT_EQ(r.end.col, 3);
+}
+
+TEST(AddressTest, SingleCellRange) {
+  RangeRef r = ParseRangeRef("B2").value();
+  EXPECT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(r.num_cols(), 1);
+}
+
+TEST(AddressTest, SheetQualifiedRange) {
+  RangeRef r = ParseRangeRef("Data!A1:B2").value();
+  EXPECT_EQ(r.sheet, "Data");
+}
+
+TEST(AddressTest, Formatting) {
+  EXPECT_EQ(FormatCell(0, 0), "A1");
+  EXPECT_EQ(FormatCell(99, 3), "D100");
+  CellRef ref;
+  ref.row = 1;
+  ref.col = 1;
+  ref.abs_col = true;
+  EXPECT_EQ(FormatCellRef(ref), "$B2");
+  ref.sheet = "S2";
+  ref.abs_row = true;
+  EXPECT_EQ(FormatCellRef(ref), "S2!$B$2");
+}
+
+TEST(AddressTest, ParseFormatRoundTrip) {
+  for (const char* text : {"A1", "$B$2", "Sheet2!C4", "ZZ100", "$AA$77"}) {
+    CellRef ref = ParseCellRef(text).value();
+    EXPECT_EQ(FormatCellRef(ref), text);
+  }
+}
+
+}  // namespace
+}  // namespace dataspread

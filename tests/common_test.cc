@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace dataspread {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table foo");
+  EXPECT_EQ(s.ToString(), "NotFound: table foo");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kParseError, StatusCode::kTypeError,
+        StatusCode::kConstraintViolation, StatusCode::kCycleDetected,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubler(int v) {
+  DS_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(4).value(), 8);
+  EXPECT_FALSE(Doubler(-4).ok());
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Movies", "MOVIES"));
+  EXPECT_FALSE(EqualsIgnoreCase("Movies", "Movie"));
+  EXPECT_FALSE(EqualsIgnoreCase("ab", "abc"));
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StrUtilTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StrUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(ParseInt64("42").value_or(0), 42);
+  EXPECT_EQ(ParseInt64("-7").value_or(0), -7);
+  EXPECT_EQ(ParseInt64("+9").value_or(0), 9);
+  EXPECT_FALSE(ParseInt64("4.2").has_value());
+  EXPECT_FALSE(ParseInt64("42x").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_EQ(ParseInt64(" 13 ").value_or(0), 13);  // surrounding whitespace ok
+}
+
+TEST(StrUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value_or(0), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").value_or(0), -2000.0);
+  EXPECT_FALSE(ParseDouble("1.5.2").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+}
+
+TEST(StrUtilTest, FormatDoubleRoundTripsAndDropsTrailingZero) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-42.0), "-42");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  double tricky = 0.1 + 0.2;
+  EXPECT_DOUBLE_EQ(ParseDouble(FormatDouble(tricky)).value_or(0), tricky);
+}
+
+}  // namespace
+}  // namespace dataspread

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/dataspread.h"
+#include "io/csv.h"
+
+namespace dataspread {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Text("a"));
+  EXPECT_EQ(rows[1][0], Value::Int(1));  // dynamic typing
+  EXPECT_EQ(rows[1][2], Value::Int(3));
+}
+
+TEST(CsvParseTest, NoTrailingNewline) {
+  auto rows = ParseCsv("x,y").value();
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+}
+
+TEST(CsvParseTest, CrLfTerminators) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], Value::Text("d"));
+}
+
+TEST(CsvParseTest, QuotedFields) {
+  auto rows = ParseCsv("\"hello, world\",\"line\nbreak\",\"say \"\"hi\"\"\"\n")
+                  .value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Text("hello, world"));
+  EXPECT_EQ(rows[0][1], Value::Text("line\nbreak"));
+  EXPECT_EQ(rows[0][2], Value::Text("say \"hi\""));
+}
+
+TEST(CsvParseTest, QuotedNumbersStayText) {
+  auto rows = ParseCsv("\"42\",42\n").value();
+  EXPECT_EQ(rows[0][0], Value::Text("42"));
+  EXPECT_EQ(rows[0][1], Value::Int(42));
+}
+
+TEST(CsvParseTest, EmptyFieldsAreNull) {
+  auto rows = ParseCsv("1,,3\n,,\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0][1].is_null());
+  EXPECT_TRUE(rows[1][0].is_null());
+  EXPECT_EQ(rows[1].size(), 3u);
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  auto rows = ParseCsv("a;b\n1;2\n", ';').value();
+  EXPECT_EQ(rows[1][1], Value::Int(2));
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ParseCsv("\"open").ok());
+}
+
+TEST(CsvWriteTest, QuotesWhenNeeded) {
+  std::vector<Row> rows{{Value::Text("a,b"), Value::Int(1),
+                         Value::Text("q\"q"), Value::Null()}};
+  EXPECT_EQ(WriteCsv(rows), "\"a,b\",1,\"q\"\"q\",\n");
+}
+
+TEST(CsvWriteTest, RoundTripPreservesValues) {
+  std::vector<Row> rows{
+      {Value::Int(1), Value::Text("plain"), Value::Real(2.5)},
+      {Value::Bool(true), Value::Text("with,comma"), Value::Null()},
+  };
+  auto back = ParseCsv(WriteCsv(rows)).value();
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0][0], Value::Int(1));
+  EXPECT_EQ(back[0][2], Value::Real(2.5));
+  EXPECT_EQ(back[1][0], Value::Bool(true));
+  EXPECT_EQ(back[1][1], Value::Text("with,comma"));
+  EXPECT_TRUE(back[1][2].is_null());
+}
+
+TEST(CsvFacadeTest, ImportCsvIntoSheet) {
+  DataSpread ds;
+  (void)ds.AddSheet("S").ValueOrDie();
+  ASSERT_TRUE(ds.ImportCsv("S", "B2", "x,y\n1,2\n3,4\n").ok());
+  EXPECT_EQ(ds.GetValue("S", "B2").value(), Value::Text("x"));
+  EXPECT_EQ(ds.GetValue("S", "C4").value(), Value::Int(4));
+  // Formulas see imported data.
+  ASSERT_TRUE(ds.SetCell("S", "E1", "=SUM(B3:C4)").ok());
+  EXPECT_EQ(ds.GetValue("S", "E1").value(), Value::Real(10.0));
+}
+
+TEST(CsvFacadeTest, ImportCsvAsTable) {
+  DataSpread ds;
+  auto table = ds.ImportCsvAsTable(
+      "id,name,score\n1,ann,3.5\n2,bob,4\n", "students", "id");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value()->num_rows(), 2u);
+  EXPECT_EQ(table.value()->schema().column(2).type, DataType::kReal);
+  auto rs = ds.Sql("SELECT name FROM students WHERE score > 3.6");
+  ASSERT_EQ(rs.value().num_rows(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0], Value::Text("bob"));
+}
+
+TEST(CsvFacadeTest, ImportCsvAsTableRejectsDuplicateKeys) {
+  DataSpread ds;
+  auto table = ds.ImportCsvAsTable("id,v\n1,a\n1,b\n", "dup", "id");
+  EXPECT_FALSE(table.ok());
+  EXPECT_FALSE(ds.db().catalog().HasTable("dup"));  // cleaned up
+}
+
+TEST(CsvFacadeTest, RaggedCsvPadsWithNulls) {
+  DataSpread ds;
+  auto table = ds.ImportCsvAsTable("a,b,c\n1,2\n", "ragged");
+  ASSERT_TRUE(table.ok());
+  auto rs = ds.Sql("SELECT c FROM ragged");
+  EXPECT_TRUE(rs.value().rows[0][0].is_null());
+}
+
+TEST(CsvFacadeTest, ExportCsvRoundTrip) {
+  DataSpread ds;
+  (void)ds.AddSheet("S").ValueOrDie();
+  ASSERT_TRUE(ds.SetCell("S", "A1", "n").ok());
+  ASSERT_TRUE(ds.SetCell("S", "A2", "1").ok());
+  ASSERT_TRUE(ds.SetCell("S", "B1", "label").ok());
+  ASSERT_TRUE(ds.SetCell("S", "B2", "two words").ok());
+  auto csv = ds.ExportCsv("S", "A1:B2");
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv.value(), "n,label\n1,two words\n");
+  // Full loop: export -> import into a table -> query.
+  ASSERT_TRUE(ds.ImportCsvAsTable(csv.value(), "loop").ok());
+  auto rs = ds.Sql("SELECT label FROM loop WHERE n = 1");
+  EXPECT_EQ(rs.value().rows[0][0], Value::Text("two words"));
+}
+
+}  // namespace
+}  // namespace dataspread

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "exec/expr_eval.h"
+
+namespace dataspread {
+namespace {
+
+/// Executes against a fresh database pre-loaded with a small emp table.
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Run("CREATE TABLE emp (id INT PRIMARY KEY, name TEXT, dept TEXT, "
+        "salary REAL)");
+    Run("INSERT INTO emp VALUES (1, 'ann', 'eng', 120.0), "
+        "(2, 'bob', 'eng', 100.0), (3, 'cat', 'ops', 90.0), "
+        "(4, 'dan', 'ops', 80.0), (5, 'eve', 'hr', 70.0)");
+  }
+
+  ResultSet Run(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  Status RunErr(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_FALSE(r.ok()) << sql;
+    return r.ok() ? Status::OK() : r.status();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecTest, SelectStar) {
+  ResultSet rs = Run("SELECT * FROM emp");
+  EXPECT_EQ(rs.columns,
+            (std::vector<std::string>{"id", "name", "dept", "salary"}));
+  EXPECT_EQ(rs.num_rows(), 5u);
+  EXPECT_EQ(rs.rows[0][1], Value::Text("ann"));
+}
+
+TEST_F(ExecTest, Projection) {
+  ResultSet rs = Run("SELECT name, salary * 2 AS double_pay FROM emp");
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"name", "double_pay"}));
+  EXPECT_EQ(rs.rows[0][1], Value::Real(240.0));
+}
+
+TEST_F(ExecTest, WhereFilters) {
+  ResultSet rs = Run("SELECT name FROM emp WHERE salary >= 90 AND dept = 'eng'");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Text("ann"));
+}
+
+TEST_F(ExecTest, WhereWithInBetweenLike) {
+  EXPECT_EQ(Run("SELECT * FROM emp WHERE id IN (1, 3, 5)").num_rows(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM emp WHERE salary BETWEEN 80 AND 100").num_rows(),
+            3u);
+  EXPECT_EQ(Run("SELECT * FROM emp WHERE name LIKE '%a%'").num_rows(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM emp WHERE name LIKE '_o_'").num_rows(), 1u);
+}
+
+TEST_F(ExecTest, OrderByAndLimit) {
+  ResultSet rs = Run("SELECT name FROM emp ORDER BY salary DESC LIMIT 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Text("ann"));
+  EXPECT_EQ(rs.rows[1][0], Value::Text("bob"));
+  // Positional and multi-key ordering.
+  rs = Run("SELECT dept, name FROM emp ORDER BY 1, 2 DESC");
+  EXPECT_EQ(rs.rows[0][0], Value::Text("eng"));
+  EXPECT_EQ(rs.rows[0][1], Value::Text("bob"));
+}
+
+TEST_F(ExecTest, LimitOffset) {
+  ResultSet rs = Run("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+}
+
+TEST_F(ExecTest, WindowPushdownPreservesOrder) {
+  // The LIMIT/OFFSET pushdown path (no predicates): display order.
+  ResultSet rs = Run("SELECT id FROM emp LIMIT 3 OFFSET 1");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2));
+  EXPECT_EQ(rs.rows[2][0], Value::Int(4));
+}
+
+TEST_F(ExecTest, Distinct) {
+  ResultSet rs = Run("SELECT DISTINCT dept FROM emp ORDER BY dept");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value::Text("eng"));
+}
+
+TEST_F(ExecTest, GlobalAggregates) {
+  ResultSet rs = Run(
+      "SELECT COUNT(*), COUNT(salary), SUM(salary), AVG(salary), "
+      "MIN(salary), MAX(salary) FROM emp");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(5));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(5));
+  EXPECT_EQ(rs.rows[0][2], Value::Real(460.0));
+  EXPECT_EQ(rs.rows[0][3], Value::Real(92.0));
+  EXPECT_EQ(rs.rows[0][4], Value::Real(70.0));
+  EXPECT_EQ(rs.rows[0][5], Value::Real(120.0));
+}
+
+TEST_F(ExecTest, GroupByWithHaving) {
+  ResultSet rs = Run(
+      "SELECT dept, COUNT(*) AS n, AVG(salary) AS a FROM emp "
+      "GROUP BY dept HAVING COUNT(*) >= 2 ORDER BY a DESC");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Text("eng"));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(2));
+  EXPECT_EQ(rs.rows[0][2], Value::Real(110.0));
+  EXPECT_EQ(rs.rows[1][0], Value::Text("ops"));
+}
+
+TEST_F(ExecTest, AggregateOverEmptyInput) {
+  ResultSet rs = Run("SELECT COUNT(*), SUM(salary) FROM emp WHERE id > 100");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(0));
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+  // Grouped aggregate over empty input: zero groups.
+  rs = Run("SELECT dept, COUNT(*) FROM emp WHERE id > 100 GROUP BY dept");
+  EXPECT_EQ(rs.num_rows(), 0u);
+}
+
+TEST_F(ExecTest, InnerJoinHashPath) {
+  Run("CREATE TABLE dept (dept TEXT, floor INT)");
+  Run("INSERT INTO dept VALUES ('eng', 3), ('ops', 1)");
+  ResultSet rs = Run(
+      "SELECT e.name, d.floor FROM emp e JOIN dept d ON e.dept = d.dept "
+      "ORDER BY e.name");
+  ASSERT_EQ(rs.num_rows(), 4u);  // hr has no match
+  EXPECT_EQ(rs.rows[0][0], Value::Text("ann"));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(3));
+}
+
+TEST_F(ExecTest, LeftJoinKeepsUnmatched) {
+  Run("CREATE TABLE dept (dept TEXT, floor INT)");
+  Run("INSERT INTO dept VALUES ('eng', 3)");
+  ResultSet rs = Run(
+      "SELECT e.name, d.floor FROM emp e LEFT JOIN dept d ON e.dept = d.dept "
+      "ORDER BY e.id");
+  ASSERT_EQ(rs.num_rows(), 5u);
+  EXPECT_EQ(rs.rows[0][1], Value::Int(3));
+  EXPECT_TRUE(rs.rows[2][1].is_null());  // ops unmatched
+}
+
+TEST_F(ExecTest, NaturalJoinSharesColumnsOnce) {
+  Run("CREATE TABLE dept (dept TEXT, floor INT)");
+  Run("INSERT INTO dept VALUES ('eng', 3), ('ops', 1), ('hr', 2)");
+  ResultSet rs = Run("SELECT * FROM emp NATURAL JOIN dept ORDER BY id");
+  // dept appears once: id, name, dept, salary, floor.
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"id", "name", "dept",
+                                                  "salary", "floor"}));
+  ASSERT_EQ(rs.num_rows(), 5u);
+  EXPECT_EQ(rs.rows[0][4], Value::Int(3));
+}
+
+TEST_F(ExecTest, CrossJoinCounts) {
+  Run("CREATE TABLE two (x INT)");
+  Run("INSERT INTO two VALUES (1), (2)");
+  EXPECT_EQ(Run("SELECT * FROM emp, two").num_rows(), 10u);
+  EXPECT_EQ(Run("SELECT * FROM emp CROSS JOIN two").num_rows(), 10u);
+}
+
+TEST_F(ExecTest, NonEquiJoinFallsBackToNestedLoop) {
+  Run("CREATE TABLE grades (lo REAL, hi REAL, grade TEXT)");
+  Run("INSERT INTO grades VALUES (0, 85, 'B'), (85, 200, 'A')");
+  ResultSet rs = Run(
+      "SELECT e.name, g.grade FROM emp e JOIN grades g "
+      "ON e.salary >= g.lo AND e.salary < g.hi ORDER BY e.id");
+  ASSERT_EQ(rs.num_rows(), 5u);
+  EXPECT_EQ(rs.rows[0][1], Value::Text("A"));   // ann 120
+  EXPECT_EQ(rs.rows[4][1], Value::Text("B"));   // eve 70
+}
+
+TEST_F(ExecTest, ScalarFunctions) {
+  ResultSet rs = Run(
+      "SELECT ABS(-3), ROUND(2.567, 1), UPPER('ab'), LENGTH('abcd'), "
+      "SUBSTR('hello', 2, 3), COALESCE(NULL, 7), NULLIF(3, 3)");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+  EXPECT_EQ(rs.rows[0][1], Value::Real(2.6));
+  EXPECT_EQ(rs.rows[0][2], Value::Text("AB"));
+  EXPECT_EQ(rs.rows[0][3], Value::Int(4));
+  EXPECT_EQ(rs.rows[0][4], Value::Text("ell"));
+  EXPECT_EQ(rs.rows[0][5], Value::Int(7));
+  EXPECT_TRUE(rs.rows[0][6].is_null());
+}
+
+TEST_F(ExecTest, CaseExpression) {
+  ResultSet rs = Run(
+      "SELECT name, CASE WHEN salary >= 100 THEN 'high' "
+      "WHEN salary >= 80 THEN 'mid' ELSE 'low' END AS band "
+      "FROM emp ORDER BY id");
+  EXPECT_EQ(rs.rows[0][1], Value::Text("high"));
+  EXPECT_EQ(rs.rows[2][1], Value::Text("mid"));
+  EXPECT_EQ(rs.rows[4][1], Value::Text("low"));
+}
+
+TEST_F(ExecTest, NullSemantics) {
+  Run("CREATE TABLE n (a INT, b INT)");
+  Run("INSERT INTO n VALUES (1, NULL), (NULL, 2), (3, 4)");
+  // NULL comparisons reject rows.
+  EXPECT_EQ(Run("SELECT * FROM n WHERE a > 0").num_rows(), 2u);
+  EXPECT_EQ(Run("SELECT * FROM n WHERE a IS NULL").num_rows(), 1u);
+  // NULL keys never hash-join.
+  Run("CREATE TABLE m (a INT)");
+  Run("INSERT INTO m VALUES (NULL), (1)");
+  EXPECT_EQ(Run("SELECT * FROM n JOIN m ON n.a = m.a").num_rows(), 1u);
+  // Aggregates skip NULLs.
+  ResultSet rs = Run("SELECT COUNT(a), SUM(a) FROM n");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(4));
+}
+
+TEST_F(ExecTest, DivisionByZeroIsError) {
+  RunErr("SELECT 1 / 0");
+  RunErr("SELECT 5 % 0");
+}
+
+TEST_F(ExecTest, IntegerDivisionStaysExactWhenPossible) {
+  ResultSet rs = Run("SELECT 6 / 3, 7 / 2, 7 % 3, 'a' || 1");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2));
+  EXPECT_EQ(rs.rows[0][1], Value::Real(3.5));
+  EXPECT_EQ(rs.rows[0][2], Value::Int(1));
+  EXPECT_EQ(rs.rows[0][3], Value::Text("a1"));
+}
+
+TEST_F(ExecTest, BinderErrors) {
+  RunErr("SELECT nope FROM emp");
+  RunErr("SELECT x.name FROM emp");
+  RunErr("SELECT * FROM ghost");
+  RunErr("SELECT SUM(salary) FROM emp WHERE SUM(salary) > 1");  // agg in WHERE
+  RunErr("SELECT UNKNOWN_FN(1)");
+  // Ambiguity.
+  Run("CREATE TABLE emp2 (name TEXT)");
+  Run("INSERT INTO emp2 VALUES ('x')");
+  RunErr("SELECT name FROM emp, emp2");
+}
+
+TEST_F(ExecTest, TypeMismatchComparisonIsError) {
+  RunErr("SELECT * FROM emp WHERE name > 5");
+}
+
+TEST_F(ExecTest, FromlessSelect) {
+  ResultSet rs = Run("SELECT 1 + 1 AS two, 'x'");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2));
+}
+
+TEST(LikeMatchTest, Patterns) {
+  EXPECT_TRUE(LikeMatch("hello", "h%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_TRUE(LikeMatch("hello", "_ello"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%b%c"));
+  EXPECT_FALSE(LikeMatch("ac", "a_c"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%ss%pp%"));
+}
+
+}  // namespace
+}  // namespace dataspread

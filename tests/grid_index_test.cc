@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "index/grid_index.h"
+
+namespace dataspread {
+namespace {
+
+TEST(GridIndexTest, TileMath) {
+  EXPECT_EQ(GridIndex::TileOf(0), 0);
+  EXPECT_EQ(GridIndex::TileOf(31), 0);
+  EXPECT_EQ(GridIndex::TileOf(32), 1);
+  EXPECT_EQ(GridIndex::OffsetOf(33), 1);
+}
+
+TEST(GridIndexTest, InsertFindErase) {
+  GridIndex idx;
+  EXPECT_EQ(idx.Find(1, 2), GridIndex::kNoSlot);
+  ASSERT_TRUE(idx.Insert(1, 2, 7).ok());
+  EXPECT_EQ(idx.Find(1, 2), 7u);
+  EXPECT_FALSE(idx.Insert(1, 2, 9).ok());  // duplicate
+  EXPECT_TRUE(idx.Erase(1, 2));
+  EXPECT_FALSE(idx.Erase(1, 2));
+  EXPECT_EQ(idx.Find(1, 2), GridIndex::kNoSlot);
+}
+
+TEST(GridIndexTest, VisitRectSmallRectProbes) {
+  GridIndex idx;
+  // Register tiles along a diagonal.
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(idx.Insert(i, i, static_cast<uint32_t>(i)).ok());
+  }
+  // Cell rect covering tiles (2,2)..(4,4).
+  std::set<int64_t> rows;
+  idx.VisitRect(2 * 32, 2 * 32, 4 * 32 + 31, 4 * 32 + 31,
+                [&](int64_t tr, int64_t tc, uint32_t slot) {
+                  EXPECT_EQ(tr, tc);
+                  EXPECT_EQ(slot, static_cast<uint32_t>(tr));
+                  rows.insert(tr);
+                });
+  EXPECT_EQ(rows, (std::set<int64_t>{2, 3, 4}));
+}
+
+TEST(GridIndexTest, VisitRectHugeRectScansDirectory) {
+  GridIndex idx;
+  ASSERT_TRUE(idx.Insert(0, 0, 1).ok());
+  ASSERT_TRUE(idx.Insert(1000, 1000, 2).ok());
+  int count = 0;
+  // Rect spanning billions of candidate tiles: must fall back to scanning.
+  idx.VisitRect(0, 0, int64_t{1} << 40, int64_t{1} << 40,
+                [&](int64_t, int64_t, uint32_t) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(GridIndexTest, VisitRectEmptyAndInverted) {
+  GridIndex idx;
+  ASSERT_TRUE(idx.Insert(0, 0, 1).ok());
+  int count = 0;
+  idx.VisitRect(10, 10, 5, 5, [&](int64_t, int64_t, uint32_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(GridIndexTest, VisitAll) {
+  GridIndex idx;
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(idx.Insert(i, 2 * i, static_cast<uint32_t>(i)).ok());
+  }
+  size_t count = 0;
+  idx.VisitAll([&](int64_t tr, int64_t tc, uint32_t) {
+    EXPECT_EQ(tc, 2 * tr);
+    ++count;
+  });
+  EXPECT_EQ(count, 10u);
+  idx.Clear();
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dataspread

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/dataspread.h"
+
+namespace dataspread {
+namespace {
+
+/// End-to-end scenarios from the paper's introduction and demonstration.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void Put(Sheet* s, int64_t r, int64_t c, const std::string& v) {
+    ASSERT_TRUE(ds_.SetCellAt(s, r, c, v).ok());
+  }
+  DataSpread ds_;
+};
+
+TEST_F(IntegrationTest, GradebookScenarioFromIntroduction) {
+  // "course assignment scores ... rows 1-100, columns 1-5 in one sheet, and
+  //  demographic information ... in another sheet."
+  Sheet* scores = ds_.AddSheet("Scores").ValueOrDie();
+  Sheet* demo = ds_.AddSheet("Demo").ValueOrDie();
+
+  Put(scores, 0, 0, "student");
+  Put(scores, 0, 1, "hw1");
+  Put(scores, 0, 2, "hw2");
+  Put(scores, 0, 3, "grade");
+  const char* students[] = {"ann", "bob", "cat", "dan"};
+  int hw1[] = {95, 60, 91, 70};
+  int hw2[] = {80, 92, 85, 75};
+  double grade[] = {3.9, 3.1, 3.7, 2.9};
+  for (int i = 0; i < 4; ++i) {
+    Put(scores, i + 1, 0, students[i]);
+    Put(scores, i + 1, 1, std::to_string(hw1[i]));
+    Put(scores, i + 1, 2, std::to_string(hw2[i]));
+    Put(scores, i + 1, 3, std::to_string(grade[i]));
+  }
+  Put(demo, 0, 0, "student");
+  Put(demo, 0, 1, "program");
+  const char* programs[] = {"undergrad", "MS", "undergrad", "PhD"};
+  for (int i = 0; i < 4; ++i) {
+    Put(demo, i + 1, 0, students[i]);
+    Put(demo, i + 1, 1, programs[i]);
+  }
+
+  // Scenario 1: "select the students having points higher than 90 in at
+  // least one assignment" — impossible by hand in a plain spreadsheet,
+  // a one-liner in DataSpread.
+  Put(scores, 0, 6,
+      "=DBSQL(\"SELECT student FROM RANGETABLE(A1:D5) "
+      "WHERE hw1 > 90 OR hw2 > 90 ORDER BY student\")");
+  EXPECT_EQ(ds_.GetValueAt(scores, 0, 6), Value::Text("ann"));
+  EXPECT_EQ(ds_.GetValueAt(scores, 1, 6), Value::Text("bob"));
+  EXPECT_EQ(ds_.GetValueAt(scores, 2, 6), Value::Text("cat"));
+
+  // Scenario 2: "plot the average grade by demographic group" — the join of
+  // the two sheets.
+  Put(scores, 0, 8,
+      "=DBSQL(\"SELECT program, AVG(grade) g FROM RANGETABLE(A1:D5) "
+      "NATURAL JOIN RANGETABLE(Demo!A1:B5) GROUP BY program "
+      "ORDER BY g DESC\")");
+  EXPECT_EQ(ds_.GetValueAt(scores, 0, 8), Value::Text("undergrad"));
+  EXPECT_EQ(ds_.GetValueAt(scores, 0, 9), Value::Real(3.8));
+  EXPECT_EQ(ds_.GetValueAt(scores, 1, 8), Value::Text("MS"));
+  EXPECT_EQ(ds_.GetValueAt(scores, 2, 8), Value::Text("PhD"));
+
+  // A grade correction updates both analyses.
+  Put(scores, 4, 1, "93");  // dan's hw1
+  EXPECT_EQ(ds_.GetValueAt(scores, 3, 6), Value::Text("dan"));
+}
+
+TEST_F(IntegrationTest, MovieScenarioFigure2a) {
+  Sheet* s = ds_.AddSheet("S").ValueOrDie();
+  ASSERT_TRUE(ds_.Sql("CREATE TABLE movies (movieid INT PRIMARY KEY, "
+                      "title TEXT, year INT)").ok());
+  ASSERT_TRUE(ds_.Sql("CREATE TABLE movies2actors (movieid INT, "
+                      "actorid INT)").ok());
+  ASSERT_TRUE(ds_.Sql("CREATE TABLE actors (actorid INT PRIMARY KEY, "
+                      "name TEXT)").ok());
+  ASSERT_TRUE(ds_.Sql("INSERT INTO movies VALUES (1, 'Alien', 1979), "
+                      "(2, 'Aliens', 1986), (3, 'Brazil', 1985)").ok());
+  ASSERT_TRUE(ds_.Sql("INSERT INTO actors VALUES (1, 'Weaver'), "
+                      "(2, 'DeNiro')").ok());
+  ASSERT_TRUE(ds_.Sql("INSERT INTO movies2actors VALUES (1, 1), (2, 1), "
+                      "(3, 2)").ok());
+
+  // B1/B2 hold query parameters; B3 holds the three-relation join that
+  // references them via RANGEVALUE — exactly Figure 2a.
+  Put(s, 0, 1, "1975");  // B1: earliest year
+  Put(s, 1, 1, "Weaver");  // B2: actor name
+  Put(s, 2, 1,
+      "=DBSQL(\"SELECT title FROM movies NATURAL JOIN movies2actors "
+      "NATURAL JOIN actors WHERE year >= RANGEVALUE(B1) "
+      "AND name = RANGEVALUE(B2) ORDER BY year\")");
+  // Output spans B3:B4 ("not limited to a single cell").
+  EXPECT_EQ(ds_.GetValueAt(s, 2, 1), Value::Text("Alien"));
+  EXPECT_EQ(ds_.GetValueAt(s, 3, 1), Value::Text("Aliens"));
+
+  // Changing a parameter re-evaluates the query.
+  Put(s, 1, 1, "DeNiro");
+  EXPECT_EQ(ds_.GetValueAt(s, 2, 1), Value::Text("Brazil"));
+  EXPECT_TRUE(ds_.GetValueAt(s, 3, 1).is_null());  // spill shrank
+}
+
+TEST_F(IntegrationTest, ContinuouslyLoadedLogScenario) {
+  // Intro scenario: "course management software outputs actions ... into a
+  // relational database ... the data is continuously added."
+  Sheet* s = ds_.AddSheet("S").ValueOrDie();
+  ASSERT_TRUE(ds_.Sql("CREATE TABLE log (seq INT PRIMARY KEY, action TEXT)")
+                  .ok());
+  ASSERT_TRUE(ds_.ImportTable("S", "A1", "log").ok());
+  Put(s, 0, 3, "=DBSQL(\"SELECT COUNT(*) FROM log\")");
+  EXPECT_EQ(ds_.GetValueAt(s, 0, 3), Value::Int(0));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ds_.Sql("INSERT INTO log VALUES (" + std::to_string(i) +
+                        ", 'submit')").ok());
+  }
+  // The bound region and the aggregate both track the live table.
+  EXPECT_EQ(ds_.GetValueAt(s, 0, 3), Value::Int(10));
+  EXPECT_EQ(ds_.GetValueAt(s, 10, 0), Value::Int(9));
+}
+
+TEST_F(IntegrationTest, ExportQueryReimportLoop) {
+  // Figure 2b full loop: range → table → SQL filter → new region.
+  Sheet* s = ds_.AddSheet("S").ValueOrDie();
+  Put(s, 0, 0, "product");
+  Put(s, 0, 1, "price");
+  const char* products[] = {"nail", "hammer", "saw"};
+  int prices[] = {1, 20, 35};
+  for (int i = 0; i < 3; ++i) {
+    Put(s, i + 1, 0, products[i]);
+    Put(s, i + 1, 1, std::to_string(prices[i]));
+  }
+  ASSERT_TRUE(
+      ds_.CreateTableFromRange("S", "A1:B4", "products", "product").ok());
+  Put(s, 0, 4,
+      "=DBSQL(\"SELECT product FROM products WHERE price > 10 "
+      "ORDER BY price DESC\")");
+  EXPECT_EQ(ds_.GetValueAt(s, 0, 4), Value::Text("saw"));
+  EXPECT_EQ(ds_.GetValueAt(s, 1, 4), Value::Text("hammer"));
+  // Back-end mutation flows into the spill.
+  ASSERT_TRUE(ds_.Sql("UPDATE products SET price = 5 WHERE product = "
+                      "'hammer'").ok());
+  EXPECT_EQ(ds_.GetValueAt(s, 0, 4), Value::Text("saw"));
+  EXPECT_TRUE(ds_.GetValueAt(s, 1, 4).is_null());
+}
+
+TEST_F(IntegrationTest, FormulasAndSqlInterleave) {
+  Sheet* s = ds_.AddSheet("S").ValueOrDie();
+  ASSERT_TRUE(ds_.Sql("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  ASSERT_TRUE(ds_.Sql("INSERT INTO t VALUES (10), (20), (30)").ok());
+  Put(s, 0, 0, "=DBSQL(\"SELECT SUM(a) FROM t\")");          // 60
+  Put(s, 0, 1, "=A1/2");                                      // 30
+  Put(s, 0, 2, "=IF(B1>25, \"big\", \"small\")");
+  EXPECT_EQ(ds_.GetValueAt(s, 0, 1), Value::Real(30.0));
+  EXPECT_EQ(ds_.GetValueAt(s, 0, 2), Value::Text("big"));
+  ASSERT_TRUE(ds_.Sql("DELETE FROM t WHERE a > 10").ok());
+  EXPECT_EQ(ds_.GetValueAt(s, 0, 1), Value::Real(5.0));
+  EXPECT_EQ(ds_.GetValueAt(s, 0, 2), Value::Text("small"));
+}
+
+TEST_F(IntegrationTest, BackgroundComputeMode) {
+  DataSpreadOptions opts;
+  opts.background_compute = true;
+  DataSpread ds(opts);
+  Sheet* s = ds.AddSheet("S").ValueOrDie();
+  ASSERT_TRUE(ds.Sql("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(ds.Sql("INSERT INTO t VALUES (1), (2), (3)").ok());
+  ASSERT_TRUE(ds.SetCellAt(s, 0, 0, "=DBSQL(\"SELECT SUM(a) FROM t\")").ok());
+  ASSERT_TRUE(ds.SetCellAt(s, 0, 1, "=A1*10").ok());
+  ds.Pump();  // waits for the worker to drain
+  EXPECT_EQ(ds.GetValueAt(s, 0, 0), Value::Int(6));
+  EXPECT_EQ(ds.GetValueAt(s, 0, 1), Value::Int(60));
+}
+
+TEST_F(IntegrationTest, ShowRendersRange) {
+  Sheet* s = ds_.AddSheet("S").ValueOrDie();
+  Put(s, 0, 0, "1");
+  Put(s, 0, 1, "x");
+  Put(s, 1, 0, "2");
+  auto text = ds_.Show("S", "A1:B2");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "1\tx\n2\t\n");
+}
+
+}  // namespace
+}  // namespace dataspread

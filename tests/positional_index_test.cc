@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "index/offset_array.h"
+#include "index/positional_index.h"
+
+namespace dataspread {
+namespace {
+
+TEST(PositionalIndexTest, EmptyIndex) {
+  PositionalIndex idx;
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_FALSE(idx.Get(0).ok());
+  EXPECT_FALSE(idx.EraseAt(0).ok());
+  EXPECT_EQ(idx.height(), 1u);
+}
+
+TEST(PositionalIndexTest, PushBackAndGet) {
+  PositionalIndex idx;
+  for (uint64_t i = 0; i < 1000; ++i) idx.PushBack(i * 10);
+  EXPECT_EQ(idx.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(idx.Get(i).value(), i * 10) << i;
+  }
+  EXPECT_FALSE(idx.Get(1000).ok());
+}
+
+TEST(PositionalIndexTest, InsertAtFront) {
+  PositionalIndex idx;
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(idx.InsertAt(0, i).ok());
+  }
+  // Values come back reversed.
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_EQ(idx.Get(i).value(), 299 - i);
+  }
+}
+
+TEST(PositionalIndexTest, InsertInMiddle) {
+  PositionalIndex idx;
+  idx.PushBack(1);
+  idx.PushBack(3);
+  ASSERT_TRUE(idx.InsertAt(1, 2).ok());
+  EXPECT_EQ(idx.Get(0).value(), 1u);
+  EXPECT_EQ(idx.Get(1).value(), 2u);
+  EXPECT_EQ(idx.Get(2).value(), 3u);
+  EXPECT_FALSE(idx.InsertAt(7, 9).ok());
+}
+
+TEST(PositionalIndexTest, EraseReturnsPayloadAndShifts) {
+  PositionalIndex idx;
+  for (uint64_t i = 0; i < 10; ++i) idx.PushBack(i);
+  EXPECT_EQ(idx.EraseAt(3).value(), 3u);
+  EXPECT_EQ(idx.size(), 9u);
+  EXPECT_EQ(idx.Get(3).value(), 4u);
+  EXPECT_EQ(idx.Get(8).value(), 9u);
+}
+
+TEST(PositionalIndexTest, SetReplacesPayload) {
+  PositionalIndex idx;
+  idx.PushBack(1);
+  idx.PushBack(2);
+  ASSERT_TRUE(idx.Set(1, 99).ok());
+  EXPECT_EQ(idx.Get(1).value(), 99u);
+  EXPECT_FALSE(idx.Set(5, 0).ok());
+}
+
+TEST(PositionalIndexTest, BuildBulkLoads) {
+  std::vector<uint64_t> payloads(100000);
+  for (size_t i = 0; i < payloads.size(); ++i) payloads[i] = i * 3;
+  PositionalIndex idx;
+  idx.Build(payloads);
+  EXPECT_EQ(idx.size(), payloads.size());
+  EXPECT_EQ(idx.Get(0).value(), 0u);
+  EXPECT_EQ(idx.Get(99999).value(), 99999u * 3);
+  EXPECT_EQ(idx.Get(4242).value(), 4242u * 3);
+}
+
+TEST(PositionalIndexTest, HeightIsLogarithmic) {
+  std::vector<uint64_t> payloads(1u << 20);
+  for (size_t i = 0; i < payloads.size(); ++i) payloads[i] = i;
+  PositionalIndex idx;
+  idx.Build(payloads);
+  // fanout ~32 over 1M leaves of ~48: expect height ≤ 6.
+  EXPECT_LE(idx.height(), 6u);
+}
+
+TEST(PositionalIndexTest, VisitRange) {
+  PositionalIndex idx;
+  for (uint64_t i = 0; i < 10000; ++i) idx.PushBack(i);
+  std::vector<uint64_t> seen;
+  idx.Visit(5000, 100, [&](size_t pos, uint64_t v) {
+    EXPECT_EQ(pos, v);
+    seen.push_back(v);
+  });
+  ASSERT_EQ(seen.size(), 100u);
+  EXPECT_EQ(seen.front(), 5000u);
+  EXPECT_EQ(seen.back(), 5099u);
+  // Clipped at the end.
+  EXPECT_EQ(idx.GetRange(9990, 100).size(), 10u);
+  // Out of range.
+  EXPECT_TRUE(idx.GetRange(20000, 5).empty());
+}
+
+TEST(PositionalIndexTest, ClearResets) {
+  PositionalIndex idx;
+  for (uint64_t i = 0; i < 500; ++i) idx.PushBack(i);
+  idx.Clear();
+  EXPECT_EQ(idx.size(), 0u);
+  idx.PushBack(7);
+  EXPECT_EQ(idx.Get(0).value(), 7u);
+}
+
+TEST(PositionalIndexTest, MoveSemantics) {
+  PositionalIndex a;
+  a.PushBack(1);
+  a.PushBack(2);
+  PositionalIndex b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.Get(1).value(), 2u);
+}
+
+/// Property test: the counted B+-tree behaves exactly like the shifting
+/// array baseline under a random operation mix (parameterized by seed).
+class PositionalIndexPropertyTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(PositionalIndexPropertyTest, MatchesOffsetArrayReference) {
+  PositionalIndex tree;
+  OffsetArray reference;
+  std::mt19937 rng(GetParam());
+  for (int step = 0; step < 4000; ++step) {
+    int action = static_cast<int>(rng() % 100);
+    if (action < 50 || reference.size() == 0) {
+      size_t pos = rng() % (reference.size() + 1);
+      uint64_t payload = rng();
+      ASSERT_TRUE(tree.InsertAt(pos, payload).ok());
+      ASSERT_TRUE(reference.InsertAt(pos, payload).ok());
+    } else if (action < 75) {
+      size_t pos = rng() % reference.size();
+      ASSERT_EQ(tree.EraseAt(pos).value(), reference.EraseAt(pos).value());
+    } else if (action < 90) {
+      size_t pos = rng() % reference.size();
+      ASSERT_EQ(tree.Get(pos).value(), reference.Get(pos).value());
+    } else {
+      size_t pos = rng() % reference.size();
+      uint64_t payload = rng();
+      ASSERT_TRUE(tree.Set(pos, payload).ok());
+      ASSERT_TRUE(reference.Set(pos, payload).ok());
+    }
+    ASSERT_EQ(tree.size(), reference.size());
+  }
+  // Full-content equality at the end.
+  std::vector<uint64_t> tree_all = tree.GetRange(0, tree.size());
+  std::vector<uint64_t> ref_all = reference.GetRange(0, reference.size());
+  EXPECT_EQ(tree_all, ref_all);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PositionalIndexPropertyTest,
+                         ::testing::Values(1u, 7u, 13u, 99u, 2024u));
+
+TEST(OffsetArrayTest, BasicParity) {
+  OffsetArray arr;
+  arr.PushBack(5);
+  ASSERT_TRUE(arr.InsertAt(0, 4).ok());
+  EXPECT_EQ(arr.Get(0).value(), 4u);
+  EXPECT_EQ(arr.EraseAt(1).value(), 5u);
+  EXPECT_EQ(arr.size(), 1u);
+  EXPECT_FALSE(arr.Get(9).ok());
+}
+
+}  // namespace
+}  // namespace dataspread

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/schema_infer.h"
+
+namespace dataspread {
+namespace {
+
+class SchemaInferTest : public ::testing::Test {
+ protected:
+  SchemaInferTest() : sheet_("S") {}
+
+  void Fill(int64_t row, int64_t col, const std::string& input) {
+    ASSERT_TRUE(sheet_.SetValue(row, col, Value::FromUserInput(input)).ok());
+  }
+
+  Result<InferredTable> Infer(const std::string& range,
+                              HeaderMode mode = HeaderMode::kAuto) {
+    return InferTableFromRange(sheet_, ParseRangeRef(range).value(), mode);
+  }
+
+  Sheet sheet_;
+};
+
+TEST_F(SchemaInferTest, HeaderAndTypesDetected) {
+  Fill(0, 0, "id");
+  Fill(0, 1, "name");
+  Fill(0, 2, "score");
+  Fill(1, 0, "1");
+  Fill(1, 1, "ann");
+  Fill(1, 2, "3.5");
+  Fill(2, 0, "2");
+  Fill(2, 1, "bob");
+  Fill(2, 2, "4");
+  InferredTable t = Infer("A1:C3").value();
+  EXPECT_TRUE(t.has_header);
+  EXPECT_EQ(t.schema.column(0).name, "id");
+  EXPECT_EQ(t.schema.column(0).type, DataType::kInt);
+  EXPECT_EQ(t.schema.column(1).type, DataType::kText);
+  EXPECT_EQ(t.schema.column(2).type, DataType::kReal);  // 3.5 ∪ 4 → REAL
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][1], Value::Text("ann"));
+}
+
+TEST_F(SchemaInferTest, NoHeaderWhenFirstRowNumeric) {
+  Fill(0, 0, "1");
+  Fill(0, 1, "x");
+  Fill(1, 0, "2");
+  Fill(1, 1, "y");
+  InferredTable t = Infer("A1:B2").value();
+  EXPECT_FALSE(t.has_header);
+  EXPECT_EQ(t.schema.column(0).name, "c1");
+  EXPECT_EQ(t.schema.column(1).name, "c2");
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST_F(SchemaInferTest, ForcedModes) {
+  Fill(0, 0, "alpha");
+  Fill(1, 0, "beta");
+  // Auto with all-text rows treats the first row as header.
+  EXPECT_TRUE(Infer("A1:A2").value().has_header);
+  // Forced off keeps both rows as data.
+  InferredTable t = Infer("A1:A2", HeaderMode::kNoHeader).value();
+  EXPECT_FALSE(t.has_header);
+  EXPECT_EQ(t.rows.size(), 2u);
+  // Forced on even for a single row.
+  t = Infer("A1", HeaderMode::kHeader).value();
+  EXPECT_TRUE(t.has_header);
+  EXPECT_EQ(t.rows.size(), 0u);
+}
+
+TEST_F(SchemaInferTest, HeaderSanitizationAndDedup) {
+  Fill(0, 0, "my col!");
+  Fill(0, 1, "my col?");
+  Fill(0, 2, "2nd");
+  Fill(1, 0, "1");
+  Fill(1, 1, "2");
+  Fill(1, 2, "3");
+  InferredTable t = Infer("A1:C2").value();
+  EXPECT_EQ(t.schema.column(0).name, "my_col_");
+  EXPECT_EQ(t.schema.column(1).name, "my_col__2");  // uniquified
+  EXPECT_EQ(t.schema.column(2).name, "c_2nd");      // leading digit
+}
+
+TEST_F(SchemaInferTest, MixedTypesWidenToText) {
+  Fill(0, 0, "v");
+  Fill(1, 0, "1");
+  Fill(2, 0, "yes");
+  InferredTable t = Infer("A1:A3").value();
+  EXPECT_EQ(t.schema.column(0).type, DataType::kText);
+}
+
+TEST_F(SchemaInferTest, AllEmptyColumnDefaultsToText) {
+  Fill(0, 0, "a");
+  Fill(0, 1, "b");
+  Fill(1, 0, "1");
+  // B2 left empty.
+  InferredTable t = Infer("A1:B2").value();
+  EXPECT_EQ(t.schema.column(1).type, DataType::kText);
+  EXPECT_TRUE(t.rows[0][1].is_null());
+}
+
+TEST_F(SchemaInferTest, ErrorCellsAbortExport) {
+  Fill(0, 0, "h");
+  ASSERT_TRUE(sheet_.SetValue(1, 0, Value::Error("#DIV/0!")).ok());
+  auto r = Infer("A1:A2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(SchemaInferTest, BoolColumns) {
+  Fill(0, 0, "flag");
+  Fill(1, 0, "true");
+  Fill(2, 0, "false");
+  InferredTable t = Infer("A1:A3").value();
+  EXPECT_EQ(t.schema.column(0).type, DataType::kBool);
+}
+
+}  // namespace
+}  // namespace dataspread

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace dataspread::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, 42, 4.5, 'it''s' FROM t;").value();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[3].int_value, 42);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ(tokens[5].real_value, 4.5);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[7].text, "it's");
+}
+
+TEST(LexerTest, TwoCharSymbols) {
+  auto tokens = Tokenize("a <= b <> c || d != e >= f").value();
+  std::vector<std::string> symbols;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kSymbol) symbols.push_back(t.text);
+  }
+  EXPECT_EQ(symbols, (std::vector<std::string>{"<=", "<>", "||", "!=", ">="}));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT 1 -- trailing comment\n , 2").value();
+  size_t ints = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kInt) ++ints;
+  }
+  EXPECT_EQ(ints, 2u);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+SelectStmt ParseSelectOrDie(std::string_view sql) {
+  auto stmt = Parse(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString() << " for " << sql;
+  return std::move(std::get<SelectStmt>(stmt.value()));
+}
+
+TEST(ParserTest, MinimalSelect) {
+  SelectStmt s = ParseSelectOrDie("SELECT * FROM movies");
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_TRUE(s.items[0].star);
+  ASSERT_TRUE(s.from.has_value());
+  EXPECT_EQ(s.from->name, "movies");
+}
+
+TEST(ParserTest, SelectListWithAliases) {
+  SelectStmt s = ParseSelectOrDie("SELECT a AS x, b y, t.c, t.* FROM t");
+  ASSERT_EQ(s.items.size(), 4u);
+  EXPECT_EQ(s.items[0].alias, "x");
+  EXPECT_EQ(s.items[1].alias, "y");
+  EXPECT_EQ(s.items[2].expr->qualifier, "t");
+  EXPECT_TRUE(s.items[3].star);
+  EXPECT_EQ(s.items[3].star_qualifier, "t");
+}
+
+TEST(ParserTest, JoinVariants) {
+  SelectStmt s = ParseSelectOrDie(
+      "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y "
+      "NATURAL JOIN d CROSS JOIN e, f");
+  ASSERT_EQ(s.joins.size(), 5u);
+  EXPECT_EQ(s.joins[0].type, JoinType::kInner);
+  EXPECT_EQ(s.joins[1].type, JoinType::kLeft);
+  EXPECT_EQ(s.joins[2].type, JoinType::kNatural);
+  EXPECT_EQ(s.joins[3].type, JoinType::kCross);
+  EXPECT_EQ(s.joins[4].type, JoinType::kCross);
+  EXPECT_NE(s.joins[0].on, nullptr);
+  EXPECT_EQ(s.joins[2].on, nullptr);
+}
+
+TEST(ParserTest, WhereGroupHavingOrderLimit) {
+  SelectStmt s = ParseSelectOrDie(
+      "SELECT dept, AVG(salary) a FROM emp WHERE salary > 100 "
+      "GROUP BY dept HAVING COUNT(*) > 2 ORDER BY a DESC, dept "
+      "LIMIT 10 OFFSET 5");
+  EXPECT_NE(s.where, nullptr);
+  ASSERT_EQ(s.group_by.size(), 1u);
+  EXPECT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_FALSE(s.order_by[1].descending);
+  EXPECT_EQ(s.limit.value_or(-1), 10);
+  EXPECT_EQ(s.offset.value_or(-1), 5);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  SelectStmt s = ParseSelectOrDie("SELECT 1 + 2 * 3 = 7 AND NOT FALSE");
+  // ((1 + (2*3)) = 7) AND (NOT FALSE)
+  EXPECT_EQ(s.items[0].expr->ToString(),
+            "(((1 + (2 * 3)) = 7) AND (NOT FALSE))");
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  SelectStmt s = ParseSelectOrDie("SELECT * FROM t WHERE a BETWEEN 1 AND 5");
+  EXPECT_EQ(s.where->ToString(), "((a >= 1) AND (a <= 5))");
+}
+
+TEST(ParserTest, InListAndIsNull) {
+  SelectStmt s = ParseSelectOrDie(
+      "SELECT * FROM t WHERE a IN (1, 2, 3) AND b IS NOT NULL AND c NOT IN (4)");
+  std::string text = s.where->ToString();
+  EXPECT_NE(text.find("IN"), std::string::npos);
+  EXPECT_NE(text.find("IS NOT NULL"), std::string::npos);
+  EXPECT_NE(text.find("NOT IN"), std::string::npos);
+}
+
+TEST(ParserTest, CaseWhen) {
+  SelectStmt s = ParseSelectOrDie(
+      "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t");
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kCase);
+  ASSERT_EQ(s.items[0].expr->args.size(), 3u);
+}
+
+TEST(ParserTest, RangeValueConstruct) {
+  SelectStmt s = ParseSelectOrDie(
+      "SELECT * FROM actors WHERE actorid = RANGEVALUE(A1)");
+  const Expr* cmp = s.where.get();
+  ASSERT_EQ(cmp->args.size(), 2u);
+  EXPECT_EQ(cmp->args[1]->kind, ExprKind::kRangeValue);
+  EXPECT_EQ(cmp->args[1]->ref_text, "A1");
+}
+
+TEST(ParserTest, RangeValueSheetQualified) {
+  SelectStmt s =
+      ParseSelectOrDie("SELECT RANGEVALUE(Sheet2!B3), RANGEVALUE('C4')");
+  EXPECT_EQ(s.items[0].expr->ref_text, "Sheet2!B3");
+  EXPECT_EQ(s.items[1].expr->ref_text, "C4");
+}
+
+TEST(ParserTest, RangeTableInFrom) {
+  SelectStmt s = ParseSelectOrDie(
+      "SELECT * FROM actors NATURAL JOIN RANGETABLE(A1:D100) r");
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].table.kind, TableRef::Kind::kRangeTable);
+  EXPECT_EQ(s.joins[0].table.range_text, "A1:D100");
+  EXPECT_EQ(s.joins[0].table.alias, "r");
+}
+
+TEST(ParserTest, RangeTableNotAnExpression) {
+  EXPECT_FALSE(Parse("SELECT RANGETABLE(A1:B2)").ok());
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").value();
+  auto& ins = std::get<InsertStmt>(stmt);
+  EXPECT_EQ(ins.table, "t");
+  EXPECT_EQ(ins.columns, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(ins.values.size(), 2u);
+  ASSERT_EQ(ins.values[0].size(), 2u);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = Parse("INSERT INTO t SELECT * FROM s WHERE x > 0").value();
+  auto& ins = std::get<InsertStmt>(stmt);
+  EXPECT_NE(ins.select, nullptr);
+}
+
+TEST(ParserTest, UpdateDelete) {
+  auto upd = Parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").value();
+  auto& u = std::get<UpdateStmt>(upd);
+  ASSERT_EQ(u.assignments.size(), 2u);
+  EXPECT_NE(u.where, nullptr);
+  auto del = Parse("DELETE FROM t").value();
+  EXPECT_EQ(std::get<DeleteStmt>(del).where, nullptr);
+}
+
+TEST(ParserTest, CreateDropAlter) {
+  auto create = Parse(
+      "CREATE TABLE IF NOT EXISTS m (id INT PRIMARY KEY, title TEXT, "
+      "score REAL)").value();
+  auto& c = std::get<CreateTableStmt>(create);
+  EXPECT_TRUE(c.if_not_exists);
+  ASSERT_EQ(c.columns.size(), 3u);
+  EXPECT_TRUE(c.columns[0].primary_key);
+  EXPECT_EQ(c.columns[2].type, dataspread::DataType::kReal);
+
+  auto drop = Parse("DROP TABLE IF EXISTS m").value();
+  EXPECT_TRUE(std::get<DropTableStmt>(drop).if_exists);
+
+  auto add = Parse("ALTER TABLE m ADD COLUMN genre TEXT DEFAULT 'none'").value();
+  auto& a = std::get<AlterTableStmt>(add);
+  EXPECT_EQ(a.action, AlterTableStmt::Action::kAddColumn);
+  EXPECT_NE(a.default_value, nullptr);
+
+  auto ren = Parse("ALTER TABLE m RENAME COLUMN genre TO g").value();
+  EXPECT_EQ(std::get<AlterTableStmt>(ren).action,
+            AlterTableStmt::Action::kRenameColumn);
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  for (const char* bad :
+       {"", "SELEKT 1", "SELECT FROM", "SELECT * FROM", "INSERT t VALUES (1)",
+        "SELECT * FROM t WHERE", "SELECT 1 2", "CREATE TABLE t (a BLOB)",
+        "UPDATE t SET", "SELECT * FROM t LIMIT x"}) {
+    EXPECT_FALSE(Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(Parse("SELECT 1;").ok());
+  EXPECT_FALSE(Parse("SELECT 1; SELECT 2").ok());
+}
+
+TEST(ParserTest, ExprCloneIsDeep) {
+  SelectStmt s = ParseSelectOrDie("SELECT a + b * 2 FROM t");
+  ExprPtr clone = s.items[0].expr->Clone();
+  EXPECT_EQ(clone->ToString(), s.items[0].expr->ToString());
+  EXPECT_NE(clone.get(), s.items[0].expr.get());
+  EXPECT_NE(clone->args[0].get(), s.items[0].expr->args[0].get());
+}
+
+TEST(ParserTest, AggregateDetection) {
+  SelectStmt s = ParseSelectOrDie("SELECT SUM(a) + 1, b FROM t");
+  EXPECT_TRUE(ContainsAggregate(*s.items[0].expr));
+  EXPECT_FALSE(ContainsAggregate(*s.items[1].expr));
+}
+
+}  // namespace
+}  // namespace dataspread::sql

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace dataspread {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt), "INTEGER");
+  EXPECT_STREQ(DataTypeName(DataType::kText), "TEXT");
+}
+
+TEST(DataTypeTest, FromName) {
+  EXPECT_EQ(DataTypeFromName("int"), DataType::kInt);
+  EXPECT_EQ(DataTypeFromName("BIGINT"), DataType::kInt);
+  EXPECT_EQ(DataTypeFromName("varchar"), DataType::kText);
+  EXPECT_EQ(DataTypeFromName("DOUBLE"), DataType::kReal);
+  EXPECT_EQ(DataTypeFromName("boolean"), DataType::kBool);
+  EXPECT_FALSE(DataTypeFromName("blob").has_value());
+}
+
+TEST(DataTypeTest, InferenceLattice) {
+  EXPECT_EQ(UnifyForInference(DataType::kNull, DataType::kInt), DataType::kInt);
+  EXPECT_EQ(UnifyForInference(DataType::kInt, DataType::kReal), DataType::kReal);
+  EXPECT_EQ(UnifyForInference(DataType::kInt, DataType::kText), DataType::kText);
+  EXPECT_EQ(UnifyForInference(DataType::kBool, DataType::kInt), DataType::kText);
+  EXPECT_EQ(UnifyForInference(DataType::kBool, DataType::kBool), DataType::kBool);
+}
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToDisplayString(), "");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int(5).type(), DataType::kInt);
+  EXPECT_EQ(Value::Real(1.5).type(), DataType::kReal);
+  EXPECT_EQ(Value::Text("x").type(), DataType::kText);
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Error("#REF!").type(), DataType::kError);
+  EXPECT_TRUE(Value::Error("#REF!").is_error());
+}
+
+struct UserInputCase {
+  const char* input;
+  DataType expected;
+};
+
+class UserInputTest : public ::testing::TestWithParam<UserInputCase> {};
+
+TEST_P(UserInputTest, DynamicTyping) {
+  EXPECT_EQ(Value::FromUserInput(GetParam().input).type(),
+            GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DynamicTyping, UserInputTest,
+    ::testing::Values(UserInputCase{"", DataType::kNull},
+                      UserInputCase{"   ", DataType::kNull},
+                      UserInputCase{"42", DataType::kInt},
+                      UserInputCase{"-3", DataType::kInt},
+                      UserInputCase{"4.25", DataType::kReal},
+                      UserInputCase{"1e3", DataType::kReal},
+                      UserInputCase{"true", DataType::kBool},
+                      UserInputCase{"FALSE", DataType::kBool},
+                      UserInputCase{"hello", DataType::kText},
+                      UserInputCase{"12abc", DataType::kText},
+                      UserInputCase{"0042", DataType::kInt}));
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Real(1.0));
+  EXPECT_NE(Value::Int(1), Value::Real(1.5));
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Real(1.0).Hash());
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // NULL < BOOL < numeric < TEXT < ERROR
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::Text("5"));
+  EXPECT_LT(Value::Text("z"), Value::Error("#REF!"));
+  EXPECT_LT(Value::Int(2), Value::Real(2.5));
+  EXPECT_LT(Value::Real(1.5), Value::Int(2));
+  EXPECT_LT(Value::Text("abc"), Value::Text("abd"));
+}
+
+TEST(ValueTest, AsRealCoercions) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsReal().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsReal().value(), 1.0);
+  EXPECT_FALSE(Value::Text("x").AsReal().ok());
+  EXPECT_FALSE(Value::Null().AsReal().ok());
+}
+
+TEST(ValueTest, AsIntRequiresIntegral) {
+  EXPECT_EQ(Value::Real(4.0).AsInt().value(), 4);
+  EXPECT_FALSE(Value::Real(4.5).AsInt().ok());
+}
+
+TEST(ValueTest, DisplayFormatting) {
+  EXPECT_EQ(Value::Int(42).ToDisplayString(), "42");
+  EXPECT_EQ(Value::Real(3.0).ToDisplayString(), "3");
+  EXPECT_EQ(Value::Real(2.5).ToDisplayString(), "2.5");
+  EXPECT_EQ(Value::Bool(true).ToDisplayString(), "TRUE");
+  EXPECT_EQ(Value::Error("#DIV/0!").ToDisplayString(), "#DIV/0!");
+}
+
+TEST(ValueTest, SqlLiteralQuoting) {
+  EXPECT_EQ(Value::Text("it's").ToSqlLiteral(), "'it''s'");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToSqlLiteral(), "7");
+}
+
+TEST(ValueTest, CastBetweenTypes) {
+  EXPECT_EQ(Value::Text("42").CastTo(DataType::kInt).value(), Value::Int(42));
+  EXPECT_EQ(Value::Int(42).CastTo(DataType::kText).value(), Value::Text("42"));
+  EXPECT_EQ(Value::Text("1.5").CastTo(DataType::kReal).value(),
+            Value::Real(1.5));
+  EXPECT_FALSE(Value::Text("abc").CastTo(DataType::kInt).ok());
+  // NULL passes through any cast.
+  EXPECT_TRUE(Value::Null().CastTo(DataType::kInt).value().is_null());
+  // Errors never cast.
+  EXPECT_FALSE(Value::Error("#REF!").CastTo(DataType::kText).ok());
+}
+
+TEST(ValueTest, RowHashConsistentWithEquality) {
+  Row a{Value::Int(1), Value::Text("x")};
+  Row b{Value::Real(1.0), Value::Text("x")};
+  EXPECT_TRUE(RowEq{}(a, b));
+  EXPECT_EQ(RowHash{}(a), RowHash{}(b));
+  Row c{Value::Int(2), Value::Text("x")};
+  EXPECT_FALSE(RowEq{}(a, c));
+}
+
+}  // namespace
+}  // namespace dataspread
