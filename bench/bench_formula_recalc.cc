@@ -56,7 +56,8 @@ void BM_Recalc_FanInAggregate(benchmark::State& state) {
   (void)ds.RecalcNow();
   int64_t v = 1;
   for (auto _ : state) {
-    (void)sheet->SetValue(v % n, 0, Value::Int(++v));
+    ++v;
+    (void)sheet->SetValue((v - 1) % n, 0, Value::Int(v));
     (void)ds.RecalcNow();  // one aggregate recomputes over n inputs
   }
   state.SetLabel("fan-in " + std::to_string(n));
@@ -82,7 +83,8 @@ void BM_Recalc_GridOfRowSums(benchmark::State& state) {
   (void)ds.RecalcNow();
   int64_t v = 0;
   for (auto _ : state) {
-    (void)sheet->SetValue(++v % rows, 3, Value::Int(v));
+    ++v;
+    (void)sheet->SetValue(v % rows, 3, Value::Int(v));
     (void)ds.RecalcNow();
   }
   state.SetLabel(std::to_string(rows) + " row-sums, single edit");

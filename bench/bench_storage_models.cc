@@ -4,6 +4,7 @@
 // row appends (imports), and sparse data.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <random>
 
 #include "storage/table_storage.h"
@@ -15,7 +16,7 @@ constexpr size_t kCols = 8;
 
 std::unique_ptr<TableStorage> MakeLoaded(StorageModel model, size_t rows) {
   auto s = CreateStorage(model, kCols);
-  s->accountant().set_enabled(false);
+  s->pager().set_accounting_enabled(false);
   Row r(kCols);
   for (size_t i = 0; i < rows; ++i) {
     for (size_t c = 0; c < kCols; ++c) {
@@ -24,6 +25,21 @@ std::unique_ptr<TableStorage> MakeLoaded(StorageModel model, size_t rows) {
     (void)s->AppendRow(r);
   }
   return s;
+}
+
+/// Reports the pager-measured block I/O of one `op` (run outside the timing
+/// loop with accounting re-enabled) plus the table's resident page footprint.
+void ReportPagerCounters(benchmark::State& state, TableStorage& s,
+                         const std::function<void()>& op) {
+  storage::Pager& pager = s.pager();
+  pager.set_accounting_enabled(true);
+  pager.BeginEpoch();
+  op();
+  state.counters["pages_read"] = static_cast<double>(pager.EpochPagesRead());
+  state.counters["pages_written"] =
+      static_cast<double>(pager.EpochPagesWritten());
+  state.counters["resident_pages"] =
+      static_cast<double>(pager.resident_pages());
 }
 
 void RunScan(benchmark::State& state, StorageModel model) {
@@ -38,6 +54,9 @@ void RunScan(benchmark::State& state, StorageModel model) {
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+  ReportPagerCounters(state, *s, [&] {
+    for (size_t i = 0; i < rows; ++i) (void)s->GetRow(i);
+  });
   state.SetLabel(StorageModelName(model));
 }
 
@@ -48,16 +67,19 @@ void RunPointUpdate(benchmark::State& state, StorageModel model) {
   for (auto _ : state) {
     (void)s->Set(rng() % rows, rng() % kCols, Value::Int(1));
   }
+  ReportPagerCounters(state, *s,
+                      [&] { (void)s->Set(rng() % rows, 0, Value::Int(1)); });
   state.SetLabel(StorageModelName(model));
 }
 
 void RunAppend(benchmark::State& state, StorageModel model) {
   auto s = CreateStorage(model, kCols);
-  s->accountant().set_enabled(false);
+  s->pager().set_accounting_enabled(false);
   Row r(kCols, Value::Int(7));
   for (auto _ : state) {
     (void)s->AppendRow(r);
   }
+  ReportPagerCounters(state, *s, [&] { (void)s->AppendRow(r); });
   state.SetLabel(StorageModelName(model));
 }
 
@@ -65,7 +87,7 @@ void RunSparseColumnScan(benchmark::State& state, StorageModel model) {
   // 90% NULL data: RCV's home turf.
   size_t rows = static_cast<size_t>(state.range(0));
   auto s = CreateStorage(model, kCols);
-  s->accountant().set_enabled(false);
+  s->pager().set_accounting_enabled(false);
   std::mt19937 rng(5);
   Row r(kCols);
   for (size_t i = 0; i < rows; ++i) {
@@ -81,6 +103,9 @@ void RunSparseColumnScan(benchmark::State& state, StorageModel model) {
     }
     benchmark::DoNotOptimize(non_null);
   }
+  ReportPagerCounters(state, *s, [&] {
+    for (size_t i = 0; i < rows; ++i) (void)s->Get(i, 2);
+  });
   state.SetLabel(StorageModelName(model));
 }
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: configure -> build -> ctest, with warnings-as-errors for the
+# storage subsystem (src/storage/ must stay warning-clean; the rest of the
+# tree builds with -Wall -Wextra).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="$(nproc)"
+
+cmake -B "${BUILD_DIR}" -S . -DDS_STORAGE_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "ci/check.sh: configure + build + ctest all green"

@@ -12,8 +12,9 @@ Result<Table*> Catalog::CreateTable(std::string name, Schema schema,
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
-  DS_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
-                      Table::Create(std::move(name), std::move(schema), model));
+  DS_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      Table::Create(std::move(name), std::move(schema), model, pager_));
   Table* raw = table.get();
   tables_.emplace(key, std::move(table));
   creation_order_.push_back(key);

@@ -13,8 +13,15 @@ namespace dataspread {
 
 /// Named-table directory of the embedded database. Table names are
 /// case-insensitive (stored with their original spelling).
+///
+/// When constructed with a storage::Pager, every table it creates draws its
+/// pages from that shared pool (the Database wires its pager through here);
+/// without one, each table owns a private pager.
 class Catalog {
  public:
+  Catalog() = default;
+  explicit Catalog(storage::Pager* pager) : pager_(pager) {}
+
   /// Creates a table; fails with AlreadyExists on a name collision.
   Result<Table*> CreateTable(std::string name, Schema schema,
                              StorageModel model = StorageModel::kHybrid);
@@ -31,7 +38,11 @@ class Catalog {
 
   size_t size() const { return tables_.size(); }
 
+  /// The shared storage pool, or null when tables own private pagers.
+  storage::Pager* pager() const { return pager_; }
+
  private:
+  storage::Pager* pager_ = nullptr;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // lower(name)
   std::vector<std::string> creation_order_;                         // lower(name)
 };

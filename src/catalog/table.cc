@@ -7,12 +7,13 @@
 namespace dataspread {
 
 Result<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
-                                             StorageModel model) {
+                                             StorageModel model,
+                                             storage::Pager* pager) {
   DS_RETURN_IF_ERROR(schema.Validate());
   if (name.empty()) {
     return Status::InvalidArgument("table name may not be empty");
   }
-  auto storage = CreateStorage(model, schema.num_columns());
+  auto storage = CreateStorage(model, schema.num_columns(), pager);
   return std::unique_ptr<Table>(
       new Table(std::move(name), std::move(schema), std::move(storage)));
 }

@@ -44,10 +44,13 @@ struct TableChange {
 class Table {
  public:
   /// Creates an empty table. `model` selects the physical layout; the paper's
-  /// design is StorageModel::kHybrid.
+  /// design is StorageModel::kHybrid. `pager` is the paged storage engine the
+  /// table's heaps live in (shared across a database's tables so all I/O is
+  /// accounted in one pool); null gives the table a private pager.
   static Result<std::unique_ptr<Table>> Create(
       std::string name, Schema schema,
-      StorageModel model = StorageModel::kHybrid);
+      StorageModel model = StorageModel::kHybrid,
+      storage::Pager* pager = nullptr);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }

@@ -29,6 +29,11 @@ class Database {
 
   Catalog& catalog() { return catalog_; }
 
+  /// The unified paged storage engine: every table of this database allocates
+  /// its heaps from this one accounted pool.
+  storage::Pager& pager() { return pager_; }
+  const storage::Pager& pager() const { return pager_; }
+
   /// Parses and executes one SQL statement. `resolver` supplies the
   /// spreadsheet context for RANGEVALUE/RANGETABLE (null = plain SQL only).
   Result<ResultSet> Execute(std::string_view sql,
@@ -63,7 +68,9 @@ class Database {
   /// Wires a table's change events to the database-level listeners.
   void AttachForwarding(Table* table);
 
-  Catalog catalog_;
+  storage::Pager pager_;        // declared before catalog_: tables drop their
+                                // files into it on destruction
+  Catalog catalog_{&pager_};
   std::recursive_mutex mutex_;
   int next_listener_token_ = 1;
   std::vector<std::pair<int, ChangeListener>> listeners_;

@@ -12,50 +12,50 @@ Status CheckStorable(const Value& v) {
 }
 }  // namespace
 
-ColumnStore::ColumnStore(size_t num_columns, PageAccountant* accountant)
-    : TableStorage(accountant) {
-  columns_.reserve(num_columns);
+ColumnStore::ColumnStore(size_t num_columns, storage::Pager* pager)
+    : TableStorage(pager) {
+  files_.reserve(num_columns);
   for (size_t i = 0; i < num_columns; ++i) {
-    columns_.push_back(Column{{}, accountant_->NewFile()});
+    files_.push_back(pager_->CreateFile());
   }
+}
+
+ColumnStore::~ColumnStore() {
+  for (storage::FileId f : files_) pager_->DropFile(f);
 }
 
 Result<Value> ColumnStore::Get(size_t row, size_t col) const {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
-  accountant_->Touch(columns_[col].file, row);
-  return columns_[col].values[row];
+  return pager_->Read(files_[col], row);
 }
 
 Status ColumnStore::Set(size_t row, size_t col, Value v) {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
   DS_RETURN_IF_ERROR(CheckStorable(v));
-  accountant_->Dirty(columns_[col].file, row);
-  columns_[col].values[row] = std::move(v);
+  pager_->Write(files_[col], row, std::move(v));
   return Status::OK();
 }
 
 Result<Row> ColumnStore::GetRow(size_t row) const {
   if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
   Row out;
-  out.reserve(columns_.size());
-  for (const Column& c : columns_) {
-    accountant_->Touch(c.file, row);
-    out.push_back(c.values[row]);
+  out.reserve(files_.size());
+  for (storage::FileId f : files_) {
+    out.push_back(pager_->Read(f, row));
   }
   return out;
 }
 
 Result<size_t> ColumnStore::AppendRow(const Row& row) {
-  if (row.size() != columns_.size()) {
+  if (row.size() != files_.size()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != " +
-        std::to_string(columns_.size()));
+        std::to_string(files_.size()));
   }
   for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
   size_t slot = num_rows_;
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    accountant_->Dirty(columns_[c].file, slot);
-    columns_[c].values.push_back(row[c]);
+  for (size_t c = 0; c < files_.size(); ++c) {
+    pager_->Write(files_[c], slot, row[c]);
   }
   num_rows_ += 1;
   return slot;
@@ -64,13 +64,11 @@ Result<size_t> ColumnStore::AppendRow(const Row& row) {
 Result<size_t> ColumnStore::DeleteRow(size_t row) {
   if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
   size_t last = num_rows_ - 1;
-  for (Column& c : columns_) {
+  for (storage::FileId f : files_) {
     if (row != last) {
-      c.values[row] = std::move(c.values[last]);
-      accountant_->Dirty(c.file, row);
+      pager_->Write(f, row, pager_->Take(f, last));
     }
-    accountant_->Dirty(c.file, last);
-    c.values.pop_back();
+    pager_->Truncate(f, last);
   }
   num_rows_ -= 1;
   return last;
@@ -78,19 +76,21 @@ Result<size_t> ColumnStore::DeleteRow(size_t row) {
 
 Status ColumnStore::AddColumn(const Value& default_value) {
   DS_RETURN_IF_ERROR(CheckStorable(default_value));
-  Column col{{}, accountant_->NewFile()};
-  col.values.assign(num_rows_, default_value);
-  for (size_t r = 0; r < num_rows_; ++r) accountant_->Dirty(col.file, r);
-  columns_.push_back(std::move(col));
+  storage::FileId f = pager_->CreateFile();
+  for (size_t r = 0; r < num_rows_; ++r) {
+    pager_->Write(f, r, default_value);
+  }
+  files_.push_back(f);
   return Status::OK();
 }
 
 Status ColumnStore::DropColumn(size_t col) {
-  if (col >= columns_.size()) {
+  if (col >= files_.size()) {
     return Status::OutOfRange("column " + std::to_string(col));
   }
   // Dropping a column deallocates its file; no surviving page is written.
-  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(col));
+  pager_->DropFile(files_[col]);
+  files_.erase(files_.begin() + static_cast<ptrdiff_t>(col));
   return Status::OK();
 }
 

@@ -7,18 +7,19 @@
 
 namespace dataspread {
 
-/// COM: decomposed column store — one file per attribute.
+/// COM: decomposed column store — one pager file per attribute, slot = row.
 ///
 /// Schema changes touch only the affected attribute's file, but whole-tuple
 /// reads fan out to one page per attribute. The hybrid store interpolates
 /// between this and RowStore via attribute groups.
 class ColumnStore : public TableStorage {
  public:
-  ColumnStore(size_t num_columns, PageAccountant* accountant);
+  ColumnStore(size_t num_columns, storage::Pager* pager);
+  ~ColumnStore() override;
 
   StorageModel model() const override { return StorageModel::kColumn; }
   size_t num_rows() const override { return num_rows_; }
-  size_t num_columns() const override { return columns_.size(); }
+  size_t num_columns() const override { return files_.size(); }
 
   Result<Value> Get(size_t row, size_t col) const override;
   Status Set(size_t row, size_t col, Value v) override;
@@ -29,13 +30,8 @@ class ColumnStore : public TableStorage {
   Status DropColumn(size_t col) override;
 
  private:
-  struct Column {
-    std::vector<Value> values;
-    uint64_t file;
-  };
-
   size_t num_rows_ = 0;
-  std::vector<Column> columns_;
+  std::vector<storage::FileId> files_;  // one page chain per attribute
 };
 
 }  // namespace dataspread

@@ -14,13 +14,13 @@ Status CheckStorable(const Value& v) {
 }
 }  // namespace
 
-HybridStore::HybridStore(size_t num_columns, PageAccountant* accountant)
-    : TableStorage(accountant) {
+HybridStore::HybridStore(size_t num_columns, storage::Pager* pager)
+    : TableStorage(pager) {
   if (num_columns > 0) {
     Group g;
     g.width = num_columns;
-    g.file = accountant_->NewFile();
-    groups_.push_back(std::move(g));
+    g.file = pager_->CreateFile();
+    groups_.push_back(g);
     col_map_.reserve(num_columns);
     for (size_t i = 0; i < num_columns; ++i) {
       col_map_.push_back(ColumnLoc{0, i});
@@ -28,32 +28,41 @@ HybridStore::HybridStore(size_t num_columns, PageAccountant* accountant)
   }
 }
 
+HybridStore::~HybridStore() {
+  for (const Group& g : groups_) pager_->DropFile(g.file);
+}
+
 Result<Value> HybridStore::Get(size_t row, size_t col) const {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
   const ColumnLoc& loc = col_map_[col];
   const Group& g = groups_[loc.group];
-  accountant_->Touch(g.file, Entry(g, row, loc.offset));
-  return g.values[row * g.width + loc.offset];
+  return pager_->Read(g.file, Entry(g, row, loc.offset));
 }
 
 Status HybridStore::Set(size_t row, size_t col, Value v) {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
   DS_RETURN_IF_ERROR(CheckStorable(v));
   const ColumnLoc& loc = col_map_[col];
-  Group& g = groups_[loc.group];
-  accountant_->Dirty(g.file, Entry(g, row, loc.offset));
-  g.values[row * g.width + loc.offset] = std::move(v);
+  const Group& g = groups_[loc.group];
+  pager_->Write(g.file, Entry(g, row, loc.offset), std::move(v));
   return Status::OK();
 }
 
 Result<Row> HybridStore::GetRow(size_t row) const {
   if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
+  if (groups_.size() == 1) {
+    // Single group (no schema changes since creation/Reorganize): the tuple
+    // is contiguous and col_map_ is the identity, so one bulk read suffices.
+    Row out;
+    pager_->ReadRange(groups_[0].file, row * groups_[0].width,
+                      groups_[0].width, &out);
+    return out;
+  }
   Row out;
   out.reserve(col_map_.size());
   for (const ColumnLoc& loc : col_map_) {
     const Group& g = groups_[loc.group];
-    accountant_->Touch(g.file, Entry(g, row, loc.offset));
-    out.push_back(g.values[row * g.width + loc.offset]);
+    out.push_back(pager_->Read(g.file, Entry(g, row, loc.offset)));
   }
   return out;
 }
@@ -66,17 +75,12 @@ Result<size_t> HybridStore::AppendRow(const Row& row) {
   }
   for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
   size_t slot = num_rows_;
-  // Grow each group by one row, then scatter the tuple through col_map_.
-  for (Group& g : groups_) {
-    g.values.resize(g.values.size() + g.width);
-    for (size_t o = 0; o < g.width; ++o) {
-      accountant_->Dirty(g.file, Entry(g, slot, o));
-    }
-  }
+  // Every (group, offset) pair is mapped by exactly one column, so scattering
+  // the tuple through col_map_ grows each group by one full row.
   for (size_t c = 0; c < row.size(); ++c) {
     const ColumnLoc& loc = col_map_[c];
-    Group& g = groups_[loc.group];
-    g.values[slot * g.width + loc.offset] = row[c];
+    const Group& g = groups_[loc.group];
+    pager_->Write(g.file, Entry(g, slot, loc.offset), row[c]);
   }
   num_rows_ += 1;
   return slot;
@@ -85,17 +89,14 @@ Result<size_t> HybridStore::AppendRow(const Row& row) {
 Result<size_t> HybridStore::DeleteRow(size_t row) {
   if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
   size_t last = num_rows_ - 1;
-  for (Group& g : groups_) {
+  for (const Group& g : groups_) {
     if (row != last) {
       for (size_t o = 0; o < g.width; ++o) {
-        g.values[row * g.width + o] = std::move(g.values[last * g.width + o]);
-        accountant_->Dirty(g.file, Entry(g, row, o));
+        pager_->Write(g.file, Entry(g, row, o),
+                      pager_->Take(g.file, Entry(g, last, o)));
       }
     }
-    for (size_t o = 0; o < g.width; ++o) {
-      accountant_->Dirty(g.file, Entry(g, last, o));
-    }
-    g.values.resize(g.values.size() - g.width);
+    pager_->Truncate(g.file, last * g.width);
   }
   num_rows_ -= 1;
   return last;
@@ -104,13 +105,15 @@ Result<size_t> HybridStore::DeleteRow(size_t row) {
 Status HybridStore::AddColumn(const Value& default_value) {
   DS_RETURN_IF_ERROR(CheckStorable(default_value));
   // Fresh single-attribute group: the schema change writes only this group's
-  // pages; every pre-existing page is left untouched.
+  // pages — ceil(num_rows / 256) of them; every pre-existing page is left
+  // untouched.
   Group g;
   g.width = 1;
-  g.file = accountant_->NewFile();
-  g.values.assign(num_rows_, default_value);
-  for (size_t r = 0; r < num_rows_; ++r) accountant_->Dirty(g.file, r);
-  groups_.push_back(std::move(g));
+  g.file = pager_->CreateFile();
+  for (size_t r = 0; r < num_rows_; ++r) {
+    pager_->Write(g.file, r, default_value);
+  }
+  groups_.push_back(g);
   col_map_.push_back(ColumnLoc{groups_.size() - 1, 0});
   return Status::OK();
 }
@@ -118,18 +121,15 @@ Status HybridStore::AddColumn(const Value& default_value) {
 void HybridStore::CompactGroupWithoutOffset(size_t group_index, size_t offset) {
   Group& g = groups_[group_index];
   size_t new_width = g.width - 1;
-  std::vector<Value> compacted;
-  compacted.reserve(num_rows_ * new_width);
+  // Forward in-place compaction: destinations never pass their sources.
+  uint64_t dst = 0;
   for (size_t r = 0; r < num_rows_; ++r) {
     for (size_t o = 0; o < g.width; ++o) {
       if (o == offset) continue;
-      compacted.push_back(std::move(g.values[r * g.width + o]));
-    }
-    for (size_t o = 0; o < new_width; ++o) {
-      accountant_->Dirty(g.file, r * new_width + o);
+      pager_->Write(g.file, dst++, pager_->Take(g.file, Entry(g, r, o)));
     }
   }
-  g.values = std::move(compacted);
+  pager_->Truncate(g.file, num_rows_ * new_width);
   g.width = new_width;
 }
 
@@ -141,6 +141,7 @@ Status HybridStore::DropColumn(size_t col) {
   Group& g = groups_[loc.group];
   if (g.width == 1) {
     // The whole group disappears: pure metadata operation, zero page writes.
+    pager_->DropFile(g.file);
     groups_.erase(groups_.begin() + static_cast<ptrdiff_t>(loc.group));
     for (ColumnLoc& l : col_map_) {
       if (l.group > loc.group) l.group -= 1;
@@ -160,20 +161,18 @@ Status HybridStore::Reorganize() {
   if (groups_.size() <= 1) return Status::OK();
   Group merged;
   merged.width = col_map_.size();
-  merged.file = accountant_->NewFile();
-  merged.values.reserve(num_rows_ * merged.width);
+  merged.file = pager_->CreateFile();
   for (size_t r = 0; r < num_rows_; ++r) {
+    uint64_t dst = r * merged.width;
     for (const ColumnLoc& loc : col_map_) {
-      Group& g = groups_[loc.group];
-      accountant_->Touch(g.file, Entry(g, r, loc.offset));
-      merged.values.push_back(std::move(g.values[r * g.width + loc.offset]));
-    }
-    for (size_t o = 0; o < merged.width; ++o) {
-      accountant_->Dirty(merged.file, r * merged.width + o);
+      const Group& g = groups_[loc.group];
+      pager_->Write(merged.file, dst++,
+                    pager_->Take(g.file, Entry(g, r, loc.offset)));
     }
   }
+  for (const Group& g : groups_) pager_->DropFile(g.file);
   groups_.clear();
-  groups_.push_back(std::move(merged));
+  groups_.push_back(merged);
   for (size_t c = 0; c < col_map_.size(); ++c) {
     col_map_[c] = ColumnLoc{0, c};
   }

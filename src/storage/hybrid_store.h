@@ -10,19 +10,20 @@ namespace dataspread {
 /// The paper's Relational Storage Manager: a hybrid of row- and column-store
 /// organized as **attribute groups** (§3).
 ///
-/// Tuples are decomposed along groups of attributes; within a group the layout
-/// is row-major (row-store locality), across groups it is decomposed
-/// (column-store independence). The initial schema forms one group; every
-/// ALTER TABLE ADD COLUMN allocates a *fresh single-attribute group*, so a
-/// schema change writes only the new group's pages — "radically reducing the
-/// disk blocks that need an update during a schema change".
+/// Tuples are decomposed along groups of attributes; each group is one pager
+/// file, row-major within the group (row-store locality) and independent
+/// across groups (column-store independence). The initial schema forms one
+/// group; every ALTER TABLE ADD COLUMN allocates a *fresh single-attribute
+/// group*, so a schema change writes only the new group's pages — "radically
+/// reducing the disk blocks that need an update during a schema change".
 ///
 /// Reorganize() merges all groups back into one for scan locality after a
 /// burst of schema changes (an offline maintenance step; listed as a design
 /// extension in DESIGN.md).
 class HybridStore : public TableStorage {
  public:
-  HybridStore(size_t num_columns, PageAccountant* accountant);
+  HybridStore(size_t num_columns, storage::Pager* pager);
+  ~HybridStore() override;
 
   StorageModel model() const override { return StorageModel::kHybrid; }
   size_t num_rows() const override { return num_rows_; }
@@ -45,9 +46,8 @@ class HybridStore : public TableStorage {
 
  private:
   struct Group {
-    size_t width = 0;               // attributes in this group
-    std::vector<Value> values;      // row-major: row * width + offset
-    uint64_t file = 0;
+    size_t width = 0;            // attributes in this group
+    storage::FileId file = 0;    // row-major page chain: row * width + offset
   };
   struct ColumnLoc {
     size_t group;

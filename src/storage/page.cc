@@ -1,4 +1,5 @@
 #include "storage/page.h"
 
-// PageAccountant is header-only; this translation unit anchors the library.
+// PageAccountant is a header-only facade over storage::Pager; this
+// translation unit anchors the library.
 namespace dataspread {}

@@ -3,76 +3,54 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_set>
+
+#include "storage/pager.h"
 
 namespace dataspread {
 
-/// Simulated block-device accounting.
+/// Block-level accounting facade over the unified storage::Pager.
 ///
 /// The paper's Relational Storage Manager claim is about *disk blocks updated*
-/// during schema changes. This project runs in memory, so instead of a real
-/// buffer pool we account I/O against simulated 4 KiB pages: every logical
-/// value slot is assigned to a page of its storage file, and reads/writes are
-/// recorded. Benchmarks call BeginEpoch() around an operation and then read
-/// the number of distinct pages touched/dirtied — exactly the quantity the
-/// paper argues about (see DESIGN.md §2, substitution table).
-///
-/// Accounting uses a fixed 16-byte simulated slot per value (pointer-sized
-/// payload plus null/tag bits), i.e. 256 slots per page.
+/// during schema changes. Historically this project accounted simulated pages
+/// by slot arithmetic; the cell heaps now physically live in the pager's
+/// 4 KiB pages (256 slots of a simulated 16 bytes each — pointer-sized
+/// payload plus null/tag bits), and this class remains as a thin compatibility
+/// surface for benchmarks and tests: BeginEpoch() around an operation, then
+/// read the number of distinct pages touched/dirtied — exactly the quantity
+/// the paper argues about (see DESIGN.md §2, substitution table).
 class PageAccountant {
  public:
-  static constexpr uint64_t kPageBytes = 4096;
-  static constexpr uint64_t kValueBytes = 16;
-  static constexpr uint64_t kEntriesPerPage = kPageBytes / kValueBytes;
+  static constexpr uint64_t kPageBytes = storage::Pager::kPageBytes;
+  static constexpr uint64_t kValueBytes = storage::Pager::kSlotBytes;
+  static constexpr uint64_t kEntriesPerPage = storage::Pager::kSlotsPerPage;
 
-  /// Allocates a new storage-file id (each attribute group / column / heap
-  /// gets its own file so pages never alias across structures).
-  uint64_t NewFile() { return next_file_id_++; }
-
-  /// Records a read of the page holding `entry` in `file`.
-  void Touch(uint64_t file, uint64_t entry) {
-    if (!enabled_) return;
-    ++lifetime_reads_;
-    epoch_read_.insert(PageKey(file, entry));
-  }
-
-  /// Records a write of the page holding `entry` in `file`.
-  void Dirty(uint64_t file, uint64_t entry) {
-    if (!enabled_) return;
-    ++lifetime_writes_;
-    epoch_written_.insert(PageKey(file, entry));
-  }
+  explicit PageAccountant(storage::Pager* pager) : pager_(pager) {}
 
   /// Starts a fresh measurement window (clears the distinct-page sets).
-  void BeginEpoch() {
-    epoch_read_.clear();
-    epoch_written_.clear();
-  }
+  void BeginEpoch() { pager_->BeginEpoch(); }
 
   /// Distinct pages read/written since BeginEpoch().
-  size_t EpochPagesRead() const { return epoch_read_.size(); }
-  size_t EpochPagesWritten() const { return epoch_written_.size(); }
+  size_t EpochPagesRead() const { return pager_->EpochPagesRead(); }
+  size_t EpochPagesWritten() const { return pager_->EpochPagesWritten(); }
 
-  /// Total slot accesses since construction (not distinct).
-  uint64_t lifetime_reads() const { return lifetime_reads_; }
-  uint64_t lifetime_writes() const { return lifetime_writes_; }
+  /// Total slot accesses since the pager's construction (not distinct).
+  uint64_t lifetime_reads() const { return pager_->stats().slot_reads; }
+  uint64_t lifetime_writes() const { return pager_->stats().slot_writes; }
 
   /// Accounting costs a hash insert per access; timing-focused benchmarks
-  /// disable it.
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  /// disable it. Page contents and dirty bits are maintained regardless.
+  /// NOTE: the toggle is pager-wide — on a table whose pager is shared
+  /// (every table of a Database), this silences accounting for *all* tables
+  /// of the pool, not just this one.
+  void set_enabled(bool enabled) { pager_->set_accounting_enabled(enabled); }
+  bool enabled() const { return pager_->accounting_enabled(); }
+
+  /// The underlying storage engine.
+  storage::Pager& pager() { return *pager_; }
+  const storage::Pager& pager() const { return *pager_; }
 
  private:
-  static uint64_t PageKey(uint64_t file, uint64_t entry) {
-    return (file << 40) | (entry / kEntriesPerPage);
-  }
-
-  bool enabled_ = true;
-  uint64_t next_file_id_ = 1;
-  uint64_t lifetime_reads_ = 0;
-  uint64_t lifetime_writes_ = 0;
-  std::unordered_set<uint64_t> epoch_read_;
-  std::unordered_set<uint64_t> epoch_written_;
+  storage::Pager* pager_;
 };
 
 }  // namespace dataspread

@@ -1,0 +1,231 @@
+#include "storage/pager.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+// API-misuse checks stay on in release builds: the pager recycles frames, so
+// an out-of-range access or a freed-while-pinned page would otherwise corrupt
+// another file's data silently. One predictable branch per call.
+#define DS_PAGER_CHECK(cond, msg)                                  \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::fprintf(stderr, "storage::Pager check failed: %s\n",    \
+                   (msg));                                         \
+      std::abort();                                                \
+    }                                                              \
+  } while (0)
+
+namespace dataspread {
+namespace storage {
+
+FileId Pager::CreateFile() {
+  FileId id = next_file_id_++;
+  files_.emplace(id, FileChain{});
+  return id;
+}
+
+Pager::FileChain& Pager::ChainOrDie(FileId file) {
+  auto it = files_.find(file);
+  DS_PAGER_CHECK(it != files_.end(), "unknown storage file");
+  return it->second;
+}
+
+const Pager::FileChain& Pager::ChainOrDie(FileId file) const {
+  auto it = files_.find(file);
+  DS_PAGER_CHECK(it != files_.end(), "unknown storage file");
+  return it->second;
+}
+
+size_t Pager::FilePages(FileId file) const {
+  return ChainOrDie(file).pages.size();
+}
+
+uint64_t Pager::FileSize(FileId file) const { return ChainOrDie(file).size; }
+
+void Pager::FreePage(PageId id) {
+  ValuePage& page = *page_table_[id];
+  DS_PAGER_CHECK(page.pin_count_ == 0, "freeing a pinned page");
+  for (Value& v : page.slots_) v = Value::Null();
+  page.file_ = 0;
+  page.index_in_file_ = 0;
+  page.dirty_ = false;
+  page.referenced_ = false;
+  free_pages_.push_back(id);
+  resident_pages_ -= 1;
+  stats_.pages_freed += 1;
+}
+
+void Pager::DropFile(FileId file) {
+  FileChain& chain = ChainOrDie(file);
+  for (PageId id : chain.pages) FreePage(id);
+  files_.erase(file);
+}
+
+void Pager::EnsureCapacity(FileId file, FileChain& chain, uint64_t slot) {
+  while (chain.pages.size() * kSlotsPerPage <= slot) {
+    PageId id;
+    if (!free_pages_.empty()) {
+      id = free_pages_.back();
+      free_pages_.pop_back();
+    } else {
+      id = page_table_.size();
+      page_table_.push_back(std::make_unique<ValuePage>());
+    }
+    ValuePage& page = *page_table_[id];
+    page.file_ = file;
+    page.index_in_file_ = chain.pages.size();
+    chain.pages.push_back(id);
+    resident_pages_ += 1;
+    stats_.pages_allocated += 1;
+  }
+}
+
+void Pager::RecordRead(FileId file, uint64_t slot, ValuePage& page) {
+  page.referenced_ = true;
+  if (!accounting_) return;
+  stats_.slot_reads += 1;
+  epoch_read_.insert(EpochKey(file, slot / kSlotsPerPage));
+}
+
+void Pager::RecordWrite(FileId file, uint64_t slot, ValuePage& page) {
+  page.referenced_ = true;
+  page.dirty_ = true;
+  if (!accounting_) return;
+  stats_.slot_writes += 1;
+  epoch_written_.insert(EpochKey(file, slot / kSlotsPerPage));
+}
+
+const Value& Pager::Read(FileId file, uint64_t slot) {
+  FileChain& chain = ChainOrDie(file);
+  DS_PAGER_CHECK(slot < chain.pages.size() * kSlotsPerPage,
+                 "read past file end");
+  ValuePage& page = PageForSlot(chain, slot);
+  RecordRead(file, slot, page);
+  return page.slot(slot % kSlotsPerPage);
+}
+
+void Pager::ReadRange(FileId file, uint64_t start, uint64_t count, Row* out) {
+  if (count == 0) return;
+  FileChain& chain = ChainOrDie(file);
+  DS_PAGER_CHECK(start + count <= chain.pages.size() * kSlotsPerPage,
+                 "read range past file end");
+  uint64_t first_page = start / kSlotsPerPage;
+  uint64_t last_page = (start + count - 1) / kSlotsPerPage;
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    page_table_[chain.pages[p]]->referenced_ = true;
+    if (accounting_) epoch_read_.insert(EpochKey(file, p));
+  }
+  if (accounting_) stats_.slot_reads += count;
+  out->reserve(out->size() + count);
+  for (uint64_t s = start; s < start + count; ++s) {
+    out->push_back(PageForSlot(chain, s).slot(s % kSlotsPerPage));
+  }
+}
+
+void Pager::Write(FileId file, uint64_t slot, Value v) {
+  FileChain& chain = ChainOrDie(file);
+  EnsureCapacity(file, chain, slot);
+  if (slot >= chain.size) chain.size = slot + 1;
+  ValuePage& page = PageForSlot(chain, slot);
+  RecordWrite(file, slot, page);
+  page.slot(slot % kSlotsPerPage) = std::move(v);
+}
+
+Value Pager::Take(FileId file, uint64_t slot) {
+  FileChain& chain = ChainOrDie(file);
+  DS_PAGER_CHECK(slot < chain.pages.size() * kSlotsPerPage,
+                 "take past file end");
+  ValuePage& page = PageForSlot(chain, slot);
+  RecordRead(file, slot, page);
+  return std::exchange(page.slot(slot % kSlotsPerPage), Value::Null());
+}
+
+void Pager::Truncate(FileId file, uint64_t slot_count) {
+  FileChain& chain = ChainOrDie(file);
+  if (slot_count >= chain.size) return;
+  // Clear vacated slots on pages that survive, so Value payloads (strings)
+  // are released even without a page free.
+  size_t keep_pages =
+      static_cast<size_t>((slot_count + kSlotsPerPage - 1) / kSlotsPerPage);
+  for (uint64_t s = slot_count;
+       s < chain.size && s < keep_pages * kSlotsPerPage; ++s) {
+    PageForSlot(chain, s).slot(s % kSlotsPerPage) = Value::Null();
+  }
+  while (chain.pages.size() > keep_pages) {
+    FreePage(chain.pages.back());
+    chain.pages.pop_back();
+  }
+  chain.size = slot_count;
+}
+
+ValuePage* Pager::Pin(FileId file, uint64_t page_index) {
+  FileChain& chain = ChainOrDie(file);
+  EnsureCapacity(file, chain, page_index * kSlotsPerPage);
+  ValuePage& page = *page_table_[chain.pages[page_index]];
+  page.pin_count_ += 1;
+  page.referenced_ = true;
+  stats_.pins += 1;
+  if (accounting_) {
+    epoch_read_.insert(EpochKey(file, page_index));
+    stats_.slot_reads += 1;
+  }
+  return &page;
+}
+
+void Pager::Unpin(ValuePage* page, bool dirtied) {
+  DS_PAGER_CHECK(page != nullptr && page->pin_count_ > 0, "unbalanced Unpin");
+  page->pin_count_ -= 1;
+  if (dirtied) {
+    page->dirty_ = true;
+    if (accounting_) {
+      epoch_written_.insert(EpochKey(page->file_, page->index_in_file_));
+      stats_.slot_writes += 1;
+    }
+  }
+}
+
+size_t Pager::pinned_pages() const {
+  size_t n = 0;
+  for (const auto& page : page_table_) {
+    if (!page->is_free() && page->pin_count_ > 0) ++n;
+  }
+  return n;
+}
+
+ValuePage* Pager::ClockVictim() {
+  if (resident_pages_ == 0 || page_table_.empty()) return nullptr;
+  // Two full sweeps: the first may only clear reference bits.
+  size_t limit = page_table_.size() * 2;
+  for (size_t step = 0; step < limit; ++step) {
+    ValuePage& page = *page_table_[clock_hand_];
+    clock_hand_ = (clock_hand_ + 1) % page_table_.size();
+    if (page.is_free() || page.pin_count_ > 0) continue;
+    if (page.referenced_) {
+      page.referenced_ = false;  // second chance
+      continue;
+    }
+    return &page;
+  }
+  return nullptr;  // everything pinned (or re-referenced concurrently)
+}
+
+size_t Pager::FlushAll() {
+  size_t flushed = 0;
+  for (const auto& page : page_table_) {
+    if (!page->is_free() && page->dirty_) {
+      page->dirty_ = false;
+      ++flushed;
+    }
+  }
+  stats_.pages_flushed += flushed;
+  return flushed;
+}
+
+void Pager::BeginEpoch() {
+  epoch_read_.clear();
+  epoch_written_.clear();
+}
+
+}  // namespace storage
+}  // namespace dataspread

@@ -1,0 +1,205 @@
+#ifndef DATASPREAD_STORAGE_PAGER_H_
+#define DATASPREAD_STORAGE_PAGER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "types/value.h"
+
+namespace dataspread {
+namespace storage {
+
+/// Identifies one storage file (page chain) inside a Pager. Ids start at 1 and
+/// are never reused; 0 is "no file".
+using FileId = uint64_t;
+
+/// Index of a page frame inside the pager's page table. Frames are recycled
+/// through a free list when files shrink or are dropped.
+using PageId = uint64_t;
+
+/// One fixed-size page of the unified storage pool.
+///
+/// A page holds 256 value slots — 4 KiB at the simulated 16 bytes/slot budget
+/// (see DESIGN.md §2, substitution table) — plus the buffer-pool header every
+/// real pager carries: owning file, position in that file's chain, pin count,
+/// dirty bit, and the clock reference bit used for second-chance eviction.
+class ValuePage {
+ public:
+  static constexpr size_t kSlotCount = 256;
+
+  Value& slot(size_t i) { return slots_[i]; }
+  const Value& slot(size_t i) const { return slots_[i]; }
+
+  /// Owning file, or 0 while the frame sits on the free list.
+  FileId file() const { return file_; }
+  /// Position of this page in its owner's chain.
+  uint64_t index_in_file() const { return index_in_file_; }
+
+  uint32_t pin_count() const { return pin_count_; }
+  bool dirty() const { return dirty_; }
+  bool referenced() const { return referenced_; }
+  bool is_free() const { return file_ == 0; }
+
+ private:
+  friend class Pager;
+
+  std::array<Value, kSlotCount> slots_;
+  FileId file_ = 0;
+  uint64_t index_in_file_ = 0;
+  uint32_t pin_count_ = 0;
+  bool dirty_ = false;
+  bool referenced_ = false;
+};
+
+/// Lifetime counters of a Pager. Epoch (distinct-page) figures live on the
+/// Pager itself because they reset per measurement window.
+struct PagerStats {
+  uint64_t slot_reads = 0;       ///< Slot-level reads (not distinct).
+  uint64_t slot_writes = 0;      ///< Slot-level writes (not distinct).
+  uint64_t pages_allocated = 0;  ///< Frames handed to files (incl. reuse).
+  uint64_t pages_freed = 0;      ///< Frames returned to the free list.
+  uint64_t pages_flushed = 0;    ///< Dirty pages cleaned by FlushAll().
+  uint64_t pins = 0;             ///< Pin() calls.
+};
+
+/// The unified paged storage engine behind every TableStorage model.
+///
+/// All cell data of a database lives in fixed-size ValuePages owned by one
+/// Pager: each column/heap/attribute-group allocates a *file* (a page chain)
+/// and addresses values by dense slot number. The pager provides
+///   - slot-granular Read/Write/Take that grow files on demand,
+///   - page-granular Pin/Unpin with dirty tracking for batch access,
+///   - a clock (second-chance LRU) victim selector, ready for disk-backed
+///     eviction (ROADMAP open item — no disk layer yet, so victims are only
+///     selected, never actually evicted),
+///   - built-in I/O accounting: distinct pages read/written per epoch, the
+///     quantity the paper's Relational Storage Manager argues about.
+///
+/// Accounting can be disabled for timing-focused benchmarks; physical state
+/// (page contents, dirty bits, reference bits) is maintained regardless.
+class Pager {
+ public:
+  static constexpr uint64_t kPageBytes = 4096;
+  static constexpr uint64_t kSlotBytes = 16;  // simulated on-disk slot size
+  static constexpr uint64_t kSlotsPerPage = ValuePage::kSlotCount;
+  static_assert(kSlotsPerPage == kPageBytes / kSlotBytes,
+                "page geometry out of sync");
+
+  Pager() = default;
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // ---- Files ----------------------------------------------------------------
+
+  /// Allocates a new empty file (page chain). Files never alias pages.
+  FileId CreateFile();
+  /// Frees every page of `file`. Deallocation is not counted as page writes.
+  void DropFile(FileId file);
+  bool HasFile(FileId file) const { return files_.count(file) > 0; }
+  /// Pages currently backing `file`.
+  size_t FilePages(FileId file) const;
+  /// Logical size of `file` in slots (highest written slot + 1, after
+  /// truncation: the truncation point).
+  uint64_t FileSize(FileId file) const;
+
+  // ---- Slot access ----------------------------------------------------------
+
+  /// Reads slot `slot` of `file`; the slot must be below the file's capacity
+  /// (pages * kSlotsPerPage). Never-written slots read as NULL.
+  const Value& Read(FileId file, uint64_t slot);
+  /// Appends slots [start, start+count) to `out`. Equivalent to `count`
+  /// Read() calls but resolves the file once and records one read per
+  /// spanned page — the bulk path for contiguous tuple reads.
+  void ReadRange(FileId file, uint64_t start, uint64_t count, Row* out);
+  /// Writes slot `slot`, growing the file's chain as needed.
+  void Write(FileId file, uint64_t slot, Value v);
+  /// Moves the value out of `slot` (leaves NULL behind); counts as a read.
+  Value Take(FileId file, uint64_t slot);
+  /// Shrinks `file` to `slot_count` slots: whole pages past the end return to
+  /// the free list, vacated slots are cleared. Not counted as page writes.
+  /// Pages past the truncation point must be unpinned (checked).
+  void Truncate(FileId file, uint64_t slot_count);
+
+  // ---- Page-granular buffer-pool interface ----------------------------------
+
+  /// Pins page `page_index` of `file` (growing the chain if needed) and
+  /// returns it. Pinned pages are never chosen as eviction victims.
+  ValuePage* Pin(FileId file, uint64_t page_index);
+  /// Releases a pin; `dirtied` marks the page dirty and records the write.
+  void Unpin(ValuePage* page, bool dirtied);
+
+  /// Pages currently owned by some file (not on the free list).
+  size_t resident_pages() const { return resident_pages_; }
+  /// Resident pages with a non-zero pin count.
+  size_t pinned_pages() const;
+
+  /// Second-chance (clock) victim selection: returns the next unpinned,
+  /// unreferenced resident page, clearing reference bits it sweeps past.
+  /// Returns nullptr when every resident page is pinned or there are none.
+  /// Actual eviction requires the disk layer (ROADMAP).
+  ValuePage* ClockVictim();
+
+  /// Cleans every dirty resident page (stand-in for writing them back);
+  /// returns how many pages were flushed.
+  size_t FlushAll();
+
+  // ---- I/O accounting -------------------------------------------------------
+
+  /// Starts a fresh measurement window for the distinct-page counters.
+  void BeginEpoch();
+  /// Distinct pages read/written since BeginEpoch().
+  size_t EpochPagesRead() const { return epoch_read_.size(); }
+  size_t EpochPagesWritten() const { return epoch_written_.size(); }
+
+  const PagerStats& stats() const { return stats_; }
+
+  /// Accounting costs a hash insert per access; timing-focused benchmarks
+  /// disable it. Page contents and dirty/reference bits are unaffected.
+  void set_accounting_enabled(bool enabled) { accounting_ = enabled; }
+  bool accounting_enabled() const { return accounting_; }
+
+ private:
+  struct FileChain {
+    std::vector<PageId> pages;
+    uint64_t size = 0;  // logical slots; capacity is pages.size()*kSlotsPerPage
+  };
+
+  /// Distinct-page key stable across frame reuse: (file, index in file).
+  static uint64_t EpochKey(FileId file, uint64_t page_index) {
+    return (file << 24) ^ page_index;
+  }
+
+  FileChain& ChainOrDie(FileId file);
+  const FileChain& ChainOrDie(FileId file) const;
+  /// Grows `chain` until `slot` is addressable.
+  void EnsureCapacity(FileId file, FileChain& chain, uint64_t slot);
+  ValuePage& PageForSlot(FileChain& chain, uint64_t slot) {
+    return *page_table_[chain.pages[slot / kSlotsPerPage]];
+  }
+  void FreePage(PageId id);
+
+  void RecordRead(FileId file, uint64_t slot, ValuePage& page);
+  void RecordWrite(FileId file, uint64_t slot, ValuePage& page);
+
+  uint64_t next_file_id_ = 1;
+  std::unordered_map<FileId, FileChain> files_;
+  std::vector<std::unique_ptr<ValuePage>> page_table_;
+  std::vector<PageId> free_pages_;
+  size_t resident_pages_ = 0;
+  size_t clock_hand_ = 0;
+
+  bool accounting_ = true;
+  PagerStats stats_;
+  std::unordered_set<uint64_t> epoch_read_;
+  std::unordered_set<uint64_t> epoch_written_;
+};
+
+}  // namespace storage
+}  // namespace dataspread
+
+#endif  // DATASPREAD_STORAGE_PAGER_H_

@@ -1,5 +1,7 @@
 #include "storage/rcv_store.h"
 
+#include <utility>
+
 namespace dataspread {
 
 namespace {
@@ -12,32 +14,72 @@ Status CheckStorable(const Value& v) {
 }
 }  // namespace
 
-RcvStore::RcvStore(size_t num_columns, PageAccountant* accountant)
-    : TableStorage(accountant) {
-  col_ids_.reserve(num_columns);
-  for (size_t i = 0; i < num_columns; ++i) {
-    col_ids_.push_back(InternalColumn{next_internal_id_++, accountant_->NewFile()});
+RcvStore::RcvStore(size_t num_columns, storage::Pager* pager)
+    : TableStorage(pager) {
+  columns_.resize(num_columns);
+  for (InternalColumn& ic : columns_) {
+    ic.file = pager_->CreateFile();
   }
+}
+
+RcvStore::~RcvStore() {
+  for (InternalColumn& ic : columns_) pager_->DropFile(ic.file);
+}
+
+size_t RcvStore::num_triples() const {
+  size_t n = 0;
+  for (const InternalColumn& ic : columns_) n += ic.row_to_slot.size();
+  return n;
+}
+
+void RcvStore::SetTriple(InternalColumn& ic, uint64_t row, Value v) {
+  auto it = ic.row_to_slot.find(row);
+  if (it != ic.row_to_slot.end()) {
+    pager_->Write(ic.file, it->second, std::move(v));
+    return;
+  }
+  uint64_t slot = ic.slot_to_row.size();
+  pager_->Write(ic.file, slot, std::move(v));
+  ic.row_to_slot.emplace(row, slot);
+  ic.slot_to_row.push_back(row);
+}
+
+void RcvStore::EraseTriple(InternalColumn& ic, uint64_t row) {
+  auto it = ic.row_to_slot.find(row);
+  if (it == ic.row_to_slot.end()) return;
+  uint64_t slot = it->second;
+  uint64_t last_slot = ic.slot_to_row.size() - 1;
+  ic.row_to_slot.erase(it);
+  if (slot != last_slot) {
+    // Keep the column heap dense: the last triple's value moves into the hole.
+    pager_->Write(ic.file, slot, pager_->Take(ic.file, last_slot));
+    uint64_t moved_row = ic.slot_to_row[last_slot];
+    ic.row_to_slot[moved_row] = slot;
+    ic.slot_to_row[slot] = moved_row;
+  }
+  ic.slot_to_row.pop_back();
+  pager_->Truncate(ic.file, last_slot);
+}
+
+Value RcvStore::ReadTriple(const InternalColumn& ic, uint64_t row) const {
+  auto it = ic.row_to_slot.find(row);
+  if (it == ic.row_to_slot.end()) return Value::Null();
+  return pager_->Read(ic.file, it->second);
 }
 
 Result<Value> RcvStore::Get(size_t row, size_t col) const {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
-  const InternalColumn& ic = col_ids_[col];
-  accountant_->Touch(ic.file, row);
-  auto it = triples_.find(Key{ic.id, row});
-  if (it == triples_.end()) return Value::Null();
-  return it->second;
+  return ReadTriple(columns_[col], row);
 }
 
 Status RcvStore::Set(size_t row, size_t col, Value v) {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
   DS_RETURN_IF_ERROR(CheckStorable(v));
-  const InternalColumn& ic = col_ids_[col];
-  accountant_->Dirty(ic.file, row);
+  InternalColumn& ic = columns_[col];
   if (v.is_null()) {
-    triples_.erase(Key{ic.id, row});
+    EraseTriple(ic, row);
   } else {
-    triples_[Key{ic.id, row}] = std::move(v);
+    SetTriple(ic, row, std::move(v));
   }
   return Status::OK();
 }
@@ -45,28 +87,24 @@ Status RcvStore::Set(size_t row, size_t col, Value v) {
 Result<Row> RcvStore::GetRow(size_t row) const {
   if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
   Row out;
-  out.reserve(col_ids_.size());
-  for (const InternalColumn& ic : col_ids_) {
-    accountant_->Touch(ic.file, row);
-    auto it = triples_.find(Key{ic.id, row});
-    out.push_back(it == triples_.end() ? Value::Null() : it->second);
+  out.reserve(columns_.size());
+  for (const InternalColumn& ic : columns_) {
+    out.push_back(ReadTriple(ic, row));
   }
   return out;
 }
 
 Result<size_t> RcvStore::AppendRow(const Row& row) {
-  if (row.size() != col_ids_.size()) {
+  if (row.size() != columns_.size()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != " +
-        std::to_string(col_ids_.size()));
+        std::to_string(columns_.size()));
   }
   for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
   size_t slot = num_rows_;
   for (size_t c = 0; c < row.size(); ++c) {
     if (row[c].is_null()) continue;  // NULLs are unmaterialized.
-    const InternalColumn& ic = col_ids_[c];
-    accountant_->Dirty(ic.file, slot);
-    triples_[Key{ic.id, slot}] = row[c];
+    SetTriple(columns_[c], slot, row[c]);
   }
   num_rows_ += 1;
   return slot;
@@ -75,19 +113,18 @@ Result<size_t> RcvStore::AppendRow(const Row& row) {
 Result<size_t> RcvStore::DeleteRow(size_t row) {
   if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
   size_t last = num_rows_ - 1;
-  for (const InternalColumn& ic : col_ids_) {
-    auto last_it = triples_.find(Key{ic.id, last});
-    if (row != last) {
-      accountant_->Dirty(ic.file, row);
-      if (last_it != triples_.end()) {
-        triples_[Key{ic.id, row}] = std::move(last_it->second);
-      } else {
-        triples_.erase(Key{ic.id, row});
-      }
+  for (InternalColumn& ic : columns_) {
+    if (row == last) {
+      EraseTriple(ic, last);
+      continue;
     }
-    if (last_it != triples_.end()) {
-      accountant_->Dirty(ic.file, last);
-      triples_.erase(Key{ic.id, last});
+    auto last_it = ic.row_to_slot.find(last);
+    if (last_it != ic.row_to_slot.end()) {
+      Value moved = pager_->Read(ic.file, last_it->second);
+      EraseTriple(ic, last);
+      SetTriple(ic, row, std::move(moved));
+    } else {
+      EraseTriple(ic, row);
     }
   }
   num_rows_ -= 1;
@@ -96,31 +133,28 @@ Result<size_t> RcvStore::DeleteRow(size_t row) {
 
 Status RcvStore::AddColumn(const Value& default_value) {
   DS_RETURN_IF_ERROR(CheckStorable(default_value));
-  InternalColumn ic{next_internal_id_++, accountant_->NewFile()};
+  InternalColumn ic;
+  ic.file = pager_->CreateFile();
+  columns_.push_back(std::move(ic));
   if (!default_value.is_null()) {
     // A non-NULL default must materialize a triple per row; only NULL-default
     // schema changes are free in RCV.
+    InternalColumn& added = columns_.back();
     for (size_t r = 0; r < num_rows_; ++r) {
-      accountant_->Dirty(ic.file, r);
-      triples_[Key{ic.id, r}] = default_value;
+      SetTriple(added, r, default_value);
     }
   }
-  col_ids_.push_back(ic);
   return Status::OK();
 }
 
 Status RcvStore::DropColumn(size_t col) {
-  if (col >= col_ids_.size()) {
+  if (col >= columns_.size()) {
     return Status::OutOfRange("column " + std::to_string(col));
   }
-  const InternalColumn ic = col_ids_[col];
-  // Triples are clustered by column, so the erase touches only this column's
-  // contiguous key range; surviving columns keep their internal ids.
-  auto begin = triples_.lower_bound(Key{ic.id, 0});
-  auto end = triples_.lower_bound(Key{ic.id + 1, 0});
-  for (auto it = begin; it != end; ++it) accountant_->Dirty(ic.file, it->first.second);
-  triples_.erase(begin, end);
-  col_ids_.erase(col_ids_.begin() + static_cast<ptrdiff_t>(col));
+  // The column's heap is its own file: dropping deallocates it wholesale and
+  // never touches (or renumbers) surviving columns' triples.
+  pager_->DropFile(columns_[col].file);
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(col));
   return Status::OK();
 }
 

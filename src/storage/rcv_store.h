@@ -1,27 +1,30 @@
 #ifndef DATASPREAD_STORAGE_RCV_STORE_H_
 #define DATASPREAD_STORAGE_RCV_STORE_H_
 
-#include <map>
-#include <utility>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/table_storage.h"
 
 namespace dataspread {
 
-/// RCV: row-column-value triple store, clustered by (column, row).
+/// RCV: row-column-value triple store, clustered by column.
 ///
 /// The schema-less baseline: only non-NULL cells are materialized, so it
 /// excels on sparse data and NULL-default schema changes, and degrades on
-/// dense scans. Logical column ids are mapped through an indirection table so
-/// DropColumn never renumbers surviving triples.
+/// dense scans. Each logical column owns a pager file holding its
+/// materialized values as a dense heap, plus a row→slot point index;
+/// columns are identified by their file, so DropColumn never renumbers
+/// surviving triples. Reads of unmaterialized cells resolve entirely in the
+/// in-memory index and touch no data page.
 class RcvStore : public TableStorage {
  public:
-  RcvStore(size_t num_columns, PageAccountant* accountant);
+  RcvStore(size_t num_columns, storage::Pager* pager);
+  ~RcvStore() override;
 
   StorageModel model() const override { return StorageModel::kRcv; }
   size_t num_rows() const override { return num_rows_; }
-  size_t num_columns() const override { return col_ids_.size(); }
+  size_t num_columns() const override { return columns_.size(); }
 
   Result<Value> Get(size_t row, size_t col) const override;
   Status Set(size_t row, size_t col, Value v) override;
@@ -32,20 +35,24 @@ class RcvStore : public TableStorage {
   Status DropColumn(size_t col) override;
 
   /// Number of materialized (non-NULL) triples; exposed for sparsity tests.
-  size_t num_triples() const { return triples_.size(); }
+  size_t num_triples() const;
 
  private:
-  using Key = std::pair<uint64_t, uint64_t>;  // (internal column id, row)
-
   struct InternalColumn {
-    uint64_t id;
-    uint64_t file;
+    storage::FileId file = 0;
+    std::unordered_map<uint64_t, uint64_t> row_to_slot;  // triple point index
+    std::vector<uint64_t> slot_to_row;                   // heap back-pointers
   };
 
+  /// Materializes (or overwrites) the triple (column, row) = v.
+  void SetTriple(InternalColumn& ic, uint64_t row, Value v);
+  /// Unmaterializes the triple, compacting the column heap swap-with-last.
+  void EraseTriple(InternalColumn& ic, uint64_t row);
+  /// Reads the triple's value, or null when unmaterialized.
+  Value ReadTriple(const InternalColumn& ic, uint64_t row) const;
+
   size_t num_rows_ = 0;
-  uint64_t next_internal_id_ = 0;
-  std::vector<InternalColumn> col_ids_;  // logical col -> internal identity
-  std::map<Key, Value> triples_;
+  std::vector<InternalColumn> columns_;  // logical col -> column heap
 };
 
 }  // namespace dataspread

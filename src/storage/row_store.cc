@@ -12,35 +12,33 @@ Status CheckStorable(const Value& v) {
 }
 }  // namespace
 
-RowStore::RowStore(size_t num_columns, PageAccountant* accountant)
-    : TableStorage(accountant), num_columns_(num_columns) {
-  file_ = accountant_->NewFile();
+RowStore::RowStore(size_t num_columns, storage::Pager* pager)
+    : TableStorage(pager), num_columns_(num_columns) {
+  file_ = pager_->CreateFile();
 }
+
+RowStore::~RowStore() { pager_->DropFile(file_); }
 
 Result<Value> RowStore::Get(size_t row, size_t col) const {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
-  accountant_->Touch(file_, Entry(row, col));
-  return rows_[row][col];
+  return pager_->Read(file_, Entry(row, col));
 }
 
 Status RowStore::Set(size_t row, size_t col, Value v) {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
   DS_RETURN_IF_ERROR(CheckStorable(v));
-  accountant_->Dirty(file_, Entry(row, col));
-  rows_[row][col] = std::move(v);
+  pager_->Write(file_, Entry(row, col), std::move(v));
   return Status::OK();
 }
 
 Result<Row> RowStore::GetRow(size_t row) const {
-  if (row >= rows_.size()) {
+  if (row >= num_rows_) {
     return Status::OutOfRange("row " + std::to_string(row));
   }
-  // A whole tuple is contiguous: touch its first and last slot's pages.
-  if (num_columns_ > 0) {
-    accountant_->Touch(file_, Entry(row, 0));
-    accountant_->Touch(file_, Entry(row, num_columns_ - 1));
-  }
-  return rows_[row];
+  // A whole tuple is contiguous: one bulk read spanning at most two pages.
+  Row out;
+  pager_->ReadRange(file_, Entry(row, 0), num_columns_, &out);
+  return out;
 }
 
 Result<size_t> RowStore::AppendRow(const Row& row) {
@@ -50,36 +48,45 @@ Result<size_t> RowStore::AppendRow(const Row& row) {
         std::to_string(num_columns_));
   }
   for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
-  size_t slot = rows_.size();
-  rows_.push_back(row);
-  for (size_t c = 0; c < num_columns_; ++c) accountant_->Dirty(file_, Entry(slot, c));
+  size_t slot = num_rows_;
+  for (size_t c = 0; c < num_columns_; ++c) {
+    pager_->Write(file_, Entry(slot, c), row[c]);
+  }
+  num_rows_ += 1;
   return slot;
 }
 
 Result<size_t> RowStore::DeleteRow(size_t row) {
-  if (row >= rows_.size()) {
+  if (row >= num_rows_) {
     return Status::OutOfRange("row " + std::to_string(row));
   }
-  size_t last = rows_.size() - 1;
+  size_t last = num_rows_ - 1;
   if (row != last) {
-    rows_[row] = std::move(rows_[last]);
     for (size_t c = 0; c < num_columns_; ++c) {
-      accountant_->Dirty(file_, Entry(row, c));
+      pager_->Write(file_, Entry(row, c), pager_->Take(file_, Entry(last, c)));
     }
   }
-  for (size_t c = 0; c < num_columns_; ++c) accountant_->Dirty(file_, Entry(last, c));
-  rows_.pop_back();
+  pager_->Truncate(file_, last * num_columns_);
+  num_rows_ -= 1;
   return last;
 }
 
 Status RowStore::AddColumn(const Value& default_value) {
   DS_RETURN_IF_ERROR(CheckStorable(default_value));
   // The tuple stride grows, so every tuple is rewritten in the new layout.
-  num_columns_ += 1;
-  for (size_t r = 0; r < rows_.size(); ++r) {
-    rows_[r].push_back(default_value);
-    for (size_t c = 0; c < num_columns_; ++c) accountant_->Dirty(file_, Entry(r, c));
+  // Restriding runs highest-slot-first: each destination slot r*(n+1)+c is >=
+  // its source slot r*n+c, and sources still pending are strictly below every
+  // slot written so far, so the move is safe in place.
+  size_t old_cols = num_columns_;
+  size_t new_cols = old_cols + 1;
+  for (size_t r = num_rows_; r-- > 0;) {
+    pager_->Write(file_, r * new_cols + old_cols, default_value);
+    for (size_t c = old_cols; c-- > 0;) {
+      pager_->Write(file_, r * new_cols + c,
+                    pager_->Take(file_, r * old_cols + c));
+    }
   }
+  num_columns_ = new_cols;
   return Status::OK();
 }
 
@@ -87,11 +94,18 @@ Status RowStore::DropColumn(size_t col) {
   if (col >= num_columns_) {
     return Status::OutOfRange("column " + std::to_string(col));
   }
-  num_columns_ -= 1;
-  for (size_t r = 0; r < rows_.size(); ++r) {
-    rows_[r].erase(rows_[r].begin() + static_cast<ptrdiff_t>(col));
-    for (size_t c = 0; c < num_columns_; ++c) accountant_->Dirty(file_, Entry(r, c));
+  // Compact forward in place: destinations never pass their sources.
+  size_t old_cols = num_columns_;
+  size_t new_cols = old_cols - 1;
+  uint64_t dst = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t c = 0; c < old_cols; ++c) {
+      if (c == col) continue;
+      pager_->Write(file_, dst++, pager_->Take(file_, r * old_cols + c));
+    }
   }
+  pager_->Truncate(file_, num_rows_ * new_cols);
+  num_columns_ = new_cols;
   return Status::OK();
 }
 

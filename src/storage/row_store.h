@@ -1,24 +1,24 @@
 #ifndef DATASPREAD_STORAGE_ROW_STORE_H_
 #define DATASPREAD_STORAGE_ROW_STORE_H_
 
-#include <vector>
-
 #include "storage/table_storage.h"
 
 namespace dataspread {
 
-/// ROM: classic N-ary row store — one heap file of whole tuples.
+/// ROM: classic N-ary row store — one pager file of whole tuples, laid out
+/// row-major with stride num_columns().
 ///
 /// This is the "today's databases" baseline from the paper's §2.2: a schema
 /// change (add/drop column) changes the tuple stride and therefore rewrites
-/// every tuple, dirtying essentially every page of the file. Point tuple reads
-/// touch a single page.
+/// every tuple in place, dirtying essentially every page of the file. Point
+/// tuple reads touch a single page.
 class RowStore : public TableStorage {
  public:
-  RowStore(size_t num_columns, PageAccountant* accountant);
+  RowStore(size_t num_columns, storage::Pager* pager);
+  ~RowStore() override;
 
   StorageModel model() const override { return StorageModel::kRow; }
-  size_t num_rows() const override { return rows_.size(); }
+  size_t num_rows() const override { return num_rows_; }
   size_t num_columns() const override { return num_columns_; }
 
   Result<Value> Get(size_t row, size_t col) const override;
@@ -30,11 +30,13 @@ class RowStore : public TableStorage {
   Status DropColumn(size_t col) override;
 
  private:
-  uint64_t Entry(size_t row, size_t col) const { return row * num_columns_ + col; }
+  uint64_t Entry(size_t row, size_t col) const {
+    return row * num_columns_ + col;
+  }
 
   size_t num_columns_;
-  uint64_t file_;
-  std::vector<Row> rows_;
+  size_t num_rows_ = 0;
+  storage::FileId file_;
 };
 
 }  // namespace dataspread

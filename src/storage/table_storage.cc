@@ -21,27 +21,24 @@ const char* StorageModelName(StorageModel model) {
   return "unknown";
 }
 
-TableStorage::TableStorage(PageAccountant* accountant) {
-  if (accountant == nullptr) {
-    owned_accountant_ = std::make_unique<PageAccountant>();
-    accountant_ = owned_accountant_.get();
-  } else {
-    accountant_ = accountant;
-  }
-}
+TableStorage::TableStorage(storage::Pager* pager)
+    : owned_pager_(pager == nullptr ? std::make_unique<storage::Pager>()
+                                    : nullptr),
+      pager_(pager == nullptr ? owned_pager_.get() : pager),
+      accountant_(pager_) {}
 
 std::unique_ptr<TableStorage> CreateStorage(StorageModel model,
                                             size_t num_columns,
-                                            PageAccountant* accountant) {
+                                            storage::Pager* pager) {
   switch (model) {
     case StorageModel::kRow:
-      return std::make_unique<RowStore>(num_columns, accountant);
+      return std::make_unique<RowStore>(num_columns, pager);
     case StorageModel::kColumn:
-      return std::make_unique<ColumnStore>(num_columns, accountant);
+      return std::make_unique<ColumnStore>(num_columns, pager);
     case StorageModel::kRcv:
-      return std::make_unique<RcvStore>(num_columns, accountant);
+      return std::make_unique<RcvStore>(num_columns, pager);
     case StorageModel::kHybrid:
-      return std::make_unique<HybridStore>(num_columns, accountant);
+      return std::make_unique<HybridStore>(num_columns, pager);
   }
   return nullptr;
 }

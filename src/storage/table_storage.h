@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "storage/page.h"
+#include "storage/pager.h"
 #include "types/value.h"
 
 namespace dataspread {
@@ -29,6 +30,12 @@ const char* StorageModelName(StorageModel model);
 /// positional index on top. DeleteRow uses swap-with-last, so exactly one
 /// surviving slot (the previous last one) is renumbered per delete; the caller
 /// is told which.
+///
+/// Every model allocates its cell heaps from a storage::Pager — one file
+/// (page chain) per heap/column/attribute-group — so all I/O is visible to
+/// the pager's block-level accounting. A pager can be shared across tables
+/// (the Database wires one pool through its Catalog); a storage constructed
+/// without one owns a private pager.
 ///
 /// Cell type discipline is enforced by the catalog (schema) layer; storage
 /// accepts any Value except errors.
@@ -60,12 +67,16 @@ class TableStorage {
   /// Schema change: drops column `col`; higher columns shift down by one.
   virtual Status DropColumn(size_t col) = 0;
 
-  /// Block-level accounting for this table's files.
-  PageAccountant& accountant() { return *accountant_; }
-  const PageAccountant& accountant() const { return *accountant_; }
+  /// Block-level accounting for this table's files (compatibility facade).
+  PageAccountant& accountant() { return accountant_; }
+  const PageAccountant& accountant() const { return accountant_; }
+
+  /// The paged storage engine this table's heaps live in.
+  storage::Pager& pager() { return *pager_; }
+  const storage::Pager& pager() const { return *pager_; }
 
  protected:
-  explicit TableStorage(PageAccountant* accountant);
+  explicit TableStorage(storage::Pager* pager);
 
   Status CheckCell(size_t row, size_t col) const {
     if (row >= num_rows()) {
@@ -79,15 +90,16 @@ class TableStorage {
     return Status::OK();
   }
 
-  std::unique_ptr<PageAccountant> owned_accountant_;
-  PageAccountant* accountant_;
+  std::unique_ptr<storage::Pager> owned_pager_;
+  storage::Pager* pager_;
+  PageAccountant accountant_;
 };
 
 /// Creates an empty table with `num_columns` attributes in the given layout.
-/// If `accountant` is null the storage owns a private one.
+/// If `pager` is null the storage owns a private one.
 std::unique_ptr<TableStorage> CreateStorage(StorageModel model,
                                             size_t num_columns,
-                                            PageAccountant* accountant = nullptr);
+                                            storage::Pager* pager = nullptr);
 
 }  // namespace dataspread
 
