@@ -13,6 +13,9 @@ void BM_Fig2a_DbsqlJoinWithRangeValue(benchmark::State& state) {
   size_t movies = static_cast<size_t>(state.range(0));
   DataSpreadOptions opts;
   opts.auto_pump = false;
+  // Bounded-pool runs (DS_MAX_RESIDENT_PAGES): the three relations share one
+  // capped pager, so the join's block traffic shows up as faults/evictions.
+  opts.pager = PagerConfigFromEnv();
   DataSpread ds(opts);
   LoadMovieWorkload(&ds.db(), movies);
   Sheet* sheet = ds.AddSheet("S").ValueOrDie();
@@ -42,6 +45,12 @@ void BM_Fig2a_DbsqlJoinWithRangeValue(benchmark::State& state) {
       static_cast<double>(pager.EpochPagesWritten());
   state.counters["resident_pages"] =
       static_cast<double>(pager.resident_pages());
+  ReportPoolCountersAndJson(
+      state, pager, "fig2a_dbsql",
+      "DbsqlJoinWithRangeValue/" + std::to_string(movies),
+      {{"pages_read", state.counters["pages_read"]},
+       {"pages_written", state.counters["pages_written"]},
+       {"resident_pages", state.counters["resident_pages"]}});
   state.SetLabel(std::to_string(movies) + " movies");
 }
 BENCHMARK(BM_Fig2a_DbsqlJoinWithRangeValue)

@@ -1,6 +1,10 @@
 #include "workloads.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <random>
+
+#include <unistd.h>
 
 namespace dataspread::bench {
 
@@ -9,7 +13,120 @@ const char* kTitleWords[] = {"Blue", "Night", "Iron", "Last", "Silent",
                              "Golden", "Lost", "Wild", "Broken", "Red"};
 const char* kNameWords[] = {"Adams", "Brooks", "Chen", "Diaz", "Evans",
                             "Fischer", "Garcia", "Hoffman", "Ito", "Jones"};
+
+/// JSON string escaping for the small label/name strings we emit.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
 }  // namespace
+
+storage::PagerConfig PagerConfigFromEnv(size_t default_cap) {
+  storage::PagerConfig config;
+  config.max_resident_pages = default_cap;
+  if (const char* cap = std::getenv("DS_MAX_RESIDENT_PAGES")) {
+    config.max_resident_pages = static_cast<size_t>(std::strtoull(cap, nullptr, 10));
+  }
+  if (const char* dir = std::getenv("DS_SPILL_DIR")) {
+    static int counter = 0;
+    config.spill_path = std::string(dir) + "/ds-bench-spill-" +
+                        std::to_string(::getpid()) + "-" +
+                        std::to_string(counter++) + ".bin";
+  }
+  return config;
+}
+
+namespace {
+
+/// Google Benchmark re-invokes each benchmark function several times while
+/// calibrating the iteration count, and every invocation reaches the
+/// reporting tail. Writing immediately would record one line per calibration
+/// trial; instead lines are keyed by (bench, run), later trials overwrite
+/// earlier ones, and everything flushes once at process exit — exactly one
+/// (final) record per run per bench execution.
+class BenchJsonRegistry {
+ public:
+  void Record(const std::string& bench, const std::string& run,
+              std::string line) {
+    for (auto& entry : lines_) {
+      if (entry.bench == bench && entry.run == run) {
+        entry.line = std::move(line);
+        return;
+      }
+    }
+    lines_.push_back({bench, run, std::move(line)});
+  }
+
+  ~BenchJsonRegistry() {
+    const char* dir = std::getenv("DS_BENCH_JSON_DIR");
+    std::string base = std::string(dir != nullptr ? dir : ".") + "/BENCH_";
+    for (const auto& entry : lines_) {
+      std::FILE* f = std::fopen((base + entry.bench + ".json").c_str(), "ab");
+      if (f == nullptr) continue;  // recording must never break a bench run
+      std::fputs(entry.line.c_str(), f);
+      std::fclose(f);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string bench, run, line;
+  };
+  std::vector<Entry> lines_;  // insertion order = registration order
+};
+
+}  // namespace
+
+void AppendBenchJsonLine(
+    const std::string& bench, const std::string& run,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  static BenchJsonRegistry registry;  // flushed by its destructor at exit
+  std::string line = "{\"bench\":\"" + JsonEscape(bench) + "\",\"run\":\"" +
+                     JsonEscape(run) + "\"";
+  char buf[64];
+  for (const auto& [key, value] : fields) {
+    // Counters are exact integers (faults, bytes) — keep every digit; only
+    // genuinely fractional values (timings) go through floating formatting.
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+    }
+    line += ",\"" + JsonEscape(key) + "\":" + buf;
+  }
+  line += "}\n";
+  registry.Record(bench, run, std::move(line));
+}
+
+void ReportPoolCountersAndJson(
+    benchmark::State& state, storage::Pager& pager, const std::string& bench,
+    const std::string& run,
+    std::vector<std::pair<std::string, double>> fields) {
+  const storage::PagerStats& stats = pager.stats();
+  state.counters["faults"] = static_cast<double>(stats.faults);
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+  state.counters["spill_bytes"] =
+      static_cast<double>(stats.spill_bytes_written + stats.spill_bytes_read);
+  fields.insert(
+      fields.begin(),
+      {{"iterations", static_cast<double>(state.iterations())},
+       {"pool", static_cast<double>(pager.max_resident_pages())},
+       {"faults", state.counters["faults"]},
+       {"evictions", state.counters["evictions"]},
+       {"spill_bytes", state.counters["spill_bytes"]}});
+  AppendBenchJsonLine(bench, run, fields);
+}
 
 void LoadMovieWorkload(Database* db, size_t movies, uint32_t seed) {
   std::mt19937 rng(seed);

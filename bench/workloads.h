@@ -1,12 +1,44 @@
 #ifndef DATASPREAD_BENCH_WORKLOADS_H_
 #define DATASPREAD_BENCH_WORKLOADS_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/dataspread.h"
 
 namespace dataspread::bench {
+
+/// Buffer-pool policy for bench runs, from the environment:
+///   DS_MAX_RESIDENT_PAGES — frame cap; when set it overrides `default_cap`
+///                           entirely (an explicit 0 forces unbounded),
+///   DS_SPILL_DIR          — directory for named spill files (unset =
+///                           anonymous temp files, which is always clean).
+/// Every call yields a distinct spill path, so the pagers of concurrently
+/// loaded tables never collide on one file.
+storage::PagerConfig PagerConfigFromEnv(size_t default_cap = 0);
+
+/// Appends one JSON object line to `BENCH_<bench>.json` under
+/// DS_BENCH_JSON_DIR (default: current directory): the per-run trajectory
+/// record (fault/eviction/spill counters, timings) that accumulates across
+/// PRs. Failures to open the file are silently ignored — recording must
+/// never break a bench run.
+void AppendBenchJsonLine(
+    const std::string& bench, const std::string& run,
+    const std::vector<std::pair<std::string, double>>& fields);
+
+/// The shared tail of every pager-reporting bench: sets the physical
+/// buffer-pool counters (faults / evictions / spill_bytes) on `state` and
+/// appends the JSON trajectory line carrying them plus `iterations`, the
+/// applied pool cap, and the bench-specific `fields` (dirty_blocks,
+/// pages_read, ... — already set as state counters by the caller).
+void ReportPoolCountersAndJson(
+    benchmark::State& state, storage::Pager& pager, const std::string& bench,
+    const std::string& run,
+    std::vector<std::pair<std::string, double>> fields);
 
 /// Deterministic synthetic stand-in for the demo's IMDB-style data
 /// (MOVIES, MOVIES2ACTORS, ACTORS — see DESIGN.md §2 substitution table).

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: configure -> build -> ctest, with warnings-as-errors for the
 # storage subsystem (src/storage/ must stay warning-clean; the rest of the
-# tree builds with -Wall -Wextra).
+# tree builds with -Wall -Wextra), followed by a low-memory smoke run that
+# exercises the bounded buffer pool (eviction + spill) end to end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,8 +10,42 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-ci}"
 JOBS="$(nproc)"
 
+# Scratch area for spill files and bench JSON produced by the smoke run;
+# removed on every exit path so CI leaves no artifacts behind.
+SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ds-ci-smoke.XXXXXX")"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+
 cmake -B "${BUILD_DIR}" -S . -DDS_STORAGE_WERROR=ON
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "ci/check.sh: configure + build + ctest all green"
+# ---------------------------------------------------------------------------
+# Low-memory smoke: the eviction/spill suite (it pins its own tiny pool
+# sizes internally; env vars are not read by tests) plus one storage bench
+# forced through a 64-frame pool via DS_MAX_RESIDENT_PAGES. Bench spill
+# files land in the scratch dir via DS_SPILL_DIR and are wiped with it.
+# ---------------------------------------------------------------------------
+if [[ -x "${BUILD_DIR}/eviction_test" ]]; then
+  "${BUILD_DIR}/eviction_test" --gtest_brief=1
+else
+  echo "ci/check.sh: eviction_test not built (GTest missing); skipping test smoke"
+fi
+
+if [[ -x "${BUILD_DIR}/bench_storage_models" ]]; then
+  DS_MAX_RESIDENT_PAGES=64 DS_SPILL_DIR="${SMOKE_DIR}" \
+    DS_BENCH_JSON_DIR="${SMOKE_DIR}" \
+    "${BUILD_DIR}/bench_storage_models" \
+    --benchmark_filter='BM_Storage_FullScan_(Row|Hybrid)/100000' \
+    --benchmark_min_time=0.02
+else
+  echo "ci/check.sh: bench binaries not built; skipping bounded-pool bench smoke"
+fi
+
+# The smoke run must not leak spill files outside its scratch dir, and ctest
+# itself uses anonymous temp files only: the repo tree stays clean.
+if compgen -G "ds-bench-spill-*" >/dev/null || compgen -G "BENCH_*.json.tmp" >/dev/null; then
+  echo "ci/check.sh: stray spill/bench artifacts in the repo tree" >&2
+  exit 1
+fi
+
+echo "ci/check.sh: configure + build + ctest + low-memory smoke all green"

@@ -14,7 +14,8 @@ Result<Table*> Catalog::CreateTable(std::string name, Schema schema,
   }
   DS_ASSIGN_OR_RETURN(
       std::unique_ptr<Table> table,
-      Table::Create(std::move(name), std::move(schema), model, pager_));
+      Table::Create(std::move(name), std::move(schema), model, pager_,
+                    private_pager_config_));
   Table* raw = table.get();
   tables_.emplace(key, std::move(table));
   creation_order_.push_back(key);

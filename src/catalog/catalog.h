@@ -22,6 +22,16 @@ class Catalog {
   Catalog() = default;
   explicit Catalog(storage::Pager* pager) : pager_(pager) {}
 
+  /// Buffer-pool policy applied to the private pager of every table this
+  /// catalog creates *without* a shared pool. No effect when a shared pager
+  /// was supplied (the pool's owner configured it).
+  void set_private_pager_config(storage::PagerConfig config) {
+    private_pager_config_ = std::move(config);
+  }
+  const storage::PagerConfig& private_pager_config() const {
+    return private_pager_config_;
+  }
+
   /// Creates a table; fails with AlreadyExists on a name collision.
   Result<Table*> CreateTable(std::string name, Schema schema,
                              StorageModel model = StorageModel::kHybrid);
@@ -43,6 +53,7 @@ class Catalog {
 
  private:
   storage::Pager* pager_ = nullptr;
+  storage::PagerConfig private_pager_config_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // lower(name)
   std::vector<std::string> creation_order_;                         // lower(name)
 };

@@ -6,14 +6,15 @@
 
 namespace dataspread {
 
-Result<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
-                                             StorageModel model,
-                                             storage::Pager* pager) {
+Result<std::unique_ptr<Table>> Table::Create(
+    std::string name, Schema schema, StorageModel model, storage::Pager* pager,
+    const storage::PagerConfig& pager_config) {
   DS_RETURN_IF_ERROR(schema.Validate());
   if (name.empty()) {
     return Status::InvalidArgument("table name may not be empty");
   }
-  auto storage = CreateStorage(model, schema.num_columns(), pager);
+  auto storage = CreateStorage(model, schema.num_columns(), pager,
+                               pager_config);
   return std::unique_ptr<Table>(
       new Table(std::move(name), std::move(schema), std::move(storage)));
 }

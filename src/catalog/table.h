@@ -46,11 +46,13 @@ class Table {
   /// Creates an empty table. `model` selects the physical layout; the paper's
   /// design is StorageModel::kHybrid. `pager` is the paged storage engine the
   /// table's heaps live in (shared across a database's tables so all I/O is
-  /// accounted in one pool); null gives the table a private pager.
+  /// accounted in one pool); null gives the table a private pager shaped by
+  /// `pager_config` (buffer-pool cap + spill path).
   static Result<std::unique_ptr<Table>> Create(
       std::string name, Schema schema,
       StorageModel model = StorageModel::kHybrid,
-      storage::Pager* pager = nullptr);
+      storage::Pager* pager = nullptr,
+      const storage::PagerConfig& pager_config = {});
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }

@@ -4,7 +4,8 @@
 
 namespace dataspread {
 
-DataSpread::DataSpread(DataSpreadOptions options) : options_(options) {
+DataSpread::DataSpread(DataSpreadOptions options)
+    : options_(std::move(options)), db_(DatabaseOptions{options_.pager}) {
   engine_ = std::make_unique<formula::FormulaEngine>(&workbook_);
   interface_manager_ = std::make_unique<InterfaceManager>(
       &workbook_, &db_, engine_.get(), &scheduler_, options_.binding_window);

@@ -28,6 +28,14 @@ struct DataSpreadOptions {
   int64_t viewport_cols = 10;
   /// Rows fetched beyond the pane on each side when sliding a binding window.
   int64_t prefetch_margin = 32;
+  /// Buffer-pool policy of the embedded database's pager: cap on in-memory
+  /// page frames (0 = unbounded) and the spill file evicted pages write back
+  /// to. Lets a whole DataSpread instance run larger-than-memory sheets.
+  /// CAUTION: a bounded pool makes every pager read structurally mutating
+  /// (fault-in can evict), and pager access is not internally synchronized —
+  /// do not combine a cap with background_compute until the concurrency
+  /// milestone lands (DESIGN.md §6).
+  storage::PagerConfig pager;
 };
 
 /// The DataSpread system facade: a spreadsheet front-end holistically unified

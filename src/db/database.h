@@ -15,6 +15,15 @@
 
 namespace dataspread {
 
+/// Construction-time options for a Database.
+struct DatabaseOptions {
+  /// Buffer-pool policy of the shared pager every table of this database
+  /// allocates from: `max_resident_pages` bounds in-memory frames (0 =
+  /// unbounded), `spill_path` names the eviction/checkpoint backing file
+  /// (empty = anonymous temp file). See storage::PagerConfig.
+  storage::PagerConfig pager;
+};
+
 /// The embedded relational engine standing in for the paper's PostgreSQL
 /// back-end (see DESIGN.md §2). One statement at a time; statement-level
 /// atomicity for constraint violations (the transaction manager is future
@@ -22,10 +31,16 @@ namespace dataspread {
 ///
 /// Thread-compatibility: Execute() is serialized by an internal recursive
 /// mutex so the compute engine's background worker can run queries while the
-/// interactive thread issues DML.
+/// interactive thread issues DML. Direct table reads (GetWindow etc.) bypass
+/// that mutex; with a *bounded* pager pool such reads mutate buffer-pool
+/// state (fault-in/eviction), so bounded configurations require
+/// single-threaded access until pager-level synchronization lands.
 class Database {
  public:
-  Database() = default;
+  Database() : Database(DatabaseOptions{}) {}
+  /// Bounded-pool construction: the paper's million-cell sheets run behind a
+  /// pool of a few hundred frames with cold pages spilled to disk.
+  explicit Database(const DatabaseOptions& options) : pager_(options.pager) {}
 
   Catalog& catalog() { return catalog_; }
 

@@ -12,8 +12,9 @@ Status CheckStorable(const Value& v) {
 }
 }  // namespace
 
-ColumnStore::ColumnStore(size_t num_columns, storage::Pager* pager)
-    : TableStorage(pager) {
+ColumnStore::ColumnStore(size_t num_columns, storage::Pager* pager,
+                   const storage::PagerConfig& config)
+    : TableStorage(pager, config) {
   files_.reserve(num_columns);
   for (size_t i = 0; i < num_columns; ++i) {
     files_.push_back(pager_->CreateFile());

@@ -14,7 +14,8 @@ namespace dataspread {
 /// between this and RowStore via attribute groups.
 class ColumnStore : public TableStorage {
  public:
-  ColumnStore(size_t num_columns, storage::Pager* pager);
+  ColumnStore(size_t num_columns, storage::Pager* pager,
+           const storage::PagerConfig& config = {});
   ~ColumnStore() override;
 
   StorageModel model() const override { return StorageModel::kColumn; }

@@ -14,8 +14,9 @@ Status CheckStorable(const Value& v) {
 }
 }  // namespace
 
-HybridStore::HybridStore(size_t num_columns, storage::Pager* pager)
-    : TableStorage(pager) {
+HybridStore::HybridStore(size_t num_columns, storage::Pager* pager,
+                   const storage::PagerConfig& config)
+    : TableStorage(pager, config) {
   if (num_columns > 0) {
     Group g;
     g.width = num_columns;

@@ -22,7 +22,8 @@ namespace dataspread {
 /// extension in DESIGN.md).
 class HybridStore : public TableStorage {
  public:
-  HybridStore(size_t num_columns, storage::Pager* pager);
+  HybridStore(size_t num_columns, storage::Pager* pager,
+           const storage::PagerConfig& config = {});
   ~HybridStore() override;
 
   StorageModel model() const override { return StorageModel::kHybrid; }

@@ -1,5 +1,6 @@
 #include "storage/pager.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -18,6 +19,8 @@
 
 namespace dataspread {
 namespace storage {
+
+Pager::Pager(PagerConfig config) : config_(std::move(config)) {}
 
 FileId Pager::CreateFile() {
   FileId id = next_file_id_++;
@@ -43,39 +46,125 @@ size_t Pager::FilePages(FileId file) const {
 
 uint64_t Pager::FileSize(FileId file) const { return ChainOrDie(file).size; }
 
-void Pager::FreePage(PageId id) {
+bool Pager::IsResident(FileId file, uint64_t page_index) const {
+  const FileChain& chain = ChainOrDie(file);
+  return page_index < chain.pages.size() && chain.pages[page_index].resident();
+}
+
+SpillFile& Pager::EnsureSpill() {
+  if (spill_ == nullptr) {
+    spill_ = std::make_unique<SpillFile>(config_.spill_path);
+  }
+  return *spill_;
+}
+
+void Pager::WriteBack(ValuePage& page, PageRef& ref) {
+  SpillFile& spill = EnsureSpill();
+  if (ref.spill_slot == SpillFile::kNoSlot) {
+    ref.spill_slot = spill.AllocateSlot();
+  }
+  stats_.spill_bytes_written += spill.WritePage(ref.spill_slot, page);
+}
+
+void Pager::ReleaseFrame(PageId id) {
   ValuePage& page = *page_table_[id];
-  DS_PAGER_CHECK(page.pin_count_ == 0, "freeing a pinned page");
-  for (Value& v : page.slots_) v = Value::Null();
+  for (Value& v : page.slots_) v = Value::Null();  // release heap payloads
   page.file_ = 0;
   page.index_in_file_ = 0;
   page.dirty_ = false;
   page.referenced_ = false;
-  free_pages_.push_back(id);
+  free_frames_.push_back(id);
   resident_pages_ -= 1;
+}
+
+void Pager::EvictPage(ValuePage& page) {
+  DS_PAGER_CHECK(!page.is_free() && page.pin_count_ == 0,
+                 "evicting a free or pinned page");
+  FileChain& chain = ChainOrDie(page.file_);
+  PageRef& ref = chain.pages[page.index_in_file_];
+  // A dirty page needs write-back; a clean page only needs one if it has
+  // never been spilled (the spill copy is the authoritative one once gone).
+  if (page.dirty_ || ref.spill_slot == SpillFile::kNoSlot) {
+    WriteBack(page, ref);
+    page.dirty_ = false;
+  }
+  PageId frame = ref.frame;
+  ref.frame = PageRef::kNoFrame;
+  ReleaseFrame(frame);
+  stats_.evictions += 1;
+}
+
+void Pager::EvictDownTo(size_t target) {
+  while (resident_pages_ > target) {
+    ValuePage* victim = ClockVictim();
+    if (victim == nullptr) break;  // everything left is pinned: overshoot
+    EvictPage(*victim);
+  }
+}
+
+PageId Pager::AcquireFrame() {
+  if (config_.max_resident_pages > 0 &&
+      resident_pages_ >= config_.max_resident_pages) {
+    // Make room so the pool stays at its cap after the new page mounts.
+    EvictDownTo(config_.max_resident_pages - 1);
+  }
+  if (!free_frames_.empty()) {
+    PageId id = free_frames_.back();
+    free_frames_.pop_back();
+    // A shell released by a runtime cap shrink is rebuilt on reuse.
+    if (page_table_[id] == nullptr) {
+      page_table_[id] = std::make_unique<ValuePage>();
+    }
+    return id;
+  }
+  page_table_.push_back(std::make_unique<ValuePage>());
+  return page_table_.size() - 1;
+}
+
+void Pager::FaultIn(FileId file, FileChain& chain, uint64_t page_index) {
+  PageRef& ref = chain.pages[page_index];
+  DS_PAGER_CHECK(!ref.resident() && ref.spill_slot != SpillFile::kNoSlot,
+                 "faulting a page with no spill copy");
+  PageId frame = AcquireFrame();  // may evict; `ref` stays valid (no resize)
+  ValuePage& page = *page_table_[frame];
+  page.file_ = file;
+  page.index_in_file_ = page_index;
+  page.referenced_ = true;
+  ref.frame = frame;
+  resident_pages_ += 1;
+  stats_.spill_bytes_read += spill_->ReadPage(ref.spill_slot, &page);
+  stats_.faults += 1;
+}
+
+void Pager::FreePage(PageRef& ref) {
+  if (ref.resident()) {
+    ValuePage& page = *page_table_[ref.frame];
+    DS_PAGER_CHECK(page.pin_count_ == 0, "freeing a pinned page");
+    ReleaseFrame(ref.frame);
+    ref.frame = PageRef::kNoFrame;
+  }
+  if (ref.spill_slot != SpillFile::kNoSlot) {
+    spill_->FreeSlot(ref.spill_slot);
+    ref.spill_slot = SpillFile::kNoSlot;
+  }
   stats_.pages_freed += 1;
 }
 
 void Pager::DropFile(FileId file) {
   FileChain& chain = ChainOrDie(file);
-  for (PageId id : chain.pages) FreePage(id);
+  for (PageRef& ref : chain.pages) FreePage(ref);
   files_.erase(file);
 }
 
 void Pager::EnsureCapacity(FileId file, FileChain& chain, uint64_t slot) {
   while (chain.pages.size() * kSlotsPerPage <= slot) {
-    PageId id;
-    if (!free_pages_.empty()) {
-      id = free_pages_.back();
-      free_pages_.pop_back();
-    } else {
-      id = page_table_.size();
-      page_table_.push_back(std::make_unique<ValuePage>());
-    }
-    ValuePage& page = *page_table_[id];
+    PageId frame = AcquireFrame();
+    ValuePage& page = *page_table_[frame];
     page.file_ = file;
     page.index_in_file_ = chain.pages.size();
-    chain.pages.push_back(id);
+    PageRef ref;
+    ref.frame = frame;
+    chain.pages.push_back(ref);
     resident_pages_ += 1;
     stats_.pages_allocated += 1;
   }
@@ -100,7 +189,7 @@ const Value& Pager::Read(FileId file, uint64_t slot) {
   FileChain& chain = ChainOrDie(file);
   DS_PAGER_CHECK(slot < chain.pages.size() * kSlotsPerPage,
                  "read past file end");
-  ValuePage& page = PageForSlot(chain, slot);
+  ValuePage& page = PageForSlot(file, chain, slot);
   RecordRead(file, slot, page);
   return page.slot(slot % kSlotsPerPage);
 }
@@ -110,24 +199,30 @@ void Pager::ReadRange(FileId file, uint64_t start, uint64_t count, Row* out) {
   FileChain& chain = ChainOrDie(file);
   DS_PAGER_CHECK(start + count <= chain.pages.size() * kSlotsPerPage,
                  "read range past file end");
-  uint64_t first_page = start / kSlotsPerPage;
-  uint64_t last_page = (start + count - 1) / kSlotsPerPage;
-  for (uint64_t p = first_page; p <= last_page; ++p) {
-    page_table_[chain.pages[p]]->referenced_ = true;
-    if (accounting_) epoch_read_.insert(EpochKey(file, p));
+  out->reserve(out->size() + count);
+  // Page by page: each page is faulted in (possibly evicting an earlier one
+  // of this very range — its values are already copied out) and drained
+  // before the next, so a range wider than the pool still works.
+  uint64_t s = start;
+  const uint64_t end = start + count;
+  while (s < end) {
+    uint64_t page_index = s / kSlotsPerPage;
+    uint64_t page_end = std::min(end, (page_index + 1) * kSlotsPerPage);
+    ValuePage& page = PageAt(file, chain, page_index);
+    page.referenced_ = true;
+    if (accounting_) epoch_read_.insert(EpochKey(file, page_index));
+    for (; s < page_end; ++s) {
+      out->push_back(page.slot(s % kSlotsPerPage));
+    }
   }
   if (accounting_) stats_.slot_reads += count;
-  out->reserve(out->size() + count);
-  for (uint64_t s = start; s < start + count; ++s) {
-    out->push_back(PageForSlot(chain, s).slot(s % kSlotsPerPage));
-  }
 }
 
 void Pager::Write(FileId file, uint64_t slot, Value v) {
   FileChain& chain = ChainOrDie(file);
   EnsureCapacity(file, chain, slot);
   if (slot >= chain.size) chain.size = slot + 1;
-  ValuePage& page = PageForSlot(chain, slot);
+  ValuePage& page = PageForSlot(file, chain, slot);
   RecordWrite(file, slot, page);
   page.slot(slot % kSlotsPerPage) = std::move(v);
 }
@@ -136,21 +231,31 @@ Value Pager::Take(FileId file, uint64_t slot) {
   FileChain& chain = ChainOrDie(file);
   DS_PAGER_CHECK(slot < chain.pages.size() * kSlotsPerPage,
                  "take past file end");
-  ValuePage& page = PageForSlot(chain, slot);
+  ValuePage& page = PageForSlot(file, chain, slot);
   RecordRead(file, slot, page);
+  // Nulling the slot mutates the page: without the dirty bit an eviction
+  // could skip write-back and resurrect the taken value from a stale spill
+  // copy. Accounting-wise Take still counts as a read (unchanged).
+  page.dirty_ = true;
   return std::exchange(page.slot(slot % kSlotsPerPage), Value::Null());
 }
 
 void Pager::Truncate(FileId file, uint64_t slot_count) {
   FileChain& chain = ChainOrDie(file);
   if (slot_count >= chain.size) return;
-  // Clear vacated slots on pages that survive, so Value payloads (strings)
-  // are released even without a page free.
+  // Clear vacated slots on the surviving boundary page, so Value payloads
+  // (strings) are released even without a page free. An evicted boundary
+  // page is faulted in and re-marked dirty so the clearing reaches its spill
+  // copy on the next write-back.
   size_t keep_pages =
       static_cast<size_t>((slot_count + kSlotsPerPage - 1) / kSlotsPerPage);
-  for (uint64_t s = slot_count;
-       s < chain.size && s < keep_pages * kSlotsPerPage; ++s) {
-    PageForSlot(chain, s).slot(s % kSlotsPerPage) = Value::Null();
+  if (slot_count < keep_pages * kSlotsPerPage) {
+    ValuePage& page = PageAt(file, chain, keep_pages - 1);
+    for (uint64_t s = slot_count;
+         s < chain.size && s < keep_pages * kSlotsPerPage; ++s) {
+      page.slot(s % kSlotsPerPage) = Value::Null();
+    }
+    page.dirty_ = true;  // not accounted: truncation is not a page write
   }
   while (chain.pages.size() > keep_pages) {
     FreePage(chain.pages.back());
@@ -162,7 +267,7 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
 ValuePage* Pager::Pin(FileId file, uint64_t page_index) {
   FileChain& chain = ChainOrDie(file);
   EnsureCapacity(file, chain, page_index * kSlotsPerPage);
-  ValuePage& page = *page_table_[chain.pages[page_index]];
+  ValuePage& page = PageAt(file, chain, page_index);
   page.pin_count_ += 1;
   page.referenced_ = true;
   stats_.pins += 1;
@@ -188,18 +293,23 @@ void Pager::Unpin(ValuePage* page, bool dirtied) {
 size_t Pager::pinned_pages() const {
   size_t n = 0;
   for (const auto& page : page_table_) {
-    if (!page->is_free() && page->pin_count_ > 0) ++n;
+    if (page != nullptr && !page->is_free() && page->pin_count_ > 0) ++n;
   }
   return n;
 }
 
 ValuePage* Pager::ClockVictim() {
   if (resident_pages_ == 0 || page_table_.empty()) return nullptr;
-  // Two full sweeps: the first may only clear reference bits.
+  // Bounded sweep — two revolutions: the first may only clear reference
+  // bits, the second must then find any unpinned page. Termination does not
+  // depend on pin state, so an all-pinned pool yields nullptr, never a hang
+  // or a pinned frame.
   size_t limit = page_table_.size() * 2;
   for (size_t step = 0; step < limit; ++step) {
-    ValuePage& page = *page_table_[clock_hand_];
+    ValuePage* candidate = page_table_[clock_hand_].get();
     clock_hand_ = (clock_hand_ + 1) % page_table_.size();
+    if (candidate == nullptr) continue;  // released shell (cap shrink)
+    ValuePage& page = *candidate;
     if (page.is_free() || page.pin_count_ > 0) continue;
     if (page.referenced_) {
       page.referenced_ = false;  // second chance
@@ -207,19 +317,40 @@ ValuePage* Pager::ClockVictim() {
     }
     return &page;
   }
-  return nullptr;  // everything pinned (or re-referenced concurrently)
+  return nullptr;  // every resident page is pinned
 }
 
 size_t Pager::FlushAll() {
   size_t flushed = 0;
   for (const auto& page : page_table_) {
-    if (!page->is_free() && page->dirty_) {
-      page->dirty_ = false;
-      ++flushed;
-    }
+    if (page == nullptr || page->is_free() || !page->dirty_) continue;
+    FileChain& chain = ChainOrDie(page->file_);
+    WriteBack(*page, chain.pages[page->index_in_file_]);
+    page->dirty_ = false;
+    ++flushed;
   }
   stats_.pages_flushed += flushed;
   return flushed;
+}
+
+void Pager::set_max_resident_pages(size_t cap) {
+  config_.max_resident_pages = cap;
+  if (cap == 0) return;
+  EvictDownTo(cap);
+  // A shrink must actually release memory, not just move pages to disk:
+  // drop the ValuePage shells of every free frame (each holds a 256-slot
+  // array) and compact trailing holes so clock sweeps stay proportional to
+  // the new pool size. Interior holes are kept as ids (frames are addressed
+  // by stable index) and rebuilt on reuse.
+  for (PageId id : free_frames_) page_table_[id].reset();
+  while (!page_table_.empty() && page_table_.back() == nullptr) {
+    page_table_.pop_back();
+  }
+  free_frames_.erase(
+      std::remove_if(free_frames_.begin(), free_frames_.end(),
+                     [&](PageId id) { return id >= page_table_.size(); }),
+      free_frames_.end());
+  if (clock_hand_ >= page_table_.size()) clock_hand_ = 0;
 }
 
 void Pager::BeginEpoch() {

@@ -5,10 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "storage/spill_file.h"
 #include "types/value.h"
 
 namespace dataspread {
@@ -19,7 +21,7 @@ namespace storage {
 using FileId = uint64_t;
 
 /// Index of a page frame inside the pager's page table. Frames are recycled
-/// through a free list when files shrink or are dropped.
+/// through a free list when files shrink, are dropped, or pages are evicted.
 using PageId = uint64_t;
 
 /// One fixed-size page of the unified storage pool.
@@ -56,15 +58,33 @@ class ValuePage {
   bool referenced_ = false;
 };
 
+/// Construction-time (and runtime-adjustable) buffer-pool policy.
+struct PagerConfig {
+  /// Maximum page frames held in memory; 0 = unbounded (no eviction). When
+  /// the cap binds, a frame for a new or faulted page is obtained by evicting
+  /// a clock victim to the spill file first. Pinned pages are never evicted,
+  /// so a pool whose every frame is pinned overshoots the cap rather than
+  /// deadlock — the overshoot drains as soon as pins are released.
+  size_t max_resident_pages = 0;
+  /// Backing file for evicted/checkpointed pages. Empty = an anonymous
+  /// temp file (OS-deleted on close, never visible in the filesystem);
+  /// a named path is removed when the pager is destroyed.
+  std::string spill_path;
+};
+
 /// Lifetime counters of a Pager. Epoch (distinct-page) figures live on the
 /// Pager itself because they reset per measurement window.
 struct PagerStats {
   uint64_t slot_reads = 0;       ///< Slot-level reads (not distinct).
   uint64_t slot_writes = 0;      ///< Slot-level writes (not distinct).
-  uint64_t pages_allocated = 0;  ///< Frames handed to files (incl. reuse).
-  uint64_t pages_freed = 0;      ///< Frames returned to the free list.
-  uint64_t pages_flushed = 0;    ///< Dirty pages cleaned by FlushAll().
+  uint64_t pages_allocated = 0;  ///< Pages handed to files (incl. reuse).
+  uint64_t pages_freed = 0;      ///< Pages returned by truncate/drop.
+  uint64_t pages_flushed = 0;    ///< Dirty pages checkpointed by FlushAll().
   uint64_t pins = 0;             ///< Pin() calls.
+  uint64_t faults = 0;           ///< Evicted pages loaded back from spill.
+  uint64_t evictions = 0;        ///< Resident pages pushed out of the pool.
+  uint64_t spill_bytes_written = 0;  ///< Bytes serialized to the spill file.
+  uint64_t spill_bytes_read = 0;     ///< Bytes deserialized from it.
 };
 
 /// The unified paged storage engine behind every TableStorage model.
@@ -74,14 +94,26 @@ struct PagerStats {
 /// and addresses values by dense slot number. The pager provides
 ///   - slot-granular Read/Write/Take that grow files on demand,
 ///   - page-granular Pin/Unpin with dirty tracking for batch access,
-///   - a clock (second-chance LRU) victim selector, ready for disk-backed
-///     eviction (ROADMAP open item — no disk layer yet, so victims are only
-///     selected, never actually evicted),
+///   - a genuinely bounded buffer pool: with `max_resident_pages` set, cold
+///     pages are evicted through second-chance clock selection — written back
+///     to a SpillFile when dirty — and faulted back in transparently on the
+///     next access (see DESIGN.md §"Bounded buffer pool"),
+///   - FlushAll() as a real checkpoint: every dirty page's contents are
+///     written to the spill file before its dirty bit clears,
 ///   - built-in I/O accounting: distinct pages read/written per epoch, the
-///     quantity the paper's Relational Storage Manager argues about.
+///     quantity the paper's Relational Storage Manager argues about, plus
+///     fault/eviction/spill-byte counters for the physical layer.
+///
+/// Page state machine: a page of a file's chain is either *resident* (owns a
+/// frame in the page table; its spill copy, if any, may be stale) or
+/// *evicted* (no frame; the spill file holds the authoritative copy — dirty
+/// pages are written back during eviction, so an evicted page is always clean
+/// on disk). Fault-in moves evicted → resident; eviction the reverse, and
+/// only ever for unpinned frames.
 ///
 /// Accounting can be disabled for timing-focused benchmarks; physical state
-/// (page contents, dirty bits, reference bits) is maintained regardless.
+/// (page contents, dirty bits, reference bits, eviction) is maintained
+/// regardless.
 class Pager {
  public:
   static constexpr uint64_t kPageBytes = 4096;
@@ -90,7 +122,7 @@ class Pager {
   static_assert(kSlotsPerPage == kPageBytes / kSlotBytes,
                 "page geometry out of sync");
 
-  Pager() = default;
+  explicit Pager(PagerConfig config = {});
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
@@ -101,7 +133,7 @@ class Pager {
   /// Frees every page of `file`. Deallocation is not counted as page writes.
   void DropFile(FileId file);
   bool HasFile(FileId file) const { return files_.count(file) > 0; }
-  /// Pages currently backing `file`.
+  /// Pages currently backing `file` (resident or evicted).
   size_t FilePages(FileId file) const;
   /// Logical size of `file` in slots (highest written slot + 1, after
   /// truncation: the truncation point).
@@ -110,7 +142,9 @@ class Pager {
   // ---- Slot access ----------------------------------------------------------
 
   /// Reads slot `slot` of `file`; the slot must be below the file's capacity
-  /// (pages * kSlotsPerPage). Never-written slots read as NULL.
+  /// (pages * kSlotsPerPage). Never-written slots read as NULL. The returned
+  /// reference is valid only until the next pager call that can evict (any
+  /// access under a bounded pool) — callers copy, as all stores do.
   const Value& Read(FileId file, uint64_t slot);
   /// Appends slots [start, start+count) to `out`. Equivalent to `count`
   /// Read() calls but resolves the file once and records one read per
@@ -118,35 +152,54 @@ class Pager {
   void ReadRange(FileId file, uint64_t start, uint64_t count, Row* out);
   /// Writes slot `slot`, growing the file's chain as needed.
   void Write(FileId file, uint64_t slot, Value v);
-  /// Moves the value out of `slot` (leaves NULL behind); counts as a read.
+  /// Moves the value out of `slot` (leaves NULL behind); counts as a read
+  /// in the epoch accounting but dirties the page (the slot changed).
   Value Take(FileId file, uint64_t slot);
   /// Shrinks `file` to `slot_count` slots: whole pages past the end return to
-  /// the free list, vacated slots are cleared. Not counted as page writes.
-  /// Pages past the truncation point must be unpinned (checked).
+  /// the free list (their spill space is recycled), vacated slots are
+  /// cleared. Not counted as page writes. Pages past the truncation point
+  /// must be unpinned (checked).
   void Truncate(FileId file, uint64_t slot_count);
 
   // ---- Page-granular buffer-pool interface ----------------------------------
 
-  /// Pins page `page_index` of `file` (growing the chain if needed) and
-  /// returns it. Pinned pages are never chosen as eviction victims.
+  /// Pins page `page_index` of `file` (growing the chain or faulting the page
+  /// in as needed) and returns it. Pinned pages are never evicted.
   ValuePage* Pin(FileId file, uint64_t page_index);
   /// Releases a pin; `dirtied` marks the page dirty and records the write.
   void Unpin(ValuePage* page, bool dirtied);
 
-  /// Pages currently owned by some file (not on the free list).
+  /// Pages currently holding a frame in memory. At most max_resident_pages()
+  /// whenever that cap is set and at least one unpinned frame exists.
   size_t resident_pages() const { return resident_pages_; }
   /// Resident pages with a non-zero pin count.
   size_t pinned_pages() const;
+  /// True when page `page_index` of `file` currently holds a frame.
+  bool IsResident(FileId file, uint64_t page_index) const;
 
   /// Second-chance (clock) victim selection: returns the next unpinned,
   /// unreferenced resident page, clearing reference bits it sweeps past.
-  /// Returns nullptr when every resident page is pinned or there are none.
-  /// Actual eviction requires the disk layer (ROADMAP).
+  /// Returns nullptr — never a pinned frame, after a bounded sweep — when
+  /// every resident page is pinned or there are none. Selection only; the
+  /// bounded pool evicts victims internally when the cap binds.
   ValuePage* ClockVictim();
 
-  /// Cleans every dirty resident page (stand-in for writing them back);
-  /// returns how many pages were flushed.
+  /// Checkpoint: writes every dirty resident page to the spill file, then
+  /// clears its dirty bit; returns how many pages were written. After
+  /// FlushAll() the spill file holds an up-to-date copy of every page that
+  /// was ever dirty, so subsequent evictions of clean pages write nothing.
   size_t FlushAll();
+
+  // ---- Buffer-pool policy ---------------------------------------------------
+
+  size_t max_resident_pages() const { return config_.max_resident_pages; }
+  /// Adjusts the cap at runtime; shrinking below the current residency
+  /// evicts clock victims immediately until the pool fits (pinned pages
+  /// can keep it above the cap until they are unpinned).
+  void set_max_resident_pages(size_t cap);
+  const std::string& spill_path() const { return config_.spill_path; }
+  /// The spill backend, if any eviction/checkpoint has created it.
+  const SpillFile* spill() const { return spill_.get(); }
 
   // ---- I/O accounting -------------------------------------------------------
 
@@ -159,13 +212,24 @@ class Pager {
   const PagerStats& stats() const { return stats_; }
 
   /// Accounting costs a hash insert per access; timing-focused benchmarks
-  /// disable it. Page contents and dirty/reference bits are unaffected.
+  /// disable it. Page contents, dirty/reference bits, and eviction are
+  /// unaffected (faults/evictions/spill bytes are physical events and are
+  /// always counted).
   void set_accounting_enabled(bool enabled) { accounting_ = enabled; }
   bool accounting_enabled() const { return accounting_; }
 
  private:
+  /// One page of a file's chain: resident (frame != kNoFrame) or evicted
+  /// (frame == kNoFrame, spill_slot holds the authoritative copy).
+  struct PageRef {
+    static constexpr PageId kNoFrame = ~0ull;
+    PageId frame = kNoFrame;
+    uint64_t spill_slot = SpillFile::kNoSlot;
+    bool resident() const { return frame != kNoFrame; }
+  };
+
   struct FileChain {
-    std::vector<PageId> pages;
+    std::vector<PageRef> pages;
     uint64_t size = 0;  // logical slots; capacity is pages.size()*kSlotsPerPage
   };
 
@@ -178,18 +242,45 @@ class Pager {
   const FileChain& ChainOrDie(FileId file) const;
   /// Grows `chain` until `slot` is addressable.
   void EnsureCapacity(FileId file, FileChain& chain, uint64_t slot);
-  ValuePage& PageForSlot(FileChain& chain, uint64_t slot) {
-    return *page_table_[chain.pages[slot / kSlotsPerPage]];
+  /// The page holding `slot`, faulted in if evicted.
+  ValuePage& PageForSlot(FileId file, FileChain& chain, uint64_t slot) {
+    return PageAt(file, chain, slot / kSlotsPerPage);
   }
-  void FreePage(PageId id);
+  /// The page at `page_index` of the chain, faulted in if evicted.
+  ValuePage& PageAt(FileId file, FileChain& chain, uint64_t page_index) {
+    PageRef& ref = chain.pages[page_index];
+    if (!ref.resident()) FaultIn(file, chain, page_index);
+    return *page_table_[ref.frame];
+  }
+  /// Loads an evicted page back into a frame (evicting others if the cap
+  /// binds).
+  void FaultIn(FileId file, FileChain& chain, uint64_t page_index);
+  /// Obtains a frame, evicting clock victims first while the pool is at its
+  /// cap. The frame is on neither the free list nor any chain on return.
+  PageId AcquireFrame();
+  /// Writes `page` back to spill if needed and releases its frame. The page
+  /// must be unpinned.
+  void EvictPage(ValuePage& page);
+  /// Returns the frame of a truncated/dropped resident page to the free list.
+  void ReleaseFrame(PageId id);
+  /// Drops one chain page entirely (frame and/or spill space).
+  void FreePage(PageRef& ref);
+  /// Evicts victims until residency is at most `target` (or all pinned).
+  void EvictDownTo(size_t target);
+  SpillFile& EnsureSpill();
+  /// Writes `page`'s contents to its spill slot (allocating one on first
+  /// spill); leaves the dirty bit untouched.
+  void WriteBack(ValuePage& page, PageRef& ref);
 
   void RecordRead(FileId file, uint64_t slot, ValuePage& page);
   void RecordWrite(FileId file, uint64_t slot, ValuePage& page);
 
+  PagerConfig config_;
   uint64_t next_file_id_ = 1;
   std::unordered_map<FileId, FileChain> files_;
   std::vector<std::unique_ptr<ValuePage>> page_table_;
-  std::vector<PageId> free_pages_;
+  std::vector<PageId> free_frames_;
+  std::unique_ptr<SpillFile> spill_;  // created on first eviction/checkpoint
   size_t resident_pages_ = 0;
   size_t clock_hand_ = 0;
 

@@ -14,8 +14,9 @@ Status CheckStorable(const Value& v) {
 }
 }  // namespace
 
-RcvStore::RcvStore(size_t num_columns, storage::Pager* pager)
-    : TableStorage(pager) {
+RcvStore::RcvStore(size_t num_columns, storage::Pager* pager,
+                   const storage::PagerConfig& config)
+    : TableStorage(pager, config) {
   columns_.resize(num_columns);
   for (InternalColumn& ic : columns_) {
     ic.file = pager_->CreateFile();

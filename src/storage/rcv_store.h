@@ -19,7 +19,8 @@ namespace dataspread {
 /// in-memory index and touch no data page.
 class RcvStore : public TableStorage {
  public:
-  RcvStore(size_t num_columns, storage::Pager* pager);
+  RcvStore(size_t num_columns, storage::Pager* pager,
+           const storage::PagerConfig& config = {});
   ~RcvStore() override;
 
   StorageModel model() const override { return StorageModel::kRcv; }

@@ -12,8 +12,9 @@ Status CheckStorable(const Value& v) {
 }
 }  // namespace
 
-RowStore::RowStore(size_t num_columns, storage::Pager* pager)
-    : TableStorage(pager), num_columns_(num_columns) {
+RowStore::RowStore(size_t num_columns, storage::Pager* pager,
+                   const storage::PagerConfig& config)
+    : TableStorage(pager, config), num_columns_(num_columns) {
   file_ = pager_->CreateFile();
 }
 

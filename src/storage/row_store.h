@@ -14,7 +14,8 @@ namespace dataspread {
 /// tuple reads touch a single page.
 class RowStore : public TableStorage {
  public:
-  RowStore(size_t num_columns, storage::Pager* pager);
+  RowStore(size_t num_columns, storage::Pager* pager,
+           const storage::PagerConfig& config = {});
   ~RowStore() override;
 
   StorageModel model() const override { return StorageModel::kRow; }

@@ -1,0 +1,223 @@
+#include "storage/spill_file.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/types.h>
+
+#include "storage/pager.h"
+
+// Spill I/O failures (ENOSPC, a yanked temp dir) leave the pool unable to
+// honor its bounded-memory contract; like the pager's API-misuse checks this
+// aborts rather than silently serving stale pages.
+#define DS_SPILL_CHECK(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "storage::SpillFile check failed: %s\n",   \
+                   (msg));                                            \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+namespace dataspread {
+namespace storage {
+
+namespace {
+
+enum Tag : unsigned char {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt = 2,
+  kTagReal = 3,
+  kTagText = 4,
+  kTagError = 5,
+};
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void AppendU32(std::string* out, uint32_t v) { AppendRaw(out, &v, sizeof v); }
+
+void EncodeValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case DataType::kNull:
+      out->push_back(static_cast<char>(kTagNull));
+      return;
+    case DataType::kBool: {
+      out->push_back(static_cast<char>(kTagBool));
+      out->push_back(v.bool_value() ? 1 : 0);
+      return;
+    }
+    case DataType::kInt: {
+      out->push_back(static_cast<char>(kTagInt));
+      int64_t i = v.int_value();
+      AppendRaw(out, &i, sizeof i);
+      return;
+    }
+    case DataType::kReal: {
+      out->push_back(static_cast<char>(kTagReal));
+      double d = v.real_value();
+      AppendRaw(out, &d, sizeof d);
+      return;
+    }
+    case DataType::kText: {
+      out->push_back(static_cast<char>(kTagText));
+      const std::string& s = v.text_value();
+      DS_SPILL_CHECK(s.size() <= UINT32_MAX, "TEXT payload exceeds u32 length");
+      AppendU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      return;
+    }
+    case DataType::kError: {
+      out->push_back(static_cast<char>(kTagError));
+      const std::string& s = v.error_code();
+      DS_SPILL_CHECK(s.size() <= UINT32_MAX,
+                     "ERROR payload exceeds u32 length");
+      AppendU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      return;
+    }
+  }
+  DS_SPILL_CHECK(false, "unencodable value type");
+}
+
+bool DecodeValue(const std::string& buf, size_t* pos, Value* out) {
+  if (*pos >= buf.size()) return false;
+  unsigned char tag = static_cast<unsigned char>(buf[(*pos)++]);
+  switch (tag) {
+    case kTagNull:
+      *out = Value::Null();
+      return true;
+    case kTagBool:
+      if (*pos + 1 > buf.size()) return false;
+      *out = Value::Bool(buf[(*pos)++] != 0);
+      return true;
+    case kTagInt: {
+      if (*pos + sizeof(int64_t) > buf.size()) return false;
+      int64_t i;
+      std::memcpy(&i, buf.data() + *pos, sizeof i);
+      *pos += sizeof i;
+      *out = Value::Int(i);
+      return true;
+    }
+    case kTagReal: {
+      if (*pos + sizeof(double) > buf.size()) return false;
+      double d;
+      std::memcpy(&d, buf.data() + *pos, sizeof d);
+      *pos += sizeof d;
+      *out = Value::Real(d);
+      return true;
+    }
+    case kTagText:
+    case kTagError: {
+      if (*pos + sizeof(uint32_t) > buf.size()) return false;
+      uint32_t len;
+      std::memcpy(&len, buf.data() + *pos, sizeof len);
+      *pos += sizeof len;
+      if (*pos + len > buf.size()) return false;
+      std::string s(buf.data() + *pos, len);
+      *pos += len;
+      *out = tag == kTagText ? Value::Text(std::move(s))
+                             : Value::Error(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+SpillFile::SpillFile(std::string path) : path_(std::move(path)) {}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  // A named spill file is a per-run scratch heap, never a durable store:
+  // remove it so test and bench runs leave no artifacts behind.
+  if (!path_.empty()) std::remove(path_.c_str());
+}
+
+std::FILE* SpillFile::EnsureOpen() {
+  if (file_ != nullptr) return file_;
+  file_ = path_.empty() ? std::tmpfile() : std::fopen(path_.c_str(), "wb+");
+  DS_SPILL_CHECK(file_ != nullptr, "cannot open spill file");
+  return file_;
+}
+
+uint64_t SpillFile::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    uint64_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].length = 0;
+    return slot;
+  }
+  slots_.push_back(Record{});
+  return slots_.size() - 1;
+}
+
+void SpillFile::FreeSlot(uint64_t slot) {
+  DS_SPILL_CHECK(slot < slots_.size(), "freeing an unknown spill slot");
+  free_slots_.push_back(slot);
+}
+
+void SpillFile::EncodePage(const ValuePage& page, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < ValuePage::kSlotCount; ++i) {
+    EncodeValue(page.slot(i), out);
+  }
+}
+
+bool SpillFile::DecodePage(const std::string& buf, ValuePage* page) {
+  size_t pos = 0;
+  for (size_t i = 0; i < ValuePage::kSlotCount; ++i) {
+    Value v;
+    if (!DecodeValue(buf, &pos, &v)) return false;
+    page->slot(i) = std::move(v);
+  }
+  return pos == buf.size();
+}
+
+uint64_t SpillFile::WritePage(uint64_t slot, const ValuePage& page) {
+  DS_SPILL_CHECK(slot < slots_.size(), "writing an unknown spill slot");
+  EncodePage(page, &scratch_);
+  DS_SPILL_CHECK(scratch_.size() <= UINT32_MAX,
+                 "page record exceeds u32 length");
+  Record& rec = slots_[slot];
+  if (scratch_.size() > rec.capacity) {
+    // Outgrew the reserved space: relocate to the end of the heap. The old
+    // space stays with this slot's former record and is simply abandoned;
+    // fixed-width pages (the common case) always rewrite in place.
+    rec.offset = end_offset_;
+    rec.capacity = static_cast<uint32_t>(scratch_.size());
+    end_offset_ += scratch_.size();
+  }
+  rec.length = static_cast<uint32_t>(scratch_.size());
+  std::FILE* f = EnsureOpen();
+  // fseeko, not fseek: offsets are 64-bit and the heap can pass LONG_MAX on
+  // ILP32 targets (relocated records abandon their old space, so text-heavy
+  // workloads grow the file monotonically).
+  DS_SPILL_CHECK(fseeko(f, static_cast<off_t>(rec.offset), SEEK_SET) == 0,
+                 "seek for spill write");
+  DS_SPILL_CHECK(std::fwrite(scratch_.data(), 1, scratch_.size(), f) ==
+                     scratch_.size(),
+                 "short spill write");
+  return scratch_.size();
+}
+
+uint64_t SpillFile::ReadPage(uint64_t slot, ValuePage* page) {
+  DS_SPILL_CHECK(slot < slots_.size(), "reading an unknown spill slot");
+  const Record& rec = slots_[slot];
+  DS_SPILL_CHECK(rec.length > 0, "reading a never-written spill slot");
+  scratch_.resize(rec.length);
+  std::FILE* f = EnsureOpen();
+  DS_SPILL_CHECK(fseeko(f, static_cast<off_t>(rec.offset), SEEK_SET) == 0,
+                 "seek for spill read");
+  DS_SPILL_CHECK(std::fread(&scratch_[0], 1, rec.length, f) == rec.length,
+                 "short spill read");
+  DS_SPILL_CHECK(DecodePage(scratch_, page), "corrupt spill record");
+  return rec.length;
+}
+
+}  // namespace storage
+}  // namespace dataspread

@@ -1,0 +1,83 @@
+#ifndef DATASPREAD_STORAGE_SPILL_FILE_H_
+#define DATASPREAD_STORAGE_SPILL_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dataspread {
+namespace storage {
+
+class ValuePage;
+
+/// The disk half of the bounded buffer pool: evicted (and checkpointed)
+/// ValuePages live here as binary records, addressed by *spill slot*.
+///
+/// Records are variable length (TEXT payloads), so the file is managed as an
+/// append-heavy heap: each slot remembers its record's offset and capacity,
+/// and a rewrite reuses the slot's space in place when the new encoding fits,
+/// or relocates the record to the end of the file otherwise. Freed slots keep
+/// their reserved space and are recycled by AllocateSlot(), so steady-state
+/// workloads stop growing the file once page encodings stabilize.
+///
+/// With an empty `path` the backing file is an anonymous std::tmpfile() —
+/// deleted by the OS as soon as it is closed, so crash or exit leaves no
+/// artifact. A named path is created on first use and removed in the
+/// destructor; it exists only for debugging/inspection during a run.
+class SpillFile {
+ public:
+  static constexpr uint64_t kNoSlot = ~0ull;
+
+  explicit SpillFile(std::string path = "");
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Reserves a slot (recycling freed ones first).
+  uint64_t AllocateSlot();
+  /// Returns `slot` (and its reserved file space) to the free list.
+  void FreeSlot(uint64_t slot);
+
+  /// Serializes all 256 value slots of `page` into `slot`'s record.
+  /// Returns the encoded byte count (what a real pager would write).
+  uint64_t WritePage(uint64_t slot, const ValuePage& page);
+  /// Deserializes `slot`'s record into `page`'s value slots (header fields —
+  /// pin/dirty/owner — are untouched). Returns the byte count read.
+  /// The slot must have been written. Aborts on a corrupt record.
+  uint64_t ReadPage(uint64_t slot, ValuePage* page);
+
+  /// Physical size of the spill heap in bytes (high-water mark).
+  uint64_t heap_bytes() const { return end_offset_; }
+  /// Slots currently allocated (live records).
+  size_t live_slots() const { return slots_.size() - free_slots_.size(); }
+  const std::string& path() const { return path_; }
+
+  /// Binary page encoding, exposed for tests: tag byte per value
+  /// (0 NULL, 1 BOOL, 2 INT, 3 REAL, 4 TEXT, 5 ERROR) followed by the
+  /// payload (u8 / i64 LE / f64 / u32 length + bytes).
+  static void EncodePage(const ValuePage& page, std::string* out);
+  /// Returns false on a malformed buffer.
+  static bool DecodePage(const std::string& buf, ValuePage* page);
+
+ private:
+  struct Record {
+    uint64_t offset = 0;
+    uint32_t capacity = 0;  // reserved bytes at offset
+    uint32_t length = 0;    // live bytes; 0 = never written
+  };
+
+  std::FILE* EnsureOpen();
+
+  std::string path_;          // empty = anonymous tmpfile
+  std::FILE* file_ = nullptr;
+  std::vector<Record> slots_;
+  std::vector<uint64_t> free_slots_;
+  uint64_t end_offset_ = 0;
+  std::string scratch_;  // encode/decode buffer, reused across calls
+};
+
+}  // namespace storage
+}  // namespace dataspread
+
+#endif  // DATASPREAD_STORAGE_SPILL_FILE_H_

@@ -21,24 +21,26 @@ const char* StorageModelName(StorageModel model) {
   return "unknown";
 }
 
-TableStorage::TableStorage(storage::Pager* pager)
-    : owned_pager_(pager == nullptr ? std::make_unique<storage::Pager>()
+TableStorage::TableStorage(storage::Pager* pager,
+                           const storage::PagerConfig& config)
+    : owned_pager_(pager == nullptr ? std::make_unique<storage::Pager>(config)
                                     : nullptr),
       pager_(pager == nullptr ? owned_pager_.get() : pager),
       accountant_(pager_) {}
 
 std::unique_ptr<TableStorage> CreateStorage(StorageModel model,
                                             size_t num_columns,
-                                            storage::Pager* pager) {
+                                            storage::Pager* pager,
+                                            const storage::PagerConfig& config) {
   switch (model) {
     case StorageModel::kRow:
-      return std::make_unique<RowStore>(num_columns, pager);
+      return std::make_unique<RowStore>(num_columns, pager, config);
     case StorageModel::kColumn:
-      return std::make_unique<ColumnStore>(num_columns, pager);
+      return std::make_unique<ColumnStore>(num_columns, pager, config);
     case StorageModel::kRcv:
-      return std::make_unique<RcvStore>(num_columns, pager);
+      return std::make_unique<RcvStore>(num_columns, pager, config);
     case StorageModel::kHybrid:
-      return std::make_unique<HybridStore>(num_columns, pager);
+      return std::make_unique<HybridStore>(num_columns, pager, config);
   }
   return nullptr;
 }

@@ -35,7 +35,8 @@ const char* StorageModelName(StorageModel model);
 /// (page chain) per heap/column/attribute-group — so all I/O is visible to
 /// the pager's block-level accounting. A pager can be shared across tables
 /// (the Database wires one pool through its Catalog); a storage constructed
-/// without one owns a private pager.
+/// without one owns a private pager built from the supplied PagerConfig
+/// (pool cap + spill path), so even standalone tables can run bounded.
 ///
 /// Cell type discipline is enforced by the catalog (schema) layer; storage
 /// accepts any Value except errors.
@@ -76,7 +77,9 @@ class TableStorage {
   const storage::Pager& pager() const { return *pager_; }
 
  protected:
-  explicit TableStorage(storage::Pager* pager);
+  /// `config` shapes the private pager when `pager` is null; ignored for a
+  /// shared pool (whose owner configured it).
+  TableStorage(storage::Pager* pager, const storage::PagerConfig& config);
 
   Status CheckCell(size_t row, size_t col) const {
     if (row >= num_rows()) {
@@ -96,10 +99,10 @@ class TableStorage {
 };
 
 /// Creates an empty table with `num_columns` attributes in the given layout.
-/// If `pager` is null the storage owns a private one.
-std::unique_ptr<TableStorage> CreateStorage(StorageModel model,
-                                            size_t num_columns,
-                                            storage::Pager* pager = nullptr);
+/// If `pager` is null the storage owns a private one built from `config`.
+std::unique_ptr<TableStorage> CreateStorage(
+    StorageModel model, size_t num_columns, storage::Pager* pager = nullptr,
+    const storage::PagerConfig& config = {});
 
 }  // namespace dataspread
 

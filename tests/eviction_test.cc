@@ -1,0 +1,474 @@
+// The disk-backed half of the bounded buffer pool (DESIGN.md §"Bounded
+// buffer pool"): spill-file round trips, the fault path, eviction policy
+// invariants (pinned pages stay, the cap holds), FlushAll-as-checkpoint, and
+// a randomized shadow-model stress test. The headline acceptance check —
+// a million-row row-store scan under a 256-frame pool — is at the bottom.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "storage/pager.h"
+#include "storage/spill_file.h"
+#include "storage/table_storage.h"
+
+namespace dataspread {
+namespace {
+
+using storage::FileId;
+using storage::Pager;
+using storage::PagerConfig;
+using storage::SpillFile;
+using storage::ValuePage;
+
+constexpr uint64_t kSlots = Pager::kSlotsPerPage;
+
+PagerConfig Bounded(size_t cap) {
+  PagerConfig config;
+  config.max_resident_pages = cap;
+  return config;
+}
+
+/// A value whose type and payload are a deterministic function of its slot,
+/// mixing every serializable type (incl. TEXT of varying length and ERROR).
+Value ProbeValue(uint64_t seed) {
+  switch (seed % 6) {
+    case 0:
+      return Value::Int(static_cast<int64_t>(seed) * 31 - 7);
+    case 1:
+      return Value::Real(static_cast<double>(seed) / 3.0);
+    case 2:
+      return Value::Bool(seed % 2 == 0);
+    case 3:
+      return Value::Text(std::string(seed % 40, 'x') + std::to_string(seed));
+    case 4:
+      return Value::Null();
+    default:
+      return Value::Error("#E" + std::to_string(seed % 9) + "!");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpillFile: binary page serialization
+// ---------------------------------------------------------------------------
+
+TEST(SpillFileTest, EncodeDecodeRoundTripsEveryValueType) {
+  ValuePage page;
+  for (size_t i = 0; i < ValuePage::kSlotCount; ++i) {
+    page.slot(i) = ProbeValue(i);
+  }
+  std::string buf;
+  SpillFile::EncodePage(page, &buf);
+  ValuePage back;
+  ASSERT_TRUE(SpillFile::DecodePage(buf, &back));
+  for (size_t i = 0; i < ValuePage::kSlotCount; ++i) {
+    EXPECT_EQ(back.slot(i), page.slot(i)) << "slot " << i;
+    EXPECT_EQ(back.slot(i).type(), page.slot(i).type()) << "slot " << i;
+  }
+}
+
+TEST(SpillFileTest, DecodeRejectsTruncatedAndTrailingGarbage) {
+  ValuePage page;
+  page.slot(0) = Value::Text("payload");
+  std::string buf;
+  SpillFile::EncodePage(page, &buf);
+  ValuePage back;
+  std::string truncated = buf.substr(0, buf.size() - 1);
+  EXPECT_FALSE(SpillFile::DecodePage(truncated, &back));
+  std::string padded = buf + "zz";
+  EXPECT_FALSE(SpillFile::DecodePage(padded, &back));
+}
+
+TEST(SpillFileTest, SlotsRewriteInPlaceAndRecycle) {
+  SpillFile spill;
+  ValuePage page;
+  for (size_t i = 0; i < ValuePage::kSlotCount; ++i) {
+    page.slot(i) = Value::Int(static_cast<int64_t>(i));
+  }
+  uint64_t a = spill.AllocateSlot();
+  uint64_t bytes = spill.WritePage(a, page);
+  uint64_t heap_after_first = spill.heap_bytes();
+  // Fixed-width re-encodings reuse the reserved space: no heap growth.
+  EXPECT_EQ(spill.WritePage(a, page), bytes);
+  EXPECT_EQ(spill.heap_bytes(), heap_after_first);
+  ValuePage back;
+  spill.ReadPage(a, &back);
+  EXPECT_EQ(back.slot(255), Value::Int(255));
+  // Freed slots are recycled by the next allocation.
+  spill.FreeSlot(a);
+  EXPECT_EQ(spill.AllocateSlot(), a);
+  EXPECT_EQ(spill.live_slots(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault path: evicted pages come back bit-identical
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, FaultInRoundTripsThroughTheSpillFile) {
+  Pager pager(Bounded(2));
+  FileId f = pager.CreateFile();
+  constexpr uint64_t kPages = 6;
+  for (uint64_t s = 0; s < kPages * kSlots; ++s) {
+    pager.Write(f, s, ProbeValue(s));
+  }
+  // Writing 6 pages through a 2-frame pool must have evicted and spilled.
+  EXPECT_EQ(pager.resident_pages(), 2u);
+  EXPECT_GE(pager.stats().evictions, kPages - 2);
+  EXPECT_GT(pager.stats().spill_bytes_written, 0u);
+  EXPECT_EQ(pager.FilePages(f), kPages);  // logical chain is intact
+
+  for (uint64_t s = 0; s < kPages * kSlots; ++s) {
+    ASSERT_EQ(pager.Read(f, s), ProbeValue(s)) << "slot " << s;
+  }
+  EXPECT_GT(pager.stats().faults, 0u);
+  EXPECT_GT(pager.stats().spill_bytes_read, 0u);
+  EXPECT_EQ(pager.resident_pages(), 2u);
+}
+
+TEST(EvictionTest, DirtyWriteBackPreservesUpdatesAcrossEvictions) {
+  Pager pager(Bounded(2));
+  FileId f = pager.CreateFile();
+  pager.Write(f, 0, Value::Text("v1"));
+  // Push page 0 out, update it after fault-in, push it out again.
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t p = 1; p <= 4; ++p) pager.Write(f, p * kSlots, Value::Int(1));
+    ASSERT_FALSE(pager.IsResident(f, 0)) << "round " << round;
+    pager.Write(f, 0, Value::Text("v" + std::to_string(round + 2)));
+  }
+  for (uint64_t p = 1; p <= 4; ++p) pager.Write(f, p * kSlots, Value::Int(2));
+  EXPECT_FALSE(pager.IsResident(f, 0));
+  EXPECT_EQ(pager.Read(f, 0), Value::Text("v4"));
+}
+
+// Regression: Take() nulls a slot, which is a mutation. A clean-looking page
+// with an existing spill copy would skip write-back on eviction and the next
+// fault-in would resurrect the taken value from the stale record.
+TEST(EvictionTest, TakenValuesStayGoneAcrossEviction) {
+  Pager pager(Bounded(1));
+  FileId f = pager.CreateFile();
+  pager.Write(f, 0, Value::Text("moved out"));
+  pager.Write(f, kSlots, Value::Int(1));  // page 0 evicted dirty -> spilled
+  EXPECT_EQ(pager.Read(f, 0), Value::Text("moved out"));  // faults in clean
+  EXPECT_EQ(pager.Take(f, 0), Value::Text("moved out"));
+  pager.Write(f, kSlots, Value::Int(2));  // evicts page 0 again
+  ASSERT_FALSE(pager.IsResident(f, 0));
+  EXPECT_TRUE(pager.Read(f, 0).is_null())
+      << "taken value must not be resurrected from a stale spill copy";
+}
+
+TEST(EvictionTest, ReadRangeWiderThanThePoolFaultsPageByPage) {
+  Pager pager(Bounded(3));
+  FileId f = pager.CreateFile();
+  constexpr uint64_t kCount = 8 * kSlots;
+  for (uint64_t s = 0; s < kCount; ++s) {
+    pager.Write(f, s, Value::Int(static_cast<int64_t>(s)));
+  }
+  Row out;
+  pager.ReadRange(f, 0, kCount, &out);
+  ASSERT_EQ(out.size(), kCount);
+  for (uint64_t s = 0; s < kCount; ++s) {
+    ASSERT_EQ(out[s], Value::Int(static_cast<int64_t>(s))) << "slot " << s;
+  }
+  EXPECT_LE(pager.resident_pages(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction policy invariants
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, PinnedPagesAreNeverEvicted) {
+  Pager pager(Bounded(2));
+  FileId f = pager.CreateFile();
+  ValuePage* pinned = pager.Pin(f, 0);
+  pinned->slot(7) = Value::Text("pinned payload");
+  for (uint64_t p = 1; p <= 12; ++p) {
+    pager.Write(f, p * kSlots, Value::Int(static_cast<int64_t>(p)));
+    // The pinned frame survives every eviction round, in place.
+    ASSERT_TRUE(pager.IsResident(f, 0));
+    ASSERT_EQ(pinned->file(), f);
+    ASSERT_EQ(pinned->index_in_file(), 0u);
+    ASSERT_LE(pager.resident_pages(), 2u);
+  }
+  EXPECT_EQ(pinned->slot(7), Value::Text("pinned payload"));
+  pager.Unpin(pinned, /*dirtied=*/true);
+  // Unpinned now: the next pressure wave may evict it — and must preserve it.
+  for (uint64_t p = 1; p <= 4; ++p) {
+    pager.Write(f, p * kSlots, Value::Int(-1));
+  }
+  EXPECT_EQ(pager.Read(f, 7), Value::Text("pinned payload"));
+}
+
+TEST(EvictionTest, AllPinnedPoolOvershootsCapRatherThanEvict) {
+  Pager pager(Bounded(2));
+  FileId f = pager.CreateFile();
+  ValuePage* p0 = pager.Pin(f, 0);
+  ValuePage* p1 = pager.Pin(f, 1);
+  EXPECT_EQ(pager.resident_pages(), 2u);
+  // No unpinned victim exists; the pool must overshoot, not evict a pin.
+  pager.Write(f, 2 * kSlots, Value::Int(42));
+  EXPECT_EQ(pager.resident_pages(), 3u);
+  EXPECT_EQ(pager.pinned_pages(), 2u);
+  EXPECT_TRUE(pager.IsResident(f, 0));
+  EXPECT_TRUE(pager.IsResident(f, 1));
+  // Releasing the pins lets the overshoot drain at the next cap enforcement.
+  pager.Unpin(p0, false);
+  pager.Unpin(p1, false);
+  pager.set_max_resident_pages(2);
+  EXPECT_EQ(pager.resident_pages(), 2u);
+  EXPECT_EQ(pager.Read(f, 2 * kSlots), Value::Int(42));
+}
+
+TEST(EvictionTest, CapIsRespectedThroughoutWritesAndRandomReads) {
+  Pager pager(Bounded(4));
+  FileId f = pager.CreateFile();
+  constexpr uint64_t kPages = 20;
+  for (uint64_t s = 0; s < kPages * kSlots; ++s) {
+    pager.Write(f, s, ProbeValue(s * 13));
+    ASSERT_LE(pager.resident_pages(), 4u) << "during write of slot " << s;
+  }
+  std::mt19937 rng(71);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t s = rng() % (kPages * kSlots);
+    ASSERT_EQ(pager.Read(f, s), ProbeValue(s * 13)) << "slot " << s;
+    ASSERT_LE(pager.resident_pages(), 4u);
+  }
+}
+
+TEST(EvictionTest, ShrinkingTheCapEvictsImmediately) {
+  Pager pager(Bounded(0));  // start unbounded
+  FileId f = pager.CreateFile();
+  for (uint64_t p = 0; p < 10; ++p) {
+    pager.Write(f, p * kSlots, Value::Int(static_cast<int64_t>(p)));
+  }
+  EXPECT_EQ(pager.resident_pages(), 10u);
+  pager.set_max_resident_pages(3);
+  EXPECT_EQ(pager.resident_pages(), 3u);
+  EXPECT_GE(pager.stats().evictions, 7u);
+  for (uint64_t p = 0; p < 10; ++p) {
+    EXPECT_EQ(pager.Read(f, p * kSlots), Value::Int(static_cast<int64_t>(p)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlushAll is a real checkpoint
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, FlushAllCheckpointsExactlyTheDirtyPages) {
+  Pager pager;  // unbounded: flushing alone must create the spill backend
+  FileId f = pager.CreateFile();
+  for (uint64_t p = 0; p < 3; ++p) {
+    pager.Write(f, p * kSlots, ProbeValue(p));
+  }
+  (void)pager.Read(f, 0);  // reads don't dirty
+  EXPECT_EQ(pager.FlushAll(), 3u);
+  EXPECT_EQ(pager.stats().pages_flushed, 3u);
+  EXPECT_GT(pager.stats().spill_bytes_written, 0u);
+  EXPECT_EQ(pager.FlushAll(), 0u);  // everything clean now
+  // One more write dirties exactly one page again.
+  pager.Write(f, 5, Value::Int(9));
+  EXPECT_EQ(pager.FlushAll(), 1u);
+  EXPECT_EQ(pager.stats().pages_flushed, 4u);
+}
+
+TEST(EvictionTest, EvictingCheckpointedPagesWritesNothingAndReadsBack) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  for (uint64_t p = 0; p < 6; ++p) {
+    pager.Write(f, p * kSlots + 3, ProbeValue(p + 100));
+  }
+  ASSERT_EQ(pager.FlushAll(), 6u);
+  uint64_t spilled_at_checkpoint = pager.stats().spill_bytes_written;
+  // Clean, checkpointed pages evict without any further spill I/O.
+  pager.set_max_resident_pages(1);
+  EXPECT_EQ(pager.resident_pages(), 1u);
+  EXPECT_EQ(pager.stats().spill_bytes_written, spilled_at_checkpoint);
+  // Re-reading evicted pages after the flush yields the checkpointed data.
+  for (uint64_t p = 0; p < 6; ++p) {
+    EXPECT_EQ(pager.Read(f, p * kSlots + 3), ProbeValue(p + 100));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Truncate / drop release spill space; named spill files leave no artifacts
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, TruncateAndDropReleaseSpillSlots) {
+  Pager pager(Bounded(2));
+  FileId f = pager.CreateFile();
+  for (uint64_t s = 0; s < 6 * kSlots; ++s) {
+    pager.Write(f, s, Value::Int(static_cast<int64_t>(s)));
+  }
+  ASSERT_NE(pager.spill(), nullptr);
+  EXPECT_GE(pager.spill()->live_slots(), 4u);
+  pager.Truncate(f, kSlots / 2);
+  EXPECT_EQ(pager.FilePages(f), 1u);
+  EXPECT_LE(pager.spill()->live_slots(), 1u);
+  EXPECT_EQ(pager.Read(f, 0), Value::Int(0));
+  EXPECT_TRUE(pager.Read(f, kSlots / 2).is_null());
+  // Dropping the file returns every remaining slot.
+  pager.DropFile(f);
+  EXPECT_EQ(pager.spill()->live_slots(), 0u);
+}
+
+TEST(EvictionTest, TruncateBoundaryOnEvictedPageClearsItsSpillCopy) {
+  Pager pager(Bounded(2));
+  FileId f = pager.CreateFile();
+  for (uint64_t s = 0; s < 4 * kSlots; ++s) {
+    pager.Write(f, s, Value::Text("t" + std::to_string(s)));
+  }
+  ASSERT_FALSE(pager.IsResident(f, 0));  // boundary page is on disk
+  pager.Truncate(f, kSlots / 4);
+  // Evict the boundary page again; the cleared tail must stay cleared.
+  for (uint64_t p = 1; p <= 3; ++p) {
+    pager.Write(f, p * kSlots, Value::Int(1));
+  }
+  EXPECT_TRUE(pager.Read(f, kSlots / 4).is_null());
+  EXPECT_EQ(pager.Read(f, 0), Value::Text("t0"));
+}
+
+TEST(EvictionTest, NamedSpillFileIsRemovedWithThePager) {
+  std::string path = ::testing::TempDir() + "ds_eviction_spill_probe.bin";
+  {
+    PagerConfig config = Bounded(1);
+    config.spill_path = path;
+    Pager pager(config);
+    FileId f = pager.CreateFile();
+    pager.Write(f, 0, Value::Int(1));
+    pager.Write(f, kSlots, Value::Int(2));  // forces a spill
+    std::FILE* probe = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(probe, nullptr) << "spill file should exist while pager lives";
+    std::fclose(probe);
+    EXPECT_EQ(pager.Read(f, 0), Value::Int(1));
+  }
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(probe, nullptr) << "spill file must be cleaned up";
+  if (probe != nullptr) std::fclose(probe);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized shadow-model stress: writes/reads/truncates across files under
+// a tiny pool, every visible value checked against an in-memory shadow.
+// ---------------------------------------------------------------------------
+
+class EvictionShadowTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EvictionShadowTest, InterleavedOpsMatchShadowUnderTinyPool) {
+  std::mt19937 rng(GetParam());
+  Pager pager(Bounded(4));
+  constexpr int kFiles = 3;
+  constexpr uint64_t kMaxSlots = 12 * kSlots;  // 12 pages/file vs 4 frames
+  std::vector<FileId> files;
+  std::vector<std::vector<Value>> shadow(kFiles);
+  for (int i = 0; i < kFiles; ++i) files.push_back(pager.CreateFile());
+
+  for (int op = 0; op < 4000; ++op) {
+    int i = static_cast<int>(rng() % kFiles);
+    FileId f = files[i];
+    std::vector<Value>& sh = shadow[i];
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // write (grows the file like the pager does)
+        uint64_t slot = rng() % kMaxSlots;
+        Value v = ProbeValue(rng());
+        pager.Write(f, slot, v);
+        uint64_t capacity = ((slot / kSlots) + 1) * kSlots;
+        if (sh.size() < capacity) sh.resize(capacity, Value::Null());
+        sh[slot] = std::move(v);
+        break;
+      }
+      case 3:
+      case 4:
+      case 5: {  // read an addressable slot and compare
+        if (sh.empty()) break;
+        uint64_t slot = rng() % sh.size();
+        ASSERT_EQ(pager.Read(f, slot), sh[slot])
+            << "file " << i << " slot " << slot << " op " << op;
+        break;
+      }
+      case 6: {  // truncate to a random point, or move a value out
+        if (sh.empty()) break;
+        if (rng() % 8 == 0) {
+          uint64_t keep = rng() % (pager.FileSize(f) + 1);
+          pager.Truncate(f, keep);
+          uint64_t keep_capacity = (keep + kSlots - 1) / kSlots * kSlots;
+          sh.resize(keep_capacity);
+          for (uint64_t s = keep; s < sh.size(); ++s) sh[s] = Value::Null();
+        } else {
+          uint64_t slot = rng() % sh.size();
+          ASSERT_EQ(pager.Take(f, slot), sh[slot])
+              << "file " << i << " slot " << slot << " op " << op;
+          sh[slot] = Value::Null();
+        }
+        break;
+      }
+      default: {  // occasional checkpoint
+        if (rng() % 16 == 0) (void)pager.FlushAll();
+        break;
+      }
+    }
+    ASSERT_LE(pager.resident_pages(), 4u) << "op " << op;
+  }
+  // Full final sweep: every addressable slot equals the shadow.
+  for (int i = 0; i < kFiles; ++i) {
+    for (uint64_t s = 0; s < shadow[i].size(); ++s) {
+      ASSERT_EQ(pager.Read(files[i], s), shadow[i][s])
+          << "file " << i << " slot " << s;
+    }
+  }
+  EXPECT_GT(pager.stats().faults, 0u);
+  EXPECT_GT(pager.stats().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvictionShadowTest,
+                         ::testing::Values(11u, 1847u, 90210u));
+
+// ---------------------------------------------------------------------------
+// Acceptance: a million-row row-store scan under a 256-frame pool
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, MillionRowRowStoreScanUnderA256FramePool) {
+  constexpr size_t kRows = 1000000;
+  constexpr size_t kCap = 256;
+  auto store = CreateStorage(StorageModel::kRow, 2, nullptr, Bounded(kCap));
+  storage::Pager& pager = store->pager();
+  pager.set_accounting_enabled(false);
+  Row r(2);
+  for (size_t i = 0; i < kRows; ++i) {
+    r[0] = Value::Int(static_cast<int64_t>(i));
+    r[1] = Value::Int(static_cast<int64_t>(i) * 2);
+    ASSERT_TRUE(store->AppendRow(r).ok());
+    if (i % 65536 == 0) {
+      ASSERT_LE(pager.resident_pages(), kCap) << "during load, row " << i;
+    }
+  }
+  // ~7813 pages of data behind at most 256 frames.
+  EXPECT_LE(pager.resident_pages(), kCap);
+  EXPECT_GT(pager.stats().evictions, 0u);
+
+  pager.set_accounting_enabled(true);
+  pager.BeginEpoch();
+  uint64_t faults_before = pager.stats().faults;
+  int64_t sum = 0;
+  for (size_t i = 0; i < kRows; ++i) {
+    Row row = store->GetRow(i).ValueOrDie();
+    ASSERT_EQ(row[0], Value::Int(static_cast<int64_t>(i)));
+    sum += row[1].int_value();
+    if (i % 65536 == 0) {
+      ASSERT_LE(pager.resident_pages(), kCap) << "during scan, row " << i;
+    }
+  }
+  EXPECT_EQ(sum, static_cast<int64_t>(kRows) * (static_cast<int64_t>(kRows) - 1));
+  EXPECT_LE(pager.resident_pages(), kCap);
+  // The scan touched every page, but only 256 frames ever lived in memory:
+  // the cold ones were genuinely faulted from the spill file.
+  constexpr size_t kDataPages = (kRows * 2 + kSlots - 1) / kSlots;
+  EXPECT_EQ(pager.EpochPagesRead(), kDataPages);
+  EXPECT_GE(pager.stats().faults - faults_before, kDataPages - kCap);
+  EXPECT_GT(pager.stats().spill_bytes_read, 0u);
+}
+
+}  // namespace
+}  // namespace dataspread

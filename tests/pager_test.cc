@@ -172,6 +172,46 @@ TEST(PagerTest, ClockVictimNullOnEmptyPager) {
   EXPECT_EQ(pager.ClockVictim(), nullptr);
 }
 
+// Regression: an all-pinned pool must terminate with nullptr — never spin
+// forever clearing reference bits, never hand out a pinned frame.
+TEST(PagerTest, ClockVictimNullWhenEveryFrameIsPinned) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  std::vector<ValuePage*> pins;
+  for (uint64_t p = 0; p < 5; ++p) pins.push_back(pager.Pin(f, p));
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_EQ(pager.ClockVictim(), nullptr) << "attempt " << attempt;
+  }
+  // Free frames mixed in (from a dropped file) change nothing: they are
+  // skipped, pinned frames are skipped, and the sweep still terminates.
+  FileId g = pager.CreateFile();
+  pager.Write(g, 0, Value::Int(1));
+  pager.DropFile(g);
+  EXPECT_EQ(pager.ClockVictim(), nullptr);
+  for (ValuePage* p : pins) pager.Unpin(p, false);
+}
+
+// Regression: with pinned frames interleaved around the clock hand, a full
+// sweep (plus the reference-clearing revolution) lands on the sole unpinned
+// page — and keeps doing so on every subsequent call, for any hand position.
+TEST(PagerTest, ClockVictimSkipsPinnedFramesAcrossFullSweeps) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  ValuePage* p0 = pager.Pin(f, 0);
+  pager.Write(f, 1 * Pager::kSlotsPerPage, Value::Int(1));  // page 1: unpinned
+  ValuePage* p2 = pager.Pin(f, 2);
+  for (int call = 0; call < 8; ++call) {
+    ValuePage* victim = pager.ClockVictim();
+    ASSERT_NE(victim, nullptr) << "call " << call;
+    EXPECT_EQ(victim->index_in_file(), 1u) << "call " << call;
+    EXPECT_EQ(victim->pin_count(), 0u) << "call " << call;
+    // Re-reference the page so the next call must sweep past the pins again.
+    (void)pager.Read(f, 1 * Pager::kSlotsPerPage);
+  }
+  pager.Unpin(p0, false);
+  pager.Unpin(p2, false);
+}
+
 // ---------------------------------------------------------------------------
 // Truncation and frame reuse
 // ---------------------------------------------------------------------------

@@ -290,5 +290,104 @@ TEST_P(CsvRoundTripTest, RandomRowsSurviveRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripTest,
                          ::testing::Values(2u, 22u, 222u, 2222u));
 
+// ---------------------------------------------------------------------------
+// Invariant 6: the buffer-pool size is invisible. The same workload run under
+// an unbounded pool, a comfortable cap, and a pathologically tiny cap must
+// leave byte-identical visible contents — eviction may only move pages, never
+// change what callers read.
+// ---------------------------------------------------------------------------
+
+class EvictionTransparencyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EvictionTransparencyTest, PoolSizeNeverChangesVisibleContents) {
+  using storage::FileId;
+  using storage::Pager;
+  using storage::PagerConfig;
+  constexpr uint64_t kSlotsPerPage = Pager::kSlotsPerPage;
+  constexpr size_t kPoolSizes[] = {0, 64, 4};  // unbounded, roomy, tiny
+  constexpr int kFiles = 2;
+  constexpr uint64_t kMaxSlots = 10 * kSlotsPerPage;
+
+  // One deterministic op tape, replayed against every pool size.
+  struct Op {
+    int kind;  // 0 write, 1 truncate, 2 flush
+    int file;
+    uint64_t slot;
+    Value value;
+  };
+  std::vector<Op> tape;
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 1500; ++i) {
+    Op op;
+    uint32_t k = rng() % 16;
+    op.kind = k < 12 ? 0 : (k < 14 ? 1 : 2);
+    op.file = static_cast<int>(rng() % kFiles);
+    op.slot = rng() % kMaxSlots;
+    switch (rng() % 4) {
+      case 0:
+        op.value = Value::Int(static_cast<int64_t>(rng()));
+        break;
+      case 1:
+        op.value = Value::Text("s" + std::to_string(rng() % 512));
+        break;
+      case 2:
+        op.value = Value::Real(static_cast<double>(rng()) / 17.0);
+        break;
+      default:
+        op.value = Value::Null();
+    }
+    tape.push_back(std::move(op));
+  }
+
+  // Visible contents of every file after replaying the tape on `cap`.
+  auto replay = [&](size_t cap) {
+    PagerConfig config;
+    config.max_resident_pages = cap;
+    Pager pager(config);
+    std::vector<FileId> files;
+    for (int i = 0; i < kFiles; ++i) files.push_back(pager.CreateFile());
+    for (const Op& op : tape) {
+      FileId f = files[op.file];
+      if (op.kind == 0) {
+        pager.Write(f, op.slot, op.value);
+      } else if (op.kind == 1) {
+        uint64_t size = pager.FileSize(f);
+        if (size > 0) pager.Truncate(f, op.slot % size);
+      } else {
+        (void)pager.FlushAll();
+      }
+      if (cap > 0) {
+        EXPECT_LE(pager.resident_pages(), cap);
+      }
+    }
+    std::vector<std::vector<Value>> contents(kFiles);
+    for (int i = 0; i < kFiles; ++i) {
+      uint64_t capacity = pager.FilePages(files[i]) * kSlotsPerPage;
+      for (uint64_t s = 0; s < capacity; ++s) {
+        contents[i].push_back(pager.Read(files[i], s));
+      }
+    }
+    return contents;
+  };
+
+  auto reference = replay(kPoolSizes[0]);
+  for (size_t p = 1; p < 3; ++p) {
+    auto bounded = replay(kPoolSizes[p]);
+    for (int i = 0; i < kFiles; ++i) {
+      ASSERT_EQ(bounded[i].size(), reference[i].size())
+          << "pool " << kPoolSizes[p] << " file " << i;
+      for (size_t s = 0; s < reference[i].size(); ++s) {
+        ASSERT_EQ(bounded[i][s], reference[i][s])
+            << "pool " << kPoolSizes[p] << " file " << i << " slot " << s;
+        ASSERT_EQ(bounded[i][s].type(), reference[i][s].type())
+            << "pool " << kPoolSizes[p] << " file " << i << " slot " << s;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvictionTransparencyTest,
+                         ::testing::Values(7u, 77u, 7777u));
+
 }  // namespace
 }  // namespace dataspread
