@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_dbsql.dir/bench/bench_fig2a_dbsql.cc.o"
+  "CMakeFiles/bench_fig2a_dbsql.dir/bench/bench_fig2a_dbsql.cc.o.d"
+  "bench_fig2a_dbsql"
+  "bench_fig2a_dbsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_dbsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_import_export.dir/bench/bench_fig2b_import_export.cc.o"
+  "CMakeFiles/bench_fig2b_import_export.dir/bench/bench_fig2b_import_export.cc.o.d"
+  "bench_fig2b_import_export"
+  "bench_fig2b_import_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_import_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2b_import_export.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_sync.dir/bench/bench_fig2c_sync.cc.o"
+  "CMakeFiles/bench_fig2c_sync.dir/bench/bench_fig2c_sync.cc.o.d"
+  "bench_fig2c_sync"
+  "bench_fig2c_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

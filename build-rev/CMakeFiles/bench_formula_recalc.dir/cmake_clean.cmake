@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_formula_recalc.dir/bench/bench_formula_recalc.cc.o"
+  "CMakeFiles/bench_formula_recalc.dir/bench/bench_formula_recalc.cc.o.d"
+  "bench_formula_recalc"
+  "bench_formula_recalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formula_recalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interface_storage.dir/bench/bench_interface_storage.cc.o"
+  "CMakeFiles/bench_interface_storage.dir/bench/bench_interface_storage.cc.o.d"
+  "bench_interface_storage"
+  "bench_interface_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interface_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

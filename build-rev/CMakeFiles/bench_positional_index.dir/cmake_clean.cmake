@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_positional_index.dir/bench/bench_positional_index.cc.o"
+  "CMakeFiles/bench_positional_index.dir/bench/bench_positional_index.cc.o.d"
+  "bench_positional_index"
+  "bench_positional_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_positional_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

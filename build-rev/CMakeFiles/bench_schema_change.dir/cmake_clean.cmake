@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schema_change.dir/bench/bench_schema_change.cc.o"
+  "CMakeFiles/bench_schema_change.dir/bench/bench_schema_change.cc.o.d"
+  "bench_schema_change"
+  "bench_schema_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

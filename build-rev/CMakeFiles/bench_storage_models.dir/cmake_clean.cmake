@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_models.dir/bench/bench_storage_models.cc.o"
+  "CMakeFiles/bench_storage_models.dir/bench/bench_storage_models.cc.o.d"
+  "bench_storage_models"
+  "bench_storage_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_scroll.dir/bench/bench_window_scroll.cc.o"
+  "CMakeFiles/bench_window_scroll.dir/bench/bench_window_scroll.cc.o.d"
+  "bench_window_scroll"
+  "bench_window_scroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_scroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binding_sync_test.dir/tests/binding_sync_test.cc.o"
+  "CMakeFiles/binding_sync_test.dir/tests/binding_sync_test.cc.o.d"
+  "binding_sync_test"
+  "binding_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binding_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

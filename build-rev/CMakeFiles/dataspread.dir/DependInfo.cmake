@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "CMakeFiles/dataspread.dir/src/catalog/catalog.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "CMakeFiles/dataspread.dir/src/catalog/schema.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "CMakeFiles/dataspread.dir/src/catalog/table.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/catalog/table.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/dataspread.dir/src/common/status.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "CMakeFiles/dataspread.dir/src/common/str_util.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/common/str_util.cc.o.d"
+  "/root/repo/src/core/binding.cc" "CMakeFiles/dataspread.dir/src/core/binding.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/core/binding.cc.o.d"
+  "/root/repo/src/core/dataspread.cc" "CMakeFiles/dataspread.dir/src/core/dataspread.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/core/dataspread.cc.o.d"
+  "/root/repo/src/core/interface_manager.cc" "CMakeFiles/dataspread.dir/src/core/interface_manager.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/core/interface_manager.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "CMakeFiles/dataspread.dir/src/core/scheduler.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/core/scheduler.cc.o.d"
+  "/root/repo/src/core/schema_infer.cc" "CMakeFiles/dataspread.dir/src/core/schema_infer.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/core/schema_infer.cc.o.d"
+  "/root/repo/src/core/window_manager.cc" "CMakeFiles/dataspread.dir/src/core/window_manager.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/core/window_manager.cc.o.d"
+  "/root/repo/src/db/database.cc" "CMakeFiles/dataspread.dir/src/db/database.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/db/database.cc.o.d"
+  "/root/repo/src/exec/aggregates.cc" "CMakeFiles/dataspread.dir/src/exec/aggregates.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/exec/aggregates.cc.o.d"
+  "/root/repo/src/exec/binder.cc" "CMakeFiles/dataspread.dir/src/exec/binder.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/exec/binder.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "CMakeFiles/dataspread.dir/src/exec/expr_eval.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/exec/expr_eval.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "CMakeFiles/dataspread.dir/src/exec/operators.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/exec/operators.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "CMakeFiles/dataspread.dir/src/exec/planner.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/exec/planner.cc.o.d"
+  "/root/repo/src/formula/engine.cc" "CMakeFiles/dataspread.dir/src/formula/engine.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/formula/engine.cc.o.d"
+  "/root/repo/src/formula/formula_ast.cc" "CMakeFiles/dataspread.dir/src/formula/formula_ast.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/formula/formula_ast.cc.o.d"
+  "/root/repo/src/formula/formula_lexer.cc" "CMakeFiles/dataspread.dir/src/formula/formula_lexer.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/formula/formula_lexer.cc.o.d"
+  "/root/repo/src/formula/formula_parser.cc" "CMakeFiles/dataspread.dir/src/formula/formula_parser.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/formula/formula_parser.cc.o.d"
+  "/root/repo/src/formula/functions.cc" "CMakeFiles/dataspread.dir/src/formula/functions.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/formula/functions.cc.o.d"
+  "/root/repo/src/index/grid_index.cc" "CMakeFiles/dataspread.dir/src/index/grid_index.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/index/grid_index.cc.o.d"
+  "/root/repo/src/index/offset_array.cc" "CMakeFiles/dataspread.dir/src/index/offset_array.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/index/offset_array.cc.o.d"
+  "/root/repo/src/index/positional_index.cc" "CMakeFiles/dataspread.dir/src/index/positional_index.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/index/positional_index.cc.o.d"
+  "/root/repo/src/io/csv.cc" "CMakeFiles/dataspread.dir/src/io/csv.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/io/csv.cc.o.d"
+  "/root/repo/src/sheet/address.cc" "CMakeFiles/dataspread.dir/src/sheet/address.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/sheet/address.cc.o.d"
+  "/root/repo/src/sheet/sheet.cc" "CMakeFiles/dataspread.dir/src/sheet/sheet.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/sheet/sheet.cc.o.d"
+  "/root/repo/src/sheet/workbook.cc" "CMakeFiles/dataspread.dir/src/sheet/workbook.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/sheet/workbook.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "CMakeFiles/dataspread.dir/src/sql/ast.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "CMakeFiles/dataspread.dir/src/sql/lexer.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "CMakeFiles/dataspread.dir/src/sql/parser.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/sql/parser.cc.o.d"
+  "/root/repo/src/storage/column_store.cc" "CMakeFiles/dataspread.dir/src/storage/column_store.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/storage/column_store.cc.o.d"
+  "/root/repo/src/storage/hybrid_store.cc" "CMakeFiles/dataspread.dir/src/storage/hybrid_store.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/storage/hybrid_store.cc.o.d"
+  "/root/repo/src/storage/page.cc" "CMakeFiles/dataspread.dir/src/storage/page.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/storage/page.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "CMakeFiles/dataspread.dir/src/storage/pager.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/storage/pager.cc.o.d"
+  "/root/repo/src/storage/rcv_store.cc" "CMakeFiles/dataspread.dir/src/storage/rcv_store.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/storage/rcv_store.cc.o.d"
+  "/root/repo/src/storage/row_store.cc" "CMakeFiles/dataspread.dir/src/storage/row_store.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/storage/row_store.cc.o.d"
+  "/root/repo/src/storage/spill_file.cc" "CMakeFiles/dataspread.dir/src/storage/spill_file.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/storage/spill_file.cc.o.d"
+  "/root/repo/src/storage/table_storage.cc" "CMakeFiles/dataspread.dir/src/storage/table_storage.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/storage/table_storage.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "CMakeFiles/dataspread.dir/src/types/data_type.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/types/data_type.cc.o.d"
+  "/root/repo/src/types/value.cc" "CMakeFiles/dataspread.dir/src/types/value.cc.o" "gcc" "CMakeFiles/dataspread.dir/src/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

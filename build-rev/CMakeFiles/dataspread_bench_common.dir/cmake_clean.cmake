@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataspread_bench_common.dir/bench/workloads.cc.o"
+  "CMakeFiles/dataspread_bench_common.dir/bench/workloads.cc.o.d"
+  "libdataspread_bench_common.a"
+  "libdataspread_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataspread_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

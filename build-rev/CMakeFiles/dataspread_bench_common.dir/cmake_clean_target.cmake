@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdataspread_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsql_test.dir/tests/dbsql_test.cc.o"
+  "CMakeFiles/dbsql_test.dir/tests/dbsql_test.cc.o.d"
+  "dbsql_test"
+  "dbsql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbsql_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gradebook.dir/examples/gradebook.cpp.o"
+  "CMakeFiles/example_gradebook.dir/examples/gradebook.cpp.o.d"
+  "example_gradebook"
+  "example_gradebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gradebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

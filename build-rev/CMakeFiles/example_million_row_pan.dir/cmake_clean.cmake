@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_million_row_pan.dir/examples/million_row_pan.cpp.o"
+  "CMakeFiles/example_million_row_pan.dir/examples/million_row_pan.cpp.o.d"
+  "example_million_row_pan"
+  "example_million_row_pan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_million_row_pan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_million_row_pan.
+# This may be replaced when dependencies are built.

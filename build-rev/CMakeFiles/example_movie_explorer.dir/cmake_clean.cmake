@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_movie_explorer.dir/examples/movie_explorer.cpp.o"
+  "CMakeFiles/example_movie_explorer.dir/examples/movie_explorer.cpp.o.d"
+  "example_movie_explorer"
+  "example_movie_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_movie_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sync_dashboard.dir/examples/sync_dashboard.cpp.o"
+  "CMakeFiles/example_sync_dashboard.dir/examples/sync_dashboard.cpp.o.d"
+  "example_sync_dashboard"
+  "example_sync_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sync_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pager_test.dir/tests/pager_test.cc.o"
+  "CMakeFiles/pager_test.dir/tests/pager_test.cc.o.d"
+  "pager_test"
+  "pager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

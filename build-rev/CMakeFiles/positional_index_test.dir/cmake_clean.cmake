@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/positional_index_test.dir/tests/positional_index_test.cc.o"
+  "CMakeFiles/positional_index_test.dir/tests/positional_index_test.cc.o.d"
+  "positional_index_test"
+  "positional_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/positional_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_infer_test.dir/tests/schema_infer_test.cc.o"
+  "CMakeFiles/schema_infer_test.dir/tests/schema_infer_test.cc.o.d"
+  "schema_infer_test"
+  "schema_infer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_infer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

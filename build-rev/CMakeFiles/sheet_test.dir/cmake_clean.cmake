@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sheet_test.dir/tests/sheet_test.cc.o"
+  "CMakeFiles/sheet_test.dir/tests/sheet_test.cc.o.d"
+  "sheet_test"
+  "sheet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sheet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
