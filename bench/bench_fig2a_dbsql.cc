@@ -38,6 +38,7 @@ void BM_Fig2a_DbsqlJoinWithRangeValue(benchmark::State& state) {
   // pager pool (all three relations draw from it).
   storage::Pager& pager = ds.db().pager();
   pager.BeginEpoch();
+  storage::PagerStats before = pager.stats();
   (void)ds.SetCellAt(sheet, 2, 1, formula);
   ds.Pump();
   state.counters["pages_read"] = static_cast<double>(pager.EpochPagesRead());
@@ -47,7 +48,7 @@ void BM_Fig2a_DbsqlJoinWithRangeValue(benchmark::State& state) {
       static_cast<double>(pager.resident_pages());
   ReportPoolCountersAndJson(
       state, pager, "fig2a_dbsql",
-      "DbsqlJoinWithRangeValue/" + std::to_string(movies),
+      "DbsqlJoinWithRangeValue/" + std::to_string(movies), before,
       {{"pages_read", state.counters["pages_read"]},
        {"pages_written", state.counters["pages_written"]},
        {"resident_pages", state.counters["resident_pages"]}});

@@ -37,6 +37,7 @@ void RunAddColumn(benchmark::State& state, StorageModel model,
   storage::Pager& pager = s->pager();
   pager.set_accounting_enabled(true);
   pager.BeginEpoch();
+  storage::PagerStats before = pager.stats();
   (void)s->AddColumn(Value::Int(0));
   state.counters["dirty_blocks"] =
       static_cast<double>(pager.EpochPagesWritten());
@@ -50,6 +51,7 @@ void RunAddColumn(benchmark::State& state, StorageModel model,
           (pager.max_resident_pages() > 0
                ? "/pool" + std::to_string(pager.max_resident_pages())
                : ""),
+      before,
       {{"dirty_blocks", state.counters["dirty_blocks"]},
        {"pages_read", state.counters["pages_read"]},
        {"resident_pages", state.counters["resident_pages"]}});
@@ -154,6 +156,7 @@ void BM_SchemaChange_SqlAlterTable(benchmark::State& state) {
   // Whole-database pager view of one ALTER TABLE: all tables share the pool.
   storage::Pager& pager = ds.db().pager();
   pager.BeginEpoch();
+  storage::PagerStats before = pager.stats();
   (void)ds.Sql("ALTER TABLE t ADD COLUMN extra_probe INT DEFAULT 0");
   state.counters["dirty_blocks"] =
       static_cast<double>(pager.EpochPagesWritten());
@@ -161,7 +164,7 @@ void BM_SchemaChange_SqlAlterTable(benchmark::State& state) {
       static_cast<double>(pager.resident_pages());
   ReportPoolCountersAndJson(
       state, pager, "schema_change",
-      "SqlAlterTable/hybrid/" + std::to_string(rows),
+      "SqlAlterTable/hybrid/" + std::to_string(rows), before,
       {{"dirty_blocks", state.counters["dirty_blocks"]},
        {"resident_pages", state.counters["resident_pages"]}});
   state.SetLabel(std::to_string(rows) + " rows (hybrid via SQL)");

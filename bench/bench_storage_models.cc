@@ -8,8 +8,11 @@
 // (see AppendBenchJsonLine).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <functional>
 #include <random>
+#include <vector>
 
 #include "storage/table_storage.h"
 #include "workloads.h"
@@ -37,45 +40,56 @@ std::unique_ptr<TableStorage> MakeLoaded(StorageModel model, size_t rows,
 
 /// Reports the pager-measured block I/O of one `op` (run outside the timing
 /// loop with accounting re-enabled), the table's resident page footprint,
-/// and the physical fault/eviction/spill traffic of the whole run; also
-/// appends the JSON trajectory line for this bench run.
+/// the measured op's buffer-pool hit rate, and the physical fault/eviction/
+/// spill traffic of the whole run; also appends the JSON trajectory line for
+/// this bench run.
 void ReportPagerCounters(benchmark::State& state, const std::string& run,
                          TableStorage& s, const std::function<void()>& op) {
   storage::Pager& pager = s.pager();
   pager.set_accounting_enabled(true);
   pager.BeginEpoch();
+  storage::PagerStats before = pager.stats();
+  auto op_start = std::chrono::steady_clock::now();
   op();
+  state.counters["op_ms"] =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - op_start)
+          .count();
   state.counters["pages_read"] = static_cast<double>(pager.EpochPagesRead());
   state.counters["pages_written"] =
       static_cast<double>(pager.EpochPagesWritten());
   state.counters["resident_pages"] =
       static_cast<double>(pager.resident_pages());
   bench::ReportPoolCountersAndJson(
-      state, pager, "storage_models", run,
+      state, pager, "storage_models", run, before,
       {{"pages_read", state.counters["pages_read"]},
        {"pages_written", state.counters["pages_written"]},
-       {"resident_pages", state.counters["resident_pages"]}});
+       {"resident_pages", state.counters["resident_pages"]},
+       {"op_ms", state.counters["op_ms"]}});
+}
+
+/// Full scan through the zero-materialization VisitRows (PageCursor) path:
+/// tuples are consumed straight out of the pinned pages, no Row per tuple.
+int64_t ScanAll(TableStorage& s, size_t rows) {
+  int64_t sum = 0;
+  (void)s.VisitRows(0, rows, [&sum](size_t, const Value* values) {
+    sum += values[0].int_value();
+  });
+  return sum;
 }
 
 void RunScan(benchmark::State& state, StorageModel model) {
   size_t rows = static_cast<size_t>(state.range(0));
   auto s = MakeLoaded(model, rows);
   for (auto _ : state) {
-    int64_t sum = 0;
-    for (size_t i = 0; i < rows; ++i) {
-      Row r = s->GetRow(i).ValueOrDie();
-      sum += r[0].int_value();
-    }
-    benchmark::DoNotOptimize(sum);
+    benchmark::DoNotOptimize(ScanAll(*s, rows));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
   ReportPagerCounters(
       state,
       "FullScan/" + std::string(StorageModelName(model)) + "/" +
           std::to_string(rows),
-      *s, [&] {
-        for (size_t i = 0; i < rows; ++i) (void)s->GetRow(i);
-      });
+      *s, [&] { benchmark::DoNotOptimize(ScanAll(*s, rows)); });
   state.SetLabel(StorageModelName(model));
 }
 
@@ -87,12 +101,7 @@ void RunBoundedScan(benchmark::State& state, StorageModel model) {
   size_t pool = static_cast<size_t>(state.range(1));
   auto s = MakeLoaded(model, rows, pool);
   for (auto _ : state) {
-    int64_t sum = 0;
-    for (size_t i = 0; i < rows; ++i) {
-      Row r = s->GetRow(i).ValueOrDie();
-      sum += r[0].int_value();
-    }
-    benchmark::DoNotOptimize(sum);
+    benchmark::DoNotOptimize(ScanAll(*s, rows));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
   // The run key records the cap actually applied (DS_MAX_RESIDENT_PAGES
@@ -102,9 +111,7 @@ void RunBoundedScan(benchmark::State& state, StorageModel model) {
       "BoundedFullScan/" + std::string(StorageModelName(model)) + "/" +
           std::to_string(rows) + "/pool" +
           std::to_string(s->pager().max_resident_pages()),
-      *s, [&] {
-        for (size_t i = 0; i < rows; ++i) (void)s->GetRow(i);
-      });
+      *s, [&] { benchmark::DoNotOptimize(ScanAll(*s, rows)); });
   state.SetLabel(std::string(StorageModelName(model)) + ", pool=" +
                  std::to_string(s->pager().max_resident_pages()));
 }
@@ -201,6 +208,37 @@ BENCHMARK(BM_Storage_BoundedFullScan_Row)
     ->Args({1000000, 256})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Storage_BoundedFullScan_Hybrid)
+    ->Args({1000000, 256})
+    ->Unit(benchmark::kMillisecond);
+
+// The legacy row-at-a-time path (GetRow per row: one chain hash lookup per
+// tuple, no cursor, no readahead hint) over the same bounded table — kept so
+// every BENCH_storage_models.json snapshot records the cursor path's
+// wall-time and fault win against it.
+void BM_Storage_BoundedFullScanRowAtATime_Row(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  size_t pool = static_cast<size_t>(state.range(1));
+  auto s = MakeLoaded(StorageModel::kRow, rows, pool);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      Row r = s->GetRow(i).ValueOrDie();
+      sum += r[0].int_value();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+  ReportPagerCounters(
+      state,
+      "BoundedFullScanRowAtATime/row/" + std::to_string(rows) + "/pool" +
+          std::to_string(s->pager().max_resident_pages()),
+      *s, [&] {
+        for (size_t i = 0; i < rows; ++i) (void)s->GetRow(i);
+      });
+  state.SetLabel("row (GetRow loop), pool=" +
+                 std::to_string(s->pager().max_resident_pages()));
+}
+BENCHMARK(BM_Storage_BoundedFullScanRowAtATime_Row)
     ->Args({1000000, 256})
     ->Unit(benchmark::kMillisecond);
 

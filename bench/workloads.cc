@@ -109,22 +109,38 @@ void AppendBenchJsonLine(
   registry.Record(bench, run, std::move(line));
 }
 
+double HitRate(const storage::PagerStats& before,
+               const storage::PagerStats& after) {
+  double accesses =
+      static_cast<double>((after.slot_reads - before.slot_reads) +
+                          (after.slot_writes - before.slot_writes));
+  if (accesses <= 0) return 1.0;
+  double faults = static_cast<double>(after.faults - before.faults);
+  double served = accesses - faults;
+  return served > 0 ? served / accesses : 0.0;
+}
+
 void ReportPoolCountersAndJson(
     benchmark::State& state, storage::Pager& pager, const std::string& bench,
-    const std::string& run,
+    const std::string& run, const storage::PagerStats& before,
     std::vector<std::pair<std::string, double>> fields) {
   const storage::PagerStats& stats = pager.stats();
   state.counters["faults"] = static_cast<double>(stats.faults);
+  state.counters["readaheads"] = static_cast<double>(stats.readaheads);
   state.counters["evictions"] = static_cast<double>(stats.evictions);
   state.counters["spill_bytes"] =
       static_cast<double>(stats.spill_bytes_written + stats.spill_bytes_read);
+  state.counters["hit_rate"] = HitRate(before, stats);
   fields.insert(
       fields.begin(),
       {{"iterations", static_cast<double>(state.iterations())},
        {"pool", static_cast<double>(pager.max_resident_pages())},
        {"faults", state.counters["faults"]},
+       {"readaheads", state.counters["readaheads"]},
        {"evictions", state.counters["evictions"]},
-       {"spill_bytes", state.counters["spill_bytes"]}});
+       {"scan_evictions", static_cast<double>(stats.scan_evictions)},
+       {"spill_bytes", state.counters["spill_bytes"]},
+       {"hit_rate", state.counters["hit_rate"]}});
   AppendBenchJsonLine(bench, run, fields);
 }
 

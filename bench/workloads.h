@@ -30,14 +30,22 @@ void AppendBenchJsonLine(
     const std::string& bench, const std::string& run,
     const std::vector<std::pair<std::string, double>>& fields);
 
+/// Fraction of slot accesses (reads + writes) served without a demand page
+/// fault between two PagerStats snapshots — the buffer-pool hit rate of the
+/// measured window. 1.0 when the window had no slot accesses.
+double HitRate(const storage::PagerStats& before,
+               const storage::PagerStats& after);
+
 /// The shared tail of every pager-reporting bench: sets the physical
-/// buffer-pool counters (faults / evictions / spill_bytes) on `state` and
-/// appends the JSON trajectory line carrying them plus `iterations`, the
-/// applied pool cap, and the bench-specific `fields` (dirty_blocks,
+/// buffer-pool counters (faults / readaheads / evictions / spill_bytes) on
+/// `state` and appends the JSON trajectory line carrying them plus
+/// `iterations`, the applied pool cap, the measured window's `hit_rate`
+/// (computed against the `before` stats snapshot the caller took at the top
+/// of its measured op), and the bench-specific `fields` (dirty_blocks,
 /// pages_read, ... — already set as state counters by the caller).
 void ReportPoolCountersAndJson(
     benchmark::State& state, storage::Pager& pager, const std::string& bench,
-    const std::string& run,
+    const std::string& run, const storage::PagerStats& before,
     std::vector<std::pair<std::string, double>> fields);
 
 /// Deterministic synthetic stand-in for the demo's IMDB-style data

@@ -41,6 +41,48 @@ else
   echo "ci/check.sh: bench binaries not built; skipping bounded-pool bench smoke"
 fi
 
+# ---------------------------------------------------------------------------
+# Perf smoke: the mixed scan + hot-point workload behind a 64-frame pool.
+# Guards the scan-resistant eviction policy against regressions two ways:
+#   1. the scan-resistant run's hot-set faults must stay within a recorded
+#      budget (measured ~0-30 at 64 frames; the clock-only baseline sits
+#      around 1600), and
+#   2. the clock-only baseline must show >= 2x the scan-resistant hot
+#      faults, so the A/B itself keeps proving the policy win.
+# ---------------------------------------------------------------------------
+HOT_FAULTS_BUDGET=200
+
+if [[ -x "${BUILD_DIR}/bench_mixed_workload" ]]; then
+  DS_SPILL_DIR="${SMOKE_DIR}" DS_BENCH_JSON_DIR="${SMOKE_DIR}" \
+    "${BUILD_DIR}/bench_mixed_workload" \
+    --benchmark_filter='BM_Mixed_ScanWithHotLookups_Row_(Clock|ScanResistant)' \
+    --benchmark_min_time=0.02
+
+  scanres_faults="$(sed -n 's/.*"run":"[^"]*\/scanres".*"hot_faults":\([0-9]*\).*/\1/p' \
+    "${SMOKE_DIR}/BENCH_mixed_workload.json" | head -n1)"
+  clock_faults="$(sed -n 's/.*"run":"[^"]*\/clock".*"hot_faults":\([0-9]*\).*/\1/p' \
+    "${SMOKE_DIR}/BENCH_mixed_workload.json" | head -n1)"
+  if [[ -z "${scanres_faults}" || -z "${clock_faults}" ]]; then
+    echo "ci/check.sh: could not parse hot_faults from BENCH_mixed_workload.json" >&2
+    exit 1
+  fi
+  echo "ci/check.sh: mixed-workload hot faults: scan-resistant=${scanres_faults}" \
+       "clock-only=${clock_faults} (budget ${HOT_FAULTS_BUDGET})"
+  if (( scanres_faults > HOT_FAULTS_BUDGET )); then
+    echo "ci/check.sh: scan-resistant hot faults ${scanres_faults} exceed the" \
+         "budget of ${HOT_FAULTS_BUDGET} — eviction policy regression" >&2
+    exit 1
+  fi
+  floor=$(( scanres_faults > 0 ? scanres_faults : 1 ))
+  if (( clock_faults < 2 * floor )); then
+    echo "ci/check.sh: clock-only baseline (${clock_faults}) is not >= 2x the" \
+         "scan-resistant run (${scanres_faults}) — the policy win disappeared" >&2
+    exit 1
+  fi
+else
+  echo "ci/check.sh: bench_mixed_workload not built; skipping eviction perf smoke"
+fi
+
 # The smoke run must not leak spill files outside its scratch dir, and ctest
 # itself uses anonymous temp files only: the repo tree stays clean.
 if compgen -G "ds-bench-spill-*" >/dev/null || compgen -G "BENCH_*.json.tmp" >/dev/null; then

@@ -1,5 +1,7 @@
 #include "storage/column_store.h"
 
+#include "storage/page_cursor.h"
+
 namespace dataspread {
 
 namespace {
@@ -47,6 +49,46 @@ Result<Row> ColumnStore::GetRow(size_t row) const {
   return out;
 }
 
+Status ColumnStore::GetRows(size_t start, size_t count,
+                            std::vector<Row>* out) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  out->reserve(out->size() + count);
+  // One cursor per attribute file, all streaming in row order: each column's
+  // pages are pinned once per 256 rows instead of a chain lookup per cell.
+  std::vector<storage::PageCursor> cursors;
+  cursors.reserve(files_.size());
+  for (storage::FileId f : files_) cursors.emplace_back(*pager_, f);
+  for (size_t r = start; r < start + count; ++r) {
+    Row row;
+    row.reserve(files_.size());
+    for (storage::PageCursor& c : cursors) {
+      row.push_back(c.Read(r));
+    }
+    out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status ColumnStore::VisitRows(size_t start, size_t count,
+                              const RowVisitor& visit) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  // Columns are decomposed, so the tuple is gathered — but into one reused
+  // scratch, with per-column streaming cursors.
+  std::vector<storage::PageCursor> cursors;
+  cursors.reserve(files_.size());
+  for (storage::FileId f : files_) cursors.emplace_back(*pager_, f);
+  Row scratch(files_.size());
+  for (size_t r = start; r < start + count; ++r) {
+    for (size_t c = 0; c < files_.size(); ++c) {
+      scratch[c] = cursors[c].Read(r);
+    }
+    visit(r, scratch.data());
+  }
+  return Status::OK();
+}
+
 Result<size_t> ColumnStore::AppendRow(const Row& row) {
   if (row.size() != files_.size()) {
     return Status::InvalidArgument(
@@ -78,9 +120,8 @@ Result<size_t> ColumnStore::DeleteRow(size_t row) {
 Status ColumnStore::AddColumn(const Value& default_value) {
   DS_RETURN_IF_ERROR(CheckStorable(default_value));
   storage::FileId f = pager_->CreateFile();
-  for (size_t r = 0; r < num_rows_; ++r) {
-    pager_->Write(f, r, default_value);
-  }
+  // Bulk fill through a cursor: one pin + one dirty record per fresh page.
+  storage::PageCursor(*pager_, f).Fill(0, num_rows_, default_value);
   files_.push_back(f);
   return Status::OK();
 }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "storage/page_cursor.h"
+
 namespace dataspread {
 
 namespace {
@@ -68,6 +70,77 @@ Result<Row> HybridStore::GetRow(size_t row) const {
   return out;
 }
 
+Status HybridStore::GetRows(size_t start, size_t count,
+                            std::vector<Row>* out) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  out->reserve(out->size() + count);
+  if (groups_.size() == 1) {
+    // Single group: tuples are contiguous and col_map_ is the identity —
+    // one streaming cursor over the whole region.
+    storage::PageCursor cursor(*pager_, groups_[0].file);
+    size_t width = groups_[0].width;
+    for (size_t r = start; r < start + count; ++r) {
+      Row row;
+      cursor.ReadRange(r * width, width, &row);
+      out->push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+  // One cursor per attribute group; each streams its own file in row order.
+  std::vector<storage::PageCursor> cursors;
+  cursors.reserve(groups_.size());
+  for (const Group& g : groups_) cursors.emplace_back(*pager_, g.file);
+  for (size_t r = start; r < start + count; ++r) {
+    Row row;
+    row.reserve(col_map_.size());
+    for (const ColumnLoc& loc : col_map_) {
+      const Group& g = groups_[loc.group];
+      row.push_back(cursors[loc.group].Read(Entry(g, r, loc.offset)));
+    }
+    out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status HybridStore::VisitRows(size_t start, size_t count,
+                              const RowVisitor& visit) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  constexpr uint64_t kSlotsPerPage = storage::Pager::kSlotsPerPage;
+  if (groups_.size() == 1) {
+    // Identity layout: page-resident tuples are handed out zero-copy, just
+    // like the row store.
+    storage::PageCursor cursor(*pager_, groups_[0].file);
+    size_t width = groups_[0].width;
+    Row scratch(width);
+    for (size_t r = start; r < start + count; ++r) {
+      uint64_t first = r * width;
+      uint64_t last = first + width - 1;
+      if (first / kSlotsPerPage == last / kSlotsPerPage) {
+        visit(r, cursor.ReadSpan(first, width));
+      } else {
+        for (size_t c = 0; c < width; ++c) scratch[c] = cursor.Read(first + c);
+        visit(r, scratch.data());
+      }
+    }
+    return Status::OK();
+  }
+  std::vector<storage::PageCursor> cursors;
+  cursors.reserve(groups_.size());
+  for (const Group& g : groups_) cursors.emplace_back(*pager_, g.file);
+  Row scratch(col_map_.size());
+  for (size_t r = start; r < start + count; ++r) {
+    for (size_t c = 0; c < col_map_.size(); ++c) {
+      const ColumnLoc& loc = col_map_[c];
+      const Group& g = groups_[loc.group];
+      scratch[c] = cursors[loc.group].Read(Entry(g, r, loc.offset));
+    }
+    visit(r, scratch.data());
+  }
+  return Status::OK();
+}
+
 Result<size_t> HybridStore::AppendRow(const Row& row) {
   if (row.size() != col_map_.size()) {
     return Status::InvalidArgument(
@@ -76,6 +149,13 @@ Result<size_t> HybridStore::AppendRow(const Row& row) {
   }
   for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
   size_t slot = num_rows_;
+  if (groups_.size() == 1) {
+    // Identity layout: the whole tuple is one contiguous batched write.
+    pager_->WriteRange(groups_[0].file, slot * groups_[0].width, row.data(),
+                       row.size());
+    num_rows_ += 1;
+    return slot;
+  }
   // Every (group, offset) pair is mapped by exactly one column, so scattering
   // the tuple through col_map_ grows each group by one full row.
   for (size_t c = 0; c < row.size(); ++c) {
@@ -111,9 +191,7 @@ Status HybridStore::AddColumn(const Value& default_value) {
   Group g;
   g.width = 1;
   g.file = pager_->CreateFile();
-  for (size_t r = 0; r < num_rows_; ++r) {
-    pager_->Write(g.file, r, default_value);
-  }
+  storage::PageCursor(*pager_, g.file).Fill(0, num_rows_, default_value);
   groups_.push_back(g);
   col_map_.push_back(ColumnLoc{groups_.size() - 1, 0});
   return Status::OK();
@@ -123,11 +201,17 @@ void HybridStore::CompactGroupWithoutOffset(size_t group_index, size_t offset) {
   Group& g = groups_[group_index];
   size_t new_width = g.width - 1;
   // Forward in-place compaction: destinations never pass their sources.
-  uint64_t dst = 0;
-  for (size_t r = 0; r < num_rows_; ++r) {
-    for (size_t o = 0; o < g.width; ++o) {
-      if (o == offset) continue;
-      pager_->Write(g.file, dst++, pager_->Take(g.file, Entry(g, r, o)));
+  // Cursors keep the rewrite at one pin per page per side; both are released
+  // (scope exit) before Truncate frees the tail.
+  {
+    storage::PageCursor src(*pager_, g.file);
+    storage::PageCursor dst(*pager_, g.file);
+    uint64_t dst_slot = 0;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      for (size_t o = 0; o < g.width; ++o) {
+        if (o == offset) continue;
+        dst.Write(dst_slot++, src.Take(Entry(g, r, o)));
+      }
     }
   }
   pager_->Truncate(g.file, num_rows_ * new_width);
@@ -163,12 +247,19 @@ Status HybridStore::Reorganize() {
   Group merged;
   merged.width = col_map_.size();
   merged.file = pager_->CreateFile();
-  for (size_t r = 0; r < num_rows_; ++r) {
-    uint64_t dst = r * merged.width;
-    for (const ColumnLoc& loc : col_map_) {
-      const Group& g = groups_[loc.group];
-      pager_->Write(merged.file, dst++,
-                    pager_->Take(g.file, Entry(g, r, loc.offset)));
+  {
+    // A write cursor streams the merged file; one read cursor per source
+    // group moves the values out in row order.
+    storage::PageCursor dst(*pager_, merged.file);
+    std::vector<storage::PageCursor> srcs;
+    srcs.reserve(groups_.size());
+    for (const Group& g : groups_) srcs.emplace_back(*pager_, g.file);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      uint64_t dst_slot = r * merged.width;
+      for (const ColumnLoc& loc : col_map_) {
+        const Group& g = groups_[loc.group];
+        dst.Write(dst_slot++, srcs[loc.group].Take(Entry(g, r, loc.offset)));
+      }
     }
   }
   for (const Group& g : groups_) pager_->DropFile(g.file);

@@ -1,0 +1,206 @@
+#include "storage/page_cursor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+// Same policy as the pager's own checks: misuse aborts loudly rather than
+// silently corrupting a recycled frame.
+#define DS_CURSOR_CHECK(cond, msg)                                    \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "storage::PageCursor check failed: %s\n",  \
+                   (msg));                                            \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+namespace dataspread {
+namespace storage {
+
+PageCursor::PageCursor(Pager& pager, FileId file)
+    : pager_(&pager), file_(file), chain_(&pager.ChainOrDie(file)) {}
+
+PageCursor::PageCursor(PageCursor&& other) noexcept
+    : pager_(other.pager_),
+      file_(other.file_),
+      chain_(other.chain_),
+      page_(other.page_),
+      page_index_(other.page_index_),
+      base_(other.base_),
+      seq_(other.seq_),
+      counted_read_(other.counted_read_),
+      counted_write_(other.counted_write_) {
+  other.page_ = nullptr;  // the pin moved with us
+}
+
+PageCursor& PageCursor::operator=(PageCursor&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pager_ = other.pager_;
+    file_ = other.file_;
+    chain_ = other.chain_;
+    page_ = other.page_;
+    page_index_ = other.page_index_;
+    base_ = other.base_;
+    seq_ = other.seq_;
+    counted_read_ = other.counted_read_;
+    counted_write_ = other.counted_write_;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+void PageCursor::Release() {
+  if (page_ == nullptr) return;
+  page_->pin_count_ -= 1;
+  page_ = nullptr;
+}
+
+void PageCursor::Seek(uint64_t page_index, bool grow) {
+  Release();
+  Pager& p = *pager_;
+  // Cursor-local sequential detection: point lookups through the slot APIs
+  // never touch this detector, so an interleaved scan keeps its
+  // classification.
+  p.mount_sequential_ = seq_.Note(page_index);
+  if (grow) {
+    p.EnsureCapacity(file_, *chain_, page_index * Pager::kSlotsPerPage);
+  } else {
+    DS_CURSOR_CHECK(page_index < chain_->pages.size(),
+                    "cursor access past file end");
+  }
+  ValuePage& page = p.PageAt(file_, *chain_, page_index);
+  p.MaybePromote(page);
+  page.pin_count_ += 1;
+  page.referenced_ = true;
+  p.stats_.pins += 1;
+  page_ = &page;
+  page_index_ = page_index;
+  base_ = page_index * Pager::kSlotsPerPage;
+  counted_read_ = false;
+  counted_write_ = false;
+}
+
+void PageCursor::CountRead(uint64_t count) {
+  if (!pager_->accounting_) return;
+  pager_->stats_.slot_reads += count;
+  if (!counted_read_) {
+    pager_->epoch_read_.insert(PageKey{file_, page_index_});
+    counted_read_ = true;
+  }
+}
+
+void PageCursor::CountWrite(uint64_t count) {
+  if (!pager_->accounting_) return;
+  pager_->stats_.slot_writes += count;
+  if (!counted_write_) {
+    pager_->epoch_written_.insert(PageKey{file_, page_index_});
+    counted_write_ = true;
+  }
+}
+
+const Value& PageCursor::Read(uint64_t slot) {
+  uint64_t page_index = slot / Pager::kSlotsPerPage;
+  if (page_ == nullptr || page_index != page_index_) {
+    Seek(page_index, /*grow=*/false);
+  }
+  CountRead();
+  return page_->slot(slot - base_);
+}
+
+const Value* PageCursor::ReadSpan(uint64_t slot, uint64_t count) {
+  uint64_t page_index = slot / Pager::kSlotsPerPage;
+  DS_CURSOR_CHECK(count > 0 &&
+                      (slot + count - 1) / Pager::kSlotsPerPage == page_index,
+                  "ReadSpan straddles a page boundary");
+  if (page_ == nullptr || page_index != page_index_) {
+    Seek(page_index, /*grow=*/false);
+  }
+  CountRead(count);
+  return &page_->slot(slot - base_);
+}
+
+void PageCursor::Write(uint64_t slot, Value v) {
+  uint64_t page_index = slot / Pager::kSlotsPerPage;
+  if (page_ == nullptr || page_index != page_index_) {
+    Seek(page_index, /*grow=*/true);
+  }
+  // Dirty eagerly (not at unpin) so a FlushAll() mid-cursor checkpoints
+  // pending writes too.
+  page_->dirty_ = true;
+  if (slot >= chain_->size) chain_->size = slot + 1;
+  CountWrite();
+  page_->slot(slot - base_) = std::move(v);
+}
+
+Value PageCursor::Take(uint64_t slot) {
+  uint64_t page_index = slot / Pager::kSlotsPerPage;
+  if (page_ == nullptr || page_index != page_index_) {
+    Seek(page_index, /*grow=*/false);
+  }
+  page_->dirty_ = true;  // the slot changes; same rationale as Pager::Take
+  CountRead();
+  return std::exchange(page_->slot(slot - base_), Value::Null());
+}
+
+void PageCursor::ReadRange(uint64_t start, uint64_t count, Row* out) {
+  if (count == 0) return;
+  out->reserve(out->size() + count);
+  uint64_t s = start;
+  const uint64_t end = start + count;
+  while (s < end) {
+    uint64_t page_index = s / Pager::kSlotsPerPage;
+    if (page_ == nullptr || page_index != page_index_) {
+      Seek(page_index, /*grow=*/false);
+    }
+    uint64_t page_end = std::min(end, base_ + Pager::kSlotsPerPage);
+    CountRead(page_end - s);
+    for (; s < page_end; ++s) {
+      out->push_back(page_->slot(s - base_));
+    }
+  }
+}
+
+void PageCursor::WriteRange(uint64_t start, const Value* values,
+                            uint64_t count) {
+  if (count == 0) return;
+  uint64_t s = start;
+  const uint64_t end = start + count;
+  while (s < end) {
+    uint64_t page_index = s / Pager::kSlotsPerPage;
+    if (page_ == nullptr || page_index != page_index_) {
+      Seek(page_index, /*grow=*/true);
+    }
+    page_->dirty_ = true;
+    uint64_t page_end = std::min(end, base_ + Pager::kSlotsPerPage);
+    CountWrite(page_end - s);
+    for (; s < page_end; ++s) {
+      page_->slot(s - base_) = values[s - start];
+    }
+  }
+  if (end > chain_->size) chain_->size = end;
+}
+
+void PageCursor::Fill(uint64_t start, uint64_t count, const Value& v) {
+  if (count == 0) return;
+  uint64_t s = start;
+  const uint64_t end = start + count;
+  while (s < end) {
+    uint64_t page_index = s / Pager::kSlotsPerPage;
+    if (page_ == nullptr || page_index != page_index_) {
+      Seek(page_index, /*grow=*/true);
+    }
+    page_->dirty_ = true;
+    uint64_t page_end = std::min(end, base_ + Pager::kSlotsPerPage);
+    CountWrite(page_end - s);
+    for (; s < page_end; ++s) {
+      page_->slot(s - base_) = v;
+    }
+  }
+  if (end > chain_->size) chain_->size = end;
+}
+
+}  // namespace storage
+}  // namespace dataspread

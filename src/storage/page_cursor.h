@@ -1,0 +1,96 @@
+#ifndef DATASPREAD_STORAGE_PAGE_CURSOR_H_
+#define DATASPREAD_STORAGE_PAGE_CURSOR_H_
+
+#include <cstdint>
+
+#include "storage/pager.h"
+
+namespace dataspread {
+namespace storage {
+
+/// The hot-loop access path over one pager file.
+///
+/// The slot-granular Pager::Read/Write pay an `unordered_map` chain lookup
+/// plus per-slot accounting on every call. A PageCursor resolves the chain
+/// exactly once at construction and then pins each page it visits exactly
+/// once: while the cursor stays on a page, a slot access is index arithmetic
+/// on the pinned frame — no hash lookup, no pin churn, no per-slot epoch
+/// insert (distinct-page accounting happens once per page, which is what the
+/// epoch sets measure anyway; `slot_reads`/`slot_writes` stay slot-exact).
+///
+/// The cursor is also the scan-resistance and readahead signal: it carries
+/// its own sequential detector (page transitions of +1), so a cursor scan
+/// keeps its streak even while point lookups hit the same file through the
+/// slot APIs. Pages mounted by a sequential cursor are scan-class (routed
+/// through the pager's scan ring, see DESIGN.md §5a) and fault-ins trigger
+/// one page of spill readahead.
+///
+/// Pin discipline: the cursor holds at most one pin — the page under it —
+/// released on page change, Release(), or destruction. Because the page is
+/// pinned, values written through the cursor are flushed/evicted correctly
+/// (the dirty bit is set eagerly, not at unpin). The cursor must not outlive
+/// its pager or file, and Release() must be called before Truncate/DropFile
+/// could free the pinned page (the pager aborts on freeing a pinned page).
+/// Like the pager itself, cursors are single-threaded.
+class PageCursor {
+ public:
+  PageCursor(Pager& pager, FileId file);
+  ~PageCursor() { Release(); }
+  PageCursor(const PageCursor&) = delete;
+  PageCursor& operator=(const PageCursor&) = delete;
+  PageCursor(PageCursor&& other) noexcept;
+  PageCursor& operator=(PageCursor&& other) noexcept;
+
+  /// Reads `slot` (must be below the file's page capacity, like
+  /// Pager::Read). The reference is valid until the cursor moves to another
+  /// page or any pager call that can evict — callers copy.
+  const Value& Read(uint64_t slot);
+  /// Zero-copy read of `count` consecutive slots that share one page
+  /// (checked): returns a pointer directly into the pinned frame, valid
+  /// under the same rules as Read(). Accounts `count` slot reads. The
+  /// fastest tuple fetch for row-major layouts whose tuples never straddle
+  /// pages.
+  const Value* ReadSpan(uint64_t slot, uint64_t count);
+  /// Writes `slot`, growing the file as needed.
+  void Write(uint64_t slot, Value v);
+  /// Moves the value out of `slot` (reads + dirties, like Pager::Take).
+  Value Take(uint64_t slot);
+  /// Appends slots [start, start+count) to `out`.
+  void ReadRange(uint64_t start, uint64_t count, Row* out);
+  /// Writes slots [start, start+count) from `values`, growing as needed.
+  void WriteRange(uint64_t start, const Value* values, uint64_t count);
+  /// Writes `count` copies of `v` to [start, start+count).
+  void Fill(uint64_t start, uint64_t count, const Value& v);
+
+  /// Unpins the current page. The cursor stays usable — the next access
+  /// re-pins — but its sequential streak is kept, so a scan interrupted by
+  /// a Release() resumes as a scan.
+  void Release();
+
+  FileId file() const { return file_; }
+
+ private:
+  /// Moves the cursor onto `page_index`: releases the old pin, updates the
+  /// sequential detector, mounts (growing/faulting as needed) and pins.
+  void Seek(uint64_t page_index, bool grow);
+  /// Slot-exact counters plus a once-per-page-visit distinct-page record —
+  /// the single place the cursor's accounting rule lives.
+  void CountRead(uint64_t count = 1);
+  void CountWrite(uint64_t count = 1);
+
+  Pager* pager_;
+  FileId file_;
+  Pager::FileChain* chain_;  // resolved once; stable across rehash (node-based)
+  ValuePage* page_ = nullptr;
+  uint64_t page_index_ = 0;
+  uint64_t base_ = 0;  // page_index_ * kSlotsPerPage
+  Pager::SeqDetector seq_;  // per-cursor sequential detector
+  // Epoch accounting latches: one distinct-page record per page visit.
+  bool counted_read_ = false;
+  bool counted_write_ = false;
+};
+
+}  // namespace storage
+}  // namespace dataspread
+
+#endif  // DATASPREAD_STORAGE_PAGE_CURSOR_H_

@@ -51,6 +51,13 @@ bool Pager::IsResident(FileId file, uint64_t page_index) const {
   return page_index < chain.pages.size() && chain.pages[page_index].resident();
 }
 
+bool Pager::IsScanClass(FileId file, uint64_t page_index) const {
+  const FileChain& chain = ChainOrDie(file);
+  if (page_index >= chain.pages.size()) return false;
+  const PageRef& ref = chain.pages[page_index];
+  return ref.resident() && page_table_[ref.frame]->scan_;
+}
+
 SpillFile& Pager::EnsureSpill() {
   if (spill_ == nullptr) {
     spill_ = std::make_unique<SpillFile>(config_.spill_path);
@@ -69,6 +76,10 @@ void Pager::WriteBack(ValuePage& page, PageRef& ref) {
 void Pager::ReleaseFrame(PageId id) {
   ValuePage& page = *page_table_[id];
   for (Value& v : page.slots_) v = Value::Null();  // release heap payloads
+  if (page.scan_) {
+    page.scan_ = false;
+    scan_resident_ -= 1;  // any lingering ring entry goes stale and is dropped
+  }
   page.file_ = 0;
   page.index_in_file_ = 0;
   page.dirty_ = false;
@@ -88,18 +99,94 @@ void Pager::EvictPage(ValuePage& page) {
     WriteBack(page, ref);
     page.dirty_ = false;
   }
+  if (page.scan_) stats_.scan_evictions += 1;
   PageId frame = ref.frame;
   ref.frame = PageRef::kNoFrame;
   ReleaseFrame(frame);
   stats_.evictions += 1;
 }
 
+bool Pager::ScanEntryValid(const ScanEntry& e) const {
+  if (e.frame >= page_table_.size()) return false;
+  const ValuePage* page = page_table_[e.frame].get();
+  return page != nullptr && page->scan_ && page->file_ == e.file &&
+         page->index_in_file_ == e.page;
+}
+
+size_t Pager::scan_ring_size() const {
+  if (config_.scan_ring_pages > 0) return config_.scan_ring_pages;
+  size_t cap = config_.max_resident_pages;
+  return std::max(kMinScanRing, cap / 8);
+}
+
+ValuePage* Pager::SelectVictim() {
+  // Oldest scan-ring page first: a sequential stream recycles its own
+  // frames, leaving the clock-managed hot set untouched. Entries are
+  // validated lazily; each is considered at most once per call.
+  size_t budget = scan_fifo_.size();
+  while (budget-- > 0 && !scan_fifo_.empty()) {
+    ScanEntry e = scan_fifo_.front();
+    scan_fifo_.pop_front();
+    if (!ScanEntryValid(e)) continue;  // promoted/evicted/freed: stale
+    ValuePage* page = page_table_[e.frame].get();
+    if (page->pin_count_ > 0) {
+      scan_fifo_.push_back(e);  // still scan-class, just unevictable now
+      continue;
+    }
+    return page;
+  }
+  return ClockVictim();
+}
+
 void Pager::EvictDownTo(size_t target) {
   while (resident_pages_ > target) {
-    ValuePage* victim = ClockVictim();
+    ValuePage* victim = SelectVictim();
     if (victim == nullptr) break;  // everything left is pinned: overshoot
     EvictPage(*victim);
   }
+}
+
+void Pager::EnforceScanRing(PageId keep) {
+  size_t ring = scan_ring_size();
+  size_t budget = scan_fifo_.size();
+  while (scan_resident_ > ring && budget-- > 0 && !scan_fifo_.empty()) {
+    ScanEntry e = scan_fifo_.front();
+    scan_fifo_.pop_front();
+    if (!ScanEntryValid(e)) continue;
+    ValuePage* page = page_table_[e.frame].get();
+    if (e.frame == keep || page->pin_count_ > 0) {
+      scan_fifo_.push_back(e);
+      continue;
+    }
+    EvictPage(*page);
+  }
+}
+
+void Pager::ClassifyMount(ValuePage& page, PageId frame) {
+  if (!mount_sequential_ || !config_.scan_resistant ||
+      config_.max_resident_pages == 0) {
+    return;  // hot mount: managed by the second-chance clock
+  }
+  page.scan_ = true;
+  scan_resident_ += 1;
+  scan_fifo_.push_back(ScanEntry{frame, page.file_, page.index_in_file_});
+  // The stream pays for its own footprint immediately: once the ring is
+  // full, mounting one more scan page retires the oldest one, keeping the
+  // rest of the pool free for the hot set even before the cap binds.
+  EnforceScanRing(frame);
+}
+
+void Pager::MaybePromote(ValuePage& page) {
+  if (page.scan_ && !mount_sequential_) {
+    // A point access re-used a scan page: it is hot after all. Its ring
+    // entry goes stale; from here the clock governs it.
+    page.scan_ = false;
+    scan_resident_ -= 1;
+  }
+}
+
+void Pager::NoteSlotAccess(FileChain& chain, uint64_t page_index) {
+  mount_sequential_ = chain.seq.Note(page_index);
 }
 
 PageId Pager::AcquireFrame() {
@@ -133,7 +220,27 @@ void Pager::FaultIn(FileId file, FileChain& chain, uint64_t page_index) {
   ref.frame = frame;
   resident_pages_ += 1;
   stats_.spill_bytes_read += spill_->ReadPage(ref.spill_slot, &page);
-  stats_.faults += 1;
+  if (in_readahead_) {
+    stats_.readaheads += 1;  // speculative load, not a demand stall
+  } else {
+    stats_.faults += 1;
+  }
+  ClassifyMount(page, frame);
+  // Sequential readahead: the stream will want the next chain page in a
+  // moment — load it now, turning two demand stalls into one batched pass
+  // over the spill file. The demand page is pinned across the recursive
+  // fault so making room can never take the frame just mounted.
+  if (mount_sequential_ && config_.readahead && !in_readahead_ &&
+      config_.max_resident_pages > 0 && page_index + 1 < chain.pages.size()) {
+    const PageRef& next = chain.pages[page_index + 1];
+    if (!next.resident() && next.spill_slot != SpillFile::kNoSlot) {
+      in_readahead_ = true;
+      page.pin_count_ += 1;
+      FaultIn(file, chain, page_index + 1);
+      page.pin_count_ -= 1;
+      in_readahead_ = false;
+    }
+  }
 }
 
 void Pager::FreePage(PageRef& ref) {
@@ -167,6 +274,7 @@ void Pager::EnsureCapacity(FileId file, FileChain& chain, uint64_t slot) {
     chain.pages.push_back(ref);
     resident_pages_ += 1;
     stats_.pages_allocated += 1;
+    ClassifyMount(page, frame);
   }
 }
 
@@ -174,7 +282,7 @@ void Pager::RecordRead(FileId file, uint64_t slot, ValuePage& page) {
   page.referenced_ = true;
   if (!accounting_) return;
   stats_.slot_reads += 1;
-  epoch_read_.insert(EpochKey(file, slot / kSlotsPerPage));
+  epoch_read_.insert(PageKey{file, slot / kSlotsPerPage});
 }
 
 void Pager::RecordWrite(FileId file, uint64_t slot, ValuePage& page) {
@@ -182,14 +290,16 @@ void Pager::RecordWrite(FileId file, uint64_t slot, ValuePage& page) {
   page.dirty_ = true;
   if (!accounting_) return;
   stats_.slot_writes += 1;
-  epoch_written_.insert(EpochKey(file, slot / kSlotsPerPage));
+  epoch_written_.insert(PageKey{file, slot / kSlotsPerPage});
 }
 
 const Value& Pager::Read(FileId file, uint64_t slot) {
   FileChain& chain = ChainOrDie(file);
   DS_PAGER_CHECK(slot < chain.pages.size() * kSlotsPerPage,
                  "read past file end");
+  NoteSlotAccess(chain, slot / kSlotsPerPage);
   ValuePage& page = PageForSlot(file, chain, slot);
+  MaybePromote(page);
   RecordRead(file, slot, page);
   return page.slot(slot % kSlotsPerPage);
 }
@@ -208,9 +318,11 @@ void Pager::ReadRange(FileId file, uint64_t start, uint64_t count, Row* out) {
   while (s < end) {
     uint64_t page_index = s / kSlotsPerPage;
     uint64_t page_end = std::min(end, (page_index + 1) * kSlotsPerPage);
+    NoteSlotAccess(chain, page_index);
     ValuePage& page = PageAt(file, chain, page_index);
+    MaybePromote(page);
     page.referenced_ = true;
-    if (accounting_) epoch_read_.insert(EpochKey(file, page_index));
+    if (accounting_) epoch_read_.insert(PageKey{file, page_index});
     for (; s < page_end; ++s) {
       out->push_back(page.slot(s % kSlotsPerPage));
     }
@@ -220,18 +332,46 @@ void Pager::ReadRange(FileId file, uint64_t start, uint64_t count, Row* out) {
 
 void Pager::Write(FileId file, uint64_t slot, Value v) {
   FileChain& chain = ChainOrDie(file);
+  NoteSlotAccess(chain, slot / kSlotsPerPage);
   EnsureCapacity(file, chain, slot);
   if (slot >= chain.size) chain.size = slot + 1;
   ValuePage& page = PageForSlot(file, chain, slot);
+  MaybePromote(page);
   RecordWrite(file, slot, page);
   page.slot(slot % kSlotsPerPage) = std::move(v);
+}
+
+void Pager::WriteRange(FileId file, uint64_t start, const Value* values,
+                       uint64_t count) {
+  if (count == 0) return;
+  FileChain& chain = ChainOrDie(file);
+  uint64_t s = start;
+  const uint64_t end = start + count;
+  while (s < end) {
+    uint64_t page_index = s / kSlotsPerPage;
+    uint64_t page_end = std::min(end, (page_index + 1) * kSlotsPerPage);
+    NoteSlotAccess(chain, page_index);
+    EnsureCapacity(file, chain, page_end - 1);
+    ValuePage& page = PageAt(file, chain, page_index);
+    MaybePromote(page);
+    page.referenced_ = true;
+    page.dirty_ = true;
+    if (accounting_) epoch_written_.insert(PageKey{file, page_index});
+    for (; s < page_end; ++s) {
+      page.slot(s % kSlotsPerPage) = values[s - start];
+    }
+  }
+  if (end > chain.size) chain.size = end;
+  if (accounting_) stats_.slot_writes += count;
 }
 
 Value Pager::Take(FileId file, uint64_t slot) {
   FileChain& chain = ChainOrDie(file);
   DS_PAGER_CHECK(slot < chain.pages.size() * kSlotsPerPage,
                  "take past file end");
+  NoteSlotAccess(chain, slot / kSlotsPerPage);
   ValuePage& page = PageForSlot(file, chain, slot);
+  MaybePromote(page);
   RecordRead(file, slot, page);
   // Nulling the slot mutates the page: without the dirty bit an eviction
   // could skip write-back and resurrect the taken value from a stale spill
@@ -243,6 +383,7 @@ Value Pager::Take(FileId file, uint64_t slot) {
 void Pager::Truncate(FileId file, uint64_t slot_count) {
   FileChain& chain = ChainOrDie(file);
   if (slot_count >= chain.size) return;
+  mount_sequential_ = false;  // a boundary-page fault-in is a hot mount
   // Clear vacated slots on the surviving boundary page, so Value payloads
   // (strings) are released even without a page free. An evicted boundary
   // page is faulted in and re-marked dirty so the clearing reaches its spill
@@ -262,17 +403,23 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
     chain.pages.pop_back();
   }
   chain.size = slot_count;
+  if (chain.seq.last_page != kNoPageIndex &&
+      chain.seq.last_page >= keep_pages) {
+    chain.seq = SeqDetector{};  // the detector must not span freed pages
+  }
 }
 
 ValuePage* Pager::Pin(FileId file, uint64_t page_index) {
   FileChain& chain = ChainOrDie(file);
+  mount_sequential_ = false;  // explicit pins are hot accesses
   EnsureCapacity(file, chain, page_index * kSlotsPerPage);
   ValuePage& page = PageAt(file, chain, page_index);
+  MaybePromote(page);
   page.pin_count_ += 1;
   page.referenced_ = true;
   stats_.pins += 1;
   if (accounting_) {
-    epoch_read_.insert(EpochKey(file, page_index));
+    epoch_read_.insert(PageKey{file, page_index});
     stats_.slot_reads += 1;
   }
   return &page;
@@ -284,7 +431,7 @@ void Pager::Unpin(ValuePage* page, bool dirtied) {
   if (dirtied) {
     page->dirty_ = true;
     if (accounting_) {
-      epoch_written_.insert(EpochKey(page->file_, page->index_in_file_));
+      epoch_written_.insert(PageKey{page->file_, page->index_in_file_});
       stats_.slot_writes += 1;
     }
   }

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -24,12 +25,38 @@ using FileId = uint64_t;
 /// through a free list when files shrink, are dropped, or pages are evicted.
 using PageId = uint64_t;
 
+/// Distinct-page identity (file, index in file) — the unit of the epoch
+/// accounting. A genuine two-field key: unlike the former packed-uint64
+/// scheme ((file << 24) ^ page), no two distinct (file, page) pairs ever
+/// alias, no matter how long a chain grows or how many files exist.
+struct PageKey {
+  FileId file = 0;
+  uint64_t page = 0;
+  bool operator==(const PageKey& o) const {
+    return file == o.file && page == o.page;
+  }
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    // splitmix64-style finalization over both fields; collisions here only
+    // cost hash-bucket sharing, never identity (equality compares both).
+    uint64_t h = k.file + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h ^= k.page + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+
 /// One fixed-size page of the unified storage pool.
 ///
 /// A page holds 256 value slots — 4 KiB at the simulated 16 bytes/slot budget
 /// (see DESIGN.md §2, substitution table) — plus the buffer-pool header every
 /// real pager carries: owning file, position in that file's chain, pin count,
-/// dirty bit, and the clock reference bit used for second-chance eviction.
+/// dirty bit, the clock reference bit used for second-chance eviction, and
+/// the scan-class bit that routes sequential-stream pages through the scan
+/// ring instead of the clock.
 class ValuePage {
  public:
   static constexpr size_t kSlotCount = 256;
@@ -45,10 +72,14 @@ class ValuePage {
   uint32_t pin_count() const { return pin_count_; }
   bool dirty() const { return dirty_; }
   bool referenced() const { return referenced_; }
+  /// True while the page is classified as part of a sequential scan stream
+  /// (evicted FIFO through the scan ring, not by the clock).
+  bool scan_class() const { return scan_; }
   bool is_free() const { return file_ == 0; }
 
  private:
   friend class Pager;
+  friend class PageCursor;
 
   std::array<Value, kSlotCount> slots_;
   FileId file_ = 0;
@@ -56,13 +87,14 @@ class ValuePage {
   uint32_t pin_count_ = 0;
   bool dirty_ = false;
   bool referenced_ = false;
+  bool scan_ = false;
 };
 
 /// Construction-time (and runtime-adjustable) buffer-pool policy.
 struct PagerConfig {
   /// Maximum page frames held in memory; 0 = unbounded (no eviction). When
   /// the cap binds, a frame for a new or faulted page is obtained by evicting
-  /// a clock victim to the spill file first. Pinned pages are never evicted,
+  /// a victim to the spill file first. Pinned pages are never evicted,
   /// so a pool whose every frame is pinned overshoots the cap rather than
   /// deadlock — the overshoot drains as soon as pins are released.
   size_t max_resident_pages = 0;
@@ -70,6 +102,19 @@ struct PagerConfig {
   /// temp file (OS-deleted on close, never visible in the filesystem);
   /// a named path is removed when the pager is destroyed.
   std::string spill_path;
+  /// Scan-resistant eviction: pages mounted by a detected sequential stream
+  /// are scan-class — they recycle FIFO through a small dedicated ring and
+  /// are preferred as victims, so a full scan cannot flush the clock-managed
+  /// hot set. Off = pure second-chance clock (the PR 2 baseline policy).
+  bool scan_resistant = true;
+  /// Resident scan-class pages allowed before the ring starts evicting its
+  /// own tail; 0 = auto (max(4, max_resident_pages / 8)). Only meaningful
+  /// for a bounded pool with scan_resistant on.
+  size_t scan_ring_pages = 0;
+  /// When a sequential stream faults a page in, also fault the next chain
+  /// page (one page of readahead), turning two demand stalls into one
+  /// batched spill read. Only applies to bounded pools.
+  bool readahead = true;
 };
 
 /// Lifetime counters of a Pager. Epoch (distinct-page) figures live on the
@@ -80,9 +125,11 @@ struct PagerStats {
   uint64_t pages_allocated = 0;  ///< Pages handed to files (incl. reuse).
   uint64_t pages_freed = 0;      ///< Pages returned by truncate/drop.
   uint64_t pages_flushed = 0;    ///< Dirty pages checkpointed by FlushAll().
-  uint64_t pins = 0;             ///< Pin() calls.
-  uint64_t faults = 0;           ///< Evicted pages loaded back from spill.
+  uint64_t pins = 0;             ///< Pin() calls (incl. cursor page pins).
+  uint64_t faults = 0;           ///< Demand loads of evicted pages.
+  uint64_t readaheads = 0;       ///< Speculative loads ahead of a scan.
   uint64_t evictions = 0;        ///< Resident pages pushed out of the pool.
+  uint64_t scan_evictions = 0;   ///< Evictions that took a scan-class page.
   uint64_t spill_bytes_written = 0;  ///< Bytes serialized to the spill file.
   uint64_t spill_bytes_read = 0;     ///< Bytes deserialized from it.
 };
@@ -93,11 +140,18 @@ struct PagerStats {
 /// Pager: each column/heap/attribute-group allocates a *file* (a page chain)
 /// and addresses values by dense slot number. The pager provides
 ///   - slot-granular Read/Write/Take that grow files on demand,
+///   - bulk ReadRange/WriteRange that resolve the file once and account once
+///     per spanned page, and a PageCursor (page_cursor.h) that pins each page
+///     once and serves slot accesses with no hash lookups at all,
 ///   - page-granular Pin/Unpin with dirty tracking for batch access,
 ///   - a genuinely bounded buffer pool: with `max_resident_pages` set, cold
-///     pages are evicted through second-chance clock selection — written back
-///     to a SpillFile when dirty — and faulted back in transparently on the
-///     next access (see DESIGN.md §"Bounded buffer pool"),
+///     pages are evicted — written back to a SpillFile when dirty — and
+///     faulted back in transparently on the next access,
+///   - scan-resistant victim selection: sequential streams (detected per
+///     file for the slot APIs, per cursor for PageCursor) mount their pages
+///     scan-class; victims come from the scan ring FIFO first and only then
+///     from the second-chance clock, so scans evict their own pages instead
+///     of the hot set (see DESIGN.md §5a "Scan resistance & cursors"),
 ///   - FlushAll() as a real checkpoint: every dirty page's contents are
 ///     written to the spill file before its dirty bit clears,
 ///   - built-in I/O accounting: distinct pages read/written per epoch, the
@@ -152,6 +206,11 @@ class Pager {
   void ReadRange(FileId file, uint64_t start, uint64_t count, Row* out);
   /// Writes slot `slot`, growing the file's chain as needed.
   void Write(FileId file, uint64_t slot, Value v);
+  /// Writes slots [start, start+count) from `values`, growing the chain as
+  /// needed: one file resolution, one dirty/accounting record per spanned
+  /// page — the bulk path for contiguous tuple writes (appends).
+  void WriteRange(FileId file, uint64_t start, const Value* values,
+                  uint64_t count);
   /// Moves the value out of `slot` (leaves NULL behind); counts as a read
   /// in the epoch accounting but dirties the page (the slot changed).
   Value Take(FileId file, uint64_t slot);
@@ -174,14 +233,19 @@ class Pager {
   size_t resident_pages() const { return resident_pages_; }
   /// Resident pages with a non-zero pin count.
   size_t pinned_pages() const;
+  /// Resident pages currently classified scan-class (in the scan ring).
+  size_t scan_resident_pages() const { return scan_resident_; }
   /// True when page `page_index` of `file` currently holds a frame.
   bool IsResident(FileId file, uint64_t page_index) const;
+  /// True when that page is resident and scan-class (for tests).
+  bool IsScanClass(FileId file, uint64_t page_index) const;
 
   /// Second-chance (clock) victim selection: returns the next unpinned,
   /// unreferenced resident page, clearing reference bits it sweeps past.
   /// Returns nullptr — never a pinned frame, after a bounded sweep — when
   /// every resident page is pinned or there are none. Selection only; the
-  /// bounded pool evicts victims internally when the cap binds.
+  /// bounded pool evicts victims internally when the cap binds (preferring
+  /// the scan ring, see SelectVictim).
   ValuePage* ClockVictim();
 
   /// Checkpoint: writes every dirty resident page to the spill file, then
@@ -194,9 +258,12 @@ class Pager {
 
   size_t max_resident_pages() const { return config_.max_resident_pages; }
   /// Adjusts the cap at runtime; shrinking below the current residency
-  /// evicts clock victims immediately until the pool fits (pinned pages
+  /// evicts victims immediately until the pool fits (pinned pages
   /// can keep it above the cap until they are unpinned).
   void set_max_resident_pages(size_t cap);
+  bool scan_resistant() const { return config_.scan_resistant; }
+  /// Scan-class pages allowed in memory before the ring recycles its tail.
+  size_t scan_ring_size() const;
   const std::string& spill_path() const { return config_.spill_path; }
   /// The spill backend, if any eviction/checkpoint has created it.
   const SpillFile* spill() const { return spill_.get(); }
@@ -219,6 +286,8 @@ class Pager {
   bool accounting_enabled() const { return accounting_; }
 
  private:
+  friend class PageCursor;
+
   /// One page of a file's chain: resident (frame != kNoFrame) or evicted
   /// (frame == kNoFrame, spill_slot holds the authoritative copy).
   struct PageRef {
@@ -228,15 +297,49 @@ class Pager {
     bool resident() const { return frame != kNoFrame; }
   };
 
+  static constexpr uint64_t kNoPageIndex = ~0ull;
+  /// +1 page transitions before an access stream counts as sequential.
+  static constexpr uint32_t kSeqThreshold = 2;
+  /// Floor of the auto-sized scan ring.
+  static constexpr size_t kMinScanRing = 4;
+
+  /// The sequential-access detector shared by the slot APIs (one per file)
+  /// and PageCursor (one per cursor — so interleaved point lookups never
+  /// break a cursor scan's streak, and vice versa). Repeated hits on one
+  /// page are neutral, a +1 transition builds the streak, anything else
+  /// resets it.
+  struct SeqDetector {
+    uint64_t last_page = kNoPageIndex;
+    uint32_t streak = 0;
+    /// Records an access to `page_index`; returns whether the stream is now
+    /// sequential.
+    bool Note(uint64_t page_index) {
+      if (page_index == last_page) {
+        // same page: no evidence either way
+      } else if (last_page != kNoPageIndex && page_index == last_page + 1) {
+        if (streak < kSeqThreshold) streak += 1;
+      } else {
+        streak = 0;
+      }
+      last_page = page_index;
+      return streak >= kSeqThreshold;
+    }
+  };
+
   struct FileChain {
     std::vector<PageRef> pages;
     uint64_t size = 0;  // logical slots; capacity is pages.size()*kSlotsPerPage
+    SeqDetector seq;    // detector for the slot-granular APIs
   };
 
-  /// Distinct-page key stable across frame reuse: (file, index in file).
-  static uint64_t EpochKey(FileId file, uint64_t page_index) {
-    return (file << 24) ^ page_index;
-  }
+  /// A scan-ring entry; validated lazily on pop (the page may have been
+  /// promoted, evicted, or freed since it was queued — stale entries are
+  /// simply dropped).
+  struct ScanEntry {
+    PageId frame;
+    FileId file;
+    uint64_t page;
+  };
 
   FileChain& ChainOrDie(FileId file);
   const FileChain& ChainOrDie(FileId file) const;
@@ -253,9 +356,9 @@ class Pager {
     return *page_table_[ref.frame];
   }
   /// Loads an evicted page back into a frame (evicting others if the cap
-  /// binds).
+  /// binds); readahead of the next chain page when the mount is sequential.
   void FaultIn(FileId file, FileChain& chain, uint64_t page_index);
-  /// Obtains a frame, evicting clock victims first while the pool is at its
+  /// Obtains a frame, evicting victims first while the pool is at its
   /// cap. The frame is on neither the free list nor any chain on return.
   PageId AcquireFrame();
   /// Writes `page` back to spill if needed and releases its frame. The page
@@ -267,10 +370,29 @@ class Pager {
   void FreePage(PageRef& ref);
   /// Evicts victims until residency is at most `target` (or all pinned).
   void EvictDownTo(size_t target);
+  /// Next eviction victim: oldest valid unpinned scan-ring page, else the
+  /// clock. Consumes the returned page's ring entry.
+  ValuePage* SelectVictim();
   SpillFile& EnsureSpill();
   /// Writes `page`'s contents to its spill slot (allocating one on first
   /// spill); leaves the dirty bit untouched.
   void WriteBack(ValuePage& page, PageRef& ref);
+
+  /// Updates the per-file sequential detector for a slot-API access to
+  /// `page_index` and latches mount_sequential_ for any mounts it causes.
+  void NoteSlotAccess(FileChain& chain, uint64_t page_index);
+  /// Classifies a just-mounted page: scan-class (queued on the ring, which
+  /// may recycle its tail) when the triggering access was sequential and the
+  /// pool is bounded with scan resistance on; hot otherwise.
+  void ClassifyMount(ValuePage& page, PageId frame);
+  /// Evicts ring pages (skipping `keep` and pinned frames) until the ring
+  /// fits scan_ring_size().
+  void EnforceScanRing(PageId keep);
+  /// A non-sequential access touched `page`: a scan-class page is promoted
+  /// into the hot (clock) set.
+  void MaybePromote(ValuePage& page);
+  /// True when `e` still describes a resident scan-class page.
+  bool ScanEntryValid(const ScanEntry& e) const;
 
   void RecordRead(FileId file, uint64_t slot, ValuePage& page);
   void RecordWrite(FileId file, uint64_t slot, ValuePage& page);
@@ -284,10 +406,20 @@ class Pager {
   size_t resident_pages_ = 0;
   size_t clock_hand_ = 0;
 
+  // Scan-resistance state. mount_sequential_ is latched by every access-path
+  // entry (slot APIs via NoteSlotAccess, cursors via their own streak,
+  // Pin/Truncate force it false) and consumed by FaultIn/EnsureCapacity when
+  // they mount pages; the pager is single-threaded (DESIGN.md §6), so the
+  // latch never crosses calls.
+  bool mount_sequential_ = false;
+  bool in_readahead_ = false;
+  std::deque<ScanEntry> scan_fifo_;
+  size_t scan_resident_ = 0;
+
   bool accounting_ = true;
   PagerStats stats_;
-  std::unordered_set<uint64_t> epoch_read_;
-  std::unordered_set<uint64_t> epoch_written_;
+  std::unordered_set<PageKey, PageKeyHash> epoch_read_;
+  std::unordered_set<PageKey, PageKeyHash> epoch_written_;
 };
 
 }  // namespace storage

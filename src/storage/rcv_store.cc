@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "storage/page_cursor.h"
+
 namespace dataspread {
 
 namespace {
@@ -95,6 +97,56 @@ Result<Row> RcvStore::GetRow(size_t row) const {
   return out;
 }
 
+Status RcvStore::GetRows(size_t start, size_t count,
+                         std::vector<Row>* out) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  out->reserve(out->size() + count);
+  // One cursor per column heap. Triple slots are not row-ordered (the heap
+  // is maintained dense by swap-with-last), so this is not a sequential
+  // stream — but the cursor still removes the per-triple chain hash lookup,
+  // and consecutive rows of a mostly-append table usually share heap pages.
+  std::vector<storage::PageCursor> cursors;
+  cursors.reserve(columns_.size());
+  for (const InternalColumn& ic : columns_) {
+    cursors.emplace_back(*pager_, ic.file);
+  }
+  for (size_t r = start; r < start + count; ++r) {
+    Row row;
+    row.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      auto it = columns_[c].row_to_slot.find(r);
+      row.push_back(it == columns_[c].row_to_slot.end()
+                        ? Value::Null()
+                        : cursors[c].Read(it->second));
+    }
+    out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status RcvStore::VisitRows(size_t start, size_t count,
+                           const RowVisitor& visit) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  std::vector<storage::PageCursor> cursors;
+  cursors.reserve(columns_.size());
+  for (const InternalColumn& ic : columns_) {
+    cursors.emplace_back(*pager_, ic.file);
+  }
+  Row scratch(columns_.size());
+  for (size_t r = start; r < start + count; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      auto it = columns_[c].row_to_slot.find(r);
+      scratch[c] = it == columns_[c].row_to_slot.end()
+                       ? Value::Null()
+                       : cursors[c].Read(it->second);
+    }
+    visit(r, scratch.data());
+  }
+  return Status::OK();
+}
+
 Result<size_t> RcvStore::AppendRow(const Row& row) {
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(
@@ -139,10 +191,17 @@ Status RcvStore::AddColumn(const Value& default_value) {
   columns_.push_back(std::move(ic));
   if (!default_value.is_null()) {
     // A non-NULL default must materialize a triple per row; only NULL-default
-    // schema changes are free in RCV.
+    // schema changes are free in RCV. The fresh heap is filled through a
+    // cursor (slot == row for a brand-new column), one dirty record per
+    // page, and the point index is built alongside.
     InternalColumn& added = columns_.back();
+    storage::PageCursor(*pager_, added.file)
+        .Fill(0, num_rows_, default_value);
+    added.row_to_slot.reserve(num_rows_);
+    added.slot_to_row.reserve(num_rows_);
     for (size_t r = 0; r < num_rows_; ++r) {
-      SetTriple(added, r, default_value);
+      added.row_to_slot.emplace(r, r);
+      added.slot_to_row.push_back(r);
     }
   }
   return Status::OK();

@@ -30,6 +30,10 @@ class RcvStore : public TableStorage {
   Result<Value> Get(size_t row, size_t col) const override;
   Status Set(size_t row, size_t col, Value v) override;
   Result<Row> GetRow(size_t row) const override;
+  Status GetRows(size_t start, size_t count,
+                 std::vector<Row>* out) const override;
+  Status VisitRows(size_t start, size_t count,
+                   const RowVisitor& visit) const override;
   Result<size_t> AppendRow(const Row& row) override;
   Result<size_t> DeleteRow(size_t row) override;
   Status AddColumn(const Value& default_value) override;

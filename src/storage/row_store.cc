@@ -1,5 +1,7 @@
 #include "storage/row_store.h"
 
+#include "storage/page_cursor.h"
+
 namespace dataspread {
 
 namespace {
@@ -42,6 +44,46 @@ Result<Row> RowStore::GetRow(size_t row) const {
   return out;
 }
 
+Status RowStore::GetRows(size_t start, size_t count,
+                         std::vector<Row>* out) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  out->reserve(out->size() + count);
+  // One cursor streams the contiguous tuple region: each data page is pinned
+  // once for its 256/num_columns tuples instead of a chain lookup per cell.
+  storage::PageCursor cursor(*pager_, file_);
+  for (size_t r = start; r < start + count; ++r) {
+    Row row;
+    cursor.ReadRange(Entry(r, 0), num_columns_, &row);
+    out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status RowStore::VisitRows(size_t start, size_t count,
+                           const RowVisitor& visit) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  storage::PageCursor cursor(*pager_, file_);
+  Row scratch(num_columns_);
+  constexpr uint64_t kSlotsPerPage = storage::Pager::kSlotsPerPage;
+  for (size_t r = start; r < start + count; ++r) {
+    uint64_t first = Entry(r, 0);
+    uint64_t last = first + num_columns_ - 1;
+    if (first / kSlotsPerPage == last / kSlotsPerPage) {
+      // The whole tuple sits on one page: hand out the pinned frame's slots
+      // directly — zero copies, zero allocations.
+      visit(r, cursor.ReadSpan(first, num_columns_));
+    } else {
+      for (size_t c = 0; c < num_columns_; ++c) {
+        scratch[c] = cursor.Read(first + c);
+      }
+      visit(r, scratch.data());
+    }
+  }
+  return Status::OK();
+}
+
 Result<size_t> RowStore::AppendRow(const Row& row) {
   if (row.size() != num_columns_) {
     return Status::InvalidArgument(
@@ -50,9 +92,8 @@ Result<size_t> RowStore::AppendRow(const Row& row) {
   }
   for (const Value& v : row) DS_RETURN_IF_ERROR(CheckStorable(v));
   size_t slot = num_rows_;
-  for (size_t c = 0; c < num_columns_; ++c) {
-    pager_->Write(file_, Entry(slot, c), row[c]);
-  }
+  // The tuple is contiguous: one batched write, one dirty record per page.
+  pager_->WriteRange(file_, Entry(slot, 0), row.data(), num_columns_);
   num_rows_ += 1;
   return slot;
 }
@@ -77,14 +118,19 @@ Status RowStore::AddColumn(const Value& default_value) {
   // The tuple stride grows, so every tuple is rewritten in the new layout.
   // Restriding runs highest-slot-first: each destination slot r*(n+1)+c is >=
   // its source slot r*n+c, and sources still pending are strictly below every
-  // slot written so far, so the move is safe in place.
+  // slot written so far, so the move is safe in place. Two cursors (source
+  // reads, destination writes) keep the rewrite at one pin per page visited
+  // per side; both may sit on the same page, which simply pins it twice.
   size_t old_cols = num_columns_;
   size_t new_cols = old_cols + 1;
-  for (size_t r = num_rows_; r-- > 0;) {
-    pager_->Write(file_, r * new_cols + old_cols, default_value);
-    for (size_t c = old_cols; c-- > 0;) {
-      pager_->Write(file_, r * new_cols + c,
-                    pager_->Take(file_, r * old_cols + c));
+  {
+    storage::PageCursor src(*pager_, file_);
+    storage::PageCursor dst(*pager_, file_);
+    for (size_t r = num_rows_; r-- > 0;) {
+      dst.Write(r * new_cols + old_cols, default_value);
+      for (size_t c = old_cols; c-- > 0;) {
+        dst.Write(r * new_cols + c, src.Take(r * old_cols + c));
+      }
     }
   }
   num_columns_ = new_cols;
@@ -95,14 +141,19 @@ Status RowStore::DropColumn(size_t col) {
   if (col >= num_columns_) {
     return Status::OutOfRange("column " + std::to_string(col));
   }
-  // Compact forward in place: destinations never pass their sources.
+  // Compact forward in place: destinations never pass their sources. The
+  // cursors are released (scope exit) before Truncate frees tail pages.
   size_t old_cols = num_columns_;
   size_t new_cols = old_cols - 1;
-  uint64_t dst = 0;
-  for (size_t r = 0; r < num_rows_; ++r) {
-    for (size_t c = 0; c < old_cols; ++c) {
-      if (c == col) continue;
-      pager_->Write(file_, dst++, pager_->Take(file_, r * old_cols + c));
+  {
+    storage::PageCursor src(*pager_, file_);
+    storage::PageCursor dst(*pager_, file_);
+    uint64_t dst_slot = 0;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      for (size_t c = 0; c < old_cols; ++c) {
+        if (c == col) continue;
+        dst.Write(dst_slot++, src.Take(r * old_cols + c));
+      }
     }
   }
   pager_->Truncate(file_, num_rows_ * new_cols);

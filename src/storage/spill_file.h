@@ -68,6 +68,12 @@ class SpillFile {
   };
 
   std::FILE* EnsureOpen();
+  /// Positions the stream at `offset` for a read (`writing == false`) or a
+  /// write. The seek is elided when the stream is already there in the same
+  /// direction — the common case for scan eviction/readahead, whose records
+  /// are laid out and visited in file order, so the 256 KiB stdio buffer
+  /// batches many page records into each underlying syscall.
+  void SeekTo(std::FILE* f, uint64_t offset, bool writing);
 
   std::string path_;          // empty = anonymous tmpfile
   std::FILE* file_ = nullptr;
@@ -75,6 +81,14 @@ class SpillFile {
   std::vector<uint64_t> free_slots_;
   uint64_t end_offset_ = 0;
   std::string scratch_;  // encode/decode buffer, reused across calls
+  std::vector<char> io_buffer_;  // stdio buffer installed on open
+  // Stream position tracking for seek elision. kUnknownPos forces a real
+  // seek (initial state, and whenever the read/write direction flips — ISO C
+  // requires a positioning call between a read and a write on update
+  // streams).
+  static constexpr uint64_t kUnknownPos = ~0ull;
+  uint64_t stream_pos_ = kUnknownPos;
+  bool stream_writing_ = false;
 };
 
 }  // namespace storage

@@ -21,6 +21,31 @@ const char* StorageModelName(StorageModel model) {
   return "unknown";
 }
 
+Status TableStorage::GetRows(size_t start, size_t count,
+                             std::vector<Row>* out) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  out->reserve(out->size() + count);
+  for (size_t r = start; r < start + count; ++r) {
+    auto row = GetRow(r);
+    DS_RETURN_IF_ERROR(row.status());
+    out->push_back(std::move(row).ValueOrDie());
+  }
+  return Status::OK();
+}
+
+Status TableStorage::VisitRows(size_t start, size_t count,
+                               const RowVisitor& visit) const {
+  if (count == 0) return Status::OK();
+  DS_RETURN_IF_ERROR(CheckRowRange(start, count));
+  for (size_t r = start; r < start + count; ++r) {
+    auto row = GetRow(r);
+    DS_RETURN_IF_ERROR(row.status());
+    visit(r, row.value().data());
+  }
+  return Status::OK();
+}
+
 TableStorage::TableStorage(storage::Pager* pager,
                            const storage::PagerConfig& config)
     : owned_pager_(pager == nullptr ? std::make_unique<storage::Pager>(config)

@@ -1,6 +1,7 @@
 #ifndef DATASPREAD_STORAGE_TABLE_STORAGE_H_
 #define DATASPREAD_STORAGE_TABLE_STORAGE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -54,6 +55,25 @@ class TableStorage {
   virtual Status Set(size_t row, size_t col, Value v) = 0;
   /// Reads a whole tuple.
   virtual Result<Row> GetRow(size_t row) const = 0;
+  /// Bulk scan: appends rows [start, start+count) to `out`. Every model
+  /// overrides this with a PageCursor streaming path — one page pin per data
+  /// page instead of a hash lookup per cell — which is also what classifies
+  /// the traversal as a scan for the pager's scan-resistant eviction. The
+  /// base implementation is the GetRow loop (reference semantics).
+  virtual Status GetRows(size_t start, size_t count,
+                         std::vector<Row>* out) const;
+
+  /// Called once per visited row with `values` pointing at num_columns()
+  /// cells. The pointer is valid only during the call.
+  using RowVisitor = std::function<void(size_t row, const Value* values)>;
+  /// The zero-materialization scan: visits rows [start, start+count) in
+  /// order without building a Row per tuple. Row-major layouts hand out
+  /// pointers straight into the pinned page whenever a tuple does not
+  /// straddle a page boundary; decomposed layouts gather into one reused
+  /// scratch tuple. This is the fast path full scans and aggregations should
+  /// use; GetRows is for callers that need owned rows.
+  virtual Status VisitRows(size_t start, size_t count,
+                           const RowVisitor& visit) const;
 
   /// Appends a tuple; `row.size()` must equal num_columns(). Returns the slot.
   virtual Result<size_t> AppendRow(const Row& row) = 0;
@@ -80,6 +100,16 @@ class TableStorage {
   /// `config` shapes the private pager when `pager` is null; ignored for a
   /// shared pool (whose owner configured it).
   TableStorage(storage::Pager* pager, const storage::PagerConfig& config);
+
+  /// Shared bounds guard of every bulk row API (GetRows/VisitRows).
+  Status CheckRowRange(size_t start, size_t count) const {
+    if (start >= num_rows() || count > num_rows() - start) {
+      return Status::OutOfRange("rows [" + std::to_string(start) + ", " +
+                                std::to_string(start + count) + ") of " +
+                                std::to_string(num_rows()));
+    }
+    return Status::OK();
+  }
 
   Status CheckCell(size_t row, size_t col) const {
     if (row >= num_rows()) {

@@ -1,0 +1,316 @@
+// PageCursor (storage/page_cursor.h): the pin-once-per-page hot path. The
+// cursor must be semantically identical to the slot-granular Read/Write/Take
+// — same values, same file growth, same distinct-page accounting — while
+// holding at most one pin, surviving eviction boundaries under tiny pools,
+// and classifying its traversals as scans. GetRows (the bulk path every
+// storage model routes through cursors) is checked against the GetRow loop
+// for all four models.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/page_cursor.h"
+#include "storage/pager.h"
+#include "storage/table_storage.h"
+
+namespace dataspread {
+namespace {
+
+using storage::FileId;
+using storage::PageCursor;
+using storage::Pager;
+using storage::PagerConfig;
+
+constexpr uint64_t kSlots = Pager::kSlotsPerPage;
+
+PagerConfig Bounded(size_t cap) {
+  PagerConfig config;
+  config.max_resident_pages = cap;
+  return config;
+}
+
+Value ProbeValue(uint64_t seed) {
+  switch (seed % 5) {
+    case 0:
+      return Value::Int(static_cast<int64_t>(seed) * 17 - 3);
+    case 1:
+      return Value::Real(static_cast<double>(seed) / 7.0);
+    case 2:
+      return Value::Text("t" + std::to_string(seed));
+    case 3:
+      return Value::Bool(seed % 2 == 1);
+    default:
+      return Value::Null();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read/Write/Take semantics match the slot APIs
+// ---------------------------------------------------------------------------
+
+TEST(PageCursorTest, WritesReadBackThroughBothPaths) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  constexpr uint64_t kCount = 3 * kSlots + 40;
+  {
+    PageCursor cursor(pager, f);
+    for (uint64_t s = 0; s < kCount; ++s) cursor.Write(s, ProbeValue(s));
+  }
+  EXPECT_EQ(pager.FileSize(f), kCount);
+  EXPECT_EQ(pager.FilePages(f), 4u);
+  // Cursor writes are visible to the slot API...
+  for (uint64_t s = 0; s < kCount; ++s) {
+    ASSERT_EQ(pager.Read(f, s), ProbeValue(s)) << "slot " << s;
+  }
+  // ...and slot writes are visible to a fresh cursor.
+  pager.Write(f, 5, Value::Text("updated"));
+  PageCursor cursor(pager, f);
+  EXPECT_EQ(cursor.Read(5), Value::Text("updated"));
+  EXPECT_EQ(cursor.Read(kCount - 1), ProbeValue(kCount - 1));
+}
+
+TEST(PageCursorTest, TakeMovesValueOutAndDirtiesLikeTheSlotApi) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  pager.Write(f, kSlots + 3, Value::Text("payload"));
+  // Only page 1 was written (page 0 is allocated but clean).
+  ASSERT_EQ(pager.FlushAll(), 1u);
+  PageCursor cursor(pager, f);
+  EXPECT_EQ(cursor.Take(kSlots + 3), Value::Text("payload"));
+  EXPECT_TRUE(cursor.Read(kSlots + 3).is_null());
+  cursor.Release();
+  // The take dirtied the page, so the checkpoint rewrites exactly it.
+  EXPECT_EQ(pager.FlushAll(), 1u);
+}
+
+TEST(PageCursorTest, HoldsExactlyOnePinAndReleasesIt) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  for (uint64_t p = 0; p < 4; ++p) pager.Write(f, p * kSlots, Value::Int(1));
+  {
+    PageCursor cursor(pager, f);
+    EXPECT_EQ(pager.pinned_pages(), 0u);  // not started: no pin yet
+    (void)cursor.Read(0);
+    EXPECT_EQ(pager.pinned_pages(), 1u);
+    (void)cursor.Read(2 * kSlots);  // page change: old pin released
+    EXPECT_EQ(pager.pinned_pages(), 1u);
+    cursor.Release();
+    EXPECT_EQ(pager.pinned_pages(), 0u);
+    (void)cursor.Read(3 * kSlots);  // usable after Release
+    EXPECT_EQ(pager.pinned_pages(), 1u);
+  }  // destructor releases the last pin
+  EXPECT_EQ(pager.pinned_pages(), 0u);
+}
+
+TEST(PageCursorTest, MoveTransfersThePin) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  pager.Write(f, 0, Value::Int(7));
+  PageCursor a(pager, f);
+  EXPECT_EQ(a.Read(0), Value::Int(7));
+  EXPECT_EQ(pager.pinned_pages(), 1u);
+  PageCursor b(std::move(a));
+  EXPECT_EQ(pager.pinned_pages(), 1u);  // exactly one pin moved, not two
+  EXPECT_EQ(b.Read(0), Value::Int(7));
+  b.Release();
+  EXPECT_EQ(pager.pinned_pages(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Accounting: distinct pages once per page, slot counters exact
+// ---------------------------------------------------------------------------
+
+TEST(PageCursorTest, EpochCountsDistinctPagesOncePerPageVisit) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  pager.BeginEpoch();
+  {
+    PageCursor cursor(pager, f);
+    for (uint64_t s = 0; s < 3 * kSlots; ++s) {
+      cursor.Write(s, Value::Int(static_cast<int64_t>(s)));
+    }
+  }
+  EXPECT_EQ(pager.EpochPagesWritten(), 3u);
+  EXPECT_EQ(pager.EpochPagesRead(), 0u);
+  EXPECT_EQ(pager.stats().slot_writes, 3 * kSlots);
+
+  pager.BeginEpoch();
+  uint64_t reads_before = pager.stats().slot_reads;
+  {
+    PageCursor cursor(pager, f);
+    for (uint64_t s = 0; s < 2 * kSlots; ++s) (void)cursor.Read(s);
+  }
+  EXPECT_EQ(pager.EpochPagesRead(), 2u);
+  EXPECT_EQ(pager.EpochPagesWritten(), 0u);
+  EXPECT_EQ(pager.stats().slot_reads - reads_before, 2 * kSlots);
+}
+
+TEST(PageCursorTest, WriteRangeAndFillMatchSlotWritesExactly) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  std::vector<Value> values;
+  constexpr uint64_t kCount = 2 * kSlots + 17;
+  values.reserve(kCount);
+  for (uint64_t s = 0; s < kCount; ++s) values.push_back(ProbeValue(s + 9));
+
+  pager.BeginEpoch();
+  PageCursor cursor(pager, f);
+  cursor.WriteRange(10, values.data(), kCount);
+  EXPECT_EQ(pager.FileSize(f), 10 + kCount);
+  EXPECT_EQ(pager.EpochPagesWritten(), 3u);  // slots 10 .. 2*256+27
+  EXPECT_EQ(pager.stats().slot_writes, kCount);
+  for (uint64_t s = 0; s < kCount; ++s) {
+    ASSERT_EQ(pager.Read(f, 10 + s), values[s]) << "slot " << s;
+  }
+
+  cursor.Fill(10 + kCount, kSlots, Value::Text("fill"));
+  EXPECT_EQ(pager.FileSize(f), 10 + kCount + kSlots);
+  EXPECT_EQ(pager.Read(f, 10 + kCount + kSlots - 1), Value::Text("fill"));
+  EXPECT_TRUE(pager.Read(f, 9).is_null());  // slots below the range untouched
+}
+
+TEST(PagerTest, PagerWriteRangeMatchesSlotWrites) {
+  Pager pager;
+  FileId f = pager.CreateFile();
+  std::vector<Value> values;
+  constexpr uint64_t kCount = kSlots + 31;
+  for (uint64_t s = 0; s < kCount; ++s) values.push_back(ProbeValue(s));
+  pager.BeginEpoch();
+  pager.WriteRange(f, 0, values.data(), kCount);
+  EXPECT_EQ(pager.FileSize(f), kCount);
+  EXPECT_EQ(pager.EpochPagesWritten(), 2u);
+  EXPECT_EQ(pager.stats().slot_writes, kCount);
+  for (uint64_t s = 0; s < kCount; ++s) {
+    ASSERT_EQ(pager.Read(f, s), values[s]) << "slot " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cursors under a bounded pool
+// ---------------------------------------------------------------------------
+
+TEST(PageCursorTest, StreamsCorrectlyThroughATinyPool) {
+  Pager pager(Bounded(3));
+  FileId f = pager.CreateFile();
+  constexpr uint64_t kCount = 12 * kSlots;
+  {
+    PageCursor cursor(pager, f);
+    for (uint64_t s = 0; s < kCount; ++s) cursor.Write(s, ProbeValue(s));
+  }
+  EXPECT_LE(pager.resident_pages(), 3u);
+  EXPECT_GT(pager.stats().evictions, 0u);
+  // Forward scan, then strided jumps, then backward scan — all faulting
+  // through the 3-frame pool — must read exactly what was written.
+  {
+    PageCursor cursor(pager, f);
+    for (uint64_t s = 0; s < kCount; ++s) {
+      ASSERT_EQ(cursor.Read(s), ProbeValue(s)) << "slot " << s;
+      ASSERT_LE(pager.resident_pages(), 3u);
+    }
+    for (uint64_t s = 0; s < kCount; s += 700) {
+      ASSERT_EQ(cursor.Read(s), ProbeValue(s)) << "slot " << s;
+    }
+    for (uint64_t s = kCount; s-- > 0;) {
+      ASSERT_EQ(cursor.Read(s), ProbeValue(s)) << "slot " << s;
+    }
+  }
+  EXPECT_GT(pager.stats().faults, 0u);
+}
+
+TEST(PageCursorTest, TwoCursorRestrideSurvivesEvictionPressure) {
+  // The RowStore::AddColumn pattern: a source cursor taking values while a
+  // destination cursor rewrites them at a wider stride, same file, under a
+  // pool smaller than the data.
+  Pager pager(Bounded(4));
+  FileId f = pager.CreateFile();
+  constexpr uint64_t kRows = 5 * kSlots;  // 5 pages at width 1
+  for (uint64_t r = 0; r < kRows; ++r) {
+    pager.Write(f, r, Value::Int(static_cast<int64_t>(r)));
+  }
+  {
+    PageCursor src(pager, f);
+    PageCursor dst(pager, f);
+    for (uint64_t r = kRows; r-- > 0;) {
+      dst.Write(r * 2 + 1, Value::Int(-1));
+      dst.Write(r * 2, src.Take(r));
+    }
+  }
+  EXPECT_LE(pager.resident_pages(), 4u);
+  for (uint64_t r = 0; r < kRows; ++r) {
+    ASSERT_EQ(pager.Read(f, r * 2), Value::Int(static_cast<int64_t>(r)));
+    ASSERT_EQ(pager.Read(f, r * 2 + 1), Value::Int(-1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GetRows (the bulk scan path) equals the GetRow loop for every model
+// ---------------------------------------------------------------------------
+
+class GetRowsModelTest : public ::testing::TestWithParam<StorageModel> {};
+
+TEST_P(GetRowsModelTest, MatchesGetRowLoopDenseAndAfterSchemaChanges) {
+  for (size_t cap : {size_t{0}, size_t{4}}) {
+    auto s = CreateStorage(GetParam(), 5, nullptr, Bounded(cap));
+    std::mt19937 rng(31);
+    constexpr size_t kRows = 700;  // ~14 pages of tuples behind 4 frames
+    Row r(5);
+    for (size_t i = 0; i < kRows; ++i) {
+      for (size_t c = 0; c < 5; ++c) {
+        r[c] = (rng() % 6 == 0) ? Value::Null()
+                                : ProbeValue(rng() % 1000);
+      }
+      ASSERT_TRUE(s->AppendRow(r).ok());
+    }
+    // Schema churn so hybrid goes multi-group and rcv gets a filled column.
+    ASSERT_TRUE(s->AddColumn(Value::Int(42)).ok());
+    ASSERT_TRUE(s->DropColumn(1).ok());
+
+    std::vector<Row> bulk;
+    ASSERT_TRUE(s->GetRows(0, kRows, &bulk).ok());
+    ASSERT_EQ(bulk.size(), kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      Row expect = s->GetRow(i).ValueOrDie();
+      ASSERT_EQ(bulk[i], expect) << "row " << i << " cap " << cap;
+    }
+    // The zero-materialization visitor sees the same tuples in order.
+    size_t visited = 0;
+    size_t cols = s->num_columns();
+    ASSERT_TRUE(s->VisitRows(0, kRows,
+                             [&](size_t row, const Value* values) {
+                               ASSERT_EQ(row, visited);
+                               for (size_t c = 0; c < cols; ++c) {
+                                 ASSERT_EQ(values[c], bulk[row][c])
+                                     << "row " << row << " col " << c
+                                     << " cap " << cap;
+                               }
+                               ++visited;
+                             })
+                    .ok());
+    EXPECT_EQ(visited, kRows);
+    EXPECT_FALSE(s->VisitRows(kRows, 1, [](size_t, const Value*) {}).ok());
+    // A mid-table window with a non-zero start.
+    std::vector<Row> window;
+    ASSERT_TRUE(s->GetRows(kRows / 3, 10, &window).ok());
+    ASSERT_EQ(window.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_EQ(window[i], s->GetRow(kRows / 3 + i).ValueOrDie());
+    }
+    // Bounds are enforced.
+    std::vector<Row> none;
+    EXPECT_FALSE(s->GetRows(kRows - 5, 6, &none).ok());
+    EXPECT_FALSE(s->GetRows(kRows, 1, &none).ok());
+    EXPECT_TRUE(s->GetRows(kRows, 0, &none).ok());  // empty range is fine
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, GetRowsModelTest,
+                         ::testing::Values(StorageModel::kRow,
+                                           StorageModel::kColumn,
+                                           StorageModel::kRcv,
+                                           StorageModel::kHybrid));
+
+}  // namespace
+}  // namespace dataspread

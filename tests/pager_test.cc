@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "storage/pager.h"
 #include "storage/table_storage.h"
 
@@ -7,6 +9,8 @@ namespace dataspread {
 namespace {
 
 using storage::FileId;
+using storage::PageKey;
+using storage::PageKeyHash;
 using storage::Pager;
 using storage::ValuePage;
 
@@ -48,6 +52,38 @@ TEST(PagerTest, EpochCountsDistinctPages) {
   (void)pager.Read(f, Pager::kSlotsPerPage);
   EXPECT_EQ(pager.EpochPagesRead(), 2u);
   EXPECT_EQ(pager.EpochPagesWritten(), 0u);
+}
+
+// Satellite regression: the old epoch key packed (file << 24) ^ page_index
+// into one uint64, so distinct (file, page) pairs aliased once a chain
+// passed 2^24 pages (or file ids grew large) — undercounting distinct pages
+// exactly on the billion-cell workloads the accounting exists for. PageKey
+// is a genuine two-field key: identity is equality of both fields, never a
+// packing artifact.
+TEST(PagerTest, EpochPageKeyNeverAliasesDistinctFilePagePairs) {
+  auto old_key = [](uint64_t file, uint64_t page) {
+    return (file << 24) ^ page;
+  };
+  // The documented collision: (file 1, page 2^25) vs (file 3, page 0).
+  ASSERT_EQ(old_key(1, 2ull << 24), old_key(3, 0))
+      << "collision premise of this regression no longer holds";
+  PageKey a{1, 2ull << 24};
+  PageKey b{3, 0};
+  EXPECT_FALSE(a == b);
+  std::unordered_set<PageKey, PageKeyHash> epoch;
+  epoch.insert(a);
+  epoch.insert(b);
+  epoch.insert(a);  // dedup still works for genuinely equal keys
+  EXPECT_EQ(epoch.size(), 2u);
+  // A couple more formerly-aliasing families, including huge file ids that
+  // the 24-bit shift used to truncate into each other.
+  epoch.clear();
+  for (uint64_t file : {1ull, 1ull << 41, (1ull << 41) + 1}) {
+    for (uint64_t page : {0ull, 1ull << 24, 1ull << 40}) {
+      epoch.insert(PageKey{file, page});
+    }
+  }
+  EXPECT_EQ(epoch.size(), 9u);
 }
 
 TEST(PagerTest, PerFileIsolation) {

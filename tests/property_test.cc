@@ -4,6 +4,7 @@
 
 #include "core/dataspread.h"
 #include "io/csv.h"
+#include "storage/page_cursor.h"
 
 namespace dataspread {
 namespace {
@@ -388,6 +389,133 @@ TEST_P(EvictionTransparencyTest, PoolSizeNeverChangesVisibleContents) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EvictionTransparencyTest,
                          ::testing::Values(7u, 77u, 7777u));
+
+// ---------------------------------------------------------------------------
+// Invariant 7: the access path is invisible. Replaying one op tape through
+// the slot-granular APIs and through PageCursors must leave byte-identical
+// visible contents — for every pool size and both eviction policies (clock
+// only vs scan-resistant + readahead). The cursor fast path and the scan
+// ring may only change *where* pages live, never what callers read.
+// ---------------------------------------------------------------------------
+
+class CursorTransparencyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CursorTransparencyTest, CursorAndSlotPathsConverge) {
+  using storage::FileId;
+  using storage::PageCursor;
+  using storage::Pager;
+  using storage::PagerConfig;
+  constexpr uint64_t kSlotsPerPage = Pager::kSlotsPerPage;
+  constexpr int kFiles = 2;
+  constexpr uint64_t kMaxSlots = 9 * kSlotsPerPage;
+
+  struct Op {
+    int kind;  // 0 write, 1 take, 2 flush, 3 bulk run of writes
+    int file;
+    uint64_t slot;
+    Value value;
+  };
+  std::vector<Op> tape;
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 1200; ++i) {
+    Op op;
+    uint32_t k = rng() % 16;
+    op.kind = k < 10 ? 0 : (k < 12 ? 1 : (k < 14 ? 3 : 2));
+    op.file = static_cast<int>(rng() % kFiles);
+    op.slot = rng() % kMaxSlots;
+    op.value = (rng() % 3 == 0)
+                   ? Value::Text("s" + std::to_string(rng() % 512))
+                   : Value::Int(static_cast<int64_t>(rng()));
+    tape.push_back(std::move(op));
+  }
+
+  // `use_cursor` routes every op through long-lived per-file cursors;
+  // otherwise the slot APIs serve them. Takes on not-yet-addressable slots
+  // are skipped identically in both modes.
+  auto replay = [&](size_t cap, bool scan_resistant, bool use_cursor) {
+    PagerConfig config;
+    config.max_resident_pages = cap;
+    config.scan_resistant = scan_resistant;
+    config.readahead = scan_resistant;
+    Pager pager(config);
+    std::vector<FileId> files;
+    for (int i = 0; i < kFiles; ++i) files.push_back(pager.CreateFile());
+    {
+      std::vector<PageCursor> cursors;
+      for (int i = 0; i < kFiles; ++i) cursors.emplace_back(pager, files[i]);
+      for (const Op& op : tape) {
+        FileId f = files[op.file];
+        PageCursor& cur = cursors[static_cast<size_t>(op.file)];
+        switch (op.kind) {
+          case 0:
+            if (use_cursor) {
+              cur.Write(op.slot, op.value);
+            } else {
+              pager.Write(f, op.slot, op.value);
+            }
+            break;
+          case 1: {
+            uint64_t capacity = pager.FilePages(f) * kSlotsPerPage;
+            if (op.slot >= capacity) break;
+            if (use_cursor) {
+              (void)cur.Take(op.slot);
+            } else {
+              (void)pager.Take(f, op.slot);
+            }
+            break;
+          }
+          case 3: {  // short sequential burst: the scan-classified shape
+            uint64_t start = op.slot % (kMaxSlots / 2);
+            for (uint64_t s = 0; s < kSlotsPerPage + 9; ++s) {
+              if (use_cursor) {
+                cur.Write(start + s, Value::Int(static_cast<int64_t>(s)));
+              } else {
+                pager.Write(f, start + s, Value::Int(static_cast<int64_t>(s)));
+              }
+            }
+            break;
+          }
+          default:
+            (void)pager.FlushAll();
+        }
+        if (cap > 0) {
+          EXPECT_LE(pager.resident_pages(), cap);
+        }
+      }
+    }  // cursors released
+    std::vector<std::vector<Value>> contents(kFiles);
+    for (int i = 0; i < kFiles; ++i) {
+      uint64_t capacity = pager.FilePages(files[i]) * kSlotsPerPage;
+      for (uint64_t s = 0; s < capacity; ++s) {
+        contents[i].push_back(pager.Read(files[i], s));
+      }
+    }
+    return contents;
+  };
+
+  auto reference = replay(/*cap=*/0, /*scan_resistant=*/false,
+                          /*use_cursor=*/false);
+  for (size_t cap : {size_t{0}, size_t{48}, size_t{3}}) {
+    for (bool scan_resistant : {false, true}) {
+      for (bool use_cursor : {false, true}) {
+        auto got = replay(cap, scan_resistant, use_cursor);
+        for (int i = 0; i < kFiles; ++i) {
+          ASSERT_EQ(got[i].size(), reference[i].size())
+              << "cap " << cap << " scanres " << scan_resistant << " cursor "
+              << use_cursor << " file " << i;
+          for (size_t s = 0; s < reference[i].size(); ++s) {
+            ASSERT_EQ(got[i][s], reference[i][s])
+                << "cap " << cap << " scanres " << scan_resistant
+                << " cursor " << use_cursor << " file " << i << " slot " << s;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CursorTransparencyTest,
+                         ::testing::Values(5u, 55u, 5555u));
 
 }  // namespace
 }  // namespace dataspread
