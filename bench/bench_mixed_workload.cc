@@ -66,7 +66,8 @@ struct MixedResult {
 /// straight through it.
 MixedResult RunMixedPass(TableStorage& s, size_t rows, std::mt19937& rng) {
   const size_t hot_start = (rows / 2 / kRowsPerPage) * kRowsPerPage;
-  const storage::PagerStats& stats = s.pager().stats();
+  // stats() returns a snapshot by value (it merges backend counters), so
+  // the fault delta brackets each lookup batch with two snapshots.
   MixedResult result;
   for (size_t i = 0; i < rows; i += kScanChunkRows) {
     int64_t chunk_sum = 0;
@@ -75,12 +76,12 @@ MixedResult RunMixedPass(TableStorage& s, size_t rows, std::mt19937& rng) {
                         chunk_sum += values[0].int_value();
                       });
     result.checksum += chunk_sum;
-    uint64_t faults_before = stats.faults;
+    uint64_t faults_before = s.pager().stats().faults;
     for (size_t k = 0; k < kLookupsPerChunk; ++k) {
       size_t row = hot_start + rng() % kHotRows;
       result.checksum += s.Get(row, rng() % kCols).ValueOrDie().int_value();
     }
-    result.hot_faults += stats.faults - faults_before;
+    result.hot_faults += s.pager().stats().faults - faults_before;
   }
   return result;
 }

@@ -1,0 +1,196 @@
+// Durability costs (DESIGN.md §6): WAL append throughput — buffered vs
+// fsync-per-batch — and recovery time per MB of replayed log.
+//
+//   BM_Wal_Append_Buffered    — redo generation cost alone: records are
+//                               framed, CRC'd, and drained to the OS, but
+//                               fsync happens only at the checkpoint the
+//                               timing loop takes when the log passes the
+//                               auto-checkpoint bound.
+//   BM_Wal_Append_SyncEach    — a durability barrier after every batch of
+//                               rows ("commit" cadence): the fsync ceiling.
+//   BM_Wal_Recovery           — Pager construction over a crashed pair with
+//                               ~arg MB of redo tail; manual timing, with
+//                               the file copies kept outside the clock.
+//                               Reports recovery_ms_per_mb — the number the
+//                               ci/check.sh recovery smoke gates.
+//
+// Every run appends a JSON line to BENCH_wal.json (DS_BENCH_JSON_DIR) with
+// wal_records / wal_bytes / wal_syncs and the derived throughput, the
+// cross-PR trajectory for the durability path.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "storage/pager.h"
+#include "workloads.h"
+
+namespace dataspread {
+namespace {
+
+using storage::FileId;
+using storage::Pager;
+using storage::PagerConfig;
+
+constexpr uint64_t kSlots = Pager::kSlotsPerPage;
+constexpr uint64_t kBatchSlots = 1024;
+
+/// A scratch durable pair under DS_SPILL_DIR (or /tmp), unique per use;
+/// removed on destruction — durable files outlive pagers by design, so the
+/// bench cleans up after itself.
+struct ScratchPair {
+  explicit ScratchPair(const std::string& tag) {
+    const char* dir = std::getenv("DS_SPILL_DIR");
+    std::string base = std::string(dir != nullptr ? dir : "/tmp") +
+                       "/ds-bench-wal-" + std::to_string(::getpid()) + "-" +
+                       tag;
+    wal = base + ".wal";
+    spill = base + ".spill";
+    Remove();
+  }
+  ~ScratchPair() { Remove(); }
+  void Remove() {
+    std::remove(wal.c_str());
+    std::remove(spill.c_str());
+  }
+  PagerConfig Config(size_t cap) const {
+    PagerConfig config;
+    config.max_resident_pages = cap;
+    config.spill_path = spill;
+    config.wal_path = wal;
+    config.durable_spill = true;
+    return config;
+  }
+  std::string wal, spill;
+};
+
+Value BenchValue(uint64_t s) {
+  if (s % 8 == 0) return Value::Text("payload-" + std::to_string(s));
+  return Value::Int(static_cast<int64_t>(s) * 17);
+}
+
+void RunAppend(benchmark::State& state, bool sync_each,
+               const std::string& run) {
+  ScratchPair pair(run);
+  PagerConfig config = pair.Config(/*cap=*/256);
+  // Keep the log (and memory of the test machine) bounded: checkpoint once
+  // 64 MB of redo accumulates. The checkpoint cost is part of the durable
+  // write path and stays inside the timing loop on purpose.
+  config.wal_auto_checkpoint_bytes = 64ull << 20;
+  Pager pager(config);
+  FileId f = pager.CreateFile();
+  storage::PagerStats before = pager.stats();
+  uint64_t slot = 0;
+  for (auto _ : state) {
+    for (uint64_t k = 0; k < kBatchSlots; ++k, ++slot) {
+      pager.Write(f, slot, BenchValue(slot));
+    }
+    if (sync_each) pager.SyncWal();
+    benchmark::DoNotOptimize(slot);
+  }
+  storage::PagerStats after = pager.stats();
+  uint64_t records = after.wal_records - before.wal_records;
+  uint64_t bytes = after.wal_bytes - before.wal_bytes;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatchSlots));
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  state.counters["wal_records"] = static_cast<double>(records);
+  state.counters["wal_bytes"] = static_cast<double>(bytes);
+  state.counters["wal_syncs"] =
+      static_cast<double>(after.wal_syncs - before.wal_syncs);
+  bench::AppendBenchJsonLine(
+      "wal", "Append/" + run,
+      {{"iterations", static_cast<double>(state.iterations())},
+       {"slots", static_cast<double>(state.iterations() *
+                                     static_cast<int64_t>(kBatchSlots))},
+       {"wal_records", static_cast<double>(records)},
+       {"wal_bytes", static_cast<double>(bytes)},
+       {"wal_syncs", static_cast<double>(after.wal_syncs - before.wal_syncs)},
+       {"spill_dead_bytes", static_cast<double>(after.spill_dead_bytes)}});
+  pager.CrashForTesting();  // skip the destructor checkpoint: bench is done
+}
+
+void BM_Wal_Append_Buffered(benchmark::State& state) {
+  RunAppend(state, /*sync_each=*/false, "buffered");
+}
+BENCHMARK(BM_Wal_Append_Buffered)->Unit(benchmark::kMicrosecond);
+
+void BM_Wal_Append_SyncEach(benchmark::State& state) {
+  RunAppend(state, /*sync_each=*/true, "sync_each");
+}
+BENCHMARK(BM_Wal_Append_SyncEach)->Unit(benchmark::kMicrosecond);
+
+std::string ReadAll(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+/// Recovery cost: replays a crashed pair whose log tail holds ~range(0) MB
+/// of redo. Manual time measures only the Pager constructor (the copies
+/// that reset the pair between iterations stay off the clock).
+void BM_Wal_Recovery(benchmark::State& state) {
+  const uint64_t target_bytes = static_cast<uint64_t>(state.range(0)) << 20;
+  ScratchPair pair("recovery-" + std::to_string(state.range(0)));
+  {
+    Pager pager(pair.Config(/*cap=*/256));
+    FileId f = pager.CreateFile();
+    uint64_t slot = 0;
+    while (pager.wal()->bytes_since_checkpoint() < target_bytes) {
+      pager.Write(f, slot, BenchValue(slot));
+      ++slot;
+    }
+    pager.CrashForTesting();
+  }
+  const std::string wal_image = ReadAll(pair.wal);
+  const std::string spill_image = ReadAll(pair.spill);
+  const double mb = static_cast<double>(wal_image.size()) / (1 << 20);
+
+  double total_ms = 0;
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    WriteAll(pair.wal, wal_image);
+    WriteAll(pair.spill, spill_image);
+    auto t0 = std::chrono::steady_clock::now();
+    Pager pager(pair.Config(/*cap=*/256));
+    auto t1 = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(t1 - t0).count();
+    state.SetIterationTime(seconds);
+    total_ms += seconds * 1e3;
+    replayed = pager.recovery_records();
+    pager.CrashForTesting();  // recovery itself is what is being timed
+  }
+  double ms_per_mb =
+      state.iterations() > 0 && mb > 0
+          ? total_ms / static_cast<double>(state.iterations()) / mb
+          : 0;
+  state.counters["wal_mb"] = mb;
+  state.counters["recovery_ms_per_mb"] = ms_per_mb;
+  state.counters["replayed_records"] = static_cast<double>(replayed);
+  bench::AppendBenchJsonLine(
+      "wal", "Recovery/" + std::to_string(state.range(0)) + "mb",
+      {{"iterations", static_cast<double>(state.iterations())},
+       {"wal_mb", mb},
+       {"replayed_records", static_cast<double>(replayed)},
+       {"recovery_ms_per_mb", ms_per_mb}});
+}
+BENCHMARK(BM_Wal_Recovery)->Arg(1)->Arg(8)->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dataspread

@@ -2,7 +2,9 @@
 # CI gate: configure -> build -> ctest, with warnings-as-errors for the
 # storage subsystem (src/storage/ must stay warning-clean; the rest of the
 # tree builds with -Wall -Wextra), followed by a low-memory smoke run that
-# exercises the bounded buffer pool (eviction + spill) end to end.
+# exercises the bounded buffer pool (eviction + spill) end to end, a perf
+# smoke for the scan-resistant eviction policy, and a crash-recovery smoke
+# (SIGKILL a durable workload, reopen, diff, gate recovery time).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -81,6 +83,43 @@ if [[ -x "${BUILD_DIR}/bench_mixed_workload" ]]; then
   fi
 else
   echo "ci/check.sh: bench_mixed_workload not built; skipping eviction perf smoke"
+fi
+
+# ---------------------------------------------------------------------------
+# Recovery smoke: a bounded-pool durable workload is SIGKILLed mid-stream,
+# then reopened — recovery must replay the WAL tail, hold every slot that was
+# acknowledged (synced) before the kill, and diff clean against the
+# deterministic generator. Recovery time is gated against the log size
+# (measured ~5 ms/MB; the budget leaves ~20x slack for loaded CI machines).
+# ---------------------------------------------------------------------------
+if [[ -x "${BUILD_DIR}/recovery_smoke" ]]; then
+  RECOVERY_DIR="${SMOKE_DIR}/recovery"
+  mkdir -p "${RECOVERY_DIR}"
+  "${BUILD_DIR}/recovery_smoke" run "${RECOVERY_DIR}" \
+    > "${SMOKE_DIR}/recovery_run.log" 2>&1 &
+  smoke_pid=$!
+  sleep 2
+  kill -9 "${smoke_pid}" 2>/dev/null || true
+  wait "${smoke_pid}" 2>/dev/null || true
+  min_slots="$(awk '/^synced/{n=$2} END{print n+0}' "${SMOKE_DIR}/recovery_run.log")"
+  if (( min_slots == 0 )); then
+    echo "ci/check.sh: recovery smoke never reached its first WAL sync" >&2
+    exit 1
+  fi
+  wal_bytes="$(stat -c%s "${RECOVERY_DIR}/smoke.wal")"
+  recover_line="$("${BUILD_DIR}/recovery_smoke" recover "${RECOVERY_DIR}" "${min_slots}")"
+  echo "ci/check.sh: recovery smoke: ${recover_line}" \
+       "(SIGKILL after >=${min_slots} acked slots, log ${wal_bytes} bytes)"
+  recovery_ms="$(sed -n 's/.* ms=\([0-9]*\).*/\1/p' <<<"${recover_line}")"
+  recovery_budget_ms=$(( 1000 + (wal_bytes / (1024 * 1024) + 1) * 100 ))
+  if (( recovery_ms > recovery_budget_ms )); then
+    echo "ci/check.sh: recovery took ${recovery_ms} ms for a" \
+         "${wal_bytes}-byte log (budget ${recovery_budget_ms} ms) —" \
+         "recovery-time regression" >&2
+    exit 1
+  fi
+else
+  echo "ci/check.sh: recovery_smoke not built; skipping crash-recovery smoke"
 fi
 
 # The smoke run must not leak spill files outside its scratch dir, and ctest

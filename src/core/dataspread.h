@@ -31,10 +31,14 @@ struct DataSpreadOptions {
   /// Buffer-pool policy of the embedded database's pager: cap on in-memory
   /// page frames (0 = unbounded) and the spill file evicted pages write back
   /// to. Lets a whole DataSpread instance run larger-than-memory sheets.
+  /// Setting `pager.wal_path` (with `durable_spill` and a named
+  /// `spill_path`) makes the table data durable: reopening the instance on
+  /// the same pair recovers every committed cell (DESIGN.md §6; sheet/
+  /// formula state is not yet persisted — see ROADMAP).
   /// CAUTION: a bounded pool makes every pager read structurally mutating
   /// (fault-in can evict), and pager access is not internally synchronized —
   /// do not combine a cap with background_compute until the concurrency
-  /// milestone lands (DESIGN.md §6).
+  /// milestone lands (DESIGN.md §7).
   storage::PagerConfig pager;
 };
 

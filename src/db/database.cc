@@ -26,6 +26,11 @@ Result<Value> EvalConstant(const sql::Expr& e) { return EvalScalar(e, nullptr); 
 
 }  // namespace
 
+size_t Database::Checkpoint() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return pager_.FlushAll();
+}
+
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     ExternalResolver* resolver) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);

@@ -20,7 +20,13 @@ struct DatabaseOptions {
   /// Buffer-pool policy of the shared pager every table of this database
   /// allocates from: `max_resident_pages` bounds in-memory frames (0 =
   /// unbounded), `spill_path` names the eviction/checkpoint backing file
-  /// (empty = anonymous temp file). See storage::PagerConfig.
+  /// (empty = anonymous temp file). With `wal_path` + `durable_spill` set,
+  /// the pool is *durable*: every table mutation is WAL-logged, Checkpoint()
+  /// truncates the log, and constructing a Database over the same pair
+  /// recovers the committed page data (storage::PagerConfig, DESIGN.md §6).
+  /// Note: the catalog (schemas, table names) is rebuilt by the application
+  /// for now — page data durability is the storage milestone; catalog
+  /// persistence rides with the transaction manager (ROADMAP).
   storage::PagerConfig pager;
 };
 
@@ -48,6 +54,11 @@ class Database {
   /// its heaps from this one accounted pool.
   storage::Pager& pager() { return pager_; }
   const storage::Pager& pager() const { return pager_; }
+
+  /// Flushes every dirty page of every table to the spill file; under a WAL
+  /// (DatabaseOptions.pager.wal_path) this is the fuzzy checkpoint that also
+  /// truncates the log and bounds recovery time. Returns pages written.
+  size_t Checkpoint();
 
   /// Parses and executes one SQL statement. `resolver` supplies the
   /// spreadsheet context for RANGEVALUE/RANGETABLE (null = plain SQL only).

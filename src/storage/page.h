@@ -34,6 +34,9 @@ class PageAccountant {
   size_t EpochPagesWritten() const { return pager_->EpochPagesWritten(); }
 
   /// Total slot accesses since the pager's construction (not distinct).
+  /// (The full PagerStats snapshot behind these also carries the physical
+  /// layer — faults/evictions/spill bytes — and, under a durable pager,
+  /// the WAL counters and spill_dead_bytes; see pager().stats().)
   uint64_t lifetime_reads() const { return pager_->stats().slot_reads; }
   uint64_t lifetime_writes() const { return pager_->stats().slot_writes; }
 

@@ -133,6 +133,7 @@ void PageCursor::Write(uint64_t slot, Value v) {
   if (slot >= chain_->size) chain_->size = slot + 1;
   CountWrite();
   page_->slot(slot - base_) = std::move(v);
+  pager_->LogPageMutation(file_, *chain_, page_index_, slot - base_, 1);
 }
 
 Value PageCursor::Take(uint64_t slot) {
@@ -142,7 +143,9 @@ Value PageCursor::Take(uint64_t slot) {
   }
   page_->dirty_ = true;  // the slot changes; same rationale as Pager::Take
   CountRead();
-  return std::exchange(page_->slot(slot - base_), Value::Null());
+  Value out = std::exchange(page_->slot(slot - base_), Value::Null());
+  pager_->LogPageMutation(file_, *chain_, page_index_, slot - base_, 1);
+  return out;
 }
 
 void PageCursor::ReadRange(uint64_t start, uint64_t count, Row* out) {
@@ -176,11 +179,16 @@ void PageCursor::WriteRange(uint64_t start, const Value* values,
     page_->dirty_ = true;
     uint64_t page_end = std::min(end, base_ + Pager::kSlotsPerPage);
     CountWrite(page_end - s);
+    uint64_t seg_start = s;
     for (; s < page_end; ++s) {
       page_->slot(s - base_) = values[s - start];
     }
+    // Same per-segment size rule as Pager::WriteRange: every redo record is
+    // a self-consistent prefix state.
+    if (s > chain_->size) chain_->size = s;
+    pager_->LogPageMutation(file_, *chain_, page_index_, seg_start - base_,
+                            s - seg_start);
   }
-  if (end > chain_->size) chain_->size = end;
 }
 
 void PageCursor::Fill(uint64_t start, uint64_t count, const Value& v) {
@@ -195,11 +203,14 @@ void PageCursor::Fill(uint64_t start, uint64_t count, const Value& v) {
     page_->dirty_ = true;
     uint64_t page_end = std::min(end, base_ + Pager::kSlotsPerPage);
     CountWrite(page_end - s);
+    uint64_t seg_start = s;
     for (; s < page_end; ++s) {
       page_->slot(s - base_) = v;
     }
+    if (s > chain_->size) chain_->size = s;
+    pager_->LogPageMutation(file_, *chain_, page_index_, seg_start - base_,
+                            s - seg_start);
   }
-  if (end > chain_->size) chain_->size = end;
 }
 
 }  // namespace storage

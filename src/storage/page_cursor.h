@@ -26,12 +26,22 @@ namespace storage {
 /// one page of spill readahead.
 ///
 /// Pin discipline: the cursor holds at most one pin — the page under it —
-/// released on page change, Release(), or destruction. Because the page is
-/// pinned, values written through the cursor are flushed/evicted correctly
-/// (the dirty bit is set eagerly, not at unpin). The cursor must not outlive
-/// its pager or file, and Release() must be called before Truncate/DropFile
-/// could free the pinned page (the pager aborts on freeing a pinned page).
-/// Like the pager itself, cursors are single-threaded.
+/// released on page change, Release(), or destruction. The cursor must not
+/// outlive its pager or file, and Release() must be called before
+/// Truncate/DropFile could free the pinned page (the pager aborts on
+/// freeing a pinned page). Like the pager itself, cursors are
+/// single-threaded.
+///
+/// Dirty/LSN contract: every mutating call (Write/Take/WriteRange/Fill)
+/// sets the page's dirty bit *eagerly* — not at unpin — so a FlushAll()
+/// mid-cursor checkpoints pending writes, and logs its redo through the
+/// pager's single WAL choke point (Pager::LogPageMutation) in the same
+/// call, stamping the page's page_lsn. The window in which a page is dirty
+/// but its newest mutation unlogged therefore never spans a pager call, and
+/// the WAL rule (no write-back before flushed-LSN >= page_lsn, DESIGN.md
+/// §6) holds on every eviction/checkpoint path. Range ops advance the
+/// file's logical size per page segment, so each redo record describes a
+/// self-consistent prefix of the range.
 class PageCursor {
  public:
   PageCursor(Pager& pager, FileId file);

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "storage/value_codec.h"
+
 // API-misuse checks stay on in release builds: the pager recycles frames, so
 // an out-of-range access or a freed-while-pinned page would otherwise corrupt
 // another file's data silently. One predictable branch per call.
@@ -20,11 +22,55 @@
 namespace dataspread {
 namespace storage {
 
-Pager::Pager(PagerConfig config) : config_(std::move(config)) {}
+Pager::Pager(PagerConfig config) : config_(std::move(config)) {
+  if (!config_.wal_path.empty()) {
+    // The durable pair: the WAL is the redo half, the named persistent
+    // spill file the data half — both or neither.
+    DS_PAGER_CHECK(config_.durable_spill && !config_.spill_path.empty(),
+                   "wal_path requires durable_spill and a named spill_path");
+    wal_ = std::make_unique<Wal>(config_.wal_path);
+    Recover();
+  } else {
+    DS_PAGER_CHECK(!config_.durable_spill,
+                   "durable_spill without a wal_path cannot be recovered");
+  }
+}
+
+Pager::~Pager() {
+  // A clean shutdown of a durable pager ends on a checkpoint: the next open
+  // restores the snapshot and replays an (empty) log tail.
+  if (wal_ != nullptr && !crashed_) CheckpointInternal();
+}
+
+PagerStats Pager::stats() const {
+  PagerStats s = stats_;
+  if (spill_ != nullptr) s.spill_dead_bytes = spill_->dead_bytes();
+  if (wal_ != nullptr) {
+    s.wal_records = wal_->records_appended();
+    s.wal_bytes = wal_->bytes_appended();
+    s.wal_syncs = wal_->syncs();
+  }
+  return s;
+}
+
+void Pager::SyncWal() {
+  if (wal_ != nullptr) wal_->Sync();
+}
+
+void Pager::CrashForTesting() {
+  if (wal_ != nullptr) wal_->CrashForTesting(/*keep_os_buffered=*/true);
+  if (spill_ != nullptr) spill_->Sync();  // what the page cache would hold
+  crashed_ = true;
+}
 
 FileId Pager::CreateFile() {
   FileId id = next_file_id_++;
   files_.emplace(id, FileChain{});
+  if (wal_ != nullptr && !replaying_ && !crashed_) {
+    wal_payload_.clear();
+    AppendU64(&wal_payload_, id);
+    LogStructural(WalRecordType::kCreateFile, wal_payload_);
+  }
   return id;
 }
 
@@ -60,12 +106,20 @@ bool Pager::IsScanClass(FileId file, uint64_t page_index) const {
 
 SpillFile& Pager::EnsureSpill() {
   if (spill_ == nullptr) {
-    spill_ = std::make_unique<SpillFile>(config_.spill_path);
+    spill_ =
+        std::make_unique<SpillFile>(config_.spill_path, config_.durable_spill);
   }
   return *spill_;
 }
 
 void Pager::WriteBack(ValuePage& page, PageRef& ref) {
+  // The WAL rule, enforced at the single spot every page write funnels
+  // through: the redo records producing this image must be durable before
+  // the image can overwrite the on-disk copy (flushed-LSN >= page_lsn).
+  // During replay everything in the log is durable by definition.
+  if (wal_ != nullptr && !replaying_ && !crashed_) {
+    wal_->EnsureDurable(page.page_lsn_);
+  }
   SpillFile& spill = EnsureSpill();
   if (ref.spill_slot == SpillFile::kNoSlot) {
     ref.spill_slot = spill.AllocateSlot();
@@ -82,6 +136,7 @@ void Pager::ReleaseFrame(PageId id) {
   }
   page.file_ = 0;
   page.index_in_file_ = 0;
+  page.page_lsn_ = 0;
   page.dirty_ = false;
   page.referenced_ = false;
   free_frames_.push_back(id);
@@ -210,8 +265,7 @@ PageId Pager::AcquireFrame() {
 
 void Pager::FaultIn(FileId file, FileChain& chain, uint64_t page_index) {
   PageRef& ref = chain.pages[page_index];
-  DS_PAGER_CHECK(!ref.resident() && ref.spill_slot != SpillFile::kNoSlot,
-                 "faulting a page with no spill copy");
+  DS_PAGER_CHECK(!ref.resident(), "faulting a resident page");
   PageId frame = AcquireFrame();  // may evict; `ref` stays valid (no resize)
   ValuePage& page = *page_table_[frame];
   page.file_ = file;
@@ -219,7 +273,11 @@ void Pager::FaultIn(FileId file, FileChain& chain, uint64_t page_index) {
   page.referenced_ = true;
   ref.frame = frame;
   resident_pages_ += 1;
-  stats_.spill_bytes_read += spill_->ReadPage(ref.spill_slot, &page);
+  if (ref.spill_slot != SpillFile::kNoSlot) {
+    stats_.spill_bytes_read += spill_->ReadPage(ref.spill_slot, &page);
+  }
+  // else: a never-written page known only from recovery metadata — the
+  // frame is already all-NULL (frames are scrubbed on release).
   if (in_readahead_) {
     stats_.readaheads += 1;  // speculative load, not a demand stall
   } else {
@@ -259,11 +317,27 @@ void Pager::FreePage(PageRef& ref) {
 
 void Pager::DropFile(FileId file) {
   FileChain& chain = ChainOrDie(file);
-  for (PageRef& ref : chain.pages) FreePage(ref);
+  bool freed_spill_slot = false;
+  for (PageRef& ref : chain.pages) {
+    freed_spill_slot |= ref.spill_slot != SpillFile::kNoSlot;
+    FreePage(ref);
+  }
   files_.erase(file);
+  if (wal_ != nullptr && !replaying_ && !crashed_) {
+    wal_payload_.clear();
+    AppendU64(&wal_payload_, file);
+    wal_->Append(WalRecordType::kDropFile, wal_payload_);
+    // Freed spill slots may be recycled by the very next eviction,
+    // overwriting bases a replay without this record would still need: the
+    // record must be durable before the reuse window opens. No slots freed
+    // (never-spilled pages) = no hazard = no fsync.
+    if (freed_spill_slot) wal_->Sync();
+    MaybeAutoCheckpoint();
+  }
 }
 
 void Pager::EnsureCapacity(FileId file, FileChain& chain, uint64_t slot) {
+  size_t pages_before = chain.pages.size();
   while (chain.pages.size() * kSlotsPerPage <= slot) {
     PageId frame = AcquireFrame();
     ValuePage& page = *page_table_[frame];
@@ -275,6 +349,14 @@ void Pager::EnsureCapacity(FileId file, FileChain& chain, uint64_t slot) {
     resident_pages_ += 1;
     stats_.pages_allocated += 1;
     ClassifyMount(page, frame);
+  }
+  if (chain.pages.size() != pages_before && wal_ != nullptr && !replaying_ && !crashed_) {
+    // Capacity is durable state (FilePages/addressability): replay regrows
+    // the chain before the update records that write into it.
+    wal_payload_.clear();
+    AppendU64(&wal_payload_, file);
+    AppendU64(&wal_payload_, chain.pages.size());
+    LogStructural(WalRecordType::kGrow, wal_payload_);
   }
 }
 
@@ -339,6 +421,7 @@ void Pager::Write(FileId file, uint64_t slot, Value v) {
   MaybePromote(page);
   RecordWrite(file, slot, page);
   page.slot(slot % kSlotsPerPage) = std::move(v);
+  LogPageMutation(file, chain, slot / kSlotsPerPage, slot % kSlotsPerPage, 1);
 }
 
 void Pager::WriteRange(FileId file, uint64_t start, const Value* values,
@@ -357,11 +440,16 @@ void Pager::WriteRange(FileId file, uint64_t start, const Value* values,
     page.referenced_ = true;
     page.dirty_ = true;
     if (accounting_) epoch_written_.insert(PageKey{file, page_index});
+    uint64_t seg_start = s;
     for (; s < page_end; ++s) {
       page.slot(s % kSlotsPerPage) = values[s - start];
     }
+    // Size advances with the covered prefix, so each per-page redo record
+    // is a self-consistent state (a torn log replays to a clean prefix).
+    if (s > chain.size) chain.size = s;
+    LogPageMutation(file, chain, page_index, seg_start % kSlotsPerPage,
+                    s - seg_start);
   }
-  if (end > chain.size) chain.size = end;
   if (accounting_) stats_.slot_writes += count;
 }
 
@@ -377,7 +465,9 @@ Value Pager::Take(FileId file, uint64_t slot) {
   // could skip write-back and resurrect the taken value from a stale spill
   // copy. Accounting-wise Take still counts as a read (unchanged).
   page.dirty_ = true;
-  return std::exchange(page.slot(slot % kSlotsPerPage), Value::Null());
+  Value out = std::exchange(page.slot(slot % kSlotsPerPage), Value::Null());
+  LogPageMutation(file, chain, slot / kSlotsPerPage, slot % kSlotsPerPage, 1);
+  return out;
 }
 
 void Pager::Truncate(FileId file, uint64_t slot_count) {
@@ -390,15 +480,32 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
   // copy on the next write-back.
   size_t keep_pages =
       static_cast<size_t>((slot_count + kSlotsPerPage - 1) / kSlotsPerPage);
+  ValuePage* boundary = nullptr;
   if (slot_count < keep_pages * kSlotsPerPage) {
     ValuePage& page = PageAt(file, chain, keep_pages - 1);
+    // Torn-page defense for the boundary page: its *pre-truncate* image is
+    // logged when it has none this checkpoint epoch, so replay restores the
+    // base and re-runs the clearing from the kTruncate record — recovery
+    // never depends on the (possibly torn) spill copy of a page this very
+    // call is about to dirty. Auto-checkpointing is suppressed here: a
+    // checkpoint between this image and the kTruncate record would discard
+    // the image while the clearing below stays unlogged (it checkpoints at
+    // the tail of this call instead, once the pair has landed).
+    if (wal_ != nullptr && !replaying_ && !crashed_ &&
+        chain.pages[keep_pages - 1].fpi_lsn <= last_checkpoint_lsn_) {
+      LogPageMutation(file, chain, keep_pages - 1, 0, kSlotsPerPage,
+                      /*allow_auto_checkpoint=*/false);
+    }
     for (uint64_t s = slot_count;
          s < chain.size && s < keep_pages * kSlotsPerPage; ++s) {
       page.slot(s % kSlotsPerPage) = Value::Null();
     }
     page.dirty_ = true;  // not accounted: truncation is not a page write
+    boundary = &page;
   }
+  bool freed_spill_slot = false;
   while (chain.pages.size() > keep_pages) {
+    freed_spill_slot |= chain.pages.back().spill_slot != SpillFile::kNoSlot;
     FreePage(chain.pages.back());
     chain.pages.pop_back();
   }
@@ -406,6 +513,19 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
   if (chain.seq.last_page != kNoPageIndex &&
       chain.seq.last_page >= keep_pages) {
     chain.seq = SeqDetector{};  // the detector must not span freed pages
+  }
+  if (wal_ != nullptr && !replaying_ && !crashed_) {
+    wal_payload_.clear();
+    AppendU64(&wal_payload_, file);
+    AppendU64(&wal_payload_, slot_count);
+    uint64_t lsn = wal_->Append(WalRecordType::kTruncate, wal_payload_);
+    // The clearing above is redone by replaying Truncate itself; the
+    // boundary page's newest redo is therefore this record.
+    if (boundary != nullptr) boundary->page_lsn_ = lsn;
+    // Same reuse hazard as DropFile: freed tail slots must not be recycled
+    // before the truncate record that frees them is durable.
+    if (freed_spill_slot) wal_->Sync();
+    MaybeAutoCheckpoint();
   }
 }
 
@@ -433,6 +553,13 @@ void Pager::Unpin(ValuePage* page, bool dirtied) {
     if (accounting_) {
       epoch_written_.insert(PageKey{page->file_, page->index_in_file_});
       stats_.slot_writes += 1;
+    }
+    // Pin hands out raw slot access, so which slots changed is unknown:
+    // the redo record is a full-page image.
+    if (wal_ != nullptr && !replaying_ && !crashed_) {
+      FileChain& chain = ChainOrDie(page->file_);
+      LogPageMutation(page->file_, chain, page->index_in_file_, 0,
+                      kSlotsPerPage);
     }
   }
 }
@@ -468,6 +595,7 @@ ValuePage* Pager::ClockVictim() {
 }
 
 size_t Pager::FlushAll() {
+  if (wal_ != nullptr) return CheckpointInternal();
   size_t flushed = 0;
   for (const auto& page : page_table_) {
     if (page == nullptr || page->is_free() || !page->dirty_) continue;
@@ -503,6 +631,308 @@ void Pager::set_max_resident_pages(size_t cap) {
 void Pager::BeginEpoch() {
   epoch_read_.clear();
   epoch_written_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Durability: redo logging, fuzzy checkpoints, recovery (DESIGN.md §6)
+// ---------------------------------------------------------------------------
+
+void Pager::LogPageMutation(FileId file, FileChain& chain, uint64_t page_index,
+                            uint64_t first, uint64_t count,
+                            bool allow_auto_checkpoint) {
+  if (wal_ == nullptr || replaying_ || crashed_) return;
+  PageRef& ref = chain.pages[page_index];
+  ValuePage& page = *page_table_[ref.frame];
+  // First mutation of the page since the checkpoint? Upgrade to a full-page
+  // image: replay then never needs this page's spill base, which a torn
+  // post-checkpoint write-back may have destroyed. A range already spanning
+  // the page is an image by construction.
+  bool image = count == kSlotsPerPage ||
+               ref.fpi_lsn <= last_checkpoint_lsn_;
+  if (image) {
+    first = 0;
+    count = kSlotsPerPage;
+  }
+  wal_payload_.clear();
+  AppendU64(&wal_payload_, file);
+  AppendU64(&wal_payload_, page_index);
+  AppendU16(&wal_payload_, static_cast<uint16_t>(first));
+  AppendU16(&wal_payload_, static_cast<uint16_t>(count));
+  AppendU64(&wal_payload_, chain.size);
+  for (uint64_t i = first; i < first + count; ++i) {
+    EncodeValue(page.slot(i), &wal_payload_);
+  }
+  uint64_t lsn = wal_->Append(WalRecordType::kUpdate, wal_payload_);
+  page.page_lsn_ = lsn;
+  if (image) ref.fpi_lsn = lsn;
+  if (allow_auto_checkpoint) MaybeAutoCheckpoint();
+}
+
+void Pager::LogStructural(WalRecordType type, const std::string& payload) {
+  wal_->Append(type, payload);
+  MaybeAutoCheckpoint();
+}
+
+void Pager::MaybeAutoCheckpoint() {
+  if (config_.wal_auto_checkpoint_bytes == 0 || in_checkpoint_) return;
+  if (wal_->bytes_since_checkpoint() < config_.wal_auto_checkpoint_bytes) {
+    return;
+  }
+  CheckpointInternal();
+}
+
+size_t Pager::CheckpointInternal() {
+  DS_PAGER_CHECK(wal_ != nullptr && !in_checkpoint_,
+                 "checkpoint without a WAL or re-entered");
+  in_checkpoint_ = true;
+  // Begin record: the dirty-page table as of checkpoint start. Redo-only
+  // replay does not need it (it replays everything since the snapshot), but
+  // it brackets the fuzzy checkpoint in the old log for offline tooling and
+  // makes a crash mid-checkpoint diagnosable.
+  wal_payload_.clear();
+  std::vector<const ValuePage*> dirty;
+  for (const auto& page : page_table_) {
+    if (page != nullptr && !page->is_free() && page->dirty_) {
+      dirty.push_back(page.get());
+    }
+  }
+  AppendU32(&wal_payload_, static_cast<uint32_t>(dirty.size()));
+  for (const ValuePage* page : dirty) {
+    AppendU64(&wal_payload_, page->file_);
+    AppendU64(&wal_payload_, page->index_in_file_);
+  }
+  wal_->Append(WalRecordType::kCheckpointBegin, wal_payload_);
+  // The WAL rule wholesale: every record producing the images about to be
+  // written is made durable by one sync instead of per-page EnsureDurable.
+  wal_->Sync();
+
+  size_t flushed = 0;
+  for (const auto& page : page_table_) {
+    if (page == nullptr || page->is_free() || !page->dirty_) continue;
+    FileChain& chain = ChainOrDie(page->file_);
+    WriteBack(*page, chain.pages[page->index_in_file_]);
+    page->dirty_ = false;
+    ++flushed;
+  }
+  if (spill_ != nullptr) spill_->Sync();
+
+  // Atomic log swap: the new log is just the metadata snapshot (plus the
+  // checkpoint-end bracket). Every page image the snapshot's directory
+  // points at is on disk and fsynced, so replay-from-here is complete; the
+  // old log — if a crash preserves it instead — replays idempotently over
+  // the newer spill state thanks to full-page images.
+  std::string snapshot;
+  BuildSnapshot(&snapshot);
+  last_checkpoint_lsn_ = wal_->RewriteWithCheckpoint(snapshot);
+  stats_.pages_flushed += flushed;
+  in_checkpoint_ = false;
+  return flushed;
+}
+
+void Pager::BuildSnapshot(std::string* out) const {
+  out->clear();
+  AppendU64(out, next_file_id_);
+  AppendU32(out, static_cast<uint32_t>(files_.size()));
+  for (const auto& [id, chain] : files_) {
+    AppendU64(out, id);
+    AppendU64(out, chain.size);
+    AppendU64(out, chain.pages.size());
+    for (const PageRef& ref : chain.pages) {
+      AppendU64(out, ref.spill_slot);
+    }
+  }
+  SpillFile::DirectorySnapshot dir;
+  if (spill_ != nullptr) dir = spill_->ExportDirectory();
+  AppendU64(out, dir.slots.size());
+  for (const SpillFile::Record& rec : dir.slots) {
+    AppendU64(out, rec.offset);
+    AppendU32(out, rec.capacity);
+    AppendU32(out, rec.length);
+  }
+  AppendU32(out, static_cast<uint32_t>(dir.free_slots.size()));
+  for (uint64_t slot : dir.free_slots) AppendU64(out, slot);
+  AppendU64(out, dir.end_offset);
+  AppendU64(out, dir.dead_bytes);
+}
+
+void Pager::RestoreSnapshot(const std::string& payload) {
+  // The payload survived a CRC check; a parse failure here is corruption of
+  // a kind the CRC cannot produce (or a version skew) — abort loudly.
+  size_t pos = 0;
+  uint32_t n_files = 0;
+  bool ok = ReadU64(payload, &pos, &next_file_id_) &&
+            ReadU32(payload, &pos, &n_files);
+  for (uint32_t i = 0; ok && i < n_files; ++i) {
+    uint64_t id = 0, size = 0, n_pages = 0;
+    ok = ReadU64(payload, &pos, &id) && ReadU64(payload, &pos, &size) &&
+         ReadU64(payload, &pos, &n_pages);
+    if (!ok) break;
+    FileChain chain;
+    chain.size = size;
+    chain.pages.resize(static_cast<size_t>(n_pages));
+    for (uint64_t p = 0; ok && p < n_pages; ++p) {
+      ok = ReadU64(payload, &pos, &chain.pages[p].spill_slot);
+    }
+    files_.emplace(id, std::move(chain));
+  }
+  SpillFile::DirectorySnapshot dir;
+  uint64_t n_slots = 0;
+  ok = ok && ReadU64(payload, &pos, &n_slots);
+  dir.slots.resize(static_cast<size_t>(n_slots));
+  for (uint64_t i = 0; ok && i < n_slots; ++i) {
+    ok = ReadU64(payload, &pos, &dir.slots[i].offset) &&
+         ReadU32(payload, &pos, &dir.slots[i].capacity) &&
+         ReadU32(payload, &pos, &dir.slots[i].length);
+  }
+  uint32_t n_free = 0;
+  ok = ok && ReadU32(payload, &pos, &n_free);
+  dir.free_slots.resize(n_free);
+  for (uint32_t i = 0; ok && i < n_free; ++i) {
+    ok = ReadU64(payload, &pos, &dir.free_slots[i]);
+  }
+  ok = ok && ReadU64(payload, &pos, &dir.end_offset) &&
+       ReadU64(payload, &pos, &dir.dead_bytes) && pos == payload.size();
+  DS_PAGER_CHECK(ok, "malformed WAL checkpoint snapshot");
+  if (!dir.slots.empty() || dir.end_offset > 0) {
+    EnsureSpill().RestoreDirectory(dir);
+  }
+}
+
+ValuePage& Pager::MountEmpty(FileId file, FileChain& chain,
+                             uint64_t page_index) {
+  mount_sequential_ = false;  // replay mounts are hot
+  PageId frame = AcquireFrame();  // may evict; frames come back scrubbed
+  ValuePage& page = *page_table_[frame];
+  page.file_ = file;
+  page.index_in_file_ = page_index;
+  page.referenced_ = true;
+  chain.pages[page_index].frame = frame;
+  resident_pages_ += 1;
+  return page;
+}
+
+void Pager::ApplyUpdateRecord(const Wal::Record& rec) {
+  size_t pos = 0;
+  uint64_t file = 0, page_index = 0, size = 0;
+  uint16_t first = 0, count = 0;
+  bool ok = ReadU64(rec.payload, &pos, &file) &&
+            ReadU64(rec.payload, &pos, &page_index) &&
+            ReadU16(rec.payload, &pos, &first) &&
+            ReadU16(rec.payload, &pos, &count) &&
+            ReadU64(rec.payload, &pos, &size);
+  DS_PAGER_CHECK(ok && count > 0 && first + count <= kSlotsPerPage,
+                 "malformed WAL update record");
+  FileChain& chain = ChainOrDie(file);
+  mount_sequential_ = false;
+  EnsureCapacity(file, chain,
+                 page_index * kSlotsPerPage + first + count - 1);
+  PageRef& ref = chain.pages[page_index];
+  ValuePage* page;
+  if (count == kSlotsPerPage) {
+    // Full-page image: never read the spill base — it may be the very torn
+    // write this record exists to repair.
+    page = ref.resident() ? page_table_[ref.frame].get()
+                          : &MountEmpty(file, chain, page_index);
+    ref.fpi_lsn = rec.lsn;
+  } else {
+    page = &PageAt(file, chain, page_index);
+  }
+  for (uint64_t i = first; i < static_cast<uint64_t>(first) + count; ++i) {
+    Value v;
+    DS_PAGER_CHECK(DecodeValue(rec.payload, &pos, &v),
+                   "malformed WAL update values");
+    page->slot(i) = std::move(v);
+  }
+  DS_PAGER_CHECK(pos == rec.payload.size(), "trailing WAL update bytes");
+  page->dirty_ = true;
+  page->referenced_ = true;
+  page->page_lsn_ = rec.lsn;
+  chain.size = size;
+}
+
+void Pager::ReplayRecord(const Wal::Record& rec) {
+  size_t pos = 0;
+  switch (rec.type) {
+    case WalRecordType::kCheckpoint:
+      RestoreSnapshot(rec.payload);
+      return;
+    case WalRecordType::kCheckpointBegin:
+    case WalRecordType::kCheckpointEnd:
+      return;  // brackets only; redo replay carries the state
+    case WalRecordType::kCreateFile: {
+      uint64_t id = 0;
+      DS_PAGER_CHECK(ReadU64(rec.payload, &pos, &id),
+                     "malformed WAL create record");
+      files_.emplace(id, FileChain{});
+      if (id >= next_file_id_) next_file_id_ = id + 1;
+      return;
+    }
+    case WalRecordType::kDropFile: {
+      uint64_t id = 0;
+      DS_PAGER_CHECK(ReadU64(rec.payload, &pos, &id),
+                     "malformed WAL drop record");
+      DropFile(id);
+      return;
+    }
+    case WalRecordType::kTruncate: {
+      uint64_t id = 0, slots = 0;
+      DS_PAGER_CHECK(ReadU64(rec.payload, &pos, &id) &&
+                         ReadU64(rec.payload, &pos, &slots),
+                     "malformed WAL truncate record");
+      Truncate(id, slots);
+      return;
+    }
+    case WalRecordType::kGrow: {
+      uint64_t id = 0, pages = 0;
+      DS_PAGER_CHECK(ReadU64(rec.payload, &pos, &id) &&
+                         ReadU64(rec.payload, &pos, &pages) && pages > 0,
+                     "malformed WAL grow record");
+      FileChain& chain = ChainOrDie(id);
+      mount_sequential_ = false;
+      if (chain.pages.size() < pages) {
+        EnsureCapacity(id, chain, pages * kSlotsPerPage - 1);
+      }
+      return;
+    }
+    case WalRecordType::kUpdate:
+      ApplyUpdateRecord(rec);
+      return;
+  }
+  DS_PAGER_CHECK(false, "unknown WAL record type");
+}
+
+void Pager::Recover() {
+  replaying_ = true;
+  bool accounting_was = accounting_;
+  accounting_ = false;  // replay is physical redo, not workload I/O
+  uint64_t records = 0;
+  uint64_t first_lsn = 0, last_lsn = 0, last_bytes = 0;
+  bool opened = wal_->Open([&](const Wal::Record& rec) {
+    if (records == 0) first_lsn = rec.lsn;
+    last_lsn = rec.lsn;
+    last_bytes = Wal::kRecordHeaderBytes + 1 + rec.payload.size();
+    records += 1;
+    ReplayRecord(rec);
+  });
+  accounting_ = accounting_was;
+  replaying_ = false;
+  if (!opened) {
+    // Fresh database: write checkpoint zero so "a WAL always starts with a
+    // snapshot" holds from birth.
+    std::string snapshot;
+    BuildSnapshot(&snapshot);
+    last_checkpoint_lsn_ = wal_->RewriteWithCheckpoint(snapshot);
+    return;
+  }
+  recovered_ = true;
+  recovery_records_ = records;
+  recovery_bytes_ = last_lsn + last_bytes - first_lsn;
+  last_checkpoint_lsn_ = wal_->checkpoint_lsn();
+  // Recovery ends on a checkpoint: the replayed state is flushed, the log
+  // truncated, and any spill space a crashed run leaked past the old
+  // snapshot is reclaimed by the fresh directory. Restartable at any point:
+  // until the rewrite lands, the old log simply replays again.
+  CheckpointInternal();
 }
 
 }  // namespace storage

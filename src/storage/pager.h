@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "storage/spill_file.h"
+#include "storage/wal.h"
 #include "types/value.h"
 
 namespace dataspread {
@@ -72,6 +73,11 @@ class ValuePage {
   uint32_t pin_count() const { return pin_count_; }
   bool dirty() const { return dirty_; }
   bool referenced() const { return referenced_; }
+  /// LSN of the newest WAL record describing a mutation of this page; 0 when
+  /// the pager has no WAL or the page is unmutated since it was mounted. The
+  /// WAL rule: this page may not be written to the spill file until the log
+  /// is durable through page_lsn() (DESIGN.md §6).
+  uint64_t page_lsn() const { return page_lsn_; }
   /// True while the page is classified as part of a sequential scan stream
   /// (evicted FIFO through the scan ring, not by the clock).
   bool scan_class() const { return scan_; }
@@ -84,6 +90,7 @@ class ValuePage {
   std::array<Value, kSlotCount> slots_;
   FileId file_ = 0;
   uint64_t index_in_file_ = 0;
+  uint64_t page_lsn_ = 0;
   uint32_t pin_count_ = 0;
   bool dirty_ = false;
   bool referenced_ = false;
@@ -115,6 +122,22 @@ struct PagerConfig {
   /// page (one page of readahead), turning two demand stalls into one
   /// batched spill read. Only applies to bounded pools.
   bool readahead = true;
+  /// Write-ahead log path. Empty (the default) = scratch mode: nothing
+  /// survives the pager. Non-empty = durable mode: every page mutation is
+  /// logged as a physical redo record before any page image can reach the
+  /// spill file, `FlushAll()` becomes a fuzzy checkpoint that truncates the
+  /// log, and constructing a Pager over an existing WAL+spill pair replays
+  /// the log tail to reconstruct exactly the durable state (DESIGN.md §6).
+  /// Requires `durable_spill` and a named `spill_path`.
+  std::string wal_path;
+  /// Keep the named spill file across runs (it is the data half of the
+  /// durable pair; the WAL is the redo half). Only meaningful — and
+  /// required — together with `wal_path`.
+  bool durable_spill = false;
+  /// Auto-checkpoint: when the log grows past this many bytes of redo since
+  /// the last checkpoint, the next append triggers one (bounding both log
+  /// size and recovery time). 0 = manual checkpoints only (FlushAll()).
+  uint64_t wal_auto_checkpoint_bytes = 0;
 };
 
 /// Lifetime counters of a Pager. Epoch (distinct-page) figures live on the
@@ -132,6 +155,12 @@ struct PagerStats {
   uint64_t scan_evictions = 0;   ///< Evictions that took a scan-class page.
   uint64_t spill_bytes_written = 0;  ///< Bytes serialized to the spill file.
   uint64_t spill_bytes_read = 0;     ///< Bytes deserialized from it.
+  uint64_t spill_dead_bytes = 0;  ///< Spill heap bytes no live record uses
+                                  ///< (relocation + free-slot reserve) — the
+                                  ///< compaction signal (DESIGN.md §6).
+  uint64_t wal_records = 0;  ///< Redo/checkpoint records appended to the WAL.
+  uint64_t wal_bytes = 0;    ///< Framed bytes appended to the WAL.
+  uint64_t wal_syncs = 0;    ///< fsync barriers taken on the WAL.
 };
 
 /// The unified paged storage engine behind every TableStorage model.
@@ -153,7 +182,16 @@ struct PagerStats {
 ///     from the second-chance clock, so scans evict their own pages instead
 ///     of the hot set (see DESIGN.md §5a "Scan resistance & cursors"),
 ///   - FlushAll() as a real checkpoint: every dirty page's contents are
-///     written to the spill file before its dirty bit clears,
+///     written to the spill file before its dirty bit clears — and, under a
+///     WAL, a *fuzzy checkpoint* that snapshots the pager's metadata and
+///     truncates the log,
+///   - durability (PagerConfig{wal_path, durable_spill}): a redo-only
+///     write-ahead log records every page mutation (full-page image on the
+///     first post-checkpoint touch, slot-range deltas after), the WAL rule
+///     (flushed-LSN >= page_lsn before any write-back) is enforced at the
+///     single WriteBack choke point, and reopening the pager replays the
+///     log tail over the persistent spill file to reconstruct exactly the
+///     durable state — see DESIGN.md §6 "Durability & recovery",
 ///   - built-in I/O accounting: distinct pages read/written per epoch, the
 ///     quantity the paper's Relational Storage Manager argues about, plus
 ///     fault/eviction/spill-byte counters for the physical layer.
@@ -176,7 +214,15 @@ class Pager {
   static_assert(kSlotsPerPage == kPageBytes / kSlotBytes,
                 "page geometry out of sync");
 
+  /// Scratch mode (no `wal_path`): an empty engine. Durable mode: recovery
+  /// runs right here — the WAL's checkpoint snapshot is restored and the
+  /// log tail replayed (under the configured pool cap), so the constructed
+  /// pager holds exactly the durable state; a fresh checkpoint is then
+  /// written, truncating the log.
   explicit Pager(PagerConfig config = {});
+  /// A durable pager checkpoints on destruction (unless CrashForTesting()
+  /// was called), so a clean shutdown reopens with an empty log.
+  ~Pager();
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
@@ -252,7 +298,35 @@ class Pager {
   /// clears its dirty bit; returns how many pages were written. After
   /// FlushAll() the spill file holds an up-to-date copy of every page that
   /// was ever dirty, so subsequent evictions of clean pages write nothing.
+  ///
+  /// Under a WAL this is a *fuzzy checkpoint* (DESIGN.md §6): a begin
+  /// record carrying the dirty-page table is appended and fsynced, the
+  /// dirty pages are flushed and the spill fsynced, and the log is then
+  /// atomically replaced by a fresh one holding only the metadata snapshot
+  /// — recovery work is bounded by the redo appended since this call.
   size_t FlushAll();
+
+  // ---- Durability (WAL) -----------------------------------------------------
+
+  /// Fsyncs the WAL: everything logged so far survives any crash. The
+  /// durability barrier for callers that need "commit" semantics between
+  /// checkpoints. No-op without a WAL.
+  void SyncWal();
+  /// The write-ahead log, when configured (null in scratch mode).
+  const Wal* wal() const { return wal_.get(); }
+  /// True when construction found an existing WAL and replayed it.
+  bool recovered() const { return recovered_; }
+  /// Records / framed bytes replayed by that recovery (0 on a fresh start).
+  uint64_t recovery_records() const { return recovery_records_; }
+  uint64_t recovery_bytes() const { return recovery_bytes_; }
+
+  /// Crash simulation for tests and benches: drains buffers to the OS the
+  /// way a SIGKILL would leave them, closes the WAL handle, and disables
+  /// the destructor's checkpoint — the on-disk pair is left exactly as a
+  /// killed process would leave it, ready for a new Pager to recover.
+  /// Afterwards the pager keeps working as a scratch pool (so storages over
+  /// it can still destruct), but nothing further is logged or durable.
+  void CrashForTesting();
 
   // ---- Buffer-pool policy ---------------------------------------------------
 
@@ -276,7 +350,10 @@ class Pager {
   size_t EpochPagesRead() const { return epoch_read_.size(); }
   size_t EpochPagesWritten() const { return epoch_written_.size(); }
 
-  const PagerStats& stats() const { return stats_; }
+  /// Lifetime counters, including the spill/WAL-derived fields
+  /// (spill_dead_bytes, wal_*) assembled from the backends at call time —
+  /// hence by value; for hot loops snapshot once and diff.
+  PagerStats stats() const;
 
   /// Accounting costs a hash insert per access; timing-focused benchmarks
   /// disable it. Page contents, dirty/reference bits, and eviction are
@@ -289,11 +366,19 @@ class Pager {
   friend class PageCursor;
 
   /// One page of a file's chain: resident (frame != kNoFrame) or evicted
-  /// (frame == kNoFrame, spill_slot holds the authoritative copy).
+  /// (frame == kNoFrame; spill_slot holds the authoritative copy, or is
+  /// kNoSlot for a never-written all-NULL page known only from recovery
+  /// metadata — faulting such a page mounts a fresh empty frame).
   struct PageRef {
     static constexpr PageId kNoFrame = ~0ull;
     PageId frame = kNoFrame;
     uint64_t spill_slot = SpillFile::kNoSlot;
+    /// LSN of this page's newest full-page image in the WAL. When it does
+    /// not postdate the current checkpoint, the next mutation logs a full
+    /// image instead of a slot-range delta — the torn-page defense: no
+    /// in-place spill rewrite ever destroys a base that recovery still
+    /// needs (DESIGN.md §6).
+    uint64_t fpi_lsn = 0;
     bool resident() const { return frame != kNoFrame; }
   };
 
@@ -397,19 +482,62 @@ class Pager {
   void RecordRead(FileId file, uint64_t slot, ValuePage& page);
   void RecordWrite(FileId file, uint64_t slot, ValuePage& page);
 
+  // ---- WAL integration (all no-ops in scratch mode) -------------------------
+
+  /// The logging choke point every mutation path funnels through (slot
+  /// APIs, bulk ranges, cursors, Unpin-dirty): appends a physical redo
+  /// record for slots [first, first+count) of the given resident page,
+  /// *after* the slots were mutated. Upgrades itself to a full-page image
+  /// when the page has none since the last checkpoint (or when the range
+  /// already spans the page), stamps page_lsn/fpi_lsn, and may trigger an
+  /// auto-checkpoint — unless the caller is mid-operation with a mutation
+  /// still unlogged (Truncate's pre-image) and passes
+  /// `allow_auto_checkpoint = false`, so a checkpoint can never slip
+  /// between a page's full image and the record that relies on it.
+  void LogPageMutation(FileId file, FileChain& chain, uint64_t page_index,
+                       uint64_t first, uint64_t count,
+                       bool allow_auto_checkpoint = true);
+  /// Appends a structural record (create/drop/truncate/grow).
+  void LogStructural(WalRecordType type, const std::string& payload);
+  void MaybeAutoCheckpoint();
+  /// The fuzzy checkpoint behind FlushAll()/destruction in durable mode.
+  size_t CheckpointInternal();
+  /// Serializes the durable metadata (file chains, spill directory, next
+  /// file id) into a kCheckpoint payload / restores it during recovery.
+  void BuildSnapshot(std::string* out) const;
+  void RestoreSnapshot(const std::string& payload);
+  /// Constructor-time recovery: replays the WAL (or writes the first
+  /// checkpoint of a fresh log).
+  void Recover();
+  void ReplayRecord(const Wal::Record& rec);
+  void ApplyUpdateRecord(const Wal::Record& rec);
+  /// Mounts a fresh all-NULL frame for a non-resident page without touching
+  /// the spill file — the full-page-image replay path and the fault path
+  /// for pages that never reached the spill.
+  ValuePage& MountEmpty(FileId file, FileChain& chain, uint64_t page_index);
+
   PagerConfig config_;
   uint64_t next_file_id_ = 1;
   std::unordered_map<FileId, FileChain> files_;
   std::vector<std::unique_ptr<ValuePage>> page_table_;
   std::vector<PageId> free_frames_;
   std::unique_ptr<SpillFile> spill_;  // created on first eviction/checkpoint
+  std::unique_ptr<Wal> wal_;          // durable mode only
+  uint64_t last_checkpoint_lsn_ = 0;
+  bool replaying_ = false;      // inside recovery: mutations are not re-logged
+  bool in_checkpoint_ = false;  // guards auto-checkpoint reentrancy
+  bool crashed_ = false;        // CrashForTesting: destructor stands down
+  bool recovered_ = false;
+  uint64_t recovery_records_ = 0;
+  uint64_t recovery_bytes_ = 0;
+  std::string wal_payload_;  // record build buffer, reused across appends
   size_t resident_pages_ = 0;
   size_t clock_hand_ = 0;
 
   // Scan-resistance state. mount_sequential_ is latched by every access-path
   // entry (slot APIs via NoteSlotAccess, cursors via their own streak,
   // Pin/Truncate force it false) and consumed by FaultIn/EnsureCapacity when
-  // they mount pages; the pager is single-threaded (DESIGN.md §6), so the
+  // they mount pages; the pager is single-threaded (DESIGN.md §7), so the
   // latch never crosses calls.
   bool mount_sequential_ = false;
   bool in_readahead_ = false;

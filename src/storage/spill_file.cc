@@ -4,8 +4,10 @@
 #include <cstring>
 
 #include <sys/types.h>
+#include <unistd.h>
 
 #include "storage/pager.h"
+#include "storage/value_codec.h"
 
 // Spill I/O failures (ENOSPC, a yanked temp dir) leave the pool unable to
 // honor its bounded-memory contract; like the pager's API-misuse checks this
@@ -22,125 +24,32 @@
 namespace dataspread {
 namespace storage {
 
-namespace {
-
-enum Tag : unsigned char {
-  kTagNull = 0,
-  kTagBool = 1,
-  kTagInt = 2,
-  kTagReal = 3,
-  kTagText = 4,
-  kTagError = 5,
-};
-
-void AppendRaw(std::string* out, const void* data, size_t n) {
-  out->append(static_cast<const char*>(data), n);
+SpillFile::SpillFile(std::string path, bool durable)
+    : path_(std::move(path)), durable_(durable) {
+  DS_SPILL_CHECK(!durable_ || !path_.empty(),
+                 "durable spill requires a named path");
 }
-
-void AppendU32(std::string* out, uint32_t v) { AppendRaw(out, &v, sizeof v); }
-
-void EncodeValue(const Value& v, std::string* out) {
-  switch (v.type()) {
-    case DataType::kNull:
-      out->push_back(static_cast<char>(kTagNull));
-      return;
-    case DataType::kBool: {
-      out->push_back(static_cast<char>(kTagBool));
-      out->push_back(v.bool_value() ? 1 : 0);
-      return;
-    }
-    case DataType::kInt: {
-      out->push_back(static_cast<char>(kTagInt));
-      int64_t i = v.int_value();
-      AppendRaw(out, &i, sizeof i);
-      return;
-    }
-    case DataType::kReal: {
-      out->push_back(static_cast<char>(kTagReal));
-      double d = v.real_value();
-      AppendRaw(out, &d, sizeof d);
-      return;
-    }
-    case DataType::kText: {
-      out->push_back(static_cast<char>(kTagText));
-      const std::string& s = v.text_value();
-      DS_SPILL_CHECK(s.size() <= UINT32_MAX, "TEXT payload exceeds u32 length");
-      AppendU32(out, static_cast<uint32_t>(s.size()));
-      out->append(s);
-      return;
-    }
-    case DataType::kError: {
-      out->push_back(static_cast<char>(kTagError));
-      const std::string& s = v.error_code();
-      DS_SPILL_CHECK(s.size() <= UINT32_MAX,
-                     "ERROR payload exceeds u32 length");
-      AppendU32(out, static_cast<uint32_t>(s.size()));
-      out->append(s);
-      return;
-    }
-  }
-  DS_SPILL_CHECK(false, "unencodable value type");
-}
-
-bool DecodeValue(const std::string& buf, size_t* pos, Value* out) {
-  if (*pos >= buf.size()) return false;
-  unsigned char tag = static_cast<unsigned char>(buf[(*pos)++]);
-  switch (tag) {
-    case kTagNull:
-      *out = Value::Null();
-      return true;
-    case kTagBool:
-      if (*pos + 1 > buf.size()) return false;
-      *out = Value::Bool(buf[(*pos)++] != 0);
-      return true;
-    case kTagInt: {
-      if (*pos + sizeof(int64_t) > buf.size()) return false;
-      int64_t i;
-      std::memcpy(&i, buf.data() + *pos, sizeof i);
-      *pos += sizeof i;
-      *out = Value::Int(i);
-      return true;
-    }
-    case kTagReal: {
-      if (*pos + sizeof(double) > buf.size()) return false;
-      double d;
-      std::memcpy(&d, buf.data() + *pos, sizeof d);
-      *pos += sizeof d;
-      *out = Value::Real(d);
-      return true;
-    }
-    case kTagText:
-    case kTagError: {
-      if (*pos + sizeof(uint32_t) > buf.size()) return false;
-      uint32_t len;
-      std::memcpy(&len, buf.data() + *pos, sizeof len);
-      *pos += sizeof len;
-      if (*pos + len > buf.size()) return false;
-      std::string s(buf.data() + *pos, len);
-      *pos += len;
-      *out = tag == kTagText ? Value::Text(std::move(s))
-                             : Value::Error(std::move(s));
-      return true;
-    }
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
-SpillFile::SpillFile(std::string path) : path_(std::move(path)) {}
 
 SpillFile::~SpillFile() {
   if (file_ != nullptr) std::fclose(file_);
-  // A named spill file is a per-run scratch heap, never a durable store:
-  // remove it so test and bench runs leave no artifacts behind.
-  if (!path_.empty()) std::remove(path_.c_str());
+  // A scratch spill file is a per-run heap, never a durable store: remove it
+  // so test and bench runs leave no artifacts behind. A durable one *is* the
+  // store — it stays, alongside the WAL.
+  if (!path_.empty() && !durable_) std::remove(path_.c_str());
 }
 
 std::FILE* SpillFile::EnsureOpen() {
   if (file_ != nullptr) return file_;
-  file_ = path_.empty() ? std::tmpfile() : std::fopen(path_.c_str(), "wb+");
+  if (path_.empty()) {
+    file_ = std::tmpfile();
+  } else if (durable_) {
+    // Preserve existing bytes across runs: try update mode first, fall back
+    // to creation on the very first open.
+    file_ = std::fopen(path_.c_str(), "rb+");
+    if (file_ == nullptr) file_ = std::fopen(path_.c_str(), "wb+");
+  } else {
+    file_ = std::fopen(path_.c_str(), "wb+");
+  }
   DS_SPILL_CHECK(file_ != nullptr, "cannot open spill file");
   // A 256 KiB stdio buffer (vs the libc default of a few KiB) lets a run of
   // sequentially laid-out page records — eviction write-back of a scan
@@ -161,10 +70,36 @@ void SpillFile::SeekTo(std::FILE* f, uint64_t offset, bool writing) {
   stream_writing_ = writing;
 }
 
+void SpillFile::Sync() {
+  if (file_ == nullptr) return;
+  DS_SPILL_CHECK(std::fflush(file_) == 0 && ::fsync(::fileno(file_)) == 0,
+                 "spill fsync");
+}
+
+SpillFile::DirectorySnapshot SpillFile::ExportDirectory() const {
+  DirectorySnapshot dir;
+  dir.slots = slots_;
+  dir.free_slots = free_slots_;
+  dir.end_offset = end_offset_;
+  dir.dead_bytes = dead_bytes_;
+  return dir;
+}
+
+void SpillFile::RestoreDirectory(const DirectorySnapshot& dir) {
+  DS_SPILL_CHECK(slots_.empty() && end_offset_ == 0,
+                 "restoring a directory over a live spill heap");
+  slots_ = dir.slots;
+  free_slots_ = dir.free_slots;
+  end_offset_ = dir.end_offset;
+  dead_bytes_ = dir.dead_bytes;
+}
+
 uint64_t SpillFile::AllocateSlot() {
   if (!free_slots_.empty()) {
     uint64_t slot = free_slots_.back();
     free_slots_.pop_back();
+    // The recycled slot's reserved space goes live again.
+    dead_bytes_ -= slots_[slot].capacity;
     slots_[slot].length = 0;
     return slot;
   }
@@ -175,6 +110,7 @@ uint64_t SpillFile::AllocateSlot() {
 void SpillFile::FreeSlot(uint64_t slot) {
   DS_SPILL_CHECK(slot < slots_.size(), "freeing an unknown spill slot");
   free_slots_.push_back(slot);
+  dead_bytes_ += slots_[slot].capacity;
 }
 
 void SpillFile::EncodePage(const ValuePage& page, std::string* out) {
@@ -202,8 +138,12 @@ uint64_t SpillFile::WritePage(uint64_t slot, const ValuePage& page) {
   Record& rec = slots_[slot];
   if (scratch_.size() > rec.capacity) {
     // Outgrew the reserved space: relocate to the end of the heap. The old
-    // space stays with this slot's former record and is simply abandoned;
-    // fixed-width pages (the common case) always rewrite in place.
+    // space stays with this slot's former record and is simply abandoned —
+    // counted as dead bytes, the compaction signal — while fixed-width
+    // pages (the common case) always rewrite in place. Under a durable
+    // pager this abandonment doubles as copy-on-write: the checkpoint-time
+    // base at the old offset survives untouched for crash recovery.
+    dead_bytes_ += rec.capacity;
     rec.offset = end_offset_;
     rec.capacity = static_cast<uint32_t>(scratch_.size());
     end_offset_ += scratch_.size();

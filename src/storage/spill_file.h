@@ -14,22 +14,73 @@ class ValuePage;
 /// The disk half of the bounded buffer pool: evicted (and checkpointed)
 /// ValuePages live here as binary records, addressed by *spill slot*.
 ///
+/// ## Contract with the pager (pin/dirty/LSN discipline)
+///
+/// The SpillFile itself is a dumb record heap; the correctness rules live in
+/// how the pager drives it, and they are stated here because this file is
+/// the durability boundary:
+///
+/// - **Evicted ⇒ clean on disk.** A page is written here (`WritePage`)
+///   during eviction when it is dirty or has never been spilled, and during
+///   a `FlushAll()` checkpoint for every dirty page. A non-resident page's
+///   record is therefore always the authoritative copy.
+/// - **WAL before data.** Under a durable pager (`PagerConfig::wal_path`),
+///   every `WritePage` call is preceded by `Wal::EnsureDurable(page_lsn)`:
+///   no page image reaches this file before the redo records that produced
+///   it are fsynced in the WAL (flushed-LSN ≥ page_lsn — DESIGN.md §6).
+/// - **Checkpoint bases are never silently lost.** In-place record rewrites
+///   only happen for pages dirtied after the last checkpoint, and the first
+///   post-checkpoint mutation of any page logs a full-page image to the WAL
+///   — so a write torn by a crash is always recoverable from the log.
+///   Records that outgrow their reserved space *relocate* (the old bytes
+///   are abandoned, preserving the checkpoint-time base at its old offset).
+/// - **Pinned pages never reach this file** (they are never evicted), and a
+///   checkpoint writes a pinned dirty page in place without unpinning it.
+///
+/// ## Heap layout
+///
 /// Records are variable length (TEXT payloads), so the file is managed as an
 /// append-heavy heap: each slot remembers its record's offset and capacity,
 /// and a rewrite reuses the slot's space in place when the new encoding fits,
 /// or relocates the record to the end of the file otherwise. Freed slots keep
 /// their reserved space and are recycled by AllocateSlot(), so steady-state
-/// workloads stop growing the file once page encodings stabilize.
+/// workloads stop growing the file once page encodings stabilize. Space
+/// abandoned by relocations and parked on free slots is `dead_bytes()` —
+/// surfaced in `PagerStats::spill_dead_bytes` so compaction need is
+/// observable (threshold discussion: DESIGN.md §6).
+///
+/// ## Lifetime
 ///
 /// With an empty `path` the backing file is an anonymous std::tmpfile() —
 /// deleted by the OS as soon as it is closed, so crash or exit leaves no
-/// artifact. A named path is created on first use and removed in the
-/// destructor; it exists only for debugging/inspection during a run.
+/// artifact. A named path with `durable == false` (the scratch default) is
+/// created on first use and removed in the destructor. With `durable ==
+/// true` the named file is *kept* across runs: it is opened preserving
+/// existing bytes, never unlinked, and together with the WAL it is the
+/// database's persistent state; `ExportDirectory`/`RestoreDirectory` move
+/// the slot directory through the WAL's checkpoint snapshot, and `Sync()`
+/// fsyncs page images during a checkpoint.
 class SpillFile {
  public:
   static constexpr uint64_t kNoSlot = ~0ull;
 
-  explicit SpillFile(std::string path = "");
+  /// Per-slot bookkeeping, public because checkpoint snapshots serialize it.
+  struct Record {
+    uint64_t offset = 0;
+    uint32_t capacity = 0;  // reserved bytes at offset
+    uint32_t length = 0;    // live bytes; 0 = never written
+  };
+
+  /// The serializable state of the heap: what a checkpoint snapshot carries
+  /// and recovery restores.
+  struct DirectorySnapshot {
+    std::vector<Record> slots;
+    std::vector<uint64_t> free_slots;
+    uint64_t end_offset = 0;
+    uint64_t dead_bytes = 0;
+  };
+
+  explicit SpillFile(std::string path = "", bool durable = false);
   ~SpillFile();
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
@@ -47,26 +98,37 @@ class SpillFile {
   /// The slot must have been written. Aborts on a corrupt record.
   uint64_t ReadPage(uint64_t slot, ValuePage* page);
 
+  /// fsyncs the backing file — the checkpoint barrier between flushing page
+  /// images and declaring the snapshot current. No-op before first use.
+  void Sync();
+
+  /// Copies the live slot directory out (for the checkpoint snapshot).
+  DirectorySnapshot ExportDirectory() const;
+  /// Adopts a checkpoint-time directory over the existing backing file.
+  /// Only meaningful in durable mode, before any allocation; regions past
+  /// the snapshot's end_offset (post-checkpoint writes of a crashed run)
+  /// are simply reused — nothing recovery needs lives there.
+  void RestoreDirectory(const DirectorySnapshot& dir);
+
   /// Physical size of the spill heap in bytes (high-water mark).
   uint64_t heap_bytes() const { return end_offset_; }
   /// Slots currently allocated (live records).
   size_t live_slots() const { return slots_.size() - free_slots_.size(); }
+  /// Bytes of the heap no live record addresses: space abandoned by
+  /// relocations plus space reserved by freed slots. The compaction signal.
+  uint64_t dead_bytes() const { return dead_bytes_; }
   const std::string& path() const { return path_; }
+  bool durable() const { return durable_; }
 
   /// Binary page encoding, exposed for tests: tag byte per value
   /// (0 NULL, 1 BOOL, 2 INT, 3 REAL, 4 TEXT, 5 ERROR) followed by the
-  /// payload (u8 / i64 LE / f64 / u32 length + bytes).
+  /// payload (u8 / i64 LE / f64 / u32 length + bytes) — the shared codec of
+  /// storage/value_codec.h, byte-identical with WAL redo payloads.
   static void EncodePage(const ValuePage& page, std::string* out);
   /// Returns false on a malformed buffer.
   static bool DecodePage(const std::string& buf, ValuePage* page);
 
  private:
-  struct Record {
-    uint64_t offset = 0;
-    uint32_t capacity = 0;  // reserved bytes at offset
-    uint32_t length = 0;    // live bytes; 0 = never written
-  };
-
   std::FILE* EnsureOpen();
   /// Positions the stream at `offset` for a read (`writing == false`) or a
   /// write. The seek is elided when the stream is already there in the same
@@ -76,10 +138,12 @@ class SpillFile {
   void SeekTo(std::FILE* f, uint64_t offset, bool writing);
 
   std::string path_;          // empty = anonymous tmpfile
+  bool durable_ = false;      // named file survives destruction & reopens
   std::FILE* file_ = nullptr;
   std::vector<Record> slots_;
   std::vector<uint64_t> free_slots_;
   uint64_t end_offset_ = 0;
+  uint64_t dead_bytes_ = 0;
   std::string scratch_;  // encode/decode buffer, reused across calls
   std::vector<char> io_buffer_;  // stdio buffer installed on open
   // Stream position tracking for seek elision. kUnknownPos forces a real
