@@ -3,8 +3,11 @@
 # storage subsystem (src/storage/ must stay warning-clean; the rest of the
 # tree builds with -Wall -Wextra), followed by a low-memory smoke run that
 # exercises the bounded buffer pool (eviction + spill) end to end, a perf
-# smoke for the scan-resistant eviction policy, and a crash-recovery smoke
-# (SIGKILL a durable workload, reopen, diff, gate recovery time).
+# smoke for the scan-resistant eviction policy, a crash-recovery smoke
+# (SIGKILL a durable workload, reopen, diff, gate recovery time), a
+# catalog-recovery smoke (SIGKILL a durable *database* mid-DDL-stream,
+# reopen by path, verify schemas + data), and a docs-consistency check
+# (BENCH field coverage + markdown cross-references).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -122,6 +125,69 @@ else
   echo "ci/check.sh: recovery_smoke not built; skipping crash-recovery smoke"
 fi
 
+# ---------------------------------------------------------------------------
+# Catalog-recovery smoke: a durable *database* (four tables, one per storage
+# model) is SIGKILLed mid-stream — with ALTER TABLE DDL statements landing
+# every few thousand rows — then reopened by path alone. Recovery must
+# rebuild every table, schema, and row with no application-side rebuild:
+# at least the acknowledged (synced) rows and the acknowledged DDLs, every
+# cell matching the deterministic generator (pre-DDL rows carry the column
+# default). The recovery time is gated against the log size like the
+# page-level smoke above.
+# ---------------------------------------------------------------------------
+if [[ -x "${BUILD_DIR}/catalog_smoke" ]]; then
+  CATALOG_DIR="${SMOKE_DIR}/catalog"
+  mkdir -p "${CATALOG_DIR}"
+  "${BUILD_DIR}/catalog_smoke" run "${CATALOG_DIR}/db" \
+    > "${SMOKE_DIR}/catalog_run.log" 2>&1 &
+  catalog_pid=$!
+  # Kill once the workload has provably passed its first DDL + a later sync
+  # (polling, not a fixed sleep: the gate must not depend on machine speed),
+  # with a generous ceiling for badly loaded runners.
+  for _ in $(seq 1 120); do
+    if grep -q '^ddl' "${SMOKE_DIR}/catalog_run.log" 2>/dev/null &&
+       [[ "$(tail -n1 "${SMOKE_DIR}/catalog_run.log" 2>/dev/null)" == synced* ]]; then
+      break
+    fi
+    sleep 0.5
+  done
+  kill -9 "${catalog_pid}" 2>/dev/null || true
+  wait "${catalog_pid}" 2>/dev/null || true
+  min_rows="$(awk '/^synced/{n=$2} END{print n+0}' "${SMOKE_DIR}/catalog_run.log")"
+  min_ddl="$(awk '/^ddl/{n=$2} END{print n+0}' "${SMOKE_DIR}/catalog_run.log")"
+  if (( min_rows == 0 || min_ddl == 0 )); then
+    echo "ci/check.sh: catalog smoke never reached its first sync/DDL" >&2
+    exit 1
+  fi
+  catalog_wal_bytes="$(stat -c%s "${CATALOG_DIR}/db.wal")"
+  catalog_line="$("${BUILD_DIR}/catalog_smoke" recover "${CATALOG_DIR}/db" \
+    "${min_rows}" "${min_ddl}")"
+  echo "ci/check.sh: catalog smoke: ${catalog_line}" \
+       "(SIGKILL after >=${min_rows} rows + ${min_ddl} DDLs," \
+       "log ${catalog_wal_bytes} bytes)"
+  catalog_ms="$(sed -n 's/.* ms=\([0-9]*\).*/\1/p' <<<"${catalog_line}")"
+  catalog_budget_ms=$(( 2000 + (catalog_wal_bytes / (1024 * 1024) + 1) * 100 ))
+  if (( catalog_ms > catalog_budget_ms )); then
+    echo "ci/check.sh: catalog recovery took ${catalog_ms} ms for a" \
+         "${catalog_wal_bytes}-byte log (budget ${catalog_budget_ms} ms) —" \
+         "recovery-time regression" >&2
+    exit 1
+  fi
+else
+  echo "ci/check.sh: catalog_smoke not built; skipping catalog-recovery smoke"
+fi
+
+# ---------------------------------------------------------------------------
+# Docs consistency: every BENCH_*.json field must be documented in README's
+# field table, and every relative markdown link in README/DESIGN/ROADMAP/
+# docs/ must resolve (incl. the README -> docs/DURABILITY.md pointer).
+# ---------------------------------------------------------------------------
+if command -v python3 >/dev/null 2>&1; then
+  python3 ci/docs_check.py
+else
+  echo "ci/check.sh: python3 not found; skipping docs consistency check"
+fi
+
 # The smoke run must not leak spill files outside its scratch dir, and ctest
 # itself uses anonymous temp files only: the repo tree stays clean.
 if compgen -G "ds-bench-spill-*" >/dev/null || compgen -G "BENCH_*.json.tmp" >/dev/null; then
@@ -129,4 +195,4 @@ if compgen -G "ds-bench-spill-*" >/dev/null || compgen -G "BENCH_*.json.tmp" >/d
   exit 1
 fi
 
-echo "ci/check.sh: configure + build + ctest + low-memory smoke all green"
+echo "ci/check.sh: configure + build + ctest + smokes + docs check all green"

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (driven by ci/check.sh).
+
+Two checks, both against the working tree:
+
+1. Bench-field coverage: every JSON field that appears in any committed
+   BENCH_*.json line must be documented in README.md's field table — the
+   committed benchmark trajectory is only useful if a reader can decode it.
+
+2. Cross-reference resolution: every relative markdown link in README.md,
+   DESIGN.md, ROADMAP.md, and docs/*.md must point at a file that exists,
+   and README.md must link docs/DURABILITY.md (the user-facing durability
+   guide rides shotgun with the engine).
+
+Exits non-zero with a per-problem report; prints one summary line when
+clean.
+"""
+import glob
+import json
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+problems = []
+
+
+def check_bench_fields():
+    readme = open(os.path.join(ROOT, "README.md"), encoding="utf-8").read()
+    fields = set()
+    for path in sorted(glob.glob(os.path.join(ROOT, "BENCH_*.json"))):
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    fields.update(json.loads(line).keys())
+                except json.JSONDecodeError as e:
+                    problems.append(f"{os.path.basename(path)}:{lineno}: "
+                                    f"unparseable JSON line ({e})")
+    for field in sorted(fields):
+        # Documented = the field name appears in backticks somewhere in the
+        # README (the field table, or prose for bench-specific one-offs).
+        if f"`{field}`" not in readme:
+            problems.append(f"README.md: BENCH field `{field}` is "
+                            "undocumented in the field table")
+    return len(fields)
+
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_cross_references():
+    docs = [os.path.join(ROOT, "README.md"), os.path.join(ROOT, "DESIGN.md"),
+            os.path.join(ROOT, "ROADMAP.md")]
+    docs += sorted(glob.glob(os.path.join(ROOT, "docs", "*.md")))
+    n_links = 0
+    for doc in docs:
+        text = open(doc, encoding="utf-8").read()
+        for target in LINK_RE.findall(text):
+            if "://" in target or target.startswith("#") or \
+               target.startswith("mailto:"):
+                continue
+            n_links += 1
+            rel = target.split("#", 1)[0]
+            # Relative to the doc's own directory, falling back to repo root
+            # (both styles appear in the tree).
+            cand = [os.path.join(os.path.dirname(doc), rel),
+                    os.path.join(ROOT, rel)]
+            if not any(os.path.exists(c) for c in cand):
+                problems.append(f"{os.path.relpath(doc, ROOT)}: link target "
+                                f"'{target}' does not resolve")
+    readme = open(os.path.join(ROOT, "README.md"), encoding="utf-8").read()
+    if "docs/DURABILITY.md" not in readme:
+        problems.append("README.md does not link docs/DURABILITY.md")
+    return n_links
+
+
+def main():
+    n_fields = check_bench_fields()
+    n_links = check_cross_references()
+    if problems:
+        for p in problems:
+            print(f"docs_check: {p}", file=sys.stderr)
+        return 1
+    print(f"docs_check: {n_fields} bench fields documented, "
+          f"{n_links} markdown cross-references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+// Durable reopen, the whole story in one binary (docs/DURABILITY.md):
+//
+//   1. a child process opens a database by path, creates a table, commits
+//      rows, runs a schema change — then SIGKILLs itself mid-stream, the
+//      harshest crash there is (no destructors, no flushes, nothing);
+//   2. the parent reopens the database by path alone: WAL replay restores
+//      the pages, catalog recovery restores the tables/columns/display
+//      order, and every acknowledged row is simply *there*.
+//
+// Build & run:  cmake --build build --target example_durable_reopen &&
+//               ./build/example_durable_reopen
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "db/database.h"
+
+using namespace dataspread;
+
+namespace {
+
+constexpr int kCommittedRows = 1000;
+
+int ChildWorkload(const std::string& base) {
+  auto db = Database::Open(base);
+  auto status =
+      db->Execute("CREATE TABLE sensors (id INT PRIMARY KEY, reading REAL)");
+  if (!status.ok()) return 1;
+  Table* t = db->catalog().GetTable("sensors").ValueOrDie();
+  for (int i = 0; i < kCommittedRows; ++i) {
+    (void)t->AppendRow({Value::Int(i), Value::Real(i * 0.25)});
+  }
+  // A schema change: DDL records are commit points all by themselves.
+  (void)db->Execute("ALTER TABLE sensors ADD COLUMN unit TEXT DEFAULT 'mV'");
+  // The durability barrier: everything above survives from here on.
+  db->pager().SyncWal();
+  // Keep writing past the barrier — these rows *may* survive (the OS
+  // usually keeps them), but only the 1000 synced ones are guaranteed.
+  for (int i = kCommittedRows; i < kCommittedRows + 500; ++i) {
+    (void)t->AppendRow({Value::Int(i), Value::Real(i * 0.25), Value::Null()});
+  }
+  std::printf("[child] wrote %d committed rows + 500 unsynced, now "
+              "SIGKILLing myself\n",
+              kCommittedRows);
+  std::fflush(stdout);
+  ::kill(::getpid(), SIGKILL);  // no destructor, no checkpoint, no mercy
+  return 0;                     // never reached
+}
+
+}  // namespace
+
+int main() {
+  std::string base = "/tmp/ds_durable_reopen_example";
+  std::remove((base + ".wal").c_str());
+  std::remove((base + ".pages").c_str());
+
+  pid_t pid = ::fork();
+  if (pid == 0) return ChildWorkload(base);
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  std::printf("[parent] child died with SIGKILL: %s\n",
+              WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL ? "yes"
+                                                                   : "no");
+
+  // Reopen by path alone: no schema rebuild, no import, no application
+  // state — the database *is* the files.
+  auto db = Database::Open(base);
+  Table* t = db->catalog().GetTable("sensors").ValueOrDie();
+  std::printf("[parent] recovered table '%s' (%s), %zu rows, schema: %s\n",
+              t->name().c_str(), StorageModelName(t->storage().model()),
+              t->num_rows(), t->schema().ToString().c_str());
+  if (t->num_rows() < kCommittedRows) {
+    std::printf("[parent] DURABILITY HOLE: fewer rows than committed!\n");
+    return 1;
+  }
+  Row row = t->GetRowAt(41).ValueOrDie();
+  std::printf("[parent] row 41: id=%lld reading=%.2f unit=%s\n",
+              static_cast<long long>(row[0].int_value()),
+              row[1].real_value(), row[2].ToDisplayString().c_str());
+  auto count = db->Execute("SELECT COUNT(*) FROM sensors WHERE unit = 'mV'");
+  std::printf("[parent] rows carrying the post-crash-recovered column "
+              "default: %s\n",
+              count.ValueOrDie().rows[0][0].ToDisplayString().c_str());
+  std::printf("[parent] done — the spreadsheet really is the database.\n");
+
+  std::remove((base + ".wal").c_str());
+  std::remove((base + ".pages").c_str());
+  return 0;
+}

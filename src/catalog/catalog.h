@@ -32,12 +32,26 @@ class Catalog {
     return private_pager_config_;
   }
 
-  /// Creates a table; fails with AlreadyExists on a name collision.
+  /// Creates a table; fails with AlreadyExists on a name collision. On a
+  /// durable shared pager the creation is logged as a kCreateTable DDL
+  /// record (a commit point), so the table exists after any crash.
   Result<Table*> CreateTable(std::string name, Schema schema,
                              StorageModel model = StorageModel::kHybrid);
 
-  /// Removes a table.
+  /// Removes a table and deallocates its pager files. On a durable pager
+  /// the kDropTable record is logged (and made durable) *before* the files
+  /// are dropped: a crash in between leaves orphan files for the reopen's
+  /// sweep, never a catalog pointing at dead files.
   Status DropTable(std::string_view name);
+
+  /// Registers an already-attached table (the reopen path): no DDL record,
+  /// no fresh files — the table was recovered, not created. Fails with
+  /// AlreadyExists on a name collision.
+  Result<Table*> AdoptTable(std::unique_ptr<Table> table);
+
+  /// Descriptors of every table in creation order — the catalog blob's
+  /// payload (see catalog_codec.h).
+  std::vector<TableDescriptor> Describe() const;
 
   /// Case-insensitive lookup.
   Result<Table*> GetTable(std::string_view name) const;

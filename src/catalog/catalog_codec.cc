@@ -1,0 +1,183 @@
+#include "catalog/catalog_codec.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "storage/value_codec.h"
+
+namespace dataspread {
+
+namespace {
+
+using storage::AppendU32;
+using storage::AppendU64;
+using storage::ReadU32;
+using storage::ReadU64;
+
+constexpr uint32_t kBlobVersion = 1;
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadString(const std::string& buf, size_t* pos, std::string* out) {
+  uint32_t len = 0;
+  if (!ReadU32(buf, pos, &len) || *pos + len > buf.size()) return false;
+  out->assign(buf, *pos, len);
+  *pos += len;
+  return true;
+}
+
+Status Malformed(const char* what) {
+  // The buffer already passed the WAL's CRC: a parse failure here is not
+  // bit rot but version skew or a codec bug — callers surface it loudly.
+  return Status::Internal(std::string("malformed catalog descriptor: ") +
+                          what);
+}
+
+}  // namespace
+
+void EncodeTableDescriptor(const TableDescriptor& desc, std::string* out) {
+  AppendString(out, desc.name);
+  AppendU32(out, static_cast<uint32_t>(desc.schema.num_columns()));
+  for (const ColumnDef& col : desc.schema.columns()) {
+    AppendString(out, col.name);
+    out->push_back(static_cast<char>(col.type));
+    out->push_back(col.primary_key ? 1 : 0);
+  }
+  out->push_back(static_cast<char>(desc.manifest.model));
+  AppendU32(out, static_cast<uint32_t>(desc.manifest.files.size()));
+  for (uint64_t f : desc.manifest.files) AppendU64(out, f);
+  AppendU32(out, static_cast<uint32_t>(desc.manifest.groups.size()));
+  for (const StorageManifest::Group& g : desc.manifest.groups) {
+    AppendU64(out, g.file);
+    AppendU32(out, g.width);
+    for (uint32_t col : g.columns) AppendU32(out, col);
+  }
+  AppendU64(out, desc.order_file);
+  AppendU64(out, desc.rid_file);
+  AppendU64(out, desc.next_rid);
+}
+
+Result<TableDescriptor> DecodeTableDescriptor(const std::string& buf,
+                                              size_t* pos) {
+  TableDescriptor desc;
+  if (!ReadString(buf, pos, &desc.name)) return Malformed("name");
+  uint32_t n_cols = 0;
+  if (!ReadU32(buf, pos, &n_cols)) return Malformed("column count");
+  std::vector<ColumnDef> cols;
+  cols.reserve(n_cols);
+  for (uint32_t i = 0; i < n_cols; ++i) {
+    ColumnDef col;
+    if (!ReadString(buf, pos, &col.name) || *pos + 2 > buf.size()) {
+      return Malformed("column def");
+    }
+    col.type = static_cast<DataType>(static_cast<unsigned char>(buf[*pos]));
+    col.primary_key = buf[*pos + 1] != 0;
+    *pos += 2;
+    if (col.type > DataType::kError) return Malformed("column type");
+    cols.push_back(std::move(col));
+  }
+  desc.schema = Schema(std::move(cols));
+  if (*pos >= buf.size()) return Malformed("model");
+  desc.manifest.model =
+      static_cast<StorageModel>(static_cast<unsigned char>(buf[*pos]));
+  *pos += 1;
+  if (desc.manifest.model > StorageModel::kHybrid) return Malformed("model");
+  desc.manifest.num_columns = n_cols;
+  uint32_t n_files = 0;
+  if (!ReadU32(buf, pos, &n_files)) return Malformed("file count");
+  desc.manifest.files.resize(n_files);
+  for (uint32_t i = 0; i < n_files; ++i) {
+    if (!ReadU64(buf, pos, &desc.manifest.files[i])) {
+      return Malformed("file id");
+    }
+  }
+  uint32_t n_groups = 0;
+  if (!ReadU32(buf, pos, &n_groups)) return Malformed("group count");
+  desc.manifest.groups.resize(n_groups);
+  for (uint32_t gi = 0; gi < n_groups; ++gi) {
+    StorageManifest::Group& g = desc.manifest.groups[gi];
+    if (!ReadU64(buf, pos, &g.file) || !ReadU32(buf, pos, &g.width)) {
+      return Malformed("group header");
+    }
+    g.columns.resize(g.width);
+    for (uint32_t o = 0; o < g.width; ++o) {
+      if (!ReadU32(buf, pos, &g.columns[o])) return Malformed("group column");
+    }
+  }
+  if (!ReadU64(buf, pos, &desc.order_file) ||
+      !ReadU64(buf, pos, &desc.rid_file) ||
+      !ReadU64(buf, pos, &desc.next_rid)) {
+    return Malformed("side files");
+  }
+  return desc;
+}
+
+void EncodeCatalogBlob(const std::vector<TableDescriptor>& tables,
+                       std::string* out) {
+  AppendU32(out, kBlobVersion);
+  AppendU32(out, static_cast<uint32_t>(tables.size()));
+  for (const TableDescriptor& desc : tables) {
+    EncodeTableDescriptor(desc, out);
+  }
+}
+
+Result<std::vector<TableDescriptor>> ReplayCatalogState(
+    const std::string& blob,
+    const std::vector<storage::Pager::CatalogRecord>& ddl) {
+  std::vector<TableDescriptor> tables;
+  if (!blob.empty()) {
+    size_t pos = 0;
+    uint32_t version = 0, n_tables = 0;
+    if (!ReadU32(blob, &pos, &version) || version != kBlobVersion ||
+        !ReadU32(blob, &pos, &n_tables)) {
+      return Malformed("blob header");
+    }
+    tables.reserve(n_tables);
+    for (uint32_t i = 0; i < n_tables; ++i) {
+      DS_ASSIGN_OR_RETURN(TableDescriptor desc,
+                          DecodeTableDescriptor(blob, &pos));
+      tables.push_back(std::move(desc));
+    }
+    if (pos != blob.size()) return Malformed("blob trailer");
+  }
+  auto find = [&tables](const std::string& name) {
+    std::string key = ToLower(name);
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (ToLower(tables[i].name) == key) return i;
+    }
+    return tables.size();
+  };
+  for (const storage::Pager::CatalogRecord& rec : ddl) {
+    if (rec.type == storage::WalRecordType::kDropTable) {
+      size_t pos = 0;
+      std::string name;
+      if (!ReadString(rec.payload, &pos, &name) || pos != rec.payload.size()) {
+        return Malformed("drop-table payload");
+      }
+      size_t i = find(name);
+      // Dropping an unknown table is legal under replay: the create and the
+      // drop may both postdate the snapshot.
+      if (i < tables.size()) {
+        tables.erase(tables.begin() + static_cast<ptrdiff_t>(i));
+      }
+      continue;
+    }
+    size_t pos = 0;
+    DS_ASSIGN_OR_RETURN(TableDescriptor desc,
+                        DecodeTableDescriptor(rec.payload, &pos));
+    if (pos != rec.payload.size()) return Malformed("ddl trailer");
+    size_t i = find(desc.name);
+    if (i < tables.size()) {
+      tables[i] = std::move(desc);  // alter kinds: replace wholesale
+    } else {
+      tables.push_back(std::move(desc));  // kCreateTable (or replayed alter
+                                          // of a post-snapshot create)
+    }
+  }
+  return tables;
+}
+
+}  // namespace dataspread

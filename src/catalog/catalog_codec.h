@@ -1,0 +1,80 @@
+#ifndef DATASPREAD_CATALOG_CATALOG_CODEC_H_
+#define DATASPREAD_CATALOG_CATALOG_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "storage/pager.h"
+#include "storage/table_storage.h"
+
+namespace dataspread {
+
+/// Everything a reopened database needs to rebuild one table without any
+/// application help: identity, schema, physical layout, and the ids of the
+/// catalog's own side files inside the pager. Serialized with the same
+/// value_codec little-endian helpers as the spill/WAL formats, and carried
+/// inside CRC-guarded WAL records (the checkpoint snapshot's catalog blob
+/// and the kCreateTable.. DDL records), so every byte is covered by the
+/// log's integrity machinery.
+///
+/// Deliberately absent: row counts, display order, and row-id maps — those
+/// change with every DML and are persisted *as pager files* (`order_file`,
+/// `rid_file`, and the manifest's RCV back-pointer files), where the
+/// page-level WAL already makes them durable. A descriptor is therefore
+/// valid at every statement boundary, which is exactly when checkpoints and
+/// DDL records capture it (storage::CheckpointDeferral holds auto-
+/// checkpoints off mid-statement).
+struct TableDescriptor {
+  std::string name;
+  Schema schema;
+  StorageManifest manifest;
+  /// Pager file: slot p holds the row id displayed at position p (INT).
+  /// Its size is the authoritative recovered row count.
+  uint64_t order_file = 0;
+  /// Pager file: slot s holds the row id stored at storage slot s (INT).
+  uint64_t rid_file = 0;
+  /// Row-id floor at serialization time; Attach takes max(this, max rid in
+  /// the order file + 1) so ids never regress across a reopen.
+  uint64_t next_rid = 0;
+};
+
+// ---- Wire format ----------------------------------------------------------
+//
+//   descriptor := name:str n_cols:u32 (col_name:str type:u8 pk:u8)*
+//                 model:u8 manifest order_file:u64 rid_file:u64 next_rid:u64
+//   manifest   := n_files:u32 file:u64* n_groups:u32
+//                 (file:u64 width:u32 col:u32*)*
+//   blob       := version:u32(=1) n_tables:u32 descriptor*
+//   str        := len:u32 bytes
+//
+// DDL record payloads are a single descriptor (kCreateTable, kAddColumn,
+// kDropColumn, kRenameColumn, kReorganize) or a bare table-name str
+// (kDropTable). DESIGN.md §6 "Catalog recovery" documents the semantics.
+
+/// Appends one serialized descriptor to `out` (the DDL record payload).
+void EncodeTableDescriptor(const TableDescriptor& desc, std::string* out);
+
+/// Decodes one descriptor at `*pos`, advancing it; fails on malformed input
+/// (which, under the WAL's CRCs, means version skew or a codec bug).
+Result<TableDescriptor> DecodeTableDescriptor(const std::string& buf,
+                                              size_t* pos);
+
+/// Serializes a whole catalog (descriptors in creation order) into the
+/// checkpoint-snapshot blob handed to storage::Pager's provider hook.
+void EncodeCatalogBlob(const std::vector<TableDescriptor>& tables,
+                       std::string* out);
+
+/// Rebuilds the descriptor list a recovered database must attach: decodes
+/// the snapshot `blob`, then applies the post-snapshot DDL records in log
+/// order (create appends, drop removes, the alter kinds replace by name —
+/// every alter payload is a complete descriptor, so replay never
+/// re-executes logical DDL). Creation order is preserved.
+Result<std::vector<TableDescriptor>> ReplayCatalogState(
+    const std::string& blob,
+    const std::vector<storage::Pager::CatalogRecord>& ddl);
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CATALOG_CATALOG_CODEC_H_

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "catalog/catalog_codec.h"
 #include "catalog/schema.h"
 #include "common/result.h"
 #include "index/positional_index.h"
@@ -41,6 +42,14 @@ struct TableChange {
 /// Rows are identified internally by stable row ids; the positional index
 /// stores row ids in display order, and an id→slot table absorbs the storage
 /// layer's swap-on-delete renumbering.
+///
+/// On a *durable* pager (PagerConfig{wal_path}) the table also owns two side
+/// files inside the pager — `order_file` (display position → row id) and
+/// `rid_file` (storage slot → row id) — updated alongside every DML so the
+/// page-level WAL makes the display order and id maps exactly as durable as
+/// the data, and schema changes append catalog DDL records
+/// (storage::WalRecordType::kAddColumn etc.). Scratch tables skip all of it:
+/// zero extra writes, unchanged accounting. DESIGN.md §6 "Catalog recovery".
 class Table {
  public:
   /// Creates an empty table. `model` selects the physical layout; the paper's
@@ -53,6 +62,27 @@ class Table {
       StorageModel model = StorageModel::kHybrid,
       storage::Pager* pager = nullptr,
       const storage::PagerConfig& pager_config = {});
+
+  /// Rebinds a table to its recovered pager files — the reopen path. The
+  /// storage is attached to the manifest's files, the display order and id
+  /// maps are read back from the descriptor's side files, and the pk index
+  /// is rebuilt from data. A statement torn by the crash is reconciled to
+  /// the nearest consistent boundary (see DESIGN.md §6); anything beyond
+  /// that is corruption and fails.
+  static Result<std::unique_ptr<Table>> Attach(const TableDescriptor& desc,
+                                               storage::Pager* pager);
+
+  /// This table's durable identity: everything Attach needs. Valid at any
+  /// statement boundary; the catalog serializes it into checkpoint
+  /// snapshots and DDL records.
+  TableDescriptor Describe() const;
+
+  /// Durable tables leave their pager files alive on destruction (the files
+  /// are the persistent data); DROP TABLE clears this before destroying so
+  /// an explicit drop still deallocates. No-op for scratch tables.
+  void set_retain_files(bool retain);
+
+  ~Table();
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -103,6 +133,14 @@ class Table {
   Status DropColumn(std::string_view column_name);
   Status RenameColumn(std::string_view from, std::string_view to);
 
+  /// Merges a hybrid table's attribute groups back into one row-major group
+  /// (HybridStore::Reorganize) and logs the rebinding as a kReorganize DDL
+  /// record, so the new group→file structure survives a reopen. Durable
+  /// hybrid tables must reorganize through here, not the storage directly
+  /// — a bare HybridStore::Reorganize() would leave the logged catalog
+  /// pointing at dropped files. No-op for other models.
+  Status Reorganize();
+
   // ---- Change notification ---------------------------------------------------
 
   using Listener = std::function<void(const Table&, const TableChange&)>;
@@ -120,6 +158,19 @@ class Table {
   /// Rebuilds pk index; used after schema changes that affect the PK column.
   void RebuildPkIndex();
 
+  /// True when this table persists its catalog state (durable pager).
+  bool durable() const { return order_file_ != 0; }
+  /// Rewrites order-file slots [from, order_.size()) from the in-memory
+  /// order — the shifted tail after a positional insert/delete. O(1) for
+  /// appends, O(n - from) for middle edits.
+  void PersistOrderTail(size_t from);
+  /// Appends a catalog DDL record carrying this table's full descriptor.
+  void LogDdl(storage::WalRecordType type);
+  /// Installs recovered order/rid maps (Attach's last step).
+  void AdoptRowMaps(const std::vector<uint64_t>& order_rids,
+                    const std::vector<uint64_t>& slot_rids,
+                    uint64_t next_rid_floor);
+
   std::string name_;
   Schema schema_;
   std::unique_ptr<TableStorage> storage_;
@@ -131,6 +182,10 @@ class Table {
   uint64_t version_ = 0;
   int next_listener_token_ = 1;
   std::vector<std::pair<int, Listener>> listeners_;
+  // Durable catalog state (0 = scratch table): see the class comment.
+  storage::FileId order_file_ = 0;
+  storage::FileId rid_file_ = 0;
+  bool retain_files_ = false;
 };
 
 }  // namespace dataspread

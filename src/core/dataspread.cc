@@ -4,8 +4,24 @@
 
 namespace dataspread {
 
+namespace {
+
+/// Resolves DataSpreadOptions into the embedded database's options: a
+/// non-empty `database_path` expands through Database::DurableOptions (the
+/// one home of the `<path>.pages` + `<path>.wal` convention).
+DatabaseOptions ResolveDbOptions(const DataSpreadOptions& options) {
+  DatabaseOptions db;
+  db.pager = options.pager;
+  if (!options.database_path.empty()) {
+    db = Database::DurableOptions(options.database_path, std::move(db));
+  }
+  return db;
+}
+
+}  // namespace
+
 DataSpread::DataSpread(DataSpreadOptions options)
-    : options_(std::move(options)), db_(DatabaseOptions{options_.pager}) {
+    : options_(std::move(options)), db_(ResolveDbOptions(options_)) {
   engine_ = std::make_unique<formula::FormulaEngine>(&workbook_);
   interface_manager_ = std::make_unique<InterfaceManager>(
       &workbook_, &db_, engine_.get(), &scheduler_, options_.binding_window);

@@ -40,6 +40,14 @@ struct DataSpreadOptions {
   /// do not combine a cap with background_compute until the concurrency
   /// milestone lands (DESIGN.md §7).
   storage::PagerConfig pager;
+  /// Convenience for the common durable setup: a non-empty base path routes
+  /// the embedded database through Database::Open semantics — data in
+  /// `<database_path>.pages`, log in `<database_path>.wal` — overriding the
+  /// `pager` path fields. Reopening a DataSpread on the same path recovers
+  /// every table, schema, and row (catalog included); sheet and formula
+  /// state is still rebuilt per session (ROADMAP). docs/DURABILITY.md has
+  /// the full lifecycle.
+  std::string database_path;
 };
 
 /// The DataSpread system facade: a spreadsheet front-end holistically unified

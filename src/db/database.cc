@@ -1,7 +1,11 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
 
+#include "catalog/catalog_codec.h"
 #include "exec/binder.h"
 #include "exec/expr_eval.h"
 #include "exec/planner.h"
@@ -26,6 +30,81 @@ Result<Value> EvalConstant(const sql::Expr& e) { return EvalScalar(e, nullptr); 
 
 }  // namespace
 
+Database::Database(const DatabaseOptions& options) : pager_(options.pager) {
+  if (pager_.durable()) RecoverCatalog();
+}
+
+Database::~Database() {
+  // Capture the final catalog blob while the catalog is still alive: the
+  // pager outlives it (member order) and its destructor's checkpoint must
+  // carry the full catalog forward.
+  if (pager_.durable()) pager_.DetachCatalogProvider();
+}
+
+DatabaseOptions Database::DurableOptions(const std::string& base_path,
+                                         DatabaseOptions options) {
+  options.pager.spill_path = base_path + ".pages";
+  options.pager.wal_path = base_path + ".wal";
+  options.pager.durable_spill = true;
+  return options;
+}
+
+std::unique_ptr<Database> Database::Open(const std::string& base_path,
+                                         DatabaseOptions options) {
+  return std::make_unique<Database>(DurableOptions(base_path,
+                                                   std::move(options)));
+}
+
+void Database::Close() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (closed_) return;
+  (void)pager_.FlushAll();
+  closed_ = true;
+}
+
+void Database::RecoverCatalog() {
+  // Corruption here aborts — the same stance the pager takes on an
+  // unreadable WAL: state this fundamental is not silently discarded.
+  auto die_on = [](const Status& status, const std::string& context) {
+    if (status.ok()) return;
+    std::fprintf(stderr, "dataspread::Database catalog recovery failed%s: %s\n",
+                 context.c_str(), status.message().c_str());
+    std::abort();
+  };
+  auto descriptors = ReplayCatalogState(pager_.recovered_catalog_blob(),
+                                        pager_.recovered_catalog_ddl());
+  die_on(descriptors.status(), "");
+  std::unordered_set<storage::FileId> referenced;
+  for (const TableDescriptor& desc : descriptors.value()) {
+    auto table = Table::Attach(desc, &pager_);
+    die_on(table.status(), " for table '" + desc.name + "'");
+    referenced.insert(desc.order_file);
+    referenced.insert(desc.rid_file);
+    // Use the *attached* table's manifest, not the recovered descriptor's:
+    // Attach may have repaired a torn statement, but bindings come from it
+    // either way and this keeps the sweep honest against the live state.
+    TableDescriptor live = table.value()->Describe();
+    for (uint64_t f : live.manifest.files) referenced.insert(f);
+    for (const StorageManifest::Group& g : live.manifest.groups) {
+      referenced.insert(g.file);
+    }
+    auto adopted = catalog_.AdoptTable(std::move(table).value());
+    die_on(adopted.status(), "");
+    AttachForwarding(adopted.value());
+  }
+  // Orphan sweep: a crash between a DDL's file creations and its (never
+  // durable) catalog record leaves files no descriptor references — legal
+  // but dead weight. Dropping them here reclaims their pages and spill
+  // space; their kDropFile records make the sweep itself durable.
+  for (storage::FileId file : pager_.FileIds()) {
+    if (referenced.count(file) == 0) pager_.DropFile(file);
+  }
+  // From here on every checkpoint snapshot embeds the live catalog.
+  pager_.set_catalog_snapshot_provider([this](std::string* out) {
+    EncodeCatalogBlob(catalog_.Describe(), out);
+  });
+}
+
 size_t Database::Checkpoint() {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   return pager_.FlushAll();
@@ -34,6 +113,9 @@ size_t Database::Checkpoint() {
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     ExternalResolver* resolver) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (closed_) {
+    return Status::InvalidArgument("database is closed");
+  }
   DS_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   statements_executed_ += 1;
   return Dispatch(stmt, resolver);
@@ -375,6 +457,9 @@ void Database::RemoveChangeListener(int token) {
 Result<Table*> Database::CreateTable(std::string name, Schema schema,
                                      StorageModel model) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (closed_) {
+    return Status::InvalidArgument("database is closed");
+  }
   DS_ASSIGN_OR_RETURN(Table * table, catalog_.CreateTable(std::move(name),
                                                           std::move(schema),
                                                           model));

@@ -21,12 +21,12 @@ struct DatabaseOptions {
   /// allocates from: `max_resident_pages` bounds in-memory frames (0 =
   /// unbounded), `spill_path` names the eviction/checkpoint backing file
   /// (empty = anonymous temp file). With `wal_path` + `durable_spill` set,
-  /// the pool is *durable*: every table mutation is WAL-logged, Checkpoint()
-  /// truncates the log, and constructing a Database over the same pair
-  /// recovers the committed page data (storage::PagerConfig, DESIGN.md §6).
-  /// Note: the catalog (schemas, table names) is rebuilt by the application
-  /// for now — page data durability is the storage milestone; catalog
-  /// persistence rides with the transaction manager (ROADMAP).
+  /// the database is fully *durable and reopenable*: every table mutation
+  /// is WAL-logged, the catalog (schemas, storage models, attribute groups,
+  /// display order) persists through checkpoint snapshots and DDL records,
+  /// and constructing a Database over the same pair — or calling
+  /// Database::Open on the same path — recovers every table, schema, and
+  /// row with no application-side rebuild (DESIGN.md §6, docs/DURABILITY.md).
   storage::PagerConfig pager;
 };
 
@@ -45,8 +45,42 @@ class Database {
  public:
   Database() : Database(DatabaseOptions{}) {}
   /// Bounded-pool construction: the paper's million-cell sheets run behind a
-  /// pool of a few hundred frames with cold pages spilled to disk.
-  explicit Database(const DatabaseOptions& options) : pager_(options.pager) {}
+  /// pool of a few hundred frames with cold pages spilled to disk. With a
+  /// durable PagerConfig this is also the recovery path: page redo runs in
+  /// the pager's constructor, then the catalog is rebuilt from the recovered
+  /// snapshot blob + DDL records and every table rebinds to its files —
+  /// the constructed database is ready to query, no schema rebuild needed.
+  explicit Database(const DatabaseOptions& options);
+
+  /// A clean shutdown: captures the final catalog snapshot, then tears
+  /// down. Durable pagers end on a checkpoint, so the next Open replays an
+  /// empty log. Calling Close() first is optional.
+  ~Database();
+
+  /// Opens (creating on first use) a durable database rooted at `base_path`:
+  /// the data lives in `<base_path>.pages`, the log in `<base_path>.wal`.
+  /// `options.pager`'s pool fields (cap, scan resistance, auto-checkpoint)
+  /// are honored; its path fields are overwritten. The returned database
+  /// holds every table exactly as last checkpointed/logged — see
+  /// docs/DURABILITY.md for the full lifecycle. One process at a time per
+  /// path: the pair is not lock-protected yet.
+  static std::unique_ptr<Database> Open(const std::string& base_path,
+                                        DatabaseOptions options = {});
+
+  /// The `Open` path convention as plain options: `<base>.pages` +
+  /// `<base>.wal`, durable. The one place the convention lives — the
+  /// DataSpread facade's `database_path` resolves through here too.
+  static DatabaseOptions DurableOptions(const std::string& base_path,
+                                        DatabaseOptions options = {});
+
+  /// Checkpoints and seals the database: all state is on disk and the log
+  /// is empty. Every subsequent Execute()/CreateTable() — SELECTs included,
+  /// the gate does not classify statements — fails with InvalidArgument;
+  /// direct table access (GetWindow/GetRowAt) keeps serving. Idempotent.
+  /// The pair can be reopened (by a new Database) after *destruction* —
+  /// two live pagers on one pair would corrupt it.
+  void Close();
+  bool closed() const { return closed_; }
 
   Catalog& catalog() { return catalog_; }
 
@@ -94,13 +128,22 @@ class Database {
   /// Wires a table's change events to the database-level listeners.
   void AttachForwarding(Table* table);
 
-  storage::Pager pager_;        // declared before catalog_: tables drop their
-                                // files into it on destruction
+  /// Durable construction tail: rebuild the catalog from the pager's
+  /// recovered blob + DDL records, attach every table, sweep orphan files
+  /// (a DDL torn before its record became durable), then install the
+  /// snapshot provider so future checkpoints embed the live catalog.
+  /// Catalog corruption aborts — the same stance the pager takes on an
+  /// unreadable WAL: state this fundamental is not silently discarded.
+  void RecoverCatalog();
+
+  storage::Pager pager_;        // declared before catalog_: tables release
+                                // into it on destruction
   Catalog catalog_{&pager_};
   std::recursive_mutex mutex_;
   int next_listener_token_ = 1;
   std::vector<std::pair<int, ChangeListener>> listeners_;
   uint64_t statements_executed_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace dataspread

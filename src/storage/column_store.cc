@@ -23,8 +23,43 @@ ColumnStore::ColumnStore(size_t num_columns, storage::Pager* pager,
   }
 }
 
+ColumnStore::ColumnStore(storage::Pager* pager,
+                         std::vector<storage::FileId> files, size_t num_rows)
+    : TableStorage(pager, {}), num_rows_(num_rows), files_(std::move(files)) {
+  set_retain_files(true);
+}
+
 ColumnStore::~ColumnStore() {
+  if (retain_files()) return;
   for (storage::FileId f : files_) pager_->DropFile(f);
+}
+
+Result<std::unique_ptr<ColumnStore>> ColumnStore::Attach(
+    const StorageManifest& manifest, uint64_t num_rows,
+    storage::Pager* pager) {
+  if (manifest.files.size() != manifest.num_columns) {
+    return Status::Internal("column-store manifest arity mismatch");
+  }
+  for (storage::FileId f : manifest.files) {
+    if (!pager->HasFile(f)) {
+      return Status::Internal("column-store manifest names a dead file");
+    }
+    if (pager->FileSize(f) < num_rows) {
+      return Status::Internal("recovered column heap is shorter than the "
+                              "catalog's row count — durability hole");
+    }
+    if (pager->FileSize(f) > num_rows) pager->Truncate(f, num_rows);
+  }
+  return std::unique_ptr<ColumnStore>(new ColumnStore(
+      pager, manifest.files, static_cast<size_t>(num_rows)));
+}
+
+StorageManifest ColumnStore::Manifest() const {
+  StorageManifest m;
+  m.model = StorageModel::kColumn;
+  m.num_columns = static_cast<uint32_t>(files_.size());
+  m.files = files_;
+  return m;
 }
 
 Result<Value> ColumnStore::Get(size_t row, size_t col) const {
@@ -107,6 +142,22 @@ Result<size_t> ColumnStore::AppendRow(const Row& row) {
 Result<size_t> ColumnStore::DeleteRow(size_t row) {
   if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
   size_t last = num_rows_ - 1;
+  if (pager_->durable()) {
+    // Two strict phases — copy everything, then truncate everything — with
+    // non-destructive reads: a crash mid-copy leaves every file at its old
+    // size (so Table::Attach redoes the whole delete from the intact last
+    // row), and any file truncated implies every copy completed. The
+    // interleaved Take version below would let a torn delete corrupt the
+    // moved row.
+    if (row != last) {
+      for (storage::FileId f : files_) {
+        pager_->Write(f, row, pager_->Read(f, last));
+      }
+    }
+    for (storage::FileId f : files_) pager_->Truncate(f, last);
+    num_rows_ -= 1;
+    return last;
+  }
   for (storage::FileId f : files_) {
     if (row != last) {
       pager_->Write(f, row, pager_->Take(f, last));
@@ -131,7 +182,13 @@ Status ColumnStore::DropColumn(size_t col) {
     return Status::OutOfRange("column " + std::to_string(col));
   }
   // Dropping a column deallocates its file; no surviving page is written.
-  pager_->DropFile(files_[col]);
+  // Durable DDL retires it instead: the file must outlive the catalog's
+  // DDL record so a crash-reopen of the pre-record state still binds it.
+  if (pager_->durable()) {
+    retired_files_.push_back(files_[col]);
+  } else {
+    pager_->DropFile(files_[col]);
+  }
   files_.erase(files_.begin() + static_cast<ptrdiff_t>(col));
   return Status::OK();
 }

@@ -18,6 +18,14 @@ class ColumnStore : public TableStorage {
            const storage::PagerConfig& config = {});
   ~ColumnStore() override;
 
+  /// Rebinds to recovered per-column heaps (manifest.files[c] = column c);
+  /// see AttachStorage for the num_rows / truncation contract.
+  static Result<std::unique_ptr<ColumnStore>> Attach(
+      const StorageManifest& manifest, uint64_t num_rows,
+      storage::Pager* pager);
+
+  StorageManifest Manifest() const override;
+
   StorageModel model() const override { return StorageModel::kColumn; }
   size_t num_rows() const override { return num_rows_; }
   size_t num_columns() const override { return files_.size(); }
@@ -35,6 +43,10 @@ class ColumnStore : public TableStorage {
   Status DropColumn(size_t col) override;
 
  private:
+  /// Attach path: adopts existing column files instead of creating them.
+  ColumnStore(storage::Pager* pager, std::vector<storage::FileId> files,
+              size_t num_rows);
+
   size_t num_rows_ = 0;
   std::vector<storage::FileId> files_;  // one page chain per attribute
 };

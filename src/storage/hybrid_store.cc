@@ -31,8 +31,72 @@ HybridStore::HybridStore(size_t num_columns, storage::Pager* pager,
   }
 }
 
+HybridStore::HybridStore(storage::Pager* pager, size_t num_rows)
+    : TableStorage(pager, {}), num_rows_(num_rows) {
+  set_retain_files(true);
+}
+
 HybridStore::~HybridStore() {
+  if (retain_files()) return;
   for (const Group& g : groups_) pager_->DropFile(g.file);
+}
+
+Result<std::unique_ptr<HybridStore>> HybridStore::Attach(
+    const StorageManifest& manifest, uint64_t num_rows,
+    storage::Pager* pager) {
+  auto store = std::unique_ptr<HybridStore>(
+      new HybridStore(pager, static_cast<size_t>(num_rows)));
+  store->col_map_.resize(manifest.num_columns, ColumnLoc{~size_t{0}, 0});
+  size_t mapped = 0;
+  for (size_t gi = 0; gi < manifest.groups.size(); ++gi) {
+    const StorageManifest::Group& mg = manifest.groups[gi];
+    if (!pager->HasFile(mg.file) || mg.columns.size() != mg.width ||
+        mg.width == 0) {
+      return Status::Internal("hybrid manifest group is malformed or names a "
+                              "dead file");
+    }
+    uint64_t want = num_rows * mg.width;
+    if (pager->FileSize(mg.file) < want) {
+      return Status::Internal("recovered attribute group is shorter than the "
+                              "catalog's row count — durability hole");
+    }
+    if (pager->FileSize(mg.file) > want) pager->Truncate(mg.file, want);
+    Group g;
+    g.width = mg.width;
+    g.file = mg.file;
+    store->groups_.push_back(g);
+    for (size_t o = 0; o < mg.columns.size(); ++o) {
+      uint32_t col = mg.columns[o];
+      if (col >= manifest.num_columns ||
+          store->col_map_[col].group != ~size_t{0}) {
+        return Status::Internal("hybrid manifest column map is not a "
+                                "bijection");
+      }
+      store->col_map_[col] = ColumnLoc{gi, o};
+      mapped += 1;
+    }
+  }
+  if (mapped != manifest.num_columns) {
+    return Status::Internal("hybrid manifest leaves columns unmapped");
+  }
+  return store;
+}
+
+StorageManifest HybridStore::Manifest() const {
+  StorageManifest m;
+  m.model = StorageModel::kHybrid;
+  m.num_columns = static_cast<uint32_t>(col_map_.size());
+  m.groups.resize(groups_.size());
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    m.groups[gi].file = groups_[gi].file;
+    m.groups[gi].width = static_cast<uint32_t>(groups_[gi].width);
+    m.groups[gi].columns.resize(groups_[gi].width, 0);
+  }
+  for (size_t c = 0; c < col_map_.size(); ++c) {
+    m.groups[col_map_[c].group].columns[col_map_[c].offset] =
+        static_cast<uint32_t>(c);
+  }
+  return m;
 }
 
 Result<Value> HybridStore::Get(size_t row, size_t col) const {
@@ -170,6 +234,24 @@ Result<size_t> HybridStore::AppendRow(const Row& row) {
 Result<size_t> HybridStore::DeleteRow(size_t row) {
   if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
   size_t last = num_rows_ - 1;
+  if (pager_->durable()) {
+    // Copy-all then truncate-all with non-destructive reads (see
+    // ColumnStore::DeleteRow): keeps a crash-torn delete redoable and the
+    // per-group size signature sound.
+    if (row != last) {
+      for (const Group& g : groups_) {
+        for (size_t o = 0; o < g.width; ++o) {
+          pager_->Write(g.file, Entry(g, row, o),
+                        pager_->Read(g.file, Entry(g, last, o)));
+        }
+      }
+    }
+    for (const Group& g : groups_) {
+      pager_->Truncate(g.file, last * g.width);
+    }
+    num_rows_ -= 1;
+    return last;
+  }
   for (const Group& g : groups_) {
     if (row != last) {
       for (size_t o = 0; o < g.width; ++o) {
@@ -226,10 +308,38 @@ Status HybridStore::DropColumn(size_t col) {
   Group& g = groups_[loc.group];
   if (g.width == 1) {
     // The whole group disappears: pure metadata operation, zero page writes.
-    pager_->DropFile(g.file);
+    // Durable DDL retires the file (it must outlive the DDL record).
+    if (pager_->durable()) {
+      retired_files_.push_back(g.file);
+    } else {
+      pager_->DropFile(g.file);
+    }
     groups_.erase(groups_.begin() + static_cast<ptrdiff_t>(loc.group));
     for (ColumnLoc& l : col_map_) {
       if (l.group > loc.group) l.group -= 1;
+    }
+  } else if (pager_->durable()) {
+    // Copy-on-write group compaction: build the narrowed group in a fresh
+    // file with non-destructive reads; the old group stays intact until
+    // the catalog's DDL record commits. Still touches only this group.
+    size_t new_width = g.width - 1;
+    storage::FileId fresh = pager_->CreateFile();
+    {
+      storage::PageCursor src(*pager_, g.file);
+      storage::PageCursor dst(*pager_, fresh);
+      uint64_t dst_slot = 0;
+      for (size_t r = 0; r < num_rows_; ++r) {
+        for (size_t o = 0; o < g.width; ++o) {
+          if (o == loc.offset) continue;
+          dst.Write(dst_slot++, src.Read(Entry(g, r, o)));
+        }
+      }
+    }
+    retired_files_.push_back(g.file);
+    g.file = fresh;
+    g.width = new_width;
+    for (ColumnLoc& l : col_map_) {
+      if (l.group == loc.group && l.offset > loc.offset) l.offset -= 1;
     }
   } else {
     // Rewrite only this group's pages; all other groups untouched.
@@ -244,12 +354,15 @@ Status HybridStore::DropColumn(size_t col) {
 
 Status HybridStore::Reorganize() {
   if (groups_.size() <= 1) return Status::OK();
+  bool cow = pager_->durable();
   Group merged;
   merged.width = col_map_.size();
   merged.file = pager_->CreateFile();
   {
     // A write cursor streams the merged file; one read cursor per source
-    // group moves the values out in row order.
+    // group moves the values out in row order. Durable DDL reads instead
+    // of taking — the source groups must stay intact until the catalog's
+    // kReorganize record commits the new group→file structure.
     storage::PageCursor dst(*pager_, merged.file);
     std::vector<storage::PageCursor> srcs;
     srcs.reserve(groups_.size());
@@ -258,11 +371,19 @@ Status HybridStore::Reorganize() {
       uint64_t dst_slot = r * merged.width;
       for (const ColumnLoc& loc : col_map_) {
         const Group& g = groups_[loc.group];
-        dst.Write(dst_slot++, srcs[loc.group].Take(Entry(g, r, loc.offset)));
+        storage::PageCursor& src = srcs[loc.group];
+        uint64_t e = Entry(g, r, loc.offset);
+        dst.Write(dst_slot++, cow ? Value(src.Read(e)) : src.Take(e));
       }
     }
   }
-  for (const Group& g : groups_) pager_->DropFile(g.file);
+  for (const Group& g : groups_) {
+    if (cow) {
+      retired_files_.push_back(g.file);
+    } else {
+      pager_->DropFile(g.file);
+    }
+  }
   groups_.clear();
   groups_.push_back(merged);
   for (size_t c = 0; c < col_map_.size(); ++c) {

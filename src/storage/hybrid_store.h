@@ -26,6 +26,15 @@ class HybridStore : public TableStorage {
            const storage::PagerConfig& config = {});
   ~HybridStore() override;
 
+  /// Rebinds to recovered attribute-group files (manifest.groups carries the
+  /// group→file structure and each group's column list); see AttachStorage
+  /// for the num_rows / truncation contract.
+  static Result<std::unique_ptr<HybridStore>> Attach(
+      const StorageManifest& manifest, uint64_t num_rows,
+      storage::Pager* pager);
+
+  StorageManifest Manifest() const override;
+
   StorageModel model() const override { return StorageModel::kHybrid; }
   size_t num_rows() const override { return num_rows_; }
   size_t num_columns() const override { return col_map_.size(); }
@@ -50,6 +59,9 @@ class HybridStore : public TableStorage {
   Status Reorganize();
 
  private:
+  /// Attach path: adopts an existing group structure instead of creating it.
+  HybridStore(storage::Pager* pager, size_t num_rows);
+
   struct Group {
     size_t width = 0;            // attributes in this group
     storage::FileId file = 0;    // row-major page chain: row * width + offset

@@ -54,7 +54,9 @@ PagerStats Pager::stats() const {
 }
 
 void Pager::SyncWal() {
-  if (wal_ != nullptr) wal_->Sync();
+  if (wal_ == nullptr) return;
+  wal_->Sync();
+  DrainDeferredFrees();
 }
 
 void Pager::CrashForTesting() {
@@ -119,6 +121,9 @@ void Pager::WriteBack(ValuePage& page, PageRef& ref) {
   // During replay everything in the log is durable by definition.
   if (wal_ != nullptr && !replaying_ && !crashed_) {
     wal_->EnsureDurable(page.page_lsn_);
+    // Parked slots whose freeing record is now durable become reusable just
+    // in time for the allocation below.
+    DrainDeferredFrees();
   }
   SpillFile& spill = EnsureSpill();
   if (ref.spill_slot == SpillFile::kNoSlot) {
@@ -301,7 +306,7 @@ void Pager::FaultIn(FileId file, FileChain& chain, uint64_t page_index) {
   }
 }
 
-void Pager::FreePage(PageRef& ref) {
+void Pager::FreePage(PageRef& ref, std::vector<uint64_t>* deferred_slots) {
   if (ref.resident()) {
     ValuePage& page = *page_table_[ref.frame];
     DS_PAGER_CHECK(page.pin_count_ == 0, "freeing a pinned page");
@@ -309,29 +314,52 @@ void Pager::FreePage(PageRef& ref) {
     ref.frame = PageRef::kNoFrame;
   }
   if (ref.spill_slot != SpillFile::kNoSlot) {
-    spill_->FreeSlot(ref.spill_slot);
+    if (deferred_slots != nullptr) {
+      deferred_slots->push_back(ref.spill_slot);
+    } else {
+      spill_->FreeSlot(ref.spill_slot);
+    }
     ref.spill_slot = SpillFile::kNoSlot;
   }
   stats_.pages_freed += 1;
 }
 
+void Pager::DeferSpillFrees(const std::vector<uint64_t>& slots, uint64_t lsn) {
+  if (slots.empty()) return;
+  // Freed spill slots may be recycled by the very next eviction, overwriting
+  // bases a replay without the freeing record would still need. PR 4 closed
+  // that window with an fsync per structural op; now the slots are simply
+  // parked until durability catches up on its own (next sync/checkpoint) —
+  // structural ops pay no barrier at all. `lsn` is the start offset of a
+  // record the caller appended this very call, so it is never durable yet
+  // (durable_lsn is the synced *end* boundary): always park.
+  for (uint64_t slot : slots) {
+    deferred_frees_.push_back(DeferredFree{slot, lsn});
+  }
+}
+
+void Pager::DrainDeferredFrees() {
+  if (deferred_frees_.empty()) return;
+  uint64_t durable = wal_->durable_lsn();
+  while (!deferred_frees_.empty() && deferred_frees_.front().lsn < durable) {
+    spill_->FreeSlot(deferred_frees_.front().spill_slot);
+    deferred_frees_.pop_front();
+  }
+}
+
 void Pager::DropFile(FileId file) {
   FileChain& chain = ChainOrDie(file);
-  bool freed_spill_slot = false;
+  bool defer = wal_ != nullptr && !replaying_ && !crashed_;
+  std::vector<uint64_t> freed;
   for (PageRef& ref : chain.pages) {
-    freed_spill_slot |= ref.spill_slot != SpillFile::kNoSlot;
-    FreePage(ref);
+    FreePage(ref, defer ? &freed : nullptr);
   }
   files_.erase(file);
-  if (wal_ != nullptr && !replaying_ && !crashed_) {
+  if (defer) {
     wal_payload_.clear();
     AppendU64(&wal_payload_, file);
-    wal_->Append(WalRecordType::kDropFile, wal_payload_);
-    // Freed spill slots may be recycled by the very next eviction,
-    // overwriting bases a replay without this record would still need: the
-    // record must be durable before the reuse window opens. No slots freed
-    // (never-spilled pages) = no hazard = no fsync.
-    if (freed_spill_slot) wal_->Sync();
+    uint64_t lsn = wal_->Append(WalRecordType::kDropFile, wal_payload_);
+    DeferSpillFrees(freed, lsn);
     MaybeAutoCheckpoint();
   }
 }
@@ -503,10 +531,10 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
     page.dirty_ = true;  // not accounted: truncation is not a page write
     boundary = &page;
   }
-  bool freed_spill_slot = false;
+  bool defer = wal_ != nullptr && !replaying_ && !crashed_;
+  std::vector<uint64_t> freed;
   while (chain.pages.size() > keep_pages) {
-    freed_spill_slot |= chain.pages.back().spill_slot != SpillFile::kNoSlot;
-    FreePage(chain.pages.back());
+    FreePage(chain.pages.back(), defer ? &freed : nullptr);
     chain.pages.pop_back();
   }
   chain.size = slot_count;
@@ -514,7 +542,7 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
       chain.seq.last_page >= keep_pages) {
     chain.seq = SeqDetector{};  // the detector must not span freed pages
   }
-  if (wal_ != nullptr && !replaying_ && !crashed_) {
+  if (defer) {
     wal_payload_.clear();
     AppendU64(&wal_payload_, file);
     AppendU64(&wal_payload_, slot_count);
@@ -522,9 +550,9 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
     // The clearing above is redone by replaying Truncate itself; the
     // boundary page's newest redo is therefore this record.
     if (boundary != nullptr) boundary->page_lsn_ = lsn;
-    // Same reuse hazard as DropFile: freed tail slots must not be recycled
-    // before the truncate record that frees them is durable.
-    if (freed_spill_slot) wal_->Sync();
+    // Same reuse hazard as DropFile: freed tail slots stay parked until the
+    // truncate record that frees them is durable (DeferSpillFrees).
+    DeferSpillFrees(freed, lsn);
     MaybeAutoCheckpoint();
   }
 }
@@ -678,6 +706,12 @@ void Pager::MaybeAutoCheckpoint() {
   if (wal_->bytes_since_checkpoint() < config_.wal_auto_checkpoint_bytes) {
     return;
   }
+  if (checkpoint_defer_depth_ > 0) {
+    // Mid-operation (see CheckpointDeferral): latch and run at scope exit,
+    // so a snapshot can never capture a half-applied logical change.
+    checkpoint_pending_ = true;
+    return;
+  }
   CheckpointInternal();
 }
 
@@ -705,6 +739,9 @@ size_t Pager::CheckpointInternal() {
   // The WAL rule wholesale: every record producing the images about to be
   // written is made durable by one sync instead of per-page EnsureDurable.
   wal_->Sync();
+  // Everything parked is durable now; release it so the snapshot's spill
+  // directory lists those slots as free.
+  DrainDeferredFrees();
 
   size_t flushed = 0;
   for (const auto& page : page_table_) {
@@ -753,6 +790,28 @@ void Pager::BuildSnapshot(std::string* out) const {
   for (uint64_t slot : dir.free_slots) AppendU64(out, slot);
   AppendU64(out, dir.end_offset);
   AppendU64(out, dir.dead_bytes);
+  // Catalog section. With a live provider the blob is serialized fresh and
+  // subsumes any earlier DDL records; without one (recovery-time checkpoint,
+  // plain-pager users) the recovered blob and DDL list are carried forward
+  // verbatim so a checkpoint can never lose catalog state the pager does
+  // not understand. Absent entirely in pre-catalog (PR 4) snapshots, which
+  // RestoreSnapshot treats as an empty section.
+  if (catalog_provider_) {
+    std::string blob;
+    catalog_provider_(&blob);
+    AppendU64(out, blob.size());
+    out->append(blob);
+    AppendU32(out, 0);
+  } else {
+    AppendU64(out, catalog_blob_.size());
+    out->append(catalog_blob_);
+    AppendU32(out, static_cast<uint32_t>(catalog_ddl_.size()));
+    for (const CatalogRecord& rec : catalog_ddl_) {
+      out->push_back(static_cast<char>(rec.type));
+      AppendU64(out, rec.payload.size());
+      out->append(rec.payload);
+    }
+  }
 }
 
 void Pager::RestoreSnapshot(const std::string& payload) {
@@ -791,7 +850,38 @@ void Pager::RestoreSnapshot(const std::string& payload) {
     ok = ReadU64(payload, &pos, &dir.free_slots[i]);
   }
   ok = ok && ReadU64(payload, &pos, &dir.end_offset) &&
-       ReadU64(payload, &pos, &dir.dead_bytes) && pos == payload.size();
+       ReadU64(payload, &pos, &dir.dead_bytes);
+  // Catalog section (absent in pre-catalog snapshots: those end right here).
+  catalog_blob_.clear();
+  catalog_ddl_.clear();
+  if (ok && pos < payload.size()) {
+    uint64_t blob_len = 0;
+    ok = ReadU64(payload, &pos, &blob_len) &&
+         pos + blob_len <= payload.size();
+    if (ok) {
+      catalog_blob_.assign(payload, pos, static_cast<size_t>(blob_len));
+      pos += static_cast<size_t>(blob_len);
+    }
+    uint32_t n_ddl = 0;
+    ok = ok && ReadU32(payload, &pos, &n_ddl);
+    for (uint32_t i = 0; ok && i < n_ddl; ++i) {
+      CatalogRecord rec;
+      uint64_t len = 0;
+      ok = pos < payload.size();
+      if (ok) {
+        rec.type = static_cast<WalRecordType>(
+            static_cast<unsigned char>(payload[pos]));
+        pos += 1;
+      }
+      ok = ok && ReadU64(payload, &pos, &len) && pos + len <= payload.size();
+      if (ok) {
+        rec.payload.assign(payload, pos, static_cast<size_t>(len));
+        pos += static_cast<size_t>(len);
+        catalog_ddl_.push_back(std::move(rec));
+      }
+    }
+  }
+  ok = ok && pos == payload.size();
   DS_PAGER_CHECK(ok, "malformed WAL checkpoint snapshot");
   if (!dir.slots.empty() || dir.end_offset > 0) {
     EnsureSpill().RestoreDirectory(dir);
@@ -897,8 +987,64 @@ void Pager::ReplayRecord(const Wal::Record& rec) {
     case WalRecordType::kUpdate:
       ApplyUpdateRecord(rec);
       return;
+    case WalRecordType::kCreateTable:
+    case WalRecordType::kDropTable:
+    case WalRecordType::kAddColumn:
+    case WalRecordType::kDropColumn:
+    case WalRecordType::kRenameColumn:
+    case WalRecordType::kReorganize:
+      // Opaque catalog DDL: collected in log order for the catalog layer,
+      // which applies them over the recovered blob after page redo is done
+      // (the records carry full descriptors, so order relative to page
+      // records does not matter — only their order among themselves).
+      catalog_ddl_.push_back(CatalogRecord{rec.type, rec.payload});
+      return;
   }
   DS_PAGER_CHECK(false, "unknown WAL record type");
+}
+
+uint64_t Pager::LogCatalogRecord(WalRecordType type,
+                                 const std::string& payload) {
+  DS_PAGER_CHECK(IsCatalogRecordType(type),
+                 "LogCatalogRecord with a non-catalog record type");
+  if (wal_ == nullptr || replaying_ || crashed_) return 0;
+  uint64_t lsn = wal_->Append(type, payload);
+  // DDL is a commit point: the schema change (and, by WAL order, every page
+  // record before it) survives any crash once this returns.
+  wal_->Sync();
+  DrainDeferredFrees();
+  MaybeAutoCheckpoint();
+  return lsn;
+}
+
+void Pager::set_catalog_snapshot_provider(
+    std::function<void(std::string*)> provider) {
+  catalog_provider_ = std::move(provider);
+  // The live catalog now owns this state; the recovered copies are spent.
+  catalog_blob_.clear();
+  catalog_blob_.shrink_to_fit();
+  catalog_ddl_.clear();
+}
+
+void Pager::DetachCatalogProvider() {
+  if (!catalog_provider_) return;
+  // Capture one last blob so the checkpoints that outlive the catalog layer
+  // (notably the destructor's) keep carrying the full catalog forward.
+  catalog_blob_.clear();
+  catalog_provider_(&catalog_blob_);
+  catalog_ddl_.clear();
+  catalog_provider_ = nullptr;
+}
+
+std::vector<FileId> Pager::FileIds() const {
+  std::vector<FileId> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, chain] : files_) {
+    (void)chain;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 void Pager::Recover() {

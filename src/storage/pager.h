@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -310,8 +311,14 @@ class Pager {
 
   /// Fsyncs the WAL: everything logged so far survives any crash. The
   /// durability barrier for callers that need "commit" semantics between
-  /// checkpoints. No-op without a WAL.
+  /// checkpoints. Also drains the deferred spill-slot free list (slots whose
+  /// freeing record just became durable return to circulation). No-op
+  /// without a WAL.
   void SyncWal();
+  /// True when this pager runs in durable mode (a WAL is configured). The
+  /// catalog layer keys its own persistence on this: side files, DDL
+  /// records, and file retention only exist for durable pools.
+  bool durable() const { return wal_ != nullptr; }
   /// The write-ahead log, when configured (null in scratch mode).
   const Wal* wal() const { return wal_.get(); }
   /// True when construction found an existing WAL and replayed it.
@@ -327,6 +334,62 @@ class Pager {
   /// Afterwards the pager keeps working as a scratch pool (so storages over
   /// it can still destruct), but nothing further is logged or durable.
   void CrashForTesting();
+
+  // ---- Catalog metadata channel (DESIGN.md §6 "Catalog recovery") -----------
+  //
+  // The pager persists page *data*; the catalog layer (schemas, tables, the
+  // table→file bindings) persists itself *through* the pager with two
+  // primitives it never interprets:
+  //   1. an opaque blob embedded in every checkpoint snapshot, produced on
+  //      demand by a provider callback (the catalog serializes its current
+  //      state), and
+  //   2. opaque DDL records (WalRecordType::kCreateTable..kReorganize)
+  //      appended via LogCatalogRecord between checkpoints.
+  // Recovery replays page redo as usual and *collects* the blob + DDL
+  // records for the catalog layer to consume after construction; until a
+  // provider is installed, checkpoints carry the recovered blob and DDL
+  // list forward verbatim, so a recovery-time checkpoint can never lose
+  // catalog state it does not understand.
+
+  /// One recovered catalog DDL record, in log order.
+  struct CatalogRecord {
+    WalRecordType type = WalRecordType::kCreateTable;
+    std::string payload;
+  };
+
+  /// Appends one opaque catalog DDL record and fsyncs: every DDL statement
+  /// is a commit point (they are rare; one barrier each keeps the schema's
+  /// durability horizon ahead of the data's). Returns the record's LSN, or
+  /// 0 when the pager is not durable / is replaying / has crashed — callers
+  /// log unconditionally and let the pager sort out the mode.
+  uint64_t LogCatalogRecord(WalRecordType type, const std::string& payload);
+
+  /// Installs the checkpoint blob provider. From now on every snapshot
+  /// embeds a freshly serialized blob (and no DDL carry-forward — the blob
+  /// subsumes it); the recovered_catalog_* accessors are cleared. The
+  /// provider must stay callable until DetachCatalogProvider() or pager
+  /// destruction, and must serialize a *statement-consistent* catalog —
+  /// wrap multi-step schema changes in a CheckpointDeferral so an
+  /// auto-checkpoint cannot observe a half-applied DDL.
+  void set_catalog_snapshot_provider(std::function<void(std::string*)> provider);
+
+  /// Uninstalls the provider, capturing one final blob that subsequent
+  /// checkpoints (including the destructor's) carry forward. Call this
+  /// before the catalog layer is destroyed; the pager outlives it.
+  void DetachCatalogProvider();
+
+  /// The catalog blob of the recovered checkpoint snapshot and the DDL
+  /// records logged after it, in log order. Valid after construction until
+  /// set_catalog_snapshot_provider() clears them; empty on a fresh start.
+  const std::string& recovered_catalog_blob() const { return catalog_blob_; }
+  const std::vector<CatalogRecord>& recovered_catalog_ddl() const {
+    return catalog_ddl_;
+  }
+
+  /// All live file ids, ascending — the catalog layer's orphan sweep
+  /// (files created by a DDL whose record never became durable) diffs this
+  /// against the recovered descriptors.
+  std::vector<FileId> FileIds() const;
 
   // ---- Buffer-pool policy ---------------------------------------------------
 
@@ -426,6 +489,17 @@ class Pager {
     uint64_t page;
   };
 
+  /// A spill slot freed by Truncate/DropFile whose freeing WAL record is not
+  /// yet durable. The slot must not be recycled before `lsn` is fsynced —
+  /// otherwise a crash could replay the free against a base the reuse
+  /// already overwrote. Parking the slot here (instead of fsyncing at free
+  /// time, the PR 4 behavior) lets structural ops proceed without a barrier;
+  /// DrainDeferredFrees() releases slots as durability catches up.
+  struct DeferredFree {
+    uint64_t spill_slot = 0;
+    uint64_t lsn = 0;
+  };
+
   FileChain& ChainOrDie(FileId file);
   const FileChain& ChainOrDie(FileId file) const;
   /// Grows `chain` until `slot` is addressable.
@@ -451,8 +525,16 @@ class Pager {
   void EvictPage(ValuePage& page);
   /// Returns the frame of a truncated/dropped resident page to the free list.
   void ReleaseFrame(PageId id);
-  /// Drops one chain page entirely (frame and/or spill space).
-  void FreePage(PageRef& ref);
+  /// Drops one chain page entirely (frame and/or spill space). When
+  /// `deferred_slots` is non-null the spill slot is *not* freed but appended
+  /// there — the caller parks the batch on the deferred-free list once the
+  /// structural record that frees them has an LSN.
+  void FreePage(PageRef& ref, std::vector<uint64_t>* deferred_slots = nullptr);
+  /// Parks `slots` until `lsn` is durable (or frees them immediately if it
+  /// already is).
+  void DeferSpillFrees(const std::vector<uint64_t>& slots, uint64_t lsn);
+  /// Frees every parked slot whose freeing record has become durable.
+  void DrainDeferredFrees();
   /// Evicts victims until residency is at most `target` (or all pinned).
   void EvictDownTo(size_t target);
   /// Next eviction victim: oldest valid unpinned scan-ring page, else the
@@ -528,6 +610,18 @@ class Pager {
   bool in_checkpoint_ = false;  // guards auto-checkpoint reentrancy
   bool crashed_ = false;        // CrashForTesting: destructor stands down
   bool recovered_ = false;
+  // Catalog metadata channel: provider (live) or carried-forward state
+  // (recovered, pre-provider); see the public section.
+  std::function<void(std::string*)> catalog_provider_;
+  std::string catalog_blob_;
+  std::vector<CatalogRecord> catalog_ddl_;
+  // Deferred spill-slot frees, FIFO by freeing-record LSN.
+  std::deque<DeferredFree> deferred_frees_;
+  // Auto-checkpoint deferral (see CheckpointDeferral): while > 0, an
+  // auto-checkpoint trigger latches checkpoint_pending_ instead of running.
+  int checkpoint_defer_depth_ = 0;
+  bool checkpoint_pending_ = false;
+  friend class CheckpointDeferral;
   uint64_t recovery_records_ = 0;
   uint64_t recovery_bytes_ = 0;
   std::string wal_payload_;  // record build buffer, reused across appends
@@ -548,6 +642,36 @@ class Pager {
   PagerStats stats_;
   std::unordered_set<PageKey, PageKeyHash> epoch_read_;
   std::unordered_set<PageKey, PageKeyHash> epoch_written_;
+};
+
+/// Scope guard that holds off auto-checkpoints while a multi-record logical
+/// operation is in flight. A fuzzy checkpoint snapshots the catalog blob via
+/// the provider; if one fired *between* the page mutations of a DDL and its
+/// catalog record — or between a schema edit and the storage rewrite it
+/// describes — the snapshot could capture a half-applied schema change. The
+/// catalog layer wraps every DDL body in one of these; a trigger that fires
+/// inside the scope is latched and runs at scope exit, once the operation's
+/// records (page redo + DDL) have all been appended. Re-entrant; a no-op on
+/// non-durable pagers.
+class CheckpointDeferral {
+ public:
+  explicit CheckpointDeferral(Pager& pager) : pager_(pager) {
+    pager_.checkpoint_defer_depth_ += 1;
+  }
+  ~CheckpointDeferral() {
+    pager_.checkpoint_defer_depth_ -= 1;
+    if (pager_.checkpoint_defer_depth_ == 0 && pager_.checkpoint_pending_) {
+      pager_.checkpoint_pending_ = false;
+      if (pager_.wal_ != nullptr && !pager_.crashed_) {
+        pager_.MaybeAutoCheckpoint();
+      }
+    }
+  }
+  CheckpointDeferral(const CheckpointDeferral&) = delete;
+  CheckpointDeferral& operator=(const CheckpointDeferral&) = delete;
+
+ private:
+  Pager& pager_;
 };
 
 }  // namespace storage

@@ -20,7 +20,45 @@ RowStore::RowStore(size_t num_columns, storage::Pager* pager,
   file_ = pager_->CreateFile();
 }
 
-RowStore::~RowStore() { pager_->DropFile(file_); }
+RowStore::RowStore(storage::Pager* pager, storage::FileId file,
+                   size_t num_columns, size_t num_rows)
+    : TableStorage(pager, {}),
+      num_columns_(num_columns),
+      num_rows_(num_rows),
+      file_(file) {
+  set_retain_files(true);
+}
+
+RowStore::~RowStore() {
+  if (!retain_files()) pager_->DropFile(file_);
+}
+
+Result<std::unique_ptr<RowStore>> RowStore::Attach(
+    const StorageManifest& manifest, uint64_t num_rows,
+    storage::Pager* pager) {
+  if (manifest.files.size() != 1 || !pager->HasFile(manifest.files[0])) {
+    return Status::Internal("row-store manifest does not name one live heap");
+  }
+  storage::FileId heap = manifest.files[0];
+  uint64_t want = num_rows * manifest.num_columns;
+  if (pager->FileSize(heap) < want) {
+    return Status::Internal("recovered row heap is shorter than the catalog's "
+                            "row count — durability hole");
+  }
+  // Excess slots are the remnant of a statement in flight at the crash
+  // (never acknowledged by the order file): trim them away.
+  if (pager->FileSize(heap) > want) pager->Truncate(heap, want);
+  return std::unique_ptr<RowStore>(new RowStore(
+      pager, heap, manifest.num_columns, static_cast<size_t>(num_rows)));
+}
+
+StorageManifest RowStore::Manifest() const {
+  StorageManifest m;
+  m.model = StorageModel::kRow;
+  m.num_columns = static_cast<uint32_t>(num_columns_);
+  m.files.push_back(file_);
+  return m;
+}
 
 Result<Value> RowStore::Get(size_t row, size_t col) const {
   DS_RETURN_IF_ERROR(CheckCell(row, col));
@@ -104,8 +142,20 @@ Result<size_t> RowStore::DeleteRow(size_t row) {
   }
   size_t last = num_rows_ - 1;
   if (row != last) {
-    for (size_t c = 0; c < num_columns_; ++c) {
-      pager_->Write(file_, Entry(row, c), pager_->Take(file_, Entry(last, c)));
+    if (pager_->durable()) {
+      // Copy, don't take: the source row must stay intact until the
+      // truncate below, so a crash-torn delete can be *redone* from the
+      // still-complete last row (Table::Attach), and the file-size
+      // signature "size unchanged ⇒ no swap is missing" holds.
+      for (size_t c = 0; c < num_columns_; ++c) {
+        pager_->Write(file_, Entry(row, c),
+                      pager_->Read(file_, Entry(last, c)));
+      }
+    } else {
+      for (size_t c = 0; c < num_columns_; ++c) {
+        pager_->Write(file_, Entry(row, c),
+                      pager_->Take(file_, Entry(last, c)));
+      }
     }
   }
   pager_->Truncate(file_, last * num_columns_);
@@ -115,14 +165,35 @@ Result<size_t> RowStore::DeleteRow(size_t row) {
 
 Status RowStore::AddColumn(const Value& default_value) {
   DS_RETURN_IF_ERROR(CheckStorable(default_value));
+  size_t old_cols = num_columns_;
+  size_t new_cols = old_cols + 1;
+  if (pager_->durable()) {
+    // Copy-on-write restride (durable DDL): the new layout is built in a
+    // fresh file with non-destructive reads, the old heap stays intact
+    // until the catalog's DDL record commits, and a crash-reopen binds one
+    // complete layout or the other — never a half-restrided heap.
+    storage::FileId fresh = pager_->CreateFile();
+    {
+      storage::PageCursor src(*pager_, file_);
+      storage::PageCursor dst(*pager_, fresh);
+      for (size_t r = 0; r < num_rows_; ++r) {
+        for (size_t c = 0; c < old_cols; ++c) {
+          dst.Write(r * new_cols + c, src.Read(r * old_cols + c));
+        }
+        dst.Write(r * new_cols + old_cols, default_value);
+      }
+    }
+    retired_files_.push_back(file_);
+    file_ = fresh;
+    num_columns_ = new_cols;
+    return Status::OK();
+  }
   // The tuple stride grows, so every tuple is rewritten in the new layout.
   // Restriding runs highest-slot-first: each destination slot r*(n+1)+c is >=
   // its source slot r*n+c, and sources still pending are strictly below every
   // slot written so far, so the move is safe in place. Two cursors (source
   // reads, destination writes) keep the rewrite at one pin per page visited
   // per side; both may sit on the same page, which simply pins it twice.
-  size_t old_cols = num_columns_;
-  size_t new_cols = old_cols + 1;
   {
     storage::PageCursor src(*pager_, file_);
     storage::PageCursor dst(*pager_, file_);
@@ -141,10 +212,29 @@ Status RowStore::DropColumn(size_t col) {
   if (col >= num_columns_) {
     return Status::OutOfRange("column " + std::to_string(col));
   }
-  // Compact forward in place: destinations never pass their sources. The
-  // cursors are released (scope exit) before Truncate frees tail pages.
   size_t old_cols = num_columns_;
   size_t new_cols = old_cols - 1;
+  if (pager_->durable()) {
+    // Copy-on-write, as in AddColumn: crash-atomicity over in-place thrift.
+    storage::FileId fresh = pager_->CreateFile();
+    {
+      storage::PageCursor src(*pager_, file_);
+      storage::PageCursor dst(*pager_, fresh);
+      uint64_t dst_slot = 0;
+      for (size_t r = 0; r < num_rows_; ++r) {
+        for (size_t c = 0; c < old_cols; ++c) {
+          if (c == col) continue;
+          dst.Write(dst_slot++, src.Read(r * old_cols + c));
+        }
+      }
+    }
+    retired_files_.push_back(file_);
+    file_ = fresh;
+    num_columns_ = new_cols;
+    return Status::OK();
+  }
+  // Compact forward in place: destinations never pass their sources. The
+  // cursors are released (scope exit) before Truncate frees tail pages.
   {
     storage::PageCursor src(*pager_, file_);
     storage::PageCursor dst(*pager_, file_);

@@ -18,6 +18,14 @@ class RowStore : public TableStorage {
            const storage::PagerConfig& config = {});
   ~RowStore() override;
 
+  /// Rebinds to a recovered tuple heap (manifest.files = {heap}); see
+  /// AttachStorage for the num_rows / truncation contract.
+  static Result<std::unique_ptr<RowStore>> Attach(const StorageManifest& manifest,
+                                                  uint64_t num_rows,
+                                                  storage::Pager* pager);
+
+  StorageManifest Manifest() const override;
+
   StorageModel model() const override { return StorageModel::kRow; }
   size_t num_rows() const override { return num_rows_; }
   size_t num_columns() const override { return num_columns_; }
@@ -35,6 +43,10 @@ class RowStore : public TableStorage {
   Status DropColumn(size_t col) override;
 
  private:
+  /// Attach path: adopts an existing heap file instead of creating one.
+  RowStore(storage::Pager* pager, storage::FileId file, size_t num_columns,
+           size_t num_rows);
+
   uint64_t Entry(size_t row, size_t col) const {
     return row * num_columns_ + col;
   }

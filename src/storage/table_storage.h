@@ -24,6 +24,35 @@ enum class StorageModel {
 
 const char* StorageModelName(StorageModel model);
 
+/// Durable description of a table storage's physical layout: which pager
+/// files hold its data and how logical columns map onto them. Serialized
+/// into the catalog blob / DDL records (catalog/catalog_codec.h) so a
+/// durable database can rebind a storage object to its recovered pager
+/// files instead of creating fresh ones.
+///
+/// Per model:
+///   kRow:    files = {tuple heap}
+///   kColumn: files[c] = column c's heap
+///   kRcv:    files[2c] = column c's value heap, files[2c+1] = its row
+///            back-pointer file (present only on durable pagers)
+///   kHybrid: groups[] carries the attribute-group structure; `files` unused
+///
+/// Row counts are deliberately absent: they are derived from recovered file
+/// sizes at attach time (a checkpoint-stale count would undercount rows the
+/// WAL replayed after the snapshot).
+struct StorageManifest {
+  StorageModel model = StorageModel::kHybrid;
+  uint32_t num_columns = 0;
+  std::vector<uint64_t> files;
+  struct Group {
+    uint64_t file = 0;
+    uint32_t width = 0;
+    /// Logical column index per group offset (columns[o] sits at offset o).
+    std::vector<uint32_t> columns;
+  };
+  std::vector<Group> groups;
+};
+
 /// Storage-model-agnostic interface over a table's physical data.
 ///
 /// Rows are addressed by dense *slots* in [0, num_rows()). Slots are storage
@@ -88,6 +117,31 @@ class TableStorage {
   /// Schema change: drops column `col`; higher columns shift down by one.
   virtual Status DropColumn(size_t col) = 0;
 
+  /// The current physical layout (file bindings) of this storage — always
+  /// live-accurate, so a checkpoint snapshot taken at any statement boundary
+  /// describes exactly the files a reopen must rebind.
+  virtual StorageManifest Manifest() const = 0;
+
+  /// When set, the destructor leaves this storage's pager files alive
+  /// instead of dropping them — the durable mode: the files *are* the
+  /// persistent table data and must outlive the in-memory object. DROP
+  /// TABLE clears the flag before destroying the table so an explicit drop
+  /// still deallocates. Defaults to off (scratch tables free their pages).
+  void set_retain_files(bool retain) { retain_files_ = retain; }
+  bool retain_files() const { return retain_files_; }
+
+  /// Durable DDL is copy-on-write: on a durable pager, schema-changing ops
+  /// that would rewrite or drop existing files instead build fresh files
+  /// (reading the old ones non-destructively) and *retire* the replaced
+  /// ones here rather than dropping them. The catalog layer logs the DDL
+  /// record — the commit point — and only then drops the retired files, so
+  /// a crash-reopen binds either the old files (record lost) or the new
+  /// ones (record durable), never a half-rewritten mixture. Scratch pagers
+  /// keep the cheaper in-place rewrites and this list stays empty.
+  std::vector<storage::FileId> TakeRetiredFiles() {
+    return std::move(retired_files_);
+  }
+
   /// Block-level accounting for this table's files (compatibility facade).
   PageAccountant& accountant() { return accountant_; }
   const PageAccountant& accountant() const { return accountant_; }
@@ -126,6 +180,8 @@ class TableStorage {
   std::unique_ptr<storage::Pager> owned_pager_;
   storage::Pager* pager_;
   PageAccountant accountant_;
+  bool retain_files_ = false;
+  std::vector<storage::FileId> retired_files_;  // durable DDL (see above)
 };
 
 /// Creates an empty table with `num_columns` attributes in the given layout.
@@ -133,6 +189,26 @@ class TableStorage {
 std::unique_ptr<TableStorage> CreateStorage(
     StorageModel model, size_t num_columns, storage::Pager* pager = nullptr,
     const storage::PagerConfig& config = {});
+
+/// Row count recoverable from a manifest's file sizes alone: every model
+/// keeps its files at exactly `rows × width` slots, so the floor of the
+/// smallest file/width ratio is the last fully persisted row count. Returns
+/// UINT64_MAX for layouts whose files cannot bound the row count (kRcv
+/// materializes only non-NULL cells; zero-column tables) — the caller then
+/// relies on the catalog's order file. Fails on a manifest referencing
+/// unknown files.
+Result<uint64_t> ManifestRows(const StorageManifest& manifest,
+                              const storage::Pager& pager);
+
+/// Rebinds a storage object to the recovered pager files named by
+/// `manifest`, with exactly `num_rows` rows (the catalog layer derives the
+/// count from its order file and ManifestRows). Files holding more than
+/// `num_rows` rows are truncated down — the remnant of a statement in
+/// flight at the crash; files holding fewer make the attach fail. The
+/// result has retain_files() set: recovered files are persistent data.
+Result<std::unique_ptr<TableStorage>> AttachStorage(
+    const StorageManifest& manifest, uint64_t num_rows,
+    storage::Pager* pager);
 
 }  // namespace dataspread
 

@@ -201,7 +201,11 @@ void Wal::Sync() {
 }
 
 void Wal::EnsureDurable(uint64_t lsn) {
-  if (lsn <= durable_lsn_) return;
+  // Strict: `lsn` is a record's *start* offset and durable_lsn_ the durable
+  // *end* boundary, so a record starting exactly at the boundary is the
+  // first not-yet-durable one. (`lsn == 0` with nothing synced falls out
+  // naturally: page_lsn 0 means "never mutated under this WAL".)
+  if (lsn < durable_lsn_ || lsn == 0) return;
   Sync();
 }
 

@@ -36,7 +36,37 @@ enum class WalRecordType : uint8_t {
   /// Fuzzy-checkpoint end; follows the kCheckpoint snapshot in the rewritten
   /// log, closing the begin/end bracket.
   kCheckpointEnd = 8,
+
+  // ---- Catalog DDL records (opaque to the Pager) ---------------------------
+  //
+  // The catalog layer logs schema changes through Pager::LogCatalogRecord
+  // with these types. Their payloads are serialized TableDescriptors
+  // (catalog/catalog_codec.h) that the pager neither parses nor applies: on
+  // replay they are collected in order and handed to the catalog layer after
+  // page redo completes (Pager::recovered_catalog_ddl). Every one of them is
+  // a commit point — LogCatalogRecord fsyncs, so an acknowledged DDL
+  // statement survives any crash. DESIGN.md §6 "Catalog recovery".
+
+  /// Full descriptor of a newly created table.
+  kCreateTable = 9,
+  /// Name (string payload) of a dropped table. The table's page files are
+  /// dropped through ordinary kDropFile records by the storage layer.
+  kDropTable = 10,
+  /// Full post-change descriptor of a table that gained a column.
+  kAddColumn = 11,
+  /// Full post-change descriptor of a table that lost a column.
+  kDropColumn = 12,
+  /// Full post-change descriptor after a column rename.
+  kRenameColumn = 13,
+  /// Full post-change descriptor after HybridStore attribute groups were
+  /// merged (the group→file bindings changed wholesale).
+  kReorganize = 14,
 };
+
+/// True for the record types the pager treats as opaque catalog DDL.
+inline bool IsCatalogRecordType(WalRecordType t) {
+  return t >= WalRecordType::kCreateTable && t <= WalRecordType::kReorganize;
+}
 
 /// The redo-only write-ahead log of a durable Pager (ARIES-lite; see
 /// DESIGN.md §6 "Durability & recovery").
@@ -76,16 +106,25 @@ enum class WalRecordType : uint8_t {
 /// the valid end. The Wal is single-threaded, like the pager it serves.
 class Wal {
  public:
+  /// One decoded log record as handed to Open()'s replay callback. `lsn` is
+  /// the record's logical stream position (monotone across checkpoint
+  /// rewrites); `payload` starts *after* the type byte.
   struct Record {
     uint64_t lsn = 0;
     WalRecordType type = WalRecordType::kCheckpoint;
     std::string payload;
   };
 
+  /// On-disk framing sizes: magic + base_lsn + header CRC, and per record
+  /// body_len + record CRC + lsn. Part of the file format.
   static constexpr size_t kFileHeaderBytes = 8 + 8 + 4;
   static constexpr size_t kRecordHeaderBytes = 4 + 4 + 8;
 
+  /// Binds to `path` without touching the file; call Open() to read an
+  /// existing log (or RewriteWithCheckpoint() to create one).
   explicit Wal(std::string path);
+  /// Closes the append handle. Buffered-but-undrained records are lost —
+  /// exactly what durability promises: only Sync()'d state survives.
   ~Wal();
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;

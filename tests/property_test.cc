@@ -517,5 +517,153 @@ TEST_P(CursorTransparencyTest, CursorAndSlotPathsConverge) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CursorTransparencyTest,
                          ::testing::Values(5u, 55u, 5555u));
 
+// ---------------------------------------------------------------------------
+// Invariant 8: durability is invisible. One op tape (DML with positional
+// inserts/deletes, schema churn) replayed on a scratch database and on a
+// durable database — then *closed and reopened* — must leave every storage
+// model byte- and schema-identical, across pool sizes. The close/reopen
+// cycle may only move state through disk, never change what callers read.
+// ---------------------------------------------------------------------------
+
+class ReopenTransparencyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ReopenTransparencyTest, CloseReopenNeverChangesVisibleState) {
+  constexpr StorageModel kModels[] = {StorageModel::kRow,
+                                      StorageModel::kColumn,
+                                      StorageModel::kRcv,
+                                      StorageModel::kHybrid};
+  struct Op {
+    int kind;  // 0 append, 1 insert-at, 2 delete-at, 3 update, 4 add col,
+               // 5 drop col, 6 checkpoint
+    uint32_t a, b, c;
+  };
+  std::vector<Op> tape;
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    uint32_t k = rng() % 32;
+    int kind = k < 14 ? 0 : (k < 19 ? 1 : (k < 24 ? 2 : (k < 29 ? 3
+               : (k < 30 ? 4 : (k < 31 ? 5 : 6)))));
+    tape.push_back(Op{kind, rng(), rng(), rng()});
+  }
+
+  auto drive = [&](Database& db) {
+    int col_counter = 0;
+    for (StorageModel model : kModels) {
+      Table* t =
+          db.catalog()
+              .CreateTable(std::string("t_") + StorageModelName(model),
+                           Schema({ColumnDef{"id", DataType::kInt, false},
+                                   ColumnDef{"s", DataType::kText, false}}),
+                           model)
+              .ValueOrDie();
+      for (const Op& op : tape) {
+        size_t n = t->num_rows();
+        size_t cols = t->schema().num_columns();
+        Row row;
+        for (size_t c = 0; c < cols; ++c) {
+          row.push_back(t->schema().column(c).type == DataType::kText
+                            ? Value::Text("s" + std::to_string(op.b % 77))
+                            : Value::Int(static_cast<int64_t>(op.a % 500)));
+        }
+        switch (op.kind) {
+          case 0:
+            ASSERT_TRUE(t->AppendRow(std::move(row)).ok());
+            break;
+          case 1:
+            ASSERT_TRUE(t->InsertRowAt(op.c % (n + 1), std::move(row)).ok());
+            break;
+          case 2:
+            if (n > 0) ASSERT_TRUE(t->DeleteRowAt(op.c % n).ok());
+            break;
+          case 3:
+            if (n > 0) {
+              size_t col = op.a % cols;
+              Value v = (op.b % 6 == 0)
+                            ? Value::Null()
+                            : (t->schema().column(col).type == DataType::kText
+                                   ? Value::Text("u" + std::to_string(op.b))
+                                   : Value::Int(static_cast<int64_t>(op.b)));
+              ASSERT_TRUE(t->UpdateAt(op.c % n, col, std::move(v)).ok());
+            }
+            break;
+          case 4:
+            ASSERT_TRUE(t->AddColumn(ColumnDef{"c" + std::to_string(
+                                                   col_counter++),
+                                               DataType::kInt, false},
+                                     Value::Int(-1))
+                            .ok());
+            break;
+          case 5:
+            if (cols > 1) {
+              ASSERT_TRUE(
+                  t->DropColumn(t->schema().column(cols - 1).name).ok());
+            }
+            break;
+          default:
+            (void)db.Checkpoint();
+        }
+      }
+    }
+  };
+  auto capture = [&](Database& db) {
+    std::vector<std::vector<Row>> out;
+    std::vector<std::string> schemas;
+    for (StorageModel model : kModels) {
+      Table* t = db.catalog()
+                     .GetTable(std::string("t_") + StorageModelName(model))
+                     .ValueOrDie();
+      schemas.push_back(t->schema().ToString());
+      std::vector<Row> rows;
+      for (size_t r = 0; r < t->num_rows(); ++r) {
+        rows.push_back(t->GetRowAt(r).ValueOrDie());
+      }
+      out.push_back(std::move(rows));
+    }
+    return std::make_pair(schemas, out);
+  };
+
+  Database scratch;
+  drive(scratch);
+  auto reference = capture(scratch);
+
+  for (size_t cap : {size_t{0}, size_t{64}, size_t{4}}) {
+    std::string base = ::testing::TempDir() + "ds_prop_reopen_" +
+                       std::to_string(GetParam()) + "_" + std::to_string(cap);
+    std::remove((base + ".wal").c_str());
+    std::remove((base + ".pages").c_str());
+    DatabaseOptions options;
+    options.pager.max_resident_pages = cap;
+    {
+      auto db = Database::Open(base, options);
+      drive(*db);
+      auto before = capture(*db);
+      ASSERT_EQ(before.first, reference.first) << "pool " << cap;
+    }  // clean close
+    auto db = Database::Open(base, options);
+    auto got = capture(*db);
+    ASSERT_EQ(got.first, reference.first) << "pool " << cap;
+    for (size_t m = 0; m < got.second.size(); ++m) {
+      ASSERT_EQ(got.second[m].size(), reference.second[m].size())
+          << "pool " << cap << " model " << m;
+      for (size_t r = 0; r < got.second[m].size(); ++r) {
+        for (size_t c = 0; c < got.second[m][r].size(); ++c) {
+          ASSERT_EQ(got.second[m][r][c], reference.second[m][r][c])
+              << "pool " << cap << " model " << m << " row " << r << " col "
+              << c;
+          ASSERT_EQ(got.second[m][r][c].type(),
+                    reference.second[m][r][c].type())
+              << "pool " << cap << " model " << m << " row " << r << " col "
+              << c;
+        }
+      }
+    }
+    std::remove((base + ".wal").c_str());
+    std::remove((base + ".pages").c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReopenTransparencyTest,
+                         ::testing::Values(13u, 137u, 13717u));
+
 }  // namespace
 }  // namespace dataspread
