@@ -1,0 +1,136 @@
+// Execution-pipeline A/B: the vectorized batch-at-a-time pipeline against
+// the row-at-a-time Volcano baseline, over identical plans and data.
+// Series: scan→filter→aggregate and the Figure-2a join shape at 1k/10k/100k
+// rows, each in row and batch mode, unbounded and bounded (64-frame) pools.
+// The recorded op_ms of the "/row/" and "/batch/" runs back the ci/check.sh
+// exec perf gate (batch must hold a ≥2x advantage at 100k rows).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+
+#include "workloads.h"
+
+namespace dataspread::bench {
+namespace {
+
+/// One timed evaluation of `query` after the benchmark loop, bracketed with
+/// pager epoch + stats snapshots, reported as op_ms / rows_per_s (throughput
+/// in *input* rows of the driving relation).
+void ReportTimedQuery(benchmark::State& state, Database& db,
+                      const std::string& bench, const std::string& run,
+                      const std::string& query, size_t input_rows) {
+  storage::Pager& pager = db.pager();
+  pager.BeginEpoch();
+  storage::PagerStats before = pager.stats();
+  auto t0 = std::chrono::steady_clock::now();
+  auto rs = db.Execute(query);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!rs.ok()) {
+    state.SkipWithError(rs.status().message().c_str());
+    return;
+  }
+  double op_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  double rows_per_s =
+      op_ms > 0 ? static_cast<double>(input_rows) / (op_ms / 1000.0) : 0.0;
+  state.counters["op_ms"] = op_ms;
+  state.counters["rows_per_s"] = rows_per_s;
+  state.counters["pages_read"] = static_cast<double>(pager.EpochPagesRead());
+  size_t batch = db.exec_options().row_at_a_time
+                     ? 0
+                     : EffectiveBatchSize(db.exec_options());
+  ReportPoolCountersAndJson(
+      state, pager, bench, run, before,
+      {{"op_ms", op_ms},
+       {"rows_per_s", rows_per_s},
+       {"rows", static_cast<double>(input_rows)},
+       {"batch_size", static_cast<double>(batch)},
+       {"pages_read", state.counters["pages_read"]}});
+}
+
+/// Args: {rows, row_mode (0 = batch, 1 = row), pool cap (0 = unbounded)}.
+std::string RunName(const std::string& series, const benchmark::State& state) {
+  std::string run = series;
+  run += state.range(1) != 0 ? "/row/" : "/batch/";
+  run += std::to_string(state.range(0));
+  if (state.range(2) != 0) run += "/pool" + std::to_string(state.range(2));
+  return run;
+}
+
+DatabaseOptions OptionsFor(const benchmark::State& state) {
+  DatabaseOptions opts;
+  opts.pager = PagerConfigFromEnv(static_cast<size_t>(state.range(2)));
+  opts.exec.row_at_a_time = state.range(1) != 0;
+  opts.exec.batch_size = ExecBatchSizeFromEnv();
+  return opts;
+}
+
+void BM_ScanFilterAggregate(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Database db(OptionsFor(state));
+  LoadWideTable(&db, "t", rows);
+  const std::string query =
+      "SELECT COUNT(*), SUM(amount), AVG(amount) FROM t "
+      "WHERE amount >= 25.0 AND id % 4 <> 0";
+  for (auto _ : state) {
+    auto rs = db.Execute(query);
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(rs.value().rows);
+  }
+  ReportTimedQuery(state, db, "exec_pipeline",
+                   RunName("ScanFilterAggregate", state), query, rows);
+  state.SetLabel(std::to_string(rows) + " rows, " +
+                 (state.range(1) != 0 ? "row" : "batch"));
+}
+BENCHMARK(BM_ScanFilterAggregate)
+    ->Args({1000, 0, 0})
+    ->Args({1000, 1, 0})
+    ->Args({10000, 0, 0})
+    ->Args({10000, 1, 0})
+    ->Args({100000, 0, 0})
+    ->Args({100000, 1, 0})
+    ->Args({100000, 0, 64})
+    ->Args({100000, 1, 64})
+    ->Unit(benchmark::kMillisecond);
+
+// The Figure-2a join shape (three-relation NATURAL JOIN + filter + top-k),
+// minus the spreadsheet wrapping: pure engine, row vs batch.
+void BM_JoinFilterTopK(benchmark::State& state) {
+  size_t movies = static_cast<size_t>(state.range(0));
+  Database db(OptionsFor(state));
+  LoadMovieWorkload(&db, movies);
+  const std::string query =
+      "SELECT title, name FROM movies NATURAL JOIN movies2actors "
+      "NATURAL JOIN actors WHERE year >= 1980 ORDER BY title LIMIT 8";
+  for (auto _ : state) {
+    auto rs = db.Execute(query);
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(rs.value().rows);
+  }
+  ReportTimedQuery(state, db, "exec_pipeline", RunName("JoinFilterTopK", state),
+                   query, movies);
+  state.SetLabel(std::to_string(movies) + " movies, " +
+                 (state.range(1) != 0 ? "row" : "batch"));
+}
+BENCHMARK(BM_JoinFilterTopK)
+    ->Args({1000, 0, 0})
+    ->Args({1000, 1, 0})
+    ->Args({10000, 0, 0})
+    ->Args({10000, 1, 0})
+    ->Args({100000, 0, 0})
+    ->Args({100000, 1, 0})
+    ->Args({100000, 0, 64})
+    ->Args({100000, 1, 64})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dataspread::bench

@@ -47,6 +47,13 @@ storage::PagerConfig PagerConfigFromEnv(size_t default_cap) {
   return config;
 }
 
+size_t ExecBatchSizeFromEnv(size_t default_size) {
+  if (const char* b = std::getenv("DS_EXEC_BATCH")) {
+    return static_cast<size_t>(std::strtoull(b, nullptr, 10));
+  }
+  return default_size;
+}
+
 namespace {
 
 /// Google Benchmark re-invokes each benchmark function several times while

@@ -21,6 +21,11 @@ namespace dataspread::bench {
 /// loaded tables never collide on one file.
 storage::PagerConfig PagerConfigFromEnv(size_t default_cap = 0);
 
+/// Execution-pipeline batch size for bench runs: DS_EXEC_BATCH overrides
+/// `default_size` (0 keeps the engine default, kDefaultExecBatchSize). The
+/// shared knob every exec bench threads into DatabaseOptions.exec.
+size_t ExecBatchSizeFromEnv(size_t default_size = 0);
+
 /// Appends one JSON object line to `BENCH_<bench>.json` under
 /// DS_BENCH_JSON_DIR (default: current directory): the per-run trajectory
 /// record (fault/eviction/spill counters, timings) that accumulates across

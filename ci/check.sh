@@ -6,8 +6,10 @@
 # smoke for the scan-resistant eviction policy, a crash-recovery smoke
 # (SIGKILL a durable workload, reopen, diff, gate recovery time), a
 # catalog-recovery smoke (SIGKILL a durable *database* mid-DDL-stream,
-# reopen by path, verify schemas + data), and a docs-consistency check
-# (BENCH field coverage + markdown cross-references).
+# reopen by path, verify schemas + data), an execution-pipeline perf smoke
+# (the vectorized batch pipeline must hold a >= 2x win over the row-at-a-time
+# baseline on scan->filter->aggregate at 100k rows), and a docs-consistency
+# check (BENCH field coverage + markdown cross-references).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -86,6 +88,41 @@ if [[ -x "${BUILD_DIR}/bench_mixed_workload" ]]; then
   fi
 else
   echo "ci/check.sh: bench_mixed_workload not built; skipping eviction perf smoke"
+fi
+
+# ---------------------------------------------------------------------------
+# Execution-pipeline perf smoke: the same scan->filter->aggregate query at
+# 100k rows through the row-at-a-time Volcano baseline and the vectorized
+# batch pipeline (both unbounded pool). The batch path's whole reason to
+# exist is throughput, so the gate requires row_op_ms >= 2 * batch_op_ms
+# (measured ~2.4x on an idle machine; the 2x floor leaves headroom for
+# loaded CI runners while still catching a vectorization regression).
+# ---------------------------------------------------------------------------
+if [[ -x "${BUILD_DIR}/bench_exec_pipeline" ]]; then
+  DS_SPILL_DIR="${SMOKE_DIR}" DS_BENCH_JSON_DIR="${SMOKE_DIR}" \
+    "${BUILD_DIR}/bench_exec_pipeline" \
+    --benchmark_filter='BM_ScanFilterAggregate/100000/(0|1)/0$' \
+    --benchmark_min_time=0.02
+
+  batch_op_ms="$(sed -n 's/.*"run":"ScanFilterAggregate\/batch\/100000".*"op_ms":\([0-9][0-9.e+-]*\),.*/\1/p' \
+    "${SMOKE_DIR}/BENCH_exec_pipeline.json" | head -n1)"
+  row_op_ms="$(sed -n 's/.*"run":"ScanFilterAggregate\/row\/100000".*"op_ms":\([0-9][0-9.e+-]*\),.*/\1/p' \
+    "${SMOKE_DIR}/BENCH_exec_pipeline.json" | head -n1)"
+  if [[ -z "${batch_op_ms}" || -z "${row_op_ms}" ]]; then
+    echo "ci/check.sh: could not parse op_ms from BENCH_exec_pipeline.json" >&2
+    exit 1
+  fi
+  echo "ci/check.sh: exec pipeline scan-filter-aggregate @100k:" \
+       "batch=${batch_op_ms} ms row=${row_op_ms} ms (need >= 2x)"
+  if ! awk -v r="${row_op_ms}" -v b="${batch_op_ms}" \
+       'BEGIN { exit !(b > 0 && r >= 2 * b) }'; then
+    echo "ci/check.sh: batch pipeline (${batch_op_ms} ms) is not >= 2x faster" \
+         "than the row pipeline (${row_op_ms} ms) at 100k rows —" \
+         "vectorized-execution regression" >&2
+    exit 1
+  fi
+else
+  echo "ci/check.sh: bench_exec_pipeline not built; skipping exec perf smoke"
 fi
 
 # ---------------------------------------------------------------------------

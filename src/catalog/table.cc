@@ -531,6 +531,22 @@ std::vector<Row> Table::GetWindow(size_t start, size_t count) const {
   return out;
 }
 
+Status Table::VisitWindow(size_t start, size_t count,
+                          const TableStorage::RowVisitor& visit) const {
+  std::vector<size_t> slots;
+  slots.reserve(std::min(count, order_.size() - std::min(start, order_.size())));
+  order_.Visit(start, count,
+               [&](size_t, uint64_t rid) { slots.push_back(SlotOf(rid)); });
+  size_t i = 0;
+  while (i < slots.size()) {
+    size_t j = i + 1;
+    while (j < slots.size() && slots[j] == slots[j - 1] + 1) ++j;
+    DS_RETURN_IF_ERROR(storage_->VisitRows(slots[i], j - i, visit));
+    i = j;
+  }
+  return Status::OK();
+}
+
 void Table::Scan(const std::function<bool(size_t, const Row&)>& fn) const {
   bool stopped = false;
   order_.Visit(0, order_.size(), [&](size_t pos, uint64_t rid) {

@@ -112,6 +112,17 @@ class Table {
   /// Visits all tuples in display order; `fn` returns false to stop early.
   void Scan(const std::function<bool(size_t pos, const Row&)>& fn) const;
 
+  /// The batch read path under GetWindow: visits tuples at display positions
+  /// [start, start+count) (clipped) without materializing a Row per tuple.
+  /// Display positions are resolved to storage slots up front and contiguous
+  /// slot runs are served through TableStorage::VisitRows — one page-cursor
+  /// pass per run instead of a GetRow per tuple — so a freshly loaded table
+  /// (display order == storage order) scans at full bulk-path speed. The
+  /// visitor's `row` argument is the storage slot, not the display position;
+  /// the value pointer is valid only during the call.
+  Status VisitWindow(size_t start, size_t count,
+                     const TableStorage::RowVisitor& visit) const;
+
   // ---- Primary key ----------------------------------------------------------
 
   /// Display position of the row whose PK equals `key`, if the table has a PK.

@@ -30,7 +30,8 @@ Result<Value> EvalConstant(const sql::Expr& e) { return EvalScalar(e, nullptr); 
 
 }  // namespace
 
-Database::Database(const DatabaseOptions& options) : pager_(options.pager) {
+Database::Database(const DatabaseOptions& options)
+    : pager_(options.pager), exec_(options.exec) {
   if (pager_.durable()) RecoverCatalog();
 }
 
@@ -124,7 +125,7 @@ Result<ResultSet> Database::Execute(std::string_view sql,
 Result<ResultSet> Database::Dispatch(sql::Statement& stmt,
                                      ExternalResolver* resolver) {
   if (auto* s = std::get_if<sql::SelectStmt>(&stmt)) {
-    return RunSelect(s, catalog_, resolver);
+    return RunSelect(s, catalog_, resolver, exec_);
   }
   if (auto* s = std::get_if<sql::InsertStmt>(&stmt)) {
     return ExecuteInsert(*s, resolver);
@@ -171,7 +172,8 @@ Result<ResultSet> Database::ExecuteInsert(sql::InsertStmt& stmt,
   std::vector<Row> incoming;
   if (stmt.select != nullptr) {
     DS_ASSIGN_OR_RETURN(ResultSet sub,
-                        RunSelect(stmt.select.get(), catalog_, resolver));
+                        RunSelect(stmt.select.get(), catalog_, resolver,
+                                  exec_));
     incoming = std::move(sub.rows);
   } else {
     Scope empty;

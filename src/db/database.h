@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "exec/resolver.h"
 #include "exec/result_set.h"
+#include "exec/row_batch.h"
 #include "sql/ast.h"
 
 namespace dataspread {
@@ -28,6 +29,10 @@ struct DatabaseOptions {
   /// Database::Open on the same path — recovers every table, schema, and
   /// row with no application-side rebuild (DESIGN.md §6, docs/DURABILITY.md).
   storage::PagerConfig pager;
+  /// Query-execution shape: vectorized batch size and the row-at-a-time
+  /// fallback (see ExecOptions). Defaults drive every SELECT through the
+  /// batch pipeline at kDefaultExecBatchSize tuples per batch.
+  ExecOptions exec;
 };
 
 /// The embedded relational engine standing in for the paper's PostgreSQL
@@ -112,6 +117,12 @@ class Database {
 
   uint64_t statements_executed() const { return statements_executed_; }
 
+  /// Execution-pipeline knobs for subsequent statements. The mutator lets
+  /// benches and the transparency tests A/B the row and batch pipelines on
+  /// one loaded database.
+  const ExecOptions& exec_options() const { return exec_; }
+  void set_exec_options(const ExecOptions& exec) { exec_ = exec; }
+
  private:
   Result<ResultSet> Dispatch(sql::Statement& stmt, ExternalResolver* resolver);
   Result<ResultSet> ExecuteInsert(sql::InsertStmt& stmt,
@@ -144,6 +155,7 @@ class Database {
   std::vector<std::pair<int, ChangeListener>> listeners_;
   uint64_t statements_executed_ = 0;
   bool closed_ = false;
+  ExecOptions exec_;
 };
 
 }  // namespace dataspread

@@ -17,11 +17,15 @@ void CollectAggregates(sql::Expr* e, std::vector<sql::Expr*>* calls) {
 }
 
 Status AggState::Update(const Row& input) {
-  if (call_->op == "COUNT" && call_->star) {
-    ++count_;
+  if (!needs_arg()) {
+    UpdateStar();
     return Status::OK();
   }
   DS_ASSIGN_OR_RETURN(Value v, EvalScalar(*call_->args[0], &input));
+  return UpdateValue(v);
+}
+
+Status AggState::UpdateValue(const Value& v) {
   if (v.is_null()) return Status::OK();  // SQL aggregates skip NULLs
   ++count_;
   if (call_->op == "COUNT") return Status::OK();
@@ -40,12 +44,12 @@ Status AggState::Update(const Row& input) {
   }
   if (call_->op == "MIN" || call_->op == "MAX") {
     if (!has_extreme_) {
-      extreme_ = std::move(v);
+      extreme_ = v;
       has_extreme_ = true;
     } else {
       int c = Value::Compare(v, extreme_);
       if ((call_->op == "MIN" && c < 0) || (call_->op == "MAX" && c > 0)) {
-        extreme_ = std::move(v);
+        extreme_ = v;
       }
     }
     return Status::OK();

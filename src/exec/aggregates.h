@@ -20,8 +20,19 @@ class AggState {
   /// `call` must outlive the state (it lives in the statement AST).
   explicit AggState(const sql::Expr* call) : call_(call) {}
 
-  /// Folds one input row into the state.
+  /// Folds one input row into the state (evaluates the call's argument).
   Status Update(const Row& input);
+
+  /// True when the call consumes an argument value per row; false only for
+  /// COUNT(*), which counts rows without evaluating anything.
+  bool needs_arg() const { return !(call_->op == "COUNT" && call_->star); }
+
+  /// Folds one precomputed argument value into the state — the batch
+  /// pipeline's path: the argument expression is evaluated once per batch
+  /// (vectorized), then folded value-by-value. For COUNT(*) (needs_arg()
+  /// false) call UpdateStar() instead.
+  Status UpdateValue(const Value& v);
+  void UpdateStar() { ++count_; }
 
   /// Final value: COUNT → INT; SUM → INT/REAL (NULL on empty); AVG → REAL
   /// (NULL on empty); MIN/MAX → input type (NULL on empty).

@@ -11,47 +11,89 @@ namespace {
 using sql::Expr;
 using sql::ExprKind;
 
+/// Binary operators as a dense code so the batch evaluator can resolve the
+/// string once per node per batch; the scalar path resolves per call (the
+/// same string compares it always did).
+enum class BinOpCode {
+  kAdd, kSub, kMul, kDiv, kMod, kConcat,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLike, kAnd, kOr, kUnknown,
+};
+
+BinOpCode ResolveBinOp(const std::string& op) {
+  if (op == "+") return BinOpCode::kAdd;
+  if (op == "-") return BinOpCode::kSub;
+  if (op == "*") return BinOpCode::kMul;
+  if (op == "/") return BinOpCode::kDiv;
+  if (op == "%") return BinOpCode::kMod;
+  if (op == "||") return BinOpCode::kConcat;
+  if (op == "=") return BinOpCode::kEq;
+  if (op == "<>") return BinOpCode::kNe;
+  if (op == "<") return BinOpCode::kLt;
+  if (op == "<=") return BinOpCode::kLe;
+  if (op == ">") return BinOpCode::kGt;
+  if (op == ">=") return BinOpCode::kGe;
+  if (op == "LIKE") return BinOpCode::kLike;
+  if (op == "AND") return BinOpCode::kAnd;
+  if (op == "OR") return BinOpCode::kOr;
+  return BinOpCode::kUnknown;
+}
+
+bool IsArithCode(BinOpCode c) {
+  return c == BinOpCode::kAdd || c == BinOpCode::kSub ||
+         c == BinOpCode::kMul || c == BinOpCode::kDiv ||
+         c == BinOpCode::kMod || c == BinOpCode::kConcat;
+}
+
+bool IsCompareCode(BinOpCode c) {
+  return c == BinOpCode::kEq || c == BinOpCode::kNe || c == BinOpCode::kLt ||
+         c == BinOpCode::kLe || c == BinOpCode::kGt || c == BinOpCode::kGe;
+}
+
 /// Numeric addition/subtraction/multiplication preserving INT when both sides
-/// are INT (with wrap-around like typical engines), REAL otherwise.
-Result<Value> Arith(const std::string& op, const Value& a, const Value& b) {
+/// are INT (with wrap-around like typical engines), REAL otherwise. The one
+/// per-value kernel behind both the scalar and the batch evaluator.
+Result<Value> ArithCode(BinOpCode op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
-  if (op == "||") {
+  if (op == BinOpCode::kConcat) {
     // String concatenation coerces displayable operands.
     return Value::Text(a.ToDisplayString() + b.ToDisplayString());
   }
   if (a.type() == DataType::kInt && b.type() == DataType::kInt) {
     int64_t x = a.int_value();
     int64_t y = b.int_value();
-    if (op == "+") return Value::Int(x + y);
-    if (op == "-") return Value::Int(x - y);
-    if (op == "*") return Value::Int(x * y);
-    if (op == "%") {
-      if (y == 0) return Status::InvalidArgument("division by zero");
-      return Value::Int(x % y);
-    }
-    if (op == "/") {
-      if (y == 0) return Status::InvalidArgument("division by zero");
-      if (x % y == 0) return Value::Int(x / y);
-      return Value::Real(static_cast<double>(x) / static_cast<double>(y));
+    switch (op) {
+      case BinOpCode::kAdd: return Value::Int(x + y);
+      case BinOpCode::kSub: return Value::Int(x - y);
+      case BinOpCode::kMul: return Value::Int(x * y);
+      case BinOpCode::kMod:
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int(x % y);
+      case BinOpCode::kDiv:
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        if (x % y == 0) return Value::Int(x / y);
+        return Value::Real(static_cast<double>(x) / static_cast<double>(y));
+      default: break;
     }
   }
   DS_ASSIGN_OR_RETURN(double x, a.AsReal());
   DS_ASSIGN_OR_RETURN(double y, b.AsReal());
-  if (op == "+") return Value::Real(x + y);
-  if (op == "-") return Value::Real(x - y);
-  if (op == "*") return Value::Real(x * y);
-  if (op == "/") {
-    if (y == 0.0) return Status::InvalidArgument("division by zero");
-    return Value::Real(x / y);
+  switch (op) {
+    case BinOpCode::kAdd: return Value::Real(x + y);
+    case BinOpCode::kSub: return Value::Real(x - y);
+    case BinOpCode::kMul: return Value::Real(x * y);
+    case BinOpCode::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Real(x / y);
+    case BinOpCode::kMod:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Real(std::fmod(x, y));
+    default: break;
   }
-  if (op == "%") {
-    if (y == 0.0) return Status::InvalidArgument("division by zero");
-    return Value::Real(std::fmod(x, y));
-  }
-  return Status::Internal("unknown arithmetic operator " + op);
+  return Status::Internal("unknown arithmetic operator");
 }
 
-Result<Value> Compare(const std::string& op, const Value& a, const Value& b) {
+Result<Value> CompareCode(BinOpCode op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
   // Numeric-vs-text comparisons are type errors rather than silent falsity.
   bool numeric_mix = (a.is_numeric() && b.type() == DataType::kText) ||
@@ -62,162 +104,45 @@ Result<Value> Compare(const std::string& op, const Value& a, const Value& b) {
                              DataTypeName(b.type()));
   }
   int c = Value::Compare(a, b);
-  if (op == "=") return Value::Bool(c == 0);
-  if (op == "<>") return Value::Bool(c != 0);
-  if (op == "<") return Value::Bool(c < 0);
-  if (op == "<=") return Value::Bool(c <= 0);
-  if (op == ">") return Value::Bool(c > 0);
-  if (op == ">=") return Value::Bool(c >= 0);
-  return Status::Internal("unknown comparison operator " + op);
+  switch (op) {
+    case BinOpCode::kEq: return Value::Bool(c == 0);
+    case BinOpCode::kNe: return Value::Bool(c != 0);
+    case BinOpCode::kLt: return Value::Bool(c < 0);
+    case BinOpCode::kLe: return Value::Bool(c <= 0);
+    case BinOpCode::kGt: return Value::Bool(c > 0);
+    case BinOpCode::kGe: return Value::Bool(c >= 0);
+    default: break;
+  }
+  return Status::Internal("unknown comparison operator");
 }
 
-Result<Value> EvalFunction(const Expr& e, const Row* input,
-                           const std::vector<Value>* agg_values);
-
-}  // namespace
-
-bool LikeMatch(std::string_view text, std::string_view pattern) {
-  // Iterative two-pointer match with backtracking on the last '%'.
-  size_t t = 0, p = 0;
-  size_t star_p = std::string_view::npos, star_t = 0;
-  while (t < text.size()) {
-    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
-      ++t;
-      ++p;
-    } else if (p < pattern.size() && pattern[p] == '%') {
-      star_p = p++;
-      star_t = t;
-    } else if (star_p != std::string_view::npos) {
-      p = star_p + 1;
-      t = ++star_t;
-    } else {
-      return false;
-    }
+Result<Value> LikeKernel(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.type() != DataType::kText || b.type() != DataType::kText) {
+    return Status::TypeError("LIKE expects TEXT operands");
   }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
+  return Value::Bool(LikeMatch(a.text_value(), b.text_value()));
 }
 
-Result<Value> EvalScalar(const sql::Expr& e, const Row* input,
-                         const std::vector<Value>* agg_values) {
-  switch (e.kind) {
-    case ExprKind::kLiteral:
-      return e.literal;
-    case ExprKind::kColumnRef: {
-      if (input == nullptr || e.bound_column < 0 ||
-          static_cast<size_t>(e.bound_column) >= input->size()) {
-        return Status::Internal("unbound column reference " + e.ToString());
-      }
-      return (*input)[static_cast<size_t>(e.bound_column)];
-    }
-    case ExprKind::kRangeValue:
-      return Status::Internal("RANGEVALUE survived binding: " + e.ToString());
-    case ExprKind::kUnary: {
-      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
-      if (e.op == "NOT") {
-        if (a.is_null()) return Value::Null();
-        DS_ASSIGN_OR_RETURN(bool b, a.AsBool());
-        return Value::Bool(!b);
-      }
-      if (e.op == "-") {
-        if (a.is_null()) return Value::Null();
-        if (a.type() == DataType::kInt) return Value::Int(-a.int_value());
-        DS_ASSIGN_OR_RETURN(double d, a.AsReal());
-        return Value::Real(-d);
-      }
-      return Status::Internal("unknown unary operator " + e.op);
-    }
-    case ExprKind::kBinary: {
-      // Three-valued AND/OR must not evaluate eagerly into errors when the
-      // other side decides the result, so handle them with short-circuiting.
-      if (e.op == "AND" || e.op == "OR") {
-        DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
-        bool is_and = e.op == "AND";
-        if (!a.is_null()) {
-          DS_ASSIGN_OR_RETURN(bool av, a.AsBool());
-          if (is_and && !av) return Value::Bool(false);
-          if (!is_and && av) return Value::Bool(true);
-        }
-        DS_ASSIGN_OR_RETURN(Value b, EvalScalar(*e.args[1], input, agg_values));
-        if (!b.is_null()) {
-          DS_ASSIGN_OR_RETURN(bool bv, b.AsBool());
-          if (is_and && !bv) return Value::Bool(false);
-          if (!is_and && bv) return Value::Bool(true);
-        }
-        if (a.is_null() || b.is_null()) return Value::Null();
-        return Value::Bool(is_and);
-      }
-      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
-      DS_ASSIGN_OR_RETURN(Value b, EvalScalar(*e.args[1], input, agg_values));
-      if (e.op == "+" || e.op == "-" || e.op == "*" || e.op == "/" ||
-          e.op == "%" || e.op == "||") {
-        return Arith(e.op, a, b);
-      }
-      if (e.op == "LIKE") {
-        if (a.is_null() || b.is_null()) return Value::Null();
-        if (a.type() != DataType::kText || b.type() != DataType::kText) {
-          return Status::TypeError("LIKE expects TEXT operands");
-        }
-        return Value::Bool(LikeMatch(a.text_value(), b.text_value()));
-      }
-      return Compare(e.op, a, b);
-    }
-    case ExprKind::kIsNull: {
-      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
-      return Value::Bool(e.negated ? !a.is_null() : a.is_null());
-    }
-    case ExprKind::kInList: {
-      DS_ASSIGN_OR_RETURN(Value needle, EvalScalar(*e.args[0], input, agg_values));
-      if (needle.is_null()) return Value::Null();
-      bool saw_null = false;
-      for (size_t i = 1; i < e.args.size(); ++i) {
-        DS_ASSIGN_OR_RETURN(Value item, EvalScalar(*e.args[i], input, agg_values));
-        if (item.is_null()) {
-          saw_null = true;
-          continue;
-        }
-        if (item == needle) return Value::Bool(!e.negated);
-      }
-      if (saw_null) return Value::Null();
-      return Value::Bool(e.negated);
-    }
-    case ExprKind::kCase: {
-      size_t i = 0;
-      for (; i + 1 < e.args.size(); i += 2) {
-        DS_ASSIGN_OR_RETURN(Value cond, EvalScalar(*e.args[i], input, agg_values));
-        if (!cond.is_null()) {
-          DS_ASSIGN_OR_RETURN(bool b, cond.AsBool());
-          if (b) return EvalScalar(*e.args[i + 1], input, agg_values);
-        }
-      }
-      if (i < e.args.size()) return EvalScalar(*e.args[i], input, agg_values);
-      return Value::Null();
-    }
-    case ExprKind::kFunction: {
-      if (sql::IsAggregateFunction(e.op)) {
-        if (agg_values == nullptr || e.aggregate_index < 0 ||
-            static_cast<size_t>(e.aggregate_index) >= agg_values->size()) {
-          return Status::Internal("aggregate " + e.op +
-                                  " evaluated outside GROUP BY context");
-        }
-        return (*agg_values)[static_cast<size_t>(e.aggregate_index)];
-      }
-      return EvalFunction(e, input, agg_values);
-    }
+Result<Value> UnaryKernel(const Expr& e, const Value& a) {
+  if (e.op == "NOT") {
+    if (a.is_null()) return Value::Null();
+    DS_ASSIGN_OR_RETURN(bool b, a.AsBool());
+    return Value::Bool(!b);
   }
-  return Status::Internal("unhandled expression kind");
+  if (e.op == "-") {
+    if (a.is_null()) return Value::Null();
+    if (a.type() == DataType::kInt) return Value::Int(-a.int_value());
+    DS_ASSIGN_OR_RETURN(double d, a.AsReal());
+    return Value::Real(-d);
+  }
+  return Status::Internal("unknown unary operator " + e.op);
 }
 
-namespace {
-
-Result<Value> EvalFunction(const Expr& e, const Row* input,
-                           const std::vector<Value>* agg_values) {
-  std::vector<Value> args;
-  args.reserve(e.args.size());
-  for (const sql::ExprPtr& a : e.args) {
-    DS_ASSIGN_OR_RETURN(Value v, EvalScalar(*a, input, agg_values));
-    args.push_back(std::move(v));
-  }
+/// The scalar-function kernel over already-evaluated arguments — shared by
+/// the per-row and the per-batch driver so the function library has exactly
+/// one semantics.
+Result<Value> ApplyScalarFunction(const Expr& e, std::vector<Value> args) {
   auto arity = [&](size_t lo, size_t hi) -> Status {
     if (args.size() < lo || args.size() > hi) {
       return Status::InvalidArgument(e.op + " expects " + std::to_string(lo) +
@@ -285,8 +210,8 @@ Result<Value> EvalFunction(const Expr& e, const Row* input,
     return Value::Text(Trim(args[0].ToDisplayString()));
   }
   if (e.op == "COALESCE") {
-    for (const Value& v : args) {
-      if (!v.is_null()) return v;
+    for (Value& v : args) {
+      if (!v.is_null()) return std::move(v);
     }
     return Value::Null();
   }
@@ -295,7 +220,7 @@ Result<Value> EvalFunction(const Expr& e, const Row* input,
     if (!args[0].is_null() && !args[1].is_null() && args[0] == args[1]) {
       return Value::Null();
     }
-    return args[0];
+    return std::move(args[0]);
   }
   if (e.op == "CONCAT") {
     std::string out;
@@ -307,11 +232,409 @@ Result<Value> EvalFunction(const Expr& e, const Row* input,
 
 }  // namespace
 
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+// ---------------------------------------------------------------------------
+// Scalar (row-at-a-time) driver
+// ---------------------------------------------------------------------------
+
+Result<Value> EvalScalar(const sql::Expr& e, const Row* input,
+                         const std::vector<Value>* agg_values) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef: {
+      if (input == nullptr || e.bound_column < 0 ||
+          static_cast<size_t>(e.bound_column) >= input->size()) {
+        return Status::Internal("unbound column reference " + e.ToString());
+      }
+      return (*input)[static_cast<size_t>(e.bound_column)];
+    }
+    case ExprKind::kRangeValue:
+      return Status::Internal("RANGEVALUE survived binding: " + e.ToString());
+    case ExprKind::kUnary: {
+      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
+      return UnaryKernel(e, a);
+    }
+    case ExprKind::kBinary: {
+      BinOpCode code = ResolveBinOp(e.op);
+      // Three-valued AND/OR must not evaluate eagerly into errors when the
+      // other side decides the result, so handle them with short-circuiting.
+      if (code == BinOpCode::kAnd || code == BinOpCode::kOr) {
+        DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
+        bool is_and = code == BinOpCode::kAnd;
+        if (!a.is_null()) {
+          DS_ASSIGN_OR_RETURN(bool av, a.AsBool());
+          if (is_and && !av) return Value::Bool(false);
+          if (!is_and && av) return Value::Bool(true);
+        }
+        DS_ASSIGN_OR_RETURN(Value b, EvalScalar(*e.args[1], input, agg_values));
+        if (!b.is_null()) {
+          DS_ASSIGN_OR_RETURN(bool bv, b.AsBool());
+          if (is_and && !bv) return Value::Bool(false);
+          if (!is_and && bv) return Value::Bool(true);
+        }
+        if (a.is_null() || b.is_null()) return Value::Null();
+        return Value::Bool(is_and);
+      }
+      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
+      DS_ASSIGN_OR_RETURN(Value b, EvalScalar(*e.args[1], input, agg_values));
+      if (IsArithCode(code)) return ArithCode(code, a, b);
+      if (code == BinOpCode::kLike) return LikeKernel(a, b);
+      if (IsCompareCode(code)) return CompareCode(code, a, b);
+      return Status::Internal("unknown binary operator " + e.op);
+    }
+    case ExprKind::kIsNull: {
+      DS_ASSIGN_OR_RETURN(Value a, EvalScalar(*e.args[0], input, agg_values));
+      return Value::Bool(e.negated ? !a.is_null() : a.is_null());
+    }
+    case ExprKind::kInList: {
+      DS_ASSIGN_OR_RETURN(Value needle, EvalScalar(*e.args[0], input, agg_values));
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        DS_ASSIGN_OR_RETURN(Value item, EvalScalar(*e.args[i], input, agg_values));
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (item == needle) return Value::Bool(!e.negated);
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(e.negated);
+    }
+    case ExprKind::kCase: {
+      size_t i = 0;
+      for (; i + 1 < e.args.size(); i += 2) {
+        DS_ASSIGN_OR_RETURN(Value cond, EvalScalar(*e.args[i], input, agg_values));
+        if (!cond.is_null()) {
+          DS_ASSIGN_OR_RETURN(bool b, cond.AsBool());
+          if (b) return EvalScalar(*e.args[i + 1], input, agg_values);
+        }
+      }
+      if (i < e.args.size()) return EvalScalar(*e.args[i], input, agg_values);
+      return Value::Null();
+    }
+    case ExprKind::kFunction: {
+      if (sql::IsAggregateFunction(e.op)) {
+        if (agg_values == nullptr || e.aggregate_index < 0 ||
+            static_cast<size_t>(e.aggregate_index) >= agg_values->size()) {
+          return Status::Internal("aggregate " + e.op +
+                                  " evaluated outside GROUP BY context");
+        }
+        return (*agg_values)[static_cast<size_t>(e.aggregate_index)];
+      }
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const sql::ExprPtr& a : e.args) {
+        DS_ASSIGN_OR_RETURN(Value v, EvalScalar(*a, input, agg_values));
+        args.push_back(std::move(v));
+      }
+      return ApplyScalarFunction(e, std::move(args));
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
 Result<bool> EvalPredicate(const sql::Expr& e, const Row* input,
                            const std::vector<Value>* agg_values) {
   DS_ASSIGN_OR_RETURN(Value v, EvalScalar(e, input, agg_values));
   if (v.is_null()) return false;
   return v.AsBool();
+}
+
+// ---------------------------------------------------------------------------
+// Batch (vectorized) driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursive worker: computes `e` at `active` positions into `(*out)[pos]`.
+/// `out` is pre-sized to batch.size() by the entry point; children get their
+/// own temporaries so sibling results never alias.
+Status EvalBatchInto(const Expr& e, const RowBatch& batch,
+                     const std::vector<uint32_t>& active,
+                     std::vector<Value>* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      for (uint32_t pos : active) (*out)[pos] = e.literal;
+      return Status::OK();
+    }
+    case ExprKind::kColumnRef: {
+      if (e.bound_column < 0 ||
+          static_cast<size_t>(e.bound_column) >= batch.num_columns()) {
+        return Status::Internal("unbound column reference " + e.ToString());
+      }
+      const std::vector<Value>& col =
+          batch.column(static_cast<size_t>(e.bound_column));
+      for (uint32_t pos : active) (*out)[pos] = col[pos];
+      return Status::OK();
+    }
+    case ExprKind::kRangeValue:
+      return Status::Internal("RANGEVALUE survived binding: " + e.ToString());
+    case ExprKind::kUnary: {
+      std::vector<Value> a(batch.size());
+      DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[0], batch, active, &a));
+      for (uint32_t pos : active) {
+        DS_ASSIGN_OR_RETURN((*out)[pos], UnaryKernel(e, a[pos]));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      BinOpCode code = ResolveBinOp(e.op);
+      if (code == BinOpCode::kAnd || code == BinOpCode::kOr) {
+        // Lazy right side: evaluate args[1] only at positions the left side
+        // did not decide — exactly the rows the scalar driver reaches it.
+        bool is_and = code == BinOpCode::kAnd;
+        std::vector<Value> a(batch.size());
+        DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[0], batch, active, &a));
+        std::vector<uint32_t> undecided;
+        undecided.reserve(active.size());
+        for (uint32_t pos : active) {
+          if (!a[pos].is_null()) {
+            DS_ASSIGN_OR_RETURN(bool av, a[pos].AsBool());
+            if (is_and && !av) {
+              (*out)[pos] = Value::Bool(false);
+              continue;
+            }
+            if (!is_and && av) {
+              (*out)[pos] = Value::Bool(true);
+              continue;
+            }
+          }
+          undecided.push_back(pos);
+        }
+        if (undecided.empty()) return Status::OK();
+        std::vector<Value> b(batch.size());
+        DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[1], batch, undecided, &b));
+        for (uint32_t pos : undecided) {
+          if (!b[pos].is_null()) {
+            DS_ASSIGN_OR_RETURN(bool bv, b[pos].AsBool());
+            if (is_and && !bv) {
+              (*out)[pos] = Value::Bool(false);
+              continue;
+            }
+            if (!is_and && bv) {
+              (*out)[pos] = Value::Bool(true);
+              continue;
+            }
+          }
+          (*out)[pos] = a[pos].is_null() || b[pos].is_null()
+                            ? Value::Null()
+                            : Value::Bool(is_and);
+        }
+        return Status::OK();
+      }
+      std::vector<Value> a(batch.size()), b(batch.size());
+      DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[0], batch, active, &a));
+      DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[1], batch, active, &b));
+      if (IsArithCode(code)) {
+        for (uint32_t pos : active) {
+          DS_ASSIGN_OR_RETURN((*out)[pos], ArithCode(code, a[pos], b[pos]));
+        }
+        return Status::OK();
+      }
+      if (code == BinOpCode::kLike) {
+        for (uint32_t pos : active) {
+          DS_ASSIGN_OR_RETURN((*out)[pos], LikeKernel(a[pos], b[pos]));
+        }
+        return Status::OK();
+      }
+      if (IsCompareCode(code)) {
+        for (uint32_t pos : active) {
+          DS_ASSIGN_OR_RETURN((*out)[pos], CompareCode(code, a[pos], b[pos]));
+        }
+        return Status::OK();
+      }
+      return Status::Internal("unknown binary operator " + e.op);
+    }
+    case ExprKind::kIsNull: {
+      std::vector<Value> a(batch.size());
+      DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[0], batch, active, &a));
+      for (uint32_t pos : active) {
+        (*out)[pos] =
+            Value::Bool(e.negated ? !a[pos].is_null() : a[pos].is_null());
+      }
+      return Status::OK();
+    }
+    case ExprKind::kInList: {
+      std::vector<Value> needle(batch.size());
+      DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[0], batch, active, &needle));
+      // Positions still hunting for a match; list items are evaluated only
+      // at these, preserving the scalar driver's stop-at-first-match errors.
+      std::vector<uint32_t> undecided;
+      undecided.reserve(active.size());
+      for (uint32_t pos : active) {
+        if (needle[pos].is_null()) {
+          (*out)[pos] = Value::Null();
+        } else {
+          undecided.push_back(pos);
+        }
+      }
+      std::vector<bool> saw_null(batch.size(), false);
+      std::vector<Value> item(batch.size());
+      for (size_t i = 1; i < e.args.size() && !undecided.empty(); ++i) {
+        DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[i], batch, undecided, &item));
+        std::vector<uint32_t> still;
+        still.reserve(undecided.size());
+        for (uint32_t pos : undecided) {
+          if (item[pos].is_null()) {
+            saw_null[pos] = true;
+            still.push_back(pos);
+            continue;
+          }
+          if (item[pos] == needle[pos]) {
+            (*out)[pos] = Value::Bool(!e.negated);
+          } else {
+            still.push_back(pos);
+          }
+        }
+        undecided = std::move(still);
+      }
+      for (uint32_t pos : undecided) {
+        (*out)[pos] = saw_null[pos] ? Value::Null() : Value::Bool(e.negated);
+      }
+      return Status::OK();
+    }
+    case ExprKind::kCase: {
+      std::vector<uint32_t> remaining = active;
+      std::vector<Value> cond(batch.size());
+      size_t i = 0;
+      for (; i + 1 < e.args.size() && !remaining.empty(); i += 2) {
+        DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[i], batch, remaining, &cond));
+        std::vector<uint32_t> taken, rest;
+        for (uint32_t pos : remaining) {
+          bool b = false;
+          if (!cond[pos].is_null()) {
+            DS_ASSIGN_OR_RETURN(b, cond[pos].AsBool());
+          }
+          (b ? taken : rest).push_back(pos);
+        }
+        if (!taken.empty()) {
+          DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[i + 1], batch, taken, out));
+        }
+        remaining = std::move(rest);
+      }
+      // Skip unreached WHEN/THEN pairs so `i` lands on the ELSE arm if any.
+      while (i + 1 < e.args.size()) i += 2;
+      if (!remaining.empty()) {
+        if (i < e.args.size()) {
+          DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[i], batch, remaining, out));
+        } else {
+          for (uint32_t pos : remaining) (*out)[pos] = Value::Null();
+        }
+      }
+      return Status::OK();
+    }
+    case ExprKind::kFunction: {
+      if (sql::IsAggregateFunction(e.op)) {
+        return Status::Internal("aggregate " + e.op +
+                                " evaluated outside GROUP BY context");
+      }
+      std::vector<std::vector<Value>> args(e.args.size());
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        args[i].resize(batch.size());
+        DS_RETURN_IF_ERROR(EvalBatchInto(*e.args[i], batch, active, &args[i]));
+      }
+      std::vector<Value> call_args(e.args.size());
+      for (uint32_t pos : active) {
+        for (size_t i = 0; i < e.args.size(); ++i) {
+          call_args[i] = std::move(args[i][pos]);
+        }
+        DS_ASSIGN_OR_RETURN((*out)[pos],
+                            ApplyScalarFunction(e, std::move(call_args)));
+        call_args.assign(e.args.size(), Value::Null());
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace
+
+Status EvalScalarBatch(const sql::Expr& e, const RowBatch& batch,
+                       const std::vector<uint32_t>& active,
+                       std::vector<Value>* out) {
+  out->clear();
+  out->resize(batch.size());
+  if (active.empty()) return Status::OK();
+  return EvalBatchInto(e, batch, active, out);
+}
+
+Status EvalPredicateBatch(const sql::Expr& e, const RowBatch& batch,
+                          const std::vector<uint32_t>& active,
+                          std::vector<uint32_t>* passing) {
+  std::vector<Value> vals;
+  DS_RETURN_IF_ERROR(EvalScalarBatch(e, batch, active, &vals));
+  for (uint32_t pos : active) {
+    if (vals[pos].is_null()) continue;
+    DS_ASSIGN_OR_RETURN(bool b, vals[pos].AsBool());
+    if (b) passing->push_back(pos);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsPure(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kRangeValue:
+      return false;
+    case ExprKind::kFunction:
+      if (sql::IsAggregateFunction(e.op)) return false;
+      break;
+    default:
+      break;
+  }
+  for (const sql::ExprPtr& a : e.args) {
+    if (a != nullptr && !IsPure(*a)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FoldConstants(sql::Expr* e) {
+  if (e == nullptr || e->kind == ExprKind::kLiteral) return;
+  for (sql::ExprPtr& a : e->args) FoldConstants(a.get());
+  if (!IsPure(*e)) return;
+  // Children folded where possible; fold this node only when all of them
+  // reduced to literals (a pure subtree whose evaluation errored stays
+  // unfolded, and so does everything above it).
+  for (const sql::ExprPtr& a : e->args) {
+    if (a != nullptr && a->kind != ExprKind::kLiteral) return;
+  }
+  auto v = EvalScalar(*e, nullptr);
+  if (!v.ok()) return;  // runtime surfaces the error in its true context
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v).value();
+  e->args.clear();
 }
 
 }  // namespace dataspread

@@ -19,9 +19,10 @@ using sql::SelectStmt;
 constexpr size_t kScanAll = std::numeric_limits<size_t>::max();
 
 /// Builds the scan operator for a bound source.
-OperatorPtr MakeScan(const BoundSource& src, size_t start, size_t count) {
+OperatorPtr MakeScan(const BoundSource& src, size_t start, size_t count,
+                     size_t batch_size) {
   if (src.table != nullptr) {
-    return std::make_unique<TableScanOp>(src.table, start, count);
+    return std::make_unique<TableScanOp>(src.table, start, count, batch_size);
   }
   auto rows = std::make_shared<std::vector<Row>>(src.range->rows);
   // Window pushdown for ranges is handled by LimitOp upstream; ranges are
@@ -77,10 +78,26 @@ ExprPtr MakeBoundColumn(std::string name, int index) {
   return e;
 }
 
+/// Plan-time constant folding over every expression the plan evaluates.
+/// Runs once, after binding and ORDER BY resolution; both execution modes
+/// then see the same folded AST.
+void FoldStmtConstants(SelectStmt* stmt) {
+  FoldConstants(stmt->where.get());
+  for (sql::JoinClause& join : stmt->joins) FoldConstants(join.on.get());
+  for (sql::SelectItem& item : stmt->items) {
+    if (!item.star) FoldConstants(item.expr.get());
+  }
+  for (ExprPtr& g : stmt->group_by) FoldConstants(g.get());
+  FoldConstants(stmt->having.get());
+  for (sql::OrderItem& item : stmt->order_by) FoldConstants(item.expr.get());
+}
+
 }  // namespace
 
 Result<PlannedQuery> PlanSelect(SelectStmt* stmt, Catalog& catalog,
-                                ExternalResolver* resolver) {
+                                ExternalResolver* resolver,
+                                const ExecOptions& exec) {
+  size_t batch_size = EffectiveBatchSize(exec);
   PlannedQuery plan;
   Scope scope;
   OperatorPtr root;
@@ -105,10 +122,10 @@ Result<PlannedQuery> PlanSelect(SelectStmt* stmt, Catalog& catalog,
       size_t count = stmt->limit.has_value()
                          ? static_cast<size_t>(*stmt->limit)
                          : kScanAll;
-      root = MakeScan(first, start, count);
+      root = MakeScan(first, start, count, batch_size);
       consumed_window = true;
     } else {
-      root = MakeScan(first, 0, kScanAll);
+      root = MakeScan(first, 0, kScanAll, batch_size);
     }
     if (consumed_window) {
       stmt->limit.reset();
@@ -120,7 +137,7 @@ Result<PlannedQuery> PlanSelect(SelectStmt* stmt, Catalog& catalog,
       DS_ASSIGN_OR_RETURN(BoundSource right,
                           BindTableRef(join.table, catalog, resolver));
       size_t right_width = right.num_columns();
-      OperatorPtr right_op = MakeScan(right, 0, kScanAll);
+      OperatorPtr right_op = MakeScan(right, 0, kScanAll, batch_size);
 
       if (join.type == JoinType::kNatural) {
         // Shared visible column names become the hash-join keys; the
@@ -333,14 +350,26 @@ Result<PlannedQuery> PlanSelect(SelectStmt* stmt, Catalog& catalog,
                                      stmt->offset.value_or(0));
   }
 
+  // Constant folding last: ORDER BY's textual matching (case 3 above) must
+  // see select items in their original spelling.
+  FoldStmtConstants(stmt);
+
   plan.root = std::move(root);
   return plan;
 }
 
 Result<ResultSet> RunSelect(SelectStmt* stmt, Catalog& catalog,
-                            ExternalResolver* resolver) {
-  DS_ASSIGN_OR_RETURN(PlannedQuery plan, PlanSelect(stmt, catalog, resolver));
-  DS_ASSIGN_OR_RETURN(std::vector<Row> rows, Materialize(plan.root.get()));
+                            ExternalResolver* resolver,
+                            const ExecOptions& exec) {
+  DS_ASSIGN_OR_RETURN(PlannedQuery plan,
+                      PlanSelect(stmt, catalog, resolver, exec));
+  std::vector<Row> rows;
+  if (exec.row_at_a_time) {
+    DS_ASSIGN_OR_RETURN(rows, Materialize(plan.root.get()));
+  } else {
+    DS_ASSIGN_OR_RETURN(rows, MaterializeBatched(plan.root.get(),
+                                                 EffectiveBatchSize(exec)));
+  }
   ResultSet rs;
   rs.columns = std::move(plan.columns);
   rs.rows = std::move(rows);

@@ -24,7 +24,9 @@ struct PlannedQuery {
   std::vector<sql::ExprPtr> owned_exprs;
 };
 
-/// Plans a SELECT. Binds expressions in place (mutating `stmt`).
+/// Plans a SELECT. Binds expressions in place (mutating `stmt`) and folds
+/// constant subexpressions once at plan time (after ORDER BY resolution, so
+/// textual output-column matching sees the original spelling).
 ///
 /// Planner decisions:
 ///  - equi-join conditions on column references become hash joins; everything
@@ -35,12 +37,19 @@ struct PlannedQuery {
 ///    pushes the window straight into the positional-index scan — the
 ///    interface-aware pane fetch of paper §2.2 ("the burden of supplying or
 ///    refreshing the current window is placed on the relational database").
+///
+/// `exec` shapes execution: batch size for the vectorized pipeline (also the
+/// table scan's fetch granularity) and the row-at-a-time fallback switch.
 Result<PlannedQuery> PlanSelect(sql::SelectStmt* stmt, Catalog& catalog,
-                                ExternalResolver* resolver);
+                                ExternalResolver* resolver,
+                                const ExecOptions& exec = {});
 
-/// Plans, executes, and materializes a SELECT into a ResultSet.
+/// Plans, executes, and materializes a SELECT into a ResultSet. Drives the
+/// plan through the vectorized batch pipeline unless `exec.row_at_a_time`
+/// asks for the Volcano baseline; both produce identical results.
 Result<ResultSet> RunSelect(sql::SelectStmt* stmt, Catalog& catalog,
-                            ExternalResolver* resolver);
+                            ExternalResolver* resolver,
+                            const ExecOptions& exec = {});
 
 }  // namespace dataspread
 

@@ -1,0 +1,151 @@
+#ifndef DATASPREAD_EXEC_ROW_BATCH_H_
+#define DATASPREAD_EXEC_ROW_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "types/value.h"
+
+namespace dataspread {
+
+/// Execution-pipeline configuration, plumbed from DatabaseOptions down to the
+/// planner. One knob pair: the batch size every batched operator fills to,
+/// and the row-at-a-time escape hatch that drives the same operator tree
+/// through the legacy Volcano `Next(Row*)` contract (the A/B baseline of
+/// `bench_exec_pipeline` and the transparency property tests).
+struct ExecOptions {
+  /// Tuples per RowBatch (0 = kDefaultExecBatchSize). Benches sweep this via
+  /// the DS_EXEC_BATCH environment variable (bench/workloads.h).
+  size_t batch_size = 0;
+  /// When true the plan is pulled one Row at a time — the pre-vectorization
+  /// behavior, kept as the measurable baseline.
+  bool row_at_a_time = false;
+};
+
+inline constexpr size_t kDefaultExecBatchSize = 1024;
+
+inline size_t EffectiveBatchSize(const ExecOptions& exec) {
+  return exec.batch_size == 0 ? kDefaultExecBatchSize : exec.batch_size;
+}
+
+/// A batch of tuples in column-major layout plus an optional selection
+/// vector — the unit of exchange of the vectorized operator pipeline.
+///
+/// Physical rows live at positions [0, size()). When a selection is set,
+/// only the positions it lists (strictly increasing) are live; everything
+/// else is dead weight a later Compact() or consumer-side gather drops.
+/// Filters refine batches by *narrowing the selection in place* — no value
+/// is copied or moved on the filter path.
+///
+/// Capacity is a target, not a limit: producers fill until size() reaches
+/// capacity(), but consumers must tolerate larger batches (a join can emit
+/// more combined rows than its input batch had).
+class RowBatch {
+ public:
+  explicit RowBatch(size_t capacity = kDefaultExecBatchSize)
+      : capacity_(capacity == 0 ? kDefaultExecBatchSize : capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity == 0 ? kDefaultExecBatchSize : capacity;
+  }
+
+  /// Clears all rows and the selection, shaping the batch to `num_columns`
+  /// columns. Column storage is reused across calls.
+  void Reset(size_t num_columns) {
+    columns_.resize(num_columns);
+    for (auto& col : columns_) col.clear();
+    num_rows_ = 0;
+    has_selection_ = false;
+    selection_.clear();
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  /// Physical row count (including unselected positions).
+  size_t size() const { return num_rows_; }
+  bool full() const { return num_rows_ >= capacity_; }
+
+  std::vector<Value>& column(size_t c) { return columns_[c]; }
+  const std::vector<Value>& column(size_t c) const { return columns_[c]; }
+  const Value& at(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// Producers must call this after appending values column-wise so the row
+  /// count matches the column vectors.
+  void set_size(size_t n) { num_rows_ = n; }
+
+  // ---- Selection ----------------------------------------------------------
+
+  bool has_selection() const { return has_selection_; }
+  const std::vector<uint32_t>& selection() const { return selection_; }
+  void SetSelection(std::vector<uint32_t> sel) {
+    selection_ = std::move(sel);
+    has_selection_ = true;
+  }
+  void ClearSelection() {
+    has_selection_ = false;
+    selection_.clear();
+  }
+
+  /// Live row count: selection size when set, physical size otherwise.
+  size_t ActiveSize() const {
+    return has_selection_ ? selection_.size() : num_rows_;
+  }
+
+  /// The live positions as an explicit vector (the form the vectorized
+  /// expression evaluator consumes). When no selection is set this
+  /// materializes [0, size()) into `scratch` and returns it.
+  const std::vector<uint32_t>& ActivePositions(
+      std::vector<uint32_t>* scratch) const {
+    if (has_selection_) return selection_;
+    scratch->resize(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      (*scratch)[i] = static_cast<uint32_t>(i);
+    }
+    return *scratch;
+  }
+
+  // ---- Row bridging -------------------------------------------------------
+
+  /// Appends one row-major tuple (copying). The batch must be shaped
+  /// (Reset) to `row.size()` columns.
+  void AppendRow(const Row& row) {
+    for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(row[c]);
+    ++num_rows_;
+  }
+  /// Appends one tuple, moving the values out of `row`.
+  void AppendRowMove(Row&& row) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(std::move(row[c]));
+    }
+    ++num_rows_;
+  }
+
+  /// Dense Row copy of physical position `pos`.
+  Row MaterializeRow(size_t pos) const {
+    Row out;
+    out.reserve(columns_.size());
+    for (const auto& col : columns_) out.push_back(col[pos]);
+    return out;
+  }
+  /// Dense Row moving the values out of physical position `pos` (the
+  /// position must not be read again).
+  Row MoveRow(size_t pos) {
+    Row out;
+    out.reserve(columns_.size());
+    for (auto& col : columns_) out.push_back(std::move(col[pos]));
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<Value>> columns_;
+  size_t num_rows_ = 0;
+  size_t capacity_;
+  std::vector<uint32_t> selection_;
+  bool has_selection_ = false;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_EXEC_ROW_BATCH_H_

@@ -665,5 +665,110 @@ TEST_P(ReopenTransparencyTest, CloseReopenNeverChangesVisibleState) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReopenTransparencyTest,
                          ::testing::Values(13u, 137u, 13717u));
 
+// ---------------------------------------------------------------------------
+// Invariant 9: the execution mode is invisible. Every query run through the
+// row-at-a-time Volcano pipeline and through the vectorized batch pipeline —
+// at degenerate (1), misaligned (3), and larger-than-input (512) batch sizes
+// — must produce byte-identical ResultSets, for every storage model and pool
+// size. The query tape touches every operator: table scan (with and without
+// window pushdown), rows scan, filter, project, hash/nested-loop/natural/
+// left joins, aggregation with HAVING, sort, distinct, limit/offset.
+// ---------------------------------------------------------------------------
+
+class BatchTransparencyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BatchTransparencyTest, RowAndBatchPipelinesProduceIdenticalResults) {
+  constexpr StorageModel kModels[] = {StorageModel::kRow,
+                                      StorageModel::kColumn,
+                                      StorageModel::kRcv,
+                                      StorageModel::kHybrid};
+  constexpr size_t kPools[] = {0, 64, 4};  // unbounded, roomy, tiny
+  std::mt19937 rng(GetParam());
+
+  // One random dataset, loaded identically into every configuration.
+  Schema t_schema({ColumnDef{"id", DataType::kInt, true},
+                   ColumnDef{"grp", DataType::kText, false},
+                   ColumnDef{"x", DataType::kReal, false}});
+  Schema u_schema({ColumnDef{"grp", DataType::kText, false},
+                   ColumnDef{"tag", DataType::kInt, false}});
+  std::vector<Row> t_rows, u_rows;
+  for (int64_t id = 0; id < 150; ++id) {
+    t_rows.push_back({Value::Int(id),
+                      Value::Text("g" + std::to_string(rng() % 6)),
+                      (rng() % 7 == 0)
+                          ? Value::Null()
+                          : Value::Real(static_cast<double>(rng() % 1000))});
+  }
+  for (int64_t tag = 0; tag < 20; ++tag) {
+    u_rows.push_back({(rng() % 5 == 0)
+                          ? Value::Null()  // NULL keys never join
+                          : Value::Text("g" + std::to_string(rng() % 8)),
+                      Value::Int(tag)});
+  }
+
+  const char* queries[] = {
+      "SELECT * FROM t ORDER BY id",
+      "SELECT id, x * 2 + 1 FROM t WHERE x IS NOT NULL AND id % 3 <> 0 "
+      "ORDER BY id",
+      "SELECT grp, COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t "
+      "GROUP BY grp HAVING COUNT(*) > 2 ORDER BY grp",
+      "SELECT COUNT(*), SUM(x) FROM t",
+      "SELECT t.id, u.tag FROM t JOIN u ON t.grp = u.grp "
+      "ORDER BY t.id, u.tag",
+      "SELECT t.id, u.tag FROM t LEFT JOIN u ON t.grp = u.grp "
+      "ORDER BY t.id, u.tag",
+      "SELECT t.id, u.tag FROM t JOIN u ON t.x > u.tag * 40 "
+      "ORDER BY t.id, u.tag",
+      "SELECT * FROM t NATURAL JOIN u ORDER BY id, tag",
+      "SELECT DISTINCT grp FROM t ORDER BY grp",
+      "SELECT id FROM t LIMIT 7 OFFSET 3",                    // pushdown
+      "SELECT id FROM t WHERE id >= 0 ORDER BY id LIMIT 7 OFFSET 3",
+      "SELECT id FROM t LIMIT 5 OFFSET 148",                  // clipped window
+  };
+
+  for (size_t cap : kPools) {
+    for (StorageModel model : kModels) {
+      DatabaseOptions options;
+      options.pager.max_resident_pages = cap;
+      Database db(options);
+      Table* t = db.CreateTable("t", t_schema, model).ValueOrDie();
+      Table* u = db.CreateTable("u", u_schema, model).ValueOrDie();
+      for (const Row& r : t_rows) ASSERT_TRUE(t->AppendRow(r).ok());
+      for (const Row& r : u_rows) ASSERT_TRUE(u->AppendRow(r).ok());
+
+      for (const char* q : queries) {
+        db.set_exec_options(ExecOptions{0, /*row_at_a_time=*/true});
+        auto reference = db.Execute(q);
+        ASSERT_TRUE(reference.ok()) << q;
+        for (size_t batch : {size_t{1}, size_t{3}, size_t{512}}) {
+          db.set_exec_options(ExecOptions{batch, false});
+          auto got = db.Execute(q);
+          ASSERT_TRUE(got.ok()) << q << " batch " << batch;
+          ASSERT_EQ(got.value().columns, reference.value().columns) << q;
+          ASSERT_EQ(got.value().num_rows(), reference.value().num_rows())
+              << q << " pool " << cap << " model " << StorageModelName(model)
+              << " batch " << batch;
+          for (size_t r = 0; r < reference.value().rows.size(); ++r) {
+            const Row& want = reference.value().rows[r];
+            const Row& have = got.value().rows[r];
+            ASSERT_EQ(have.size(), want.size()) << q << " row " << r;
+            for (size_t c = 0; c < want.size(); ++c) {
+              ASSERT_EQ(have[c], want[c])
+                  << q << " pool " << cap << " model "
+                  << StorageModelName(model) << " batch " << batch << " row "
+                  << r << " col " << c;
+              ASSERT_EQ(have[c].type(), want[c].type())
+                  << q << " row " << r << " col " << c;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchTransparencyTest,
+                         ::testing::Values(11u, 211u, 3111u));
+
 }  // namespace
 }  // namespace dataspread
