@@ -1,0 +1,232 @@
+// Transaction commit costs (DESIGN.md §7): the group-commit A/B.
+//
+//   BM_Txn_PagerCommit_*  — the barrier mechanism in isolation: each
+//                           committer brackets a handful of slot writes
+//                           (BeginStatement/EndStatement) and then makes the
+//                           commit durable — serial: fsync inside the writer
+//                           lock, one per commit; group: the barrier runs
+//                           outside the lock (Pager::SyncWalThrough), so
+//                           concurrent committers park on one leader's fsync
+//                           and release together (Wal::SyncThrough).
+//   BM_Txn_Commit_*       — the same A/B end to end through Database::
+//                           Execute with sync_on_commit: full SQL parse +
+//                           plan + DML per commit. The statement CPU bounds
+//                           the visible win here, so this pair is the
+//                           realistic trajectory, not the gate.
+//
+// The win to protect: at 8 committer threads, pager-level group commit must
+// sustain >= 2x the committed-statements/s of the fsync-per-commit baseline
+// — ci/check.sh gates exactly that via BENCH_txn.json's commits_per_sec.
+//
+// Every run appends a JSON line to BENCH_txn.json (DS_BENCH_JSON_DIR) with
+// threads / commits / wal_syncs / commits_per_sync / commits_per_sec — the
+// cross-PR trajectory for the commit path.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "db/database.h"
+#include "storage/pager.h"
+#include "workloads.h"
+
+namespace dataspread {
+namespace {
+
+/// A scratch durable base path under DS_SPILL_DIR (or /tmp), removed on
+/// destruction (durable files outlive the database by design).
+struct ScratchBase {
+  explicit ScratchBase(const std::string& tag) {
+    const char* dir = std::getenv("DS_SPILL_DIR");
+    base = std::string(dir != nullptr ? dir : "/tmp") + "/ds-bench-txn-" +
+           std::to_string(::getpid()) + "-" + tag;
+    Remove();
+  }
+  ~ScratchBase() { Remove(); }
+  void Remove() {
+    std::remove((base + ".wal").c_str());
+    std::remove((base + ".pages").c_str());
+    std::remove((base + ".wal.lock").c_str());
+  }
+  std::string base;
+};
+
+constexpr int kCommitsPerThread = 24;
+
+void RunCommitAB(benchmark::State& state, bool group, const std::string& run) {
+  const int threads = static_cast<int>(state.range(0));
+  ScratchBase files(run + "-t" + std::to_string(threads));
+  DatabaseOptions options;
+  options.sync_on_commit = true;
+  options.group_commit = group;
+  auto db = Database::Open(files.base, options);
+  if (!db->Execute("CREATE TABLE t (a INT, b INT)").ok()) {
+    state.SkipWithError("CREATE TABLE failed");
+    return;
+  }
+  const uint64_t syncs_before = db->pager().stats().wal_syncs;
+  std::atomic<int64_t> next{0};
+  uint64_t commits = 0;
+  double seconds = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> committers;
+    committers.reserve(static_cast<size_t>(threads));
+    for (int th = 0; th < threads; ++th) {
+      committers.emplace_back([&] {
+        for (int i = 0; i < kCommitsPerThread; ++i) {
+          int64_t v = next.fetch_add(1);
+          auto r = db->Execute("INSERT INTO t VALUES (" + std::to_string(v) +
+                               ", " + std::to_string(v * 3) + ")");
+          benchmark::DoNotOptimize(r.ok());
+        }
+      });
+    }
+    for (std::thread& t : committers) t.join();
+    seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    commits += static_cast<uint64_t>(threads) * kCommitsPerThread;
+  }
+  const uint64_t syncs = db->pager().stats().wal_syncs - syncs_before;
+  const double commits_per_sync =
+      syncs > 0 ? static_cast<double>(commits) / static_cast<double>(syncs) : 0;
+  const double commits_per_sec =
+      seconds > 0 ? static_cast<double>(commits) / seconds : 0;
+  state.SetItemsProcessed(static_cast<int64_t>(commits));
+  state.counters["commits"] = static_cast<double>(commits);
+  state.counters["wal_syncs"] = static_cast<double>(syncs);
+  state.counters["commits_per_sync"] = commits_per_sync;
+  state.counters["commits_per_sec"] = commits_per_sec;
+  bench::AppendBenchJsonLine(
+      "txn", "Commit/" + run + "/t" + std::to_string(threads),
+      {{"iterations", static_cast<double>(state.iterations())},
+       {"threads", static_cast<double>(threads)},
+       {"commits", static_cast<double>(commits)},
+       {"wal_syncs", static_cast<double>(syncs)},
+       {"commits_per_sync", commits_per_sync},
+       {"commits_per_sec", commits_per_sec}});
+  db->pager().CrashForTesting();  // bench done; skip the destructor checkpoint
+}
+
+/// The barrier mechanism in isolation: statement brackets over raw pager
+/// writes, one writer at a time (an external mutex stands in for the
+/// database's statement lock), committers made durable serially or via the
+/// shared SyncThrough barrier.
+void RunPagerCommitAB(benchmark::State& state, bool group,
+                      const std::string& run) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr uint64_t kSlotsPerCommit = 4;
+  ScratchBase files("pager-" + run + "-t" + std::to_string(threads));
+  storage::PagerConfig config;
+  config.max_resident_pages = 256;
+  config.spill_path = files.base + ".pages";
+  config.wal_path = files.base + ".wal";
+  config.durable_spill = true;
+  storage::Pager pager(config);
+  storage::FileId f = pager.CreateFile();
+  const uint64_t syncs_before = pager.stats().wal_syncs;
+  std::mutex statement_mu;
+  std::atomic<uint64_t> next{0};
+  uint64_t commits = 0;
+  double seconds = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> committers;
+    committers.reserve(static_cast<size_t>(threads));
+    for (int th = 0; th < threads; ++th) {
+      committers.emplace_back([&] {
+        for (int i = 0; i < kCommitsPerThread; ++i) {
+          uint64_t base = next.fetch_add(1) * kSlotsPerCommit;
+          uint64_t commit_end = 0;
+          {
+            std::lock_guard<std::mutex> lock(statement_mu);
+            pager.BeginStatement();
+            for (uint64_t s = 0; s < kSlotsPerCommit; ++s) {
+              pager.Write(f, (base + s) % (1u << 16),
+                          Value::Int(static_cast<int64_t>(base + s)));
+            }
+            commit_end = pager.EndStatement(/*commit=*/true);
+            if (!group) pager.SyncWal();  // fsync-per-commit, inside the lock
+          }
+          if (group) pager.SyncWalThrough(commit_end);
+          benchmark::DoNotOptimize(commit_end);
+        }
+      });
+    }
+    for (std::thread& t : committers) t.join();
+    seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    commits += static_cast<uint64_t>(threads) * kCommitsPerThread;
+  }
+  const uint64_t syncs = pager.stats().wal_syncs - syncs_before;
+  const double commits_per_sync =
+      syncs > 0 ? static_cast<double>(commits) / static_cast<double>(syncs) : 0;
+  const double commits_per_sec =
+      seconds > 0 ? static_cast<double>(commits) / seconds : 0;
+  state.SetItemsProcessed(static_cast<int64_t>(commits));
+  state.counters["commits"] = static_cast<double>(commits);
+  state.counters["wal_syncs"] = static_cast<double>(syncs);
+  state.counters["commits_per_sync"] = commits_per_sync;
+  state.counters["commits_per_sec"] = commits_per_sec;
+  bench::AppendBenchJsonLine(
+      "txn", "PagerCommit/" + run + "/t" + std::to_string(threads),
+      {{"iterations", static_cast<double>(state.iterations())},
+       {"threads", static_cast<double>(threads)},
+       {"commits", static_cast<double>(commits)},
+       {"wal_syncs", static_cast<double>(syncs)},
+       {"commits_per_sync", commits_per_sync},
+       {"commits_per_sec", commits_per_sec}});
+  pager.CrashForTesting();
+}
+
+void BM_Txn_PagerCommit_Serial(benchmark::State& state) {
+  RunPagerCommitAB(state, /*group=*/false, "serial");
+}
+BENCHMARK(BM_Txn_PagerCommit_Serial)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_Txn_PagerCommit_Group(benchmark::State& state) {
+  RunPagerCommitAB(state, /*group=*/true, "group");
+}
+BENCHMARK(BM_Txn_PagerCommit_Group)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_Txn_Commit_Serial(benchmark::State& state) {
+  RunCommitAB(state, /*group=*/false, "serial");
+}
+BENCHMARK(BM_Txn_Commit_Serial)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_Txn_Commit_Group(benchmark::State& state) {
+  RunCommitAB(state, /*group=*/true, "group");
+}
+BENCHMARK(BM_Txn_Commit_Group)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dataspread

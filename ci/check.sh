@@ -215,6 +215,59 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Group-commit perf gate: concurrent committers batching onto one leader
+# fsync (Pager::SyncWalThrough / Wal::SyncThrough) must sustain >= 2x the
+# committed-statements/s of the fsync-per-commit baseline at 8 committer
+# threads (measured ~3x; the 2x floor leaves headroom for loaded runners
+# while still catching a commit-batching regression). The pager-level A/B
+# isolates the barrier mechanism; bench_txn's SQL-level pair is trajectory
+# context only.
+# ---------------------------------------------------------------------------
+if [[ -x "${BUILD_DIR}/bench_txn" ]]; then
+  DS_SPILL_DIR="${SMOKE_DIR}" DS_BENCH_JSON_DIR="${SMOKE_DIR}" \
+    "${BUILD_DIR}/bench_txn" \
+    --benchmark_filter='BM_Txn_PagerCommit_(Serial|Group)/8' \
+    --benchmark_min_time=0.05
+  serial_cps="$(sed -n 's/.*"run":"PagerCommit\/serial\/t8".*"commits_per_sec":\([0-9][0-9.e+-]*\).*/\1/p' \
+    "${SMOKE_DIR}/BENCH_txn.json" | head -n1)"
+  group_cps="$(sed -n 's/.*"run":"PagerCommit\/group\/t8".*"commits_per_sec":\([0-9][0-9.e+-]*\).*/\1/p' \
+    "${SMOKE_DIR}/BENCH_txn.json" | head -n1)"
+  if [[ -z "${serial_cps}" || -z "${group_cps}" ]]; then
+    echo "ci/check.sh: could not parse commits_per_sec from BENCH_txn.json" >&2
+    exit 1
+  fi
+  echo "ci/check.sh: group commit @8 threads: group=${group_cps} serial=${serial_cps}" \
+       "commits/s (need >= 2x)"
+  if ! awk -v g="${group_cps}" -v s="${serial_cps}" \
+       'BEGIN { exit !(s > 0 && g >= 2 * s) }'; then
+    echo "ci/check.sh: group commit (${group_cps} commits/s) is not >= 2x the" \
+         "fsync-per-commit baseline (${serial_cps} commits/s) —" \
+         "commit-batching regression" >&2
+    exit 1
+  fi
+else
+  echo "ci/check.sh: bench_txn not built; skipping group-commit perf gate"
+fi
+
+# ---------------------------------------------------------------------------
+# ThreadSanitizer: the concurrency suite (N reader cursors + 1 writer over a
+# bounded pool, group commit, the double-open lock) rebuilt with
+# -fsanitize=thread. The value assertions prove consistency; TSan proves the
+# pager's latching underneath is race-free.
+# ---------------------------------------------------------------------------
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+if cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target concurrency_test \
+     2>/dev/null; then
+  TSAN_OPTIONS="halt_on_error=1" "${TSAN_BUILD_DIR}/concurrency_test" \
+    --gtest_brief=1
+else
+  echo "ci/check.sh: concurrency_test not built under TSan (GTest missing?); skipping"
+fi
+
+# ---------------------------------------------------------------------------
 # Docs consistency: every BENCH_*.json field must be documented in README's
 # field table, and every relative markdown link in README/DESIGN/ROADMAP/
 # docs/ must resolve (incl. the README -> docs/DURABILITY.md pointer).

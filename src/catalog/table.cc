@@ -197,14 +197,18 @@ Result<std::unique_ptr<Table>> Table::Attach(const TableDescriptor& desc,
   DS_ASSIGN_OR_RETURN(std::vector<uint64_t> slot_rids,
                       ReadRidFile(*pager, desc.rid_file, r));
 
-  // Reconcile the (at most one) statement torn by the crash. DML writes in
-  // a fixed order — insert: order, rid, data; delete: rid overwrite, order,
-  // data, rid truncate — so the file-size signature identifies the torn
-  // phase (DESIGN.md §6 "Catalog recovery" walks the cases). Anything the
-  // cases below cannot prove consistent falls back to a deterministic
-  // rebuild: display order degrades to storage order for the torn tail —
-  // never for state behind a durability barrier, which always lands here
-  // with o == r == h and clean rid sets.
+  // Reconcile the (at most one) statement torn by the crash. Since WAL
+  // statement brackets (DESIGN.md §7), recovery itself discards the torn
+  // statement's records wholesale, so logs written by this engine always
+  // land here at a committed boundary (o == r == h, clean rid sets) and
+  // the reconciliation below is a *fallback* for pre-bracket logs, not the
+  // contract. For those, DML writes in a fixed order — insert: order, rid,
+  // data; delete: rid overwrite, order, data, rid truncate — so the
+  // file-size signature identifies the torn phase (DESIGN.md §6 "Catalog
+  // recovery" walks the cases). Anything the cases below cannot prove
+  // consistent falls back to a deterministic rebuild: display order
+  // degrades to storage order for the torn tail — never for state behind a
+  // durability barrier.
   std::unique_ptr<TableStorage> storage;
   bool rebuilt = false;
   bool rewrite_order = false;  // a repair touched mid-file order slots
@@ -386,6 +390,10 @@ Status Table::UpdateAt(size_t pos, size_t col, Value v) {
   }
   DS_ASSIGN_OR_RETURN(uint64_t rid, order_.Get(pos));
   DS_ASSIGN_OR_RETURN(Value coerced, CoerceForColumn(std::move(v), col));
+  // Statement bracket: everything this update logs is all-or-nothing across
+  // crashes (DESIGN.md §7). Nested inside a Database-level statement it
+  // rides the outer bracket.
+  storage::StatementScope txn(storage_->pager());
   auto pk = schema_.primary_key_index();
   if (pk && *pk == col) {
     if (coerced.is_null()) {
@@ -402,6 +410,7 @@ Status Table::UpdateAt(size_t pos, size_t col, Value v) {
     pk_to_rid_[coerced] = rid;
   }
   DS_RETURN_IF_ERROR(storage_->Set(SlotOf(rid), col, std::move(coerced)));
+  txn.Commit();
   Notify(TableChange{TableChange::Kind::kUpdate, pos, col});
   return Status::OK();
 }
@@ -423,6 +432,11 @@ Status Table::InsertRowAt(size_t pos, Row row) {
     }
   }
   uint64_t rid = next_rid_;
+  // Statement bracket: recovery applies the records below only if the
+  // closing kTxnCommit survived, so a crash mid-insert rolls the whole row
+  // away — Attach's torn-statement reconciliation is now a fallback for
+  // pre-bracket logs, not the contract (DESIGN.md §7).
+  storage::StatementScope txn(storage_->pager());
   if (durable()) {
     // Durable write order — order tail, rid append, then the data row — is
     // load-bearing: a crash can tear the statement at any record boundary,
@@ -460,6 +474,7 @@ Status Table::InsertRowAt(size_t pos, Row row) {
   slot_to_rid_[slot] = rid;
   DS_RETURN_IF_ERROR(order_.InsertAt(pos, rid));
   if (pk) pk_to_rid_[row[*pk]] = rid;
+  txn.Commit();
   Notify(TableChange{TableChange::Kind::kInsert, pos, 0});
   return Status::OK();
 }
@@ -471,6 +486,9 @@ Status Table::AppendRow(Row row) {
 Status Table::DeleteRowAt(size_t pos) {
   DS_ASSIGN_OR_RETURN(uint64_t rid, order_.Get(pos));
   size_t slot = SlotOf(rid);
+  // Statement bracket: the rid move, order rewrite, data swap, and
+  // truncations below commit or vanish together (DESIGN.md §7).
+  storage::StatementScope txn(storage_->pager());
   auto pk = schema_.primary_key_index();
   if (pk) {
     DS_ASSIGN_OR_RETURN(Value key, storage_->Get(slot, *pk));
@@ -518,6 +536,7 @@ Status Table::DeleteRowAt(size_t pos) {
   slot_to_rid_.pop_back();
   if (durable()) storage_->pager().Truncate(rid_file_, n - 1);
   (void)order_.EraseAt(pos);
+  txn.Commit();
   Notify(TableChange{TableChange::Kind::kDelete, pos, 0});
   return Status::OK();
 }
@@ -607,6 +626,7 @@ Status Table::UpdateByKey(const Value& key, size_t col, Value v) {
   }
   uint64_t rid = it->second;
   DS_ASSIGN_OR_RETURN(Value coerced, CoerceForColumn(std::move(v), col));
+  storage::StatementScope txn(storage_->pager());
   if (col == *pk) {
     if (coerced.is_null()) {
       return Status::ConstraintViolation("PRIMARY KEY of " + name_ +
@@ -621,6 +641,7 @@ Status Table::UpdateByKey(const Value& key, size_t col, Value v) {
     pk_to_rid_[coerced] = rid;
   }
   DS_RETURN_IF_ERROR(storage_->Set(SlotOf(rid), col, std::move(coerced)));
+  txn.Commit();
   Notify(TableChange{TableChange::Kind::kBulk, 0, col});
   return Status::OK();
 }

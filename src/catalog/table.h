@@ -66,9 +66,11 @@ class Table {
   /// Rebinds a table to its recovered pager files — the reopen path. The
   /// storage is attached to the manifest's files, the display order and id
   /// maps are read back from the descriptor's side files, and the pk index
-  /// is rebuilt from data. A statement torn by the crash is reconciled to
-  /// the nearest consistent boundary (see DESIGN.md §6); anything beyond
-  /// that is corruption and fails.
+  /// is rebuilt from data. WAL statement brackets make recovery itself
+  /// discard any statement torn by a crash (DESIGN.md §7), so this normally
+  /// sees a committed boundary; the legacy torn-statement reconciliation
+  /// (DESIGN.md §6) is retained as a fallback for pre-bracket logs.
+  /// Anything beyond that is corruption and fails.
   static Result<std::unique_ptr<Table>> Attach(const TableDescriptor& desc,
                                                storage::Pager* pager);
 

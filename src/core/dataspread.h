@@ -35,10 +35,9 @@ struct DataSpreadOptions {
   /// `spill_path`) makes the table data durable: reopening the instance on
   /// the same pair recovers every committed cell (DESIGN.md §6; sheet/
   /// formula state is not yet persisted — see ROADMAP).
-  /// CAUTION: a bounded pool makes every pager read structurally mutating
-  /// (fault-in can evict), and pager access is not internally synchronized —
-  /// do not combine a cap with background_compute until the concurrency
-  /// milestone lands (DESIGN.md §7).
+  /// The pager itself is internally synchronized (DESIGN.md §7), so a
+  /// bounded pool is safe alongside background_compute; the sheet/formula
+  /// layers above it remain single-writer.
   storage::PagerConfig pager;
   /// Convenience for the common durable setup: a non-empty base path routes
   /// the embedded database through Database::Open semantics — data in

@@ -31,8 +31,36 @@ Result<Value> EvalConstant(const sql::Expr& e) { return EvalScalar(e, nullptr); 
 }  // namespace
 
 Database::Database(const DatabaseOptions& options)
-    : pager_(options.pager), exec_(options.exec) {
+    : Database(options, LockPairOrDie(options)) {}
+
+Database::Database(const DatabaseOptions& options, storage::FileLock lock)
+    : file_lock_(std::move(lock)),
+      pager_(options.pager),
+      exec_(options.exec),
+      sync_on_commit_(options.sync_on_commit),
+      group_commit_(options.group_commit) {
   if (pager_.durable()) RecoverCatalog();
+}
+
+std::string Database::LockPathFor(const DatabaseOptions& options) {
+  if (options.pager.wal_path.empty()) return std::string();
+  return options.pager.wal_path + ".lock";
+}
+
+storage::FileLock Database::LockPairOrDie(const DatabaseOptions& options) {
+  storage::FileLock lock;
+  std::string path = LockPathFor(options);
+  if (!path.empty()) {
+    Status s = lock.Acquire(path);
+    if (!s.ok()) {
+      // No error channel in a constructor: a second live Database on one
+      // pair would corrupt it, so this is fail-fast by design. TryOpen is
+      // the graceful path.
+      std::fprintf(stderr, "dataspread::Database: %s\n", s.message().c_str());
+      std::abort();
+    }
+  }
+  return lock;
 }
 
 Database::~Database() {
@@ -54,6 +82,16 @@ std::unique_ptr<Database> Database::Open(const std::string& base_path,
                                          DatabaseOptions options) {
   return std::make_unique<Database>(DurableOptions(base_path,
                                                    std::move(options)));
+}
+
+Result<std::unique_ptr<Database>> Database::TryOpen(
+    const std::string& base_path, DatabaseOptions options) {
+  DatabaseOptions opts = DurableOptions(base_path, std::move(options));
+  storage::FileLock lock;
+  DS_RETURN_IF_ERROR(lock.Acquire(LockPathFor(opts)));
+  // The lock is handed to the constructor pre-acquired (flock from a second
+  // descriptor in the same process would conflict with our own lock).
+  return std::unique_ptr<Database>(new Database(opts, std::move(lock)));
 }
 
 void Database::Close() {
@@ -113,13 +151,31 @@ size_t Database::Checkpoint() {
 
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     ExternalResolver* resolver) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (closed_) {
-    return Status::InvalidArgument("database is closed");
-  }
-  DS_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
-  statements_executed_ += 1;
-  return Dispatch(stmt, resolver);
+  uint64_t commit_end = 0;
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (closed_) {
+      return Status::InvalidArgument("database is closed");
+    }
+    DS_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+    statements_executed_ += 1;
+    last_commit_end_lsn_ = 0;
+    Result<ResultSet> r = Dispatch(stmt, resolver);
+    if (r.ok() && sync_on_commit_ && last_commit_end_lsn_ != 0) {
+      if (group_commit_) {
+        // Commit barrier runs *outside* the statement mutex (below):
+        // concurrent committers reach Wal::SyncThrough together and share
+        // one fsync — the group-commit win bench_txn measures.
+        commit_end = last_commit_end_lsn_;
+      } else {
+        // Serial baseline: one fsync per commit, inside the lock.
+        pager_.SyncWalThrough(last_commit_end_lsn_);
+      }
+    }
+    return r;
+  }();
+  if (commit_end != 0) pager_.SyncWalThrough(commit_end);
+  return result;
 }
 
 Result<ResultSet> Database::Dispatch(sql::Statement& stmt,
@@ -197,8 +253,12 @@ Result<ResultSet> Database::ExecuteInsert(sql::InsertStmt& stmt,
     }
   }
 
-  // Phase 2: append; on a constraint violation roll back the prefix so the
-  // statement is atomic.
+  // Phase 2: append, all rows inside one statement bracket; on a constraint
+  // violation roll back the prefix so the statement is atomic. The rollback
+  // deletes land inside the bracket too, which then closes with kTxnAbort —
+  // a net no-op on replay, and a crash anywhere in between discards the
+  // bracket wholesale (DESIGN.md §7).
+  storage::StatementScope txn(pager_);
   size_t applied = 0;
   Status failure = Status::OK();
   for (const Row& row : incoming) {
@@ -217,6 +277,7 @@ Result<ResultSet> Database::ExecuteInsert(sql::InsertStmt& stmt,
     }
     return failure;
   }
+  last_commit_end_lsn_ = txn.Commit();
   ResultSet rs;
   rs.affected_rows = applied;
   return rs;
@@ -273,6 +334,7 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
         new_values.push_back(std::move(v));
         old_values.push_back(row.value()[target_cols[i]]);
       }
+      storage::StatementScope txn(pager_);
       for (size_t i = 0; i < new_values.size(); ++i) {
         Status s = table->UpdateByKey(key, target_cols[i], new_values[i]);
         if (target_cols[i] == *pk && s.ok()) key = new_values[i];
@@ -281,9 +343,10 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
             (void)table->UpdateByKey(key, target_cols[j], old_values[j]);
             if (target_cols[j] == *pk) key = old_values[j];
           }
-          return s;
+          return s;  // the scope closes the bracket with kTxnAbort
         }
       }
+      last_commit_end_lsn_ = txn.Commit();
       rs.affected_rows = 1;
       return rs;
     }
@@ -321,7 +384,8 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
   });
   DS_RETURN_IF_ERROR(scan_status);
 
-  // Phase 2: apply with rollback on failure.
+  // Phase 2: apply inside one statement bracket, with rollback on failure.
+  storage::StatementScope txn(pager_);
   size_t applied = 0;
   Status failure = Status::OK();
   for (const PendingUpdate& u : pending) {
@@ -338,6 +402,7 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
     }
     return failure;
   }
+  last_commit_end_lsn_ = txn.Commit();
   ResultSet rs;
   size_t assignments = stmt.assignments.empty() ? 1 : stmt.assignments.size();
   rs.affected_rows = pending.size() / assignments;
@@ -367,10 +432,13 @@ Result<ResultSet> Database::ExecuteDelete(sql::DeleteStmt& stmt,
     return true;
   });
   DS_RETURN_IF_ERROR(scan_status);
-  // Delete from the highest position down so earlier positions stay valid.
+  // Delete from the highest position down so earlier positions stay valid,
+  // all inside one statement bracket.
+  storage::StatementScope txn(pager_);
   for (size_t i = positions.size(); i-- > 0;) {
     DS_RETURN_IF_ERROR(table->DeleteRowAt(positions[i]));
   }
+  last_commit_end_lsn_ = txn.Commit();
   ResultSet rs;
   rs.affected_rows = positions.size();
   return rs;

@@ -9,6 +9,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "storage/file_lock.h"
 #include "exec/resolver.h"
 #include "exec/result_set.h"
 #include "exec/row_batch.h"
@@ -33,19 +34,34 @@ struct DatabaseOptions {
   /// fallback (see ExecOptions). Defaults drive every SELECT through the
   /// batch pipeline at kDefaultExecBatchSize tuples per batch.
   ExecOptions exec;
+  /// Fsync the WAL at the end of every successful mutating statement, making
+  /// each commit individually durable. Off (the default) keeps the PR 5
+  /// durability contract: statements are logged (and atomic — see the
+  /// statement brackets, DESIGN.md §7) but only made durable by the next
+  /// checkpoint, DDL, or explicit barrier. See docs/DURABILITY.md's
+  /// durability-level table.
+  bool sync_on_commit = false;
+  /// With sync_on_commit: release the database mutex before the commit
+  /// barrier, so concurrent committers park on one fsync (group commit —
+  /// one leader syncs, all release; Wal::SyncThrough). Off = the barrier
+  /// runs inside the statement lock, one fsync per commit — the serial
+  /// baseline bench_txn A/Bs against. No effect without sync_on_commit.
+  bool group_commit = true;
 };
 
 /// The embedded relational engine standing in for the paper's PostgreSQL
-/// back-end (see DESIGN.md §2). One statement at a time; statement-level
-/// atomicity for constraint violations (the transaction manager is future
-/// work, exactly as in the paper §3).
+/// back-end (see DESIGN.md §2). One statement at a time, each a transaction:
+/// statement-level atomicity holds both for constraint violations (logical
+/// rollback) and across crashes (WAL statement brackets — recovery replays
+/// exactly the committed-statement prefix, DESIGN.md §7).
 ///
-/// Thread-compatibility: Execute() is serialized by an internal recursive
-/// mutex so the compute engine's background worker can run queries while the
-/// interactive thread issues DML. Direct table reads (GetWindow etc.) bypass
-/// that mutex; with a *bounded* pager pool such reads mutate buffer-pool
-/// state (fault-in/eviction), so bounded configurations require
-/// single-threaded access until pager-level synchronization lands.
+/// Threading: Execute() is serialized by an internal recursive mutex so the
+/// compute engine's background worker can run queries while the interactive
+/// thread issues DML, and the pager below is safe under concurrent readers
+/// plus one writer — direct table reads (GetWindow etc.) may run against a
+/// bounded pool while another thread executes statements. With
+/// `sync_on_commit` + `group_commit`, concurrent committers batch their
+/// commit barriers onto one fsync.
 class Database {
  public:
   Database() : Database(DatabaseOptions{}) {}
@@ -67,10 +83,18 @@ class Database {
   /// `options.pager`'s pool fields (cap, scan resistance, auto-checkpoint)
   /// are honored; its path fields are overwritten. The returned database
   /// holds every table exactly as last checkpointed/logged — see
-  /// docs/DURABILITY.md for the full lifecycle. One process at a time per
-  /// path: the pair is not lock-protected yet.
+  /// docs/DURABILITY.md for the full lifecycle. The pair is guarded by an
+  /// advisory lock on `<base_path>.wal.lock`: a second open while this one
+  /// is alive *aborts* (construction has no error channel). Use TryOpen for
+  /// the graceful-failure path.
   static std::unique_ptr<Database> Open(const std::string& base_path,
                                         DatabaseOptions options = {});
+
+  /// Like Open, but fails softly: returns AlreadyExists when another live
+  /// Database (this process or another) holds the pair's lock, instead of
+  /// aborting. The lock is released when the returned Database is destroyed.
+  static Result<std::unique_ptr<Database>> TryOpen(
+      const std::string& base_path, DatabaseOptions options = {});
 
   /// The `Open` path convention as plain options: `<base>.pages` +
   /// `<base>.wal`, durable. The one place the convention lives — the
@@ -124,6 +148,16 @@ class Database {
   void set_exec_options(const ExecOptions& exec) { exec_ = exec; }
 
  private:
+  /// Lock-then-construct: the advisory pair lock must be held before the
+  /// pager's constructor opens (and possibly recovers) the WAL.
+  Database(const DatabaseOptions& options, storage::FileLock lock);
+  /// Acquires the pair lock for durable options (no-op otherwise); aborts
+  /// with the lock holder's message on conflict — the constructor path's
+  /// fail-fast. TryOpen surfaces the same condition as a Status instead.
+  static storage::FileLock LockPairOrDie(const DatabaseOptions& options);
+  /// The lock file guarding `wal_path`'s pair (empty for non-durable).
+  static std::string LockPathFor(const DatabaseOptions& options);
+
   Result<ResultSet> Dispatch(sql::Statement& stmt, ExternalResolver* resolver);
   Result<ResultSet> ExecuteInsert(sql::InsertStmt& stmt,
                                   ExternalResolver* resolver);
@@ -147,6 +181,8 @@ class Database {
   /// unreadable WAL: state this fundamental is not silently discarded.
   void RecoverCatalog();
 
+  storage::FileLock file_lock_;  // declared (acquired) before pager_: the
+                                 // pair must be ours before recovery touches it
   storage::Pager pager_;        // declared before catalog_: tables release
                                 // into it on destruction
   Catalog catalog_{&pager_};
@@ -156,6 +192,11 @@ class Database {
   uint64_t statements_executed_ = 0;
   bool closed_ = false;
   ExecOptions exec_;
+  bool sync_on_commit_ = false;
+  bool group_commit_ = true;
+  /// End LSN of the last committed statement bracket (set under mutex_ by
+  /// the DML paths); Execute() consumes it for the commit barrier.
+  uint64_t last_commit_end_lsn_ = 0;
 };
 
 }  // namespace dataspread

@@ -273,8 +273,12 @@ Result<bool> NestedLoopJoinOp::Next(RowBatch* out) {
     }
     size_t lw = left_row_.size();
     while (right_index_ < right_rows_.size()) {
+      // A previous left row may have left the batch partially (or exactly)
+      // full — size the chunk to the space that remains, never the whole
+      // capacity, so the batch cannot overshoot mid-match-list.
+      if (out->full()) return true;
       size_t chunk = std::min(right_rows_.size() - right_index_,
-                              std::max<size_t>(out->capacity(), 1));
+                              std::max<size_t>(out->capacity() - out->size(), 1));
       if (on_ != nullptr) {
         // Broadcast the left tuple against a chunk of right tuples and
         // filter the combined batch with one vectorized predicate pass.

@@ -39,9 +39,11 @@ inline size_t EffectiveBatchSize(const ExecOptions& exec) {
 /// Filters refine batches by *narrowing the selection in place* — no value
 /// is copied or moved on the filter path.
 ///
-/// Capacity is a target, not a limit: producers fill until size() reaches
-/// capacity(), but consumers must tolerate larger batches (a join can emit
-/// more combined rows than its input batch had).
+/// Capacity is a hard target: producers fill until size() reaches capacity()
+/// and then stop, resuming from the same position on the next Next() call —
+/// a join mid-match-list sizes its emit chunk to the space remaining, so
+/// batches never exceed capacity(). (The predicate path can still land a
+/// batch *under* capacity; only full() is load-bearing for producers.)
 class RowBatch {
  public:
   explicit RowBatch(size_t capacity = kDefaultExecBatchSize)

@@ -1,0 +1,63 @@
+#include "storage/file_lock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dataspread {
+namespace storage {
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Status FileLock::Acquire(const std::string& path) {
+  Release();
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open lock file " + path + ": " +
+                            std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      return Status::AlreadyExists(
+          "database is already open (lock held on " + path + ")");
+    }
+    return Status::Internal("cannot lock " + path + ": " +
+                            std::strerror(err));
+  }
+  fd_ = fd;
+  path_ = path;
+  return Status::OK();
+}
+
+void FileLock::Release() {
+  if (fd_ < 0) return;
+  // close() drops the flock with it; the lock file itself is left behind on
+  // purpose (unlinking it races a concurrent Acquire on the old inode).
+  ::close(fd_);
+  fd_ = -1;
+  path_.clear();
+}
+
+}  // namespace storage
+}  // namespace dataspread

@@ -1,0 +1,50 @@
+#ifndef DATASPREAD_STORAGE_FILE_LOCK_H_
+#define DATASPREAD_STORAGE_FILE_LOCK_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dataspread {
+namespace storage {
+
+/// An advisory exclusive lock on a lock file — the double-open guard for a
+/// durable `<base>.pages`/`<base>.wal` pair. Two live pagers on one pair
+/// corrupt it (each believes its buffer pool and log tail are authoritative),
+/// so Database acquires one of these on `<base>.wal.lock` before the pager
+/// touches either file and holds it until destruction.
+///
+/// flock() semantics on purpose: the lock is tied to the open file
+/// description, so the kernel releases it when the process exits *or
+/// crashes* — a killed process never leaves the pair permanently locked, and
+/// the lock file itself is inert leftover (never deleted, never read).
+/// Advisory only: it protects cooperating Database instances, not arbitrary
+/// writers.
+class FileLock {
+ public:
+  FileLock() = default;
+  ~FileLock() { Release(); }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+
+  /// Creates `path` if needed and takes the exclusive lock, non-blocking.
+  /// Fails with AlreadyExists when another process (or another FileLock in
+  /// this one) holds it — the caller should refuse to open the database.
+  Status Acquire(const std::string& path);
+  /// Drops the lock if held. Idempotent; the lock file stays behind.
+  void Release();
+
+  bool held() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace storage
+}  // namespace dataspread
+
+#endif  // DATASPREAD_STORAGE_FILE_LOCK_H_

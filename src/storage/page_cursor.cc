@@ -20,7 +20,10 @@ namespace dataspread {
 namespace storage {
 
 PageCursor::PageCursor(Pager& pager, FileId file)
-    : pager_(&pager), file_(file), chain_(&pager.ChainOrDie(file)) {}
+    : pager_(&pager), file_(file) {
+  std::lock_guard<std::recursive_mutex> lock(pager.mu_);
+  chain_ = &pager.ChainOrDie(file);
+}
 
 PageCursor::PageCursor(PageCursor&& other) noexcept
     : pager_(other.pager_),
@@ -29,10 +32,14 @@ PageCursor::PageCursor(PageCursor&& other) noexcept
       page_(other.page_),
       page_index_(other.page_index_),
       base_(other.base_),
+      frame_(other.frame_),
+      frame_latch_(other.frame_latch_),
+      latch_(other.latch_),
       seq_(other.seq_),
       counted_read_(other.counted_read_),
       counted_write_(other.counted_write_) {
-  other.page_ = nullptr;  // the pin moved with us
+  other.page_ = nullptr;   // the pin moved with us
+  other.latch_ = nullptr;  // so did the data latch
 }
 
 PageCursor& PageCursor::operator=(PageCursor&& other) noexcept {
@@ -44,23 +51,51 @@ PageCursor& PageCursor::operator=(PageCursor&& other) noexcept {
     page_ = other.page_;
     page_index_ = other.page_index_;
     base_ = other.base_;
+    frame_ = other.frame_;
+    frame_latch_ = other.frame_latch_;
+    latch_ = other.latch_;
     seq_ = other.seq_;
     counted_read_ = other.counted_read_;
     counted_write_ = other.counted_write_;
     other.page_ = nullptr;
+    other.latch_ = nullptr;
   }
   return *this;
 }
 
+void PageCursor::LatchData() {
+  if (latch_ != nullptr) return;
+  // The pin (taken under the structural latch in Seek) keeps the frame from
+  // being evicted or recycled, so latching it afterwards without the
+  // structural latch is safe. The latch *pointer* was resolved in Seek,
+  // under the structural latch — deque elements never move, but indexing
+  // the deque here would race with its growth.
+  latch_ = frame_latch_;
+  latch_->lock_shared();
+}
+
+void PageCursor::UnlatchData() {
+  if (latch_ == nullptr) return;
+  latch_->unlock_shared();
+  latch_ = nullptr;
+}
+
 void PageCursor::Release() {
   if (page_ == nullptr) return;
+  UnlatchData();  // latch order: data latch goes before the structural latch
+  std::lock_guard<std::recursive_mutex> lock(pager_->mu_);
   page_->pin_count_ -= 1;
   page_ = nullptr;
 }
 
 void PageCursor::Seek(uint64_t page_index, bool grow) {
-  Release();
+  UnlatchData();  // never enter the pager holding a data latch
   Pager& p = *pager_;
+  std::lock_guard<std::recursive_mutex> lock(p.mu_);
+  if (page_ != nullptr) {
+    page_->pin_count_ -= 1;
+    page_ = nullptr;
+  }
   // Cursor-local sequential detection: point lookups through the slot APIs
   // never touch this detector, so an interleaved scan keeps its
   // classification.
@@ -75,8 +110,10 @@ void PageCursor::Seek(uint64_t page_index, bool grow) {
   p.MaybePromote(page);
   page.pin_count_ += 1;
   page.referenced_ = true;
-  p.stats_.pins += 1;
+  p.pins_.fetch_add(1, std::memory_order_relaxed);
   page_ = &page;
+  frame_ = chain_->pages[page_index].frame;
+  frame_latch_ = &p.frame_latches_[frame_];
   page_index_ = page_index;
   base_ = page_index * Pager::kSlotsPerPage;
   counted_read_ = false;
@@ -84,19 +121,21 @@ void PageCursor::Seek(uint64_t page_index, bool grow) {
 }
 
 void PageCursor::CountRead(uint64_t count) {
-  if (!pager_->accounting_) return;
-  pager_->stats_.slot_reads += count;
+  Pager& p = *pager_;
+  if (!p.accounting_.load(std::memory_order_relaxed)) return;
+  p.slot_reads_.fetch_add(count, std::memory_order_relaxed);
   if (!counted_read_) {
-    pager_->epoch_read_.insert(PageKey{file_, page_index_});
+    p.NoteEpochRead(file_, page_index_);
     counted_read_ = true;
   }
 }
 
 void PageCursor::CountWrite(uint64_t count) {
-  if (!pager_->accounting_) return;
-  pager_->stats_.slot_writes += count;
+  Pager& p = *pager_;
+  if (!p.accounting_.load(std::memory_order_relaxed)) return;
+  p.slot_writes_.fetch_add(count, std::memory_order_relaxed);
   if (!counted_write_) {
-    pager_->epoch_written_.insert(PageKey{file_, page_index_});
+    p.NoteEpochWrite(file_, page_index_);
     counted_write_ = true;
   }
 }
@@ -106,6 +145,7 @@ const Value& PageCursor::Read(uint64_t slot) {
   if (page_ == nullptr || page_index != page_index_) {
     Seek(page_index, /*grow=*/false);
   }
+  LatchData();
   CountRead();
   return page_->slot(slot - base_);
 }
@@ -118,6 +158,7 @@ const Value* PageCursor::ReadSpan(uint64_t slot, uint64_t count) {
   if (page_ == nullptr || page_index != page_index_) {
     Seek(page_index, /*grow=*/false);
   }
+  LatchData();  // held until the cursor leaves the page: the span is stable
   CountRead(count);
   return &page_->slot(slot - base_);
 }
@@ -127,13 +168,21 @@ void PageCursor::Write(uint64_t slot, Value v) {
   if (page_ == nullptr || page_index != page_index_) {
     Seek(page_index, /*grow=*/true);
   }
+  UnlatchData();
+  Pager& p = *pager_;
+  std::lock_guard<std::recursive_mutex> lock(p.mu_);
+  // Exclusive data latch only for the mutation itself: concurrent readers
+  // of *this* page wait; readers elsewhere are untouched. Safe to block
+  // here while holding the structural latch — reader cursors release their
+  // data latch before every structural-latch acquisition.
+  std::unique_lock<std::shared_mutex> frame_latch(*frame_latch_);
   // Dirty eagerly (not at unpin) so a FlushAll() mid-cursor checkpoints
   // pending writes too.
   page_->dirty_ = true;
   if (slot >= chain_->size) chain_->size = slot + 1;
   CountWrite();
   page_->slot(slot - base_) = std::move(v);
-  pager_->LogPageMutation(file_, *chain_, page_index_, slot - base_, 1);
+  p.LogPageMutation(file_, *chain_, page_index_, slot - base_, 1);
 }
 
 Value PageCursor::Take(uint64_t slot) {
@@ -141,10 +190,14 @@ Value PageCursor::Take(uint64_t slot) {
   if (page_ == nullptr || page_index != page_index_) {
     Seek(page_index, /*grow=*/false);
   }
+  UnlatchData();
+  Pager& p = *pager_;
+  std::lock_guard<std::recursive_mutex> lock(p.mu_);
+  std::unique_lock<std::shared_mutex> frame_latch(*frame_latch_);
   page_->dirty_ = true;  // the slot changes; same rationale as Pager::Take
   CountRead();
   Value out = std::exchange(page_->slot(slot - base_), Value::Null());
-  pager_->LogPageMutation(file_, *chain_, page_index_, slot - base_, 1);
+  p.LogPageMutation(file_, *chain_, page_index_, slot - base_, 1);
   return out;
 }
 
@@ -158,6 +211,7 @@ void PageCursor::ReadRange(uint64_t start, uint64_t count, Row* out) {
     if (page_ == nullptr || page_index != page_index_) {
       Seek(page_index, /*grow=*/false);
     }
+    LatchData();
     uint64_t page_end = std::min(end, base_ + Pager::kSlotsPerPage);
     CountRead(page_end - s);
     for (; s < page_end; ++s) {
@@ -176,6 +230,10 @@ void PageCursor::WriteRange(uint64_t start, const Value* values,
     if (page_ == nullptr || page_index != page_index_) {
       Seek(page_index, /*grow=*/true);
     }
+    UnlatchData();
+    Pager& p = *pager_;
+    std::lock_guard<std::recursive_mutex> lock(p.mu_);
+    std::unique_lock<std::shared_mutex> frame_latch(*frame_latch_);
     page_->dirty_ = true;
     uint64_t page_end = std::min(end, base_ + Pager::kSlotsPerPage);
     CountWrite(page_end - s);
@@ -186,8 +244,8 @@ void PageCursor::WriteRange(uint64_t start, const Value* values,
     // Same per-segment size rule as Pager::WriteRange: every redo record is
     // a self-consistent prefix state.
     if (s > chain_->size) chain_->size = s;
-    pager_->LogPageMutation(file_, *chain_, page_index_, seg_start - base_,
-                            s - seg_start);
+    p.LogPageMutation(file_, *chain_, page_index_, seg_start - base_,
+                      s - seg_start);
   }
 }
 
@@ -200,6 +258,10 @@ void PageCursor::Fill(uint64_t start, uint64_t count, const Value& v) {
     if (page_ == nullptr || page_index != page_index_) {
       Seek(page_index, /*grow=*/true);
     }
+    UnlatchData();
+    Pager& p = *pager_;
+    std::lock_guard<std::recursive_mutex> lock(p.mu_);
+    std::unique_lock<std::shared_mutex> frame_latch(*frame_latch_);
     page_->dirty_ = true;
     uint64_t page_end = std::min(end, base_ + Pager::kSlotsPerPage);
     CountWrite(page_end - s);
@@ -208,8 +270,8 @@ void PageCursor::Fill(uint64_t start, uint64_t count, const Value& v) {
       page_->slot(s - base_) = v;
     }
     if (s > chain_->size) chain_->size = s;
-    pager_->LogPageMutation(file_, *chain_, page_index_, seg_start - base_,
-                            s - seg_start);
+    p.LogPageMutation(file_, *chain_, page_index_, seg_start - base_,
+                      s - seg_start);
   }
 }
 

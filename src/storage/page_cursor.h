@@ -29,8 +29,18 @@ namespace storage {
 /// released on page change, Release(), or destruction. The cursor must not
 /// outlive its pager or file, and Release() must be called before
 /// Truncate/DropFile could free the pinned page (the pager aborts on
-/// freeing a pinned page). Like the pager itself, cursors are
-/// single-threaded.
+/// freeing a pinned page).
+///
+/// Threading (DESIGN.md §7): a cursor is owned by one thread, but many
+/// cursors on one pager may run concurrently — N reader cursors plus one
+/// writer thread. Page *movement* (Seek: unpin, fault, pin) takes the
+/// pager's structural latch; slot *reads* then proceed latch-free under a
+/// shared per-frame data latch acquired lazily on first access and held
+/// until the cursor leaves the page (so a ReadSpan pointer stays stable).
+/// Mutating calls drop the shared latch, take the structural latch, and
+/// hold the frame's latch exclusively only for the mutation itself. The
+/// cursor never enters the pager while holding a data latch — the deadlock-
+/// freedom argument for the structural→frame lock order.
 ///
 /// Dirty/LSN contract: every mutating call (Write/Take/WriteRange/Fill)
 /// sets the page's dirty bit *eagerly* — not at unpin — so a FlushAll()
@@ -80,11 +90,18 @@ class PageCursor {
   FileId file() const { return file_; }
 
  private:
-  /// Moves the cursor onto `page_index`: releases the old pin, updates the
-  /// sequential detector, mounts (growing/faulting as needed) and pins.
+  /// Moves the cursor onto `page_index`: releases the old data latch and
+  /// pin, updates the sequential detector, mounts (growing/faulting as
+  /// needed) and pins — all under the pager's structural latch.
   void Seek(uint64_t page_index, bool grow);
+  /// Acquires the shared data latch on the current frame (lazy, idempotent).
+  void LatchData();
+  /// Releases it if held. Must precede any structural-latch acquisition.
+  void UnlatchData();
   /// Slot-exact counters plus a once-per-page-visit distinct-page record —
-  /// the single place the cursor's accounting rule lives.
+  /// the single place the cursor's accounting rule lives. Touches only
+  /// atomics and the pager's leaf stats lock: callable with or without the
+  /// structural latch.
   void CountRead(uint64_t count = 1);
   void CountWrite(uint64_t count = 1);
 
@@ -94,6 +111,12 @@ class PageCursor {
   ValuePage* page_ = nullptr;
   uint64_t page_index_ = 0;
   uint64_t base_ = 0;  // page_index_ * kSlotsPerPage
+  PageId frame_ = 0;   // the pinned page's frame (stable while pinned)
+  // The frame's data latch, resolved under the structural latch in Seek —
+  // deque *elements* are address-stable, but indexing the deque races with
+  // its growth, so the lookup must not happen lock-free in LatchData.
+  std::shared_mutex* frame_latch_ = nullptr;
+  std::shared_mutex* latch_ = nullptr;  // held shared iff non-null
   Pager::SeqDetector seq_;  // per-cursor sequential detector
   // Epoch accounting latches: one distinct-page record per page visit.
   bool counted_read_ = false;

@@ -43,7 +43,11 @@ Pager::~Pager() {
 }
 
 PagerStats Pager::stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PagerStats s = stats_;
+  s.slot_reads = slot_reads_.load(std::memory_order_relaxed);
+  s.slot_writes = slot_writes_.load(std::memory_order_relaxed);
+  s.pins = pins_.load(std::memory_order_relaxed);
   if (spill_ != nullptr) s.spill_dead_bytes = spill_->dead_bytes();
   if (wal_ != nullptr) {
     s.wal_records = wal_->records_appended();
@@ -54,18 +58,35 @@ PagerStats Pager::stats() const {
 }
 
 void Pager::SyncWal() {
-  if (wal_ == nullptr) return;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (wal_ == nullptr || crashed_) return;
   wal_->Sync();
   DrainDeferredFrees();
 }
 
+void Pager::SyncWalThrough(uint64_t lsn) {
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    if (wal_ == nullptr || crashed_ || lsn == 0) return;
+  }
+  // The barrier itself runs without the structural latch: that is the whole
+  // point — concurrent committers park inside Wal::SyncThrough and share one
+  // fsync while readers keep faulting pages through the pager.
+  wal_->SyncThrough(lsn);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!crashed_) DrainDeferredFrees();
+}
+
 void Pager::CrashForTesting() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (wal_ != nullptr) wal_->CrashForTesting(/*keep_os_buffered=*/true);
   if (spill_ != nullptr) spill_->Sync();  // what the page cache would hold
   crashed_ = true;
+  stmt_open_ = false;  // a bracket mid-crash simply never commits
 }
 
 FileId Pager::CreateFile() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileId id = next_file_id_++;
   files_.emplace(id, FileChain{});
   if (wal_ != nullptr && !replaying_ && !crashed_) {
@@ -89,17 +110,23 @@ const Pager::FileChain& Pager::ChainOrDie(FileId file) const {
 }
 
 size_t Pager::FilePages(FileId file) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return ChainOrDie(file).pages.size();
 }
 
-uint64_t Pager::FileSize(FileId file) const { return ChainOrDie(file).size; }
+uint64_t Pager::FileSize(FileId file) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return ChainOrDie(file).size;
+}
 
 bool Pager::IsResident(FileId file, uint64_t page_index) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const FileChain& chain = ChainOrDie(file);
   return page_index < chain.pages.size() && chain.pages[page_index].resident();
 }
 
 bool Pager::IsScanClass(FileId file, uint64_t page_index) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const FileChain& chain = ChainOrDie(file);
   if (page_index >= chain.pages.size()) return false;
   const PageRef& ref = chain.pages[page_index];
@@ -115,6 +142,13 @@ SpillFile& Pager::EnsureSpill() {
 }
 
 void Pager::WriteBack(ValuePage& page, PageRef& ref) {
+  // No-steal: a page dirtied inside an open statement bracket must never
+  // reach the spill file — if the bracket is discarded at recovery, the
+  // records that would rebuild this page's pre-statement image are inside
+  // the bracket too. Victim selection already skips such pages; this is the
+  // backstop.
+  DS_PAGER_CHECK(!StatementDirty(page),
+                 "write-back of a page dirtied by an uncommitted statement");
   // The WAL rule, enforced at the single spot every page write funnels
   // through: the redo records producing this image must be durable before
   // the image can overwrite the on-disk copy (flushed-LSN >= page_lsn).
@@ -189,7 +223,7 @@ ValuePage* Pager::SelectVictim() {
     scan_fifo_.pop_front();
     if (!ScanEntryValid(e)) continue;  // promoted/evicted/freed: stale
     ValuePage* page = page_table_[e.frame].get();
-    if (page->pin_count_ > 0) {
+    if (page->pin_count_ > 0 || StatementDirty(*page)) {
       scan_fifo_.push_back(e);  // still scan-class, just unevictable now
       continue;
     }
@@ -214,7 +248,7 @@ void Pager::EnforceScanRing(PageId keep) {
     scan_fifo_.pop_front();
     if (!ScanEntryValid(e)) continue;
     ValuePage* page = page_table_[e.frame].get();
-    if (e.frame == keep || page->pin_count_ > 0) {
+    if (e.frame == keep || page->pin_count_ > 0 || StatementDirty(*page)) {
       scan_fifo_.push_back(e);
       continue;
     }
@@ -265,7 +299,16 @@ PageId Pager::AcquireFrame() {
     return id;
   }
   page_table_.push_back(std::make_unique<ValuePage>());
+  EnsureFrameLatches();
   return page_table_.size() - 1;
+}
+
+void Pager::EnsureFrameLatches() {
+  // Grow-only, and a deque so existing latches never move: a cursor may be
+  // blocked on frame i's latch while frame i+1 is being created.
+  while (frame_latches_.size() < page_table_.size()) {
+    frame_latches_.emplace_back();
+  }
 }
 
 void Pager::FaultIn(FileId file, FileChain& chain, uint64_t page_index) {
@@ -348,6 +391,7 @@ void Pager::DrainDeferredFrees() {
 }
 
 void Pager::DropFile(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileChain& chain = ChainOrDie(file);
   bool defer = wal_ != nullptr && !replaying_ && !crashed_;
   std::vector<uint64_t> freed;
@@ -358,8 +402,8 @@ void Pager::DropFile(FileId file) {
   if (defer) {
     wal_payload_.clear();
     AppendU64(&wal_payload_, file);
-    uint64_t lsn = wal_->Append(WalRecordType::kDropFile, wal_payload_);
-    DeferSpillFrees(freed, lsn);
+    uint64_t lsn = AppendRecord(WalRecordType::kDropFile, wal_payload_);
+    DeferSpillFrees(freed, stmt_open_ ? kStatementLsnSentinel : lsn);
     MaybeAutoCheckpoint();
   }
 }
@@ -390,20 +434,31 @@ void Pager::EnsureCapacity(FileId file, FileChain& chain, uint64_t slot) {
 
 void Pager::RecordRead(FileId file, uint64_t slot, ValuePage& page) {
   page.referenced_ = true;
-  if (!accounting_) return;
-  stats_.slot_reads += 1;
-  epoch_read_.insert(PageKey{file, slot / kSlotsPerPage});
+  if (!accounting_.load(std::memory_order_relaxed)) return;
+  slot_reads_.fetch_add(1, std::memory_order_relaxed);
+  NoteEpochRead(file, slot / kSlotsPerPage);
 }
 
 void Pager::RecordWrite(FileId file, uint64_t slot, ValuePage& page) {
   page.referenced_ = true;
   page.dirty_ = true;
-  if (!accounting_) return;
-  stats_.slot_writes += 1;
-  epoch_written_.insert(PageKey{file, slot / kSlotsPerPage});
+  if (!accounting_.load(std::memory_order_relaxed)) return;
+  slot_writes_.fetch_add(1, std::memory_order_relaxed);
+  NoteEpochWrite(file, slot / kSlotsPerPage);
+}
+
+void Pager::NoteEpochRead(FileId file, uint64_t page_index) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  epoch_read_.insert(PageKey{file, page_index});
+}
+
+void Pager::NoteEpochWrite(FileId file, uint64_t page_index) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  epoch_written_.insert(PageKey{file, page_index});
 }
 
 const Value& Pager::Read(FileId file, uint64_t slot) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileChain& chain = ChainOrDie(file);
   DS_PAGER_CHECK(slot < chain.pages.size() * kSlotsPerPage,
                  "read past file end");
@@ -416,6 +471,7 @@ const Value& Pager::Read(FileId file, uint64_t slot) {
 
 void Pager::ReadRange(FileId file, uint64_t start, uint64_t count, Row* out) {
   if (count == 0) return;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileChain& chain = ChainOrDie(file);
   DS_PAGER_CHECK(start + count <= chain.pages.size() * kSlotsPerPage,
                  "read range past file end");
@@ -432,15 +488,20 @@ void Pager::ReadRange(FileId file, uint64_t start, uint64_t count, Row* out) {
     ValuePage& page = PageAt(file, chain, page_index);
     MaybePromote(page);
     page.referenced_ = true;
-    if (accounting_) epoch_read_.insert(PageKey{file, page_index});
+    if (accounting_.load(std::memory_order_relaxed)) {
+      NoteEpochRead(file, page_index);
+    }
     for (; s < page_end; ++s) {
       out->push_back(page.slot(s % kSlotsPerPage));
     }
   }
-  if (accounting_) stats_.slot_reads += count;
+  if (accounting_.load(std::memory_order_relaxed)) {
+    slot_reads_.fetch_add(count, std::memory_order_relaxed);
+  }
 }
 
 void Pager::Write(FileId file, uint64_t slot, Value v) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileChain& chain = ChainOrDie(file);
   NoteSlotAccess(chain, slot / kSlotsPerPage);
   EnsureCapacity(file, chain, slot);
@@ -455,6 +516,7 @@ void Pager::Write(FileId file, uint64_t slot, Value v) {
 void Pager::WriteRange(FileId file, uint64_t start, const Value* values,
                        uint64_t count) {
   if (count == 0) return;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileChain& chain = ChainOrDie(file);
   uint64_t s = start;
   const uint64_t end = start + count;
@@ -467,7 +529,9 @@ void Pager::WriteRange(FileId file, uint64_t start, const Value* values,
     MaybePromote(page);
     page.referenced_ = true;
     page.dirty_ = true;
-    if (accounting_) epoch_written_.insert(PageKey{file, page_index});
+    if (accounting_.load(std::memory_order_relaxed)) {
+      NoteEpochWrite(file, page_index);
+    }
     uint64_t seg_start = s;
     for (; s < page_end; ++s) {
       page.slot(s % kSlotsPerPage) = values[s - start];
@@ -478,10 +542,13 @@ void Pager::WriteRange(FileId file, uint64_t start, const Value* values,
     LogPageMutation(file, chain, page_index, seg_start % kSlotsPerPage,
                     s - seg_start);
   }
-  if (accounting_) stats_.slot_writes += count;
+  if (accounting_.load(std::memory_order_relaxed)) {
+    slot_writes_.fetch_add(count, std::memory_order_relaxed);
+  }
 }
 
 Value Pager::Take(FileId file, uint64_t slot) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileChain& chain = ChainOrDie(file);
   DS_PAGER_CHECK(slot < chain.pages.size() * kSlotsPerPage,
                  "take past file end");
@@ -499,6 +566,7 @@ Value Pager::Take(FileId file, uint64_t slot) {
 }
 
 void Pager::Truncate(FileId file, uint64_t slot_count) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileChain& chain = ChainOrDie(file);
   if (slot_count >= chain.size) return;
   mount_sequential_ = false;  // a boundary-page fault-in is a hot mount
@@ -546,18 +614,22 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
     wal_payload_.clear();
     AppendU64(&wal_payload_, file);
     AppendU64(&wal_payload_, slot_count);
-    uint64_t lsn = wal_->Append(WalRecordType::kTruncate, wal_payload_);
+    uint64_t lsn = AppendRecord(WalRecordType::kTruncate, wal_payload_);
     // The clearing above is redone by replaying Truncate itself; the
     // boundary page's newest redo is therefore this record.
     if (boundary != nullptr) boundary->page_lsn_ = lsn;
     // Same reuse hazard as DropFile: freed tail slots stay parked until the
-    // truncate record that frees them is durable (DeferSpillFrees).
-    DeferSpillFrees(freed, lsn);
+    // truncate record that frees them is durable (DeferSpillFrees). Inside
+    // a statement bracket they park on the sentinel instead — EndStatement
+    // rewrites it to the closing record's LSN, so a discarded bracket can
+    // never have recycled a base it still referenced.
+    DeferSpillFrees(freed, stmt_open_ ? kStatementLsnSentinel : lsn);
     MaybeAutoCheckpoint();
   }
 }
 
 ValuePage* Pager::Pin(FileId file, uint64_t page_index) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FileChain& chain = ChainOrDie(file);
   mount_sequential_ = false;  // explicit pins are hot accesses
   EnsureCapacity(file, chain, page_index * kSlotsPerPage);
@@ -565,22 +637,23 @@ ValuePage* Pager::Pin(FileId file, uint64_t page_index) {
   MaybePromote(page);
   page.pin_count_ += 1;
   page.referenced_ = true;
-  stats_.pins += 1;
-  if (accounting_) {
-    epoch_read_.insert(PageKey{file, page_index});
-    stats_.slot_reads += 1;
+  pins_.fetch_add(1, std::memory_order_relaxed);
+  if (accounting_.load(std::memory_order_relaxed)) {
+    NoteEpochRead(file, page_index);
+    slot_reads_.fetch_add(1, std::memory_order_relaxed);
   }
   return &page;
 }
 
 void Pager::Unpin(ValuePage* page, bool dirtied) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DS_PAGER_CHECK(page != nullptr && page->pin_count_ > 0, "unbalanced Unpin");
   page->pin_count_ -= 1;
   if (dirtied) {
     page->dirty_ = true;
-    if (accounting_) {
-      epoch_written_.insert(PageKey{page->file_, page->index_in_file_});
-      stats_.slot_writes += 1;
+    if (accounting_.load(std::memory_order_relaxed)) {
+      NoteEpochWrite(page->file_, page->index_in_file_);
+      slot_writes_.fetch_add(1, std::memory_order_relaxed);
     }
     // Pin hands out raw slot access, so which slots changed is unknown:
     // the redo record is a full-page image.
@@ -593,6 +666,7 @@ void Pager::Unpin(ValuePage* page, bool dirtied) {
 }
 
 size_t Pager::pinned_pages() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   size_t n = 0;
   for (const auto& page : page_table_) {
     if (page != nullptr && !page->is_free() && page->pin_count_ > 0) ++n;
@@ -601,28 +675,32 @@ size_t Pager::pinned_pages() const {
 }
 
 ValuePage* Pager::ClockVictim() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (resident_pages_ == 0 || page_table_.empty()) return nullptr;
   // Bounded sweep — two revolutions: the first may only clear reference
   // bits, the second must then find any unpinned page. Termination does not
-  // depend on pin state, so an all-pinned pool yields nullptr, never a hang
-  // or a pinned frame.
+  // depend on pin state, so an all-pinned (or all-statement-dirty: no-steal)
+  // pool yields nullptr, never a hang or an unevictable frame.
   size_t limit = page_table_.size() * 2;
   for (size_t step = 0; step < limit; ++step) {
     ValuePage* candidate = page_table_[clock_hand_].get();
     clock_hand_ = (clock_hand_ + 1) % page_table_.size();
     if (candidate == nullptr) continue;  // released shell (cap shrink)
     ValuePage& page = *candidate;
-    if (page.is_free() || page.pin_count_ > 0) continue;
+    if (page.is_free() || page.pin_count_ > 0 || StatementDirty(page)) {
+      continue;
+    }
     if (page.referenced_) {
       page.referenced_ = false;  // second chance
       continue;
     }
     return &page;
   }
-  return nullptr;  // every resident page is pinned
+  return nullptr;  // every resident page is pinned (or no-steal protected)
 }
 
 size_t Pager::FlushAll() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (wal_ != nullptr) return CheckpointInternal();
   size_t flushed = 0;
   for (const auto& page : page_table_) {
@@ -637,6 +715,7 @@ size_t Pager::FlushAll() {
 }
 
 void Pager::set_max_resident_pages(size_t cap) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   config_.max_resident_pages = cap;
   if (cap == 0) return;
   EvictDownTo(cap);
@@ -657,6 +736,7 @@ void Pager::set_max_resident_pages(size_t cap) {
 }
 
 void Pager::BeginEpoch() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   epoch_read_.clear();
   epoch_written_.clear();
 }
@@ -690,15 +770,63 @@ void Pager::LogPageMutation(FileId file, FileChain& chain, uint64_t page_index,
   for (uint64_t i = first; i < first + count; ++i) {
     EncodeValue(page.slot(i), &wal_payload_);
   }
-  uint64_t lsn = wal_->Append(WalRecordType::kUpdate, wal_payload_);
+  uint64_t lsn = AppendRecord(WalRecordType::kUpdate, wal_payload_);
   page.page_lsn_ = lsn;
   if (image) ref.fpi_lsn = lsn;
   if (allow_auto_checkpoint) MaybeAutoCheckpoint();
 }
 
 void Pager::LogStructural(WalRecordType type, const std::string& payload) {
-  wal_->Append(type, payload);
+  AppendRecord(type, payload);
   MaybeAutoCheckpoint();
+}
+
+uint64_t Pager::AppendRecord(WalRecordType type, const std::string& payload) {
+  // Lazy bracket open: the first record a bracketed statement logs is
+  // preceded by kTxnBegin, so a statement that logs nothing leaves no trace
+  // in the log at all.
+  if (stmt_depth_ > 0 && !stmt_open_) {
+    stmt_begin_lsn_ = wal_->Append(WalRecordType::kTxnBegin, std::string());
+    stmt_open_ = true;
+  }
+  return wal_->Append(type, payload);
+}
+
+void Pager::BeginStatement() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (wal_ == nullptr || replaying_ || crashed_) return;
+  stmt_depth_ += 1;
+}
+
+uint64_t Pager::EndStatement(bool commit) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (wal_ == nullptr || replaying_ || crashed_) return 0;
+  DS_PAGER_CHECK(stmt_depth_ > 0, "EndStatement without BeginStatement");
+  stmt_depth_ -= 1;
+  if (stmt_depth_ > 0 || !stmt_open_) return 0;
+  // Close the outermost bracket. An abort closes it too: by now the
+  // caller's logged rollback compensations sit inside the bracket, so
+  // replaying it is a net no-op — what matters for recovery is only that
+  // the bracket is *closed* (an open one is discarded wholesale).
+  uint64_t lsn = wal_->Append(
+      commit ? WalRecordType::kTxnCommit : WalRecordType::kTxnAbort,
+      std::string());
+  stmt_open_ = false;
+  stmt_begin_lsn_ = 0;
+  // Spill slots freed inside the bracket were parked on the sentinel; they
+  // recycle once the *bracket* is durable, i.e. past the closing record.
+  for (DeferredFree& f : deferred_frees_) {
+    if (f.lsn == kStatementLsnSentinel) f.lsn = lsn;
+  }
+  // An auto-checkpoint that triggered mid-statement was held back (a
+  // snapshot must not split a bracket across the log rewrite); run it now.
+  if (checkpoint_pending_ && checkpoint_defer_depth_ == 0) {
+    checkpoint_pending_ = false;
+    MaybeAutoCheckpoint();
+  }
+  // The record's *end* boundary: what SyncWalThrough must reach for the
+  // commit to be durable.
+  return lsn + Wal::kRecordHeaderBytes + 1;
 }
 
 void Pager::MaybeAutoCheckpoint() {
@@ -706,9 +834,10 @@ void Pager::MaybeAutoCheckpoint() {
   if (wal_->bytes_since_checkpoint() < config_.wal_auto_checkpoint_bytes) {
     return;
   }
-  if (checkpoint_defer_depth_ > 0) {
-    // Mid-operation (see CheckpointDeferral): latch and run at scope exit,
-    // so a snapshot can never capture a half-applied logical change.
+  if (checkpoint_defer_depth_ > 0 || stmt_depth_ > 0 || stmt_open_) {
+    // Mid-operation (see CheckpointDeferral) or mid-statement: latch and
+    // run at scope exit / bracket close, so a snapshot can never capture a
+    // half-applied logical change or split a statement bracket.
     checkpoint_pending_ = true;
     return;
   }
@@ -718,6 +847,7 @@ void Pager::MaybeAutoCheckpoint() {
 size_t Pager::CheckpointInternal() {
   DS_PAGER_CHECK(wal_ != nullptr && !in_checkpoint_,
                  "checkpoint without a WAL or re-entered");
+  DS_PAGER_CHECK(!stmt_open_, "checkpoint inside an open statement bracket");
   in_checkpoint_ = true;
   // Begin record: the dirty-page table as of checkpoint start. Redo-only
   // replay does not need it (it replays everything since the snapshot), but
@@ -949,6 +1079,12 @@ void Pager::ReplayRecord(const Wal::Record& rec) {
     case WalRecordType::kCheckpointBegin:
     case WalRecordType::kCheckpointEnd:
       return;  // brackets only; redo replay carries the state
+    case WalRecordType::kTxnBegin:
+    case WalRecordType::kTxnCommit:
+    case WalRecordType::kTxnAbort:
+      // Statement markers carry no state of their own; Recover() already
+      // used them to buffer-and-filter torn brackets before replay.
+      return;
     case WalRecordType::kCreateFile: {
       uint64_t id = 0;
       DS_PAGER_CHECK(ReadU64(rec.payload, &pos, &id),
@@ -1005,9 +1141,15 @@ void Pager::ReplayRecord(const Wal::Record& rec) {
 
 uint64_t Pager::LogCatalogRecord(WalRecordType type,
                                  const std::string& payload) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DS_PAGER_CHECK(IsCatalogRecordType(type),
                  "LogCatalogRecord with a non-catalog record type");
   if (wal_ == nullptr || replaying_ || crashed_) return 0;
+  // DDL never rides a statement bracket (it is its own commit point, synced
+  // right below); a DDL record physically inside a bracket would be
+  // discarded with it despite that sync. BeginStatement depth alone is fine
+  // — the bracket only opens with its first AppendRecord.
+  DS_PAGER_CHECK(!stmt_open_, "catalog DDL inside an open statement bracket");
   uint64_t lsn = wal_->Append(type, payload);
   // DDL is a commit point: the schema change (and, by WAL order, every page
   // record before it) survives any crash once this returns.
@@ -1019,6 +1161,7 @@ uint64_t Pager::LogCatalogRecord(WalRecordType type,
 
 void Pager::set_catalog_snapshot_provider(
     std::function<void(std::string*)> provider) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   catalog_provider_ = std::move(provider);
   // The live catalog now owns this state; the recovered copies are spent.
   catalog_blob_.clear();
@@ -1027,6 +1170,7 @@ void Pager::set_catalog_snapshot_provider(
 }
 
 void Pager::DetachCatalogProvider() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!catalog_provider_) return;
   // Capture one last blob so the checkpoints that outlive the catalog layer
   // (notably the destructor's) keep carrying the full catalog forward.
@@ -1037,6 +1181,7 @@ void Pager::DetachCatalogProvider() {
 }
 
 std::vector<FileId> Pager::FileIds() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<FileId> ids;
   ids.reserve(files_.size());
   for (const auto& [id, chain] : files_) {
@@ -1053,13 +1198,41 @@ void Pager::Recover() {
   accounting_ = false;  // replay is physical redo, not workload I/O
   uint64_t records = 0;
   uint64_t first_lsn = 0, last_lsn = 0, last_bytes = 0;
+  // Statement atomicity at replay time: records between kTxnBegin and its
+  // closing kTxnCommit/kTxnAbort are buffered and applied only once the
+  // closing record is seen. A bracket the (already torn-tail-truncated)
+  // log ends inside never committed — it is dropped wholesale, which is the
+  // whole contract: a crash at any byte offset yields exactly the
+  // committed-statement prefix. No physical truncation is needed; recovery
+  // ends on a checkpoint that rewrites the log anyway.
+  std::vector<Wal::Record> bracket;
+  bool in_bracket = false;
   bool opened = wal_->Open([&](const Wal::Record& rec) {
     if (records == 0) first_lsn = rec.lsn;
     last_lsn = rec.lsn;
     last_bytes = Wal::kRecordHeaderBytes + 1 + rec.payload.size();
     records += 1;
-    ReplayRecord(rec);
+    switch (rec.type) {
+      case WalRecordType::kTxnBegin:
+        bracket.clear();
+        in_bracket = true;
+        return;
+      case WalRecordType::kTxnCommit:
+      case WalRecordType::kTxnAbort:
+        for (const Wal::Record& r : bracket) ReplayRecord(r);
+        bracket.clear();
+        in_bracket = false;
+        return;
+      default:
+        break;
+    }
+    if (in_bracket) {
+      bracket.push_back(rec);
+    } else {
+      ReplayRecord(rec);
+    }
   });
+  bracket.clear();  // an unterminated bracket: the torn statement, dropped
   accounting_ = accounting_was;
   replaying_ = false;
   if (!opened) {

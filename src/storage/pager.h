@@ -2,11 +2,14 @@
 #define DATASPREAD_STORAGE_PAGER_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -207,6 +210,27 @@ struct PagerStats {
 /// Accounting can be disabled for timing-focused benchmarks; physical state
 /// (page contents, dirty bits, reference bits, eviction) is maintained
 /// regardless.
+///
+/// Threading (DESIGN.md §7 "Transactions & concurrency"): the pager is safe
+/// under concurrent *readers* (PageCursor scans / slot-API reads) plus one
+/// *writer* thread. A structural latch serializes every operation that
+/// touches pager metadata (chains, the page table, eviction, the WAL append
+/// path); per-frame reader/writer latches protect slot *data*, so cursor
+/// reads proceed without the structural latch while the writer holds a
+/// frame's exclusive latch only for the instants it mutates that page.
+/// Latch order: the structural latch is always taken before a frame latch;
+/// cursors never acquire the structural latch while holding a frame latch
+/// (they release data latches before re-entering the pager). Raw page
+/// access through Pin() bypasses the frame latches and remains
+/// writer-thread-only.
+///
+/// Statements (the transaction manager): BeginStatement()/EndStatement()
+/// — or the StatementScope guard — bracket every record a statement logs
+/// between kTxnBegin and kTxnCommit/kTxnAbort. Recovery applies a bracket
+/// only when its closing record survived, so a crash at any byte offset
+/// yields exactly the committed-statement prefix; pages dirtied inside an
+/// open bracket are exempt from eviction (no-steal) so the spill file never
+/// absorbs uncommitted statement effects.
 class Pager {
  public:
   static constexpr uint64_t kPageBytes = 4096;
@@ -233,7 +257,10 @@ class Pager {
   FileId CreateFile();
   /// Frees every page of `file`. Deallocation is not counted as page writes.
   void DropFile(FileId file);
-  bool HasFile(FileId file) const { return files_.count(file) > 0; }
+  bool HasFile(FileId file) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return files_.count(file) > 0;
+  }
   /// Pages currently backing `file` (resident or evicted).
   size_t FilePages(FileId file) const;
   /// Logical size of `file` in slots (highest written slot + 1, after
@@ -270,18 +297,27 @@ class Pager {
   // ---- Page-granular buffer-pool interface ----------------------------------
 
   /// Pins page `page_index` of `file` (growing the chain or faulting the page
-  /// in as needed) and returns it. Pinned pages are never evicted.
+  /// in as needed) and returns it. Pinned pages are never evicted. The raw
+  /// slot access a pin hands out bypasses the per-frame data latches:
+  /// writer-thread-only under the concurrent-reader contract (readers go
+  /// through PageCursor, whose accesses are latch-protected).
   ValuePage* Pin(FileId file, uint64_t page_index);
   /// Releases a pin; `dirtied` marks the page dirty and records the write.
   void Unpin(ValuePage* page, bool dirtied);
 
   /// Pages currently holding a frame in memory. At most max_resident_pages()
   /// whenever that cap is set and at least one unpinned frame exists.
-  size_t resident_pages() const { return resident_pages_; }
+  size_t resident_pages() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return resident_pages_;
+  }
   /// Resident pages with a non-zero pin count.
   size_t pinned_pages() const;
   /// Resident pages currently classified scan-class (in the scan ring).
-  size_t scan_resident_pages() const { return scan_resident_; }
+  size_t scan_resident_pages() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return scan_resident_;
+  }
   /// True when page `page_index` of `file` currently holds a frame.
   bool IsResident(FileId file, uint64_t page_index) const;
   /// True when that page is resident and scan-class (for tests).
@@ -315,6 +351,32 @@ class Pager {
   /// freeing record just became durable return to circulation). No-op
   /// without a WAL.
   void SyncWal();
+  /// Group-commit barrier: returns once the WAL is durable through `lsn`
+  /// (an *end* boundary, e.g. the value EndStatement returned). Unlike
+  /// SyncWal() this does not hold the structural latch across the fsync, so
+  /// concurrent committers batch onto one barrier (Wal::SyncThrough) while
+  /// readers keep faulting pages. No-op without a WAL or with lsn == 0.
+  void SyncWalThrough(uint64_t lsn);
+
+  // ---- Statement transactions (DESIGN.md §7) --------------------------------
+  //
+  // A statement bracket makes everything logged inside it atomic across
+  // crashes: the first record a bracketed statement appends is preceded by
+  // kTxnBegin, EndStatement closes with kTxnCommit (or kTxnAbort after a
+  // statement-level rollback — the bracket then contains the mutations and
+  // their logged compensations, so replaying it is a net no-op). Recovery
+  // buffers an open bracket and discards it if the log ends before the
+  // closing record. Nesting is flat: only the outermost EndStatement emits
+  // the closing record, so a Table DML inside a Database statement rides
+  // the statement's bracket. A statement that logs nothing emits no bracket
+  // at all. No-ops on a non-durable pager. Prefer StatementScope.
+
+  void BeginStatement();
+  /// Closes the outermost bracket with kTxnCommit (`commit`) or kTxnAbort.
+  /// Returns the WAL end boundary to pass to SyncWalThrough for durable
+  /// commit semantics, or 0 when nothing was logged (nothing to sync).
+  uint64_t EndStatement(bool commit);
+
   /// True when this pager runs in durable mode (a WAL is configured). The
   /// catalog layer keys its own persistence on this: side files, DDL
   /// records, and file retention only exist for durable pools.
@@ -410,8 +472,14 @@ class Pager {
   /// Starts a fresh measurement window for the distinct-page counters.
   void BeginEpoch();
   /// Distinct pages read/written since BeginEpoch().
-  size_t EpochPagesRead() const { return epoch_read_.size(); }
-  size_t EpochPagesWritten() const { return epoch_written_.size(); }
+  size_t EpochPagesRead() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return epoch_read_.size();
+  }
+  size_t EpochPagesWritten() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return epoch_written_.size();
+  }
 
   /// Lifetime counters, including the spill/WAL-derived fields
   /// (spill_dead_bytes, wal_*) assembled from the backends at call time —
@@ -422,8 +490,12 @@ class Pager {
   /// disable it. Page contents, dirty/reference bits, and eviction are
   /// unaffected (faults/evictions/spill bytes are physical events and are
   /// always counted).
-  void set_accounting_enabled(bool enabled) { accounting_ = enabled; }
-  bool accounting_enabled() const { return accounting_; }
+  void set_accounting_enabled(bool enabled) {
+    accounting_.store(enabled, std::memory_order_relaxed);
+  }
+  bool accounting_enabled() const {
+    return accounting_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class PageCursor;
@@ -563,6 +635,22 @@ class Pager {
 
   void RecordRead(FileId file, uint64_t slot, ValuePage& page);
   void RecordWrite(FileId file, uint64_t slot, ValuePage& page);
+  /// Records one distinct-page epoch hit (guarded by stats_mu_).
+  void NoteEpochRead(FileId file, uint64_t page_index);
+  void NoteEpochWrite(FileId file, uint64_t page_index);
+
+  /// True when `page` was dirtied inside the currently open statement
+  /// bracket. Such pages are no-steal: evicting one would write uncommitted
+  /// statement effects over a spill base that recovery may still need if
+  /// the bracket is discarded (its first post-checkpoint image lives inside
+  /// the bracket). Victim selection skips them; the pool overshoots like
+  /// the all-pinned case until the bracket closes.
+  bool StatementDirty(const ValuePage& page) const {
+    return stmt_open_ && page.dirty_ && page.page_lsn_ >= stmt_begin_lsn_;
+  }
+  /// Grows frame_latches_ alongside page_table_ (grow-only: latches of
+  /// released shells stay allocated so no reader ever holds a dead latch).
+  void EnsureFrameLatches();
 
   // ---- WAL integration (all no-ops in scratch mode) -------------------------
 
@@ -581,6 +669,11 @@ class Pager {
                        bool allow_auto_checkpoint = true);
   /// Appends a structural record (create/drop/truncate/grow).
   void LogStructural(WalRecordType type, const std::string& payload);
+  /// The one append path for every record that belongs to the current
+  /// statement (page redo + structural). Lazily opens the statement bracket
+  /// (kTxnBegin) before the first such record; checkpoint records and
+  /// catalog DDL bypass this on purpose — they are their own commit points.
+  uint64_t AppendRecord(WalRecordType type, const std::string& payload);
   void MaybeAutoCheckpoint();
   /// The fuzzy checkpoint behind FlushAll()/destruction in durable mode.
   size_t CheckpointInternal();
@@ -598,11 +691,36 @@ class Pager {
   /// for pages that never reached the spill.
   ValuePage& MountEmpty(FileId file, FileChain& chain, uint64_t page_index);
 
+  /// Freeing-record LSN placeholder for spill slots freed inside an open
+  /// statement bracket: rewritten to the closing record's LSN at
+  /// EndStatement, so the slots recycle only once the *bracket* is durable
+  /// (a discarded bracket must leave every base it referenced untouched).
+  static constexpr uint64_t kStatementLsnSentinel = ~0ull;
+
   PagerConfig config_;
   uint64_t next_file_id_ = 1;
   std::unordered_map<FileId, FileChain> files_;
   std::vector<std::unique_ptr<ValuePage>> page_table_;
   std::vector<PageId> free_frames_;
+  /// The structural latch: serializes every metadata operation (see the
+  /// class comment). Recursive because replay and internal paths re-enter
+  /// public operations (DropFile/Truncate from ReplayRecord, checkpoint
+  /// from mutation paths).
+  mutable std::recursive_mutex mu_;
+  /// Leaf lock for the epoch sets (cursors record distinct-page hits
+  /// without the structural latch). Never held while acquiring any other
+  /// lock.
+  mutable std::mutex stats_mu_;
+  /// Per-frame data latches, parallel to page_table_. A deque for stable
+  /// addresses; grow-only (never shrunk on cap shrink) so an index is
+  /// always valid. Readers hold shared, the writer exclusive — only while
+  /// holding the structural latch, so reader-held latches are the only
+  /// thing a writer ever waits on.
+  mutable std::deque<std::shared_mutex> frame_latches_;
+  // Statement bracket state (all under mu_).
+  int stmt_depth_ = 0;          // BeginStatement nesting
+  bool stmt_open_ = false;      // kTxnBegin appended, closing record pending
+  uint64_t stmt_begin_lsn_ = 0; // LSN of the open bracket's kTxnBegin
   std::unique_ptr<SpillFile> spill_;  // created on first eviction/checkpoint
   std::unique_ptr<Wal> wal_;          // durable mode only
   uint64_t last_checkpoint_lsn_ = 0;
@@ -631,17 +749,22 @@ class Pager {
   // Scan-resistance state. mount_sequential_ is latched by every access-path
   // entry (slot APIs via NoteSlotAccess, cursors via their own streak,
   // Pin/Truncate force it false) and consumed by FaultIn/EnsureCapacity when
-  // they mount pages; the pager is single-threaded (DESIGN.md §7), so the
-  // latch never crosses calls.
+  // they mount pages; every access path holds the structural latch end to
+  // end, so the flag never crosses a latch release.
   bool mount_sequential_ = false;
   bool in_readahead_ = false;
   std::deque<ScanEntry> scan_fifo_;
   size_t scan_resident_ = 0;
 
-  bool accounting_ = true;
+  std::atomic<bool> accounting_{true};
+  /// Counters cursors bump without the structural latch; everything else in
+  /// stats_ is mutated under mu_ only. stats() assembles the full picture.
+  std::atomic<uint64_t> slot_reads_{0};
+  std::atomic<uint64_t> slot_writes_{0};
+  std::atomic<uint64_t> pins_{0};
   PagerStats stats_;
-  std::unordered_set<PageKey, PageKeyHash> epoch_read_;
-  std::unordered_set<PageKey, PageKeyHash> epoch_written_;
+  std::unordered_set<PageKey, PageKeyHash> epoch_read_;    // under stats_mu_
+  std::unordered_set<PageKey, PageKeyHash> epoch_written_;  // under stats_mu_
 };
 
 /// Scope guard that holds off auto-checkpoints while a multi-record logical
@@ -656,9 +779,11 @@ class Pager {
 class CheckpointDeferral {
  public:
   explicit CheckpointDeferral(Pager& pager) : pager_(pager) {
+    std::lock_guard<std::recursive_mutex> lock(pager_.mu_);
     pager_.checkpoint_defer_depth_ += 1;
   }
   ~CheckpointDeferral() {
+    std::lock_guard<std::recursive_mutex> lock(pager_.mu_);
     pager_.checkpoint_defer_depth_ -= 1;
     if (pager_.checkpoint_defer_depth_ == 0 && pager_.checkpoint_pending_) {
       pager_.checkpoint_pending_ = false;
@@ -672,6 +797,32 @@ class CheckpointDeferral {
 
  private:
   Pager& pager_;
+};
+
+/// RAII statement bracket (see Pager::BeginStatement). Destruction without
+/// an explicit Commit() closes the bracket with kTxnAbort — the safe default
+/// on every error path, because by then the caller's rollback compensations
+/// are inside the bracket and replaying it is a net no-op. Commit() closes
+/// with kTxnCommit and returns the WAL end boundary for SyncWalThrough (0
+/// when the statement logged nothing). Cheap no-op on non-durable pagers.
+class StatementScope {
+ public:
+  explicit StatementScope(Pager& pager) : pager_(&pager) {
+    pager_->BeginStatement();
+  }
+  ~StatementScope() {
+    if (pager_ != nullptr) pager_->EndStatement(/*commit=*/false);
+  }
+  uint64_t Commit() {
+    uint64_t end = pager_->EndStatement(/*commit=*/true);
+    pager_ = nullptr;
+    return end;
+  }
+  StatementScope(const StatementScope&) = delete;
+  StatementScope& operator=(const StatementScope&) = delete;
+
+ private:
+  Pager* pager_;
 };
 
 }  // namespace storage

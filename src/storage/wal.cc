@@ -61,9 +61,15 @@ void FrameRecord(uint64_t lsn, WalRecordType type, const std::string& payload,
 Wal::Wal(std::string path) : path_(std::move(path)) {}
 
 Wal::~Wal() {
+  // Destruction is single-threaded by contract (the pager joins/outlives
+  // every committer before tearing the WAL down); no locking needed.
   if (crashed_) return;
   if (!pending_.empty()) Drain();
   if (file_ != nullptr) std::fclose(file_);
+}
+
+void Wal::WaitForSyncIdle(std::unique_lock<std::mutex>& lock) {
+  while (sync_active_) cv_.wait(lock);
 }
 
 void Wal::FsyncDirOf(const std::string& path) {
@@ -150,11 +156,11 @@ bool Wal::Open(const std::function<void(const Record&)>& replay) {
   DS_WAL_CHECK(::fsync(::fileno(f)) == 0, "WAL recovery fsync");
   std::fclose(f);
 
-  next_lsn_ = lsn;
-  durable_lsn_ = lsn;
+  next_lsn_.store(lsn, std::memory_order_release);
+  durable_lsn_.store(lsn, std::memory_order_release);
   // The recovered log counts as zero fresh redo: the pager re-checkpoints
   // right after replay, which resets this properly for the new epoch.
-  redo_start_lsn_ = lsn;
+  redo_start_lsn_.store(lsn, std::memory_order_release);
   return true;
 }
 
@@ -167,14 +173,15 @@ std::FILE* Wal::EnsureAppendHandle() {
 }
 
 uint64_t Wal::Append(WalRecordType type, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   DS_WAL_CHECK(!crashed_, "appending to a crashed WAL");
-  uint64_t lsn = next_lsn_;
+  uint64_t lsn = next_lsn_.load(std::memory_order_relaxed);
   size_t before = pending_.size();
   FrameRecord(lsn, type, payload, &pending_);
   size_t framed = pending_.size() - before;
-  next_lsn_ += framed;
-  records_appended_ += 1;
-  bytes_appended_ += framed;
+  next_lsn_.store(lsn + framed, std::memory_order_release);
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
+  bytes_appended_.fetch_add(framed, std::memory_order_relaxed);
   if (pending_.size() >= kDrainThresholdBytes) Drain();
   return lsn;
 }
@@ -191,26 +198,54 @@ void Wal::Drain() {
   pending_.clear();
 }
 
-void Wal::Sync() {
-  Drain();
-  if (durable_lsn_ == next_lsn_) return;  // nothing new since the last sync
-  std::FILE* f = EnsureAppendHandle();
-  DS_WAL_CHECK(::fsync(::fileno(f)) == 0, "WAL fsync");
-  durable_lsn_ = next_lsn_;
-  syncs_ += 1;
+void Wal::Sync() { SyncThrough(next_lsn()); }
+
+void Wal::SyncThrough(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  DS_WAL_CHECK(!crashed_, "syncing a crashed WAL");
+  while (durable_lsn_.load(std::memory_order_relaxed) < lsn) {
+    if (sync_active_) {
+      // A leader's fsync is in flight. It may not cover records appended
+      // after it drained, so park and re-check rather than assume.
+      cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: drain everything appended so far (by anyone) and
+    // fsync once for the whole group. The fsync runs outside the mutex so
+    // appends — and the next wave of committers — keep flowing meanwhile.
+    Drain();
+    uint64_t target = next_lsn_.load(std::memory_order_relaxed);
+    int fd = ::fileno(EnsureAppendHandle());
+    sync_active_ = true;
+    lock.unlock();
+    DS_WAL_CHECK(::fsync(fd) == 0, "WAL fsync");
+    lock.lock();
+    sync_active_ = false;
+    if (target > durable_lsn_.load(std::memory_order_relaxed)) {
+      durable_lsn_.store(target, std::memory_order_release);
+    }
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
 }
 
 void Wal::EnsureDurable(uint64_t lsn) {
   // Strict: `lsn` is a record's *start* offset and durable_lsn_ the durable
   // *end* boundary, so a record starting exactly at the boundary is the
   // first not-yet-durable one. (`lsn == 0` with nothing synced falls out
-  // naturally: page_lsn 0 means "never mutated under this WAL".)
-  if (lsn < durable_lsn_ || lsn == 0) return;
-  Sync();
+  // naturally: page_lsn 0 means "never mutated under this WAL".) Durable
+  // boundaries are record-aligned, so any boundary past `lsn` covers the
+  // whole record starting there.
+  if (lsn == 0 || lsn < durable_lsn()) return;
+  SyncThrough(lsn + 1);
 }
 
 uint64_t Wal::RewriteWithCheckpoint(const std::string& snapshot_payload) {
+  std::unique_lock<std::mutex> lock(mu_);
   DS_WAL_CHECK(!crashed_, "checkpointing a crashed WAL");
+  // A group-commit leader may be mid-fsync on the current file descriptor;
+  // wait it out before closing the handle under it.
+  WaitForSyncIdle(lock);
   // Anything still buffered describes state the snapshot already includes,
   // but the old log must stay self-consistent in case the rename never
   // happens — drain it so the swap-loser is a complete log, not a torn one.
@@ -220,7 +255,7 @@ uint64_t Wal::RewriteWithCheckpoint(const std::string& snapshot_payload) {
     file_ = nullptr;
   }
 
-  uint64_t snapshot_lsn = next_lsn_;
+  uint64_t snapshot_lsn = next_lsn_.load(std::memory_order_relaxed);
   std::string out;
   BuildFileHeader(snapshot_lsn, &out);
   FrameRecord(snapshot_lsn, WalRecordType::kCheckpoint, snapshot_payload,
@@ -243,17 +278,21 @@ uint64_t Wal::RewriteWithCheckpoint(const std::string& snapshot_payload) {
   FsyncDirOf(path_);
 
   base_lsn_ = snapshot_lsn;
-  checkpoint_lsn_ = snapshot_lsn;
-  next_lsn_ = snapshot_lsn + (out.size() - kFileHeaderBytes);
-  durable_lsn_ = next_lsn_;
-  redo_start_lsn_ = next_lsn_;
-  records_appended_ += 2;
-  bytes_appended_ += out.size() - kFileHeaderBytes;
-  syncs_ += 1;
+  checkpoint_lsn_.store(snapshot_lsn, std::memory_order_release);
+  uint64_t new_end = snapshot_lsn + (out.size() - kFileHeaderBytes);
+  next_lsn_.store(new_end, std::memory_order_release);
+  durable_lsn_.store(new_end, std::memory_order_release);
+  redo_start_lsn_.store(new_end, std::memory_order_release);
+  records_appended_.fetch_add(2, std::memory_order_relaxed);
+  bytes_appended_.fetch_add(out.size() - kFileHeaderBytes,
+                            std::memory_order_relaxed);
+  syncs_.fetch_add(1, std::memory_order_relaxed);
   return snapshot_lsn;
 }
 
 void Wal::CrashForTesting(bool keep_os_buffered) {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForSyncIdle(lock);
   if (keep_os_buffered) {
     Drain();
   } else {

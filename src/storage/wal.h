@@ -1,9 +1,12 @@
 #ifndef DATASPREAD_STORAGE_WAL_H_
 #define DATASPREAD_STORAGE_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 
 namespace dataspread {
@@ -61,6 +64,27 @@ enum class WalRecordType : uint8_t {
   /// Full post-change descriptor after HybridStore attribute groups were
   /// merged (the group→file bindings changed wholesale).
   kReorganize = 14,
+
+  // ---- Statement transaction brackets (DESIGN.md §6c) -----------------------
+  //
+  // The pager wraps every logged statement in a begin/commit bracket
+  // (Pager::BeginStatement/EndStatement). Recovery buffers the records of an
+  // open bracket and applies them only when the closing record is reached:
+  // a log that ends inside a bracket replays to the state *before* that
+  // statement — statement-level atomicity across crashes. Records outside
+  // any bracket (checkpoints, DDL, pre-PR-7 logs) replay immediately, so
+  // old logs stay readable.
+
+  /// Opens a statement bracket. Empty payload; appended lazily before the
+  /// first record a bracketed statement logs.
+  kTxnBegin = 15,
+  /// Closes a bracket: the statement committed; replay applies its records.
+  kTxnCommit = 16,
+  /// Closes a bracket after a statement-level rollback. The bracket contains
+  /// the statement's mutations *and* their logged compensations, so replay
+  /// applies it like a commit (net no-op) — and a bracket torn before this
+  /// record is discarded, which reaches the same state.
+  kTxnAbort = 17,
 };
 
 /// True for the record types the pager treats as opaque catalog DDL.
@@ -103,7 +127,16 @@ inline bool IsCatalogRecordType(WalRecordType t) {
 /// Recovery scan: `Open()` reads the header, replays every record whose
 /// length, LSN, and CRC check out, and stops at the first torn or corrupt
 /// record — the tail is physically truncated away and appending resumes at
-/// the valid end. The Wal is single-threaded, like the pager it serves.
+/// the valid end.
+///
+/// Threading: Append/Sync/SyncThrough/EnsureDurable are safe to call from
+/// any thread. Sync is *group commit*: concurrent committers park on a
+/// condition variable while one leader drains the buffer and fsyncs once
+/// for the whole group — the fsync runs outside the mutex, so appends (and
+/// later committers) proceed while the leader's barrier is in flight.
+/// Open() and RewriteWithCheckpoint() still assume a single caller (the
+/// pager runs them under its structural latch); RewriteWithCheckpoint
+/// waits out any in-flight leader fsync before swapping files.
 class Wal {
  public:
   /// One decoded log record as handed to Open()'s replay callback. `lsn` is
@@ -144,6 +177,12 @@ class Wal {
 
   /// Drains the buffer and fsyncs: everything appended so far is durable.
   void Sync();
+  /// Group-commit barrier: returns once `durable_lsn() >= lsn` (an *end*
+  /// boundary — pass next_lsn() as of the last record to cover). If a
+  /// leader's fsync is already in flight, parks on the condition variable
+  /// and re-checks on wake; otherwise becomes the leader, drains everything
+  /// appended so far, and fsyncs once for every parked committer.
+  void SyncThrough(uint64_t lsn);
   /// The WAL rule choke point: no-op when `lsn` is already durable,
   /// otherwise Sync(). Called by the pager before every page write-back.
   void EnsureDurable(uint64_t lsn);
@@ -154,24 +193,32 @@ class Wal {
   uint64_t RewriteWithCheckpoint(const std::string& snapshot_payload);
 
   /// Next LSN to be assigned (== logical end of the stream).
-  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
   /// Highest LSN guaranteed on stable storage (fsynced).
-  uint64_t durable_lsn() const { return durable_lsn_; }
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
   /// LSN of the current checkpoint snapshot record (start of the live log).
-  uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+  uint64_t checkpoint_lsn() const {
+    return checkpoint_lsn_.load(std::memory_order_acquire);
+  }
   /// Bytes of redo currently in the log past the checkpoint snapshot and
   /// its end bracket — the quantity auto-checkpointing triggers on, and the
   /// bound on replay work. Excludes the snapshot records themselves: a
   /// snapshot that outgrows the auto-checkpoint threshold must not make
   /// every subsequent append re-checkpoint (checkpoint storm).
   uint64_t bytes_since_checkpoint() const {
-    return next_lsn_ - redo_start_lsn_;
+    return next_lsn() - redo_start_lsn_.load(std::memory_order_acquire);
   }
 
   const std::string& path() const { return path_; }
-  uint64_t records_appended() const { return records_appended_; }
-  uint64_t bytes_appended() const { return bytes_appended_; }
-  uint64_t syncs() const { return syncs_; }
+  uint64_t records_appended() const {
+    return records_appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_appended() const {
+    return bytes_appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
 
   /// Crash simulation: throws away the not-yet-drained buffer tail and
   /// closes the file handle without flushing anything further — exactly
@@ -183,22 +230,35 @@ class Wal {
  private:
   std::FILE* EnsureAppendHandle();
   /// fwrite+fflush the pending buffer (record-aligned) without fsync.
+  /// Caller holds mu_.
   void Drain();
+  /// Blocks until no leader fsync is in flight. Caller holds `lock`.
+  void WaitForSyncIdle(std::unique_lock<std::mutex>& lock);
   static void FsyncDirOf(const std::string& path);
 
   std::string path_;
   std::FILE* file_ = nullptr;  // append handle ("ab"); null until first use
   std::string pending_;        // whole records not yet handed to the OS
   uint64_t base_lsn_ = 0;      // LSN of the first record in the file
-  uint64_t next_lsn_ = 0;
-  uint64_t durable_lsn_ = 0;
-  uint64_t checkpoint_lsn_ = 0;
-  uint64_t redo_start_lsn_ = 0;  // first LSN past the checkpoint records
+
+  /// Guards file_/pending_/crashed_ and writes to the LSN counters. The
+  /// counters themselves are atomics so hot accessors (durable_lsn, the
+  /// pager's deferred-free drain) read them without taking the mutex.
+  std::mutex mu_;
+  /// Group commit: followers park here while `sync_active_` (one leader's
+  /// fsync runs outside mu_); the leader broadcasts on completion.
+  std::condition_variable cv_;
+  bool sync_active_ = false;
+
+  std::atomic<uint64_t> next_lsn_{0};
+  std::atomic<uint64_t> durable_lsn_{0};
+  std::atomic<uint64_t> checkpoint_lsn_{0};
+  std::atomic<uint64_t> redo_start_lsn_{0};  // first LSN past the checkpoint
   bool crashed_ = false;
 
-  uint64_t records_appended_ = 0;
-  uint64_t bytes_appended_ = 0;
-  uint64_t syncs_ = 0;
+  std::atomic<uint64_t> records_appended_{0};
+  std::atomic<uint64_t> bytes_appended_{0};
+  std::atomic<uint64_t> syncs_{0};
 
   /// Pending buffer drains to the OS past this size even without a Sync —
   /// keeps memory bounded while preserving record alignment of file writes.

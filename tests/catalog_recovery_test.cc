@@ -12,8 +12,9 @@
 //   - the crash → recover → continue → crash shadow property at the DDL
 //     level (mirroring wal_test's WalShadowTest one layer up),
 //   - torn-tail consistency: truncating the log at arbitrary byte offsets
-//     must always recover a *structurally consistent* catalog (statement
-//     atomicity is the transaction manager's job — see docs/DURABILITY.md),
+//     must always recover a *structurally consistent* catalog, and — since
+//     WAL statement brackets (DESIGN.md §7) — exactly a committed-statement
+//     prefix on every model (CommittedPrefixTest),
 //   - Close() semantics and the deferred-free regression (structural ops no
 //     longer fsync per spilled-slot free).
 #include <gtest/gtest.h>
@@ -449,6 +450,7 @@ TEST_P(CatalogShadowTest, RandomDdlAndDmlSurviveRepeatedCrashes) {
     // Crash mid-life (statement boundary; the torn-tail fuzz below covers
     // intra-statement cuts), recover, verify, continue on the same handle.
     durable->pager().CrashForTesting();
+    durable.reset();  // the crash "kills the process": the pair lock drops
     durable = std::make_unique<Database>(pair.Options(/*cap=*/6));
     ExpectSnapshotsEqual(Snapshot(*durable), Snapshot(shadow),
                          "round " + std::to_string(round));
@@ -681,6 +683,110 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(StorageModelName(std::get<0>(info.param))) +
              (std::get<1>(info.param) ? "_delete" : "_insert");
     });
+
+// ---------------------------------------------------------------------------
+// Statement brackets: cuts recover exactly the committed-statement prefix
+// ---------------------------------------------------------------------------
+
+/// TornStatementTest above still tolerates RCV's historical one-row partial
+/// window; with WAL statement brackets that window is gone — recovery
+/// discards a torn bracket wholesale, so *every* model recovers exactly a
+/// committed-statement prefix, content-exact, with no reliance on Attach's
+/// file-signature reconciliation (DESIGN.md §7). Three DML statements follow
+/// a durability barrier; every byte cut must land on exactly one of the four
+/// statement-boundary states, monotone in the cut point.
+class CommittedPrefixTest : public ::testing::TestWithParam<StorageModel> {};
+
+TEST_P(CommittedPrefixTest, CutsRecoverExactlyACommittedStatementPrefix) {
+  StorageModel model = GetParam();
+  std::string tag = std::string("committed_prefix_") + StorageModelName(model);
+  DurablePair pair(tag);
+  DurablePair scratch(tag + "_scratch");
+  auto rows_of = [](Table* t) {
+    std::vector<Row> rows;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      rows.push_back(t->GetRowAt(r).ValueOrDie());
+    }
+    return rows;
+  };
+  auto match = [](const std::vector<Row>& got, const std::vector<Row>& want) {
+    if (got.size() != want.size()) return false;
+    for (size_t r = 0; r < got.size(); ++r) {
+      if (got[r].size() != want[r].size()) return false;
+      for (size_t c = 0; c < got[r].size(); ++c) {
+        if (!(got[r][c] == want[r][c])) return false;
+      }
+    }
+    return true;
+  };
+  std::vector<std::vector<Row>> states;  // after the barrier + each statement
+  size_t barrier_bytes = 0;
+  {
+    Database db(pair.Options(/*cap=*/2));
+    Table* t = db.catalog().CreateTable("t", ThreeColumnSchema(), model)
+                   .ValueOrDie();
+    for (size_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(t->AppendRow(Row{Value::Int(static_cast<int64_t>(i)),
+                                   (i % 5 == 0) ? Value::Null()
+                                                : Value::Text(std::to_string(i)),
+                                   Value::Real(i / 4.0)})
+                      .ok());
+    }
+    // Middle inserts so display order differs from storage order — a repair
+    // degrading to storage order cannot fake a boundary state.
+    ASSERT_TRUE(t->InsertRowAt(0, Row{Value::Int(100), Value::Text("head"),
+                                      Value::Real(0.5)})
+                    .ok());
+    ASSERT_TRUE(t->InsertRowAt(9, Row{Value::Int(101), Value::Null(),
+                                      Value::Real(1.5)})
+                    .ok());
+    db.pager().SyncWal();  // the durability barrier
+    barrier_bytes = ReadFileBytes(pair.wal).size();
+    states.push_back(rows_of(t));
+    ASSERT_TRUE(t->InsertRowAt(5, Row{Value::Int(-5), Value::Text("mid"),
+                                      Value::Null()})
+                    .ok());
+    states.push_back(rows_of(t));
+    ASSERT_TRUE(t->DeleteRowAt(8).ok());
+    states.push_back(rows_of(t));
+    ASSERT_TRUE(t->UpdateAt(2, 1, Value::Text("patched")).ok());
+    states.push_back(rows_of(t));
+    db.pager().CrashForTesting();
+  }
+  std::string wal_bytes = ReadFileBytes(pair.wal);
+  std::string spill_bytes = ReadFileBytesIfAny(pair.spill);
+  ASSERT_GT(wal_bytes.size(), barrier_bytes);
+
+  size_t last_matched = 0;
+  for (size_t len = barrier_bytes; len <= wal_bytes.size(); ++len) {
+    WriteFileBytes(scratch.wal, wal_bytes.substr(0, len));
+    WriteFileBytes(scratch.spill, spill_bytes);
+    Database recovered(scratch.Options(/*cap=*/4));
+    Table* t = recovered.catalog().GetTable("t").ValueOrDie();
+    std::vector<Row> got = rows_of(t);
+    size_t matched = states.size();
+    for (size_t k = last_matched; k < states.size(); ++k) {
+      if (match(got, states[k])) {
+        matched = k;
+        break;
+      }
+    }
+    ASSERT_LT(matched, states.size())
+        << "cut at byte " << len << " (" << StorageModelName(model)
+        << "): recovered " << got.size()
+        << " rows matching no committed-statement boundary";
+    last_matched = matched;
+    recovered.pager().CrashForTesting();  // keep scratch for the next cut
+  }
+  EXPECT_EQ(last_matched, states.size() - 1)
+      << "the full log must recover all three statements";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CommittedPrefixTest,
+                         ::testing::ValuesIn(kAllModels),
+                         [](const auto& info) {
+                           return std::string(StorageModelName(info.param));
+                         });
 
 // ---------------------------------------------------------------------------
 // Deferred-free regression: structural ops no longer fsync per free

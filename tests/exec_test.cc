@@ -2,6 +2,7 @@
 
 #include "db/database.h"
 #include "exec/expr_eval.h"
+#include "exec/operators.h"
 
 namespace dataspread {
 namespace {
@@ -123,6 +124,42 @@ TEST_F(ExecTest, AggregateOverEmptyInput) {
   // Grouped aggregate over empty input: zero groups.
   rs = Run("SELECT dept, COUNT(*) FROM emp WHERE id > 100 GROUP BY dept");
   EXPECT_EQ(rs.num_rows(), 0u);
+}
+
+TEST(JoinBatchCapacityTest, CrossJoinNeverOvershootsBatchCapacity) {
+  // Tiny batch, high fan-out: 3 left rows × 10 right rows through a
+  // 4-tuple batch. The regression: resuming a new left row into a batch
+  // already holding rows from the previous one used to size its emit chunk
+  // from the full capacity, overshooting the batch (capacity was "a target,
+  // not a limit"). Batches must now never exceed capacity.
+  auto left = std::make_shared<std::vector<Row>>();
+  for (int i = 0; i < 3; ++i) left->push_back(Row{Value::Int(i)});
+  auto right = std::make_shared<std::vector<Row>>();
+  for (int j = 0; j < 10; ++j) right->push_back(Row{Value::Int(100 + j)});
+  NestedLoopJoinOp join(std::make_unique<RowsScanOp>(left),
+                        std::make_unique<RowsScanOp>(right),
+                        /*on=*/nullptr, /*left_outer=*/false,
+                        /*right_width=*/1);
+  ASSERT_TRUE(join.Open().ok());
+  RowBatch out(4);
+  std::vector<Row> got;
+  while (true) {
+    auto more = join.Next(&out);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    EXPECT_LE(out.size(), out.capacity()) << "batch overshot its capacity";
+    std::vector<uint32_t> scratch;
+    for (uint32_t p : out.ActivePositions(&scratch)) {
+      got.push_back(out.MaterializeRow(p));
+    }
+  }
+  ASSERT_EQ(got.size(), 30u);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_EQ(got[static_cast<size_t>(i) * 10 + j][0], Value::Int(i));
+      EXPECT_EQ(got[static_cast<size_t>(i) * 10 + j][1], Value::Int(100 + j));
+    }
+  }
 }
 
 TEST_F(ExecTest, InnerJoinHashPath) {

@@ -436,6 +436,102 @@ TEST(WalTornTailFuzzTest, EveryByteTruncationRecoversACleanOpPrefix) {
 }
 
 // ---------------------------------------------------------------------------
+// Statement brackets: byte cuts recover a committed-STATEMENT prefix
+// ---------------------------------------------------------------------------
+
+TEST(StatementBracketFuzzTest, EveryByteTruncationRecoversACommittedPrefix) {
+  // Like the op-prefix fuzz above, but the workload is grouped into
+  // multi-record statement brackets (kTxnBegin ... kTxnCommit/kTxnAbort).
+  // Recovery must land on a *statement* boundary: a cut anywhere inside a
+  // bracket — including inside its closing record — discards the bracket
+  // wholesale, and an aborted bracket is a net no-op at any cut.
+  DurablePair pair("stmt_fuzz");
+  DurablePair scratch("stmt_fuzz_scratch");
+  std::vector<FileId> ids;
+  std::vector<VisibleState> boundaries;  // expected state after statement k
+  {
+    Pager pager(pair.Config(/*cap=*/2));
+    Pager shadow;  // unbounded twin, advanced only by committed statements
+    boundaries.push_back(CaptureState(shadow, ids));
+    ids.push_back(pager.CreateFile());
+    (void)shadow.CreateFile();
+    boundaries.push_back(CaptureState(shadow, ids));
+    ids.push_back(pager.CreateFile());
+    (void)shadow.CreateFile();
+    boundaries.push_back(CaptureState(shadow, ids));
+    std::mt19937 rng(90210);
+    for (int stmt = 0; stmt < 24; ++stmt) {
+      FileId f = ids[rng() % ids.size()];
+      bool abort = stmt % 5 == 4 && pager.FileSize(f) > 0;
+      pager.BeginStatement();
+      if (abort) {
+        // Overwrite existing slots, then log the compensations and close
+        // with kTxnAbort — the bracket replays as a net no-op, so the
+        // shadow (and every boundary) never sees it.
+        std::vector<std::pair<uint64_t, Value>> undo;
+        for (int i = 0; i < 3; ++i) {
+          uint64_t slot = rng() % pager.FileSize(f);
+          undo.emplace_back(slot, pager.Read(f, slot));
+          pager.Write(f, slot, ProbeValue(rng()));
+        }
+        for (size_t i = undo.size(); i-- > 0;) {
+          pager.Write(f, undo[i].first, undo[i].second);
+        }
+        pager.EndStatement(/*commit=*/false);
+      } else {
+        int ops = 2 + static_cast<int>(rng() % 4);
+        for (int i = 0; i < ops; ++i) {
+          if (rng() % 8 == 0 && pager.FileSize(f) > 0) {
+            uint64_t keep = rng() % (pager.FileSize(f) + 1);
+            pager.Truncate(f, keep);
+            shadow.Truncate(f, keep);
+          } else {
+            uint64_t slot = rng() % (3 * kSlots);
+            Value v = ProbeValue(rng());
+            pager.Write(f, slot, v);
+            shadow.Write(f, slot, v);
+          }
+        }
+        pager.EndStatement(/*commit=*/true);
+      }
+      boundaries.push_back(CaptureState(shadow, ids));
+    }
+    pager.CrashForTesting();  // drains: the on-disk log is the full stream
+  }
+
+  std::string wal_bytes = ReadFileBytes(pair.wal);
+  std::string spill_bytes = ReadFileBytes(pair.spill);
+  ASSERT_GT(wal_bytes.size(), Wal::kFileHeaderBytes);
+  size_t safe_start = Wal::kFileHeaderBytes;
+  for (int i = 0; i < 2; ++i) {
+    uint32_t body_len;
+    std::memcpy(&body_len, wal_bytes.data() + safe_start, sizeof body_len);
+    safe_start += Wal::kRecordHeaderBytes + body_len;
+  }
+
+  size_t last_matched = 0;
+  for (size_t len = safe_start; len <= wal_bytes.size(); ++len) {
+    WriteFileBytes(scratch.wal, wal_bytes.substr(0, len));
+    WriteFileBytes(scratch.spill, spill_bytes);
+    Pager recovered(scratch.Config(/*cap=*/2));
+    VisibleState got = CaptureState(recovered, ids);
+    size_t matched = boundaries.size();
+    for (size_t k = last_matched; k < boundaries.size(); ++k) {
+      if (got == boundaries[k]) {
+        matched = k;
+        break;
+      }
+    }
+    ASSERT_LT(matched, boundaries.size())
+        << "state after truncating the WAL at byte " << len
+        << " matches no committed-statement boundary";
+    last_matched = matched;
+  }
+  EXPECT_EQ(last_matched, boundaries.size() - 1)
+      << "the full log must recover the full committed workload";
+}
+
+// ---------------------------------------------------------------------------
 // Full-page images defeat torn spill write-backs
 // ---------------------------------------------------------------------------
 
