@@ -1,9 +1,11 @@
 // Execution-pipeline A/B: the vectorized batch-at-a-time pipeline against
-// the row-at-a-time Volcano baseline, over identical plans and data.
-// Series: scan→filter→aggregate and the Figure-2a join shape at 1k/10k/100k
-// rows, each in row and batch mode, unbounded and bounded (64-frame) pools.
-// The recorded op_ms of the "/row/" and "/batch/" runs back the ci/check.sh
-// exec perf gate (batch must hold a ≥2x advantage at 100k rows).
+// the row-at-a-time Volcano baseline and the morsel-parallel leaf, over
+// identical plans and data. Series: scan→filter→aggregate (row vs batch vs
+// parallel at 1/2/4 threads) and the Figure-2a join shape at 1k/10k/100k
+// rows, unbounded and bounded (64-frame) pools. The recorded op_ms of the
+// "/row/", "/batch/" and "/parN/" runs back the ci/check.sh exec perf gates
+// (batch ≥2x over row; parallel ≥1.8x over batch at 4 threads on ≥4 cores;
+// par1 within 10% of batch).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -42,22 +44,34 @@ void ReportTimedQuery(benchmark::State& state, Database& db,
   size_t batch = db.exec_options().row_at_a_time
                      ? 0
                      : EffectiveBatchSize(db.exec_options());
+  size_t threads = db.exec_options().num_threads;  // 0 = serial pipeline
   ReportPoolCountersAndJson(
       state, pager, bench, run, before,
       {{"op_ms", op_ms},
        {"rows_per_s", rows_per_s},
        {"rows", static_cast<double>(input_rows)},
        {"batch_size", static_cast<double>(batch)},
+       {"threads", static_cast<double>(threads)},
        {"pages_read", state.counters["pages_read"]}});
 }
 
-/// Args: {rows, row_mode (0 = batch, 1 = row), pool cap (0 = unbounded)}.
+/// Args: {rows, row_mode (0 = batch, 1 = row), pool cap (0 = unbounded),
+/// threads (0 = serial)}.
 std::string RunName(const std::string& series, const benchmark::State& state) {
   std::string run = series;
-  run += state.range(1) != 0 ? "/row/" : "/batch/";
+  if (state.range(3) != 0) {
+    run += "/par" + std::to_string(state.range(3)) + "/";
+  } else {
+    run += state.range(1) != 0 ? "/row/" : "/batch/";
+  }
   run += std::to_string(state.range(0));
   if (state.range(2) != 0) run += "/pool" + std::to_string(state.range(2));
   return run;
+}
+
+std::string ModeLabel(const benchmark::State& state) {
+  if (state.range(3) != 0) return "par" + std::to_string(state.range(3));
+  return state.range(1) != 0 ? "row" : "batch";
 }
 
 DatabaseOptions OptionsFor(const benchmark::State& state) {
@@ -65,6 +79,8 @@ DatabaseOptions OptionsFor(const benchmark::State& state) {
   opts.pager = PagerConfigFromEnv(static_cast<size_t>(state.range(2)));
   opts.exec.row_at_a_time = state.range(1) != 0;
   opts.exec.batch_size = ExecBatchSizeFromEnv();
+  opts.exec.num_threads =
+      ExecThreadsFromEnv(static_cast<size_t>(state.range(3)));
   return opts;
 }
 
@@ -85,22 +101,28 @@ void BM_ScanFilterAggregate(benchmark::State& state) {
   }
   ReportTimedQuery(state, db, "exec_pipeline",
                    RunName("ScanFilterAggregate", state), query, rows);
-  state.SetLabel(std::to_string(rows) + " rows, " +
-                 (state.range(1) != 0 ? "row" : "batch"));
+  state.SetLabel(std::to_string(rows) + " rows, " + ModeLabel(state));
 }
 BENCHMARK(BM_ScanFilterAggregate)
-    ->Args({1000, 0, 0})
-    ->Args({1000, 1, 0})
-    ->Args({10000, 0, 0})
-    ->Args({10000, 1, 0})
-    ->Args({100000, 0, 0})
-    ->Args({100000, 1, 0})
-    ->Args({100000, 0, 64})
-    ->Args({100000, 1, 64})
+    ->Args({1000, 0, 0, 0})
+    ->Args({1000, 1, 0, 0})
+    ->Args({10000, 0, 0, 0})
+    ->Args({10000, 1, 0, 0})
+    ->Args({10000, 0, 0, 4})
+    ->Args({100000, 0, 0, 0})
+    ->Args({100000, 1, 0, 0})
+    ->Args({100000, 0, 0, 1})
+    ->Args({100000, 0, 0, 2})
+    ->Args({100000, 0, 0, 4})
+    ->Args({100000, 0, 64, 0})
+    ->Args({100000, 1, 64, 0})
+    ->Args({100000, 0, 64, 4})
     ->Unit(benchmark::kMillisecond);
 
 // The Figure-2a join shape (three-relation NATURAL JOIN + filter + top-k),
-// minus the spreadsheet wrapping: pure engine, row vs batch.
+// minus the spreadsheet wrapping: pure engine, row vs batch. Joins are not
+// morsel-eligible (the parallel leaf covers single-table shapes), so these
+// families record threads = 0.
 void BM_JoinFilterTopK(benchmark::State& state) {
   size_t movies = static_cast<size_t>(state.range(0));
   Database db(OptionsFor(state));
@@ -118,18 +140,17 @@ void BM_JoinFilterTopK(benchmark::State& state) {
   }
   ReportTimedQuery(state, db, "exec_pipeline", RunName("JoinFilterTopK", state),
                    query, movies);
-  state.SetLabel(std::to_string(movies) + " movies, " +
-                 (state.range(1) != 0 ? "row" : "batch"));
+  state.SetLabel(std::to_string(movies) + " movies, " + ModeLabel(state));
 }
 BENCHMARK(BM_JoinFilterTopK)
-    ->Args({1000, 0, 0})
-    ->Args({1000, 1, 0})
-    ->Args({10000, 0, 0})
-    ->Args({10000, 1, 0})
-    ->Args({100000, 0, 0})
-    ->Args({100000, 1, 0})
-    ->Args({100000, 0, 64})
-    ->Args({100000, 1, 64})
+    ->Args({1000, 0, 0, 0})
+    ->Args({1000, 1, 0, 0})
+    ->Args({10000, 0, 0, 0})
+    ->Args({10000, 1, 0, 0})
+    ->Args({100000, 0, 0, 0})
+    ->Args({100000, 1, 0, 0})
+    ->Args({100000, 0, 64, 0})
+    ->Args({100000, 1, 64, 0})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -54,6 +54,13 @@ size_t ExecBatchSizeFromEnv(size_t default_size) {
   return default_size;
 }
 
+size_t ExecThreadsFromEnv(size_t default_threads) {
+  if (const char* t = std::getenv("DS_EXEC_THREADS")) {
+    return static_cast<size_t>(std::strtoull(t, nullptr, 10));
+  }
+  return default_threads;
+}
+
 namespace {
 
 /// Google Benchmark re-invokes each benchmark function several times while

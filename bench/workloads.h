@@ -26,6 +26,12 @@ storage::PagerConfig PagerConfigFromEnv(size_t default_cap = 0);
 /// shared knob every exec bench threads into DatabaseOptions.exec.
 size_t ExecBatchSizeFromEnv(size_t default_size = 0);
 
+/// Morsel-parallel worker count for bench runs: DS_EXEC_THREADS overrides
+/// `default_threads` (0 keeps the serial pipeline). Mirrors DS_EXEC_BATCH —
+/// the knob the serial-vs-parallel A/B families thread into
+/// DatabaseOptions.exec.num_threads.
+size_t ExecThreadsFromEnv(size_t default_threads = 0);
+
 /// Appends one JSON object line to `BENCH_<bench>.json` under
 /// DS_BENCH_JSON_DIR (default: current directory): the per-run trajectory
 /// record (fault/eviction/spill counters, timings) that accumulates across

@@ -8,8 +8,10 @@
 # catalog-recovery smoke (SIGKILL a durable *database* mid-DDL-stream,
 # reopen by path, verify schemas + data), an execution-pipeline perf smoke
 # (the vectorized batch pipeline must hold a >= 2x win over the row-at-a-time
-# baseline on scan->filter->aggregate at 100k rows), and a docs-consistency
-# check (BENCH field coverage + markdown cross-references).
+# baseline on scan->filter->aggregate at 100k rows; the morsel-parallel leaf
+# must hold >= 1.8x over the serial batch pipeline at 4 threads on >= 4-core
+# machines, and its 1-thread run must stay within 10% of serial batch), and a
+# docs-consistency check (BENCH field coverage + markdown cross-references).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -101,7 +103,7 @@ fi
 if [[ -x "${BUILD_DIR}/bench_exec_pipeline" ]]; then
   DS_SPILL_DIR="${SMOKE_DIR}" DS_BENCH_JSON_DIR="${SMOKE_DIR}" \
     "${BUILD_DIR}/bench_exec_pipeline" \
-    --benchmark_filter='BM_ScanFilterAggregate/100000/(0|1)/0$' \
+    --benchmark_filter='BM_ScanFilterAggregate/100000/(0|1)/0/0$' \
     --benchmark_min_time=0.02
 
   batch_op_ms="$(sed -n 's/.*"run":"ScanFilterAggregate\/batch\/100000".*"op_ms":\([0-9][0-9.e+-]*\),.*/\1/p' \
@@ -120,6 +122,48 @@ if [[ -x "${BUILD_DIR}/bench_exec_pipeline" ]]; then
          "than the row pipeline (${row_op_ms} ms) at 100k rows —" \
          "vectorized-execution regression" >&2
     exit 1
+  fi
+  # -------------------------------------------------------------------------
+  # Morsel-parallel gates over the same query. Two checks:
+  #   1. par1 (the worker pool at 1 thread, i.e. pure dispenser overhead)
+  #      must stay within 10% of the serial batch pipeline — always enforced.
+  #   2. par4 must be >= 1.8x faster than serial batch — only meaningful with
+  #      real cores underneath, so it is skipped (with a notice) when nproc
+  #      reports fewer than 4; single-core CI cannot observe a speedup.
+  # -------------------------------------------------------------------------
+  DS_SPILL_DIR="${SMOKE_DIR}" DS_BENCH_JSON_DIR="${SMOKE_DIR}" \
+    "${BUILD_DIR}/bench_exec_pipeline" \
+    --benchmark_filter='BM_ScanFilterAggregate/100000/0/0/(1|4)$' \
+    --benchmark_min_time=0.02
+
+  par1_op_ms="$(sed -n 's/.*"run":"ScanFilterAggregate\/par1\/100000".*"op_ms":\([0-9][0-9.e+-]*\),.*/\1/p' \
+    "${SMOKE_DIR}/BENCH_exec_pipeline.json" | head -n1)"
+  par4_op_ms="$(sed -n 's/.*"run":"ScanFilterAggregate\/par4\/100000".*"op_ms":\([0-9][0-9.e+-]*\),.*/\1/p' \
+    "${SMOKE_DIR}/BENCH_exec_pipeline.json" | head -n1)"
+  if [[ -z "${par1_op_ms}" || -z "${par4_op_ms}" ]]; then
+    echo "ci/check.sh: could not parse parallel op_ms from BENCH_exec_pipeline.json" >&2
+    exit 1
+  fi
+  echo "ci/check.sh: morsel-parallel scan-filter-aggregate @100k:" \
+       "batch=${batch_op_ms} ms par1=${par1_op_ms} ms par4=${par4_op_ms} ms"
+  if ! awk -v b="${batch_op_ms}" -v p="${par1_op_ms}" \
+       'BEGIN { exit !(b > 0 && p <= 1.10 * b) }'; then
+    echo "ci/check.sh: 1-thread morsel run (${par1_op_ms} ms) is more than 10%" \
+         "slower than the serial batch pipeline (${batch_op_ms} ms) —" \
+         "dispenser/worker-pool overhead regression" >&2
+    exit 1
+  fi
+  if (( JOBS >= 4 )); then
+    if ! awk -v b="${batch_op_ms}" -v p="${par4_op_ms}" \
+         'BEGIN { exit !(p > 0 && b >= 1.8 * p) }'; then
+      echo "ci/check.sh: 4-thread morsel run (${par4_op_ms} ms) is not >= 1.8x" \
+           "faster than the serial batch pipeline (${batch_op_ms} ms) on a" \
+           "${JOBS}-core machine — parallel-scan regression" >&2
+      exit 1
+    fi
+  else
+    echo "ci/check.sh: only ${JOBS} core(s) visible; skipping the 1.8x @4-thread" \
+         "speedup gate (the par1-overhead gate above still ran)"
   fi
 else
   echo "ci/check.sh: bench_exec_pipeline not built; skipping exec perf smoke"

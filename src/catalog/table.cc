@@ -552,18 +552,31 @@ std::vector<Row> Table::GetWindow(size_t start, size_t count) const {
 
 Status Table::VisitWindow(size_t start, size_t count,
                           const TableStorage::RowVisitor& visit) const {
+  Status status = Status::OK();
+  VisitSlotRuns(start, count, [&](size_t, size_t slot, size_t len) {
+    if (!status.ok()) return;
+    status = storage_->VisitRows(slot, len, visit);
+  });
+  return status;
+}
+
+void Table::VisitSlotRuns(
+    size_t start, size_t count,
+    const std::function<void(size_t pos, size_t slot, size_t len)>& fn) const {
   std::vector<size_t> slots;
   slots.reserve(std::min(count, order_.size() - std::min(start, order_.size())));
-  order_.Visit(start, count,
-               [&](size_t, uint64_t rid) { slots.push_back(SlotOf(rid)); });
+  size_t first_pos = 0;
+  order_.Visit(start, count, [&](size_t pos, uint64_t rid) {
+    if (slots.empty()) first_pos = pos;
+    slots.push_back(SlotOf(rid));
+  });
   size_t i = 0;
   while (i < slots.size()) {
     size_t j = i + 1;
     while (j < slots.size() && slots[j] == slots[j - 1] + 1) ++j;
-    DS_RETURN_IF_ERROR(storage_->VisitRows(slots[i], j - i, visit));
+    fn(first_pos + i, slots[i], j - i);
     i = j;
   }
-  return Status::OK();
 }
 
 void Table::Scan(const std::function<bool(size_t, const Row&)>& fn) const {

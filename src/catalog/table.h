@@ -125,6 +125,19 @@ class Table {
   Status VisitWindow(size_t start, size_t count,
                      const TableStorage::RowVisitor& visit) const;
 
+  /// The slot-run structure under VisitWindow, exposed for morsel
+  /// partitioning (src/exec/morsel.h): resolves display positions
+  /// [start, start+count) (clipped) to storage slots and reports each
+  /// maximal run of consecutive slots as `fn(pos, slot, len)` — tuples at
+  /// display positions [pos, pos+len) live at storage slots
+  /// [slot, slot+len). Runs arrive in display order and tile the window
+  /// exactly, so cutting morsels at run boundaries keeps every morsel a
+  /// bulk-path sweep.
+  void VisitSlotRuns(
+      size_t start, size_t count,
+      const std::function<void(size_t pos, size_t slot, size_t len)>& fn)
+      const;
+
   // ---- Primary key ----------------------------------------------------------
 
   /// Display position of the row whose PK equals `key`, if the table has a PK.

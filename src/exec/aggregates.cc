@@ -57,6 +57,34 @@ Status AggState::UpdateValue(const Value& v) {
   return Status::Internal("unknown aggregate " + call_->op);
 }
 
+void AggState::Merge(const AggState& other) {
+  count_ += other.count_;
+  if (is_real_ || other.is_real_) {
+    double incoming =
+        other.is_real_ ? other.sum_real_ : static_cast<double>(other.sum_int_);
+    if (!is_real_) {
+      sum_real_ = static_cast<double>(sum_int_);
+      is_real_ = true;
+    }
+    sum_real_ += incoming;
+  } else {
+    sum_int_ += other.sum_int_;
+  }
+  if (other.has_extreme_) {
+    if (!has_extreme_) {
+      extreme_ = other.extreme_;
+      has_extreme_ = true;
+    } else {
+      // Strict comparison, like UpdateValue: the later partial only wins on a
+      // genuine improvement, so compare-equal ties keep the earlier extreme.
+      int c = Value::Compare(other.extreme_, extreme_);
+      if ((call_->op == "MIN" && c < 0) || (call_->op == "MAX" && c > 0)) {
+        extreme_ = other.extreme_;
+      }
+    }
+  }
+}
+
 Value AggState::Finalize() const {
   if (call_->op == "COUNT") return Value::Int(count_);
   if (count_ == 0) return Value::Null();

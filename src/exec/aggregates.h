@@ -34,6 +34,12 @@ class AggState {
   Status UpdateValue(const Value& v);
   void UpdateStar() { ++count_; }
 
+  /// Folds another partial state for the same call into this one — the
+  /// morsel-parallel merge (DESIGN.md §6b). `this` must cover the earlier
+  /// display-order rows: ties (MIN/MAX compare-equal extremes) keep this
+  /// state's value, matching what serial row-order folding would have kept.
+  void Merge(const AggState& other);
+
   /// Final value: COUNT → INT; SUM → INT/REAL (NULL on empty); AVG → REAL
   /// (NULL on empty); MIN/MAX → input type (NULL on empty).
   Value Finalize() const;

@@ -47,6 +47,14 @@ Status TableScanOp::Open() {
   return Status::OK();
 }
 
+void TableScanOp::SetWindow(size_t start, size_t count) {
+  start_ = start;
+  remaining_ = count;
+  next_pos_ = start;
+  batch_.clear();
+  batch_index_ = 0;
+}
+
 Result<bool> TableScanOp::Next(Row* out) {
   if (batch_index_ >= batch_.size()) {
     if (remaining_ == 0 || next_pos_ >= table_->num_rows()) return false;
@@ -601,6 +609,31 @@ Status HashAggregateOp::BuildBatched(size_t batch_size) {
   return ExtractResults(&groups, &group_order);
 }
 
+Status FinalizeAggregateGroups(
+    const std::vector<const sql::Expr*>& output_exprs, const sql::Expr* having,
+    const std::vector<AggGroup*>& groups, std::vector<Row>* results) {
+  for (AggGroup* g : groups) {
+    std::vector<Value> agg_values;
+    agg_values.reserve(g->states.size());
+    for (const AggState& s : g->states) agg_values.push_back(s.Finalize());
+    const Row* first = g->first_row.empty() ? nullptr : &g->first_row;
+    if (having != nullptr) {
+      auto pass = EvalPredicate(*having, first, &agg_values);
+      if (!pass.ok()) return pass.status();
+      if (!pass.value()) continue;
+    }
+    Row out;
+    out.reserve(output_exprs.size());
+    for (const sql::Expr* e : output_exprs) {
+      auto v = EvalScalar(*e, first, &agg_values);
+      if (!v.ok()) return v.status();
+      out.push_back(std::move(v).value());
+    }
+    results->push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
 Status HashAggregateOp::ExtractResults(GroupMap* groups,
                                        std::vector<Row>* group_order) {
   // Global aggregate over empty input still yields one group.
@@ -610,28 +643,10 @@ Status HashAggregateOp::ExtractResults(GroupMap* groups,
     groups->emplace(Row{}, std::move(g));
     group_order->push_back(Row{});
   }
-
-  for (const Row& key : *group_order) {
-    Group& g = groups->at(key);
-    std::vector<Value> agg_values;
-    agg_values.reserve(g.states.size());
-    for (const AggState& s : g.states) agg_values.push_back(s.Finalize());
-    const Row* first = g.first_row.empty() ? nullptr : &g.first_row;
-    if (having_ != nullptr) {
-      auto pass = EvalPredicate(*having_, first, &agg_values);
-      if (!pass.ok()) return pass.status();
-      if (!pass.value()) continue;
-    }
-    Row out;
-    out.reserve(output_exprs_.size());
-    for (const sql::Expr* e : output_exprs_) {
-      auto v = EvalScalar(*e, first, &agg_values);
-      if (!v.ok()) return v.status();
-      out.push_back(std::move(v).value());
-    }
-    results_.push_back(std::move(out));
-  }
-  return Status::OK();
+  std::vector<AggGroup*> ordered;
+  ordered.reserve(group_order->size());
+  for (const Row& key : *group_order) ordered.push_back(&groups->at(key));
+  return FinalizeAggregateGroups(output_exprs_, having_, ordered, &results_);
 }
 
 Result<bool> HashAggregateOp::Next(Row* out) {

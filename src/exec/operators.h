@@ -56,6 +56,11 @@ class TableScanOp : public Operator {
   Result<bool> Next(Row* out) override;
   Result<bool> Next(RowBatch* out) override;
 
+  /// Re-targets the scan to display window [start, start+count) and rewinds
+  /// it — the morsel-parallel path re-aims one scan per morsel instead of
+  /// constructing an operator chain per morsel (src/exec/morsel.cc).
+  void SetWindow(size_t start, size_t count);
+
  private:
   const Table* table_;
   size_t start_, remaining_, next_pos_ = 0;
@@ -191,6 +196,26 @@ class HashJoinOp : public Operator {
   size_t left_cursor_ = 0;
 };
 
+/// One aggregation group: the first input row seen (non-aggregate parts of
+/// the output expressions evaluate against it) plus one running state per
+/// aggregate call. Shared between the serial HashAggregateOp and the
+/// morsel-parallel partial-aggregate merge (src/exec/morsel.h).
+struct AggGroup {
+  Row first_row;
+  std::vector<AggState> states;
+};
+
+/// The aggregate finalization tail, shared by the serial and parallel paths:
+/// for each group (in the given order) finalizes its states, applies
+/// `having` (groups failing it are dropped), and evaluates `output_exprs`
+/// — aggregate call sites replaced by finalized values, everything else
+/// evaluated on the group's first row — appending one row per surviving
+/// group to `results`. Callers synthesize the empty-input global group
+/// before calling.
+Status FinalizeAggregateGroups(
+    const std::vector<const sql::Expr*>& output_exprs, const sql::Expr* having,
+    const std::vector<AggGroup*>& groups, std::vector<Row>* results);
+
 /// Blocking hash aggregation. Groups by `group_exprs`; for each group the
 /// output row is `output_exprs` evaluated with aggregate call sites replaced
 /// by their finalized values and non-aggregate parts evaluated on the group's
@@ -209,10 +234,7 @@ class HashAggregateOp : public Operator {
   Result<bool> Next(RowBatch* out) override;
 
  private:
-  struct Group {
-    Row first_row;
-    std::vector<AggState> states;
-  };
+  using Group = AggGroup;
   using GroupMap = std::unordered_map<Row, Group, RowHash, RowEq>;
 
   Status BuildRows();

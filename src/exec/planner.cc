@@ -5,6 +5,7 @@
 #include "common/str_util.h"
 #include "exec/binder.h"
 #include "exec/expr_eval.h"
+#include "exec/morsel.h"
 
 namespace dataspread {
 
@@ -102,11 +103,24 @@ Result<PlannedQuery> PlanSelect(SelectStmt* stmt, Catalog& catalog,
   Scope scope;
   OperatorPtr root;
 
+  // Morsel-parallel leaf eligibility (DESIGN.md §6b): a single named table,
+  // no joins, batch mode, and a thread count requested. Everything above the
+  // scan→filter[→aggregate] leaf (sort, project, distinct, limit, join
+  // shapes) stays serial; ineligible shapes fall back to the serial plan
+  // unchanged.
+  const Table* leaf_table = nullptr;
+  size_t leaf_start = 0;
+  size_t leaf_count = kScanAll;
+  const Expr* leaf_where = nullptr;
+
   // ---- FROM clause: sources and joins ----
   if (stmt->from.has_value()) {
     DS_ASSIGN_OR_RETURN(BoundSource first,
                         BindTableRef(*stmt->from, catalog, resolver));
     AppendToScope(first, &scope);
+    if (exec.num_threads >= 1 && !exec.row_at_a_time && stmt->joins.empty()) {
+      leaf_table = first.table;  // null for RANGETABLE sources → serial
+    }
 
     // Interface-aware window pushdown (paper §2.2): push LIMIT/OFFSET into
     // the ordered positional-index scan when nothing else reorders or
@@ -123,6 +137,8 @@ Result<PlannedQuery> PlanSelect(SelectStmt* stmt, Catalog& catalog,
                          ? static_cast<size_t>(*stmt->limit)
                          : kScanAll;
       root = MakeScan(first, start, count, batch_size);
+      leaf_start = start;
+      leaf_count = count;
       consumed_window = true;
     } else {
       root = MakeScan(first, 0, kScanAll, batch_size);
@@ -203,7 +219,13 @@ Result<PlannedQuery> PlanSelect(SelectStmt* stmt, Catalog& catalog,
   if (stmt->where != nullptr) {
     DS_RETURN_IF_ERROR(BindExpr(stmt->where.get(), scope, resolver,
                                 /*allow_aggregates=*/false));
-    root = std::make_unique<FilterOp>(std::move(root), stmt->where.get());
+    if (leaf_table != nullptr) {
+      // The predicate rides inside the parallel leaf (each worker filters
+      // its own morsels) instead of a FilterOp above the scan.
+      leaf_where = stmt->where.get();
+    } else {
+      root = std::make_unique<FilterOp>(std::move(root), stmt->where.get());
+    }
   }
 
   // ---- Star expansion & output naming ----
@@ -261,9 +283,30 @@ Result<PlannedQuery> PlanSelect(SelectStmt* stmt, Catalog& catalog,
     std::vector<const Expr*> group_exprs;
     group_exprs.reserve(stmt->group_by.size());
     for (const ExprPtr& g : stmt->group_by) group_exprs.push_back(g.get());
-    root = std::make_unique<HashAggregateOp>(std::move(root), group_exprs,
-                                             std::move(agg_calls), output_exprs,
-                                             stmt->having.get());
+    if (leaf_table != nullptr) {
+      // The whole scan→filter→aggregate leaf goes morsel-parallel; the
+      // serial scan built above is discarded.
+      root = std::make_unique<ParallelAggregateOp>(
+          leaf_table, leaf_start, leaf_count, leaf_where, group_exprs,
+          std::move(agg_calls), output_exprs, stmt->having.get(), exec);
+    } else {
+      root = std::make_unique<HashAggregateOp>(std::move(root), group_exprs,
+                                               std::move(agg_calls),
+                                               output_exprs,
+                                               stmt->having.get());
+    }
+  } else if (leaf_table != nullptr) {
+    // Non-aggregate parallel leaf: materialize the (filtered) window in
+    // morsel order. With nothing above that reorders or dedups rows, a
+    // LIMIT can stop dispensing once enough prefix rows exist.
+    size_t limit_hint = kNoLimitHint;
+    if (stmt->order_by.empty() && !stmt->distinct && stmt->limit.has_value() &&
+        *stmt->limit >= 0) {
+      limit_hint = static_cast<size_t>(*stmt->limit) +
+                   static_cast<size_t>(stmt->offset.value_or(0));
+    }
+    root = std::make_unique<ParallelScanOp>(leaf_table, leaf_start, leaf_count,
+                                            leaf_where, exec, limit_hint);
   }
 
   // ---- ORDER BY ----

@@ -11,10 +11,11 @@
 namespace dataspread {
 
 /// Execution-pipeline configuration, plumbed from DatabaseOptions down to the
-/// planner. One knob pair: the batch size every batched operator fills to,
-/// and the row-at-a-time escape hatch that drives the same operator tree
+/// planner. Two knob pairs: the batch size every batched operator fills to
+/// plus the row-at-a-time escape hatch that drives the same operator tree
 /// through the legacy Volcano `Next(Row*)` contract (the A/B baseline of
-/// `bench_exec_pipeline` and the transparency property tests).
+/// `bench_exec_pipeline` and the transparency property tests), and the
+/// morsel-parallel pair below (DESIGN.md §6b).
 struct ExecOptions {
   /// Tuples per RowBatch (0 = kDefaultExecBatchSize). Benches sweep this via
   /// the DS_EXEC_BATCH environment variable (bench/workloads.h).
@@ -22,12 +23,30 @@ struct ExecOptions {
   /// When true the plan is pulled one Row at a time — the pre-vectorization
   /// behavior, kept as the measurable baseline.
   bool row_at_a_time = false;
+  /// Morsel-parallel leaf: 0 disables (serial pipeline, the default); N >= 1
+  /// runs eligible scan→filter[→aggregate] leaves across N worker threads
+  /// pulling morsels from a shared dispenser (src/exec/morsel.h). 1 is the
+  /// dispenser-overhead baseline, not a synonym for 0. Benches sweep this
+  /// via DS_EXEC_THREADS (bench/workloads.h).
+  size_t num_threads = 0;
+  /// Display-order rows per morsel (0 = kDefaultMorselBatches batches).
+  /// Tests shrink this to force morsel-boundary edge cases.
+  size_t morsel_size = 0;
 };
 
 inline constexpr size_t kDefaultExecBatchSize = 1024;
+/// Default morsel span, in units of the effective batch size: a morsel is a
+/// few batches so dispensing stays off the per-batch hot path while work
+/// still spreads evenly across workers.
+inline constexpr size_t kDefaultMorselBatches = 4;
 
 inline size_t EffectiveBatchSize(const ExecOptions& exec) {
   return exec.batch_size == 0 ? kDefaultExecBatchSize : exec.batch_size;
+}
+
+inline size_t EffectiveMorselSize(const ExecOptions& exec) {
+  return exec.morsel_size == 0 ? kDefaultMorselBatches * EffectiveBatchSize(exec)
+                               : exec.morsel_size;
 }
 
 /// A batch of tuples in column-major layout plus an optional selection

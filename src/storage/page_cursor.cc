@@ -37,9 +37,13 @@ PageCursor::PageCursor(PageCursor&& other) noexcept
       latch_(other.latch_),
       seq_(other.seq_),
       counted_read_(other.counted_read_),
-      counted_write_(other.counted_write_) {
+      counted_write_(other.counted_write_),
+      pending_reads_(other.pending_reads_),
+      pending_writes_(other.pending_writes_) {
   other.page_ = nullptr;   // the pin moved with us
   other.latch_ = nullptr;  // so did the data latch
+  other.pending_reads_ = 0;   // and the unflushed counts
+  other.pending_writes_ = 0;
 }
 
 PageCursor& PageCursor::operator=(PageCursor&& other) noexcept {
@@ -57,8 +61,12 @@ PageCursor& PageCursor::operator=(PageCursor&& other) noexcept {
     seq_ = other.seq_;
     counted_read_ = other.counted_read_;
     counted_write_ = other.counted_write_;
+    pending_reads_ = other.pending_reads_;
+    pending_writes_ = other.pending_writes_;
     other.page_ = nullptr;
     other.latch_ = nullptr;
+    other.pending_reads_ = 0;
+    other.pending_writes_ = 0;
   }
   return *this;
 }
@@ -82,6 +90,7 @@ void PageCursor::UnlatchData() {
 
 void PageCursor::Release() {
   if (page_ == nullptr) return;
+  FlushCounts();
   UnlatchData();  // latch order: data latch goes before the structural latch
   std::lock_guard<std::recursive_mutex> lock(pager_->mu_);
   page_->pin_count_ -= 1;
@@ -89,6 +98,7 @@ void PageCursor::Release() {
 }
 
 void PageCursor::Seek(uint64_t page_index, bool grow) {
+  FlushCounts();  // the counts of the page being left merge at drain time
   UnlatchData();  // never enter the pager holding a data latch
   Pager& p = *pager_;
   std::lock_guard<std::recursive_mutex> lock(p.mu_);
@@ -123,7 +133,7 @@ void PageCursor::Seek(uint64_t page_index, bool grow) {
 void PageCursor::CountRead(uint64_t count) {
   Pager& p = *pager_;
   if (!p.accounting_.load(std::memory_order_relaxed)) return;
-  p.slot_reads_.fetch_add(count, std::memory_order_relaxed);
+  pending_reads_ += count;  // merged into the shared atomics at drain time
   if (!counted_read_) {
     p.NoteEpochRead(file_, page_index_);
     counted_read_ = true;
@@ -133,10 +143,22 @@ void PageCursor::CountRead(uint64_t count) {
 void PageCursor::CountWrite(uint64_t count) {
   Pager& p = *pager_;
   if (!p.accounting_.load(std::memory_order_relaxed)) return;
-  p.slot_writes_.fetch_add(count, std::memory_order_relaxed);
+  pending_writes_ += count;
   if (!counted_write_) {
     p.NoteEpochWrite(file_, page_index_);
     counted_write_ = true;
+  }
+}
+
+void PageCursor::FlushCounts() {
+  Pager& p = *pager_;
+  if (pending_reads_ != 0) {
+    p.slot_reads_.fetch_add(pending_reads_, std::memory_order_relaxed);
+    pending_reads_ = 0;
+  }
+  if (pending_writes_ != 0) {
+    p.slot_writes_.fetch_add(pending_writes_, std::memory_order_relaxed);
+    pending_writes_ = 0;
   }
 }
 
@@ -218,6 +240,7 @@ void PageCursor::ReadRange(uint64_t start, uint64_t count, Row* out) {
       out->push_back(page_->slot(s - base_));
     }
   }
+  FlushCounts();  // a bulk op is a drain point: its counts land at return
 }
 
 void PageCursor::WriteRange(uint64_t start, const Value* values,
@@ -247,6 +270,7 @@ void PageCursor::WriteRange(uint64_t start, const Value* values,
     p.LogPageMutation(file_, *chain_, page_index_, seg_start - base_,
                       s - seg_start);
   }
+  FlushCounts();
 }
 
 void PageCursor::Fill(uint64_t start, uint64_t count, const Value& v) {
@@ -273,6 +297,7 @@ void PageCursor::Fill(uint64_t start, uint64_t count, const Value& v) {
     p.LogPageMutation(file_, *chain_, page_index_, seg_start - base_,
                       s - seg_start);
   }
+  FlushCounts();
 }
 
 }  // namespace storage

@@ -99,11 +99,17 @@ class PageCursor {
   /// Releases it if held. Must precede any structural-latch acquisition.
   void UnlatchData();
   /// Slot-exact counters plus a once-per-page-visit distinct-page record —
-  /// the single place the cursor's accounting rule lives. Touches only
-  /// atomics and the pager's leaf stats lock: callable with or without the
-  /// structural latch.
+  /// the single place the cursor's accounting rule lives. Slot counts
+  /// accumulate cursor-locally and merge into the pager's shared atomics at
+  /// drain time (FlushCounts: page change, Release, or the end of a range
+  /// op) — one fetch-add per page visit instead of one per slot access, so
+  /// N morsel workers don't contend on the counters mid-scan and a
+  /// PagerStats snapshot never observes a half-counted page. The distinct-
+  /// page epoch record stays immediate (first access per page visit).
   void CountRead(uint64_t count = 1);
   void CountWrite(uint64_t count = 1);
+  /// Merges pending slot counts into the pager's atomics.
+  void FlushCounts();
 
   Pager* pager_;
   FileId file_;
@@ -121,6 +127,10 @@ class PageCursor {
   // Epoch accounting latches: one distinct-page record per page visit.
   bool counted_read_ = false;
   bool counted_write_ = false;
+  // Slot counts accumulated since the last FlushCounts (always zero while
+  // no page is pinned — Release drains them).
+  uint64_t pending_reads_ = 0;
+  uint64_t pending_writes_ = 0;
 };
 
 }  // namespace storage

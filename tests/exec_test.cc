@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
 #include "db/database.h"
 #include "exec/expr_eval.h"
+#include "exec/morsel.h"
 #include "exec/operators.h"
 
 namespace dataspread {
@@ -400,6 +405,182 @@ TEST_F(BatchPipelineTest, ErrorsSurfaceInBothModes) {
   db_.set_exec_options(ExecOptions{});
   RunErr("SELECT salary / (id - id) FROM emp");
   RunErr("SELECT * FROM emp WHERE name > 5");
+}
+
+// ---- Morsel-parallel pipeline (DESIGN.md §6b) ------------------------------
+
+/// The serial batch pipeline is the reference; every query here must come
+/// out byte-identical through the morsel-parallel leaf across thread counts
+/// and morsel sizes that force boundary edges (one morsel, many tiny
+/// morsels, counts not divisible by the morsel size). Aggregate inputs are
+/// multiples of 0.25 so parallel SUM/AVG merges are fp-exact.
+class MorselPipelineTest : public ExecTest {
+ protected:
+  /// nums: 50 rows, k = 0..49, grp cycles g0..g6, x = (k % 40) / 4.0 with a
+  /// NULL every 11th row.
+  void LoadNums() {
+    Run("CREATE TABLE nums (k INT PRIMARY KEY, grp TEXT, x REAL)");
+    std::string insert = "INSERT INTO nums VALUES ";
+    for (int k = 0; k < 50; ++k) {
+      if (k > 0) insert += ", ";
+      insert += "(" + std::to_string(k) + ", 'g" + std::to_string(k % 7) +
+                "', ";
+      insert += (k % 11 == 10)
+                    ? "NULL)"
+                    : std::to_string(static_cast<double>(k % 40) / 4.0) + ")";
+    }
+    Run(insert);
+  }
+
+  ResultSet RunWith(const std::string& sql, const ExecOptions& exec) {
+    db_.set_exec_options(exec);
+    ResultSet rs = Run(sql);
+    db_.set_exec_options(ExecOptions{});
+    return rs;
+  }
+
+  /// Serial batch reference vs parallel at 1/2/4 threads × morsel sizes
+  /// {1 row, 8 rows (does not divide 50), default}.
+  void ExpectParallelMatchesSerial(const std::string& sql,
+                                   size_t batch_size = 4) {
+    ResultSet serial = RunWith(sql, ExecOptions{batch_size, false});
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      for (size_t morsel : {size_t{1}, size_t{8}, size_t{0}}) {
+        ResultSet par =
+            RunWith(sql, ExecOptions{batch_size, false, threads, morsel});
+        EXPECT_EQ(serial.columns, par.columns) << sql;
+        EXPECT_EQ(serial.rows, par.rows)
+            << sql << " (threads=" << threads << ", morsel=" << morsel << ")";
+      }
+    }
+  }
+};
+
+TEST_F(MorselPipelineTest, EmptyTable) {
+  Run("CREATE TABLE nothing (a INT, b REAL)");
+  for (const char* q : {
+           "SELECT * FROM nothing",
+           "SELECT a FROM nothing WHERE a > 0",
+           "SELECT COUNT(*), SUM(b), MIN(a) FROM nothing",
+           "SELECT b, COUNT(*) FROM nothing GROUP BY b",
+           "SELECT a FROM nothing LIMIT 3",
+       }) {
+    ExpectParallelMatchesSerial(q);
+  }
+}
+
+TEST_F(MorselPipelineTest, SingleMorselAndNonDivisibleCounts) {
+  LoadNums();
+  // Morsel sizes 1/8/default against 50 rows: 50 one-row morsels, seven
+  // 8-row morsels minus an absorbed tail, and one morsel covering the whole
+  // table — all must agree with the serial pipeline.
+  for (const char* q : {
+           "SELECT * FROM nums",
+           "SELECT k, x FROM nums WHERE k % 3 = 0",
+           "SELECT COUNT(*), COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) "
+           "FROM nums",
+           "SELECT COUNT(*) FROM nums WHERE k > 100",
+       }) {
+    ExpectParallelMatchesSerial(q);
+  }
+}
+
+TEST_F(MorselPipelineTest, GroupOrderAndAggregatesMatchSerial) {
+  LoadNums();
+  for (const char* q : {
+           // No ORDER BY: group first-seen order itself must reproduce.
+           "SELECT grp, COUNT(*), SUM(x), MIN(k), MAX(x) FROM nums "
+           "GROUP BY grp",
+           "SELECT grp, COUNT(*) AS n, AVG(x) AS a FROM nums "
+           "GROUP BY grp HAVING COUNT(*) > 6 ORDER BY a DESC, grp",
+           "SELECT k % 2, MIN(x), MAX(k) FROM nums WHERE x >= 1.0 "
+           "GROUP BY k % 2",
+           "SELECT DISTINCT grp FROM nums",
+       }) {
+    ExpectParallelMatchesSerial(q);
+  }
+}
+
+TEST_F(MorselPipelineTest, LimitCutsMidMorsel) {
+  LoadNums();
+  for (const char* q : {
+           "SELECT k FROM nums LIMIT 11",            // pushdown window
+           "SELECT k FROM nums LIMIT 11 OFFSET 5",   // pushdown window
+           "SELECT k FROM nums WHERE x >= 2.0 LIMIT 11",        // early stop
+           "SELECT k + 1 FROM nums WHERE k <> 25 LIMIT 9 OFFSET 2",
+           "SELECT k FROM nums WHERE k % 2 = 0 LIMIT 100",  // limit > rows
+           "SELECT k FROM nums LIMIT 0",
+           "SELECT k FROM nums ORDER BY x DESC, k LIMIT 7",  // no early stop
+       }) {
+    ExpectParallelMatchesSerial(q);
+  }
+}
+
+TEST_F(MorselPipelineTest, ErrorsSurfaceInParallelMode) {
+  LoadNums();
+  db_.set_exec_options(ExecOptions{4, false, 4, 8});
+  RunErr("SELECT x / (k - k) FROM nums");
+  RunErr("SELECT SUM(x / (k - k)) FROM nums");
+  RunErr("SELECT * FROM nums WHERE grp > 5");
+  db_.set_exec_options(ExecOptions{});
+}
+
+TEST_F(MorselPipelineTest, BuildMorselsTilesTheWindow) {
+  LoadNums();
+  const Table* t = db_.catalog().GetTable("nums").value();
+  for (size_t morsel_size : {size_t{1}, size_t{7}, size_t{8}, size_t{64}}) {
+    std::vector<Morsel> ms = BuildMorsels(*t, 0, 50, morsel_size);
+    size_t pos = 0;
+    for (size_t i = 0; i < ms.size(); ++i) {
+      EXPECT_EQ(ms[i].index, i);
+      EXPECT_EQ(ms[i].start, pos) << "morsel_size=" << morsel_size;
+      EXPECT_GT(ms[i].count, 0u);
+      if (i + 1 < ms.size()) {
+        EXPECT_GE(ms[i].count, morsel_size);
+        EXPECT_LT(ms[i].count, 2 * morsel_size);
+      }
+      pos += ms[i].count;
+    }
+    EXPECT_EQ(pos, 50u) << "morsel_size=" << morsel_size;
+  }
+  EXPECT_TRUE(BuildMorsels(*t, 50, 10, 8).empty());  // window past the end
+  EXPECT_TRUE(BuildMorsels(*t, 0, 0, 8).empty());
+  // Clipped window.
+  std::vector<Morsel> tail = BuildMorsels(*t, 45, 100, 8);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].start, 45u);
+  EXPECT_EQ(tail[0].count, 5u);
+}
+
+TEST(MorselDispenserTest, DispensesEachMorselOnceInOrder) {
+  std::vector<Morsel> ms;
+  for (size_t i = 0; i < 64; ++i) ms.push_back(Morsel{i, i * 10, 10});
+  MorselDispenser d(std::move(ms));
+  std::mutex mu;
+  std::vector<size_t> got;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&] {
+      Morsel m;
+      while (d.Next(&m)) {
+        std::lock_guard<std::mutex> lock(mu);
+        got.push_back(m.index);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got.size(), 64u);
+  for (size_t i = 0; i < 64; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(MorselDispenserTest, CloseStopsDispensing) {
+  MorselDispenser d(std::vector<Morsel>{Morsel{0, 0, 5}, Morsel{1, 5, 5}});
+  Morsel m;
+  ASSERT_TRUE(d.Next(&m));
+  EXPECT_EQ(m.index, 0u);
+  d.Close();
+  EXPECT_FALSE(d.Next(&m));
 }
 
 TEST(LikeMatchTest, Patterns) {

@@ -770,5 +770,134 @@ TEST_P(BatchTransparencyTest, RowAndBatchPipelinesProduceIdenticalResults) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchTransparencyTest,
                          ::testing::Values(11u, 211u, 3111u));
 
+// ---------------------------------------------------------------------------
+// Invariant 10: the morsel-parallel leaf is invisible (DESIGN.md §6b).
+// Every eligible query run serially and at 1/2/4 worker threads must agree
+// for every storage model and pool size: byte-identical for aggregates,
+// ORDER BY, and positional windows (group first-seen order, MIN/MAX tie
+// winners, and row order all reproduce), set-identical for unordered scans
+// (the documented contract — the implementation happens to deliver morsel-
+// order determinism, which the byte-level cases pin). REAL inputs are
+// multiples of 0.25 so parallel SUM/AVG merges are fp-exact; ineligible
+// shapes (joins) must fall back to the serial plan unchanged.
+// ---------------------------------------------------------------------------
+
+class ParallelTransparencyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParallelTransparencyTest, SerialAndParallelPipelinesAgree) {
+  constexpr StorageModel kModels[] = {StorageModel::kRow,
+                                      StorageModel::kColumn,
+                                      StorageModel::kRcv,
+                                      StorageModel::kHybrid};
+  constexpr size_t kPools[] = {0, 64, 4};  // unbounded, roomy, tiny
+  std::mt19937 rng(GetParam());
+
+  Schema t_schema({ColumnDef{"id", DataType::kInt, true},
+                   ColumnDef{"grp", DataType::kText, false},
+                   ColumnDef{"x", DataType::kReal, false}});
+  Schema u_schema({ColumnDef{"grp", DataType::kText, false},
+                   ColumnDef{"tag", DataType::kInt, false}});
+  std::vector<Row> t_rows, u_rows;
+  for (int64_t id = 0; id < 150; ++id) {
+    t_rows.push_back(
+        {Value::Int(id), Value::Text("g" + std::to_string(rng() % 6)),
+         (rng() % 7 == 0)
+             ? Value::Null()
+             : Value::Real(static_cast<double>(rng() % 4000) / 4.0)});
+  }
+  for (int64_t tag = 0; tag < 20; ++tag) {
+    u_rows.push_back({(rng() % 5 == 0)
+                          ? Value::Null()
+                          : Value::Text("g" + std::to_string(rng() % 8)),
+                      Value::Int(tag)});
+  }
+
+  struct Q {
+    const char* sql;
+    bool ordered;  // false: compare as multisets (unordered-scan contract)
+  };
+  const Q queries[] = {
+      {"SELECT grp, COUNT(*), COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) "
+       "FROM t GROUP BY grp",
+       true},
+      {"SELECT COUNT(*), SUM(x), MIN(x), MAX(id) FROM t WHERE id % 3 <> 0",
+       true},
+      {"SELECT grp, SUM(x) FROM t GROUP BY grp HAVING COUNT(*) > 2 "
+       "ORDER BY grp",
+       true},
+      {"SELECT id, x * 2 FROM t WHERE x IS NOT NULL ORDER BY id", true},
+      {"SELECT id FROM t ORDER BY x DESC, id LIMIT 9", true},
+      {"SELECT DISTINCT grp FROM t ORDER BY grp", true},
+      {"SELECT id FROM t LIMIT 7 OFFSET 3", true},  // positional window
+      {"SELECT id FROM t WHERE id % 4 = 1 LIMIT 11", true},  // early stop
+      {"SELECT * FROM t", false},
+      {"SELECT id, grp FROM t WHERE id % 4 = 1", false},
+      // Joins are not morsel-eligible: the fallback must stay transparent.
+      {"SELECT t.id, u.tag FROM t JOIN u ON t.grp = u.grp "
+       "ORDER BY t.id, u.tag",
+       true},
+  };
+
+  // Type-tagged serialization: set-identity must not conflate 1 and 1.0.
+  auto row_key = [](const Row& r) {
+    std::string key;
+    for (const Value& v : r) {
+      key += std::to_string(static_cast<int>(v.type())) + ":" +
+             v.ToDisplayString() + "|";
+    }
+    return key;
+  };
+
+  for (size_t cap : kPools) {
+    for (StorageModel model : kModels) {
+      DatabaseOptions options;
+      options.pager.max_resident_pages = cap;
+      Database db(options);
+      Table* t = db.CreateTable("t", t_schema, model).ValueOrDie();
+      Table* u = db.CreateTable("u", u_schema, model).ValueOrDie();
+      for (const Row& r : t_rows) ASSERT_TRUE(t->AppendRow(r).ok());
+      for (const Row& r : u_rows) ASSERT_TRUE(u->AppendRow(r).ok());
+
+      for (const Q& q : queries) {
+        db.set_exec_options(ExecOptions{16, false});
+        auto reference = db.Execute(q.sql);
+        ASSERT_TRUE(reference.ok()) << q.sql;
+        for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+          db.set_exec_options(ExecOptions{16, false, threads, 32});
+          auto got = db.Execute(q.sql);
+          ASSERT_TRUE(got.ok()) << q.sql << " threads " << threads;
+          ASSERT_EQ(got.value().columns, reference.value().columns) << q.sql;
+          ASSERT_EQ(got.value().num_rows(), reference.value().num_rows())
+              << q.sql << " pool " << cap << " model "
+              << StorageModelName(model) << " threads " << threads;
+          std::vector<Row> want = reference.value().rows;
+          std::vector<Row> have = got.value().rows;
+          if (!q.ordered) {
+            auto by_key = [&](const Row& a, const Row& b) {
+              return row_key(a) < row_key(b);
+            };
+            std::sort(want.begin(), want.end(), by_key);
+            std::sort(have.begin(), have.end(), by_key);
+          }
+          for (size_t r = 0; r < want.size(); ++r) {
+            ASSERT_EQ(have[r].size(), want[r].size()) << q.sql << " row " << r;
+            for (size_t c = 0; c < want[r].size(); ++c) {
+              ASSERT_EQ(have[r][c], want[r][c])
+                  << q.sql << " pool " << cap << " model "
+                  << StorageModelName(model) << " threads " << threads
+                  << " row " << r << " col " << c;
+              ASSERT_EQ(have[r][c].type(), want[r][c].type())
+                  << q.sql << " row " << r << " col " << c;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelTransparencyTest,
+                         ::testing::Values(11u, 211u, 3111u));
+
 }  // namespace
 }  // namespace dataspread
