@@ -13,14 +13,21 @@
 //                           plan + DML per commit. The statement CPU bounds
 //                           the visible win here, so this pair is the
 //                           realistic trajectory, not the gate.
+//   BM_Txn_Multi          — multi-statement transactions (DESIGN.md §7):
+//                           one writer groups K INSERTs per durable COMMIT
+//                           (K = 1 is plain autocommit, one fsync per
+//                           statement; K > 1 is BEGIN..COMMIT, one fsync
+//                           per K statements).
 //
-// The win to protect: at 8 committer threads, pager-level group commit must
-// sustain >= 2x the committed-statements/s of the fsync-per-commit baseline
-// — ci/check.sh gates exactly that via BENCH_txn.json's commits_per_sec.
+// The wins to protect: at 8 committer threads, pager-level group commit
+// must sustain >= 2x the commits/s of the fsync-per-commit baseline, and
+// K=8 statement batching must sustain >= 1.5x the committed statements/s
+// of K=1 — ci/check.sh gates both via BENCH_txn.json.
 //
 // Every run appends a JSON line to BENCH_txn.json (DS_BENCH_JSON_DIR) with
-// threads / commits / wal_syncs / commits_per_sync / commits_per_sec — the
-// cross-PR trajectory for the commit path.
+// threads / commits / wal_syncs / commits_per_sync / commits_per_sec (the
+// Multi family adds k / statements / statements_per_sec) — the cross-PR
+// trajectory for the commit path.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -224,6 +231,83 @@ void BM_Txn_Commit_Group(benchmark::State& state) {
 BENCHMARK(BM_Txn_Commit_Group)
     ->Arg(1)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Multi-statement transactions: one writer, K INSERT statements per
+/// durable commit. K = 1 runs plain autocommit (every statement pays the
+/// commit fsync); K > 1 wraps each batch in BEGIN..COMMIT so the fsync
+/// lands once per K statements — the amortization multi-statement
+/// transactions exist to buy on the write path.
+void BM_Txn_Multi(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  constexpr int kStatementsPerIter = 192;  // divisible by every K
+  ScratchBase files("multi-k" + std::to_string(k));
+  DatabaseOptions options;
+  options.sync_on_commit = true;
+  options.group_commit = true;
+  auto db = Database::Open(files.base, options);
+  if (!db->Execute("CREATE TABLE t (a INT, b INT)").ok()) {
+    state.SkipWithError("CREATE TABLE failed");
+    return;
+  }
+  const uint64_t syncs_before = db->pager().stats().wal_syncs;
+  int64_t next = 0;
+  uint64_t commits = 0;
+  uint64_t statements = 0;
+  double seconds = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < kStatementsPerIter / k; ++c) {
+      if (k > 1) {
+        auto r = db->Execute("BEGIN");
+        benchmark::DoNotOptimize(r.ok());
+      }
+      for (int i = 0; i < k; ++i) {
+        int64_t v = next++;
+        auto r = db->Execute("INSERT INTO t VALUES (" + std::to_string(v) +
+                             ", " + std::to_string(v * 3) + ")");
+        benchmark::DoNotOptimize(r.ok());
+      }
+      if (k > 1) {
+        auto r = db->Execute("COMMIT");
+        benchmark::DoNotOptimize(r.ok());
+      }
+    }
+    seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    commits += static_cast<uint64_t>(kStatementsPerIter / k);
+    statements += kStatementsPerIter;
+  }
+  const uint64_t syncs = db->pager().stats().wal_syncs - syncs_before;
+  const double commits_per_sec =
+      seconds > 0 ? static_cast<double>(commits) / seconds : 0;
+  const double statements_per_sec =
+      seconds > 0 ? static_cast<double>(statements) / seconds : 0;
+  state.SetItemsProcessed(static_cast<int64_t>(statements));
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["commits"] = static_cast<double>(commits);
+  state.counters["statements"] = static_cast<double>(statements);
+  state.counters["wal_syncs"] = static_cast<double>(syncs);
+  state.counters["commits_per_sec"] = commits_per_sec;
+  state.counters["statements_per_sec"] = statements_per_sec;
+  bench::AppendBenchJsonLine(
+      "txn", "Multi/k" + std::to_string(k),
+      {{"iterations", static_cast<double>(state.iterations())},
+       {"k", static_cast<double>(k)},
+       {"commits", static_cast<double>(commits)},
+       {"statements", static_cast<double>(statements)},
+       {"wal_syncs", static_cast<double>(syncs)},
+       {"commits_per_sec", commits_per_sec},
+       {"statements_per_sec", statements_per_sec}});
+  db->pager().CrashForTesting();
+}
+BENCHMARK(BM_Txn_Multi)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

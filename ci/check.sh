@@ -259,6 +259,45 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Transaction-rollback smoke: one writer streams BEGIN..COMMIT / ROLLBACK
+# transactions (every third rolled back and retried) with sync-on-commit,
+# then is SIGKILLed mid-stream — often mid-transaction or mid-rollback.
+# Reopening by path must surface exactly a committed-transaction prefix:
+# every acknowledged COMMIT present, a whole number of transactions, and no
+# trace of any rolled-back or open batch.
+# ---------------------------------------------------------------------------
+if [[ -x "${BUILD_DIR}/catalog_smoke" ]]; then
+  TXN_DIR="${SMOKE_DIR}/txn"
+  mkdir -p "${TXN_DIR}"
+  "${BUILD_DIR}/catalog_smoke" txn-run "${TXN_DIR}/db" \
+    > "${SMOKE_DIR}/txn_run.log" 2>&1 &
+  txn_pid=$!
+  # Kill only after several durable COMMITs (and, by the every-third cadence,
+  # at least one ROLLBACK) have provably happened — polling, not a fixed
+  # sleep, so the gate does not depend on machine speed.
+  for _ in $(seq 1 120); do
+    commits="$(awk '/^committed/{n++} END{print n+0}' \
+      "${SMOKE_DIR}/txn_run.log" 2>/dev/null || true)"
+    if (( ${commits:-0} >= 5 )); then
+      break
+    fi
+    sleep 0.5
+  done
+  kill -9 "${txn_pid}" 2>/dev/null || true
+  wait "${txn_pid}" 2>/dev/null || true
+  min_txn_rows="$(awk '/^committed/{n=$2} END{print n+0}' "${SMOKE_DIR}/txn_run.log")"
+  if (( min_txn_rows == 0 )); then
+    echo "ci/check.sh: txn smoke never reached its first durable COMMIT" >&2
+    exit 1
+  fi
+  txn_line="$("${BUILD_DIR}/catalog_smoke" txn-recover "${TXN_DIR}/db" "${min_txn_rows}")"
+  echo "ci/check.sh: txn smoke: ${txn_line}" \
+       "(SIGKILL after >=${min_txn_rows} committed rows)"
+else
+  echo "ci/check.sh: catalog_smoke not built; skipping transaction-rollback smoke"
+fi
+
+# ---------------------------------------------------------------------------
 # Group-commit perf gate: concurrent committers batching onto one leader
 # fsync (Pager::SyncWalThrough / Wal::SyncThrough) must sustain >= 2x the
 # committed-statements/s of the fsync-per-commit baseline at 8 committer
@@ -287,6 +326,34 @@ if [[ -x "${BUILD_DIR}/bench_txn" ]]; then
     echo "ci/check.sh: group commit (${group_cps} commits/s) is not >= 2x the" \
          "fsync-per-commit baseline (${serial_cps} commits/s) —" \
          "commit-batching regression" >&2
+    exit 1
+  fi
+
+  # -------------------------------------------------------------------------
+  # Multi-statement transaction gate: grouping K=8 statements under one
+  # BEGIN..COMMIT fsync must sustain >= 1.5x the committed statements/s of
+  # K=1 autocommit (measured ~2-4x; the 1.5x floor leaves headroom for
+  # loaded runners while still catching a statement-batching regression).
+  # -------------------------------------------------------------------------
+  DS_SPILL_DIR="${SMOKE_DIR}" DS_BENCH_JSON_DIR="${SMOKE_DIR}" \
+    "${BUILD_DIR}/bench_txn" \
+    --benchmark_filter='BM_Txn_Multi/(1|8)/' \
+    --benchmark_min_time=0.05
+  k1_sps="$(sed -n 's/.*"run":"Multi\/k1".*"statements_per_sec":\([0-9][0-9.e+-]*\).*/\1/p' \
+    "${SMOKE_DIR}/BENCH_txn.json" | head -n1)"
+  k8_sps="$(sed -n 's/.*"run":"Multi\/k8".*"statements_per_sec":\([0-9][0-9.e+-]*\).*/\1/p' \
+    "${SMOKE_DIR}/BENCH_txn.json" | head -n1)"
+  if [[ -z "${k1_sps}" || -z "${k8_sps}" ]]; then
+    echo "ci/check.sh: could not parse statements_per_sec from BENCH_txn.json" >&2
+    exit 1
+  fi
+  echo "ci/check.sh: multi-statement txns: k8=${k8_sps} k1=${k1_sps}" \
+       "statements/s (need >= 1.5x)"
+  if ! awk -v a="${k8_sps}" -v b="${k1_sps}" \
+       'BEGIN { exit !(b > 0 && a >= 1.5 * b) }'; then
+    echo "ci/check.sh: K=8 statement batching (${k8_sps} statements/s) is not" \
+         ">= 1.5x the K=1 autocommit baseline (${k1_sps} statements/s) —" \
+         "multi-statement-transaction regression" >&2
     exit 1
   fi
 else

@@ -390,6 +390,10 @@ Status Table::UpdateAt(size_t pos, size_t col, Value v) {
   }
   DS_ASSIGN_OR_RETURN(uint64_t rid, order_.Get(pos));
   DS_ASSIGN_OR_RETURN(Value coerced, CoerceForColumn(std::move(v), col));
+  Value before;
+  if (undo_ != nullptr) {
+    DS_ASSIGN_OR_RETURN(before, storage_->Get(SlotOf(rid), col));
+  }
   // Statement bracket: everything this update logs is all-or-nothing across
   // crashes (DESIGN.md §7). Nested inside a Database-level statement it
   // rides the outer bracket.
@@ -411,11 +415,19 @@ Status Table::UpdateAt(size_t pos, size_t col, Value v) {
   }
   DS_RETURN_IF_ERROR(storage_->Set(SlotOf(rid), col, std::move(coerced)));
   txn.Commit();
+  if (undo_ != nullptr) {
+    undo_->entries.push_back({UndoJournal::Entry::Kind::kUpdate, this, 0, col,
+                              rid, {}, std::move(before)});
+  }
   Notify(TableChange{TableChange::Kind::kUpdate, pos, col});
   return Status::OK();
 }
 
 Status Table::InsertRowAt(size_t pos, Row row) {
+  return InsertRowAtWithRid(pos, std::move(row), next_rid_);
+}
+
+Status Table::InsertRowAtWithRid(size_t pos, Row row, uint64_t rid) {
   DS_RETURN_IF_ERROR(ValidateRow(row));
   for (size_t c = 0; c < row.size(); ++c) {
     DS_ASSIGN_OR_RETURN(row[c], CoerceForColumn(std::move(row[c]), c));
@@ -431,7 +443,6 @@ Status Table::InsertRowAt(size_t pos, Row row) {
                                          row[*pk].ToSqlLiteral() + " in " + name_);
     }
   }
-  uint64_t rid = next_rid_;
   // Statement bracket: recovery applies the records below only if the
   // closing kTxnCommit survived, so a crash mid-insert rolls the whole row
   // away — Attach's torn-statement reconciliation is now a fallback for
@@ -467,7 +478,7 @@ Status Table::InsertRowAt(size_t pos, Row row) {
     return slot_or.status();
   }
   size_t slot = slot_or.ValueOrDie();
-  next_rid_ += 1;
+  if (rid >= next_rid_) next_rid_ = rid + 1;
   if (rid_to_slot_.size() <= rid) rid_to_slot_.resize(rid + 1);
   rid_to_slot_[rid] = slot;
   if (slot_to_rid_.size() <= slot) slot_to_rid_.resize(slot + 1);
@@ -475,6 +486,10 @@ Status Table::InsertRowAt(size_t pos, Row row) {
   DS_RETURN_IF_ERROR(order_.InsertAt(pos, rid));
   if (pk) pk_to_rid_[row[*pk]] = rid;
   txn.Commit();
+  if (undo_ != nullptr) {
+    undo_->entries.push_back(
+        {UndoJournal::Entry::Kind::kInsert, this, pos, 0, rid, {}, {}});
+  }
   Notify(TableChange{TableChange::Kind::kInsert, pos, 0});
   return Status::OK();
 }
@@ -486,6 +501,12 @@ Status Table::AppendRow(Row row) {
 Status Table::DeleteRowAt(size_t pos) {
   DS_ASSIGN_OR_RETURN(uint64_t rid, order_.Get(pos));
   size_t slot = SlotOf(rid);
+  Row before;
+  if (undo_ != nullptr) {
+    // Capture the full tuple before any mutation — the RCV pre-step below
+    // nulls cells in place, so this read cannot wait.
+    DS_ASSIGN_OR_RETURN(before, storage_->GetRow(slot));
+  }
   // Statement bracket: the rid move, order rewrite, data swap, and
   // truncations below commit or vanish together (DESIGN.md §7).
   storage::StatementScope txn(storage_->pager());
@@ -537,6 +558,10 @@ Status Table::DeleteRowAt(size_t pos) {
   if (durable()) storage_->pager().Truncate(rid_file_, n - 1);
   (void)order_.EraseAt(pos);
   txn.Commit();
+  if (undo_ != nullptr) {
+    undo_->entries.push_back({UndoJournal::Entry::Kind::kDelete, this, pos, 0,
+                              rid, std::move(before), {}});
+  }
   Notify(TableChange{TableChange::Kind::kDelete, pos, 0});
   return Status::OK();
 }
@@ -639,6 +664,10 @@ Status Table::UpdateByKey(const Value& key, size_t col, Value v) {
   }
   uint64_t rid = it->second;
   DS_ASSIGN_OR_RETURN(Value coerced, CoerceForColumn(std::move(v), col));
+  Value before;
+  if (undo_ != nullptr) {
+    DS_ASSIGN_OR_RETURN(before, storage_->Get(SlotOf(rid), col));
+  }
   storage::StatementScope txn(storage_->pager());
   if (col == *pk) {
     if (coerced.is_null()) {
@@ -654,6 +683,54 @@ Status Table::UpdateByKey(const Value& key, size_t col, Value v) {
     pk_to_rid_[coerced] = rid;
   }
   DS_RETURN_IF_ERROR(storage_->Set(SlotOf(rid), col, std::move(coerced)));
+  txn.Commit();
+  if (undo_ != nullptr) {
+    undo_->entries.push_back({UndoJournal::Entry::Kind::kUpdate, this, 0, col,
+                              rid, {}, std::move(before)});
+  }
+  Notify(TableChange{TableChange::Kind::kBulk, 0, col});
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Transaction undo (DESIGN.md §7): each UndoX reverses one journal entry.
+// Undo runs in exact reverse journal order, so the state each entry sees is
+// precisely the state its forward op left behind — recorded positions and
+// rids are valid again by induction. Capture is suspended (undo_ cleared)
+// while an undo executes; the WAL still logs the undo's page mutations as
+// compensations inside the open abort bracket.
+// ---------------------------------------------------------------------------
+
+Status Table::UndoInsertRow(size_t pos, uint64_t rid) {
+  UndoJournal* saved = undo_;
+  undo_ = nullptr;
+  Status s = DeleteRowAt(pos);
+  undo_ = saved;
+  DS_RETURN_IF_ERROR(s);
+  // Hand the id back: the insert consumed next_rid_, and every later insert
+  // has already been undone, so the counter steps straight down.
+  if (rid + 1 == next_rid_) next_rid_ = rid;
+  return Status::OK();
+}
+
+Status Table::UndoDeleteRow(size_t pos, Row row, uint64_t rid) {
+  UndoJournal* saved = undo_;
+  undo_ = nullptr;
+  Status s = InsertRowAtWithRid(pos, std::move(row), rid);
+  undo_ = saved;
+  return s;
+}
+
+Status Table::UndoUpdateCell(uint64_t rid, size_t col, Value old_value) {
+  size_t slot = SlotOf(rid);
+  storage::StatementScope txn(storage_->pager());
+  auto pk = schema_.primary_key_index();
+  if (pk && *pk == col) {
+    DS_ASSIGN_OR_RETURN(Value current, storage_->Get(slot, col));
+    pk_to_rid_.erase(current);
+    if (!old_value.is_null()) pk_to_rid_[old_value] = rid;
+  }
+  DS_RETURN_IF_ERROR(storage_->Set(slot, col, std::move(old_value)));
   txn.Commit();
   Notify(TableChange{TableChange::Kind::kBulk, 0, col});
   return Status::OK();

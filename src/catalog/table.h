@@ -9,6 +9,7 @@
 
 #include "catalog/catalog_codec.h"
 #include "catalog/schema.h"
+#include "catalog/undo_journal.h"
 #include "common/result.h"
 #include "index/positional_index.h"
 #include "storage/table_storage.h"
@@ -167,6 +168,24 @@ class Table {
   /// pointing at dropped files. No-op for other models.
   Status Reorganize();
 
+  // ---- Transaction undo (src/db/database.cc, DESIGN.md §7) ------------------
+
+  /// Installs (or clears, with nullptr) a transaction undo journal: while
+  /// one is installed, every successful DML mutator appends its before-image
+  /// entry. The Database layer installs one journal on every table at BEGIN
+  /// and clears it again when the transaction ends.
+  void set_undo_journal(UndoJournal* journal) { undo_ = journal; }
+
+  /// Reverses an insert recorded as (pos, rid): deletes the row and hands
+  /// the row id back (`next_rid_` steps straight down — every later insert
+  /// has already been undone). Capture is suspended inside.
+  Status UndoInsertRow(size_t pos, uint64_t rid);
+  /// Reverses a delete: re-inserts `row` at `pos` under its original `rid`.
+  Status UndoDeleteRow(size_t pos, Row row, uint64_t rid);
+  /// Reverses a cell update on row `rid` (rid-addressed so UpdateByKey is
+  /// undoable without recovering a display position).
+  Status UndoUpdateCell(uint64_t rid, size_t col, Value old_value);
+
   // ---- Change notification ---------------------------------------------------
 
   using Listener = std::function<void(const Table&, const TableChange&)>;
@@ -179,6 +198,10 @@ class Table {
 
   Status ValidateRow(const Row& row) const;
   Result<Value> CoerceForColumn(Value v, size_t col) const;
+  /// InsertRowAt with the row id chosen by the caller — the undo-delete
+  /// path re-inserts under the original rid; the public path passes
+  /// `next_rid_`.
+  Status InsertRowAtWithRid(size_t pos, Row row, uint64_t rid);
   size_t SlotOf(uint64_t rid) const { return rid_to_slot_[rid]; }
   void Notify(const TableChange& change);
   /// Rebuilds pk index; used after schema changes that affect the PK column.
@@ -212,6 +235,8 @@ class Table {
   storage::FileId order_file_ = 0;
   storage::FileId rid_file_ = 0;
   bool retain_files_ = false;
+  UndoJournal* undo_ = nullptr;  // non-null while a transaction is open
+
 };
 
 }  // namespace dataspread

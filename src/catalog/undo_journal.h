@@ -1,0 +1,49 @@
+#ifndef DATASPREAD_CATALOG_UNDO_JOURNAL_H_
+#define DATASPREAD_CATALOG_UNDO_JOURNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/value.h"
+
+namespace dataspread {
+
+class Table;
+
+/// The per-transaction logical undo journal (DESIGN.md §7). While a
+/// multi-statement transaction is open, every DML mutator on every table
+/// appends one before-image entry here; ROLLBACK replays the entries in
+/// reverse, each undo restoring the exact pre-op state (positions recorded
+/// at do-time are valid again at undo-time by induction — every later op
+/// has already been undone). The undo operations are themselves logged as
+/// WAL compensations *inside* the transaction's abort bracket, so replaying
+/// an aborted bracket is a net no-op.
+///
+/// Entries reference tables by pointer: DDL is rejected inside an open
+/// transaction, so the table set (and every Table*) is stable for the
+/// journal's lifetime.
+struct UndoJournal {
+  struct Entry {
+    enum class Kind {
+      kInsert,  ///< row `rid` was inserted at display position `pos`
+      kDelete,  ///< row `rid` = `row` was deleted from display position `pos`
+      kUpdate,  ///< cell (`rid`, `col`) changed; prior value in `old_value`
+    };
+    Kind kind = Kind::kInsert;
+    Table* table = nullptr;
+    size_t pos = 0;    ///< kInsert / kDelete: display position
+    size_t col = 0;    ///< kUpdate: column index
+    uint64_t rid = 0;  ///< the stable row id involved
+    Row row;           ///< kDelete: the deleted tuple (before-image)
+    Value old_value;   ///< kUpdate: the prior cell value
+  };
+
+  std::vector<Entry> entries;
+
+  void Clear() { entries.clear(); }
+  bool empty() const { return entries.empty(); }
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CATALOG_UNDO_JOURNAL_H_

@@ -64,6 +64,10 @@ storage::FileLock Database::LockPairOrDie(const DatabaseOptions& options) {
 }
 
 Database::~Database() {
+  // A transaction still open at destruction is rolled back — the pager
+  // destructor's checkpoint must not run inside an open bracket, and the
+  // never-committed work must not reach disk as if it had committed.
+  if (txn_open_) RollbackOpenTxn();
   // Capture the final catalog blob while the catalog is still alive: the
   // pager outlives it (member order) and its destructor's checkpoint must
   // carry the full catalog forward.
@@ -97,6 +101,9 @@ Result<std::unique_ptr<Database>> Database::TryOpen(
 void Database::Close() {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (closed_) return;
+  // An open transaction cannot survive the database: roll it back so the
+  // closing checkpoint snapshots only committed state.
+  if (txn_open_) RollbackOpenTxn();
   (void)pager_.FlushAll();
   closed_ = true;
 }
@@ -157,10 +164,41 @@ Result<ResultSet> Database::Execute(std::string_view sql,
     if (closed_) {
       return Status::InvalidArgument("database is closed");
     }
-    DS_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+    auto parsed = sql::Parse(sql);
+    if (!parsed.ok()) {
+      // A statement that does not even parse still poisons an open
+      // transaction: the client's script went off the rails mid-batch.
+      if (txn_open_) txn_poisoned_ = true;
+      return parsed.status();
+    }
+    sql::Statement stmt = std::move(parsed).value();
     statements_executed_ += 1;
     last_commit_end_lsn_ = 0;
+    const bool is_txn_control =
+        std::holds_alternative<sql::TransactionStmt>(stmt);
+    if (txn_open_ && !is_txn_control) {
+      if (txn_poisoned_) {
+        return Status::InvalidArgument(
+            "current transaction is aborted, commands ignored until ROLLBACK");
+      }
+      if (std::holds_alternative<sql::CreateTableStmt>(stmt) ||
+          std::holds_alternative<sql::DropTableStmt>(stmt) ||
+          std::holds_alternative<sql::AlterTableStmt>(stmt)) {
+        // DDL records are individually durable commit points (fsynced as
+        // they log) — they cannot ride a bracket a ROLLBACK may abort.
+        txn_poisoned_ = true;
+        return Status::InvalidArgument(
+            "DDL inside a multi-statement transaction is not supported");
+      }
+    }
     Result<ResultSet> r = Dispatch(stmt, resolver);
+    if (!r.ok() && txn_open_ && !is_txn_control) {
+      // Postgres semantics: any failed statement poisons the transaction;
+      // everything but ROLLBACK (or COMMIT, which then rolls back) fails
+      // until the client acknowledges the abort. Control-statement errors
+      // (nested BEGIN) are protocol noise, not transaction failures.
+      txn_poisoned_ = true;
+    }
     if (r.ok() && sync_on_commit_ && last_commit_end_lsn_ != 0) {
       if (group_commit_) {
         // Commit barrier runs *outside* the statement mutex (below):
@@ -201,7 +239,108 @@ Result<ResultSet> Database::Dispatch(sql::Statement& stmt,
   if (auto* s = std::get_if<sql::AlterTableStmt>(&stmt)) {
     return ExecuteAlter(*s, resolver);
   }
+  if (auto* s = std::get_if<sql::TransactionStmt>(&stmt)) {
+    return ExecuteTransaction(*s);
+  }
   return Status::Internal("unhandled statement kind");
+}
+
+Result<ResultSet> Database::ExecuteTransaction(const sql::TransactionStmt& stmt) {
+  ResultSet rs;
+  switch (stmt.kind) {
+    case sql::TransactionStmt::Kind::kBegin:
+      if (txn_open_) {
+        return Status::InvalidArgument(
+            "BEGIN inside an open transaction (nesting is not supported)");
+      }
+      txn_open_ = true;
+      txn_poisoned_ = false;
+      txn_undo_.Clear();
+      // One WAL bracket spans the whole transaction: the statements inside
+      // ride it (their own EndStatement calls sit at depth > 0 and emit
+      // nothing), so a crash before COMMIT discards every statement.
+      pager_.BeginTxn();
+      // DDL is rejected while the transaction is open, so the table set —
+      // and each journal installation — is stable until it ends.
+      InstallUndoJournal(&txn_undo_);
+      rs.message = "BEGIN";
+      return rs;
+    case sql::TransactionStmt::Kind::kCommit: {
+      if (!txn_open_) {
+        return Status::InvalidArgument("COMMIT without an open transaction");
+      }
+      if (txn_poisoned_) {
+        // Postgres semantics: committing an aborted transaction rolls it
+        // back and reports so, rather than erroring a second time.
+        RollbackOpenTxn();
+        rs.message = "ROLLBACK";
+        return rs;
+      }
+      InstallUndoJournal(nullptr);
+      txn_undo_.Clear();
+      txn_open_ = false;
+      // The transaction's commit barrier: Execute() syncs through this end
+      // boundary under sync_on_commit — the fsync the member statements
+      // each skipped.
+      last_commit_end_lsn_ = pager_.CommitTxn();
+      rs.message = "COMMIT";
+      return rs;
+    }
+    case sql::TransactionStmt::Kind::kRollback:
+      if (!txn_open_) {
+        return Status::InvalidArgument("ROLLBACK without an open transaction");
+      }
+      RollbackOpenTxn();
+      rs.message = "ROLLBACK";
+      return rs;
+  }
+  return Status::Internal("unhandled transaction statement kind");
+}
+
+void Database::InstallUndoJournal(UndoJournal* journal) {
+  for (const std::string& name : catalog_.TableNames()) {
+    auto table = catalog_.GetTable(name);
+    if (table.ok()) table.value()->set_undo_journal(journal);
+  }
+}
+
+void Database::RollbackOpenTxn() {
+  // Suspend capture before undoing: the compensations below must not
+  // journal themselves.
+  InstallUndoJournal(nullptr);
+  for (auto it = txn_undo_.entries.rbegin(); it != txn_undo_.entries.rend();
+       ++it) {
+    UndoJournal::Entry& e = *it;
+    Status s = Status::OK();
+    switch (e.kind) {
+      case UndoJournal::Entry::Kind::kInsert:
+        s = e.table->UndoInsertRow(e.pos, e.rid);
+        break;
+      case UndoJournal::Entry::Kind::kDelete:
+        s = e.table->UndoDeleteRow(e.pos, std::move(e.row), e.rid);
+        break;
+      case UndoJournal::Entry::Kind::kUpdate:
+        s = e.table->UndoUpdateCell(e.rid, e.col, std::move(e.old_value));
+        break;
+    }
+    if (!s.ok()) {
+      // Undo replays exact before-images over states it has already
+      // restored; a failure means the in-memory state is neither the pre-
+      // nor the post-transaction one. Same stance as catalog corruption:
+      // do not limp on.
+      std::fprintf(stderr, "dataspread::Database ROLLBACK failed: %s\n",
+                   s.message().c_str());
+      std::abort();
+    }
+  }
+  txn_undo_.Clear();
+  txn_open_ = false;
+  txn_poisoned_ = false;
+  // Close the WAL bracket with kTxnAbort. The undo's page mutations were
+  // logged inside the bracket as compensations, so replaying it is a net
+  // no-op — and if the process dies before this record, recovery discards
+  // the open bracket wholesale, which lands in the same state.
+  pager_.AbortTxn();
 }
 
 Result<ResultSet> Database::ExecuteInsert(sql::InsertStmt& stmt,
@@ -529,6 +668,10 @@ Result<Table*> Database::CreateTable(std::string name, Schema schema,
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (closed_) {
     return Status::InvalidArgument("database is closed");
+  }
+  if (txn_open_) {
+    return Status::InvalidArgument(
+        "DDL inside a multi-statement transaction is not supported");
   }
   DS_ASSIGN_OR_RETURN(Table * table, catalog_.CreateTable(std::move(name),
                                                           std::move(schema),

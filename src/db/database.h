@@ -50,10 +50,21 @@ struct DatabaseOptions {
 };
 
 /// The embedded relational engine standing in for the paper's PostgreSQL
-/// back-end (see DESIGN.md §2). One statement at a time, each a transaction:
-/// statement-level atomicity holds both for constraint violations (logical
-/// rollback) and across crashes (WAL statement brackets — recovery replays
-/// exactly the committed-statement prefix, DESIGN.md §7).
+/// back-end (see DESIGN.md §2). Statements execute one at a time; each is a
+/// transaction of its own (autocommit) unless a SQL `BEGIN` is open, in
+/// which case statements accumulate into one multi-statement transaction
+/// closed by `COMMIT` or `ROLLBACK`/`ABORT`. Atomicity holds at the
+/// transaction granularity both for logical failures (a per-transaction
+/// undo journal restores tables, display order, and row-id maps on
+/// rollback) and across crashes (WAL transaction brackets — recovery
+/// replays exactly the committed-transaction prefix, DESIGN.md §7).
+///
+/// The state machine is Postgres-shaped: nested BEGIN is rejected,
+/// COMMIT/ROLLBACK without BEGIN is rejected, any error inside an open
+/// transaction *poisons* it (every further statement fails until ROLLBACK;
+/// COMMIT of a poisoned transaction rolls back), and DDL inside an
+/// explicit transaction is rejected (DDL records are individually-durable
+/// commit points that cannot ride an abortable bracket).
 ///
 /// Threading: Execute() is serialized by an internal recursive mutex so the
 /// compute engine's background worker can run queries while the interactive
@@ -169,6 +180,16 @@ class Database {
   Result<ResultSet> ExecuteDrop(sql::DropTableStmt& stmt);
   Result<ResultSet> ExecuteAlter(sql::AlterTableStmt& stmt,
                                  ExternalResolver* resolver);
+  Result<ResultSet> ExecuteTransaction(const sql::TransactionStmt& stmt);
+
+  /// Installs `journal` (may be null) as the undo journal of every table.
+  void InstallUndoJournal(UndoJournal* journal);
+  /// Rolls the open transaction back: undo journal applied in reverse
+  /// (capture suspended), then the WAL bracket closes with kTxnAbort — the
+  /// logged compensations make replaying the bracket a net no-op. An undo
+  /// failure aborts the process (the in-memory state would be neither the
+  /// pre- nor the post-transaction one).
+  void RollbackOpenTxn();
 
   /// Wires a table's change events to the database-level listeners.
   void AttachForwarding(Table* table);
@@ -194,9 +215,16 @@ class Database {
   ExecOptions exec_;
   bool sync_on_commit_ = false;
   bool group_commit_ = true;
-  /// End LSN of the last committed statement bracket (set under mutex_ by
-  /// the DML paths); Execute() consumes it for the commit barrier.
+  /// End LSN of the last committed transaction bracket (set under mutex_ by
+  /// the DML paths in autocommit, and by COMMIT for explicit transactions —
+  /// inside an open BEGIN the per-statement Commit() returns 0, so the
+  /// group-commit fsync moves from statement end to transaction commit);
+  /// Execute() consumes it for the commit barrier.
   uint64_t last_commit_end_lsn_ = 0;
+  // ---- Multi-statement transaction state (guarded by mutex_) ----
+  bool txn_open_ = false;
+  bool txn_poisoned_ = false;
+  UndoJournal txn_undo_;
 };
 
 }  // namespace dataspread

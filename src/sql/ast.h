@@ -163,8 +163,17 @@ struct AlterTableStmt {
   std::string new_name;     // kRenameColumn
 };
 
+/// Transaction control: `BEGIN [TRANSACTION|WORK]`, `COMMIT [...]`,
+/// `ROLLBACK [...]` (`ABORT` parses as kRollback). The statement carries no
+/// payload — the Database layer owns the per-connection transaction state.
+struct TransactionStmt {
+  enum class Kind { kBegin, kCommit, kRollback };
+  Kind kind = Kind::kBegin;
+};
+
 using Statement = std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
-                               CreateTableStmt, DropTableStmt, AlterTableStmt>;
+                               CreateTableStmt, DropTableStmt, AlterTableStmt,
+                               TransactionStmt>;
 
 }  // namespace dataspread::sql
 

@@ -19,6 +19,7 @@ const std::unordered_set<std::string>& ReservedWords() {
       "SET",    "DELETE", "CREATE", "TABLE",   "DROP",    "ALTER",  "ADD",
       "COLUMN", "RENAME", "TO",     "PRIMARY", "KEY",     "DEFAULT", "IF",
       "EXISTS", "TRUE",   "FALSE",  "ASC",     "DESC",    "UNION",
+      "BEGIN",  "COMMIT", "ROLLBACK", "ABORT", "TRANSACTION", "WORK",
   };
   return *kWords;
 }
@@ -102,8 +103,23 @@ class Parser {
     if (IsKeyword("CREATE")) return ParseCreateTable();
     if (IsKeyword("DROP")) return ParseDropTable();
     if (IsKeyword("ALTER")) return ParseAlterTable();
+    if (IsKeyword("BEGIN"))
+      return ParseTransaction(TransactionStmt::Kind::kBegin);
+    if (IsKeyword("COMMIT"))
+      return ParseTransaction(TransactionStmt::Kind::kCommit);
+    if (IsKeyword("ROLLBACK") || IsKeyword("ABORT"))
+      return ParseTransaction(TransactionStmt::Kind::kRollback);
     return Status::ParseError("expected a SQL statement, got '" + Peek().text +
                               "'");
+  }
+
+  Result<Statement> ParseTransaction(TransactionStmt::Kind kind) {
+    Advance();  // BEGIN / COMMIT / ROLLBACK / ABORT
+    // Optional noise words, Postgres-style.
+    if (!MatchKeyword("TRANSACTION")) (void)MatchKeyword("WORK");
+    TransactionStmt stmt;
+    stmt.kind = kind;
+    return Statement(stmt);
   }
 
   Result<SelectStmt> ParseSelect() {

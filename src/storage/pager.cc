@@ -491,8 +491,12 @@ void Pager::ReadRange(FileId file, uint64_t start, uint64_t count, Row* out) {
     if (accounting_.load(std::memory_order_relaxed)) {
       NoteEpochRead(file, page_index);
     }
-    for (; s < page_end; ++s) {
-      out->push_back(page.slot(s % kSlotsPerPage));
+    {
+      std::shared_lock<std::shared_mutex> data(
+          frame_latches_[chain.pages[page_index].frame]);
+      for (; s < page_end; ++s) {
+        out->push_back(page.slot(s % kSlotsPerPage));
+      }
     }
   }
   if (accounting_.load(std::memory_order_relaxed)) {
@@ -509,7 +513,13 @@ void Pager::Write(FileId file, uint64_t slot, Value v) {
   ValuePage& page = PageForSlot(file, chain, slot);
   MaybePromote(page);
   RecordWrite(file, slot, page);
-  page.slot(slot % kSlotsPerPage) = std::move(v);
+  {
+    // Latch order mu_ -> frame latch: cursor readers hold only the data
+    // latch, so the mutation itself must take it exclusively.
+    std::unique_lock<std::shared_mutex> data(
+        frame_latches_[chain.pages[slot / kSlotsPerPage].frame]);
+    page.slot(slot % kSlotsPerPage) = std::move(v);
+  }
   LogPageMutation(file, chain, slot / kSlotsPerPage, slot % kSlotsPerPage, 1);
 }
 
@@ -533,8 +543,12 @@ void Pager::WriteRange(FileId file, uint64_t start, const Value* values,
       NoteEpochWrite(file, page_index);
     }
     uint64_t seg_start = s;
-    for (; s < page_end; ++s) {
-      page.slot(s % kSlotsPerPage) = values[s - start];
+    {
+      std::unique_lock<std::shared_mutex> data(
+          frame_latches_[chain.pages[page_index].frame]);
+      for (; s < page_end; ++s) {
+        page.slot(s % kSlotsPerPage) = values[s - start];
+      }
     }
     // Size advances with the covered prefix, so each per-page redo record
     // is a self-consistent state (a torn log replays to a clean prefix).
@@ -560,7 +574,12 @@ Value Pager::Take(FileId file, uint64_t slot) {
   // could skip write-back and resurrect the taken value from a stale spill
   // copy. Accounting-wise Take still counts as a read (unchanged).
   page.dirty_ = true;
-  Value out = std::exchange(page.slot(slot % kSlotsPerPage), Value::Null());
+  Value out;
+  {
+    std::unique_lock<std::shared_mutex> data(
+        frame_latches_[chain.pages[slot / kSlotsPerPage].frame]);
+    out = std::exchange(page.slot(slot % kSlotsPerPage), Value::Null());
+  }
   LogPageMutation(file, chain, slot / kSlotsPerPage, slot % kSlotsPerPage, 1);
   return out;
 }
@@ -592,9 +611,13 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
       LogPageMutation(file, chain, keep_pages - 1, 0, kSlotsPerPage,
                       /*allow_auto_checkpoint=*/false);
     }
-    for (uint64_t s = slot_count;
-         s < chain.size && s < keep_pages * kSlotsPerPage; ++s) {
-      page.slot(s % kSlotsPerPage) = Value::Null();
+    {
+      std::unique_lock<std::shared_mutex> data(
+          frame_latches_[chain.pages[keep_pages - 1].frame]);
+      for (uint64_t s = slot_count;
+           s < chain.size && s < keep_pages * kSlotsPerPage; ++s) {
+        page.slot(s % kSlotsPerPage) = Value::Null();
+      }
     }
     page.dirty_ = true;  // not accounted: truncation is not a page write
     boundary = &page;
@@ -701,7 +724,15 @@ ValuePage* Pager::ClockVictim() {
 
 size_t Pager::FlushAll() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (wal_ != nullptr) return CheckpointInternal();
+  if (wal_ != nullptr) {
+    // A checkpoint snapshot must not split an open statement/transaction
+    // bracket across the log rewrite. The Database layer rolls back any
+    // open transaction before Close()/Checkpoint(); if a caller still gets
+    // here mid-bracket, skip rather than abort — the bracket close runs
+    // any deferred auto-checkpoint.
+    if (stmt_depth_ > 0 || stmt_open_) return 0;
+    return CheckpointInternal();
+  }
   size_t flushed = 0;
   for (const auto& page : page_table_) {
     if (page == nullptr || page->is_free() || !page->dirty_) continue;

@@ -377,6 +377,25 @@ class Pager {
   /// commit semantics, or 0 when nothing was logged (nothing to sync).
   uint64_t EndStatement(bool commit);
 
+  // ---- Transaction brackets (DESIGN.md §7) ----------------------------------
+  //
+  // A transaction bracket is the statement-bracket depth mechanism opened
+  // one level higher: BeginTxn() raises the depth so every statement
+  // executed until CommitTxn()/AbortTxn() rides ONE
+  // kTxnBegin..kTxnCommit/kTxnAbort pair — the statements' own
+  // EndStatement calls sit at depth > 0 and emit no closing record (and
+  // return 0, so per-statement group-commit syncs vanish inside a
+  // transaction). Recovery is unchanged: a crash mid-transaction leaves
+  // the bracket unterminated and the whole transaction — every statement
+  // inside it — is discarded wholesale. AbortTxn closes with kTxnAbort
+  // *after* the caller has logged its undo compensations inside the
+  // bracket, so replaying an aborted transaction is a net no-op.
+
+  void BeginTxn() { BeginStatement(); }
+  /// Returns the WAL end boundary for SyncWalThrough (0 if nothing logged).
+  uint64_t CommitTxn() { return EndStatement(true); }
+  uint64_t AbortTxn() { return EndStatement(false); }
+
   /// True when this pager runs in durable mode (a WAL is configured). The
   /// catalog layer keys its own persistence on this: side files, DDL
   /// records, and file retention only exist for durable pools.

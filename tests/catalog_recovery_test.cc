@@ -789,6 +789,122 @@ INSTANTIATE_TEST_SUITE_P(AllModels, CommittedPrefixTest,
                          });
 
 // ---------------------------------------------------------------------------
+// Transaction brackets: cuts recover the committed-TRANSACTION prefix
+// ---------------------------------------------------------------------------
+
+/// CommittedPrefixTest generalized to SQL multi-statement transactions: the
+/// tape mixes committed, rolled-back, and (at the crash) open transactions,
+/// each spanning several DML statements inside one WAL bracket. Every byte
+/// cut must recover exactly a committed-transaction boundary — an open
+/// transaction at the cut never leaks a single statement's effects, and a
+/// rolled-back transaction is invisible at every cut (its bracket replays
+/// as a net no-op).
+class TxnCommittedPrefixTest : public ::testing::TestWithParam<StorageModel> {};
+
+TEST_P(TxnCommittedPrefixTest, CutsRecoverExactlyACommittedTransactionPrefix) {
+  StorageModel model = GetParam();
+  std::string tag = std::string("txn_prefix_") + StorageModelName(model);
+  DurablePair pair(tag);
+  DurablePair scratch(tag + "_scratch");
+  auto rows_of = [](Table* t) {
+    std::vector<Row> rows;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      rows.push_back(t->GetRowAt(r).ValueOrDie());
+    }
+    return rows;
+  };
+  auto match = [](const std::vector<Row>& got, const std::vector<Row>& want) {
+    if (got.size() != want.size()) return false;
+    for (size_t r = 0; r < got.size(); ++r) {
+      if (got[r].size() != want[r].size()) return false;
+      for (size_t c = 0; c < got[r].size(); ++c) {
+        if (!(got[r][c] == want[r][c])) return false;
+      }
+    }
+    return true;
+  };
+  std::vector<std::vector<Row>> states;  // barrier + each committed txn
+  size_t barrier_bytes = 0;
+  {
+    Database db(pair.Options(/*cap=*/2));
+    Table* t = db.catalog().CreateTable("t", ThreeColumnSchema(), model)
+                   .ValueOrDie();
+    auto exec = [&](const std::string& sql) {
+      auto r = db.Execute(sql);
+      ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    };
+    for (int i = 0; i < 12; ++i) {
+      exec("INSERT INTO t VALUES (" + std::to_string(i) + ", 't" +
+           std::to_string(i) + "', " + std::to_string(i / 2.0) + ")");
+    }
+    db.pager().SyncWal();  // the durability barrier
+    barrier_bytes = ReadFileBytes(pair.wal).size();
+    states.push_back(rows_of(t));
+    // Transaction 1, committed: three statements, one bracket.
+    exec("BEGIN");
+    exec("INSERT INTO t VALUES (100, 'txn1', 0.25)");
+    exec("UPDATE t SET txt = 'patched' WHERE id = 3");
+    exec("DELETE FROM t WHERE id = 7");
+    exec("COMMIT");
+    states.push_back(rows_of(t));
+    // Transaction 2, rolled back: mutations + their undo compensations ride
+    // one kTxnAbort bracket — invisible at every cut, so no boundary state.
+    exec("BEGIN");
+    exec("INSERT INTO t VALUES (200, 'txn2', 0.5)");
+    exec("UPDATE t SET real = 9.75 WHERE id = 4");
+    exec("DELETE FROM t WHERE id = 100");
+    exec("ROLLBACK");
+    ASSERT_TRUE(match(rows_of(t), states.back()));
+    // Transaction 3, committed.
+    exec("BEGIN");
+    exec("UPDATE t SET real = 1.125 WHERE id = 0");
+    exec("INSERT INTO t VALUES (300, 'txn3', 3.0)");
+    exec("COMMIT");
+    states.push_back(rows_of(t));
+    // Transaction 4, open at the crash: its statements must never surface.
+    exec("BEGIN");
+    exec("INSERT INTO t VALUES (400, 'open', 4.0)");
+    exec("DELETE FROM t WHERE id = 1");
+    exec("UPDATE t SET txt = 'leak' WHERE id = 2");
+    db.pager().CrashForTesting();
+  }
+  std::string wal_bytes = ReadFileBytes(pair.wal);
+  std::string spill_bytes = ReadFileBytesIfAny(pair.spill);
+  ASSERT_GT(wal_bytes.size(), barrier_bytes);
+
+  size_t last_matched = 0;
+  for (size_t len = barrier_bytes; len <= wal_bytes.size(); ++len) {
+    WriteFileBytes(scratch.wal, wal_bytes.substr(0, len));
+    WriteFileBytes(scratch.spill, spill_bytes);
+    Database recovered(scratch.Options(/*cap=*/4));
+    Table* t = recovered.catalog().GetTable("t").ValueOrDie();
+    std::vector<Row> got = rows_of(t);
+    size_t matched = states.size();
+    for (size_t k = last_matched; k < states.size(); ++k) {
+      if (match(got, states[k])) {
+        matched = k;
+        break;
+      }
+    }
+    ASSERT_LT(matched, states.size())
+        << "cut at byte " << len << " (" << StorageModelName(model)
+        << "): recovered " << got.size()
+        << " rows matching no committed-transaction boundary";
+    last_matched = matched;
+    recovered.pager().CrashForTesting();  // keep scratch for the next cut
+  }
+  EXPECT_EQ(last_matched, states.size() - 1)
+      << "the full log must recover every committed transaction and nothing "
+         "of the open one";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TxnCommittedPrefixTest,
+                         ::testing::ValuesIn(kAllModels),
+                         [](const auto& info) {
+                           return std::string(StorageModelName(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
 // Deferred-free regression: structural ops no longer fsync per free
 // ---------------------------------------------------------------------------
 

@@ -10,6 +10,9 @@
 //     final states must match slot for slot,
 //   - group commit: concurrent committers on one durable database, every
 //     successful statement individually durable across a crash,
+//   - multi-statement transactions: readers interleave with a writer's
+//     BEGIN..COMMIT / ROLLBACK brackets and only ever observe statement
+//     boundaries — a ROLLBACK's undo retracts its batch atomically,
 //   - the advisory pair lock: a second open fails fast with AlreadyExists
 //     while the first database lives, and succeeds after it dies.
 #include <gtest/gtest.h>
@@ -170,6 +173,88 @@ TEST(GroupCommitTest, ConcurrentCommittersAreEachDurableAcrossACrash) {
   EXPECT_EQ(r.value().rows[0][0], Value::Int(n));
   EXPECT_EQ(r.value().rows[0][1], Value::Int(sum));
   EXPECT_EQ(r.value().rows[0][2], Value::Int(sum * 3));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-statement transactions beside readers (DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+// One writer drives BEGIN..COMMIT / ROLLBACK transactions of kBatch INSERTs
+// each, re-issuing a rolled-back batch until it commits, so the table always
+// holds a prefix 0..n-1 of the sequence (a, 3a): a partially applied open
+// transaction extends the prefix one statement at a time, and a ROLLBACK
+// retracts it atomically (the whole undo runs inside one statement).
+// Statements serialize, so every concurrent SELECT must see such a prefix —
+// COUNT == n forces SUM(a) == n(n-1)/2 and SUM(b) == 3·SUM(a). TSan over
+// this test proves the undo journal and the transaction state machine are
+// race-free beside readers.
+TEST(TxnConcurrencyTest, ReadersBesideAWriterWithRandomRollbacks) {
+  constexpr int kTxns = 40;
+  constexpr int kBatch = 5;
+  DurableBase files("txn_rollback");
+  DatabaseOptions options;
+  options.sync_on_commit = true;
+  options.group_commit = true;
+  auto db = Database::Open(files.base, options);
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INT, b INT)").ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> writer_errors{0};
+  std::atomic<int> reader_errors{0};
+  int committed = 0;
+  std::thread writer([&] {
+    std::mt19937 rng(4242);
+    auto run = [&](const std::string& sql) {
+      if (!db->Execute(sql).ok()) writer_errors.fetch_add(1);
+    };
+    for (int txn = 0; txn < kTxns; ++txn) {
+      bool doomed = rng() % 3 == 0;
+      run("BEGIN");
+      for (int i = 0; i < kBatch; ++i) {
+        int v = committed + i;
+        run("INSERT INTO t VALUES (" + std::to_string(v) + ", " +
+            std::to_string(3 * v) + ")");
+      }
+      if (doomed) {
+        run("ROLLBACK");  // the batch vanishes; the next txn re-inserts it
+      } else {
+        run("COMMIT");
+        committed += kBatch;
+      }
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        auto res = db->Execute("SELECT COUNT(*), SUM(a), SUM(b) FROM t");
+        if (!res.ok()) {
+          reader_errors.fetch_add(1);
+          continue;
+        }
+        int64_t n = res.value().rows[0][0].int_value();
+        if (n > 0) {
+          int64_t sum = n * (n - 1) / 2;
+          if (res.value().rows[0][1] != Value::Int(sum) ||
+              res.value().rows[0][2] != Value::Int(3 * sum)) {
+            reader_errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(writer_errors.load(), 0);
+  EXPECT_EQ(reader_errors.load(), 0);
+  ASSERT_GT(committed, 0);
+
+  auto fin = db->Execute("SELECT COUNT(*), SUM(a) FROM t");
+  ASSERT_TRUE(fin.ok());
+  EXPECT_EQ(fin.value().rows[0][0], Value::Int(committed));
+  EXPECT_EQ(fin.value().rows[0][1],
+            Value::Int(static_cast<int64_t>(committed) * (committed - 1) / 2));
 }
 
 // ---------------------------------------------------------------------------

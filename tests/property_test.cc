@@ -896,6 +896,185 @@ TEST_P(ParallelTransparencyTest, SerialAndParallelPipelinesAgree) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Invariant 11: transaction boundaries are invisible (DESIGN.md §7). The
+// same surviving DML lands in the same end state whether each statement
+// autocommits, statements are grouped into BEGIN..COMMIT transactions, or
+// everything rides one big committed transaction — across every storage
+// model and pool size. And a rolled-back transaction is a perfect no-op:
+// the end state is byte-identical (values *and* types, in display order) to
+// a shadow database that never executed those operations at all.
+// ---------------------------------------------------------------------------
+
+class TxnTransparencyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TxnTransparencyTest, TransactionGroupingIsInvisibleAndRollbacksVanish) {
+  constexpr StorageModel kModels[] = {StorageModel::kRow,
+                                      StorageModel::kColumn,
+                                      StorageModel::kRcv,
+                                      StorageModel::kHybrid};
+  struct Op {
+    int kind;  // 0 append, 1 insert-at, 2 delete-at, 3 update
+    uint32_t table, a, b, c;
+  };
+  // The tape is partitioned into consecutive groups; each group is either
+  // kept (mode 0: autocommit per op, mode 1: one BEGIN..COMMIT) or doomed
+  // (mode 2: BEGIN..ROLLBACK — the shadow never applies it).
+  struct Group {
+    std::vector<Op> ops;
+    int mode;
+  };
+  std::vector<Group> groups;
+  std::mt19937 rng(GetParam());
+  {
+    int remaining = 240;
+    while (remaining > 0) {
+      Group g;
+      int len = 1 + static_cast<int>(rng() % 8);
+      for (int i = 0; i < len && remaining > 0; ++i, --remaining) {
+        uint32_t k = rng() % 10;
+        int kind = k < 4 ? 0 : (k < 6 ? 1 : (k < 8 ? 2 : 3));
+        g.ops.push_back(Op{kind, rng(), rng(), rng(), rng()});
+      }
+      uint32_t m = rng() % 4;
+      g.mode = m < 2 ? 0 : (m < 3 ? 1 : 2);
+      groups.push_back(std::move(g));
+    }
+  }
+
+  auto table_name = [&](uint32_t i) {
+    return std::string("t_") + StorageModelName(kModels[i % 4]);
+  };
+  auto create_tables = [&](Database& db) {
+    for (StorageModel model : kModels) {
+      ASSERT_TRUE(db.catalog()
+                      .CreateTable(std::string("t_") + StorageModelName(model),
+                                   Schema({ColumnDef{"id", DataType::kInt,
+                                                     false},
+                                           ColumnDef{"s", DataType::kText,
+                                                     false}}),
+                                   model)
+                      .ok());
+    }
+  };
+  auto apply_op = [&](Database& db, const Op& op) {
+    Table* t = db.catalog().GetTable(table_name(op.table)).ValueOrDie();
+    size_t n = t->num_rows();
+    Row row{Value::Int(static_cast<int64_t>(op.a % 1000)),
+            Value::Text("s" + std::to_string(op.b % 97))};
+    switch (op.kind) {
+      case 0:
+        ASSERT_TRUE(t->AppendRow(std::move(row)).ok());
+        break;
+      case 1:
+        ASSERT_TRUE(t->InsertRowAt(op.c % (n + 1), std::move(row)).ok());
+        break;
+      case 2:
+        if (n > 0) ASSERT_TRUE(t->DeleteRowAt(op.c % n).ok());
+        break;
+      default:
+        if (n > 0) {
+          size_t col = op.a % 2;
+          Value v = (op.b % 7 == 0)
+                        ? Value::Null()
+                        : (col == 0
+                               ? Value::Int(static_cast<int64_t>(op.b % 1000))
+                               : Value::Text("u" + std::to_string(op.b % 97)));
+          ASSERT_TRUE(t->UpdateAt(op.c % n, col, std::move(v)).ok());
+        }
+    }
+  };
+  // variant 0: groups as tagged (autocommit / txn / rolled back).
+  // variant 1: every surviving op inside ONE committed transaction, doomed
+  //            groups skipped entirely — the shadow's view of the tape.
+  auto drive = [&](Database& db, int variant) {
+    create_tables(db);
+    if (variant == 1) {
+      ASSERT_TRUE(db.Execute("BEGIN").ok());
+    }
+    for (const Group& g : groups) {
+      if (variant == 1) {
+        if (g.mode != 2) {
+          for (const Op& op : g.ops) apply_op(db, op);
+        }
+        continue;
+      }
+      if (g.mode == 0) {
+        for (const Op& op : g.ops) apply_op(db, op);
+      } else {
+        ASSERT_TRUE(db.Execute("BEGIN").ok());
+        for (const Op& op : g.ops) apply_op(db, op);
+        ASSERT_TRUE(db.Execute(g.mode == 2 ? "ROLLBACK" : "COMMIT").ok());
+      }
+    }
+    if (variant == 1) {
+      ASSERT_TRUE(db.Execute("COMMIT").ok());
+    }
+  };
+  auto capture = [&](Database& db) {
+    std::vector<std::vector<Row>> out;
+    for (uint32_t m = 0; m < 4; ++m) {
+      Table* t = db.catalog().GetTable(table_name(m)).ValueOrDie();
+      std::vector<Row> rows;
+      for (size_t r = 0; r < t->num_rows(); ++r) {
+        rows.push_back(t->GetRowAt(r).ValueOrDie());
+      }
+      out.push_back(std::move(rows));
+    }
+    return out;
+  };
+  auto expect_equal = [&](const std::vector<std::vector<Row>>& got,
+                          const std::vector<std::vector<Row>>& want,
+                          const std::string& what) {
+    for (size_t m = 0; m < 4; ++m) {
+      ASSERT_EQ(got[m].size(), want[m].size()) << what << " model " << m;
+      for (size_t r = 0; r < got[m].size(); ++r) {
+        for (size_t c = 0; c < got[m][r].size(); ++c) {
+          ASSERT_EQ(got[m][r][c], want[m][r][c])
+              << what << " model " << m << " row " << r << " col " << c;
+          ASSERT_EQ(got[m][r][c].type(), want[m][r][c].type())
+              << what << " model " << m << " row " << r << " col " << c;
+        }
+      }
+    }
+  };
+
+  // The shadow: scratch database, surviving ops only, no transactions ever.
+  Database shadow;
+  create_tables(shadow);
+  for (const Group& g : groups) {
+    if (g.mode == 2) continue;
+    for (const Op& op : g.ops) apply_op(shadow, op);
+  }
+  auto reference = capture(shadow);
+
+  for (size_t cap : {size_t{0}, size_t{64}, size_t{4}}) {
+    for (int variant : {0, 1}) {
+      std::string base = ::testing::TempDir() + "ds_prop_txn_" +
+                         std::to_string(GetParam()) + "_" +
+                         std::to_string(cap) + "_" + std::to_string(variant);
+      std::remove((base + ".wal").c_str());
+      std::remove((base + ".pages").c_str());
+      DatabaseOptions options;
+      options.pager.max_resident_pages = cap;
+      std::string what = "pool " + std::to_string(cap) + " variant " +
+                         std::to_string(variant);
+      {
+        auto db = Database::Open(base, options);
+        drive(*db, variant);
+        expect_equal(capture(*db), reference, what);
+      }  // clean close
+      auto db = Database::Open(base, options);
+      expect_equal(capture(*db), reference, what + " reopened");
+      std::remove((base + ".wal").c_str());
+      std::remove((base + ".pages").c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnTransparencyTest,
+                         ::testing::Values(23u, 2317u, 231717u));
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelTransparencyTest,
                          ::testing::Values(11u, 211u, 3111u));
 

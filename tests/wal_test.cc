@@ -532,6 +532,120 @@ TEST(StatementBracketFuzzTest, EveryByteTruncationRecoversACommittedPrefix) {
 }
 
 // ---------------------------------------------------------------------------
+// Transaction brackets: byte cuts recover a committed-TRANSACTION prefix
+// ---------------------------------------------------------------------------
+
+TEST(TxnBracketFuzzTest, EveryByteTruncationRecoversACommittedTxnPrefix) {
+  // The statement fuzz above, one level up: each bracket is a transaction
+  // of several statements (BeginTxn raises the depth, so the statements'
+  // own EndStatement calls emit nothing). The tape mixes committed and
+  // aborted transactions and ends with an OPEN one at the crash — no cut
+  // may surface a single statement of an unterminated transaction.
+  DurablePair pair("txn_bracket_fuzz");
+  DurablePair scratch("txn_bracket_fuzz_scratch");
+  std::vector<FileId> ids;
+  std::vector<VisibleState> boundaries;  // expected state after txn k
+  {
+    Pager pager(pair.Config(/*cap=*/2));
+    Pager shadow;  // unbounded twin, advanced only by committed transactions
+    boundaries.push_back(CaptureState(shadow, ids));
+    ids.push_back(pager.CreateFile());
+    (void)shadow.CreateFile();
+    boundaries.push_back(CaptureState(shadow, ids));
+    ids.push_back(pager.CreateFile());
+    (void)shadow.CreateFile();
+    boundaries.push_back(CaptureState(shadow, ids));
+    std::mt19937 rng(41507);
+    for (int txn = 0; txn < 12; ++txn) {
+      // Aborts fall mid-tape (never on the last txn: an aborted boundary
+      // duplicates its predecessor, which the first-match scan below could
+      // then never reach as the final index).
+      bool abort = txn % 4 == 1 && pager.FileSize(ids[0]) > 0 &&
+                   pager.FileSize(ids[1]) > 0;
+      pager.BeginTxn();
+      // Aborted transactions record before-images and log the compensations
+      // in reverse before AbortTxn — the logical-undo shape the Database
+      // layer produces — so the bracket replays as a net no-op.
+      std::vector<std::pair<FileId, std::pair<uint64_t, Value>>> undo;
+      int stmts = 2 + static_cast<int>(rng() % 3);
+      for (int s = 0; s < stmts; ++s) {
+        pager.BeginStatement();
+        int ops = 1 + static_cast<int>(rng() % 3);
+        for (int i = 0; i < ops; ++i) {
+          FileId f = ids[rng() % ids.size()];
+          if (abort) {
+            uint64_t slot = rng() % pager.FileSize(f);
+            undo.push_back({f, {slot, pager.Read(f, slot)}});
+            pager.Write(f, slot, ProbeValue(rng()));
+          } else if (rng() % 8 == 0 && pager.FileSize(f) > 0) {
+            uint64_t keep = rng() % (pager.FileSize(f) + 1);
+            pager.Truncate(f, keep);
+            shadow.Truncate(f, keep);
+          } else {
+            uint64_t slot = rng() % (3 * kSlots);
+            Value v = ProbeValue(rng());
+            pager.Write(f, slot, v);
+            shadow.Write(f, slot, v);
+          }
+        }
+        pager.EndStatement(/*commit=*/true);  // depth > 0: no record
+      }
+      if (abort) {
+        for (size_t i = undo.size(); i-- > 0;) {
+          pager.Write(undo[i].first, undo[i].second.first,
+                      undo[i].second.second);
+        }
+        pager.AbortTxn();
+      } else {
+        pager.CommitTxn();
+      }
+      boundaries.push_back(CaptureState(shadow, ids));
+    }
+    // The open transaction: three statements logged, bracket never closed.
+    pager.BeginTxn();
+    for (int s = 0; s < 3; ++s) {
+      pager.BeginStatement();
+      pager.Write(ids[s % ids.size()], rng() % (3 * kSlots), ProbeValue(rng()));
+      pager.EndStatement(/*commit=*/true);
+    }
+    pager.CrashForTesting();  // drains: the on-disk log is the full stream
+  }
+
+  std::string wal_bytes = ReadFileBytes(pair.wal);
+  std::string spill_bytes = ReadFileBytes(pair.spill);
+  ASSERT_GT(wal_bytes.size(), Wal::kFileHeaderBytes);
+  size_t safe_start = Wal::kFileHeaderBytes;
+  for (int i = 0; i < 2; ++i) {
+    uint32_t body_len;
+    std::memcpy(&body_len, wal_bytes.data() + safe_start, sizeof body_len);
+    safe_start += Wal::kRecordHeaderBytes + body_len;
+  }
+
+  size_t last_matched = 0;
+  for (size_t len = safe_start; len <= wal_bytes.size(); ++len) {
+    WriteFileBytes(scratch.wal, wal_bytes.substr(0, len));
+    WriteFileBytes(scratch.spill, spill_bytes);
+    Pager recovered(scratch.Config(/*cap=*/2));
+    VisibleState got = CaptureState(recovered, ids);
+    size_t matched = boundaries.size();
+    for (size_t k = last_matched; k < boundaries.size(); ++k) {
+      if (got == boundaries[k]) {
+        matched = k;
+        break;
+      }
+    }
+    ASSERT_LT(matched, boundaries.size())
+        << "state after truncating the WAL at byte " << len
+        << " matches no committed-transaction boundary";
+    last_matched = matched;
+  }
+  // The full log ends inside the open transaction, whose bracket is
+  // discarded wholesale: the final state is the last *committed* boundary.
+  EXPECT_EQ(last_matched, boundaries.size() - 1)
+      << "the full log must recover every committed transaction";
+}
+
+// ---------------------------------------------------------------------------
 // Full-page images defeat torn spill write-backs
 // ---------------------------------------------------------------------------
 

@@ -17,6 +17,20 @@
 //     rows, and every cell — defaults of rows predating each DDL included —
 //     matches the deterministic generator. Prints one metrics line:
 //       recovered tables=4 rows=<n> ddl=<k> records=<n> ms=<t>
+//
+//   catalog_smoke txn-run <base>
+//     Streams BEGIN..COMMIT / ROLLBACK transactions of kTxnBatch INSERTs
+//     each (every third rolled back and re-issued by the next transaction)
+//     with sync_on_commit, printing "committed <n>" after every durable
+//     COMMIT, until the parent SIGKILLs it — often mid-transaction or
+//     mid-rollback.
+//
+//   catalog_smoke txn-recover <base> <min_rows>
+//     Reopens and verifies exactly a committed-transaction prefix: at least
+//     <min_rows> rows (every acknowledged COMMIT), a whole number of
+//     transactions (no partially applied open batch), every cell matching
+//     the generator (no trace of any rolled-back batch). Prints:
+//       txn recovered rows=<n> records=<n> ms=<t>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -213,6 +227,94 @@ int Recover(const std::string& base, uint64_t min_rows, uint64_t min_ddl) {
   return 0;
 }
 
+constexpr uint64_t kTxnBatch = 64;
+
+int TxnRun(const std::string& base) {
+  dataspread::DatabaseOptions options;
+  options.sync_on_commit = true;
+  options.pager.wal_auto_checkpoint_bytes = 32ull << 20;
+  auto db = Database::Open(base, options);
+  if (!db->Execute("CREATE TABLE txn_t (id INT, v INT)").ok()) {
+    std::fprintf(stderr, "catalog_smoke: create failed\n");
+    return 1;
+  }
+  uint64_t committed = 0;
+  for (uint64_t txn = 0;; ++txn) {
+    // Every third transaction is rolled back; the next one re-inserts the
+    // same batch, so the committed state is always a prefix 0..n-1.
+    bool doomed = txn % 3 == 2;
+    if (!db->Execute("BEGIN").ok()) return 1;
+    for (uint64_t i = 0; i < kTxnBatch; ++i) {
+      uint64_t id = committed + i;
+      if (!db->Execute("INSERT INTO txn_t VALUES (" + std::to_string(id) +
+                       ", " + std::to_string(2 * id + 1) + ")")
+               .ok()) {
+        std::fprintf(stderr, "catalog_smoke: insert failed\n");
+        return 1;
+      }
+    }
+    if (!db->Execute(doomed ? "ROLLBACK" : "COMMIT").ok()) {
+      std::fprintf(stderr, "catalog_smoke: %s failed\n",
+                   doomed ? "ROLLBACK" : "COMMIT");
+      return 1;
+    }
+    if (!doomed) {
+      committed += kTxnBatch;
+      std::printf("committed %llu\n",
+                  static_cast<unsigned long long>(committed));
+      std::fflush(stdout);
+    }
+  }
+}
+
+int TxnRecover(const std::string& base, uint64_t min_rows) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto db = Database::Open(base);
+  auto t1 = std::chrono::steady_clock::now();
+  double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  auto table_or = db->catalog().GetTable("txn_t");
+  if (!table_or.ok()) {
+    std::fprintf(stderr, "catalog_smoke: txn_t missing after reopen\n");
+    return 1;
+  }
+  Table* t = table_or.value();
+  uint64_t n = t->num_rows();
+  if (n < min_rows) {
+    std::fprintf(stderr,
+                 "catalog_smoke: recovered %llu rows < %llu acknowledged "
+                 "commits — durability hole\n",
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(min_rows));
+    return 1;
+  }
+  if (n % kTxnBatch != 0) {
+    std::fprintf(stderr,
+                 "catalog_smoke: recovered %llu rows, not a whole number of "
+                 "transactions — a partial batch survived the kill\n",
+                 static_cast<unsigned long long>(n));
+    return 1;
+  }
+  for (uint64_t r = 0; r < n; ++r) {
+    auto row_or = t->GetRowAt(r);
+    if (!row_or.ok() || row_or.value().size() != 2 ||
+        !(row_or.value()[0] == Value::Int(static_cast<int64_t>(r))) ||
+        !(row_or.value()[1] ==
+          Value::Int(static_cast<int64_t>(2 * r + 1)))) {
+      std::fprintf(stderr,
+                   "catalog_smoke: row %llu diverges — a rolled-back or "
+                   "open batch leaked into the committed prefix\n",
+                   static_cast<unsigned long long>(r));
+      return 1;
+    }
+  }
+  std::printf("txn recovered rows=%llu records=%llu ms=%.2f\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(db->pager().recovery_records()),
+              ms);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,8 +327,16 @@ int main(int argc, char** argv) {
     return Recover(argv[2], std::strtoull(argv[3], nullptr, 10),
                    std::strtoull(argv[4], nullptr, 10));
   }
+  if (argc >= 3 && std::strcmp(argv[1], "txn-run") == 0) {
+    return TxnRun(argv[2]);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "txn-recover") == 0) {
+    return TxnRecover(argv[2], std::strtoull(argv[3], nullptr, 10));
+  }
   std::fprintf(stderr,
                "usage: catalog_smoke run <base> [max_rows]\n"
-               "       catalog_smoke recover <base> <min_rows> <min_ddl>\n");
+               "       catalog_smoke recover <base> <min_rows> <min_ddl>\n"
+               "       catalog_smoke txn-run <base>\n"
+               "       catalog_smoke txn-recover <base> <min_rows>\n");
   return 2;
 }
