@@ -356,15 +356,53 @@ if [[ -x "${BUILD_DIR}/bench_txn" ]]; then
          "multi-statement-transaction regression" >&2
     exit 1
   fi
+
+  # -------------------------------------------------------------------------
+  # Multi-writer gate (partitioned write latches, DESIGN.md §7): 4 writer
+  # sessions on disjoint tables must sustain >= 2x the committed
+  # statements/s of a single writer — the point of per-table latching is
+  # that disjoint transactions proceed fully in parallel, with group commit
+  # batching their fsyncs. Only meaningful with real cores underneath, so
+  # skipped (with a notice) when nproc reports fewer than 4; the contended
+  # runs land in BENCH_txn.json as trajectory context either way.
+  # -------------------------------------------------------------------------
+  DS_SPILL_DIR="${SMOKE_DIR}" DS_BENCH_JSON_DIR="${SMOKE_DIR}" \
+    "${BUILD_DIR}/bench_txn" \
+    --benchmark_filter='BM_Txn_MultiWriter_(Disjoint|Contended)/(1|2|4)/' \
+    --benchmark_min_time=0.05
+  w1_sps="$(sed -n 's/.*"run":"MultiWriter\/disjoint\/w1".*"statements_per_sec":\([0-9][0-9.e+-]*\).*/\1/p' \
+    "${SMOKE_DIR}/BENCH_txn.json" | head -n1)"
+  w4_sps="$(sed -n 's/.*"run":"MultiWriter\/disjoint\/w4".*"statements_per_sec":\([0-9][0-9.e+-]*\).*/\1/p' \
+    "${SMOKE_DIR}/BENCH_txn.json" | head -n1)"
+  if [[ -z "${w1_sps}" || -z "${w4_sps}" ]]; then
+    echo "ci/check.sh: could not parse MultiWriter statements_per_sec from BENCH_txn.json" >&2
+    exit 1
+  fi
+  echo "ci/check.sh: multi-writer txns: disjoint w4=${w4_sps} w1=${w1_sps}" \
+       "statements/s"
+  if (( JOBS >= 4 )); then
+    if ! awk -v a="${w4_sps}" -v b="${w1_sps}" \
+         'BEGIN { exit !(b > 0 && a >= 2 * b) }'; then
+      echo "ci/check.sh: 4 disjoint writers (${w4_sps} statements/s) are not" \
+           ">= 2x one writer (${w1_sps} statements/s) on a ${JOBS}-core" \
+           "machine — write-latch partitioning regression" >&2
+      exit 1
+    fi
+  else
+    echo "ci/check.sh: only ${JOBS} core(s) visible; skipping the 2x @4-writer" \
+         "scaling gate (the multi-writer numbers were still recorded)"
+  fi
 else
   echo "ci/check.sh: bench_txn not built; skipping group-commit perf gate"
 fi
 
 # ---------------------------------------------------------------------------
 # ThreadSanitizer: the concurrency suite (N reader cursors + 1 writer over a
-# bounded pool, group commit, the double-open lock) rebuilt with
+# bounded pool, group commit, disjoint + contending multi-writer sessions
+# over the partitioned write latches, the double-open lock) rebuilt with
 # -fsanitize=thread. The value assertions prove consistency; TSan proves the
-# pager's latching underneath is race-free.
+# pager's latching and the per-table write-latch table underneath are
+# race-free.
 # ---------------------------------------------------------------------------
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "${TSAN_BUILD_DIR}" -S . \

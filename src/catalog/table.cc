@@ -397,7 +397,7 @@ Status Table::UpdateAt(size_t pos, size_t col, Value v) {
   // Statement bracket: everything this update logs is all-or-nothing across
   // crashes (DESIGN.md §7). Nested inside a Database-level statement it
   // rides the outer bracket.
-  storage::StatementScope txn(storage_->pager());
+  storage::StatementScope txn(storage_->pager(), write_txn_);
   auto pk = schema_.primary_key_index();
   if (pk && *pk == col) {
     if (coerced.is_null()) {
@@ -447,7 +447,7 @@ Status Table::InsertRowAtWithRid(size_t pos, Row row, uint64_t rid) {
   // closing kTxnCommit survived, so a crash mid-insert rolls the whole row
   // away — Attach's torn-statement reconciliation is now a fallback for
   // pre-bracket logs, not the contract (DESIGN.md §7).
-  storage::StatementScope txn(storage_->pager());
+  storage::StatementScope txn(storage_->pager(), write_txn_);
   if (durable()) {
     // Durable write order — order tail, rid append, then the data row — is
     // load-bearing: a crash can tear the statement at any record boundary,
@@ -509,7 +509,7 @@ Status Table::DeleteRowAt(size_t pos) {
   }
   // Statement bracket: the rid move, order rewrite, data swap, and
   // truncations below commit or vanish together (DESIGN.md §7).
-  storage::StatementScope txn(storage_->pager());
+  storage::StatementScope txn(storage_->pager(), write_txn_);
   auto pk = schema_.primary_key_index();
   if (pk) {
     DS_ASSIGN_OR_RETURN(Value key, storage_->Get(slot, *pk));
@@ -668,7 +668,7 @@ Status Table::UpdateByKey(const Value& key, size_t col, Value v) {
   if (undo_ != nullptr) {
     DS_ASSIGN_OR_RETURN(before, storage_->Get(SlotOf(rid), col));
   }
-  storage::StatementScope txn(storage_->pager());
+  storage::StatementScope txn(storage_->pager(), write_txn_);
   if (col == *pk) {
     if (coerced.is_null()) {
       return Status::ConstraintViolation("PRIMARY KEY of " + name_ +
@@ -723,7 +723,7 @@ Status Table::UndoDeleteRow(size_t pos, Row row, uint64_t rid) {
 
 Status Table::UndoUpdateCell(uint64_t rid, size_t col, Value old_value) {
   size_t slot = SlotOf(rid);
-  storage::StatementScope txn(storage_->pager());
+  storage::StatementScope txn(storage_->pager(), write_txn_);
   auto pk = schema_.primary_key_index();
   if (pk && *pk == col) {
     DS_ASSIGN_OR_RETURN(Value current, storage_->Get(slot, col));

@@ -172,9 +172,18 @@ class Table {
 
   /// Installs (or clears, with nullptr) a transaction undo journal: while
   /// one is installed, every successful DML mutator appends its before-image
-  /// entry. The Database layer installs one journal on every table at BEGIN
-  /// and clears it again when the transaction ends.
+  /// entry. The Database layer installs the owning session's journal when a
+  /// transaction acquires this table's write latch and clears it again when
+  /// the transaction ends.
   void set_undo_journal(UndoJournal* journal) { undo_ = journal; }
+
+  /// The transaction context that owns this table's write latch (0 = none).
+  /// While set, every DML helper's statement bracket joins that context —
+  /// regardless of calling thread — so a transaction's table mutations and
+  /// their rollback compensations all ride the transaction's WAL bracket.
+  /// Set/cleared by the Database layer together with the undo journal.
+  void set_write_txn(storage::TxnId txn) { write_txn_ = txn; }
+  storage::TxnId write_txn() const { return write_txn_; }
 
   /// Reverses an insert recorded as (pos, rid): deletes the row and hands
   /// the row id back (`next_rid_` steps straight down — every later insert
@@ -235,7 +244,8 @@ class Table {
   storage::FileId order_file_ = 0;
   storage::FileId rid_file_ = 0;
   bool retain_files_ = false;
-  UndoJournal* undo_ = nullptr;  // non-null while a transaction is open
+  UndoJournal* undo_ = nullptr;  // non-null while a txn holds the write latch
+  storage::TxnId write_txn_ = 0;  // owning txn context (see set_write_txn)
 
 };
 

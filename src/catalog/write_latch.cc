@@ -1,0 +1,103 @@
+#include "catalog/write_latch.h"
+
+namespace dataspread {
+
+namespace {
+
+Status ConflictStatus(const std::string& table, uint64_t owner) {
+  return Status::SerializationConflict(
+      "write-latch conflict on table '" + table +
+      "' held by older transaction " + std::to_string(owner) +
+      "; the transaction was rolled back — retry it");
+}
+
+}  // namespace
+
+Status WriteLatchTable::AcquireExclusive(const std::string& table,
+                                         uint64_t txn,
+                                         bool may_wait_on_writer) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Entry& e = latches_[table];
+    if (e.owner == txn && txn != 0) return Status::OK();
+    if (e.owner == 0 && e.shared == 0) {
+      e.owner = txn;
+      return Status::OK();
+    }
+    if (e.owner != 0 && !may_wait_on_writer && txn >= e.owner) {
+      // Wait-die: a younger writer that already holds latches must not
+      // block behind an older one — that edge could close a cycle.
+      uint64_t owner = e.owner;
+      MaybeErase(latches_.find(table));
+      return ConflictStatus(table, owner);
+    }
+    // Blocked by shared readers (always bounded: readers never wait while
+    // holding) or by an older writer we are allowed to outwait.
+    cv_.wait(lock);
+  }
+}
+
+void WriteLatchTable::ReleaseExclusive(const std::string& table,
+                                       uint64_t txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latches_.find(table);
+  if (it == latches_.end() || it->second.owner != txn) return;
+  it->second.owner = 0;
+  MaybeErase(it);
+  cv_.notify_all();
+}
+
+Status WriteLatchTable::AcquireShared(const std::vector<std::string>& tables,
+                                      uint64_t txn, bool may_wait_on_writer) {
+  if (tables.empty()) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const std::string* blocked = nullptr;
+    uint64_t blocker = 0;
+    for (const std::string& t : tables) {
+      auto it = latches_.find(t);
+      if (it != latches_.end() && it->second.owner != 0 &&
+          it->second.owner != txn) {
+        blocked = &t;
+        blocker = it->second.owner;
+        break;
+      }
+    }
+    if (blocked == nullptr) {
+      // All writer-free (or self-owned): take the whole set at once.
+      for (const std::string& t : tables) latches_[t].shared += 1;
+      return Status::OK();
+    }
+    if (!may_wait_on_writer && txn != 0 && txn >= blocker) {
+      return ConflictStatus(*blocked, blocker);
+    }
+    cv_.wait(lock);
+  }
+}
+
+void WriteLatchTable::ReleaseShared(const std::vector<std::string>& tables) {
+  if (tables.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& t : tables) {
+    auto it = latches_.find(t);
+    if (it == latches_.end() || it->second.shared == 0) continue;
+    it->second.shared -= 1;
+    MaybeErase(it);
+  }
+  cv_.notify_all();
+}
+
+uint64_t WriteLatchTable::ExclusiveOwner(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latches_.find(table);
+  return it == latches_.end() ? 0 : it->second.owner;
+}
+
+void WriteLatchTable::MaybeErase(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  if (it != latches_.end() && it->second.owner == 0 && it->second.shared == 0) {
+    latches_.erase(it);
+  }
+}
+
+}  // namespace dataspread

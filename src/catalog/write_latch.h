@@ -1,0 +1,119 @@
+#ifndef DATASPREAD_CATALOG_WRITE_LATCH_H_
+#define DATASPREAD_CATALOG_WRITE_LATCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dataspread {
+
+/// The partitioned write-latch table behind multi-writer SQL (DESIGN.md §7
+/// "Partitioned write latching"). One entry per table name (lower-cased by
+/// the caller): an exclusive owner — a transaction id from the pager's
+/// monotone counter — or a count of shared readers.
+///
+/// Writers (DML, LOCK TABLE) take a table exclusively and, for transaction
+/// sessions, hold it until commit/rollback (strict 2PL on the write set).
+/// Readers (SELECT, INSERT..SELECT sources) take their whole read set
+/// shared *all-or-nothing* for the statement's duration: the batch waits
+/// until every wanted table is writer-free and then latches all of them at
+/// once, so a reader never holds one latch while waiting on another.
+///
+/// Deadlock policy — wait-die on transaction age (smaller id == older):
+/// a requester blocked by a writer may wait only when waiting cannot close
+/// a cycle, i.e. when it holds no other latches (`may_wait_on_writer`,
+/// computed by the caller) or when it is older than the blocking owner.
+/// Otherwise the acquisition fails with Status::SerializationConflict and
+/// the caller aborts the (younger) requester, which releases its latches
+/// and retries. Waiting on shared holders is always allowed: a reader
+/// batch never waits while holding, so reader-involved cycles cannot form.
+///
+/// Self-compatible: an owner re-acquiring its own table (exclusively or in
+/// a shared batch) always succeeds immediately.
+class WriteLatchTable {
+ public:
+  /// Acquires `table` exclusively for transaction `txn`. Blocks while the
+  /// table is held shared, or by an older writer, or by any writer when
+  /// `may_wait_on_writer` (the requester holds nothing else); fails with
+  /// SerializationConflict when a younger-vs-older writer wait would risk a
+  /// cycle. Re-entrant for the current owner.
+  Status AcquireExclusive(const std::string& table, uint64_t txn,
+                          bool may_wait_on_writer);
+  /// Releases an exclusive hold. No-op unless `txn` is the owner.
+  void ReleaseExclusive(const std::string& table, uint64_t txn);
+
+  /// Acquires every table in `tables` shared, all-or-nothing, for the
+  /// statement of transaction `txn` (0 = plain autocommit reader). Tables
+  /// `txn` owns exclusively are compatible. Duplicates are counted twice
+  /// and must be released with the same vector. Wait/die rule as above.
+  Status AcquireShared(const std::vector<std::string>& tables, uint64_t txn,
+                       bool may_wait_on_writer);
+  void ReleaseShared(const std::vector<std::string>& tables);
+
+  /// The exclusive owner of `table`, or 0. DDL uses this under the schema
+  /// exclusive latch (which stops new acquisitions) to fail fast on tables
+  /// locked by open transactions.
+  uint64_t ExclusiveOwner(const std::string& table) const;
+
+ private:
+  struct Entry {
+    uint64_t owner = 0;  ///< Exclusive owner txn id, or 0.
+    size_t shared = 0;   ///< Shared holds (statement-scoped readers).
+  };
+
+  /// Erases `it` if its entry is fully free (bounds the map to live
+  /// latches). Caller holds mu_.
+  void MaybeErase(std::unordered_map<std::string, Entry>::iterator it);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Entry> latches_;
+};
+
+/// A *reader-preferring* shared mutex (Lockable + SharedLockable, so
+/// std::unique_lock / std::shared_lock apply). The Database's schema latch
+/// must prefer readers: a statement may park on a write-latch condition
+/// variable while holding the schema latch shared, waiting on an older
+/// transaction whose *next statement* also needs shared access — under a
+/// writer-priority rwlock a queued DDL writer would wedge that statement
+/// behind itself and close the cycle. Here a merely-waiting writer never
+/// blocks readers, so the older transaction always progresses to the
+/// commit that unparks the waiter; DDL just waits for a quiet moment
+/// (acceptable: DDL is rare and statements are finite).
+class SchemaLatch {
+ public:
+  void lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !writer_; });
+    ++readers_;
+  }
+  void unlock_shared() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--readers_ == 0) cv_.notify_all();
+  }
+  void lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !writer_ && readers_ == 0; });
+    writer_ = true;
+  }
+  void unlock() {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_ = false;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t readers_ = 0;
+  bool writer_ = false;
+};
+
+}  // namespace dataspread
+
+#endif  // DATASPREAD_CATALOG_WRITE_LATCH_H_

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kSerializationConflict:
+      return "SerializationConflict";
   }
   return "Unknown";
 }

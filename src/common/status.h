@@ -20,6 +20,8 @@ enum class StatusCode {
   kCycleDetected,       ///< Formula dependency graph contains a cycle.
   kUnimplemented,       ///< Feature intentionally outside the supported subset.
   kInternal,            ///< Invariant breach; indicates a bug in DataSpread.
+  kSerializationConflict, ///< Write-latch conflict; the losing transaction was
+                          ///< rolled back and the statement is safe to retry.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -66,6 +68,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status SerializationConflict(std::string msg) {
+    return Status(StatusCode::kSerializationConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

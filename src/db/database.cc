@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "catalog/catalog_codec.h"
+#include "common/str_util.h"
 #include "exec/binder.h"
 #include "exec/expr_eval.h"
 #include "exec/planner.h"
@@ -28,7 +30,150 @@ Scope TableScope(const Table& table) {
 /// snapshots, scalar functions thereof).
 Result<Value> EvalConstant(const sql::Expr& e) { return EvalScalar(e, nullptr); }
 
+/// The read set of a SELECT as write-latch keys (lower-cased table names):
+/// the FROM table plus every join table. Range tables resolve outside the
+/// catalog and need no latch. Duplicates are kept — AcquireShared counts
+/// them symmetrically with ReleaseShared.
+void CollectTableNames(const sql::SelectStmt& stmt,
+                       std::vector<std::string>* out) {
+  if (stmt.from.has_value() && stmt.from->kind == sql::TableRef::Kind::kNamed) {
+    out->push_back(ToLower(stmt.from->name));
+  }
+  for (const sql::JoinClause& j : stmt.joins) {
+    if (j.table.kind == sql::TableRef::Kind::kNamed) {
+      out->push_back(ToLower(j.table.name));
+    }
+  }
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// WriteGuard: one DML statement's latch bookkeeping
+// ---------------------------------------------------------------------------
+
+/// Statement-scoped write/read latching for one DML statement on one
+/// session. Constructed before the statement's StatementScope so its
+/// destructor runs *after* the scope's: on every path the WAL bracket
+/// closes (commit or abort record appended) strictly before any latch is
+/// released. Releasing first would let another transaction's committed
+/// records land between this bracket's compensations and its close marker
+/// — replay would then reapply our page images over the newer committed
+/// ones.
+struct Database::WriteGuard {
+  WriteGuard(Database& db, Session& session)
+      : db_(db), session_(session), autocommit_(!session.txn_open_) {
+    // Autocommit statements get a transaction context of their own — the
+    // id doubles as the wait-die age, so even a plain INSERT has a well-
+    // defined position in the latch order.
+    txn_ = autocommit_ ? db.pager_.BeginTxn() : session.txn_id_;
+  }
+
+  ~WriteGuard() {
+    if (autocommit_ && !committed_) db_.pager_.AbortTxn(txn_);
+    ReleaseAll();
+  }
+
+  storage::TxnId txn() const { return txn_; }
+
+  /// Acquires `table`'s exclusive write latch. Transaction sessions add it
+  /// to the 2PL write set (undo journal + owning context installed on the
+  /// table, held to commit/rollback); a wait-die conflict victimizes the
+  /// whole transaction before returning the retryable status. Autocommit
+  /// conflicts return directly — nothing has been mutated yet, latches
+  /// strictly precede mutations.
+  Status LatchWrite(Table* table) {
+    std::string key = ToLower(table->name());
+    const bool holds_nothing = autocommit_
+                                   ? (write_latched_.empty() &&
+                                      read_latched_.empty())
+                                   : session_.latched_.empty();
+    Status s = db_.latches_.AcquireExclusive(key, txn_, holds_nothing);
+    if (!s.ok()) {
+      if (!autocommit_) db_.VictimizeSession(session_);
+      return s;
+    }
+    if (autocommit_) {
+      write_latched_.push_back(std::move(key));
+      return Status::OK();
+    }
+    auto& set = session_.latched_;
+    if (std::find(set.begin(), set.end(), table) == set.end()) {
+      set.push_back(table);
+      table->set_undo_journal(&session_.undo_);
+      table->set_write_txn(txn_);
+    }
+    return Status::OK();
+  }
+
+  /// Acquires the statement's read set shared, all-or-nothing (see
+  /// WriteLatchTable). Statement-scoped for every session kind: released
+  /// when the guard dies.
+  Status LatchRead(std::vector<std::string> tables) {
+    if (tables.empty()) return Status::OK();
+    const bool holds_nothing =
+        autocommit_ ? write_latched_.empty() : session_.latched_.empty();
+    Status s = db_.latches_.AcquireShared(tables, txn_, holds_nothing);
+    if (!s.ok()) {
+      if (!autocommit_) db_.VictimizeSession(session_);
+      return s;
+    }
+    read_latched_ = std::move(tables);
+    return Status::OK();
+  }
+
+  /// Statement epilogue after the mutations succeeded. Autocommit: close
+  /// the transaction context (the kTxnCommit record) and only then release
+  /// the latches; returns the bracket's end boundary for the commit
+  /// barrier. Transaction sessions keep their write latches (strict 2PL),
+  /// release the statement's read latches, and return 0 — their barrier
+  /// moves to COMMIT.
+  uint64_t Commit() {
+    committed_ = true;
+    const uint64_t end = autocommit_ ? db_.pager_.CommitTxn(txn_) : 0;
+    ReleaseAll();
+    return end;
+  }
+
+ private:
+  void ReleaseAll() {
+    for (const std::string& t : write_latched_) {
+      db_.latches_.ReleaseExclusive(t, txn_);
+    }
+    write_latched_.clear();
+    if (!read_latched_.empty()) {
+      db_.latches_.ReleaseShared(read_latched_);
+      read_latched_.clear();
+    }
+  }
+
+  Database& db_;
+  Session& session_;
+  const bool autocommit_;
+  storage::TxnId txn_ = 0;
+  bool committed_ = false;
+  std::vector<std::string> write_latched_;  // autocommit only (txn sessions
+                                            // track theirs in the session)
+  std::vector<std::string> read_latched_;
+};
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::~Session() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (txn_open_) db_->RollbackSessionTxn(*this);
+}
+
+Result<ResultSet> Session::Execute(std::string_view sql,
+                                   ExternalResolver* resolver) {
+  return db_->ExecuteForSession(*this, sql, resolver);
+}
+
+// ---------------------------------------------------------------------------
+// Database: construction / teardown
+// ---------------------------------------------------------------------------
 
 Database::Database(const DatabaseOptions& options)
     : Database(options, LockPairOrDie(options)) {}
@@ -64,10 +209,12 @@ storage::FileLock Database::LockPairOrDie(const DatabaseOptions& options) {
 }
 
 Database::~Database() {
-  // A transaction still open at destruction is rolled back — the pager
-  // destructor's checkpoint must not run inside an open bracket, and the
-  // never-committed work must not reach disk as if it had committed.
-  if (txn_open_) RollbackOpenTxn();
+  // A transaction still open on the default session at destruction is
+  // rolled back — the pager destructor's checkpoint must not run inside an
+  // open bracket, and the never-committed work must not reach disk as if
+  // it had committed. (CreateSession() sessions rolled back in their own
+  // destructors, which must already have run.)
+  if (default_session_.txn_open_) RollbackSessionTxn(default_session_);
   // Capture the final catalog blob while the catalog is still alive: the
   // pager outlives it (member order) and its destructor's checkpoint must
   // carry the full catalog forward.
@@ -99,13 +246,19 @@ Result<std::unique_ptr<Database>> Database::TryOpen(
 }
 
 void Database::Close() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (closed_) return;
+  std::lock_guard<std::recursive_mutex> lock(default_session_.mu_);
+  if (closed()) return;
   // An open transaction cannot survive the database: roll it back so the
-  // closing checkpoint snapshots only committed state.
-  if (txn_open_) RollbackOpenTxn();
+  // closing checkpoint snapshots only committed state. Other sessions'
+  // open transactions simply make the flush a no-op (it declines while
+  // brackets are open); they roll back in their own destructors.
+  if (default_session_.txn_open_) RollbackSessionTxn(default_session_);
   (void)pager_.FlushAll();
-  closed_ = true;
+  closed_.store(true, std::memory_order_release);
+}
+
+std::unique_ptr<Session> Database::CreateSession() {
+  return std::unique_ptr<Session>(new Session(this));
 }
 
 void Database::RecoverCatalog() {
@@ -152,62 +305,93 @@ void Database::RecoverCatalog() {
 }
 
 size_t Database::Checkpoint() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  // Quiesce statements: the exclusive schema latch drains every in-flight
+  // statement and blocks new ones for the duration of the flush. Open
+  // transaction *brackets* (committed statements inside a BEGIN) still
+  // decline the checkpoint — FlushAll returns 0 then.
+  std::unique_lock<SchemaLatch> schema_lock(schema_mu_);
   return pager_.FlushAll();
 }
 
+// ---------------------------------------------------------------------------
+// Statement execution
+// ---------------------------------------------------------------------------
+
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     ExternalResolver* resolver) {
+  return ExecuteForSession(default_session_, sql, resolver);
+}
+
+Result<ResultSet> Database::ExecuteForSession(Session& session,
+                                              std::string_view sql,
+                                              ExternalResolver* resolver) {
   uint64_t commit_end = 0;
   Result<ResultSet> result = [&]() -> Result<ResultSet> {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
-    if (closed_) {
+    std::lock_guard<std::recursive_mutex> lock(session.mu_);
+    if (closed()) {
       return Status::InvalidArgument("database is closed");
     }
     auto parsed = sql::Parse(sql);
     if (!parsed.ok()) {
       // A statement that does not even parse still poisons an open
       // transaction: the client's script went off the rails mid-batch.
-      if (txn_open_) txn_poisoned_ = true;
+      if (session.txn_open_) session.txn_poisoned_ = true;
       return parsed.status();
     }
     sql::Statement stmt = std::move(parsed).value();
-    statements_executed_ += 1;
-    last_commit_end_lsn_ = 0;
+    statements_executed_.fetch_add(1, std::memory_order_relaxed);
+    session.last_commit_end_lsn_ = 0;
     const bool is_txn_control =
         std::holds_alternative<sql::TransactionStmt>(stmt);
-    if (txn_open_ && !is_txn_control) {
-      if (txn_poisoned_) {
+    const bool is_ddl = std::holds_alternative<sql::CreateTableStmt>(stmt) ||
+                        std::holds_alternative<sql::DropTableStmt>(stmt) ||
+                        std::holds_alternative<sql::AlterTableStmt>(stmt);
+    if (session.txn_open_ && !is_txn_control) {
+      if (session.txn_poisoned_) {
         return Status::InvalidArgument(
             "current transaction is aborted, commands ignored until ROLLBACK");
       }
-      if (std::holds_alternative<sql::CreateTableStmt>(stmt) ||
-          std::holds_alternative<sql::DropTableStmt>(stmt) ||
-          std::holds_alternative<sql::AlterTableStmt>(stmt)) {
+      if (is_ddl) {
         // DDL records are individually durable commit points (fsynced as
         // they log) — they cannot ride a bracket a ROLLBACK may abort.
-        txn_poisoned_ = true;
+        session.txn_poisoned_ = true;
         return Status::InvalidArgument(
             "DDL inside a multi-statement transaction is not supported");
       }
     }
-    Result<ResultSet> r = Dispatch(stmt, resolver);
-    if (!r.ok() && txn_open_ && !is_txn_control) {
+    Result<ResultSet> r = [&]() -> Result<ResultSet> {
+      if (is_txn_control) {
+        return ExecuteTransaction(session,
+                                  std::get<sql::TransactionStmt>(stmt));
+      }
+      if (is_ddl) {
+        // DDL excludes every statement on every session: the catalog's
+        // structure only changes in a quiesced world.
+        std::unique_lock<SchemaLatch> schema_lock(schema_mu_);
+        return Dispatch(session, stmt, resolver);
+      }
+      // Queries and DML run under the shared schema latch: the name→table
+      // map is stable for the statement; row-level coordination is the
+      // write-latch table's job.
+      std::shared_lock<SchemaLatch> schema_lock(schema_mu_);
+      return Dispatch(session, stmt, resolver);
+    }();
+    if (!r.ok() && session.txn_open_ && !is_txn_control) {
       // Postgres semantics: any failed statement poisons the transaction;
       // everything but ROLLBACK (or COMMIT, which then rolls back) fails
       // until the client acknowledges the abort. Control-statement errors
       // (nested BEGIN) are protocol noise, not transaction failures.
-      txn_poisoned_ = true;
+      session.txn_poisoned_ = true;
     }
-    if (r.ok() && sync_on_commit_ && last_commit_end_lsn_ != 0) {
+    if (r.ok() && sync_on_commit_ && session.last_commit_end_lsn_ != 0) {
       if (group_commit_) {
-        // Commit barrier runs *outside* the statement mutex (below):
+        // Commit barrier runs *outside* the session mutex (below):
         // concurrent committers reach Wal::SyncThrough together and share
         // one fsync — the group-commit win bench_txn measures.
-        commit_end = last_commit_end_lsn_;
+        commit_end = session.last_commit_end_lsn_;
       } else {
         // Serial baseline: one fsync per commit, inside the lock.
-        pager_.SyncWalThrough(last_commit_end_lsn_);
+        pager_.SyncWalThrough(session.last_commit_end_lsn_);
       }
     }
     return r;
@@ -216,19 +400,19 @@ Result<ResultSet> Database::Execute(std::string_view sql,
   return result;
 }
 
-Result<ResultSet> Database::Dispatch(sql::Statement& stmt,
+Result<ResultSet> Database::Dispatch(Session& session, sql::Statement& stmt,
                                      ExternalResolver* resolver) {
   if (auto* s = std::get_if<sql::SelectStmt>(&stmt)) {
-    return RunSelect(s, catalog_, resolver, exec_);
+    return ExecuteSelect(session, *s, resolver);
   }
   if (auto* s = std::get_if<sql::InsertStmt>(&stmt)) {
-    return ExecuteInsert(*s, resolver);
+    return ExecuteInsert(session, *s, resolver);
   }
   if (auto* s = std::get_if<sql::UpdateStmt>(&stmt)) {
-    return ExecuteUpdate(*s, resolver);
+    return ExecuteUpdate(session, *s, resolver);
   }
   if (auto* s = std::get_if<sql::DeleteStmt>(&stmt)) {
-    return ExecuteDelete(*s, resolver);
+    return ExecuteDelete(session, *s, resolver);
   }
   if (auto* s = std::get_if<sql::CreateTableStmt>(&stmt)) {
     return ExecuteCreate(*s);
@@ -239,114 +423,207 @@ Result<ResultSet> Database::Dispatch(sql::Statement& stmt,
   if (auto* s = std::get_if<sql::AlterTableStmt>(&stmt)) {
     return ExecuteAlter(*s, resolver);
   }
+  if (auto* s = std::get_if<sql::LockTableStmt>(&stmt)) {
+    return ExecuteLockTable(session, *s);
+  }
   if (auto* s = std::get_if<sql::TransactionStmt>(&stmt)) {
-    return ExecuteTransaction(*s);
+    return ExecuteTransaction(session, *s);  // normally routed by the caller
   }
   return Status::Internal("unhandled statement kind");
 }
 
-Result<ResultSet> Database::ExecuteTransaction(const sql::TransactionStmt& stmt) {
+Result<ResultSet> Database::ExecuteSelect(Session& session,
+                                          sql::SelectStmt& stmt,
+                                          ExternalResolver* resolver) {
+  std::vector<std::string> names;
+  CollectTableNames(stmt, &names);
+  const storage::TxnId txn = session.txn_open_ ? session.txn_id_ : 0;
+  // A plain reader holds nothing and may always wait; a transaction's
+  // SELECT may wait only while its write set is empty (wait-die).
+  const bool may_wait = txn == 0 || session.latched_.empty();
+  Status s = latches_.AcquireShared(names, txn, may_wait);
+  if (!s.ok()) {
+    if (txn != 0) VictimizeSession(session);
+    return s;
+  }
+  auto r = RunSelect(&stmt, catalog_, resolver, exec_);
+  latches_.ReleaseShared(names);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction control
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Database::ExecuteTransaction(
+    Session& session, const sql::TransactionStmt& stmt) {
   ResultSet rs;
   switch (stmt.kind) {
     case sql::TransactionStmt::Kind::kBegin:
-      if (txn_open_) {
+      if (session.txn_open_) {
         return Status::InvalidArgument(
             "BEGIN inside an open transaction (nesting is not supported)");
       }
-      txn_open_ = true;
-      txn_poisoned_ = false;
-      txn_undo_.Clear();
-      // One WAL bracket spans the whole transaction: the statements inside
-      // ride it (their own EndStatement calls sit at depth > 0 and emit
-      // nothing), so a crash before COMMIT discards every statement.
-      pager_.BeginTxn();
-      // DDL is rejected while the transaction is open, so the table set —
-      // and each journal installation — is stable until it ends.
-      InstallUndoJournal(&txn_undo_);
+      session.txn_open_ = true;
+      session.txn_poisoned_ = false;
+      session.undo_.Clear();
+      // One WAL bracket (txn-id-tagged) spans the whole transaction: the
+      // statements inside ride it, so a crash before COMMIT discards every
+      // statement. Undo journals install lazily, as write latches are
+      // acquired.
+      session.txn_id_ = pager_.BeginTxn();
       rs.message = "BEGIN";
       return rs;
     case sql::TransactionStmt::Kind::kCommit: {
-      if (!txn_open_) {
+      if (!session.txn_open_) {
         return Status::InvalidArgument("COMMIT without an open transaction");
       }
-      if (txn_poisoned_) {
+      if (session.txn_poisoned_) {
         // Postgres semantics: committing an aborted transaction rolls it
         // back and reports so, rather than erroring a second time.
-        RollbackOpenTxn();
+        RollbackSessionTxn(session);
         rs.message = "ROLLBACK";
         return rs;
       }
-      InstallUndoJournal(nullptr);
-      txn_undo_.Clear();
-      txn_open_ = false;
-      // The transaction's commit barrier: Execute() syncs through this end
-      // boundary under sync_on_commit — the fsync the member statements
-      // each skipped.
-      last_commit_end_lsn_ = pager_.CommitTxn();
+      // Suspend journaling and bracket ownership before closing: the
+      // transaction is over for these tables either way.
+      for (Table* t : session.latched_) {
+        t->set_undo_journal(nullptr);
+        t->set_write_txn(0);
+      }
+      // The transaction's commit barrier: ExecuteForSession syncs through
+      // this end boundary under sync_on_commit — the fsync the member
+      // statements each skipped. Latches release only *after* the close
+      // record: nothing may write these tables' pages between our last
+      // record and our commit marker.
+      session.last_commit_end_lsn_ = pager_.CommitTxn(session.txn_id_);
+      for (Table* t : session.latched_) {
+        latches_.ReleaseExclusive(ToLower(t->name()), session.txn_id_);
+      }
+      session.latched_.clear();
+      session.undo_.Clear();
+      session.txn_id_ = 0;
+      session.txn_open_ = false;
       rs.message = "COMMIT";
       return rs;
     }
     case sql::TransactionStmt::Kind::kRollback:
-      if (!txn_open_) {
+      if (!session.txn_open_) {
         return Status::InvalidArgument("ROLLBACK without an open transaction");
       }
-      RollbackOpenTxn();
+      RollbackSessionTxn(session);
       rs.message = "ROLLBACK";
       return rs;
   }
   return Status::Internal("unhandled transaction statement kind");
 }
 
-void Database::InstallUndoJournal(UndoJournal* journal) {
-  for (const std::string& name : catalog_.TableNames()) {
-    auto table = catalog_.GetTable(name);
-    if (table.ok()) table.value()->set_undo_journal(journal);
+Result<ResultSet> Database::ExecuteLockTable(Session& session,
+                                             sql::LockTableStmt& stmt) {
+  if (!session.txn_open_) {
+    return Status::InvalidArgument(
+        "LOCK TABLE outside a multi-statement transaction");
   }
+  DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  ResultSet rs;
+  rs.message = "LOCK TABLE " + table->name();
+  auto& set = session.latched_;
+  if (std::find(set.begin(), set.end(), table) != set.end()) return rs;
+  Status s = latches_.AcquireExclusive(ToLower(table->name()),
+                                       session.txn_id_, set.empty());
+  if (!s.ok()) {
+    VictimizeSession(session);
+    return s;
+  }
+  set.push_back(table);
+  table->set_undo_journal(&session.undo_);
+  table->set_write_txn(session.txn_id_);
+  return rs;
 }
 
-void Database::RollbackOpenTxn() {
-  // Suspend capture before undoing: the compensations below must not
-  // journal themselves.
-  InstallUndoJournal(nullptr);
-  for (auto it = txn_undo_.entries.rbegin(); it != txn_undo_.entries.rend();
-       ++it) {
-    UndoJournal::Entry& e = *it;
-    Status s = Status::OK();
-    switch (e.kind) {
-      case UndoJournal::Entry::Kind::kInsert:
-        s = e.table->UndoInsertRow(e.pos, e.rid);
-        break;
-      case UndoJournal::Entry::Kind::kDelete:
-        s = e.table->UndoDeleteRow(e.pos, std::move(e.row), e.rid);
-        break;
-      case UndoJournal::Entry::Kind::kUpdate:
-        s = e.table->UndoUpdateCell(e.rid, e.col, std::move(e.old_value));
-        break;
+void Database::RollbackSessionTxn(Session& session) {
+  // A deadlock victim arrives here a second time from the client's
+  // ROLLBACK with txn_id_ already zeroed — its work was undone eagerly;
+  // only the flags remain.
+  if (session.txn_id_ != 0) {
+    // Suspend capture before undoing: the compensations below must not
+    // journal themselves. Bracket ownership stays installed so they ride
+    // the transaction's WAL bracket.
+    for (Table* t : session.latched_) t->set_undo_journal(nullptr);
+    for (auto it = session.undo_.entries.rbegin();
+         it != session.undo_.entries.rend(); ++it) {
+      UndoJournal::Entry& e = *it;
+      Status s = Status::OK();
+      switch (e.kind) {
+        case UndoJournal::Entry::Kind::kInsert:
+          s = e.table->UndoInsertRow(e.pos, e.rid);
+          break;
+        case UndoJournal::Entry::Kind::kDelete:
+          s = e.table->UndoDeleteRow(e.pos, std::move(e.row), e.rid);
+          break;
+        case UndoJournal::Entry::Kind::kUpdate:
+          s = e.table->UndoUpdateCell(e.rid, e.col, std::move(e.old_value));
+          break;
+      }
+      if (!s.ok()) {
+        // Undo replays exact before-images over states it has already
+        // restored; a failure means the in-memory state is neither the pre-
+        // nor the post-transaction one. Same stance as catalog corruption:
+        // do not limp on.
+        std::fprintf(stderr, "dataspread::Database ROLLBACK failed: %s\n",
+                     s.message().c_str());
+        std::abort();
+      }
     }
-    if (!s.ok()) {
-      // Undo replays exact before-images over states it has already
-      // restored; a failure means the in-memory state is neither the pre-
-      // nor the post-transaction one. Same stance as catalog corruption:
-      // do not limp on.
-      std::fprintf(stderr, "dataspread::Database ROLLBACK failed: %s\n",
-                   s.message().c_str());
-      std::abort();
+    for (Table* t : session.latched_) t->set_write_txn(0);
+    // Close the WAL bracket with kTxnAbort: the undo's page mutations were
+    // logged inside the bracket as compensations, so replaying it is a net
+    // no-op — and if the process dies before this record, recovery discards
+    // the open bracket wholesale, which lands in the same state. The close
+    // record must land *before* the latches release (below): released
+    // first, another transaction's committed records could slot between
+    // our compensations and our abort marker, and replay would reapply our
+    // images over their newer committed pages.
+    pager_.AbortTxn(session.txn_id_);
+    for (Table* t : session.latched_) {
+      latches_.ReleaseExclusive(ToLower(t->name()), session.txn_id_);
     }
   }
-  txn_undo_.Clear();
-  txn_open_ = false;
-  txn_poisoned_ = false;
-  // Close the WAL bracket with kTxnAbort. The undo's page mutations were
-  // logged inside the bracket as compensations, so replaying it is a net
-  // no-op — and if the process dies before this record, recovery discards
-  // the open bracket wholesale, which lands in the same state.
-  pager_.AbortTxn();
+  session.latched_.clear();
+  session.undo_.Clear();
+  session.txn_id_ = 0;
+  session.txn_open_ = false;
+  session.txn_poisoned_ = false;
 }
 
-Result<ResultSet> Database::ExecuteInsert(sql::InsertStmt& stmt,
+void Database::VictimizeSession(Session& session) {
+  RollbackSessionTxn(session);
+  // The transaction is gone, but the client hasn't acknowledged: keep the
+  // session in the Postgres aborted-transaction state — every statement
+  // fails until its ROLLBACK, which (txn_id_ == 0) only clears flags.
+  session.txn_open_ = true;
+  session.txn_poisoned_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Database::ExecuteInsert(Session& session,
+                                          sql::InsertStmt& stmt,
                                           ExternalResolver* resolver) {
   DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
   const Schema& schema = table->schema();
+
+  // Latch order: target exclusive first, then the whole source set shared
+  // — before any data is read or written.
+  WriteGuard guard(*this, session);
+  DS_RETURN_IF_ERROR(guard.LatchWrite(table));
+  if (stmt.select != nullptr) {
+    std::vector<std::string> sources;
+    CollectTableNames(*stmt.select, &sources);
+    DS_RETURN_IF_ERROR(guard.LatchRead(std::move(sources)));
+  }
 
   // Column mapping: named list or full schema order.
   std::vector<size_t> target_cols;
@@ -397,7 +674,7 @@ Result<ResultSet> Database::ExecuteInsert(sql::InsertStmt& stmt,
   // deletes land inside the bracket too, which then closes with kTxnAbort —
   // a net no-op on replay, and a crash anywhere in between discards the
   // bracket wholesale (DESIGN.md §7).
-  storage::StatementScope txn(pager_);
+  storage::StatementScope txn(pager_, guard.txn());
   size_t applied = 0;
   Status failure = Status::OK();
   for (const Row& row : incoming) {
@@ -416,15 +693,19 @@ Result<ResultSet> Database::ExecuteInsert(sql::InsertStmt& stmt,
     }
     return failure;
   }
-  last_commit_end_lsn_ = txn.Commit();
+  (void)txn.Commit();
+  session.last_commit_end_lsn_ = guard.Commit();
   ResultSet rs;
   rs.affected_rows = applied;
   return rs;
 }
 
-Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
+Result<ResultSet> Database::ExecuteUpdate(Session& session,
+                                          sql::UpdateStmt& stmt,
                                           ExternalResolver* resolver) {
   DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  WriteGuard guard(*this, session);
+  DS_RETURN_IF_ERROR(guard.LatchWrite(table));
   Scope scope = TableScope(*table);
   std::vector<size_t> target_cols;
   for (auto& [name, expr] : stmt.assignments) {
@@ -458,6 +739,7 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
       if (!row.ok()) {
         if (row.status().code() == StatusCode::kNotFound) {
           rs.affected_rows = 0;
+          session.last_commit_end_lsn_ = guard.Commit();
           return rs;
         }
         return row.status();
@@ -473,7 +755,7 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
         new_values.push_back(std::move(v));
         old_values.push_back(row.value()[target_cols[i]]);
       }
-      storage::StatementScope txn(pager_);
+      storage::StatementScope txn(pager_, guard.txn());
       for (size_t i = 0; i < new_values.size(); ++i) {
         Status s = table->UpdateByKey(key, target_cols[i], new_values[i]);
         if (target_cols[i] == *pk && s.ok()) key = new_values[i];
@@ -482,10 +764,11 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
             (void)table->UpdateByKey(key, target_cols[j], old_values[j]);
             if (target_cols[j] == *pk) key = old_values[j];
           }
-          return s;  // the scope closes the bracket with kTxnAbort
+          return s;  // the scope + guard close the bracket with kTxnAbort
         }
       }
-      last_commit_end_lsn_ = txn.Commit();
+      (void)txn.Commit();
+      session.last_commit_end_lsn_ = guard.Commit();
       rs.affected_rows = 1;
       return rs;
     }
@@ -524,7 +807,7 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
   DS_RETURN_IF_ERROR(scan_status);
 
   // Phase 2: apply inside one statement bracket, with rollback on failure.
-  storage::StatementScope txn(pager_);
+  storage::StatementScope txn(pager_, guard.txn());
   size_t applied = 0;
   Status failure = Status::OK();
   for (const PendingUpdate& u : pending) {
@@ -541,16 +824,20 @@ Result<ResultSet> Database::ExecuteUpdate(sql::UpdateStmt& stmt,
     }
     return failure;
   }
-  last_commit_end_lsn_ = txn.Commit();
+  (void)txn.Commit();
+  session.last_commit_end_lsn_ = guard.Commit();
   ResultSet rs;
   size_t assignments = stmt.assignments.empty() ? 1 : stmt.assignments.size();
   rs.affected_rows = pending.size() / assignments;
   return rs;
 }
 
-Result<ResultSet> Database::ExecuteDelete(sql::DeleteStmt& stmt,
+Result<ResultSet> Database::ExecuteDelete(Session& session,
+                                          sql::DeleteStmt& stmt,
                                           ExternalResolver* resolver) {
   DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  WriteGuard guard(*this, session);
+  DS_RETURN_IF_ERROR(guard.LatchWrite(table));
   Scope scope = TableScope(*table);
   if (stmt.where != nullptr) {
     DS_RETURN_IF_ERROR(BindExpr(stmt.where.get(), scope, resolver,
@@ -573,14 +860,27 @@ Result<ResultSet> Database::ExecuteDelete(sql::DeleteStmt& stmt,
   DS_RETURN_IF_ERROR(scan_status);
   // Delete from the highest position down so earlier positions stay valid,
   // all inside one statement bracket.
-  storage::StatementScope txn(pager_);
+  storage::StatementScope txn(pager_, guard.txn());
   for (size_t i = positions.size(); i-- > 0;) {
     DS_RETURN_IF_ERROR(table->DeleteRowAt(positions[i]));
   }
-  last_commit_end_lsn_ = txn.Commit();
+  (void)txn.Commit();
+  session.last_commit_end_lsn_ = guard.Commit();
   ResultSet rs;
   rs.affected_rows = positions.size();
   return rs;
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Status Database::FailIfLatched(const std::string& table) const {
+  const uint64_t owner = latches_.ExclusiveOwner(ToLower(table));
+  if (owner == 0) return Status::OK();
+  return Status::SerializationConflict(
+      "table '" + table + "' is write-locked by open transaction " +
+      std::to_string(owner) + "; retry after it ends");
 }
 
 Result<ResultSet> Database::ExecuteCreate(sql::CreateTableStmt& stmt) {
@@ -608,6 +908,7 @@ Result<ResultSet> Database::ExecuteDrop(sql::DropTableStmt& stmt) {
     rs.message = "table " + stmt.table + " does not exist";
     return rs;
   }
+  DS_RETURN_IF_ERROR(FailIfLatched(stmt.table));
   DS_RETURN_IF_ERROR(catalog_.DropTable(stmt.table));
   ResultSet rs;
   rs.message = "dropped table " + stmt.table;
@@ -617,6 +918,7 @@ Result<ResultSet> Database::ExecuteDrop(sql::DropTableStmt& stmt) {
 Result<ResultSet> Database::ExecuteAlter(sql::AlterTableStmt& stmt,
                                          ExternalResolver* resolver) {
   DS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  DS_RETURN_IF_ERROR(FailIfLatched(stmt.table));
   ResultSet rs;
   switch (stmt.action) {
     case sql::AlterTableStmt::Action::kAddColumn: {
@@ -646,15 +948,19 @@ Result<ResultSet> Database::ExecuteAlter(sql::AlterTableStmt& stmt,
   return Status::Internal("unhandled ALTER action");
 }
 
+// ---------------------------------------------------------------------------
+// Listeners / direct table API
+// ---------------------------------------------------------------------------
+
 int Database::AddChangeListener(ChangeListener listener) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   int token = next_listener_token_++;
   listeners_.emplace_back(token, std::move(listener));
   return token;
 }
 
 void Database::RemoveChangeListener(int token) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
     if (it->first == token) {
       listeners_.erase(it);
@@ -665,11 +971,11 @@ void Database::RemoveChangeListener(int token) {
 
 Result<Table*> Database::CreateTable(std::string name, Schema schema,
                                      StorageModel model) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (closed_) {
+  std::unique_lock<SchemaLatch> schema_lock(schema_mu_);
+  if (closed()) {
     return Status::InvalidArgument("database is closed");
   }
-  if (txn_open_) {
+  if (default_session_.txn_open_) {
     return Status::InvalidArgument(
         "DDL inside a multi-statement transaction is not supported");
   }
@@ -683,7 +989,11 @@ Result<Table*> Database::CreateTable(std::string name, Schema schema,
 void Database::AttachForwarding(Table* table) {
   table->AddListener([this](const Table& t, const TableChange& change) {
     // Listener vector may be mutated by callbacks; iterate over a copy.
-    auto snapshot = listeners_;
+    std::vector<std::pair<int, ChangeListener>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(listeners_mu_);
+      snapshot = listeners_;
+    }
     for (const auto& [token, fn] : snapshot) {
       (void)token;
       fn(t.name(), change);

@@ -1,13 +1,16 @@
 #ifndef DATASPREAD_DB_DATABASE_H_
 #define DATASPREAD_DB_DATABASE_H_
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/write_latch.h"
 #include "common/result.h"
 #include "storage/file_lock.h"
 #include "exec/resolver.h"
@@ -16,6 +19,8 @@
 #include "sql/ast.h"
 
 namespace dataspread {
+
+class Database;
 
 /// Construction-time options for a Database.
 struct DatabaseOptions {
@@ -41,38 +46,99 @@ struct DatabaseOptions {
   /// checkpoint, DDL, or explicit barrier. See docs/DURABILITY.md's
   /// durability-level table.
   bool sync_on_commit = false;
-  /// With sync_on_commit: release the database mutex before the commit
-  /// barrier, so concurrent committers park on one fsync (group commit —
-  /// one leader syncs, all release; Wal::SyncThrough). Off = the barrier
-  /// runs inside the statement lock, one fsync per commit — the serial
-  /// baseline bench_txn A/Bs against. No effect without sync_on_commit.
+  /// With sync_on_commit: run the commit barrier outside the session lock,
+  /// so concurrent committers park on one fsync (group commit — one leader
+  /// syncs, all release; Wal::SyncThrough). Off = the barrier runs inside
+  /// the statement lock, one fsync per commit — the serial baseline
+  /// bench_txn A/Bs against. No effect without sync_on_commit.
   bool group_commit = true;
 };
 
+/// One SQL connection: the unit of transaction state and of statement
+/// serialization. Each Session owns its own multi-statement transaction —
+/// open flag, undo journal, the set of write-latched tables — and a mutex
+/// that serializes statements *on this session only*; statements on
+/// different sessions run concurrently, fully in parallel when they touch
+/// disjoint tables (DESIGN.md §7 "Partitioned write latching").
+///
+/// Sessions come from Database::CreateSession() and must be destroyed
+/// before their Database. A transaction still open at destruction is
+/// rolled back. A Session is not itself thread-safe in the sense of
+/// interleaving one transaction from two threads — use one session per
+/// thread of control, like a connection.
+class Session {
+ public:
+  ~Session();
+
+  /// Parses and executes one SQL statement on this session. Semantics are
+  /// identical to Database::Execute (which delegates to the database's
+  /// embedded default session).
+  Result<ResultSet> Execute(std::string_view sql,
+                            ExternalResolver* resolver = nullptr);
+
+  /// True while a BEGIN is open (poisoned or not).
+  bool in_transaction() const { return txn_open_; }
+
+ private:
+  friend class Database;
+  explicit Session(Database* db) : db_(db) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Database* db_;
+  /// Serializes statements on this session (recursive: the compute engine's
+  /// callbacks may re-enter Execute on the same session).
+  std::recursive_mutex mu_;
+  // ---- Multi-statement transaction state (guarded by mu_) ----
+  bool txn_open_ = false;
+  /// A failed statement poisons the transaction (Postgres semantics): every
+  /// further statement fails until ROLLBACK; COMMIT rolls back. A deadlock
+  /// victim is poisoned with txn_id_ already zeroed — its work was rolled
+  /// back eagerly, so the client's ROLLBACK only clears the flags.
+  bool txn_poisoned_ = false;
+  /// The pager transaction context (0 = none open). Doubles as this
+  /// transaction's age for wait-die latch ordering: smaller id == older.
+  storage::TxnId txn_id_ = 0;
+  UndoJournal undo_;
+  /// Tables this transaction holds exclusive write latches on, in
+  /// acquisition order. Strict 2PL: grows during the transaction, released
+  /// only at commit/rollback.
+  std::vector<Table*> latched_;
+  /// End LSN of the statement's committed bracket (0 = nothing committed);
+  /// consumed by the commit barrier under sync_on_commit.
+  uint64_t last_commit_end_lsn_ = 0;
+};
+
 /// The embedded relational engine standing in for the paper's PostgreSQL
-/// back-end (see DESIGN.md §2). Statements execute one at a time; each is a
-/// transaction of its own (autocommit) unless a SQL `BEGIN` is open, in
-/// which case statements accumulate into one multi-statement transaction
-/// closed by `COMMIT` or `ROLLBACK`/`ABORT`. Atomicity holds at the
-/// transaction granularity both for logical failures (a per-transaction
-/// undo journal restores tables, display order, and row-id maps on
-/// rollback) and across crashes (WAL transaction brackets — recovery
-/// replays exactly the committed-transaction prefix, DESIGN.md §7).
+/// back-end (see DESIGN.md §2). Statements execute per-*session*; each is a
+/// transaction of its own (autocommit) unless a SQL `BEGIN` is open on that
+/// session, in which case its statements accumulate into one
+/// multi-statement transaction closed by `COMMIT` or `ROLLBACK`/`ABORT`.
+/// Atomicity holds at the transaction granularity both for logical failures
+/// (a per-transaction undo journal restores tables, display order, and
+/// row-id maps on rollback) and across crashes (txn-id-tagged WAL brackets
+/// — recovery replays exactly the committed-transaction set, DESIGN.md §7).
 ///
-/// The state machine is Postgres-shaped: nested BEGIN is rejected,
-/// COMMIT/ROLLBACK without BEGIN is rejected, any error inside an open
-/// transaction *poisons* it (every further statement fails until ROLLBACK;
-/// COMMIT of a poisoned transaction rolls back), and DDL inside an
-/// explicit transaction is rejected (DDL records are individually-durable
-/// commit points that cannot ride an abortable bracket).
+/// The per-session state machine is Postgres-shaped: nested BEGIN is
+/// rejected, COMMIT/ROLLBACK without BEGIN is rejected, any error inside an
+/// open transaction *poisons* it (every further statement fails until
+/// ROLLBACK; COMMIT of a poisoned transaction rolls back), and DDL inside
+/// an explicit transaction is rejected (DDL records are individually-
+/// durable commit points that cannot ride an abortable bracket).
 ///
-/// Threading: Execute() is serialized by an internal recursive mutex so the
-/// compute engine's background worker can run queries while the interactive
-/// thread issues DML, and the pager below is safe under concurrent readers
-/// plus one writer — direct table reads (GetWindow etc.) may run against a
-/// bounded pool while another thread executes statements. With
-/// `sync_on_commit` + `group_commit`, concurrent committers batch their
-/// commit barriers onto one fsync.
+/// Threading — partitioned write latching (DESIGN.md §7): transactions on
+/// *disjoint* tables proceed fully in parallel. Every DML statement takes
+/// its target table's exclusive write latch (transactions keep theirs until
+/// commit/rollback — strict 2PL on the write set) and its read set shared;
+/// SELECTs take their table set shared for the statement. Deadlocks are
+/// prevented by wait-die on transaction age: a younger transaction that
+/// would wait on an older one while holding latches is instead aborted
+/// with a retryable SerializationConflict, rolled back via its undo
+/// journal, and left poisoned until the client's ROLLBACK. DDL excludes
+/// all statements (a schema shared/exclusive latch) and fails fast on
+/// tables locked by open transactions. With `sync_on_commit` +
+/// `group_commit`, concurrent committers batch their commit barriers onto
+/// one fsync.
 class Database {
  public:
   Database() : Database(DatabaseOptions{}) {}
@@ -86,7 +152,8 @@ class Database {
 
   /// A clean shutdown: captures the final catalog snapshot, then tears
   /// down. Durable pagers end on a checkpoint, so the next Open replays an
-  /// empty log. Calling Close() first is optional.
+  /// empty log. Calling Close() first is optional. Sessions created with
+  /// CreateSession() must already be destroyed.
   ~Database();
 
   /// Opens (creating on first use) a durable database rooted at `base_path`:
@@ -120,7 +187,7 @@ class Database {
   /// The pair can be reopened (by a new Database) after *destruction* —
   /// two live pagers on one pair would corrupt it.
   void Close();
-  bool closed() const { return closed_; }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   Catalog& catalog() { return catalog_; }
 
@@ -131,11 +198,20 @@ class Database {
 
   /// Flushes every dirty page of every table to the spill file; under a WAL
   /// (DatabaseOptions.pager.wal_path) this is the fuzzy checkpoint that also
-  /// truncates the log and bounds recovery time. Returns pages written.
+  /// truncates the log and bounds recovery time. Quiesces statements (the
+  /// schema latch) first; returns 0 — checkpoint declined — while any
+  /// session holds an open transaction bracket. Returns pages written.
   size_t Checkpoint();
 
-  /// Parses and executes one SQL statement. `resolver` supplies the
-  /// spreadsheet context for RANGEVALUE/RANGETABLE (null = plain SQL only).
+  /// Creates a new SQL session (connection). Sessions execute statements
+  /// concurrently with each other and with the default session; see the
+  /// class comment for the latching protocol. The session must be
+  /// destroyed before this Database.
+  std::unique_ptr<Session> CreateSession();
+
+  /// Parses and executes one SQL statement on the embedded default session.
+  /// `resolver` supplies the spreadsheet context for RANGEVALUE/RANGETABLE
+  /// (null = plain SQL only).
   Result<ResultSet> Execute(std::string_view sql,
                             ExternalResolver* resolver = nullptr);
 
@@ -150,15 +226,22 @@ class Database {
   Result<Table*> CreateTable(std::string name, Schema schema,
                              StorageModel model = StorageModel::kHybrid);
 
-  uint64_t statements_executed() const { return statements_executed_; }
+  uint64_t statements_executed() const {
+    return statements_executed_.load(std::memory_order_relaxed);
+  }
 
   /// Execution-pipeline knobs for subsequent statements. The mutator lets
   /// benches and the transparency tests A/B the row and batch pipelines on
-  /// one loaded database.
+  /// one loaded database. Not synchronized: set before going concurrent.
   const ExecOptions& exec_options() const { return exec_; }
   void set_exec_options(const ExecOptions& exec) { exec_ = exec; }
 
  private:
+  friend class Session;
+  /// Statement-scoped latch bookkeeping for one DML statement; defined in
+  /// database.cc.
+  struct WriteGuard;
+
   /// Lock-then-construct: the advisory pair lock must be held before the
   /// pager's constructor opens (and possibly recovers) the WAL.
   Database(const DatabaseOptions& options, storage::FileLock lock);
@@ -169,27 +252,49 @@ class Database {
   /// The lock file guarding `wal_path`'s pair (empty for non-durable).
   static std::string LockPathFor(const DatabaseOptions& options);
 
-  Result<ResultSet> Dispatch(sql::Statement& stmt, ExternalResolver* resolver);
-  Result<ResultSet> ExecuteInsert(sql::InsertStmt& stmt,
+  /// The statement engine behind Session::Execute / Database::Execute.
+  Result<ResultSet> ExecuteForSession(Session& session, std::string_view sql,
+                                      ExternalResolver* resolver);
+
+  Result<ResultSet> Dispatch(Session& session, sql::Statement& stmt,
+                             ExternalResolver* resolver);
+  Result<ResultSet> ExecuteSelect(Session& session, sql::SelectStmt& stmt,
                                   ExternalResolver* resolver);
-  Result<ResultSet> ExecuteUpdate(sql::UpdateStmt& stmt,
+  Result<ResultSet> ExecuteInsert(Session& session, sql::InsertStmt& stmt,
                                   ExternalResolver* resolver);
-  Result<ResultSet> ExecuteDelete(sql::DeleteStmt& stmt,
+  Result<ResultSet> ExecuteUpdate(Session& session, sql::UpdateStmt& stmt,
+                                  ExternalResolver* resolver);
+  Result<ResultSet> ExecuteDelete(Session& session, sql::DeleteStmt& stmt,
                                   ExternalResolver* resolver);
   Result<ResultSet> ExecuteCreate(sql::CreateTableStmt& stmt);
   Result<ResultSet> ExecuteDrop(sql::DropTableStmt& stmt);
   Result<ResultSet> ExecuteAlter(sql::AlterTableStmt& stmt,
                                  ExternalResolver* resolver);
-  Result<ResultSet> ExecuteTransaction(const sql::TransactionStmt& stmt);
+  Result<ResultSet> ExecuteTransaction(Session& session,
+                                       const sql::TransactionStmt& stmt);
+  Result<ResultSet> ExecuteLockTable(Session& session,
+                                     sql::LockTableStmt& stmt);
 
-  /// Installs `journal` (may be null) as the undo journal of every table.
-  void InstallUndoJournal(UndoJournal* journal);
-  /// Rolls the open transaction back: undo journal applied in reverse
-  /// (capture suspended), then the WAL bracket closes with kTxnAbort — the
-  /// logged compensations make replaying the bracket a net no-op. An undo
-  /// failure aborts the process (the in-memory state would be neither the
-  /// pre- nor the post-transaction one).
-  void RollbackOpenTxn();
+  /// DDL's fast-fail against open transactions: InvalidArgument when
+  /// `table` is write-latched. Caller holds schema_mu_ exclusive (which
+  /// stops new acquisitions, making the answer stable).
+  Status FailIfLatched(const std::string& table) const;
+
+  /// Rolls `session`'s open transaction back: undo journal applied in
+  /// reverse (capture suspended, the owning txn context still installed so
+  /// the compensations ride the transaction's WAL bracket), the bracket
+  /// closed with kTxnAbort, and — strictly after the close record — the
+  /// write latches released. An undo failure aborts the process (the
+  /// in-memory state would be neither the pre- nor the post-transaction
+  /// one). Safe to call with no pager context open (a deadlock victim's
+  /// second rollback): only the session flags are cleared.
+  void RollbackSessionTxn(Session& session);
+
+  /// The wait-die abort path: rolls the transaction back eagerly (releasing
+  /// its latches so the older transaction can proceed) and re-poisons the
+  /// session, so the client sees Postgres aborted-transaction semantics —
+  /// every statement fails until its ROLLBACK, which merely clears flags.
+  void VictimizeSession(Session& session);
 
   /// Wires a table's change events to the database-level listeners.
   void AttachForwarding(Table* table);
@@ -207,24 +312,28 @@ class Database {
   storage::Pager pager_;        // declared before catalog_: tables release
                                 // into it on destruction
   Catalog catalog_{&pager_};
-  std::recursive_mutex mutex_;
+  /// Catalog-structure latch: every statement holds it shared for its
+  /// duration; DDL (and direct CreateTable) holds it exclusive. This is
+  /// what makes catalog_'s name→table map safe under concurrent sessions —
+  /// and gives DDL a quiesced world to mutate it in. COMMIT/ROLLBACK touch
+  /// only write-latched tables (which DDL fails fast on), so transaction
+  /// control skips it. Reader-preferring by necessity — see SchemaLatch.
+  SchemaLatch schema_mu_;
+  /// The partitioned write-latch table (DESIGN.md §7): table-name →
+  /// exclusive owner txn / shared reader count.
+  WriteLatchTable latches_;
+  std::mutex listeners_mu_;
   int next_listener_token_ = 1;
   std::vector<std::pair<int, ChangeListener>> listeners_;
-  uint64_t statements_executed_ = 0;
-  bool closed_ = false;
+  std::atomic<uint64_t> statements_executed_{0};
+  std::atomic<bool> closed_{false};
   ExecOptions exec_;
   bool sync_on_commit_ = false;
   bool group_commit_ = true;
-  /// End LSN of the last committed transaction bracket (set under mutex_ by
-  /// the DML paths in autocommit, and by COMMIT for explicit transactions —
-  /// inside an open BEGIN the per-statement Commit() returns 0, so the
-  /// group-commit fsync moves from statement end to transaction commit);
-  /// Execute() consumes it for the commit barrier.
-  uint64_t last_commit_end_lsn_ = 0;
-  // ---- Multi-statement transaction state (guarded by mutex_) ----
-  bool txn_open_ = false;
-  bool txn_poisoned_ = false;
-  UndoJournal txn_undo_;
+  /// The embedded default session Database::Execute runs on — the
+  /// single-connection API every pre-multi-writer caller uses. Declared
+  /// last: it only stores the back-pointer.
+  Session default_session_{this};
 };
 
 }  // namespace dataspread

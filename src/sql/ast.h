@@ -171,9 +171,19 @@ struct TransactionStmt {
   Kind kind = Kind::kBegin;
 };
 
+/// `LOCK TABLE <name>`: acquires the table's exclusive write latch for the
+/// current transaction (error outside one) and installs the transaction's
+/// undo journal, so subsequent direct Table-API writes are journaled and
+/// ride the transaction's bracket. DML acquires latches implicitly; this
+/// statement exists for callers that mix SQL transactions with direct
+/// positional Table operations.
+struct LockTableStmt {
+  std::string table;
+};
+
 using Statement = std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
                                CreateTableStmt, DropTableStmt, AlterTableStmt,
-                               TransactionStmt>;
+                               TransactionStmt, LockTableStmt>;
 
 }  // namespace dataspread::sql
 

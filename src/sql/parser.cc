@@ -20,6 +20,7 @@ const std::unordered_set<std::string>& ReservedWords() {
       "COLUMN", "RENAME", "TO",     "PRIMARY", "KEY",     "DEFAULT", "IF",
       "EXISTS", "TRUE",   "FALSE",  "ASC",     "DESC",    "UNION",
       "BEGIN",  "COMMIT", "ROLLBACK", "ABORT", "TRANSACTION", "WORK",
+      "LOCK",
   };
   return *kWords;
 }
@@ -109,8 +110,18 @@ class Parser {
       return ParseTransaction(TransactionStmt::Kind::kCommit);
     if (IsKeyword("ROLLBACK") || IsKeyword("ABORT"))
       return ParseTransaction(TransactionStmt::Kind::kRollback);
+    if (IsKeyword("LOCK")) return ParseLockTable();
     return Status::ParseError("expected a SQL statement, got '" + Peek().text +
                               "'");
+  }
+
+  Result<Statement> ParseLockTable() {
+    Advance();  // LOCK
+    (void)MatchKeyword("TABLE");
+    DS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("table name"));
+    LockTableStmt stmt;
+    stmt.table = std::move(name);
+    return Statement(std::move(stmt));
   }
 
   Result<Statement> ParseTransaction(TransactionStmt::Kind kind) {

@@ -22,7 +22,25 @@
 namespace dataspread {
 namespace storage {
 
-Pager::Pager(PagerConfig config) : config_(std::move(config)) {
+namespace {
+
+/// One thread→context binding pushed by BeginStatement and popped by the
+/// matching EndStatement. Keyed by a process-unique pager uid so a binding
+/// can never alias a different (e.g. later-constructed) pager.
+struct TxnBindEntry {
+  uint64_t pager_uid;
+  TxnId txn;
+};
+
+thread_local std::vector<TxnBindEntry> tls_txn_binds;
+
+std::atomic<uint64_t> g_next_pager_uid{1};
+
+}  // namespace
+
+Pager::Pager(PagerConfig config)
+    : config_(std::move(config)),
+      pager_uid_(g_next_pager_uid.fetch_add(1, std::memory_order_relaxed)) {
   if (!config_.wal_path.empty()) {
     // The durable pair: the WAL is the redo half, the named persistent
     // spill file the data half — both or neither.
@@ -82,7 +100,15 @@ void Pager::CrashForTesting() {
   if (wal_ != nullptr) wal_->CrashForTesting(/*keep_os_buffered=*/true);
   if (spill_ != nullptr) spill_->Sync();  // what the page cache would hold
   crashed_ = true;
-  stmt_open_ = false;  // a bracket mid-crash simply never commits
+  // Brackets mid-crash simply never commit; their contexts stay alive (the
+  // scratch afterlife still brackets statements, just without a log) and
+  // their parked spill frees are dropped — nothing recycles post-crash.
+  for (auto& [id, ctx] : txns_) {
+    ctx.open = false;
+    ctx.deferred_slots.clear();
+  }
+  open_brackets_ = 0;
+  min_open_begin_lsn_ = 0;
 }
 
 FileId Pager::CreateFile() {
@@ -403,7 +429,16 @@ void Pager::DropFile(FileId file) {
     wal_payload_.clear();
     AppendU64(&wal_payload_, file);
     uint64_t lsn = AppendRecord(WalRecordType::kDropFile, wal_payload_);
-    DeferSpillFrees(freed, stmt_open_ ? kStatementLsnSentinel : lsn);
+    // Inside an open bracket the freed slots park on the context until its
+    // closing record has an LSN (CloseCtx); a discarded bracket must never
+    // have recycled a base it still referenced.
+    TxnContext* ctx = CurrentCtxLocked();
+    if (ctx != nullptr && ctx->open) {
+      ctx->deferred_slots.insert(ctx->deferred_slots.end(), freed.begin(),
+                                 freed.end());
+    } else {
+      DeferSpillFrees(freed, lsn);
+    }
     MaybeAutoCheckpoint();
   }
 }
@@ -643,10 +678,16 @@ void Pager::Truncate(FileId file, uint64_t slot_count) {
     if (boundary != nullptr) boundary->page_lsn_ = lsn;
     // Same reuse hazard as DropFile: freed tail slots stay parked until the
     // truncate record that frees them is durable (DeferSpillFrees). Inside
-    // a statement bracket they park on the sentinel instead — EndStatement
-    // rewrites it to the closing record's LSN, so a discarded bracket can
-    // never have recycled a base it still referenced.
-    DeferSpillFrees(freed, stmt_open_ ? kStatementLsnSentinel : lsn);
+    // an open bracket they park on the owning context instead — CloseCtx
+    // re-parks them at the closing record's LSN, so a discarded bracket
+    // can never have recycled a base it still referenced.
+    TxnContext* ctx = CurrentCtxLocked();
+    if (ctx != nullptr && ctx->open) {
+      ctx->deferred_slots.insert(ctx->deferred_slots.end(), freed.begin(),
+                                 freed.end());
+    } else {
+      DeferSpillFrees(freed, lsn);
+    }
     MaybeAutoCheckpoint();
   }
 }
@@ -725,12 +766,12 @@ ValuePage* Pager::ClockVictim() {
 size_t Pager::FlushAll() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (wal_ != nullptr) {
-    // A checkpoint snapshot must not split an open statement/transaction
-    // bracket across the log rewrite. The Database layer rolls back any
-    // open transaction before Close()/Checkpoint(); if a caller still gets
-    // here mid-bracket, skip rather than abort — the bracket close runs
-    // any deferred auto-checkpoint.
-    if (stmt_depth_ > 0 || stmt_open_) return 0;
+    // A checkpoint snapshot must not split an open bracket (of any
+    // transaction) across the log rewrite. The Database layer rolls back
+    // its open transactions before Close()/Checkpoint(); if a caller still
+    // gets here mid-bracket, skip rather than abort — the last bracket
+    // close runs any deferred auto-checkpoint.
+    if (open_brackets_ > 0) return 0;
     return CheckpointInternal();
   }
   size_t flushed = 0;
@@ -813,51 +854,174 @@ void Pager::LogStructural(WalRecordType type, const std::string& payload) {
 }
 
 uint64_t Pager::AppendRecord(WalRecordType type, const std::string& payload) {
+  TxnId txn = CurrentBoundTxnLocked();
+  if (txn == 0) return wal_->Append(type, payload);
+  TxnContext& ctx = txns_.at(txn);
   // Lazy bracket open: the first record a bracketed statement logs is
-  // preceded by kTxnBegin, so a statement that logs nothing leaves no trace
-  // in the log at all.
-  if (stmt_depth_ > 0 && !stmt_open_) {
-    stmt_begin_lsn_ = wal_->Append(WalRecordType::kTxnBegin, std::string());
-    stmt_open_ = true;
+  // preceded by kTxnBegin(txn), so a statement that logs nothing leaves no
+  // trace in the log at all.
+  if (!ctx.open) {
+    wal_wrap_.clear();
+    AppendU64(&wal_wrap_, txn);
+    ctx.begin_lsn = wal_->Append(WalRecordType::kTxnBegin, wal_wrap_);
+    ctx.open = true;
+    open_brackets_ += 1;
+    // Begin LSNs are monotone, so a new bracket can only *set* the min.
+    if (open_brackets_ == 1) min_open_begin_lsn_ = ctx.begin_lsn;
   }
-  return wal_->Append(type, payload);
+  // Envelope: txn id + inner type + inner payload, so records of
+  // concurrently open brackets can interleave in one log.
+  wal_wrap_.clear();
+  wal_wrap_.reserve(9 + payload.size());
+  AppendU64(&wal_wrap_, txn);
+  wal_wrap_.push_back(static_cast<char>(type));
+  wal_wrap_.append(payload);
+  return wal_->Append(WalRecordType::kTxnData, wal_wrap_);
 }
 
-void Pager::BeginStatement() {
+Pager::TxnContext* Pager::CurrentCtxLocked() {
+  auto& binds = tls_txn_binds;
+  for (size_t i = binds.size(); i-- > 0;) {
+    if (binds[i].pager_uid != pager_uid_) continue;
+    auto it = txns_.find(binds[i].txn);
+    if (it == txns_.end()) {
+      // Stale binding (context force-closed); prune lazily.
+      binds.erase(binds.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    return &it->second;
+  }
+  return nullptr;
+}
+
+TxnId Pager::CurrentBoundTxnLocked() {
+  auto& binds = tls_txn_binds;
+  for (size_t i = binds.size(); i-- > 0;) {
+    if (binds[i].pager_uid != pager_uid_) continue;
+    if (txns_.count(binds[i].txn) == 0) {
+      binds.erase(binds.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    return binds[i].txn;
+  }
+  return 0;
+}
+
+TxnId Pager::BeginStatement(TxnId txn) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (wal_ == nullptr || replaying_ || crashed_) return;
-  stmt_depth_ += 1;
+  if (txn == 0) txn = CurrentBoundTxnLocked();
+  if (txn == 0) {
+    txn = next_txn_id_++;
+    TxnContext ctx;
+    ctx.autocommit = true;
+    txns_.emplace(txn, std::move(ctx));
+  }
+  auto it = txns_.find(txn);
+  DS_PAGER_CHECK(it != txns_.end(),
+                 "BeginStatement under an unknown transaction");
+  it->second.depth += 1;
+  tls_txn_binds.push_back(TxnBindEntry{pager_uid_, txn});
+  return txn;
 }
 
 uint64_t Pager::EndStatement(bool commit) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (wal_ == nullptr || replaying_ || crashed_) return 0;
-  DS_PAGER_CHECK(stmt_depth_ > 0, "EndStatement without BeginStatement");
-  stmt_depth_ -= 1;
-  if (stmt_depth_ > 0 || !stmt_open_) return 0;
-  // Close the outermost bracket. An abort closes it too: by now the
-  // caller's logged rollback compensations sit inside the bracket, so
-  // replaying it is a net no-op — what matters for recovery is only that
-  // the bracket is *closed* (an open one is discarded wholesale).
-  uint64_t lsn = wal_->Append(
-      commit ? WalRecordType::kTxnCommit : WalRecordType::kTxnAbort,
-      std::string());
-  stmt_open_ = false;
-  stmt_begin_lsn_ = 0;
-  // Spill slots freed inside the bracket were parked on the sentinel; they
-  // recycle once the *bracket* is durable, i.e. past the closing record.
-  for (DeferredFree& f : deferred_frees_) {
-    if (f.lsn == kStatementLsnSentinel) f.lsn = lsn;
+  // Pop this thread's innermost binding for this pager (statements nest
+  // LIFO per thread).
+  auto& binds = tls_txn_binds;
+  TxnId txn = 0;
+  for (size_t i = binds.size(); i-- > 0;) {
+    if (binds[i].pager_uid != pager_uid_) continue;
+    txn = binds[i].txn;
+    binds.erase(binds.begin() + static_cast<ptrdiff_t>(i));
+    break;
   }
-  // An auto-checkpoint that triggered mid-statement was held back (a
-  // snapshot must not split a bracket across the log rewrite); run it now.
-  if (checkpoint_pending_ && checkpoint_defer_depth_ == 0) {
+  DS_PAGER_CHECK(txn != 0, "EndStatement without BeginStatement");
+  auto it = txns_.find(txn);
+  DS_PAGER_CHECK(it != txns_.end(), "EndStatement on a closed transaction");
+  DS_PAGER_CHECK(it->second.depth > 0, "unbalanced EndStatement");
+  it->second.depth -= 1;
+  if (it->second.depth > 0 || !it->second.autocommit) return 0;
+  return CloseCtx(txn, commit);
+}
+
+TxnId Pager::BeginTxn() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  TxnId txn = next_txn_id_++;
+  TxnContext ctx;
+  ctx.depth = 1;  // held by the transaction itself until Commit/AbortTxn
+  txns_.emplace(txn, std::move(ctx));
+  return txn;
+}
+
+uint64_t Pager::CommitTxn(TxnId txn) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  DS_PAGER_CHECK(it != txns_.end(), "CommitTxn on an unknown transaction");
+  DS_PAGER_CHECK(it->second.depth == 1 && !it->second.autocommit,
+                 "CommitTxn with statements still open");
+  it->second.depth = 0;
+  return CloseCtx(txn, /*commit=*/true);
+}
+
+uint64_t Pager::AbortTxn(TxnId txn) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  DS_PAGER_CHECK(it != txns_.end(), "AbortTxn on an unknown transaction");
+  DS_PAGER_CHECK(it->second.depth == 1 && !it->second.autocommit,
+                 "AbortTxn with statements still open");
+  it->second.depth = 0;
+  return CloseCtx(txn, /*commit=*/false);
+}
+
+void Pager::RecomputeMinOpenBeginLsn() {
+  if (open_brackets_ == 0) {
+    min_open_begin_lsn_ = 0;
+    return;
+  }
+  min_open_begin_lsn_ = ~0ull;
+  for (const auto& [id, ctx] : txns_) {
+    if (ctx.open && ctx.begin_lsn < min_open_begin_lsn_) {
+      min_open_begin_lsn_ = ctx.begin_lsn;
+    }
+  }
+}
+
+uint64_t Pager::CloseCtx(TxnId txn, bool commit) {
+  auto it = txns_.find(txn);
+  TxnContext ctx = std::move(it->second);
+  txns_.erase(it);
+  uint64_t end = 0;
+  if (ctx.open) {
+    // Close the bracket. An abort closes it too: by now the caller's
+    // logged rollback compensations sit inside the bracket, so replaying
+    // it is a net no-op — what matters for recovery is only that the
+    // bracket is *closed* (an open one is discarded wholesale).
+    open_brackets_ -= 1;
+    RecomputeMinOpenBeginLsn();
+    if (wal_ != nullptr && !crashed_) {
+      wal_wrap_.clear();
+      AppendU64(&wal_wrap_, txn);
+      uint64_t lsn = wal_->Append(
+          commit ? WalRecordType::kTxnCommit : WalRecordType::kTxnAbort,
+          wal_wrap_);
+      // Spill slots freed inside the bracket recycle once the *bracket* is
+      // durable, i.e. past the closing record.
+      DeferSpillFrees(ctx.deferred_slots, lsn);
+      // The record's *end* boundary: what SyncWalThrough must reach for
+      // the commit to be durable.
+      end = lsn + Wal::kRecordHeaderBytes + 1 + wal_wrap_.size();
+    }
+  }
+  // An auto-checkpoint that triggered mid-bracket was held back (a snapshot
+  // must not split a bracket across the log rewrite); run it once the last
+  // bracket closes.
+  if (open_brackets_ == 0 && checkpoint_pending_ &&
+      checkpoint_defer_depth_ == 0 && wal_ != nullptr && !crashed_) {
     checkpoint_pending_ = false;
     MaybeAutoCheckpoint();
   }
-  // The record's *end* boundary: what SyncWalThrough must reach for the
-  // commit to be durable.
-  return lsn + Wal::kRecordHeaderBytes + 1;
+  return end;
 }
 
 void Pager::MaybeAutoCheckpoint() {
@@ -865,10 +1029,10 @@ void Pager::MaybeAutoCheckpoint() {
   if (wal_->bytes_since_checkpoint() < config_.wal_auto_checkpoint_bytes) {
     return;
   }
-  if (checkpoint_defer_depth_ > 0 || stmt_depth_ > 0 || stmt_open_) {
-    // Mid-operation (see CheckpointDeferral) or mid-statement: latch and
-    // run at scope exit / bracket close, so a snapshot can never capture a
-    // half-applied logical change or split a statement bracket.
+  if (checkpoint_defer_depth_ > 0 || open_brackets_ > 0) {
+    // Mid-operation (see CheckpointDeferral) or mid-bracket: latch and
+    // run at scope exit / last bracket close, so a snapshot can never
+    // capture a half-applied logical change or split a bracket.
     checkpoint_pending_ = true;
     return;
   }
@@ -878,7 +1042,8 @@ void Pager::MaybeAutoCheckpoint() {
 size_t Pager::CheckpointInternal() {
   DS_PAGER_CHECK(wal_ != nullptr && !in_checkpoint_,
                  "checkpoint without a WAL or re-entered");
-  DS_PAGER_CHECK(!stmt_open_, "checkpoint inside an open statement bracket");
+  DS_PAGER_CHECK(open_brackets_ == 0,
+                 "checkpoint inside an open statement bracket");
   in_checkpoint_ = true;
   // Begin record: the dirty-page table as of checkpoint start. Redo-only
   // replay does not need it (it replays everything since the snapshot), but
@@ -1113,8 +1278,13 @@ void Pager::ReplayRecord(const Wal::Record& rec) {
     case WalRecordType::kTxnBegin:
     case WalRecordType::kTxnCommit:
     case WalRecordType::kTxnAbort:
-      // Statement markers carry no state of their own; Recover() already
+      // Bracket markers carry no state of their own; Recover() already
       // used them to buffer-and-filter torn brackets before replay.
+      return;
+    case WalRecordType::kTxnData:
+      // Envelopes are unwrapped by Recover() before dispatch; one reaching
+      // this switch would mean a bracket buffer leaked an undecoded record.
+      DS_PAGER_CHECK(false, "kTxnData envelope reached ReplayRecord");
       return;
     case WalRecordType::kCreateFile: {
       uint64_t id = 0;
@@ -1177,10 +1347,16 @@ uint64_t Pager::LogCatalogRecord(WalRecordType type,
                  "LogCatalogRecord with a non-catalog record type");
   if (wal_ == nullptr || replaying_ || crashed_) return 0;
   // DDL never rides a statement bracket (it is its own commit point, synced
-  // right below); a DDL record physically inside a bracket would be
-  // discarded with it despite that sync. BeginStatement depth alone is fine
-  // — the bracket only opens with its first AppendRecord.
-  DS_PAGER_CHECK(!stmt_open_, "catalog DDL inside an open statement bracket");
+  // right below): the *calling thread* must not be inside an open bracket.
+  // Other transactions' open brackets are fine — this record is appended
+  // untagged, so recovery replays it immediately rather than routing it
+  // into any bracket buffer. BeginStatement depth alone is fine — a
+  // bracket only opens with its first AppendRecord.
+  {
+    TxnContext* ctx = CurrentCtxLocked();
+    DS_PAGER_CHECK(ctx == nullptr || !ctx->open,
+                   "catalog DDL inside an open statement bracket");
+  }
   uint64_t lsn = wal_->Append(type, payload);
   // DDL is a commit point: the schema change (and, by WAL order, every page
   // record before it) survives any crash once this returns.
@@ -1229,41 +1405,88 @@ void Pager::Recover() {
   accounting_ = false;  // replay is physical redo, not workload I/O
   uint64_t records = 0;
   uint64_t first_lsn = 0, last_lsn = 0, last_bytes = 0;
-  // Statement atomicity at replay time: records between kTxnBegin and its
-  // closing kTxnCommit/kTxnAbort are buffered and applied only once the
-  // closing record is seen. A bracket the (already torn-tail-truncated)
-  // log ends inside never committed — it is dropped wholesale, which is the
-  // whole contract: a crash at any byte offset yields exactly the
-  // committed-statement prefix. No physical truncation is needed; recovery
-  // ends on a checkpoint that rewrites the log anyway.
-  std::vector<Wal::Record> bracket;
-  bool in_bracket = false;
+  // Bracket atomicity at replay time: records inside a kTxnBegin..close
+  // bracket are buffered — per transaction id, since several brackets may
+  // be open at once — and applied only when the closing record is seen, in
+  // bracket-close order (concurrent transactions touch disjoint pages and
+  // close before releasing their latches, so per-page order is preserved).
+  // A bracket the (already torn-tail-truncated) log ends inside never
+  // committed — it is dropped wholesale, which is the whole contract: a
+  // crash at any byte offset yields exactly the committed-bracket set.
+  // Empty-payload markers are the legacy single-bracket format (pre-tagged
+  // logs); untagged records outside any bracket replay immediately. No
+  // physical truncation is needed; recovery ends on a checkpoint that
+  // rewrites the log anyway.
+  std::unordered_map<uint64_t, std::vector<Wal::Record>> brackets;
+  std::vector<Wal::Record> legacy_bracket;
+  bool legacy_in_bracket = false;
   bool opened = wal_->Open([&](const Wal::Record& rec) {
     if (records == 0) first_lsn = rec.lsn;
     last_lsn = rec.lsn;
     last_bytes = Wal::kRecordHeaderBytes + 1 + rec.payload.size();
     records += 1;
     switch (rec.type) {
-      case WalRecordType::kTxnBegin:
-        bracket.clear();
-        in_bracket = true;
+      case WalRecordType::kTxnBegin: {
+        if (rec.payload.empty()) {  // legacy single-bracket log
+          legacy_bracket.clear();
+          legacy_in_bracket = true;
+          return;
+        }
+        size_t pos = 0;
+        uint64_t id = 0;
+        DS_PAGER_CHECK(ReadU64(rec.payload, &pos, &id),
+                       "malformed WAL txn-begin record");
+        brackets[id].clear();
         return;
+      }
+      case WalRecordType::kTxnData: {
+        size_t pos = 0;
+        uint64_t id = 0;
+        bool data_ok =
+            ReadU64(rec.payload, &pos, &id) && pos < rec.payload.size();
+        DS_PAGER_CHECK(data_ok, "malformed WAL txn-data record");
+        auto it = brackets.find(id);
+        DS_PAGER_CHECK(it != brackets.end(),
+                       "WAL txn-data outside its bracket");
+        Wal::Record inner;
+        inner.lsn = rec.lsn;
+        inner.type = static_cast<WalRecordType>(
+            static_cast<unsigned char>(rec.payload[pos]));
+        inner.payload.assign(rec.payload, pos + 1,
+                             rec.payload.size() - pos - 1);
+        it->second.push_back(std::move(inner));
+        return;
+      }
       case WalRecordType::kTxnCommit:
-      case WalRecordType::kTxnAbort:
-        for (const Wal::Record& r : bracket) ReplayRecord(r);
-        bracket.clear();
-        in_bracket = false;
+      case WalRecordType::kTxnAbort: {
+        if (rec.payload.empty()) {  // legacy close
+          for (const Wal::Record& r : legacy_bracket) ReplayRecord(r);
+          legacy_bracket.clear();
+          legacy_in_bracket = false;
+          return;
+        }
+        size_t pos = 0;
+        uint64_t id = 0;
+        DS_PAGER_CHECK(ReadU64(rec.payload, &pos, &id),
+                       "malformed WAL txn-close record");
+        auto it = brackets.find(id);
+        DS_PAGER_CHECK(it != brackets.end(), "WAL txn-close without begin");
+        for (const Wal::Record& r : it->second) ReplayRecord(r);
+        brackets.erase(it);
         return;
+      }
       default:
         break;
     }
-    if (in_bracket) {
-      bracket.push_back(rec);
+    if (legacy_in_bracket) {
+      legacy_bracket.push_back(rec);
     } else {
       ReplayRecord(rec);
     }
   });
-  bracket.clear();  // an unterminated bracket: the torn statement, dropped
+  // Unterminated brackets: the torn transactions, dropped wholesale.
+  brackets.clear();
+  legacy_bracket.clear();
   accounting_ = accounting_was;
   replaying_ = false;
   if (!opened) {

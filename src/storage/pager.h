@@ -30,6 +30,12 @@ using FileId = uint64_t;
 /// through a free list when files shrink, are dropped, or pages are evicted.
 using PageId = uint64_t;
 
+/// Identifies one transaction context of a Pager (see "Statement &
+/// transaction brackets"). Ids are monotone per pager and never reused, so
+/// they double as transaction ages for wait-die deadlock resolution
+/// (smaller id == older transaction); 0 is "no transaction".
+using TxnId = uint64_t;
+
 /// Distinct-page identity (file, index in file) — the unit of the epoch
 /// accounting. A genuine two-field key: unlike the former packed-uint64
 /// scheme ((file << 24) ^ page), no two distinct (file, page) pairs ever
@@ -226,11 +232,17 @@ struct PagerStats {
 ///
 /// Statements (the transaction manager): BeginStatement()/EndStatement()
 /// — or the StatementScope guard — bracket every record a statement logs
-/// between kTxnBegin and kTxnCommit/kTxnAbort. Recovery applies a bracket
-/// only when its closing record survived, so a crash at any byte offset
-/// yields exactly the committed-statement prefix; pages dirtied inside an
-/// open bracket are exempt from eviction (no-steal) so the spill file never
-/// absorbs uncommitted statement effects.
+/// between kTxnBegin and kTxnCommit/kTxnAbort. Several transactions may
+/// hold brackets open concurrently: each bracket is tagged with its
+/// transaction id (records inside ride kTxnData envelopes) and recovery
+/// applies a bracket only when its closing record survived, so a crash at
+/// any byte offset yields exactly the committed-bracket set; pages dirtied
+/// inside any open bracket are exempt from eviction (no-steal) so the spill
+/// file never absorbs uncommitted effects. Callers guarantee concurrently
+/// open transactions touch disjoint pages (the Database layer's per-table
+/// write latches); bracket close records are appended before those latches
+/// release, so per-page record order in the log always matches bracket
+/// close order.
 class Pager {
  public:
   static constexpr uint64_t kPageBytes = 4096;
@@ -358,43 +370,52 @@ class Pager {
   /// readers keep faulting pages. No-op without a WAL or with lsn == 0.
   void SyncWalThrough(uint64_t lsn);
 
-  // ---- Statement transactions (DESIGN.md §7) --------------------------------
+  // ---- Statement & transaction brackets (DESIGN.md §7) ----------------------
   //
-  // A statement bracket makes everything logged inside it atomic across
-  // crashes: the first record a bracketed statement appends is preceded by
-  // kTxnBegin, EndStatement closes with kTxnCommit (or kTxnAbort after a
-  // statement-level rollback — the bracket then contains the mutations and
-  // their logged compensations, so replaying it is a net no-op). Recovery
-  // buffers an open bracket and discards it if the log ends before the
-  // closing record. Nesting is flat: only the outermost EndStatement emits
-  // the closing record, so a Table DML inside a Database statement rides
-  // the statement's bracket. A statement that logs nothing emits no bracket
-  // at all. No-ops on a non-durable pager. Prefer StatementScope.
+  // A bracket makes everything logged inside it atomic across crashes: the
+  // first record appended under an open statement is preceded by
+  // kTxnBegin(txn-id), every further record rides a kTxnData envelope
+  // tagged with that id, and the close appends kTxnCommit/kTxnAbort(id).
+  // Recovery buffers each open bracket independently and discards brackets
+  // whose closing record the log lost. An abort closes the bracket too —
+  // by then the caller's logged compensations sit inside it, so replaying
+  // it is a net no-op.
+  //
+  // Transaction contexts: every bracket belongs to a context identified by
+  // a TxnId. BeginTxn() opens a long-lived context (closed by
+  // CommitTxn/AbortTxn); BeginStatement(txn) opens a statement under an
+  // explicit context, under the thread's innermost bound context (txn ==
+  // 0, nested call), or — when neither exists — under a fresh *autocommit*
+  // context that closes when the statement ends. Nesting is flat per
+  // context: only the context close emits the closing record, so a Table
+  // DML inside a Database statement rides the statement's bracket, and
+  // every statement of an open transaction rides the transaction's.
+  // BeginStatement binds the calling thread to the context until the
+  // matching EndStatement, so the pager can attribute every record logged
+  // in between; BeginTxn() binds nothing — its statements name the id.
+  //
+  // Several contexts may hold brackets open at once (multi-writer); ids
+  // are monotone per pager and double as transaction ages for the caller's
+  // wait-die deadlock policy (smaller id == older txn). A statement that
+  // logs nothing emits no bracket at all. Context bookkeeping runs even on
+  // non-durable/crashed pagers (ids stay meaningful); only WAL appends are
+  // skipped there. Prefer StatementScope.
 
-  void BeginStatement();
-  /// Closes the outermost bracket with kTxnCommit (`commit`) or kTxnAbort.
-  /// Returns the WAL end boundary to pass to SyncWalThrough for durable
-  /// commit semantics, or 0 when nothing was logged (nothing to sync).
+  /// Opens a statement under `txn` (0 = thread's innermost binding, else a
+  /// fresh autocommit context). Returns the owning context id.
+  TxnId BeginStatement(TxnId txn = 0);
+  /// Ends the thread's innermost statement. If it closes an autocommit
+  /// context, closes the bracket with kTxnCommit (`commit`) or kTxnAbort
+  /// and returns the WAL end boundary to pass to SyncWalThrough for durable
+  /// commit semantics; 0 otherwise (nothing to sync).
   uint64_t EndStatement(bool commit);
 
-  // ---- Transaction brackets (DESIGN.md §7) ----------------------------------
-  //
-  // A transaction bracket is the statement-bracket depth mechanism opened
-  // one level higher: BeginTxn() raises the depth so every statement
-  // executed until CommitTxn()/AbortTxn() rides ONE
-  // kTxnBegin..kTxnCommit/kTxnAbort pair — the statements' own
-  // EndStatement calls sit at depth > 0 and emit no closing record (and
-  // return 0, so per-statement group-commit syncs vanish inside a
-  // transaction). Recovery is unchanged: a crash mid-transaction leaves
-  // the bracket unterminated and the whole transaction — every statement
-  // inside it — is discarded wholesale. AbortTxn closes with kTxnAbort
-  // *after* the caller has logged its undo compensations inside the
-  // bracket, so replaying an aborted transaction is a net no-op.
-
-  void BeginTxn() { BeginStatement(); }
-  /// Returns the WAL end boundary for SyncWalThrough (0 if nothing logged).
-  uint64_t CommitTxn() { return EndStatement(true); }
-  uint64_t AbortTxn() { return EndStatement(false); }
+  /// Opens a long-lived transaction context (depth 1, no thread binding).
+  TxnId BeginTxn();
+  /// Closes context `txn` (no statements may be open under it). Returns the
+  /// WAL end boundary for SyncWalThrough (0 if nothing was logged).
+  uint64_t CommitTxn(TxnId txn);
+  uint64_t AbortTxn(TxnId txn);
 
   /// True when this pager runs in durable mode (a WAL is configured). The
   /// catalog layer keys its own persistence on this: side files, DDL
@@ -658,14 +679,17 @@ class Pager {
   void NoteEpochRead(FileId file, uint64_t page_index);
   void NoteEpochWrite(FileId file, uint64_t page_index);
 
-  /// True when `page` was dirtied inside the currently open statement
+  /// True when `page` may have been dirtied inside a currently open
   /// bracket. Such pages are no-steal: evicting one would write uncommitted
-  /// statement effects over a spill base that recovery may still need if
-  /// the bracket is discarded (its first post-checkpoint image lives inside
-  /// the bracket). Victim selection skips them; the pool overshoots like
-  /// the all-pinned case until the bracket closes.
+  /// effects over a spill base that recovery may still need if the bracket
+  /// is discarded (its first post-checkpoint image lives inside the
+  /// bracket). Conservative across concurrent brackets: any dirty page
+  /// whose newest redo postdates the *oldest* open bracket's begin is
+  /// protected. Victim selection skips them; the pool overshoots like the
+  /// all-pinned case until the brackets close.
   bool StatementDirty(const ValuePage& page) const {
-    return stmt_open_ && page.dirty_ && page.page_lsn_ >= stmt_begin_lsn_;
+    return open_brackets_ > 0 && page.dirty_ &&
+           page.page_lsn_ >= min_open_begin_lsn_;
   }
   /// Grows frame_latches_ alongside page_table_ (grow-only: latches of
   /// released shells stay allocated so no reader ever holds a dead latch).
@@ -710,11 +734,28 @@ class Pager {
   /// for pages that never reached the spill.
   ValuePage& MountEmpty(FileId file, FileChain& chain, uint64_t page_index);
 
-  /// Freeing-record LSN placeholder for spill slots freed inside an open
-  /// statement bracket: rewritten to the closing record's LSN at
-  /// EndStatement, so the slots recycle only once the *bracket* is durable
-  /// (a discarded bracket must leave every base it referenced untouched).
-  static constexpr uint64_t kStatementLsnSentinel = ~0ull;
+  /// One transaction context (see the public bracket section). Spill slots
+  /// freed inside the context's open bracket park in `deferred_slots` until
+  /// the close record has an LSN (a discarded bracket must leave every base
+  /// it referenced untouched), then move to the deferred-free list.
+  struct TxnContext {
+    int depth = 0;         ///< Open statements under this context.
+    bool open = false;     ///< kTxnBegin appended, closing record pending.
+    bool autocommit = false;  ///< Created by BeginStatement; closes at depth 0.
+    uint64_t begin_lsn = 0;   ///< LSN of the open bracket's kTxnBegin.
+    std::vector<uint64_t> deferred_slots;
+  };
+
+  /// The context the calling thread is bound to via BeginStatement, or
+  /// nullptr/0. Prunes stale bindings of this pager lazily. Caller holds mu_.
+  TxnContext* CurrentCtxLocked();
+  TxnId CurrentBoundTxnLocked();
+  /// Closes `txn`'s bracket (if open), parks its deferred spill frees at the
+  /// close LSN, erases the context, and runs a held-back auto-checkpoint
+  /// once no bracket remains open. Returns the close record's WAL end
+  /// boundary (0 when nothing was logged). Caller holds mu_.
+  uint64_t CloseCtx(TxnId txn, bool commit);
+  void RecomputeMinOpenBeginLsn();
 
   PagerConfig config_;
   uint64_t next_file_id_ = 1;
@@ -736,10 +777,14 @@ class Pager {
   /// holding the structural latch, so reader-held latches are the only
   /// thing a writer ever waits on.
   mutable std::deque<std::shared_mutex> frame_latches_;
-  // Statement bracket state (all under mu_).
-  int stmt_depth_ = 0;          // BeginStatement nesting
-  bool stmt_open_ = false;      // kTxnBegin appended, closing record pending
-  uint64_t stmt_begin_lsn_ = 0; // LSN of the open bracket's kTxnBegin
+  // Transaction-context state (all under mu_). Thread→context bindings live
+  // in a thread_local keyed by pager_uid_ (pager.cc), so bindings of a
+  // destroyed pager can never alias a new one.
+  std::unordered_map<TxnId, TxnContext> txns_;
+  TxnId next_txn_id_ = 1;
+  size_t open_brackets_ = 0;          // contexts with an open bracket
+  uint64_t min_open_begin_lsn_ = 0;   // min begin_lsn over open brackets
+  const uint64_t pager_uid_;          // process-unique, set in the ctor
   std::unique_ptr<SpillFile> spill_;  // created on first eviction/checkpoint
   std::unique_ptr<Wal> wal_;          // durable mode only
   uint64_t last_checkpoint_lsn_ = 0;
@@ -762,6 +807,8 @@ class Pager {
   uint64_t recovery_records_ = 0;
   uint64_t recovery_bytes_ = 0;
   std::string wal_payload_;  // record build buffer, reused across appends
+  std::string wal_wrap_;     // kTxnData envelope buffer (may not alias the
+                             // payload being wrapped, hence separate)
   size_t resident_pages_ = 0;
   size_t clock_hand_ = 0;
 
@@ -818,16 +865,18 @@ class CheckpointDeferral {
   Pager& pager_;
 };
 
-/// RAII statement bracket (see Pager::BeginStatement). Destruction without
-/// an explicit Commit() closes the bracket with kTxnAbort — the safe default
-/// on every error path, because by then the caller's rollback compensations
-/// are inside the bracket and replaying it is a net no-op. Commit() closes
-/// with kTxnCommit and returns the WAL end boundary for SyncWalThrough (0
-/// when the statement logged nothing). Cheap no-op on non-durable pagers.
+/// RAII statement bracket (see Pager::BeginStatement). `txn` routes the
+/// statement into an explicit transaction context; 0 joins the thread's
+/// innermost bound context or opens a fresh autocommit one. Destruction
+/// without an explicit Commit() ends the statement abort-wise — the safe
+/// default on every error path, because by then the caller's rollback
+/// compensations are inside the bracket and replaying it is a net no-op.
+/// Commit() ends it commit-wise and returns the WAL end boundary for
+/// SyncWalThrough (0 when no bracket closed). Cheap on non-durable pagers.
 class StatementScope {
  public:
-  explicit StatementScope(Pager& pager) : pager_(&pager) {
-    pager_->BeginStatement();
+  explicit StatementScope(Pager& pager, TxnId txn = 0) : pager_(&pager) {
+    txn_ = pager_->BeginStatement(txn);
   }
   ~StatementScope() {
     if (pager_ != nullptr) pager_->EndStatement(/*commit=*/false);
@@ -837,11 +886,15 @@ class StatementScope {
     pager_ = nullptr;
     return end;
   }
+  /// The context this statement runs under (an autocommit statement's
+  /// fresh id is the age callers hand to the write-latch table).
+  TxnId txn() const { return txn_; }
   StatementScope(const StatementScope&) = delete;
   StatementScope& operator=(const StatementScope&) = delete;
 
  private:
   Pager* pager_;
+  TxnId txn_ = 0;
 };
 
 }  // namespace storage

@@ -65,26 +65,39 @@ enum class WalRecordType : uint8_t {
   /// merged (the group→file bindings changed wholesale).
   kReorganize = 14,
 
-  // ---- Statement transaction brackets (DESIGN.md §6c) -----------------------
+  // ---- Statement transaction brackets (DESIGN.md §6c, §7) -------------------
   //
-  // The pager wraps every logged statement in a begin/commit bracket
-  // (Pager::BeginStatement/EndStatement). Recovery buffers the records of an
-  // open bracket and applies them only when the closing record is reached:
-  // a log that ends inside a bracket replays to the state *before* that
-  // statement — statement-level atomicity across crashes. Records outside
-  // any bracket (checkpoints, DDL, pre-PR-7 logs) replay immediately, so
-  // old logs stay readable.
+  // The pager wraps every logged statement/transaction in a begin/commit
+  // bracket (Pager::BeginStatement/EndStatement, BeginTxn/CommitTxn).
+  // Several brackets may be open at once (one per concurrent transaction),
+  // so each marker carries the owning transaction id (u64 payload) and every
+  // record logged inside a bracket is wrapped in a kTxnData envelope tagged
+  // with that id. Recovery buffers each bracket's records independently and
+  // applies a bracket only when its closing record is reached: a log that
+  // ends inside a bracket replays to the state *before* that transaction.
+  // Legacy logs (pre-multi-writer) used empty-payload markers with untagged
+  // records between them; recovery still accepts that single-bracket form.
+  // Records outside any bracket (checkpoints, DDL, pre-PR-7 logs) replay
+  // immediately, so old logs stay readable.
 
-  /// Opens a statement bracket. Empty payload; appended lazily before the
-  /// first record a bracketed statement logs.
+  /// Opens a statement/transaction bracket. Payload: owning txn id (u64);
+  /// empty in legacy single-bracket logs. Appended lazily before the first
+  /// record a bracketed statement logs.
   kTxnBegin = 15,
-  /// Closes a bracket: the statement committed; replay applies its records.
+  /// Closes a bracket: the transaction committed; replay applies its
+  /// records. Payload: txn id (u64), or empty (legacy).
   kTxnCommit = 16,
-  /// Closes a bracket after a statement-level rollback. The bracket contains
-  /// the statement's mutations *and* their logged compensations, so replay
+  /// Closes a bracket after a rollback. The bracket contains the
+  /// transaction's mutations *and* their logged compensations, so replay
   /// applies it like a commit (net no-op) — and a bracket torn before this
-  /// record is discarded, which reaches the same state.
+  /// record is discarded, which reaches the same state. Payload: txn id
+  /// (u64), or empty (legacy).
   kTxnAbort = 17,
+  /// One record logged inside a bracket. Payload: owning txn id (u64) +
+  /// inner record type (u8) + the inner record's payload. The envelope lets
+  /// records of concurrently open brackets interleave in one log while
+  /// recovery routes each to its own bracket buffer.
+  kTxnData = 18,
 };
 
 /// True for the record types the pager treats as opaque catalog DDL.

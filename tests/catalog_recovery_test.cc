@@ -26,6 +26,7 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "db/database.h"
@@ -948,6 +949,140 @@ TEST(DeferredFreeTest, TruncateAndDropPayNoFsyncAndSlotsRecycleAfterSync) {
               Value::Int(static_cast<int64_t>(s)));
   }
   for (int i = 0; i < 5; ++i) EXPECT_FALSE(recovered.HasFile(files[i]));
+}
+
+// ---------------------------------------------------------------------------
+// Two concurrent writers, disjoint tables: cuts recover a committed prefix
+// of each session independently
+// ---------------------------------------------------------------------------
+
+/// The SQL-level twin of wal_test's InterleavedTxnBracketFuzzTest: two
+/// threads, each on its own Session and its own table, run transaction
+/// tapes concurrently, so their id-tagged brackets interleave freely in
+/// one WAL. Because the tables are disjoint, the recovered state of each
+/// table must equal one of *that* session's committed-transaction
+/// boundaries — independently of how far the other session's tape got —
+/// and both must advance monotonically as the cut moves right.
+TEST(ConcurrentTxnPrefixTest, CutsRecoverCommittedPrefixesOfBothSessions) {
+  DurablePair pair("two_writer_prefix");
+  DurablePair scratch("two_writer_prefix_scratch");
+  auto rows_of = [](Table* t) {
+    std::vector<Row> rows;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      rows.push_back(t->GetRowAt(r).ValueOrDie());
+    }
+    return rows;
+  };
+  auto match = [](const std::vector<Row>& got, const std::vector<Row>& want) {
+    if (got.size() != want.size()) return false;
+    for (size_t r = 0; r < got.size(); ++r) {
+      if (got[r].size() != want[r].size()) return false;
+      for (size_t c = 0; c < got[r].size(); ++c) {
+        if (!(got[r][c] == want[r][c])) return false;
+      }
+    }
+    return true;
+  };
+  // Each vector is owned by its session's thread while the tape runs.
+  std::vector<std::vector<Row>> states_a, states_b;
+  size_t barrier_bytes = 0;
+  {
+    Database db(pair.Options(/*cap=*/2));
+    Table* ta = db.catalog()
+                    .CreateTable("ta", ThreeColumnSchema(), StorageModel::kRow)
+                    .ValueOrDie();
+    Table* tb =
+        db.catalog()
+            .CreateTable("tb", ThreeColumnSchema(), StorageModel::kHybrid)
+            .ValueOrDie();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(db.Execute("INSERT INTO ta VALUES (" + std::to_string(i) +
+                             ", 'a" + std::to_string(i) + "', 0.5)")
+                      .ok());
+      ASSERT_TRUE(db.Execute("INSERT INTO tb VALUES (" + std::to_string(i) +
+                             ", 'b" + std::to_string(i) + "', 1.5)")
+                      .ok());
+    }
+    db.pager().SyncWal();  // the durability barrier
+    barrier_bytes = ReadFileBytes(pair.wal).size();
+    states_a.push_back(rows_of(ta));
+    states_b.push_back(rows_of(tb));
+    auto sa = db.CreateSession();
+    auto sb = db.CreateSession();
+    auto drive = [&](Session* s, Table* t, const std::string& name, int base,
+                     std::vector<std::vector<Row>>* states) {
+      auto exec = [&](const std::string& sql) {
+        auto r = s->Execute(sql);
+        ASSERT_TRUE(r.ok()) << name << ": " << sql << " -> "
+                            << r.status().ToString();
+      };
+      for (int txn = 0; txn < 4; ++txn) {
+        int id = base + txn;
+        exec("BEGIN");
+        exec("INSERT INTO " + name + " VALUES (" + std::to_string(id) + ", '" +
+             name + "-txn" + std::to_string(txn) + "', 2.5)");
+        exec("UPDATE " + name + " SET txt = 'p" + std::to_string(id) +
+             "' WHERE id = " + std::to_string(txn));
+        if (txn == 2) {
+          // One rolled-back tape entry: its bracket replays as a net no-op,
+          // so it cuts no boundary.
+          exec("ROLLBACK");
+        } else {
+          exec("COMMIT");
+          // Every committed transaction net-adds a unique row, so the
+          // boundary states are pairwise distinct and the first-match scan
+          // below can only advance.
+          states->push_back(rows_of(t));
+        }
+      }
+      // Left open at the crash: must never surface at any cut.
+      exec("BEGIN");
+      exec("INSERT INTO " + name + " VALUES (" + std::to_string(base + 99) +
+           ", 'open', 9.0)");
+      exec("DELETE FROM " + name + " WHERE id = 0");
+    };
+    std::thread th_a([&] { drive(sa.get(), ta, "ta", 1000, &states_a); });
+    std::thread th_b([&] { drive(sb.get(), tb, "tb", 2000, &states_b); });
+    th_a.join();
+    th_b.join();
+    ASSERT_FALSE(::testing::Test::HasFailure());
+    db.pager().CrashForTesting();  // both open brackets stay torn in the log
+  }
+  std::string wal_bytes = ReadFileBytes(pair.wal);
+  std::string spill_bytes = ReadFileBytesIfAny(pair.spill);
+  ASSERT_GT(wal_bytes.size(), barrier_bytes);
+
+  size_t last_a = 0, last_b = 0;
+  for (size_t len = barrier_bytes; len <= wal_bytes.size(); ++len) {
+    WriteFileBytes(scratch.wal, wal_bytes.substr(0, len));
+    WriteFileBytes(scratch.spill, spill_bytes);
+    Database recovered(scratch.Options(/*cap=*/4));
+    auto scan = [&](const char* name, std::vector<std::vector<Row>>& states,
+                    size_t& last) {
+      Table* t = recovered.catalog().GetTable(name).ValueOrDie();
+      std::vector<Row> got = rows_of(t);
+      size_t matched = states.size();
+      for (size_t k = last; k < states.size(); ++k) {
+        if (match(got, states[k])) {
+          matched = k;
+          break;
+        }
+      }
+      ASSERT_LT(matched, states.size())
+          << "cut at byte " << len << ": table " << name << " recovered "
+          << got.size() << " rows matching none of its session's "
+          << "committed-transaction boundaries";
+      last = matched;
+    };
+    scan("ta", states_a, last_a);
+    scan("tb", states_b, last_b);
+    if (::testing::Test::HasFatalFailure()) return;
+    recovered.pager().CrashForTesting();  // keep scratch for the next cut
+  }
+  EXPECT_EQ(last_a, states_a.size() - 1)
+      << "the full log must recover every committed ta transaction";
+  EXPECT_EQ(last_b, states_b.size() - 1)
+      << "the full log must recover every committed tb transaction";
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <thread>
 
 #include "core/dataspread.h"
 #include "io/csv.h"
@@ -984,6 +985,16 @@ TEST_P(TxnTransparencyTest, TransactionGroupingIsInvisibleAndRollbacksVanish) {
         }
     }
   };
+  // Direct Table-API writes inside a transaction are journaled only for
+  // write-latched tables: LOCK TABLE after every BEGIN (the undo journal
+  // installs with the latch, not at BEGIN).
+  auto lock_all = [&](Database& db) {
+    for (StorageModel model : kModels) {
+      ASSERT_TRUE(db.Execute(std::string("LOCK TABLE t_") +
+                             StorageModelName(model))
+                      .ok());
+    }
+  };
   // variant 0: groups as tagged (autocommit / txn / rolled back).
   // variant 1: every surviving op inside ONE committed transaction, doomed
   //            groups skipped entirely — the shadow's view of the tape.
@@ -991,6 +1002,7 @@ TEST_P(TxnTransparencyTest, TransactionGroupingIsInvisibleAndRollbacksVanish) {
     create_tables(db);
     if (variant == 1) {
       ASSERT_TRUE(db.Execute("BEGIN").ok());
+      lock_all(db);
     }
     for (const Group& g : groups) {
       if (variant == 1) {
@@ -1003,6 +1015,7 @@ TEST_P(TxnTransparencyTest, TransactionGroupingIsInvisibleAndRollbacksVanish) {
         for (const Op& op : g.ops) apply_op(db, op);
       } else {
         ASSERT_TRUE(db.Execute("BEGIN").ok());
+        lock_all(db);
         for (const Op& op : g.ops) apply_op(db, op);
         ASSERT_TRUE(db.Execute(g.mode == 2 ? "ROLLBACK" : "COMMIT").ok());
       }
@@ -1074,6 +1087,170 @@ TEST_P(TxnTransparencyTest, TransactionGroupingIsInvisibleAndRollbacksVanish) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TxnTransparencyTest,
                          ::testing::Values(23u, 2317u, 231717u));
+
+// ---------------------------------------------------------------------------
+// Invariant 12: concurrency is invisible (DESIGN.md §7). N writer threads,
+// each running its own random transaction tape on its own table through its
+// own Session, must land in exactly the state of replaying the same tapes
+// serially on one session — identical values and types, in display order —
+// across every storage model and pool size. Disjoint tables mean the
+// partitioned write latches never serialize the threads against each other
+// (no wait-die victim can arise), and their txn-id-tagged brackets
+// interleave freely in the shared WAL.
+// ---------------------------------------------------------------------------
+
+class ConcurrentTxnEquivalenceTest
+    : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ConcurrentTxnEquivalenceTest, DisjointWriterTapesMatchSerialReplay) {
+  constexpr StorageModel kModels[] = {StorageModel::kRow,
+                                      StorageModel::kColumn,
+                                      StorageModel::kRcv,
+                                      StorageModel::kHybrid};
+  struct Txn {
+    std::vector<std::string> stmts;
+    bool rollback;
+  };
+  // One SQL tape per thread, each bound to its own table (one per storage
+  // model). Generation tracks the live id set — rolled-back transactions
+  // restore it — so UPDATE/DELETE always target an existing row: a failing
+  // statement would poison its transaction and change the tape's meaning.
+  std::vector<std::vector<Txn>> tapes(4);
+  std::mt19937 rng(GetParam());
+  for (int t = 0; t < 4; ++t) {
+    std::string name = std::string("t_") + StorageModelName(kModels[t]);
+    std::vector<int> live = {0, 1, 2, 3};  // seeded before the threads start
+    int next_id = 4;
+    for (int x = 0; x < 8; ++x) {
+      Txn txn;
+      txn.rollback = rng() % 4 == 0;
+      std::vector<int> snapshot = live;
+      int stmts = 1 + static_cast<int>(rng() % 4);
+      for (int s = 0; s < stmts; ++s) {
+        uint32_t k = rng() % 4;
+        if (k == 0 || live.empty()) {
+          int id = next_id++;
+          txn.stmts.push_back("INSERT INTO " + name + " VALUES (" +
+                              std::to_string(id) + ", 'i" +
+                              std::to_string(rng() % 97) + "')");
+          live.push_back(id);
+        } else if (k < 3) {
+          txn.stmts.push_back(
+              "UPDATE " + name + " SET s = 'u" + std::to_string(rng() % 97) +
+              "' WHERE id = " + std::to_string(live[rng() % live.size()]));
+        } else {
+          size_t pos = rng() % live.size();
+          txn.stmts.push_back("DELETE FROM " + name +
+                              " WHERE id = " + std::to_string(live[pos]));
+          live.erase(live.begin() + pos);
+        }
+      }
+      if (txn.rollback) live = std::move(snapshot);
+      tapes[t].push_back(std::move(txn));
+    }
+  }
+
+  auto create_and_seed = [&](Database& db) {
+    for (int t = 0; t < 4; ++t) {
+      std::string name = std::string("t_") + StorageModelName(kModels[t]);
+      ASSERT_TRUE(
+          db.catalog()
+              .CreateTable(name,
+                           Schema({ColumnDef{"id", DataType::kInt, false},
+                                   ColumnDef{"s", DataType::kText, false}}),
+                           kModels[t])
+              .ok());
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(db.Execute("INSERT INTO " + name + " VALUES (" +
+                               std::to_string(i) + ", 'seed')")
+                        .ok());
+      }
+    }
+  };
+  auto replay_txn = [](Session* s, const Txn& txn) {
+    auto exec = [&](const std::string& sql) {
+      auto r = s->Execute(sql);
+      ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    };
+    exec("BEGIN");
+    for (const std::string& sql : txn.stmts) exec(sql);
+    exec(txn.rollback ? "ROLLBACK" : "COMMIT");
+  };
+  auto capture = [&](Database& db) {
+    std::vector<std::vector<Row>> out;
+    for (int t = 0; t < 4; ++t) {
+      Table* table = db.catalog()
+                         .GetTable(std::string("t_") +
+                                   StorageModelName(kModels[t]))
+                         .ValueOrDie();
+      std::vector<Row> rows;
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        rows.push_back(table->GetRowAt(r).ValueOrDie());
+      }
+      out.push_back(std::move(rows));
+    }
+    return out;
+  };
+  auto expect_equal = [&](const std::vector<std::vector<Row>>& got,
+                          const std::vector<std::vector<Row>>& want,
+                          const std::string& what) {
+    for (size_t m = 0; m < 4; ++m) {
+      ASSERT_EQ(got[m].size(), want[m].size()) << what << " model " << m;
+      for (size_t r = 0; r < got[m].size(); ++r) {
+        for (size_t c = 0; c < got[m][r].size(); ++c) {
+          ASSERT_EQ(got[m][r][c], want[m][r][c])
+              << what << " model " << m << " row " << r << " col " << c;
+          ASSERT_EQ(got[m][r][c].type(), want[m][r][c].type())
+              << what << " model " << m << " row " << r << " col " << c;
+        }
+      }
+    }
+  };
+
+  // The reference: the same tapes, one after another, on a single session.
+  std::vector<std::vector<Row>> reference;
+  {
+    Database serial;
+    create_and_seed(serial);
+    auto session = serial.CreateSession();
+    for (int t = 0; t < 4; ++t) {
+      for (const Txn& txn : tapes[t]) replay_txn(session.get(), txn);
+    }
+    reference = capture(serial);
+  }
+
+  for (size_t cap : {size_t{0}, size_t{64}, size_t{4}}) {
+    std::string base = ::testing::TempDir() + "ds_prop_mw_" +
+                       std::to_string(GetParam()) + "_" + std::to_string(cap);
+    std::remove((base + ".wal").c_str());
+    std::remove((base + ".pages").c_str());
+    DatabaseOptions options;
+    options.pager.max_resident_pages = cap;
+    std::string what = "pool " + std::to_string(cap);
+    {
+      auto db = Database::Open(base, options);
+      create_and_seed(*db);
+      std::vector<std::unique_ptr<Session>> sessions;
+      for (int t = 0; t < 4; ++t) sessions.push_back(db->CreateSession());
+      std::vector<std::thread> threads;
+      for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+          for (const Txn& txn : tapes[t]) replay_txn(sessions[t].get(), txn);
+        });
+      }
+      for (std::thread& th : threads) th.join();
+      ASSERT_FALSE(::testing::Test::HasFailure()) << what;
+      expect_equal(capture(*db), reference, what);
+    }  // clean close
+    auto db = Database::Open(base, options);
+    expect_equal(capture(*db), reference, what + " reopened");
+    std::remove((base + ".wal").c_str());
+    std::remove((base + ".pages").c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrentTxnEquivalenceTest,
+                         ::testing::Values(12u, 1212u, 121212u));
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelTransparencyTest,
                          ::testing::Values(11u, 211u, 3111u));

@@ -75,7 +75,10 @@ TEST_P(TxnSqlTest, RollbackRestoresDisplayOrderAndRowIds) {
   Table* table = db_.catalog().GetTable("t").ValueOrDie();
   // Middle insert + middle delete scramble display order and the rid maps;
   // ROLLBACK must put back the exact order, not just the row multiset.
+  // Direct Table-API writes inside a transaction require LOCK TABLE: the
+  // undo journal installs with the write latch, not at BEGIN.
   Run("BEGIN");
+  ASSERT_EQ(Run("LOCK TABLE t").message, "LOCK TABLE t");
   ASSERT_TRUE(table->InsertRowAt(1, {Value::Int(99), Value::Text("mid")}).ok());
   ASSERT_TRUE(table->DeleteRowAt(3).ok());
   ASSERT_TRUE(table->DeleteRowAt(0).ok());
@@ -302,6 +305,66 @@ TEST_F(TxnDurableTest, DestructionWithOpenTransactionRollsBack) {
   }
   auto db = Database::Open(base_);
   EXPECT_EQ(db->Execute("SELECT * FROM t").ValueOrDie().num_rows(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock handling: wait-die, deterministic and single-threaded
+// ---------------------------------------------------------------------------
+
+/// Two sessions acquire tables A and B in opposite order. No threads are
+/// needed: the younger transaction's cross-acquisition hits wait-die
+/// *synchronously* (it already holds a latch, so it may not block on the
+/// older holder) and is aborted on the spot with a retryable
+/// serialization-conflict error. The survivor commits untouched, and the
+/// retried victim then succeeds — the canonical deadlock→abort→retry
+/// round-trip, with the final state matching a serial execution.
+TEST(TxnDeadlockTest, YoungerAbortsRetryableAndSurvivorCommits) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE a (id INT PRIMARY KEY, v TEXT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE b (id INT PRIMARY KEY, v TEXT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO a VALUES (1, 'a-seed')").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO b VALUES (1, 'b-seed')").ok());
+  auto s1 = db.CreateSession();
+  auto s2 = db.CreateSession();
+  auto run = [](Session* s, const std::string& sql) {
+    auto r = s->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  run(s1.get(), "BEGIN");  // the older transaction (smaller txn id)
+  run(s2.get(), "BEGIN");  // the younger one
+  run(s1.get(), "INSERT INTO a VALUES (2, 's1')");  // s1 latches a
+  run(s2.get(), "INSERT INTO b VALUES (2, 's2')");  // s2 latches b
+  // The cycle's closing edge: s2 (younger, already holding b) asks for a,
+  // held by the older s1. Wait-die kills the requester.
+  auto conflict = s2->Execute("INSERT INTO a VALUES (3, 's2-boom')");
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kSerializationConflict)
+      << conflict.status().ToString();
+  // The victim was rolled back immediately — its latch on b is gone and its
+  // mutations undone — but the session stays poisoned until ROLLBACK.
+  auto poisoned = s2->Execute("SELECT * FROM b");
+  EXPECT_FALSE(poisoned.ok());
+  // The survivor now takes b without waiting and commits.
+  run(s1.get(), "UPDATE b SET v = 's1-was-here' WHERE id = 1");
+  run(s1.get(), "COMMIT");
+  // The victim acknowledges the abort and retries its whole transaction,
+  // which now sails through.
+  EXPECT_EQ(s2->Execute("ROLLBACK").ValueOrDie().message, "ROLLBACK");
+  run(s2.get(), "BEGIN");
+  run(s2.get(), "INSERT INTO b VALUES (2, 's2')");
+  run(s2.get(), "INSERT INTO a VALUES (3, 's2-boom')");
+  run(s2.get(), "COMMIT");
+  // Final state = serial s1-then-s2: s1's insert and update landed, s2's
+  // first attempt vanished, its retry landed whole.
+  ResultSet a = db.Execute("SELECT id, v FROM a ORDER BY id").ValueOrDie();
+  ASSERT_EQ(a.num_rows(), 3u);
+  EXPECT_EQ(a.rows[0][1], Value::Text("a-seed"));
+  EXPECT_EQ(a.rows[1][1], Value::Text("s1"));
+  EXPECT_EQ(a.rows[2][1], Value::Text("s2-boom"));
+  ResultSet b = db.Execute("SELECT id, v FROM b ORDER BY id").ValueOrDie();
+  ASSERT_EQ(b.num_rows(), 2u);
+  EXPECT_EQ(b.rows[0][1], Value::Text("s1-was-here"));
+  EXPECT_EQ(b.rows[1][1], Value::Text("s2"));
 }
 
 TEST_F(TxnDurableTest, GroupCommitSyncsOnceAtCommit) {

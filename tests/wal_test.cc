@@ -44,6 +44,7 @@ using storage::Crc32;
 using storage::FileId;
 using storage::Pager;
 using storage::PagerConfig;
+using storage::TxnId;
 using storage::ValuePage;
 using storage::Wal;
 using storage::WalRecordType;
@@ -537,8 +538,9 @@ TEST(StatementBracketFuzzTest, EveryByteTruncationRecoversACommittedPrefix) {
 
 TEST(TxnBracketFuzzTest, EveryByteTruncationRecoversACommittedTxnPrefix) {
   // The statement fuzz above, one level up: each bracket is a transaction
-  // of several statements (BeginTxn raises the depth, so the statements'
-  // own EndStatement calls emit nothing). The tape mixes committed and
+  // of several statements (BeginStatement(txn_id) joins the transaction's
+  // context at depth > 1, so the statements' own EndStatement calls emit
+  // nothing). The tape mixes committed and
   // aborted transactions and ends with an OPEN one at the crash — no cut
   // may surface a single statement of an unterminated transaction.
   DurablePair pair("txn_bracket_fuzz");
@@ -562,14 +564,14 @@ TEST(TxnBracketFuzzTest, EveryByteTruncationRecoversACommittedTxnPrefix) {
       // then never reach as the final index).
       bool abort = txn % 4 == 1 && pager.FileSize(ids[0]) > 0 &&
                    pager.FileSize(ids[1]) > 0;
-      pager.BeginTxn();
+      TxnId txn_id = pager.BeginTxn();
       // Aborted transactions record before-images and log the compensations
       // in reverse before AbortTxn — the logical-undo shape the Database
       // layer produces — so the bracket replays as a net no-op.
       std::vector<std::pair<FileId, std::pair<uint64_t, Value>>> undo;
       int stmts = 2 + static_cast<int>(rng() % 3);
       for (int s = 0; s < stmts; ++s) {
-        pager.BeginStatement();
+        pager.BeginStatement(txn_id);
         int ops = 1 + static_cast<int>(rng() % 3);
         for (int i = 0; i < ops; ++i) {
           FileId f = ids[rng() % ids.size()];
@@ -591,20 +593,25 @@ TEST(TxnBracketFuzzTest, EveryByteTruncationRecoversACommittedTxnPrefix) {
         pager.EndStatement(/*commit=*/true);  // depth > 0: no record
       }
       if (abort) {
+        // Compensations must ride the transaction's bracket (the Database
+        // layer guarantees this via the table's owning-txn context): bound
+        // to the txn id, like any other statement of the transaction.
+        pager.BeginStatement(txn_id);
         for (size_t i = undo.size(); i-- > 0;) {
           pager.Write(undo[i].first, undo[i].second.first,
                       undo[i].second.second);
         }
-        pager.AbortTxn();
+        pager.EndStatement(/*commit=*/true);
+        pager.AbortTxn(txn_id);
       } else {
-        pager.CommitTxn();
+        pager.CommitTxn(txn_id);
       }
       boundaries.push_back(CaptureState(shadow, ids));
     }
     // The open transaction: three statements logged, bracket never closed.
-    pager.BeginTxn();
+    TxnId open_txn = pager.BeginTxn();
     for (int s = 0; s < 3; ++s) {
-      pager.BeginStatement();
+      pager.BeginStatement(open_txn);
       pager.Write(ids[s % ids.size()], rng() % (3 * kSlots), ProbeValue(rng()));
       pager.EndStatement(/*commit=*/true);
     }
@@ -643,6 +650,135 @@ TEST(TxnBracketFuzzTest, EveryByteTruncationRecoversACommittedTxnPrefix) {
   // discarded wholesale: the final state is the last *committed* boundary.
   EXPECT_EQ(last_matched, boundaries.size() - 1)
       << "the full log must recover every committed transaction";
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved transaction brackets: multi-writer WAL, every cut recovers
+// exactly the committed-bracket set
+// ---------------------------------------------------------------------------
+
+TEST(InterleavedTxnBracketFuzzTest,
+     EveryByteTruncationRecoversTheCommittedBracketSet) {
+  // The multi-writer log shape: three transactions concurrently open in one
+  // WAL, their id-tagged records interleaved statement by statement, each
+  // touching its own file (the disjoint-pages guarantee the Database's
+  // write latches provide). Rounds mix committed and aborted fates and the
+  // final round leaves one bracket open at the crash. Every byte cut must
+  // recover exactly the set of brackets whose close record survived the
+  // cut — equivalently, the committed-close *prefix*, since closes are
+  // totally ordered in the log and each close touches only its own file.
+  DurablePair pair("interleaved_txn_fuzz");
+  DurablePair scratch("interleaved_txn_fuzz_scratch");
+  std::vector<FileId> ids;
+  std::vector<VisibleState> boundaries;
+  {
+    Pager pager(pair.Config(/*cap=*/2));
+    Pager shadow;  // advanced only as commits *close*, in close order
+    boundaries.push_back(CaptureState(shadow, ids));
+    for (int i = 0; i < 3; ++i) {
+      ids.push_back(pager.CreateFile());
+      (void)shadow.CreateFile();
+      boundaries.push_back(CaptureState(shadow, ids));
+    }
+    std::mt19937 rng(90210);
+    uint64_t stamp = 0;  // distinct-value source: every commit moves state
+    constexpr int kRounds = 4;
+    for (int round = 0; round < kRounds; ++round) {
+      struct LiveTxn {
+        TxnId id;
+        FileId file;
+        int fate;  // 0 = commit, 1 = abort, 2 = open at crash
+        std::vector<std::pair<uint64_t, Value>> writes;  // committed replay
+        std::vector<std::pair<uint64_t, Value>> undo;    // aborted before-images
+      };
+      std::vector<LiveTxn> live;
+      for (int t = 0; t < 3; ++t) {
+        int fate = (t == 1 && round % 2 == 1) ? 1 : 0;
+        if (round == kRounds - 1 && t == 2) fate = 2;  // torn at the crash
+        live.push_back(LiveTxn{pager.BeginTxn(), ids[t], fate, {}, {}});
+      }
+      // Interleave: statement s of every transaction before statement s+1
+      // of any — three brackets genuinely open at once.
+      for (int s = 0; s < 3; ++s) {
+        for (LiveTxn& lt : live) {
+          pager.BeginStatement(lt.id);
+          int ops = 1 + static_cast<int>(rng() % 2);
+          for (int i = 0; i < ops; ++i) {
+            uint64_t slot = rng() % (2 * kSlots);
+            Value v = (lt.fate == 0 && i == 0)
+                          ? Value::Text("c" + std::to_string(stamp++))
+                          : ProbeValue(rng());
+            if (lt.fate == 1) {
+              // Stay inside the existing file: an aborted bracket must
+              // replay as a net no-op, and undo restores values, not sizes.
+              uint64_t fsz = pager.FileSize(lt.file);
+              ASSERT_GT(fsz, 0u);
+              uint64_t uslot = slot % fsz;
+              lt.undo.push_back({uslot, pager.Read(lt.file, uslot)});
+              pager.Write(lt.file, uslot, v);
+            } else {
+              pager.Write(lt.file, slot, v);
+              if (lt.fate == 0) lt.writes.push_back({slot, v});
+            }
+          }
+          pager.EndStatement(/*commit=*/true);
+        }
+      }
+      // Close in rotating order; the open-fated bracket never closes. Each
+      // committed close advances the shadow and cuts a boundary.
+      for (int k = 0; k < 3; ++k) {
+        LiveTxn& lt = live[(k + round) % 3];
+        if (lt.fate == 2) continue;
+        if (lt.fate == 1) {
+          // Compensations ride the bracket, as the Database layer logs them.
+          pager.BeginStatement(lt.id);
+          for (size_t i = lt.undo.size(); i-- > 0;) {
+            pager.Write(lt.file, lt.undo[i].first, lt.undo[i].second);
+          }
+          pager.EndStatement(/*commit=*/true);
+          pager.AbortTxn(lt.id);
+        } else {
+          pager.CommitTxn(lt.id);
+          for (const auto& [slot, v] : lt.writes) shadow.Write(lt.file, slot, v);
+          boundaries.push_back(CaptureState(shadow, ids));
+        }
+      }
+    }
+    pager.CrashForTesting();  // the open bracket stays torn in the log
+  }
+
+  std::string wal_bytes = ReadFileBytes(pair.wal);
+  std::string spill_bytes = ReadFileBytes(pair.spill);
+  ASSERT_GT(wal_bytes.size(), Wal::kFileHeaderBytes);
+  size_t safe_start = Wal::kFileHeaderBytes;
+  for (int i = 0; i < 2; ++i) {
+    uint32_t body_len;
+    std::memcpy(&body_len, wal_bytes.data() + safe_start, sizeof body_len);
+    safe_start += Wal::kRecordHeaderBytes + body_len;
+  }
+
+  size_t last_matched = 0;
+  for (size_t len = safe_start; len <= wal_bytes.size(); ++len) {
+    WriteFileBytes(scratch.wal, wal_bytes.substr(0, len));
+    WriteFileBytes(scratch.spill, spill_bytes);
+    Pager recovered(scratch.Config(/*cap=*/2));
+    VisibleState got = CaptureState(recovered, ids);
+    size_t matched = boundaries.size();
+    for (size_t k = last_matched; k < boundaries.size(); ++k) {
+      if (got == boundaries[k]) {
+        matched = k;
+        break;
+      }
+    }
+    ASSERT_LT(matched, boundaries.size())
+        << "state after truncating the WAL at byte " << len
+        << " matches no committed-close boundary";
+    last_matched = matched;
+  }
+  // The full log ends with one torn bracket, discarded wholesale: the final
+  // state is the last committed-close boundary.
+  EXPECT_EQ(last_matched, boundaries.size() - 1)
+      << "the full log must recover every committed bracket";
 }
 
 // ---------------------------------------------------------------------------
